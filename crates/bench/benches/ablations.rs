@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. channels vs global-memory handoff (GPL vs GPL w/o CE);
+//! 2. concurrent kernel residency on/off (device capped at C = 1);
+//! 3. model-chosen tile size vs the fixed 1 MB default;
+//! 4. model-balanced per-kernel work-groups vs a uniform allocation;
+//! 5. packet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_model::{optimize, GammaTable};
+use gpl_sim::amd_a10;
+use gpl_tpch::{QueryId, TpchDb};
+
+const SF: f64 = 0.02;
+
+fn small_gamma() -> GammaTable {
+    GammaTable::calibrate_grid(
+        &amd_a10(),
+        vec![1, 4, 16],
+        vec![16, 64],
+        vec![256 << 10, 2 << 20, 16 << 20],
+    )
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let spec = amd_a10();
+    let gamma = small_gamma();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let q = QueryId::Q8;
+
+    // 1. Channels + concurrency vs per-tile kernel-at-a-time.
+    {
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+        let plan = plan_for(&ctx.db, q);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        for mode in [ExecMode::Gpl, ExecMode::GplNoCe] {
+            g.bench_with_input(
+                BenchmarkId::new("channels", mode.name()),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        ctx.sim.clear_cache();
+                        run_query(&mut ctx, &plan, mode, &cfg)
+                    });
+                },
+            );
+        }
+    }
+
+    // 2. Concurrency degree: the stock C = 2 device vs a C = 1 cap.
+    for c_degree in [1u32, 2] {
+        let mut dev = spec.clone();
+        dev.concurrency = c_degree;
+        let mut ctx = ExecContext::new(dev.clone(), TpchDb::at_scale(SF));
+        let plan = plan_for(&ctx.db, q);
+        let cfg = QueryConfig::default_for(&dev, &plan);
+        g.bench_with_input(
+            BenchmarkId::new("concurrency", format!("C{c_degree}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    ctx.sim.clear_cache();
+                    run_query(&mut ctx, &plan, ExecMode::Gpl, cfg)
+                });
+            },
+        );
+    }
+
+    // 3 + 4. Model-optimized configuration vs the 1 MB uniform default.
+    {
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+        let plan = plan_for(&ctx.db, q);
+        let default_cfg = QueryConfig::default_for(&spec, &plan);
+        let tuned = optimize(&spec, &gamma, &ctx.db, &plan).config;
+        for (label, cfg) in [("default_1mb_uniform", &default_cfg), ("model_tuned", &tuned)] {
+            g.bench_with_input(BenchmarkId::new("config", label), cfg, |b, cfg| {
+                b.iter(|| {
+                    ctx.sim.clear_cache();
+                    run_query(&mut ctx, &plan, ExecMode::Gpl, cfg)
+                });
+            });
+        }
+    }
+
+    // 5b. Partitioned (radix) vs monolithic hash join on a table that
+    //     overflows the cache (the Section 3.2 extension).
+    {
+        use gpl_core::ht::{mix64, SimHashTable};
+        use gpl_core::partitioned::{build_partitioned, probe_monolithic, probe_partitioned};
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.001));
+        let build: Vec<i64> = (0..600_000).collect();
+        let payload = build.clone();
+        let probes: Vec<i64> =
+            (0..1_200_000).map(|i| (mix64(11 ^ i as u64) as i64).rem_euclid(900_000)).collect();
+        let mut mono_table = SimHashTable::new(&mut ctx.sim.mem, build.len(), 1, "mono");
+        let mut acc = Vec::new();
+        for (&k, &v) in build.iter().zip(&payload) {
+            mono_table.insert(k, &[v], &mut acc);
+        }
+        let (pt, _) = build_partitioned(&mut ctx, &build, &payload, 8);
+        g.bench_function("join/monolithic", |b| {
+            b.iter(|| {
+                ctx.sim.clear_cache();
+                probe_monolithic(&mut ctx, &mono_table, &probes)
+            });
+        });
+        g.bench_function("join/partitioned", |b| {
+            b.iter(|| {
+                ctx.sim.clear_cache();
+                probe_partitioned(&mut ctx, &pt, &probes)
+            });
+        });
+    }
+
+    // 5. Packet size.
+    {
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+        let plan = plan_for(&ctx.db, q);
+        for p in [8u32, 16, 64] {
+            let mut cfg = QueryConfig::default_for(&spec, &plan);
+            for s in &mut cfg.stages {
+                s.packet_bytes = p;
+            }
+            g.bench_with_input(BenchmarkId::new("packet_bytes", p), &cfg, |b, cfg| {
+                b.iter(|| {
+                    ctx.sim.clear_cache();
+                    run_query(&mut ctx, &plan, ExecMode::Gpl, cfg)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

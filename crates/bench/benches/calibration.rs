@@ -1,0 +1,31 @@
+//! Criterion bench for the channel calibration chain (Figure 2 / 23):
+//! wall-clock cost of simulating the producer→consumer microbenchmark
+//! across channel counts and data sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_sim::{amd_a10, nvidia_k40, run_producer_consumer};
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel_calibration");
+    g.sample_size(10);
+    for (dev, spec) in [("amd", amd_a10()), ("nvidia", nvidia_k40())] {
+        for n in [1u32, 4, 16] {
+            g.bench_with_input(BenchmarkId::new(format!("{dev}/n"), n), &n, |b, &n| {
+                b.iter(|| run_producer_consumer(&spec, n, 16, 1 << 20));
+            });
+        }
+        for d in [256u64 << 10, 4 << 20] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{dev}/bytes"), d),
+                &d,
+                |b, &d| {
+                    b.iter(|| run_producer_consumer(&spec, 4, 16, d));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

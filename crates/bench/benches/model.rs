@@ -1,0 +1,42 @@
+//! Criterion bench for the analytical model (Figures 11, 14, 24): λ
+//! estimation, cost evaluation and the full parameter search — the paper
+//! claims the whole optimization stays under 5 ms per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::{plan_for, QueryConfig};
+use gpl_model::{build_models, estimate_query, estimate_stats, optimize, GammaTable};
+use gpl_sim::amd_a10;
+use gpl_tpch::{QueryId, TpchDb};
+
+const SF: f64 = 0.05;
+
+fn bench_model(c: &mut Criterion) {
+    let spec = amd_a10();
+    let db = TpchDb::at_scale(SF);
+    let gamma = GammaTable::calibrate_grid(
+        &spec,
+        vec![1, 4, 16],
+        vec![16, 64],
+        vec![256 << 10, 2 << 20, 16 << 20],
+    );
+    let mut g = c.benchmark_group("analytical_model");
+    for q in [QueryId::Q8, QueryId::Q14] {
+        let plan = plan_for(&db, q);
+        g.bench_with_input(BenchmarkId::new("lambda_estimation", q.name()), &plan, |b, plan| {
+            b.iter(|| estimate_stats(&db, plan));
+        });
+        let stats = estimate_stats(&db, &plan);
+        let models = build_models(&db, &plan, &stats, &spec);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        g.bench_with_input(BenchmarkId::new("cost_eval", q.name()), &models, |b, models| {
+            b.iter(|| estimate_query(&spec, &gamma, models, &cfg, true));
+        });
+        g.bench_with_input(BenchmarkId::new("full_search", q.name()), &plan, |b, plan| {
+            b.iter(|| optimize(&spec, &gamma, &db, plan));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

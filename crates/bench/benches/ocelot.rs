@@ -1,0 +1,46 @@
+//! Criterion bench for the Ocelot comparison (Figure 22), cold and warm
+//! (hash-table cache primed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_ocelot::OcelotContext;
+use gpl_sim::amd_a10;
+use gpl_tpch::{QueryId, TpchDb};
+
+const SF: f64 = 0.02;
+
+fn bench_ocelot(c: &mut Criterion) {
+    let spec = amd_a10();
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+    let mut g = c.benchmark_group("gpl_vs_ocelot");
+    g.sample_size(10);
+    for q in [QueryId::Q5, QueryId::Q8, QueryId::Q14] {
+        let plan = plan_for(&ctx.db, q);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        g.bench_with_input(BenchmarkId::new("gpl", q.name()), &plan, |b, plan| {
+            b.iter(|| {
+                ctx.sim.clear_cache();
+                run_query(&mut ctx, plan, ExecMode::Gpl, &cfg)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("ocelot_cold", q.name()), &plan, |b, plan| {
+            b.iter(|| {
+                let mut oc = OcelotContext::new();
+                ctx.sim.clear_cache();
+                gpl_ocelot::run_query(&mut ctx, &mut oc, plan)
+            });
+        });
+        let mut warm = OcelotContext::new();
+        gpl_ocelot::run_query(&mut ctx, &mut warm, &plan);
+        g.bench_with_input(BenchmarkId::new("ocelot_warm", q.name()), &plan, |b, plan| {
+            b.iter(|| {
+                ctx.sim.clear_cache();
+                gpl_ocelot::run_query(&mut ctx, &mut warm, plan)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ocelot);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the headline comparison (Figures 5, 16, 17, 19,
+//! 20, 27): simulating every workload query under each execution mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_sim::amd_a10;
+use gpl_tpch::{QueryId, TpchDb};
+
+const SF: f64 = 0.02;
+
+fn bench_modes(c: &mut Criterion) {
+    let spec = amd_a10();
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+    let mut g = c.benchmark_group("query_modes");
+    g.sample_size(10);
+    for q in QueryId::evaluation_set() {
+        let plan = plan_for(&ctx.db, q);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        for mode in [ExecMode::Kbe, ExecMode::GplNoCe, ExecMode::Gpl] {
+            g.bench_with_input(
+                BenchmarkId::new(q.name(), mode.name()),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        ctx.sim.clear_cache();
+                        run_query(&mut ctx, &plan, mode, &cfg)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

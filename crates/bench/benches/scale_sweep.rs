@@ -1,0 +1,34 @@
+//! Criterion bench for the data-size sweep (Figure 21): KBE vs GPL as
+//! the scale factor grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_sim::amd_a10;
+use gpl_tpch::{QueryId, TpchDb};
+
+fn bench_scale(c: &mut Criterion) {
+    let spec = amd_a10();
+    let mut g = c.benchmark_group("scale_sweep_q14");
+    g.sample_size(10);
+    for sf in [0.01, 0.05, 0.1] {
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(sf));
+        let plan = plan_for(&ctx.db, QueryId::Q14);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        for mode in [ExecMode::Kbe, ExecMode::Gpl] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.name(), format!("sf{sf}")),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        ctx.sim.clear_cache();
+                        run_query(&mut ctx, &plan, mode, &cfg)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

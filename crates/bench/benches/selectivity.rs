@@ -1,0 +1,37 @@
+//! Criterion bench for the Q14 selectivity studies (Figures 3, 4, 18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::plan::q14_plan;
+use gpl_core::{run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_sim::amd_a10;
+use gpl_tpch::{q14_window_for_selectivity, TpchDb};
+
+const SF: f64 = 0.02;
+
+fn bench_selectivity(c: &mut Criterion) {
+    let spec = amd_a10();
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+    let mut g = c.benchmark_group("q14_selectivity");
+    g.sample_size(10);
+    for sel in [1u32, 16, 50, 100] {
+        let params = q14_window_for_selectivity(&ctx.db, sel as f64 / 100.0);
+        let plan = q14_plan(&ctx.db, params);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        for mode in [ExecMode::Kbe, ExecMode::Gpl] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.name(), format!("{sel}pct")),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        ctx.sim.clear_cache();
+                        run_query(&mut ctx, &plan, mode, &cfg)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectivity);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the tile-size knob (Figures 12, 13, 25, 26).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_sim::amd_a10;
+use gpl_tpch::{QueryId, TpchDb};
+
+const SF: f64 = 0.05;
+
+fn bench_tiles(c: &mut Criterion) {
+    let spec = amd_a10();
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(SF));
+    let plan = plan_for(&ctx.db, QueryId::Q8);
+    let mut g = c.benchmark_group("q8_tile_sweep");
+    g.sample_size(10);
+    for tile in [256u64 << 10, 1 << 20, 4 << 20, 16 << 20] {
+        let mut cfg = QueryConfig::default_for(&spec, &plan);
+        for s in &mut cfg.stages {
+            s.tile_bytes = tile;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(tile >> 10), &cfg, |b, cfg| {
+            b.iter(|| {
+                ctx.sim.clear_cache();
+                run_query(&mut ctx, &plan, ExecMode::Gpl, cfg)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiles);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage: `repro <experiment> [--sf <f>] [--device amd|nvidia]`
+//! Run `repro list` for the experiment index.
+
+fn main() {
+    gpl_bench::cli::main();
+}

@@ -1,0 +1,7 @@
+//! Command-line dispatch for the `repro` binary.
+
+/// Entry point: `repro <experiment|all|list> [--sf <f>] [--device amd|nvidia]`.
+pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    crate::experiments::dispatch(&args);
+}

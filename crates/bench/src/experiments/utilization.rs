@@ -1,0 +1,69 @@
+//! Resource-utilization experiments (Figures 5, 19, 28) — Observation 2
+//! and its resolution by concurrent kernel execution.
+
+use super::Opts;
+use gpl_core::{plan_for, run_query, ExecMode, QueryConfig};
+use gpl_tpch::QueryId;
+
+fn utilization_row(
+    ctx: &mut gpl_core::ExecContext,
+    opts: &Opts,
+    q: QueryId,
+    mode: ExecMode,
+) -> (f64, f64, f64) {
+    let plan = plan_for(&ctx.db, q);
+    let cfg = QueryConfig::default_for(&opts.device, &plan);
+    ctx.sim.clear_cache();
+    let run = run_query(ctx, &plan, mode, &cfg);
+    (run.profile.valu_busy() * 100.0, run.profile.mem_unit_busy() * 100.0, run.profile.occupancy() * 100.0)
+}
+
+/// Figure 5: VALUBusy / MemUnitBusy under KBE for the five queries.
+pub fn fig5(opts: &Opts) {
+    let sf = opts.sf_or(0.1);
+    let mut ctx = opts.ctx(sf);
+    println!("KBE resource utilization (SF {sf}, {})", opts.device.name);
+    println!("{:>5} {:>10} {:>12} {:>11}", "query", "VALUBusy", "MemUnitBusy", "occupancy");
+    let mut avg = (0.0, 0.0);
+    for q in QueryId::evaluation_set() {
+        let (v, m, o) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
+        avg.0 += v / 5.0;
+        avg.1 += m / 5.0;
+        println!("{:>5} {:>9.1}% {:>11.1}% {:>10.1}%", q.name(), v, m, o);
+    }
+    println!("{:>5} {:>9.1}% {:>11.1}%", "avg", avg.0, avg.1);
+    println!(
+        "expected shape: one kernel at a time leaves at least one unit under-used; \
+         utilization varies strongly across kernels/queries (Observation 2)."
+    );
+}
+
+/// Figure 19: utilization under GPL vs KBE for the five queries.
+pub fn fig19(opts: &Opts) {
+    let sf = opts.sf_or(0.1);
+    let mut ctx = opts.ctx(sf);
+    println!("resource utilization, KBE vs GPL (SF {sf}, {})", opts.device.name);
+    println!(
+        "{:>5} {:>14} {:>14}   {:>14} {:>14}",
+        "query", "KBE VALUBusy", "KBE MemUnit", "GPL VALUBusy", "GPL MemUnit"
+    );
+    for q in QueryId::evaluation_set() {
+        let (kv, km, _) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
+        let (gv, gm, _) = utilization_row(&mut ctx, opts, q, ExecMode::Gpl);
+        println!("{:>5} {:>13.1}% {:>13.1}%   {:>13.1}% {:>13.1}%", q.name(), kv, km, gv, gm);
+    }
+    println!("expected shape: GPL sustains steadier, higher utilization than KBE.");
+}
+
+/// Figure 28: utilization for Q8 on the NVIDIA profile.
+pub fn fig28(opts: &Opts) {
+    let mut o = opts.clone();
+    o.device = gpl_sim::nvidia_k40();
+    let sf = o.sf_or(0.1);
+    let mut ctx = o.ctx(sf);
+    println!("Q8 resource utilization (SF {sf}, {})", o.device.name);
+    for (name, mode) in [("KBE", ExecMode::Kbe), ("GPL", ExecMode::Gpl)] {
+        let (v, m, occ) = utilization_row(&mut ctx, &o, QueryId::Q8, mode);
+        println!("{name:>4}: VALUBusy {v:>5.1}%  MemUnitBusy {m:>5.1}%  occupancy {occ:>5.1}%");
+    }
+}

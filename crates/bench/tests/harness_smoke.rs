@@ -1,0 +1,20 @@
+//! Smoke test: every `repro` experiment must run end to end at a tiny
+//! scale factor without panicking (the heavyweight fixed-sweep ones are
+//! exercised by the repro binary itself and skipped here for time).
+
+use gpl_bench::experiments::{registry, Opts};
+use gpl_sim::amd_a10;
+
+#[test]
+fn cheap_experiments_run_at_tiny_scale() {
+    // fig2/fig23 run full calibration sweeps and fig21/fig22 fixed SF
+    // sweeps; they are covered by `repro all`.
+    let skip = ["fig2", "fig21", "fig22", "fig23"];
+    let opts = Opts { sf: Some(0.004), device: amd_a10() };
+    for e in registry() {
+        if skip.contains(&e.name) {
+            continue;
+        }
+        (e.run)(&opts);
+    }
+}

@@ -1,0 +1,342 @@
+//! Query execution: context, configuration, and the three execution
+//! modes of Section 5.1 — KBE, GPL (w/o CE), and full GPL.
+
+use crate::gpl;
+use crate::ht::{GroupStore, SimHashTable};
+use crate::kbe;
+use crate::ops::sort_rows;
+use crate::plan::{QueryPlan, Stage, Terminal};
+use gpl_sim::{DeviceSpec, KernelDesc, LaunchProfile, ResourceUsage, Simulator, Work, WorkUnit};
+use gpl_storage::{TableLayout, Tiling};
+use gpl_tpch::{QueryOutput, TpchDb};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How a plan is executed (Section 5.1's three systems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Kernel-based execution: one kernel at a time over the whole input,
+    /// intermediates materialized in global memory.
+    Kbe,
+    /// GPL with tiling but neither concurrent kernels nor channels:
+    /// kernels run one at a time per tile (the ablation of Figure 16).
+    GplNoCe,
+    /// Full GPL: concurrent kernels connected by channels, tiled input.
+    Gpl,
+}
+
+impl ExecMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Kbe => "KBE",
+            ExecMode::GplNoCe => "GPL (w/o CE)",
+            ExecMode::Gpl => "GPL",
+        }
+    }
+}
+
+/// Tunable parameters for one stage's pipelined execution — the knobs the
+/// analytical model of Section 4 optimizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageConfig {
+    /// Tile size Δ in bytes of the driving relation.
+    pub tile_bytes: u64,
+    /// Channels per producer→consumer edge (`n`).
+    pub n_channels: u32,
+    /// Packet size in bytes (`p`; fixed on NVIDIA).
+    pub packet_bytes: u32,
+    /// Work-groups per GPL kernel (scan, ops…, terminal). Must have one
+    /// entry per kernel of [`Stage::gpl_kernel_names`].
+    pub wg_counts: Vec<u32>,
+}
+
+impl StageConfig {
+    /// The paper's default configuration: 1 MB tiles (Section 5.2 notes
+    /// the default tile size is 1 MB), 4 channels, 16-byte packets, and a
+    /// uniform work-group allocation.
+    pub fn default_for(spec: &DeviceSpec, stage: &Stage) -> Self {
+        let kernels = stage.gpl_kernel_names().len();
+        StageConfig {
+            tile_bytes: 1 << 20,
+            n_channels: 4,
+            packet_bytes: spec.channel.fixed_packet_bytes,
+            wg_counts: vec![4 * spec.num_cus; kernels],
+        }
+    }
+}
+
+/// Per-stage configuration for a whole plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryConfig {
+    pub stages: Vec<StageConfig>,
+}
+
+impl QueryConfig {
+    pub fn default_for(spec: &DeviceSpec, plan: &QueryPlan) -> Self {
+        QueryConfig {
+            stages: plan.stages.iter().map(|s| StageConfig::default_for(spec, s)).collect(),
+        }
+    }
+}
+
+/// Device + installed database: the execution context shared by all
+/// engines. Table columns are mapped into simulated memory once.
+pub struct ExecContext {
+    pub sim: Simulator,
+    pub db: Rc<TpchDb>,
+    layouts: HashMap<String, TableLayout>,
+}
+
+impl ExecContext {
+    pub fn new(spec: DeviceSpec, db: TpchDb) -> Self {
+        let mut sim = Simulator::new(spec);
+        let mut layouts = HashMap::new();
+        for t in db.tables() {
+            layouts.insert(t.name().to_string(), TableLayout::install(&mut sim.mem, t));
+        }
+        ExecContext { sim, db: Rc::new(db), layouts }
+    }
+
+    pub fn layout(&self, table: &str) -> &TableLayout {
+        self.layouts.get(table).unwrap_or_else(|| panic!("table {table:?} not installed"))
+    }
+
+    pub fn spec(&self) -> DeviceSpec {
+        self.sim.spec().clone()
+    }
+}
+
+/// The result of running a query on the simulator.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    pub output: QueryOutput,
+    /// Simulated cycles for the whole query (all launches).
+    pub cycles: u64,
+    /// Merged profile across all launches.
+    pub profile: LaunchProfile,
+    /// Per-stage merged profiles, in stage order (the final sort, if any,
+    /// is appended as an extra entry).
+    pub per_stage: Vec<LaunchProfile>,
+}
+
+impl QueryRun {
+    /// Wall-clock milliseconds at the device clock rate.
+    pub fn ms(&self, spec: &DeviceSpec) -> f64 {
+        spec.cycles_to_ms(self.cycles)
+    }
+}
+
+/// Run `plan` under `mode` with `config`.
+pub fn run_query(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    mode: ExecMode,
+    config: &QueryConfig,
+) -> QueryRun {
+    plan.validate();
+    assert_eq!(config.stages.len(), plan.stages.len(), "config/stage count mismatch");
+    ctx.sim.reset_footprint();
+    let mut hts: Vec<Option<Rc<RefCell<SimHashTable>>>> = vec![None; plan.num_hts];
+    let mut agg_rows: Option<Vec<Vec<i64>>> = None;
+    let mut per_stage = Vec::new();
+    let mut merged = LaunchProfile::default();
+
+    for (stage, cfg) in plan.stages.iter().zip(&config.stages) {
+        // Create the stage's blocking-output object up front so tiled
+        // modes can accumulate into it across tiles.
+        let build = match &stage.terminal {
+            Terminal::HashBuild { ht, payloads, .. } => {
+                let expected = estimate_build_rows(ctx, stage);
+                let t = Rc::new(RefCell::new(SimHashTable::new(
+                    &mut ctx.sim.mem,
+                    expected,
+                    payloads.len(),
+                    format!("{}::ht{}", plan.query.name(), ht),
+                )));
+                hts[*ht] = Some(t.clone());
+                Some(t)
+            }
+            Terminal::Aggregate { .. } => None,
+        };
+        let agg = match &stage.terminal {
+            Terminal::Aggregate { groups, aggs } => {
+                Some(Rc::new(RefCell::new(GroupStore::with_kinds(
+                    &mut ctx.sim.mem,
+                    if groups.is_empty() { 1 } else { 4096 },
+                    groups.len(),
+                    aggs.iter().map(|a| a.kind).collect(),
+                    format!("{}::agg", plan.query.name()),
+                ))))
+            }
+            Terminal::HashBuild { .. } => None,
+        };
+
+        let rows = ctx.db.table(&stage.driver).rows();
+        let profile = match mode {
+            ExecMode::Kbe => {
+                kbe::run_stage_range(ctx, stage, &hts, build.as_ref(), agg.as_ref(), 0..rows)
+            }
+            ExecMode::GplNoCe => {
+                let row_bytes = stage_row_bytes(ctx, stage);
+                let tiling = Tiling::by_bytes(rows, row_bytes, cfg.tile_bytes);
+                let mut p = LaunchProfile::default();
+                for tile in tiling.iter() {
+                    p.merge(&kbe::run_stage_range(
+                        ctx,
+                        stage,
+                        &hts,
+                        build.as_ref(),
+                        agg.as_ref(),
+                        tile,
+                    ));
+                }
+                p
+            }
+            ExecMode::Gpl => gpl::run_stage(ctx, stage, &hts, build.as_ref(), agg.as_ref(), cfg),
+        };
+
+        if let Some(agg) = agg {
+            let store = Rc::try_unwrap(agg).expect("aggregate store still shared").into_inner();
+            agg_rows = Some(store.into_rows());
+        }
+        merged.merge(&profile);
+        per_stage.push(profile);
+    }
+
+    let mut rows = agg_rows.expect("plan must end in an aggregate stage");
+    // Final ORDER BY, as a (blocking) sort kernel, then LIMIT.
+    if !plan.order_by.is_empty() {
+        let prof = run_sort_kernel(ctx, &mut rows, &plan.order_by);
+        merged.merge(&prof);
+        per_stage.push(prof);
+    } else {
+        sort_rows(&mut rows, &[]);
+    }
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit);
+    }
+    if let Some(proj) = &plan.projection {
+        rows = rows.into_iter().map(|r| proj.iter().map(|&i| r[i]).collect()).collect();
+    }
+
+    let output = QueryOutput::new(plan.output_columns.iter().map(String::as_str).collect(), rows);
+    QueryRun { output, cycles: merged.elapsed_cycles, profile: merged, per_stage }
+}
+
+/// Bytes per driver row across the stage's loaded columns (tiling input).
+pub fn stage_row_bytes(ctx: &ExecContext, stage: &Stage) -> u64 {
+    let t = ctx.db.table(&stage.driver);
+    stage.loads.iter().map(|c| t.col(c).data_type().width()).sum::<u64>().max(1)
+}
+
+/// Estimate a build stage's output cardinality by evaluating its filters
+/// on a small driver sample (the role a query optimizer's estimate plays
+/// when an engine sizes a hash table). Stages with probes fall back to
+/// the driver cardinality.
+fn estimate_build_rows(ctx: &ExecContext, stage: &Stage) -> usize {
+    use crate::plan::PipeOp;
+    let total = ctx.db.table(&stage.driver).rows();
+    if stage.ops.iter().any(|op| matches!(op, PipeOp::Probe { .. })) || total == 0 {
+        return total.max(1);
+    }
+    const SAMPLE: usize = 1024;
+    let rows: Vec<usize> = if total <= SAMPLE {
+        (0..total).collect()
+    } else {
+        let step = total as f64 / SAMPLE as f64;
+        (0..SAMPLE).map(|i| (i as f64 * step) as usize).collect()
+    };
+    let t = ctx.db.table(&stage.driver);
+    let mut chunk = crate::ops::Chunk::new(stage.num_slots());
+    for (s, name) in stage.loads.iter().enumerate() {
+        let col = t.col(name);
+        chunk.fill(s, rows.iter().map(|&r| col.get_i64(r)).collect());
+    }
+    for op in &stage.ops {
+        match op {
+            PipeOp::Filter(p) => chunk = crate::ops::apply_filter(&chunk, p),
+            PipeOp::Compute { expr, out } => crate::ops::apply_compute(&mut chunk, expr, *out),
+            PipeOp::Probe { .. } => unreachable!("filtered above"),
+        }
+    }
+    let sel = chunk.rows as f64 / rows.len().max(1) as f64;
+    // Head-room so under-sampled selective builds still fit comfortably.
+    ((total as f64 * sel * 1.25) as usize).clamp(16, total.max(16))
+}
+
+/// Simulate the final sort: a blocking bitonic-style kernel over the
+/// (small) aggregate output.
+fn run_sort_kernel(
+    ctx: &mut ExecContext,
+    rows: &mut [Vec<i64>],
+    order: &[(usize, bool)],
+) -> LaunchProfile {
+    sort_rows(rows, order);
+    let n = rows.len().max(1) as u64;
+    let width = rows.first().map(|r| r.len()).unwrap_or(1) as u64 * 8;
+    let region = ctx.sim.mem.alloc(
+        n * width,
+        gpl_sim::RegionClass::Output,
+        "sort-output",
+    );
+    let base = ctx.sim.mem.base(region);
+    // Bitonic sort: log^2(n) passes, each reading and writing everything.
+    let passes = {
+        let lg = 64 - n.leading_zeros() as u64;
+        (lg * lg).max(1)
+    };
+    let mut pass = 0u64;
+    let src = move |_: &dyn gpl_sim::ChannelView| {
+        if pass == passes {
+            return Work::Done;
+        }
+        pass += 1;
+        Work::Unit(WorkUnit {
+            compute_insts: 4 * n,
+            mem_insts: 2 * n,
+            accesses: vec![
+                gpl_sim::MemRange::read(base, n * width),
+                gpl_sim::MemRange::write(base, n * width),
+            ],
+            ..Default::default()
+        })
+    };
+    let k = KernelDesc::new("k_sort", ResourceUsage::new(64, 64, 2048), 8, Box::new(src));
+    ctx.sim.run(vec![k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpl_sim::amd_a10;
+
+    #[test]
+    fn context_installs_all_tables() {
+        let ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
+        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+        {
+            assert_eq!(ctx.layout(t).table(), t);
+        }
+    }
+
+    #[test]
+    fn default_config_covers_all_stages() {
+        let db = TpchDb::at_scale(0.002);
+        let plan = crate::plan::plan_for(&db, gpl_tpch::QueryId::Q5);
+        let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+        assert_eq!(cfg.stages.len(), plan.stages.len());
+        for (s, c) in plan.stages.iter().zip(&cfg.stages) {
+            assert_eq!(c.wg_counts.len(), s.gpl_kernel_names().len());
+        }
+    }
+
+    #[test]
+    fn sort_kernel_sorts_and_costs() {
+        let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
+        let mut rows = vec![vec![3, 1], vec![1, 9], vec![2, 4]];
+        let p = run_sort_kernel(&mut ctx, &mut rows, &[(1, true)]);
+        assert_eq!(rows, vec![vec![1, 9], vec![2, 4], vec![3, 1]]);
+        assert!(p.elapsed_cycles > 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Expressions and predicates over pipeline slots.
+//!
+//! Kernels operate on *slots* — positions in the row context that flows
+//! through a pipeline (driver columns, probe payloads, computed values).
+//! Expressions are evaluated identically by every engine, and their node
+//! count doubles as the per-element instruction estimate (`c_inst` of the
+//! cost model's program-analysis input).
+
+use gpl_storage::{dec_mul, Date};
+
+/// Index into the pipeline row context.
+pub type Slot = usize;
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// Scalar expression over slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Value of a slot.
+    Slot(Slot),
+    /// Constant.
+    Const(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    /// Plain integer multiply (key composition etc.).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Fixed-point multiply: `(a × b) / 100`.
+    DecMul(Box<Expr>, Box<Expr>),
+    /// `extract(year from <date expr>)`.
+    Year(Box<Expr>),
+    /// `case when <pred> then <a> else <b> end`.
+    Case(Box<Pred>, Box<Expr>, Box<Expr>),
+}
+
+/// Boolean predicate over slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Always true (an unfiltered scan).
+    True,
+    Cmp(CmpOp, Expr, Expr),
+    And(Vec<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    /// `expr IN (v1, v2, ...)` over encoded values (e.g. promo type codes).
+    InList(Expr, Vec<i64>),
+}
+
+// The builder methods deliberately shadow the `std::ops` names: they
+// build AST nodes rather than evaluate, and implementing the operator
+// traits would hide the Box allocations these construct.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    pub fn slot(s: Slot) -> Expr {
+        Expr::Slot(s)
+    }
+    pub fn lit(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+    pub fn add(self, o: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(o))
+    }
+    pub fn sub(self, o: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(o))
+    }
+    pub fn mul(self, o: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(o))
+    }
+    pub fn dec_mul(self, o: Expr) -> Expr {
+        Expr::DecMul(Box::new(self), Box::new(o))
+    }
+    pub fn year(self) -> Expr {
+        Expr::Year(Box::new(self))
+    }
+
+    /// Evaluate against one row of the chunk (`cols[slot][row]`).
+    pub fn eval(&self, cols: &[Vec<i64>], row: usize) -> i64 {
+        match self {
+            Expr::Slot(s) => cols[*s][row],
+            Expr::Const(v) => *v,
+            Expr::Add(a, b) => a.eval(cols, row).wrapping_add(b.eval(cols, row)),
+            Expr::Sub(a, b) => a.eval(cols, row).wrapping_sub(b.eval(cols, row)),
+            Expr::Mul(a, b) => a.eval(cols, row).wrapping_mul(b.eval(cols, row)),
+            Expr::DecMul(a, b) => dec_mul(a.eval(cols, row), b.eval(cols, row)),
+            Expr::Year(d) => Date::year_of_days(d.eval(cols, row) as i32) as i64,
+            Expr::Case(p, a, b) => {
+                if p.eval(cols, row) {
+                    a.eval(cols, row)
+                } else {
+                    b.eval(cols, row)
+                }
+            }
+        }
+    }
+
+    /// Per-element instruction estimate: one per node, plus the branches
+    /// of a case (SIMD executes both sides).
+    pub fn insts(&self) -> u64 {
+        match self {
+            Expr::Slot(_) | Expr::Const(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::DecMul(a, b) => {
+                1 + a.insts() + b.insts()
+            }
+            // Year is a handful of divisions in the civil-date algorithm.
+            Expr::Year(d) => 8 + d.insts(),
+            Expr::Case(p, a, b) => 1 + p.insts() + a.insts() + b.insts(),
+        }
+    }
+
+    /// Slots this expression reads.
+    pub fn slots(&self, out: &mut Vec<Slot>) {
+        match self {
+            Expr::Slot(s) => out.push(*s),
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::DecMul(a, b) => {
+                a.slots(out);
+                b.slots(out);
+            }
+            Expr::Year(d) => d.slots(out),
+            Expr::Case(p, a, b) => {
+                p.slots(out);
+                a.slots(out);
+                b.slots(out);
+            }
+        }
+    }
+}
+
+impl Pred {
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Pred {
+        Pred::Cmp(op, a, b)
+    }
+    /// `lo <= e < hi` (half-open window, the common date predicate).
+    pub fn between_half_open(e: Expr, lo: i64, hi: i64) -> Pred {
+        Pred::And(vec![
+            Pred::Cmp(CmpOp::Ge, e.clone(), Expr::Const(lo)),
+            Pred::Cmp(CmpOp::Lt, e, Expr::Const(hi)),
+        ])
+    }
+    /// `lo <= e <= hi` (SQL BETWEEN).
+    pub fn between_inclusive(e: Expr, lo: i64, hi: i64) -> Pred {
+        Pred::And(vec![
+            Pred::Cmp(CmpOp::Ge, e.clone(), Expr::Const(lo)),
+            Pred::Cmp(CmpOp::Le, e, Expr::Const(hi)),
+        ])
+    }
+
+    pub fn eval(&self, cols: &[Vec<i64>], row: usize) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::Cmp(op, a, b) => op.apply(a.eval(cols, row), b.eval(cols, row)),
+            Pred::And(ps) => ps.iter().all(|p| p.eval(cols, row)),
+            Pred::Or(a, b) => a.eval(cols, row) || b.eval(cols, row),
+            Pred::InList(e, list) => list.contains(&e.eval(cols, row)),
+        }
+    }
+
+    pub fn insts(&self) -> u64 {
+        match self {
+            Pred::True => 0,
+            Pred::Cmp(_, a, b) => 1 + a.insts() + b.insts(),
+            Pred::And(ps) => ps.iter().map(Pred::insts).sum::<u64>() + ps.len() as u64,
+            Pred::Or(a, b) => 1 + a.insts() + b.insts(),
+            Pred::InList(e, list) => e.insts() + list.len() as u64,
+        }
+    }
+
+    pub fn slots(&self, out: &mut Vec<Slot>) {
+        match self {
+            Pred::True => {}
+            Pred::Cmp(_, a, b) => {
+                a.slots(out);
+                b.slots(out);
+            }
+            Pred::And(ps) => ps.iter().for_each(|p| p.slots(out)),
+            Pred::Or(a, b) => {
+                a.slots(out);
+                b.slots(out);
+            }
+            Pred::InList(e, _) => e.slots(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<Vec<i64>> {
+        vec![vec![10, 20], vec![3, 5], vec![9374, 9404]]
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        let c = cols();
+        let e = Expr::slot(0).add(Expr::slot(1)).mul(Expr::lit(2));
+        assert_eq!(e.eval(&c, 0), 26);
+        assert_eq!(e.eval(&c, 1), 50);
+        let d = Expr::lit(1999).dec_mul(Expr::lit(50));
+        assert_eq!(d.eval(&c, 0), 999);
+    }
+
+    #[test]
+    fn year_extracts_from_day_numbers() {
+        let c = cols();
+        // 9374 = 1995-09-01, 9404 = 1995-10-01.
+        assert_eq!(Expr::slot(2).year().eval(&c, 0), 1995);
+        assert_eq!(Expr::slot(2).year().eval(&c, 1), 1995);
+    }
+
+    #[test]
+    fn case_selects_branch() {
+        let c = cols();
+        let e = Expr::Case(
+            Box::new(Pred::cmp(CmpOp::Gt, Expr::slot(0), Expr::lit(15))),
+            Box::new(Expr::slot(1)),
+            Box::new(Expr::lit(0)),
+        );
+        assert_eq!(e.eval(&c, 0), 0);
+        assert_eq!(e.eval(&c, 1), 5);
+    }
+
+    #[test]
+    fn predicates() {
+        let c = cols();
+        assert!(Pred::True.eval(&c, 0));
+        assert!(Pred::between_half_open(Expr::slot(0), 10, 20).eval(&c, 0));
+        assert!(!Pred::between_half_open(Expr::slot(0), 10, 20).eval(&c, 1));
+        assert!(Pred::between_inclusive(Expr::slot(0), 10, 20).eval(&c, 1));
+        assert!(Pred::InList(Expr::slot(1), vec![1, 3, 7]).eval(&c, 0));
+        assert!(!Pred::InList(Expr::slot(1), vec![1, 3, 7]).eval(&c, 1));
+        let or = Pred::Or(
+            Box::new(Pred::cmp(CmpOp::Eq, Expr::slot(1), Expr::lit(5))),
+            Box::new(Pred::cmp(CmpOp::Eq, Expr::slot(1), Expr::lit(3))),
+        );
+        assert!(or.eval(&c, 0) && or.eval(&c, 1));
+    }
+
+    #[test]
+    fn instruction_counts_grow_with_size() {
+        assert_eq!(Expr::slot(0).insts(), 1);
+        assert!(Expr::slot(0).add(Expr::lit(1)).insts() > Expr::slot(0).insts());
+        assert!(Pred::True.insts() == 0);
+        let big = Pred::And(vec![
+            Pred::cmp(CmpOp::Ge, Expr::slot(0), Expr::lit(0)),
+            Pred::cmp(CmpOp::Lt, Expr::slot(0), Expr::lit(9)),
+        ]);
+        assert!(big.insts() > 4);
+    }
+
+    #[test]
+    fn slot_collection() {
+        let mut s = Vec::new();
+        Expr::slot(3).add(Expr::slot(1)).slots(&mut s);
+        assert_eq!(s, vec![3, 1]);
+        s.clear();
+        Pred::InList(Expr::slot(2), vec![1]).slots(&mut s);
+        assert_eq!(s, vec![2]);
+    }
+}

@@ -1,0 +1,703 @@
+//! The GPL pipelined executor (Section 3).
+//!
+//! A stage's kernels — the fused leaf `k_map*` (scan + leading filters /
+//! computed columns), one `k_hash_probe*` per hash probe (with trailing
+//! maps fused in), and the blocking terminal — are launched
+//! *concurrently* and connected by channels. The input is tiled
+//! (Section 3.3): the leaf streams one tile at a time and waits for its
+//! output channel to drain before starting the next, and channel buffers
+//! are sized to the tile, which is how the tile-size knob reaches the
+//! cache. Intermediate results flow through channels without
+//! materialization in global memory; only the blocking terminal (hash
+//! build, aggregation) writes global state — exactly Figure 8's contrast
+//! with KBE.
+
+use crate::exec::{stage_row_bytes, ExecContext, StageConfig};
+use crate::expr::{Expr, Pred, Slot};
+use crate::ht::{GroupStore, SimHashTable};
+use crate::ops::{self, apply_compute, apply_filter, apply_probe, live_slots, Chunk};
+use crate::plan::{PipeOp, Stage, Terminal};
+use gpl_sim::mem::MemRange;
+use gpl_sim::{ChannelId, ChannelView, KernelDesc, LaunchProfile, ResourceUsage, Work, WorkUnit};
+use gpl_storage::Tiling;
+use gpl_tpch::TpchDb;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Rows a leaf work-group quantum covers.
+pub const SCAN_BATCH_ROWS: usize = 4096;
+/// Extra per-tile dispatch instructions charged to the leaf's first batch
+/// of each tile (the workload scheduler's cost, Section 3.1).
+const TILE_DISPATCH_INSTS: u64 = 256;
+/// Maximum chunks a consumer fuses into one work-group quantum.
+const MAX_CHUNKS_PER_UNIT: usize = 4;
+
+/// Functional data queue riding alongside a channel: chunks plus their
+/// packet counts (the timing side lives in the simulator's channel).
+type DataQ = Rc<RefCell<VecDeque<(Chunk, u64)>>>;
+
+fn packets_for(rows: usize, row_bytes: u64, packet_bytes: u32) -> u64 {
+    ((rows as u64 * row_bytes).div_ceil(packet_bytes as u64)).max(1)
+}
+
+fn resources_for(flavour: &str, wavefront: u32) -> ResourceUsage {
+    match flavour {
+        "map" => ResourceUsage::new(wavefront, 64, 0),
+        "probe" => ResourceUsage::new(wavefront, 96, 0),
+        "build" => ResourceUsage::new(wavefront, 96, 2048),
+        "aggregate" => ResourceUsage::new(wavefront, 64, 8192),
+        other => panic!("unknown flavour {other}"),
+    }
+}
+
+/// One fused pipeline op with its per-row cost estimates.
+struct ExecStep {
+    exec: OpExec,
+    per_row_compute: u64,
+    per_row_mem: u64,
+}
+
+/// What a pipeline op does to each chunk.
+enum OpExec {
+    Filter(Pred),
+    Probe { table: Rc<RefCell<SimHashTable>>, key: Slot, payloads: Vec<Slot> },
+    Compute { expr: Expr, out: Slot },
+}
+
+impl ExecStep {
+    fn from_op(op: &PipeOp, hts: &[Option<Rc<RefCell<SimHashTable>>>]) -> Self {
+        let exec = match op {
+            PipeOp::Filter(p) => OpExec::Filter(p.clone()),
+            PipeOp::Probe { ht, key, payloads } => OpExec::Probe {
+                table: hts[*ht].as_ref().expect("probed table built").clone(),
+                key: *key,
+                payloads: payloads.clone(),
+            },
+            PipeOp::Compute { expr, out } => OpExec::Compute { expr: expr.clone(), out: *out },
+        };
+        ExecStep {
+            exec,
+            per_row_compute: ops::op_compute_insts(op),
+            per_row_mem: ops::op_mem_insts(op),
+        }
+    }
+}
+
+/// Run `chunk` through the fused steps, accumulating instruction counts
+/// (each step charged at its own input cardinality) and hash-table
+/// traffic. Returns the surviving chunk.
+fn apply_steps(
+    steps: &[ExecStep],
+    mut chunk: Chunk,
+    acc: &mut Vec<MemRange>,
+    compute: &mut u64,
+    mem: &mut u64,
+) -> Chunk {
+    for s in steps {
+        if chunk.rows == 0 {
+            break;
+        }
+        *compute += chunk.rows as u64 * s.per_row_compute;
+        *mem += chunk.rows as u64 * s.per_row_mem;
+        chunk = match &s.exec {
+            OpExec::Filter(p) => apply_filter(&chunk, p),
+            OpExec::Probe { table, key, payloads } => {
+                apply_probe(&chunk, &table.borrow(), *key, payloads, acc)
+            }
+            OpExec::Compute { expr, out } => {
+                apply_compute(&mut chunk, expr, *out);
+                chunk
+            }
+        };
+    }
+    chunk
+}
+
+/// The fused leaf kernel (`k_map*`): scans tiles of the driving relation,
+/// applies the leading filters / computed columns, and streams surviving
+/// rows into the first channel.
+///
+/// Columns the leading ops read are loaded *eagerly* (streamed); columns
+/// that are merely shipped onward are *gathered lazily* for the surviving
+/// rows only — the way a real map kernel evaluates its predicate before
+/// touching payload columns. A hidden row-id slot tracks survivors.
+struct LeafSource {
+    db: Rc<TpchDb>,
+    table: String,
+    /// Eagerly streamed: (slot, table column index, base, width).
+    cols: Vec<(Slot, usize, u64, u64)>,
+    /// Lazily gathered for survivors: (slot, column index, base, width).
+    lazy_cols: Vec<(Slot, usize, u64, u64)>,
+    num_slots: usize,
+    /// Index of the hidden row-id slot (`num_slots`).
+    rowid_slot: usize,
+    steps: Vec<ExecStep>,
+    /// Slots shipped to the next kernel.
+    ship: Vec<Slot>,
+    tiling: Tiling,
+    tile_idx: usize,
+    cursor: usize,
+    out: ChannelId,
+    out_q: DataQ,
+    out_row_bytes: u64,
+    packet_bytes: u32,
+    wavefront: u64,
+}
+
+/// Keep only the shipped slots filled (narrows the channel stream to the
+/// live set, like a projection before the pipe write).
+fn project_to(chunk: &mut Chunk, ship: &[Slot]) {
+    for s in 0..chunk.cols.len() {
+        if chunk.filled[s] && !ship.contains(&s) {
+            chunk.cols[s] = Vec::new();
+            chunk.filled[s] = false;
+        }
+    }
+}
+
+impl gpl_sim::WorkSource for LeafSource {
+    fn next(&mut self, view: &dyn ChannelView) -> Work {
+        let total = self.tiling.rows();
+        if self.cursor >= total {
+            return Work::Done;
+        }
+        let tile = self.tiling.tile(self.tile_idx);
+        let tile_start = self.cursor == tile.start;
+        // Tile barrier (Section 3.3): a new tile starts only after the
+        // pipeline has drained the previous one from this channel.
+        if tile_start && self.tile_idx > 0 && view.available(self.out) > 0 {
+            return Work::Wait;
+        }
+        let end = (self.cursor + SCAN_BATCH_ROWS).min(tile.end);
+        let rows = end - self.cursor;
+        // Conservative backpressure: every scanned row might survive.
+        let worst_packets = packets_for(rows, self.out_row_bytes, self.packet_bytes);
+        if view.space(self.out) < worst_packets {
+            return Work::Wait;
+        }
+        let t = self.db.table(&self.table);
+        let mut chunk = Chunk::new(self.num_slots + 1);
+        let mut accesses = Vec::with_capacity(self.cols.len() + self.lazy_cols.len());
+        for &(slot, ci, base, width) in &self.cols {
+            let col = t.col_at(ci);
+            chunk.fill(slot, (self.cursor..end).map(|r| col.get_i64(r)).collect());
+            accesses.push(MemRange::read(base + self.cursor as u64 * width, rows as u64 * width));
+        }
+        chunk.fill(self.rowid_slot, (self.cursor..end).map(|r| r as i64).collect());
+        let mut compute = rows as u64 * 2 * ops::INST_EXPANSION * self.cols.len() as u64;
+        let mut mem = rows as u64 * self.cols.len() as u64;
+        let mut out = apply_steps(&self.steps, chunk, &mut accesses, &mut compute, &mut mem);
+        if out.rows > 0 && !self.lazy_cols.is_empty() {
+            // Gather the shipped-only columns at surviving positions;
+            // consecutive survivors coalesce into contiguous reads.
+            let rowids: Vec<i64> = out.cols[self.rowid_slot].clone();
+            for &(slot, ci, base, width) in &self.lazy_cols {
+                let col = t.col_at(ci);
+                out.fill(slot, rowids.iter().map(|&r| col.get_i64(r as usize)).collect());
+                let mut run: Option<(i64, u64)> = None; // (start row, len)
+                for &r in &rowids {
+                    match run {
+                        Some((s, len)) if r == s + len as i64 => run = Some((s, len + 1)),
+                        _ => {
+                            if let Some((s, len)) = run {
+                                accesses
+                                    .push(MemRange::read(base + s as u64 * width, len * width));
+                            }
+                            run = Some((r, 1));
+                        }
+                    }
+                }
+                if let Some((s, len)) = run {
+                    accesses.push(MemRange::read(base + s as u64 * width, len * width));
+                }
+            }
+            compute += out.rows as u64 * 2 * ops::INST_EXPANSION * self.lazy_cols.len() as u64;
+            mem += out.rows as u64 * self.lazy_cols.len() as u64;
+        }
+        let mut unit = WorkUnit {
+            compute_insts: compute.div_ceil(self.wavefront)
+                + if tile_start { TILE_DISPATCH_INSTS } else { 0 },
+            mem_insts: mem.div_ceil(self.wavefront),
+            accesses,
+            ..Default::default()
+        };
+        if out.rows > 0 {
+            project_to(&mut out, &self.ship);
+            let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
+            self.out_q.borrow_mut().push_back((out, packets));
+            unit = unit.push(self.out, packets);
+        }
+        self.cursor = end;
+        if self.cursor == tile.end && self.cursor < total {
+            self.tile_idx += 1;
+        }
+        Work::Unit(unit)
+    }
+}
+
+/// A fused probe kernel: pops chunks, probes (+ fused maps), pushes.
+struct ProbeSource {
+    steps: Vec<ExecStep>,
+    ship: Vec<Slot>,
+    input: ChannelId,
+    in_q: DataQ,
+    out: ChannelId,
+    out_q: DataQ,
+    out_row_bytes: u64,
+    packet_bytes: u32,
+    wavefront: u64,
+}
+
+/// Pop as many whole chunks as the channel's available packets and the
+/// output budget allow. Returns (chunks, packets popped) or None.
+fn take_chunks(
+    view: &dyn ChannelView,
+    input: ChannelId,
+    in_q: &DataQ,
+    out_budget: Option<(u64, u64, u32)>, // (space, out_row_bytes, packet_bytes)
+) -> Option<(Vec<Chunk>, u64)> {
+    let mut budget_in = view.available(input);
+    if budget_in == 0 {
+        return None;
+    }
+    let mut q = in_q.borrow_mut();
+    let mut chunks = Vec::new();
+    let mut popped = 0u64;
+    let mut rows = 0usize;
+    while chunks.len() < MAX_CHUNKS_PER_UNIT {
+        let Some((chunk, packets)) = q.front() else { break };
+        if *packets > budget_in {
+            break;
+        }
+        if let Some((space, w, p)) = out_budget {
+            // Worst case: every input row survives.
+            let worst = packets_for(rows + chunk.rows, w, p);
+            if worst > space {
+                break;
+            }
+        }
+        budget_in -= *packets;
+        popped += *packets;
+        rows += chunk.rows;
+        let (chunk, _) = q.pop_front().expect("front exists");
+        chunks.push(chunk);
+    }
+    if chunks.is_empty() {
+        None
+    } else {
+        Some((chunks, popped))
+    }
+}
+
+/// Concatenate chunks slot-wise.
+fn concat(mut chunks: Vec<Chunk>) -> Chunk {
+    let mut merged = chunks.swap_remove(0);
+    for c in chunks {
+        for s in 0..merged.cols.len() {
+            if c.filled[s] {
+                if merged.filled[s] {
+                    merged.cols[s].extend_from_slice(&c.cols[s]);
+                } else {
+                    merged.cols[s] = c.cols[s].clone();
+                    merged.filled[s] = true;
+                }
+            }
+        }
+        merged.rows += c.rows;
+    }
+    merged
+}
+
+impl gpl_sim::WorkSource for ProbeSource {
+    fn next(&mut self, view: &dyn ChannelView) -> Work {
+        let out_budget = Some((view.space(self.out), self.out_row_bytes, self.packet_bytes));
+        match take_chunks(view, self.input, &self.in_q, out_budget) {
+            None => {
+                if view.eof(self.input) && self.in_q.borrow().is_empty() {
+                    Work::Done
+                } else {
+                    Work::Wait
+                }
+            }
+            Some((chunks, popped)) => {
+                let merged = concat(chunks);
+                let mut acc = Vec::new();
+                let mut compute = 0u64;
+                let mut mem = 0u64;
+                let mut out = apply_steps(&self.steps, merged, &mut acc, &mut compute, &mut mem);
+                let mut unit = WorkUnit {
+                    compute_insts: compute.div_ceil(self.wavefront).max(1),
+                    mem_insts: mem.div_ceil(self.wavefront),
+                    accesses: acc,
+                    ..Default::default()
+                }
+                .pop(self.input, popped);
+                if out.rows > 0 {
+                    project_to(&mut out, &self.ship);
+                    let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
+                    self.out_q.borrow_mut().push_back((out, packets));
+                    unit = unit.push(self.out, packets);
+                }
+                Work::Unit(unit)
+            }
+        }
+    }
+}
+
+/// What the blocking terminal does with each chunk.
+enum TermExec {
+    Build { table: Rc<RefCell<SimHashTable>>, key: Slot, payloads: Vec<Slot> },
+    Aggregate { store: Rc<RefCell<GroupStore>>, groups: Vec<Slot>, aggs: Vec<crate::plan::Agg> },
+}
+
+/// The terminal kernel: consumes packets and updates the blocking output
+/// (hash table or group store) — `k_hash_build` / `k_reduce*`.
+struct TermSource {
+    exec: TermExec,
+    input: ChannelId,
+    in_q: DataQ,
+    per_row_compute: u64,
+    per_row_mem: u64,
+    wavefront: u64,
+}
+
+impl gpl_sim::WorkSource for TermSource {
+    fn next(&mut self, view: &dyn ChannelView) -> Work {
+        match take_chunks(view, self.input, &self.in_q, None) {
+            None => {
+                if view.eof(self.input) && self.in_q.borrow().is_empty() {
+                    Work::Done
+                } else {
+                    Work::Wait
+                }
+            }
+            Some((chunks, popped)) => {
+                let mut acc = Vec::new();
+                let mut rows = 0usize;
+                for c in &chunks {
+                    rows += c.rows;
+                    match &self.exec {
+                        TermExec::Build { table, key, payloads } => {
+                            let mut t = table.borrow_mut();
+                            for r in 0..c.rows {
+                                let pay: Vec<i64> =
+                                    payloads.iter().map(|&p| c.cols[p][r]).collect();
+                                t.insert(c.cols[*key][r], &pay, &mut acc);
+                            }
+                        }
+                        TermExec::Aggregate { store, groups, aggs } => {
+                            let mut s = store.borrow_mut();
+                            for r in 0..c.rows {
+                                let keys: Vec<i64> = groups.iter().map(|&g| c.cols[g][r]).collect();
+                                let values: Vec<i64> =
+                                    aggs.iter().map(|a| a.expr.eval(&c.cols, r)).collect();
+                                s.update(&keys, &values, &mut acc);
+                            }
+                        }
+                    }
+                }
+                Work::Unit(
+                    WorkUnit {
+                        compute_insts: (rows as u64 * self.per_row_compute)
+                            .div_ceil(self.wavefront)
+                            .max(1),
+                        mem_insts: (rows as u64 * self.per_row_mem).div_ceil(self.wavefront),
+                        accesses: acc,
+                        ..Default::default()
+                    }
+                    .pop(self.input, popped),
+                )
+            }
+        }
+    }
+}
+
+/// Run one stage as a GPL pipeline.
+pub(crate) fn run_stage(
+    ctx: &mut ExecContext,
+    stage: &Stage,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    build: Option<&Rc<RefCell<SimHashTable>>>,
+    agg: Option<&Rc<RefCell<GroupStore>>>,
+    cfg: &StageConfig,
+) -> LaunchProfile {
+    let spec = ctx.sim.spec().clone();
+    let wavefront = spec.wavefront_size;
+    let live = live_slots(stage);
+    let groups = stage.gpl_fusion();
+    let num_kernels = groups.len() + 1;
+    assert_eq!(
+        cfg.wg_counts.len(),
+        num_kernels,
+        "stage {} needs {} wg counts",
+        stage.name,
+        num_kernels
+    );
+
+    // Edge e sits after kernel group e; it carries the slots live into the
+    // first op of group e+1 (or into the terminal for the last edge).
+    let num_edges = groups.len();
+    let edge_live: Vec<Vec<Slot>> = (0..num_edges)
+        .map(|e| {
+            if e + 1 < groups.len() {
+                live[groups[e + 1][0]].clone()
+            } else {
+                live[stage.ops.len()].clone()
+            }
+        })
+        .collect();
+
+    // Channel buffers are sized to the tile (Section 3.3); capacity is
+    // also kept large enough for the biggest single batch to avoid
+    // artificial deadlock, and floored at 64 packets.
+    let mut channels = Vec::with_capacity(num_edges);
+    let mut widths = Vec::with_capacity(num_edges);
+    let mut queues: Vec<DataQ> = Vec::with_capacity(num_edges);
+    for lv in &edge_live {
+        let width = Chunk::row_bytes(lv).max(8);
+        // A quarter of the tile may be in flight per edge (Section 3.3:
+        // buffers scale with the tile so the knob reaches the cache).
+        let tile_packets = (cfg.tile_bytes / 4).div_ceil(cfg.packet_bytes as u64);
+        let batch_packets = packets_for(SCAN_BATCH_ROWS, width, cfg.packet_bytes);
+        let cap_per_port = tile_packets
+            .div_ceil(cfg.n_channels as u64)
+            .max(2 * batch_packets)
+            .clamp(64, 1 << 24) as u32;
+        channels.push(ctx.sim.create_channel_with_capacity(
+            cfg.n_channels,
+            cfg.packet_bytes,
+            cap_per_port,
+        ));
+        widths.push(width);
+        queues.push(Rc::new(RefCell::new(VecDeque::new())));
+    }
+
+    let t = ctx.db.table(&stage.driver);
+    let layout = ctx.layout(&stage.driver);
+    // Split the loads: columns read by the fused leading ops stream
+    // eagerly; columns only shipped onward gather lazily post-filter.
+    let mut eager_slots: Vec<Slot> = Vec::new();
+    for &i in &groups[0] {
+        match &stage.ops[i] {
+            PipeOp::Filter(p) => p.slots(&mut eager_slots),
+            PipeOp::Probe { key, .. } => eager_slots.push(*key),
+            PipeOp::Compute { expr, .. } => expr.slots(&mut eager_slots),
+        }
+    }
+    let mut cols = Vec::new();
+    let mut lazy_cols = Vec::new();
+    for (slot, name) in stage.loads.iter().enumerate() {
+        let ci = t.col_index(name).expect("load column exists");
+        let width = t.col_at(ci).data_type().width();
+        let base = layout.scan(ci, 0..1).addr;
+        if eager_slots.contains(&slot) {
+            cols.push((slot, ci, base, width));
+        } else if edge_live[0].contains(&slot) {
+            lazy_cols.push((slot, ci, base, width));
+        }
+        // Loads neither read by the leading ops nor shipped are dead.
+    }
+    if cols.is_empty() {
+        // A pure pass-through leaf still needs one streamed column to
+        // drive the scan; promote the first lazy column.
+        if !lazy_cols.is_empty() {
+            cols.push(lazy_cols.remove(0));
+        }
+    }
+    let tiling = Tiling::by_bytes(t.rows(), stage_row_bytes(ctx, stage), cfg.tile_bytes);
+    let names = stage.gpl_kernel_names();
+
+    let mut kernels = Vec::with_capacity(num_kernels);
+    kernels.push(
+        KernelDesc::new(
+            names[0].clone(),
+            resources_for("map", wavefront),
+            cfg.wg_counts[0],
+            Box::new(LeafSource {
+                db: ctx.db.clone(),
+                table: stage.driver.clone(),
+                cols,
+                lazy_cols,
+                num_slots: stage.num_slots(),
+                rowid_slot: stage.num_slots(),
+                steps: groups[0].iter().map(|&i| ExecStep::from_op(&stage.ops[i], hts)).collect(),
+                ship: edge_live[0].clone(),
+                tiling,
+                tile_idx: 0,
+                cursor: 0,
+                out: channels[0],
+                out_q: queues[0].clone(),
+                out_row_bytes: widths[0],
+                packet_bytes: cfg.packet_bytes,
+                wavefront: wavefront as u64,
+            }),
+        )
+        .writes_channel(channels[0]),
+    );
+
+    for g in 1..groups.len() {
+        kernels.push(
+            KernelDesc::new(
+                names[g].clone(),
+                resources_for("probe", wavefront),
+                cfg.wg_counts[g],
+                Box::new(ProbeSource {
+                    steps: groups[g]
+                        .iter()
+                        .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
+                        .collect(),
+                    ship: edge_live[g].clone(),
+                    input: channels[g - 1],
+                    in_q: queues[g - 1].clone(),
+                    out: channels[g],
+                    out_q: queues[g].clone(),
+                    out_row_bytes: widths[g],
+                    packet_bytes: cfg.packet_bytes,
+                    wavefront: wavefront as u64,
+                }),
+            )
+            .reads_channel(channels[g - 1])
+            .writes_channel(channels[g]),
+        );
+    }
+
+    let (exec, flavour) = match &stage.terminal {
+        Terminal::HashBuild { key, payloads, .. } => (
+            TermExec::Build {
+                table: build.expect("build target").clone(),
+                key: *key,
+                payloads: payloads.clone(),
+            },
+            "build",
+        ),
+        Terminal::Aggregate { groups, aggs } => (
+            TermExec::Aggregate {
+                store: agg.expect("aggregate store").clone(),
+                groups: groups.clone(),
+                aggs: aggs.clone(),
+            },
+            "aggregate",
+        ),
+    };
+    let last = num_edges - 1;
+    kernels.push(
+        KernelDesc::new(
+            names[num_kernels - 1].clone(),
+            resources_for(flavour, wavefront),
+            cfg.wg_counts[num_kernels - 1],
+            Box::new(TermSource {
+                exec,
+                input: channels[last],
+                in_q: queues[last].clone(),
+                per_row_compute: ops::terminal_compute_insts(&stage.terminal),
+                per_row_mem: ops::terminal_mem_insts(&stage.terminal),
+                wavefront: wavefront as u64,
+            }),
+        )
+        .reads_channel(channels[last]),
+    );
+
+    ctx.sim.run(kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecContext, StageConfig};
+    use crate::plan::{listing1_plan, q14_plan};
+    use gpl_sim::amd_a10;
+    use gpl_storage::days;
+    use gpl_tpch::{Q14Params, TpchDb};
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(amd_a10(), TpchDb::at_scale(0.002))
+    }
+
+    fn cfg(stage: &Stage) -> StageConfig {
+        StageConfig::default_for(&amd_a10(), stage)
+    }
+
+    #[test]
+    fn listing1_pipeline_matches_reference_and_figure7() {
+        let mut ctx = ctx();
+        let cutoff = days("1998-11-01");
+        let plan = listing1_plan(cutoff);
+        let stage = &plan.stages[0];
+        // Figure 7c: the whole selection + projection fuses into one map
+        // kernel feeding k_reduce* — exactly two concurrent kernels.
+        assert_eq!(stage.gpl_kernel_names().len(), 2);
+        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 1, "t")));
+        let p = run_stage(&mut ctx, stage, &[], None, Some(&agg), &cfg(stage));
+        let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
+        let want = gpl_tpch::reference::listing1(&ctx.db, cutoff);
+        assert_eq!(got, want.rows);
+        assert_eq!(p.kernels.len(), 2);
+        assert!(p.total_dc_cycles() > 0, "channels must be exercised");
+    }
+
+    #[test]
+    fn q14_pipeline_matches_reference() {
+        let mut ctx = ctx();
+        let params = Q14Params::default();
+        let plan = q14_plan(&ctx.db, params);
+        let ht = Rc::new(RefCell::new(SimHashTable::new(
+            &mut ctx.sim.mem,
+            ctx.db.part.rows(),
+            1,
+            "part",
+        )));
+        let s0 = &plan.stages[0];
+        run_stage(&mut ctx, s0, &[], Some(&ht), None, &cfg(s0));
+        assert_eq!(ht.borrow().len(), ctx.db.part.rows());
+
+        let hts = vec![Some(ht)];
+        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 2, "t")));
+        let s1 = &plan.stages[1];
+        // Q14's probe pipeline: leaf map, probe(+fused maps), reduce.
+        assert_eq!(s1.gpl_kernel_names().len(), 3);
+        run_stage(&mut ctx, s1, &hts, None, Some(&agg), &cfg(s1));
+        let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
+        let want = gpl_tpch::reference::q14(&ctx.db, params);
+        assert_eq!(got, want.rows);
+    }
+
+    #[test]
+    fn gpl_materializes_less_than_kbe() {
+        let cutoff = days("1998-11-01");
+        let plan = listing1_plan(cutoff);
+        let stage = &plan.stages[0];
+
+        let mut c1 = ctx();
+        let agg1 = Rc::new(RefCell::new(GroupStore::new(&mut c1.sim.mem, 4, 0, 1, "t")));
+        let rows = c1.db.lineitem.rows();
+        let kbe_prof =
+            crate::kbe::run_stage_range(&mut c1, stage, &[], None, Some(&agg1), 0..rows);
+
+        let mut c2 = ctx();
+        let agg2 = Rc::new(RefCell::new(GroupStore::new(&mut c2.sim.mem, 4, 0, 1, "t")));
+        let gpl_prof = run_stage(&mut c2, stage, &[], None, Some(&agg2), &cfg(stage));
+
+        assert!(
+            gpl_prof.intermediate_footprint() < kbe_prof.intermediate_footprint() / 4,
+            "GPL {} vs KBE {} materialized intermediate footprint",
+            gpl_prof.intermediate_footprint(),
+            kbe_prof.intermediate_footprint()
+        );
+    }
+
+    #[test]
+    fn fusion_groups_probe_boundaries() {
+        let db = TpchDb::at_scale(0.002);
+        let plan = crate::plan::q8_plan(&db);
+        let probe_stage = plan.stages.last().unwrap();
+        let groups = probe_stage.gpl_fusion();
+        // Q8 probe pipeline: the leaf fuses the first probe (no leading
+        // selection), then 3 more probes, with the computes fused into
+        // the last one.
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].len(), 1, "leaf absorbs the steel semi-probe");
+        assert_eq!(groups[3].len(), 4, "last probe absorbs 3 computes");
+        assert_eq!(probe_stage.gpl_kernel_names().len(), 5);
+    }
+}

@@ -1,0 +1,292 @@
+//! Simulated-placement hash tables and group-aggregation stores.
+//!
+//! Functionally these are ordinary Rust maps; *architecturally* each
+//! insert/probe reports a random-access touch on the table's simulated
+//! region, so the cache simulator sees realistic hash-join traffic. Hash
+//! tables live in `HashTable` regions — the paper counts them among the
+//! intermediates that blocking kernels must materialize (Section 5.3.2).
+
+use gpl_sim::mem::{MemRange, MemoryMap, RegionClass, RegionId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Mixer from splitmix64 — deterministic, well-spread bucket indexes.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A unique-key hash table (all TPC-H joins here are key–FK joins).
+#[derive(Debug)]
+pub struct SimHashTable {
+    map: HashMap<i64, Vec<i64>>,
+    payload_width: usize,
+    base: u64,
+    buckets: u64,
+    entry_bytes: u64,
+    pub region: RegionId,
+}
+
+impl SimHashTable {
+    /// Allocate a table sized for `expected` keys with `payload_width`
+    /// payload values per key.
+    pub fn new(
+        mem: &mut MemoryMap,
+        expected: usize,
+        payload_width: usize,
+        label: impl Into<String>,
+    ) -> Self {
+        let buckets = (expected.max(1) * 2).next_power_of_two() as u64;
+        let entry_bytes = 8 * (1 + payload_width as u64);
+        let region = mem.alloc(buckets * entry_bytes, RegionClass::HashTable, label);
+        SimHashTable {
+            map: HashMap::with_capacity(expected),
+            payload_width,
+            base: mem.base(region),
+            buckets,
+            entry_bytes,
+            region,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn payload_width(&self) -> usize {
+        self.payload_width
+    }
+
+    /// Simulated bytes the table occupies (its materialization footprint).
+    pub fn bytes(&self) -> u64 {
+        self.buckets * self.entry_bytes
+    }
+
+    fn bucket_access(&self, key: i64) -> MemRange {
+        let b = mix64(key as u64) & (self.buckets - 1);
+        MemRange::read(self.base + b * self.entry_bytes, self.entry_bytes)
+    }
+
+    /// Insert a key; reports the bucket write into `acc`. Panics on
+    /// duplicate keys — the workload's build sides are all unique.
+    pub fn insert(&mut self, key: i64, payload: &[i64], acc: &mut Vec<MemRange>) {
+        assert_eq!(payload.len(), self.payload_width, "payload width mismatch");
+        let mut a = self.bucket_access(key);
+        a.write = true;
+        acc.push(a);
+        let prev = self.map.insert(key, payload.to_vec());
+        assert!(prev.is_none(), "duplicate build key {key}");
+    }
+
+    /// Probe a key; reports the bucket read into `acc`.
+    pub fn probe(&self, key: i64, acc: &mut Vec<MemRange>) -> Option<&[i64]> {
+        acc.push(self.bucket_access(key));
+        self.map.get(&key).map(|v| v.as_slice())
+    }
+}
+
+/// Aggregate function kinds supported by the group store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    Sum,
+    /// Counts rows; the evaluated input value is ignored.
+    Count,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    /// Identity element of the fold.
+    pub fn init(self) -> i64 {
+        match self {
+            AggKind::Sum | AggKind::Count => 0,
+            AggKind::Min => i64::MAX,
+            AggKind::Max => i64::MIN,
+        }
+    }
+
+    /// Fold one value into the accumulator.
+    #[inline]
+    pub fn fold(self, acc: i64, v: i64) -> i64 {
+        match self {
+            AggKind::Sum => acc + v,
+            AggKind::Count => acc + 1,
+            AggKind::Min => acc.min(v),
+            AggKind::Max => acc.max(v),
+        }
+    }
+}
+
+/// Hash-aggregation store: `groups → running aggregates`, with simulated
+/// read-modify-write traffic per update.
+#[derive(Debug)]
+pub struct GroupStore {
+    groups: BTreeMap<Vec<i64>, Vec<i64>>,
+    kinds: Vec<AggKind>,
+    key_width: usize,
+    base: u64,
+    buckets: u64,
+    entry_bytes: u64,
+    pub region: RegionId,
+}
+
+impl GroupStore {
+    /// A store whose aggregates are all sums (the common case).
+    pub fn new(
+        mem: &mut MemoryMap,
+        expected_groups: usize,
+        key_width: usize,
+        num_sums: usize,
+        label: impl Into<String>,
+    ) -> Self {
+        Self::with_kinds(mem, expected_groups, key_width, vec![AggKind::Sum; num_sums], label)
+    }
+
+    pub fn with_kinds(
+        mem: &mut MemoryMap,
+        expected_groups: usize,
+        key_width: usize,
+        kinds: Vec<AggKind>,
+        label: impl Into<String>,
+    ) -> Self {
+        let buckets = (expected_groups.max(1) * 2).next_power_of_two() as u64;
+        let entry_bytes = 8 * (key_width.max(1) + kinds.len()) as u64;
+        let region = mem.alloc(buckets * entry_bytes, RegionClass::Intermediate, label);
+        GroupStore {
+            groups: BTreeMap::new(),
+            kinds,
+            key_width,
+            base: mem.base(region),
+            buckets,
+            entry_bytes,
+            region,
+        }
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Fold `values` into the aggregates of group `keys`; reports the
+    /// read-modify-write on the group's bucket.
+    pub fn update(&mut self, keys: &[i64], values: &[i64], acc: &mut Vec<MemRange>) {
+        debug_assert_eq!(values.len(), self.kinds.len());
+        let mut h = 0u64;
+        for &k in keys {
+            h = mix64(h ^ k as u64);
+        }
+        let b = h & (self.buckets - 1);
+        let addr = self.base + b * self.entry_bytes;
+        acc.push(MemRange::read(addr, self.entry_bytes));
+        acc.push(MemRange::write(addr, self.entry_bytes));
+        let kinds = &self.kinds;
+        let aggs = self
+            .groups
+            .entry(keys.to_vec())
+            .or_insert_with(|| kinds.iter().map(|k| k.init()).collect());
+        for ((a, v), k) in aggs.iter_mut().zip(values).zip(kinds) {
+            *a = k.fold(*a, *v);
+        }
+    }
+
+    /// Drain into result rows `keys ++ aggregates`, in deterministic key
+    /// order. A *scalar* aggregate (no group keys) with no input yields
+    /// one row of fold identities (0 for SUM/COUNT, the sentinels for
+    /// MIN/MAX); a grouped aggregate over no input yields no rows, as in
+    /// SQL.
+    pub fn into_rows(mut self) -> Vec<Vec<i64>> {
+        if self.groups.is_empty() && self.key_width == 0 && !self.kinds.is_empty() {
+            self.groups.insert(Vec::new(), self.kinds.iter().map(|k| k.init()).collect());
+        }
+        self.groups
+            .into_iter()
+            .map(|(mut k, s)| {
+                k.extend(s);
+                k
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_probe_roundtrips() {
+        let mut mem = MemoryMap::new();
+        let mut ht = SimHashTable::new(&mut mem, 10, 2, "t");
+        let mut acc = Vec::new();
+        ht.insert(5, &[50, 55], &mut acc);
+        ht.insert(-7, &[70, 77], &mut acc);
+        assert_eq!(ht.probe(5, &mut acc), Some(&[50i64, 55][..]));
+        assert_eq!(ht.probe(-7, &mut acc), Some(&[70i64, 77][..]));
+        assert_eq!(ht.probe(8, &mut acc), None);
+        assert_eq!(ht.len(), 2);
+        // Every operation touched the table's region.
+        assert_eq!(acc.len(), 5);
+        let region_base = mem.base(ht.region);
+        for a in &acc {
+            assert!(a.addr >= region_base && a.addr < region_base + ht.bytes());
+        }
+        // Inserts write, probes read.
+        assert!(acc[0].write && acc[1].write);
+        assert!(!acc[2].write && !acc[3].write && !acc[4].write);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_key_panics() {
+        let mut mem = MemoryMap::new();
+        let mut ht = SimHashTable::new(&mut mem, 4, 0, "t");
+        let mut acc = Vec::new();
+        ht.insert(1, &[], &mut acc);
+        ht.insert(1, &[], &mut acc);
+    }
+
+    #[test]
+    fn group_store_sums_per_group() {
+        let mut mem = MemoryMap::new();
+        let mut g = GroupStore::new(&mut mem, 8, 1, 2, "agg");
+        let mut acc = Vec::new();
+        g.update(&[1], &[10, 1], &mut acc);
+        g.update(&[2], &[20, 2], &mut acc);
+        g.update(&[1], &[5, 1], &mut acc);
+        let rows = g.into_rows();
+        assert_eq!(rows, vec![vec![1, 15, 2], vec![2, 20, 2]]);
+        // Each update is a read + a write.
+        assert_eq!(acc.len(), 6);
+        assert!(acc.iter().step_by(2).all(|a| !a.write));
+        assert!(acc.iter().skip(1).step_by(2).all(|a| a.write));
+    }
+
+    #[test]
+    fn scalar_aggregate_yields_zero_row_when_empty() {
+        let mut mem = MemoryMap::new();
+        let g = GroupStore::new(&mut mem, 1, 0, 2, "agg");
+        assert_eq!(g.into_rows(), vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn grouped_aggregate_yields_no_rows_when_empty() {
+        let mut mem = MemoryMap::new();
+        let g = GroupStore::new(&mut mem, 8, 1, 2, "agg");
+        assert!(g.into_rows().is_empty(), "grouped empty input has no groups");
+    }
+
+    #[test]
+    fn mix64_spreads_consecutive_keys() {
+        let buckets = 1024u64;
+        let mut hit = std::collections::HashSet::new();
+        for k in 0..512u64 {
+            hit.insert(mix64(k) & (buckets - 1));
+        }
+        assert!(hit.len() > 300, "consecutive keys must spread: {}", hit.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! # gpl-core — the GPL pipelined query engine (the paper's contribution)
+//!
+//! Implements the system of *GPL: A GPU-based Pipelined Query Processing
+//! Engine* (SIGMOD'16) against the `gpl-sim` device:
+//!
+//! * [`plan`] — segmented physical plans: pipelines of operators cut at
+//!   blocking kernels, with hand-verified plans for the paper's workload
+//!   (TPC-H Q5/Q7/Q8/Q9/Q14 and the Listing-1 example).
+//! * [`kbe`] — the kernel-based-execution baseline (Section 2.2): one
+//!   kernel at a time, map + prefix-sum + scatter decomposition, every
+//!   intermediate materialized in global memory.
+//! * [`gpl`] — the pipelined executor (Section 3): concurrent kernels in
+//!   a segment connected by channels, tiled input, fine-grained
+//!   work-group coordination.
+//! * [`exec`] — execution modes (KBE / GPL w/o CE / GPL), configuration
+//!   knobs (Δ, n, p, wg_Ki) and the query runner.
+//! * [`expr`], [`ops`], [`ht`] — the operator/kernel building blocks.
+//! * [`partitioned`] — the radix hash join Section 3.2 sketches as an
+//!   extension, measurable against monolithic probing.
+//!
+//! Results of every mode are validated bit-for-bit against the CPU
+//! reference in `gpl-tpch`.
+
+pub mod exec;
+pub mod expr;
+pub mod gpl;
+pub mod ht;
+pub mod kbe;
+pub mod ops;
+pub mod partitioned;
+pub mod plan;
+pub mod replay;
+
+pub use exec::{run_query, ExecContext, ExecMode, QueryConfig, QueryRun, StageConfig};
+pub use expr::{CmpOp, Expr, Pred, Slot};
+pub use ht::AggKind;
+pub use plan::{plan_for, Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal};

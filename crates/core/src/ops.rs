@@ -1,0 +1,293 @@
+//! Shared operator primitives: functional chunk transforms plus the cost
+//! estimates both executors report to the simulator.
+//!
+//! A [`Chunk`] is the columnar row context flowing through a pipeline —
+//! a tile's worth of rows in GPL, the whole relation in KBE. Transforms
+//! are pure Rust (results are exact); hash-table traffic is reported via
+//! the access vectors the callers pass down to the simulator.
+
+use crate::expr::{Expr, Pred, Slot};
+use crate::ht::SimHashTable;
+use crate::plan::{PipeOp, Stage, Terminal};
+use gpl_sim::mem::MemRange;
+use std::collections::BTreeSet;
+
+/// A batch of rows in slot-columnar form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    pub cols: Vec<Vec<i64>>,
+    pub filled: Vec<bool>,
+    pub rows: usize,
+}
+
+impl Chunk {
+    pub fn new(num_slots: usize) -> Self {
+        Chunk { cols: vec![Vec::new(); num_slots], filled: vec![false; num_slots], rows: 0 }
+    }
+
+    /// Fill slot `s` with values (must match current row count unless the
+    /// chunk is still empty).
+    pub fn fill(&mut self, s: Slot, vals: Vec<i64>) {
+        if self.filled.iter().any(|&f| f) {
+            assert_eq!(vals.len(), self.rows, "slot {s} length mismatch");
+        } else {
+            self.rows = vals.len();
+        }
+        self.cols[s] = vals;
+        self.filled[s] = true;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Bytes per row if `live` slots travel in a channel packet stream.
+    pub fn row_bytes(live: &[Slot]) -> u64 {
+        (live.len() as u64) * 8
+    }
+}
+
+/// Filter: retain rows satisfying `pred` across all filled slots.
+pub fn apply_filter(c: &Chunk, pred: &Pred) -> Chunk {
+    let keep: Vec<usize> = (0..c.rows).filter(|&r| pred.eval(&c.cols, r)).collect();
+    let mut out = Chunk::new(c.cols.len());
+    out.rows = keep.len();
+    for s in 0..c.cols.len() {
+        if c.filled[s] {
+            out.cols[s] = keep.iter().map(|&r| c.cols[s][r]).collect();
+            out.filled[s] = true;
+        }
+    }
+    out
+}
+
+/// Probe: keep matching rows, appending payload slots. Reports one bucket
+/// access per input row into `acc`.
+pub fn apply_probe(
+    c: &Chunk,
+    ht: &SimHashTable,
+    key: Slot,
+    payloads: &[Slot],
+    acc: &mut Vec<MemRange>,
+) -> Chunk {
+    let mut out = Chunk::new(c.cols.len());
+    let mut keep: Vec<usize> = Vec::new();
+    let mut pay: Vec<Vec<i64>> = vec![Vec::new(); payloads.len()];
+    for r in 0..c.rows {
+        if let Some(p) = ht.probe(c.cols[key][r], acc) {
+            keep.push(r);
+            for (i, v) in p.iter().enumerate() {
+                pay[i].push(*v);
+            }
+        }
+    }
+    out.rows = keep.len();
+    for s in 0..c.cols.len() {
+        if c.filled[s] {
+            out.cols[s] = keep.iter().map(|&r| c.cols[s][r]).collect();
+            out.filled[s] = true;
+        }
+    }
+    for (i, &s) in payloads.iter().enumerate() {
+        out.cols[s] = std::mem::take(&mut pay[i]);
+        out.filled[s] = true;
+    }
+    out
+}
+
+/// Compute: evaluate `expr` into slot `out` (in place).
+pub fn apply_compute(c: &mut Chunk, expr: &Expr, out: Slot) {
+    let vals: Vec<i64> = (0..c.rows).map(|r| expr.eval(&c.cols, r)).collect();
+    c.fill(out, vals);
+}
+
+/// ISA expansion factor: every logical expression node costs several
+/// machine instructions on a GPU (address arithmetic, predication, lane
+/// masking). Applied uniformly to all engines.
+pub const INST_EXPANSION: u64 = 3;
+
+/// Per-row compute-instruction estimate of a pipeline op (program-analysis
+/// input `c_inst`).
+pub fn op_compute_insts(op: &PipeOp) -> u64 {
+    INST_EXPANSION
+        * match op {
+            PipeOp::Filter(p) => p.insts() + 1,
+            // Hash + bucket fetch + compare + payload moves.
+            PipeOp::Probe { payloads, .. } => 10 + payloads.len() as u64,
+            PipeOp::Compute { expr, .. } => expr.insts() + 1,
+        }
+}
+
+/// Per-row memory-instruction estimate of a pipeline op (`m_inst`).
+pub fn op_mem_insts(op: &PipeOp) -> u64 {
+    match op {
+        PipeOp::Filter(_) | PipeOp::Compute { .. } => 0,
+        PipeOp::Probe { payloads, .. } => 1 + payloads.len() as u64,
+    }
+}
+
+/// Per-row estimates for a terminal.
+pub fn terminal_compute_insts(t: &Terminal) -> u64 {
+    INST_EXPANSION
+        * match t {
+            Terminal::HashBuild { payloads, .. } => 10 + payloads.len() as u64,
+            Terminal::Aggregate { groups, aggs } => {
+                6 + 2 * groups.len() as u64 + aggs.iter().map(|a| a.expr.insts()).sum::<u64>()
+            }
+        }
+}
+
+pub fn terminal_mem_insts(t: &Terminal) -> u64 {
+    match t {
+        Terminal::HashBuild { payloads, .. } => 1 + payloads.len() as u64,
+        Terminal::Aggregate { groups, aggs } => (groups.len() + aggs.len()) as u64 + 1,
+    }
+}
+
+/// Live slots *entering* each kernel of the stage's GPL pipeline:
+/// element `0` is what the scan kernel must emit (live into `ops[0]`),
+/// element `i` what flows into `ops[i]`, and the final element what the
+/// terminal consumes. Channel packet math uses these widths.
+pub fn live_slots(stage: &Stage) -> Vec<Vec<Slot>> {
+    let n = stage.ops.len();
+    let mut live_after: Vec<BTreeSet<Slot>> = vec![BTreeSet::new(); n + 1];
+    // Live into the terminal.
+    let mut t = Vec::new();
+    match &stage.terminal {
+        Terminal::HashBuild { key, payloads, .. } => {
+            t.push(*key);
+            t.extend(payloads);
+        }
+        Terminal::Aggregate { groups, aggs } => {
+            t.extend(groups);
+            for a in aggs {
+                a.expr.slots(&mut t);
+            }
+        }
+    }
+    live_after[n] = t.into_iter().collect();
+    // Walk backwards: live into op i = (live out of op i minus what it
+    // defines) plus what it reads.
+    for i in (0..n).rev() {
+        let mut set = live_after[i + 1].clone();
+        let mut reads = Vec::new();
+        match &stage.ops[i] {
+            PipeOp::Filter(p) => p.slots(&mut reads),
+            PipeOp::Probe { key, payloads, .. } => {
+                for s in payloads {
+                    set.remove(s);
+                }
+                reads.push(*key);
+            }
+            PipeOp::Compute { expr, out } => {
+                set.remove(out);
+                expr.slots(&mut reads);
+            }
+        }
+        set.extend(reads);
+        live_after[i] = set;
+    }
+    live_after.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+/// Sort result rows by the stage's order spec with full tie-break —
+/// identical to [`gpl_tpch::QueryOutput::sort_by`], exposed for the sort
+/// kernel implementations.
+pub fn sort_rows(rows: &mut [Vec<i64>], order: &[(usize, bool)]) {
+    rows.sort_by(|a, b| {
+        for &(col, desc) in order {
+            let c = a[col].cmp(&b[col]);
+            if c != std::cmp::Ordering::Equal {
+                return if desc { c.reverse() } else { c };
+            }
+        }
+        a.cmp(b)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use gpl_sim::mem::MemoryMap;
+
+    fn chunk3() -> Chunk {
+        let mut c = Chunk::new(4);
+        c.fill(0, vec![1, 2, 3]);
+        c.fill(1, vec![10, 20, 30]);
+        c
+    }
+
+    #[test]
+    fn filter_compacts_filled_slots() {
+        let c = chunk3();
+        let out = apply_filter(&c, &Pred::cmp(CmpOp::Ge, Expr::slot(0), Expr::lit(2)));
+        assert_eq!(out.rows, 2);
+        assert_eq!(out.cols[0], vec![2, 3]);
+        assert_eq!(out.cols[1], vec![20, 30]);
+        assert!(!out.filled[2]);
+    }
+
+    #[test]
+    fn probe_extends_and_drops() {
+        let mut mem = MemoryMap::new();
+        let mut ht = SimHashTable::new(&mut mem, 4, 1, "t");
+        let mut acc = Vec::new();
+        ht.insert(1, &[100], &mut acc);
+        ht.insert(3, &[300], &mut acc);
+        let c = chunk3();
+        acc.clear();
+        let out = apply_probe(&c, &ht, 0, &[2], &mut acc);
+        assert_eq!(out.rows, 2);
+        assert_eq!(out.cols[0], vec![1, 3]);
+        assert_eq!(out.cols[1], vec![10, 30]);
+        assert_eq!(out.cols[2], vec![100, 300]);
+        assert_eq!(acc.len(), 3, "one bucket access per input row");
+    }
+
+    #[test]
+    fn compute_fills_slot() {
+        let mut c = chunk3();
+        apply_compute(&mut c, &Expr::slot(0).add(Expr::slot(1)), 2);
+        assert_eq!(c.cols[2], vec![11, 22, 33]);
+        assert!(c.filled[2]);
+    }
+
+    #[test]
+    fn liveness_narrows_the_stream() {
+        use crate::plan::{Stage, Terminal};
+        // Loads 0,1,2; filter on 0; compute 3 = 1+2; aggregate sums 3.
+        let st = Stage {
+            name: "t".into(),
+            driver: "lineitem".into(),
+            loads: vec!["a".into(), "b".into(), "c".into()],
+            ops: vec![
+                PipeOp::Filter(Pred::cmp(CmpOp::Ge, Expr::slot(0), Expr::lit(0))),
+                PipeOp::Compute { expr: Expr::slot(1).add(Expr::slot(2)), out: 3 },
+            ],
+            terminal: Terminal::sum_aggregate(vec![], vec![Expr::slot(3)]),
+        };
+        let live = live_slots(&st);
+        assert_eq!(live.len(), 3);
+        assert_eq!(live[0], vec![0, 1, 2], "filter needs 0; compute needs 1,2");
+        assert_eq!(live[1], vec![1, 2], "slot 0 dead after the filter");
+        assert_eq!(live[2], vec![3], "terminal needs only the computed slot");
+        assert_eq!(Chunk::row_bytes(&live[2]), 8);
+    }
+
+    #[test]
+    fn op_costs_are_positive_and_scale() {
+        let f = PipeOp::Filter(Pred::True);
+        let p = PipeOp::Probe { ht: 0, key: 0, payloads: vec![1, 2] };
+        assert!(op_compute_insts(&f) >= 1);
+        assert_eq!(op_mem_insts(&p), 3);
+        assert!(op_compute_insts(&p) > op_compute_insts(&f));
+    }
+
+    #[test]
+    fn sort_rows_full_tiebreak() {
+        let mut rows = vec![vec![1, 5], vec![2, 5], vec![0, 9]];
+        sort_rows(&mut rows, &[(1, true)]);
+        assert_eq!(rows, vec![vec![0, 9], vec![1, 5], vec![2, 5]]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Program-analysis inputs (Table 2): per-kernel resource usage,
+//! instruction counts and data widths, assembled into a [`StageModel`]
+//! the Eq. 2–9 evaluator consumes.
+
+use crate::stats::PlanStats;
+use gpl_core::ops;
+use gpl_core::plan::{PipeOp, QueryPlan, Stage, Terminal};
+use gpl_sim::{DeviceSpec, ResourceUsage};
+use gpl_tpch::TpchDb;
+
+/// Cost-relevant description of one GPL kernel.
+#[derive(Debug, Clone)]
+pub struct KernelModel {
+    pub name: String,
+    /// Program-analysis resource usage (`pm_Ki`, `lm_Ki`, `wi_Ki`).
+    pub resources: ResourceUsage,
+    /// Per input row: compute instructions (pre-wavefront division).
+    pub per_row_compute: u64,
+    /// Per input row: memory instructions.
+    pub per_row_mem: u64,
+    /// Input rows / tile rows (product of upstream λ).
+    pub in_ratio: f64,
+    /// Output rows / input rows (this kernel's λ).
+    pub lambda: f64,
+    /// Channel row width flowing in (0 for the leaf).
+    pub in_width: u64,
+    /// Channel row width flowing out (0 for the terminal).
+    pub out_width: u64,
+    /// Global bytes the leaf streams eagerly per driver row (0 otherwise).
+    pub scan_bytes_per_row: u64,
+    /// Bytes per *surviving* row the leaf gathers lazily (shipped-only
+    /// columns, read post-filter at line granularity).
+    pub lazy_bytes_per_row: u64,
+    /// Hash-table / group-store bytes touched per input row.
+    pub ht_access_bytes: u64,
+    /// Footprint of the randomly-accessed structures (for the cache-hit
+    /// surrogate).
+    pub ht_footprint: u64,
+    /// First-touch structure writes (hash builds): every bucket write is
+    /// a cold miss regardless of footprint.
+    pub cold_ht: bool,
+}
+
+/// Cost-relevant description of one stage (segment).
+#[derive(Debug, Clone)]
+pub struct StageModel {
+    pub name: String,
+    pub driver_rows: u64,
+    /// Bytes per driver row across loaded columns (tiling input).
+    pub row_bytes: u64,
+    pub kernels: Vec<KernelModel>,
+}
+
+fn ht_geometry(expected_rows: f64, payloads: usize) -> (u64, u64) {
+    let entry = 8 * (1 + payloads as u64);
+    let buckets = ((expected_rows.max(1.0) as usize) * 2).next_power_of_two() as u64;
+    (entry, buckets * entry)
+}
+
+fn resources_for(flavour: &str, wavefront: u32) -> ResourceUsage {
+    // Must mirror the executors' declarations (kbe.rs / gpl.rs).
+    match flavour {
+        "map" => ResourceUsage::new(wavefront, 64, 0),
+        "probe" => ResourceUsage::new(wavefront, 96, 0),
+        "build" => ResourceUsage::new(wavefront, 96, 2048),
+        "aggregate" => ResourceUsage::new(wavefront, 64, 8192),
+        other => panic!("unknown flavour {other}"),
+    }
+}
+
+/// Build the stage models for a plan, using the λ estimates of
+/// [`crate::stats::estimate`].
+pub fn build_models(
+    db: &TpchDb,
+    plan: &QueryPlan,
+    stats: &PlanStats,
+    spec: &DeviceSpec,
+) -> Vec<StageModel> {
+    let wavefront = spec.wavefront_size;
+    plan.stages
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| build_stage_model(db, plan, stage, &stats.stage_lambdas[si], stats, spec, wavefront))
+        .collect()
+}
+
+fn build_stage_model(
+    db: &TpchDb,
+    _plan: &QueryPlan,
+    stage: &Stage,
+    lambdas: &[f64],
+    stats: &PlanStats,
+    _spec: &DeviceSpec,
+    wavefront: u32,
+) -> StageModel {
+    let t = db.table(&stage.driver);
+    let live = ops::live_slots(stage);
+    let groups = stage.gpl_fusion();
+    let names = stage.gpl_kernel_names();
+    let row_bytes: u64 =
+        stage.loads.iter().map(|c| t.col(c).data_type().width()).sum::<u64>().max(1);
+
+    // Eager vs lazy leaf columns (mirrors gpl.rs): columns read by the
+    // fused leading ops stream; shipped-only columns gather post-filter.
+    let mut eager_slots: Vec<usize> = Vec::new();
+    for &i in &groups[0] {
+        match &stage.ops[i] {
+            PipeOp::Filter(p) => p.slots(&mut eager_slots),
+            PipeOp::Probe { key, .. } => eager_slots.push(*key),
+            PipeOp::Compute { expr, .. } => expr.slots(&mut eager_slots),
+        }
+    }
+    let first_edge_live = if groups.len() > 1 { &live[groups[1][0]] } else { &live[stage.ops.len()] };
+    let leaf_lambda = lambdas[0].max(1e-6);
+    let mut eager_bytes = 0u64;
+    let mut eager_cols = 0u64;
+    let mut lazy_bytes = 0.0f64;
+    let mut lazy_cols = 0u64;
+    for (slot, name) in stage.loads.iter().enumerate() {
+        let w = t.col(name).data_type().width();
+        if eager_slots.contains(&slot) {
+            eager_bytes += w;
+            eager_cols += 1;
+        } else if first_edge_live.contains(&slot) {
+            // A gather transfers whole lines for sparse survivors but
+            // converges to the plain column stream when they are dense:
+            // the per-survivor cost is min(line, width / λ).
+            lazy_bytes += (w as f64 / leaf_lambda).min(64.0);
+            lazy_cols += 1;
+        }
+    }
+    if eager_cols == 0 && lazy_cols > 0 {
+        let w = stage.loads.first().map(|c| t.col(c).data_type().width()).unwrap_or(4);
+        eager_bytes = w;
+        eager_cols = 1;
+        lazy_bytes = (lazy_bytes - (w as f64 / leaf_lambda).min(64.0)).max(0.0);
+        lazy_cols -= 1;
+    }
+
+    let edge_width = |g: usize| -> u64 {
+        // Width of the channel after kernel group g (matches gpl.rs).
+        let lv = if g + 1 < groups.len() { &live[groups[g + 1][0]] } else { &live[stage.ops.len()] };
+        (lv.len() as u64 * 8).max(8)
+    };
+
+    let mut kernels = Vec::with_capacity(groups.len() + 1);
+    let mut in_ratio = 1.0;
+    for (g, ops_idx) in groups.iter().enumerate() {
+        let mut per_row_compute = 0u64;
+        let mut per_row_mem = 0u64;
+        let mut ht_access = 0u64;
+        let mut ht_foot = 0u64;
+        if g == 0 {
+            // Eager columns are loaded for every row; lazy ones only for
+            // the survivors (scale their issue cost by λ).
+            per_row_compute += 2 * ops::INST_EXPANSION * eager_cols
+                + (2.0 * ops::INST_EXPANSION as f64 * lazy_cols as f64 * lambdas[0]) as u64;
+            per_row_mem += eager_cols + (lazy_cols as f64 * lambdas[0]) as u64;
+        }
+        for &i in ops_idx {
+            let op = &stage.ops[i];
+            per_row_compute += ops::op_compute_insts(op);
+            per_row_mem += ops::op_mem_insts(op);
+            if let PipeOp::Probe { ht, payloads, .. } = op {
+                let (entry, foot) = ht_geometry(stats.ht_rows[*ht], payloads.len());
+                ht_access += entry;
+                ht_foot += foot;
+            }
+        }
+        kernels.push(KernelModel {
+            name: names[g].clone(),
+            resources: resources_for(if g == 0 { "map" } else { "probe" }, wavefront),
+            per_row_compute,
+            per_row_mem,
+            in_ratio,
+            lambda: lambdas[g],
+            in_width: if g == 0 { 0 } else { edge_width(g - 1) },
+            out_width: edge_width(g),
+            scan_bytes_per_row: if g == 0 { eager_bytes } else { 0 },
+            lazy_bytes_per_row: if g == 0 { lazy_bytes as u64 } else { 0 },
+            ht_access_bytes: ht_access,
+            ht_footprint: ht_foot,
+            cold_ht: false,
+        });
+        in_ratio *= lambdas[g];
+    }
+
+    // The terminal kernel.
+    let (flavour, ht_access, ht_foot) = match &stage.terminal {
+        Terminal::HashBuild { payloads, .. } => {
+            let expected = in_ratio * t.rows() as f64;
+            let (entry, foot) = ht_geometry(expected.max(1.0), payloads.len());
+            ("build", entry, foot)
+        }
+        Terminal::Aggregate { groups, aggs } => {
+            let expected = if groups.is_empty() { 1.0 } else { 4096.0 };
+            let entry = 8 * (groups.len().max(1) + aggs.len()) as u64;
+            let buckets = ((expected as usize) * 2).next_power_of_two() as u64;
+            ("aggregate", 2 * entry, buckets * entry)
+        }
+    };
+    kernels.push(KernelModel {
+        name: names.last().expect("terminal").clone(),
+        resources: resources_for(flavour, wavefront),
+        per_row_compute: ops::terminal_compute_insts(&stage.terminal),
+        per_row_mem: ops::terminal_mem_insts(&stage.terminal),
+        in_ratio,
+        lambda: 0.0,
+        in_width: edge_width(groups.len() - 1),
+        out_width: 0,
+        scan_bytes_per_row: 0,
+        lazy_bytes_per_row: 0,
+        ht_access_bytes: ht_access,
+        ht_footprint: ht_foot,
+        cold_ht: matches!(stage.terminal, Terminal::HashBuild { .. }),
+    });
+
+    StageModel {
+        name: stage.name.clone(),
+        driver_rows: t.rows() as u64,
+        row_bytes,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use gpl_core::plan_for;
+    use gpl_sim::amd_a10;
+    use gpl_tpch::QueryId;
+
+    #[test]
+    fn q14_models_have_expected_shape() {
+        let db = TpchDb::at_scale(0.01);
+        let plan = plan_for(&db, QueryId::Q14);
+        let st = stats::estimate(&db, &plan);
+        let ms = build_models(&db, &plan, &st, &amd_a10());
+        assert_eq!(ms.len(), 2);
+        let probe = &ms[1];
+        assert_eq!(probe.kernels.len(), 3, "leaf, probe, reduce");
+        let leaf = &probe.kernels[0];
+        assert_eq!(leaf.in_width, 0);
+        // Only the ship-date column streams eagerly; the other three
+        // shipped columns gather lazily at line granularity.
+        assert_eq!(leaf.scan_bytes_per_row, 4);
+        assert_eq!(leaf.lazy_bytes_per_row, 3 * 64);
+        assert!(leaf.lambda < 0.05);
+        let p = &probe.kernels[1];
+        assert!(p.in_ratio < 0.05, "probe sees only filtered rows");
+        assert!(p.ht_access_bytes > 0 && p.ht_footprint > 0);
+        let term = probe.kernels.last().unwrap();
+        assert_eq!(term.out_width, 0);
+        assert!(term.in_width >= 8);
+    }
+
+    #[test]
+    fn kernel_count_matches_executor_wg_requirements() {
+        let db = TpchDb::at_scale(0.002);
+        for q in QueryId::evaluation_set() {
+            let plan = plan_for(&db, q);
+            let st = stats::estimate(&db, &plan);
+            let ms = build_models(&db, &plan, &st, &amd_a10());
+            for (stage, m) in plan.stages.iter().zip(&ms) {
+                assert_eq!(m.kernels.len(), stage.gpl_kernel_names().len());
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Model validation (Section 5.2): the relative error of Eq. 10,
+//! `|T_measured − T_estimated| / T_measured`, measured by running the
+//! simulator and the analytical model on the same configuration.
+
+use crate::analyze::build_models;
+use crate::cost::estimate_query;
+use crate::gamma::GammaTable;
+use crate::stats;
+use gpl_core::plan::QueryPlan;
+use gpl_core::{run_query, ExecContext, ExecMode, QueryConfig};
+
+/// Eq. 10.
+pub fn relative_error(measured: f64, estimated: f64) -> f64 {
+    if measured == 0.0 {
+        0.0
+    } else {
+        (measured - estimated).abs() / measured
+    }
+}
+
+/// Outcome of one measured-vs-estimated comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelEval {
+    pub measured_cycles: u64,
+    pub estimated_cycles: f64,
+    pub relative_error: f64,
+    /// Negative when the model underestimates (the paper notes its model
+    /// "generally underestimates the execution time").
+    pub signed_error: f64,
+}
+
+/// Run `plan` under GPL with `cfg` on the simulator and compare with the
+/// analytical estimate.
+pub fn evaluate(
+    ctx: &mut ExecContext,
+    gamma: &GammaTable,
+    plan: &QueryPlan,
+    cfg: &QueryConfig,
+) -> ModelEval {
+    let spec = ctx.spec();
+    let st = stats::estimate(&ctx.db, plan);
+    let models = build_models(&ctx.db, plan, &st, &spec);
+    let estimated = estimate_query(&spec, gamma, &models, cfg, !plan.order_by.is_empty());
+    ctx.sim.clear_cache();
+    let run = run_query(ctx, plan, ExecMode::Gpl, cfg);
+    let measured = run.cycles as f64;
+    ModelEval {
+        measured_cycles: run.cycles,
+        estimated_cycles: estimated,
+        relative_error: relative_error(measured, estimated),
+        signed_error: (estimated - measured) / measured.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpl_core::plan_for;
+    use gpl_sim::amd_a10;
+    use gpl_tpch::{QueryId, TpchDb};
+
+    #[test]
+    fn relative_error_formula() {
+        assert_eq!(relative_error(100.0, 80.0), 0.2);
+        assert_eq!(relative_error(100.0, 120.0), 0.2);
+        assert_eq!(relative_error(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn q14_estimate_is_in_the_right_ballpark() {
+        let spec = amd_a10();
+        let gamma = GammaTable::calibrate_grid(
+            &spec,
+            vec![1, 4, 16],
+            vec![16, 64],
+            vec![256 << 10, 2 << 20, 16 << 20],
+        );
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.02));
+        let plan = plan_for(&ctx.db, QueryId::Q14);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        let eval = evaluate(&mut ctx, &gamma, &plan, &cfg);
+        assert!(eval.measured_cycles > 0);
+        assert!(
+            eval.relative_error < 0.75,
+            "model too far off: measured {} estimated {}",
+            eval.measured_cycles,
+            eval.estimated_cycles
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! The Γ relationship (Eq. 1 / Eq. 11): channel throughput as a function
+//! of the number of channels `n`, packet size `p` (AMD only) and data
+//! size `d`, obtained by calibration (Section 2.1) and consulted by the
+//! memory-cost term of Eq. 6 / Eq. 12.
+
+use gpl_sim::{calibrate, CalibrationPoint, DeviceSpec, Vendor};
+
+/// Calibrated Γ table with nearest-grid lookup and log-space
+/// interpolation over the data-size axis.
+#[derive(Debug, Clone)]
+pub struct GammaTable {
+    vendor: Vendor,
+    ns: Vec<u32>,
+    ps: Vec<u32>,
+    ds: Vec<u64>,
+    /// throughput[n_idx][p_idx][d_idx] in bytes per cycle.
+    throughput: Vec<Vec<Vec<f64>>>,
+    /// Cache-pressure factor per d: the Figure-2 chain's throughput at an
+    /// in-flight working set of d, normalized to its peak. ≤ 1; drops
+    /// once the in-flight channel data outgrows the cache.
+    pressure: Vec<f64>,
+}
+
+fn join<T: std::fmt::Display>(v: &[T]) -> String {
+    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn joinf(v: &[f64]) -> String {
+    v.iter().map(|x| format!("{x:.6}")).collect::<Vec<_>>().join(",")
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
+    s.split(',').map(|x| x.parse().ok()).collect()
+}
+
+/// The calibration grid used throughout the repository.
+pub fn default_grid(spec: &DeviceSpec) -> (Vec<u32>, Vec<u32>, Vec<u64>) {
+    let ns = vec![1, 2, 4, 8, 16];
+    let ps = if spec.channel.tunable_packet_size {
+        vec![8, 16, 32, 64]
+    } else {
+        vec![spec.channel.fixed_packet_bytes]
+    };
+    let ds = vec![
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+        16 << 20,
+        32 << 20,
+    ];
+    (ns, ps, ds)
+}
+
+impl GammaTable {
+    /// Run the producer→consumer calibration over the default grid.
+    pub fn calibrate(spec: &DeviceSpec) -> Self {
+        let (ns, ps, ds) = default_grid(spec);
+        Self::calibrate_grid(spec, ns, ps, ds)
+    }
+
+    /// Run the calibration over an explicit grid.
+    pub fn calibrate_grid(spec: &DeviceSpec, ns: Vec<u32>, ps: Vec<u32>, ds: Vec<u64>) -> Self {
+        let mut throughput = vec![vec![vec![0.0; ds.len()]; ps.len()]; ns.len()];
+        for (ni, &n) in ns.iter().enumerate() {
+            for (pi, &p) in ps.iter().enumerate() {
+                for (di, &d) in ds.iter().enumerate() {
+                    throughput[ni][pi][di] =
+                        calibrate::run_channel_rate(spec, n, p, d).steady_throughput;
+                }
+            }
+        }
+        // Cache-pressure curve from the unbounded-pipe chain (Figure 2):
+        // its in-flight working set grows with d, so its normalized
+        // throughput is the penalty for keeping d bytes in flight.
+        let mid_n = ns[ns.len() / 2];
+        let mid_p = ps[ps.len() / 2];
+        let raw: Vec<f64> = ds
+            .iter()
+            .map(|&d| calibrate::run_producer_consumer(spec, mid_n, mid_p, d).steady_throughput)
+            .collect();
+        let peak = raw.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+        let pressure = raw.iter().map(|&t| (t / peak).clamp(0.05, 1.0)).collect();
+        GammaTable { vendor: spec.vendor, ns, ps, ds, throughput, pressure }
+    }
+
+    /// Build from precomputed points (tests / serialization).
+    pub fn from_points(spec: &DeviceSpec, points: &[CalibrationPoint]) -> Self {
+        let mut ns: Vec<u32> = points.iter().map(|p| p.n).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        let mut ps: Vec<u32> = points.iter().map(|p| p.packet_bytes).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        let mut ds: Vec<u64> = points.iter().map(|p| p.data_bytes).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        let mut throughput = vec![vec![vec![0.0; ds.len()]; ps.len()]; ns.len()];
+        for pt in points {
+            let ni = ns.binary_search(&pt.n).expect("grid point");
+            let pi = ps.binary_search(&pt.packet_bytes).expect("grid point");
+            let di = ds.binary_search(&pt.data_bytes).expect("grid point");
+            throughput[ni][pi][di] = pt.steady_throughput;
+        }
+        let pressure = vec![1.0; ds.len()];
+        GammaTable { vendor: spec.vendor, ns, ps, ds, throughput, pressure }
+    }
+
+    pub fn vendor(&self) -> Vendor {
+        self.vendor
+    }
+
+    pub fn ns(&self) -> &[u32] {
+        &self.ns
+    }
+
+    pub fn ps(&self) -> &[u32] {
+        &self.ps
+    }
+
+    pub fn ds(&self) -> &[u64] {
+        &self.ds
+    }
+
+    fn nearest(values: &[u32], v: u32) -> usize {
+        values
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &x)| (x as i64 - v as i64).abs())
+            .map(|(i, _)| i)
+            .expect("non-empty grid")
+    }
+
+    /// Γ(n, p, d) in bytes per cycle: nearest grid point in n and p,
+    /// log-linear interpolation in d (clamped at the grid edges).
+    pub fn lookup(&self, n: u32, p: u32, d: u64) -> f64 {
+        let ni = Self::nearest(&self.ns, n);
+        let pi = Self::nearest(&self.ps, p);
+        let row = &self.throughput[ni][pi];
+        let d = d.max(1);
+        if d <= self.ds[0] {
+            return row[0];
+        }
+        if d >= *self.ds.last().expect("non-empty") {
+            return *row.last().expect("non-empty");
+        }
+        let hi = self.ds.partition_point(|&x| x < d);
+        let lo = hi - 1;
+        let (d0, d1) = (self.ds[lo] as f64, self.ds[hi] as f64);
+        let t = ((d as f64).ln() - d0.ln()) / (d1.ln() - d0.ln());
+        row[lo] + t * (row[hi] - row[lo])
+    }
+
+    /// Cache-pressure factor for an in-flight channel working set of
+    /// `bytes`: 1.0 while it fits the cache, dropping as it thrashes.
+    pub fn pressure(&self, bytes: u64) -> f64 {
+        let b = bytes.max(1);
+        if b <= self.ds[0] {
+            return self.pressure[0];
+        }
+        if b >= *self.ds.last().expect("non-empty") {
+            return *self.pressure.last().expect("non-empty");
+        }
+        let hi = self.ds.partition_point(|&x| x < b);
+        let lo = hi - 1;
+        let (d0, d1) = (self.ds[lo] as f64, self.ds[hi] as f64);
+        let t = ((b as f64).ln() - d0.ln()) / (d1.ln() - d0.ln());
+        self.pressure[lo] + t * (self.pressure[hi] - self.pressure[lo])
+    }
+
+    /// Serialize to a small text format (one header line, one pressure
+    /// line, one line per (n, p) with the throughput row) — calibration
+    /// is deterministic but takes seconds, so CLIs cache it on disk.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "gamma v1 {:?} ns={} ps={} ds={}",
+            self.vendor,
+            join(&self.ns),
+            join(&self.ps),
+            join(&self.ds)
+        );
+        let _ = writeln!(out, "pressure {}", joinf(&self.pressure));
+        for (ni, &n) in self.ns.iter().enumerate() {
+            for (pi, &p) in self.ps.iter().enumerate() {
+                let _ = writeln!(out, "t {n} {p} {}", joinf(&self.throughput[ni][pi]));
+            }
+        }
+        out
+    }
+
+    /// Parse the [`GammaTable::to_text`] format.
+    pub fn from_text(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let mut hp = header.split_whitespace();
+        if hp.next()? != "gamma" || hp.next()? != "v1" {
+            return None;
+        }
+        let vendor = match hp.next()? {
+            "Amd" => Vendor::Amd,
+            "Nvidia" => Vendor::Nvidia,
+            _ => return None,
+        };
+        let mut ns = None;
+        let mut ps = None;
+        let mut ds = None;
+        for kv in hp {
+            let (k, v) = kv.split_once('=')?;
+            match k {
+                "ns" => ns = parse_list::<u32>(v),
+                "ps" => ps = parse_list::<u32>(v),
+                "ds" => ds = parse_list::<u64>(v),
+                _ => return None,
+            }
+        }
+        let (ns, ps, ds) = (ns?, ps?, ds?);
+        let pressure_line = lines.next()?;
+        let pressure = parse_list::<f64>(pressure_line.strip_prefix("pressure ")?)?;
+        if pressure.len() != ds.len() {
+            return None;
+        }
+        let mut throughput = vec![vec![vec![0.0; ds.len()]; ps.len()]; ns.len()];
+        for line in lines {
+            let mut it = line.split_whitespace();
+            if it.next()? != "t" {
+                return None;
+            }
+            let n: u32 = it.next()?.parse().ok()?;
+            let p: u32 = it.next()?.parse().ok()?;
+            let row = parse_list::<f64>(it.next()?)?;
+            let ni = ns.iter().position(|&x| x == n)?;
+            let pi = ps.iter().position(|&x| x == p)?;
+            if row.len() != ds.len() {
+                return None;
+            }
+            throughput[ni][pi] = row;
+        }
+        Some(GammaTable { vendor, ns, ps, ds, throughput, pressure })
+    }
+
+    /// Load from `path`, or calibrate and save there. Corrupt or
+    /// mismatched files are recalibrated and overwritten.
+    pub fn load_or_calibrate(spec: &DeviceSpec, path: &std::path::Path) -> Self {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Some(t) = Self::from_text(&text) {
+                if t.vendor == spec.vendor {
+                    return t;
+                }
+            }
+        }
+        let t = Self::calibrate(spec);
+        let _ = std::fs::write(path, t.to_text());
+        t
+    }
+
+    /// The `(n_max, p_max)` maximizing Γ for data size `d` (Section 4.1).
+    pub fn best_config(&self, d: u64) -> (u32, u32, f64) {
+        let mut best = (self.ns[0], self.ps[0], f64::MIN);
+        for &n in &self.ns {
+            for &p in &self.ps {
+                let g = self.lookup(n, p, d);
+                if g > best.2 {
+                    best = (n, p, g);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpl_sim::amd_a10;
+
+    fn tiny_table() -> GammaTable {
+        let spec = amd_a10();
+        let pts = vec![
+            CalibrationPoint { n: 1, packet_bytes: 16, data_bytes: 1 << 16, cycles: 1, throughput: 1.0, steady_throughput: 1.0 },
+            CalibrationPoint { n: 1, packet_bytes: 16, data_bytes: 1 << 20, cycles: 1, throughput: 3.0, steady_throughput: 3.0 },
+            CalibrationPoint { n: 4, packet_bytes: 16, data_bytes: 1 << 16, cycles: 1, throughput: 2.0, steady_throughput: 2.0 },
+            CalibrationPoint { n: 4, packet_bytes: 16, data_bytes: 1 << 20, cycles: 1, throughput: 5.0, steady_throughput: 5.0 },
+        ];
+        GammaTable::from_points(&spec, &pts)
+    }
+
+    #[test]
+    fn lookup_hits_grid_points_exactly() {
+        let g = tiny_table();
+        assert_eq!(g.lookup(1, 16, 1 << 16), 1.0);
+        assert_eq!(g.lookup(4, 16, 1 << 20), 5.0);
+    }
+
+    #[test]
+    fn lookup_interpolates_and_clamps() {
+        let g = tiny_table();
+        let mid = g.lookup(4, 16, 1 << 18);
+        assert!(mid > 2.0 && mid < 5.0, "interpolated {mid}");
+        assert_eq!(g.lookup(4, 16, 1), 2.0, "clamped below");
+        assert_eq!(g.lookup(4, 16, 1 << 30), 5.0, "clamped above");
+        // Nearest n: n=3 maps to n=4.
+        assert_eq!(g.lookup(3, 16, 1 << 20), 5.0);
+    }
+
+    #[test]
+    fn best_config_picks_max() {
+        let g = tiny_table();
+        let (n, p, t) = g.best_config(1 << 20);
+        assert_eq!((n, p), (4, 16));
+        assert_eq!(t, 5.0);
+    }
+
+    #[test]
+    fn real_calibration_small_grid() {
+        let spec = amd_a10();
+        let g = GammaTable::calibrate_grid(&spec, vec![1, 4], vec![16], vec![1 << 20, 8 << 20]);
+        assert!(g.lookup(4, 16, 1 << 20) > g.lookup(1, 16, 1 << 20));
+        let (n, _, _) = g.best_config(1 << 20);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_lookups() {
+        let spec = amd_a10();
+        let g = GammaTable::calibrate_grid(&spec, vec![1, 4], vec![16], vec![1 << 20, 8 << 20]);
+        let text = g.to_text();
+        let back = GammaTable::from_text(&text).expect("parses");
+        assert_eq!(back.vendor(), g.vendor());
+        for d in [1u64 << 18, 1 << 20, 3 << 20, 8 << 20, 1 << 24] {
+            let a = g.lookup(4, 16, d);
+            let b = back.lookup(4, 16, d);
+            assert!((a - b).abs() < 1e-4, "{a} vs {b} at d={d}");
+            assert!((g.pressure(d) - back.pressure(d)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected() {
+        assert!(GammaTable::from_text("").is_none());
+        assert!(GammaTable::from_text("gamma v2 Amd ns=1 ps=16 ds=64").is_none());
+        assert!(GammaTable::from_text("gamma v1 Amd ns=1 ps=16 ds=64
+pressure 1.0
+t 9 9 zap").is_none());
+    }
+
+    #[test]
+    fn load_or_calibrate_caches_to_disk() {
+        let dir = std::env::temp_dir().join("gpl-gamma-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("amd.gamma");
+        let _ = std::fs::remove_file(&path);
+        let spec = amd_a10();
+        // Note: uses the full default grid; keep to one call pair.
+        let a = GammaTable::load_or_calibrate(&spec, &path);
+        assert!(path.exists(), "first call must write the cache");
+        let b = GammaTable::load_or_calibrate(&spec, &path);
+        assert!((a.lookup(4, 16, 1 << 20) - b.lookup(4, 16, 1 << 20)).abs() < 1e-4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn default_grid_respects_vendor_packet_tunability() {
+        let (_, ps_amd, _) = default_grid(&amd_a10());
+        assert!(ps_amd.len() > 1);
+        let (_, ps_nv, _) = default_grid(&gpl_sim::nvidia_k40());
+        assert_eq!(ps_nv.len(), 1, "NVIDIA packet size is fixed (Appendix A.1)");
+    }
+}

@@ -1,0 +1,34 @@
+//! # gpl-model — the analytical model of Section 4
+//!
+//! Determines the optimal pipelined-execution configuration (tile size Δ,
+//! channel count `n`, packet size `p`, per-kernel work-group counts
+//! `wg_Ki`) from query and hardware information:
+//!
+//! * [`gamma`] — the calibrated Γ(n, p, d) channel-throughput table
+//!   (Eq. 1 / Eq. 11), built by running the Section 2.1 producer→consumer
+//!   microbenchmark on the simulated device.
+//! * [`stats`] — query-optimizer inputs: the λ data-reduction ratios,
+//!   estimated by sampled pipeline evaluation.
+//! * [`analyze`] — program-analysis inputs: per-kernel resources,
+//!   instruction counts and stream widths.
+//! * [`cost`] — Eq. 2–9: residency, computation, memory/channel and delay
+//!   costs, combined into the segment time `T_Sk`.
+//! * [`search`] — the pruned parameter search (n in \[1, 16\], wg multiples
+//!   of #CU, the Figure 12 tile grid) with its <5 ms budget.
+//! * [`error`] — Eq. 10 relative-error validation against the simulator.
+
+pub mod analyze;
+pub mod cost;
+pub mod error;
+pub mod gamma;
+pub mod joinopt;
+pub mod search;
+pub mod stats;
+
+pub use analyze::{build_models, KernelModel, StageModel};
+pub use cost::{allocate_residency, estimate_query, estimate_stage, StageEstimate};
+pub use error::{evaluate, relative_error, ModelEval};
+pub use gamma::GammaTable;
+pub use joinopt::optimize_join_order;
+pub use search::{optimize, optimize_models, SearchOutcome};
+pub use stats::{estimate as estimate_stats, PlanStats};

@@ -1,0 +1,202 @@
+//! Parameter search (Section 4.1, last part): explore Δ, n, p and wg_Ki
+//! within their feasible ranges and pick the configuration minimizing the
+//! estimated segment time. The space is pruned exactly as the paper
+//! describes — n in [1, 16], wg as integral multiples of #CU, a small
+//! tile-size grid — and the whole optimization must stay in the
+//! low-millisecond range ("generally smaller than 5 ms").
+
+use crate::analyze::{build_models, StageModel};
+use crate::cost::{estimate_query, estimate_stage};
+use crate::gamma::GammaTable;
+use crate::stats;
+use gpl_core::plan::QueryPlan;
+use gpl_core::{QueryConfig, StageConfig};
+use gpl_sim::DeviceSpec;
+use gpl_tpch::TpchDb;
+use std::time::{Duration, Instant};
+
+/// The Δ grid of Figure 12: 256 KB to 16 MB.
+pub fn tile_grid() -> Vec<u64> {
+    vec![256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20]
+}
+
+/// Channel-count grid (the paper searches n in [1, 16]).
+pub fn channel_grid() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16]
+}
+
+/// Packet-size grid (AMD only; NVIDIA's packet size is fixed).
+pub fn packet_grid(spec: &DeviceSpec) -> Vec<u32> {
+    if spec.channel.tunable_packet_size {
+        vec![8, 16, 32, 64]
+    } else {
+        vec![spec.channel.fixed_packet_bytes]
+    }
+}
+
+/// Work-group multipliers (wg_Ki = multiplier × #CU).
+pub fn wg_multiplier_grid() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16]
+}
+
+/// Result of optimizing one plan.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    pub config: QueryConfig,
+    /// Estimated total query cycles under `config`.
+    pub estimate: f64,
+    /// Wall time spent searching (the "<5 ms" claim of Section 4.1).
+    pub elapsed: Duration,
+    /// Cost-model evaluations performed.
+    pub evaluated: usize,
+}
+
+/// Optimize every stage of `plan`.
+pub fn optimize(
+    spec: &DeviceSpec,
+    gamma: &GammaTable,
+    db: &TpchDb,
+    plan: &QueryPlan,
+) -> SearchOutcome {
+    let stats = stats::estimate(db, plan);
+    let models = build_models(db, plan, &stats, spec);
+    optimize_models(spec, gamma, plan, &models)
+}
+
+/// Optimize given prebuilt stage models (lets callers reuse λ estimates).
+pub fn optimize_models(
+    spec: &DeviceSpec,
+    gamma: &GammaTable,
+    plan: &QueryPlan,
+    models: &[StageModel],
+) -> SearchOutcome {
+    let start = Instant::now();
+    let mut evaluated = 0usize;
+    let stages = models
+        .iter()
+        .map(|sm| optimize_stage(spec, gamma, sm, &mut evaluated))
+        .collect();
+    let config = QueryConfig { stages };
+    let estimate = estimate_query(spec, gamma, models, &config, !plan.order_by.is_empty());
+    SearchOutcome { config, estimate, elapsed: start.elapsed(), evaluated }
+}
+
+fn optimize_stage(
+    spec: &DeviceSpec,
+    gamma: &GammaTable,
+    sm: &StageModel,
+    evaluated: &mut usize,
+) -> StageConfig {
+    let kernels = sm.kernels.len();
+    let mut best: Option<(f64, StageConfig)> = None;
+    for &tile in &tile_grid() {
+        for &n in &channel_grid() {
+            for &p in &packet_grid(spec) {
+                let mut cfg = StageConfig {
+                    tile_bytes: tile,
+                    n_channels: n,
+                    packet_bytes: p,
+                    wg_counts: vec![4 * spec.num_cus; kernels],
+                };
+                // Coordinate descent on the per-kernel work-group counts,
+                // which the paper tunes to minimize the delay cost.
+                let mut cur = estimate_stage(spec, gamma, sm, &cfg).total;
+                *evaluated += 1;
+                for _round in 0..2 {
+                    let mut improved = false;
+                    for k in 0..kernels {
+                        let orig = cfg.wg_counts[k];
+                        for &mult in &wg_multiplier_grid() {
+                            let cand = mult * spec.num_cus;
+                            if cand == cfg.wg_counts[k] {
+                                continue;
+                            }
+                            cfg.wg_counts[k] = cand;
+                            let e = estimate_stage(spec, gamma, sm, &cfg).total;
+                            *evaluated += 1;
+                            if e < cur {
+                                cur = e;
+                                improved = true;
+                            } else {
+                                cfg.wg_counts[k] = orig;
+                            }
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+                if best.as_ref().map(|(b, _)| cur < *b).unwrap_or(true) {
+                    best = Some((cur, cfg));
+                }
+            }
+        }
+    }
+    best.expect("non-empty search grids").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpl_core::plan_for;
+    use gpl_sim::amd_a10;
+    use gpl_tpch::QueryId;
+
+    fn gamma() -> GammaTable {
+        GammaTable::calibrate_grid(
+            &amd_a10(),
+            vec![1, 4, 16],
+            vec![16, 64],
+            vec![256 << 10, 2 << 20, 16 << 20],
+        )
+    }
+
+    #[test]
+    fn search_produces_valid_configs_fast() {
+        let spec = amd_a10();
+        let g = gamma();
+        let db = TpchDb::at_scale(0.01);
+        let plan = plan_for(&db, QueryId::Q8);
+        let out = optimize(&spec, &g, &db, &plan);
+        assert_eq!(out.config.stages.len(), plan.stages.len());
+        for (stage, cfg) in plan.stages.iter().zip(&out.config.stages) {
+            assert_eq!(cfg.wg_counts.len(), stage.gpl_kernel_names().len());
+            assert!(tile_grid().contains(&cfg.tile_bytes));
+            assert!(cfg.n_channels >= 1 && cfg.n_channels <= 16);
+            for &wg in &cfg.wg_counts {
+                assert_eq!(wg % spec.num_cus, 0, "wg must be a multiple of #CU");
+            }
+        }
+        assert!(out.estimate.is_finite() && out.estimate > 0.0);
+        assert!(out.evaluated > 100);
+        // The paper reports <5 ms; allow slack for debug builds and the
+        // λ-estimation pass.
+        assert!(out.elapsed.as_millis() < 2_000, "search took {:?}", out.elapsed);
+    }
+
+    #[test]
+    fn chosen_config_beats_the_worst_grid_point() {
+        let spec = amd_a10();
+        let g = gamma();
+        let db = TpchDb::at_scale(0.01);
+        let plan = plan_for(&db, QueryId::Q14);
+        let st = stats::estimate(&db, &plan);
+        let ms = build_models(&db, &plan, &st, &spec);
+        let out = optimize_models(&spec, &g, &plan, &ms);
+        // Compare against a deliberately bad configuration.
+        let bad = QueryConfig {
+            stages: plan
+                .stages
+                .iter()
+                .map(|s| StageConfig {
+                    tile_bytes: 256 << 10,
+                    n_channels: 1,
+                    packet_bytes: 8,
+                    wg_counts: vec![spec.num_cus; s.gpl_kernel_names().len()],
+                })
+                .collect(),
+        };
+        let bad_est = estimate_query(&spec, &g, &ms, &bad, false);
+        assert!(out.estimate <= bad_est, "optimizer {} vs bad {}", out.estimate, bad_est);
+    }
+}

@@ -1,0 +1,10 @@
+//! # gpl-ocelot — the Ocelot comparison baseline (Section 5.5)
+//!
+//! A kernel-at-a-time engine with the three Ocelot properties the paper
+//! identifies as relevant to the GPL comparison: bitmap selection
+//! intermediates, a hash-table cache, and 4-byte-only columns. Results
+//! are validated bit-for-bit against the CPU reference.
+
+pub mod engine;
+
+pub use engine::{run_query, OcelotContext};

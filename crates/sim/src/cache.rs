@@ -1,0 +1,255 @@
+//! Set-associative, write-back, write-allocate LRU cache simulator.
+//!
+//! This is the mechanism behind two of the paper's central observations:
+//! cache thrashing when a tile (or channel working set) outgrows the data
+//! cache (Section 2.1 / 3.3), and the extra data locality exposed by
+//! channels — the consumer work-group reads packets "very likely still
+//! resident in cache" (Section 3.4). Accesses are simulated at cache-line
+//! granularity in event order.
+
+use crate::mem::MemRange;
+
+/// Outcome of a range access, in lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    pub hit_lines: u64,
+    pub miss_lines: u64,
+    /// Dirty lines evicted (write-back traffic to global memory).
+    pub writebacks: u64,
+}
+
+impl AccessStats {
+    pub fn total(&self) -> u64 {
+        self.hit_lines + self.miss_lines
+    }
+    pub fn merge(&mut self, o: AccessStats) {
+        self.hit_lines += o.hit_lines;
+        self.miss_lines += o.miss_lines;
+        self.writebacks += o.writebacks;
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Way {
+    tag: u64,
+    stamp: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// The simulated last-level data cache shared by all CUs.
+pub struct CacheSim {
+    line_bytes: u64,
+    sets: u64,
+    assoc: usize,
+    ways: Vec<Way>,
+    clock: u64,
+    pub cum: AccessStats,
+}
+
+impl CacheSim {
+    /// Build a cache. Any set count ≥ 1 is supported (the NVIDIA profile's
+    /// 1.5 MiB L2 yields a non-power-of-two set count).
+    pub fn new(cache_bytes: u64, line_bytes: u32, assoc: u32) -> Self {
+        let line_bytes = line_bytes as u64;
+        let assoc = assoc as usize;
+        let sets = cache_bytes / (line_bytes * assoc as u64);
+        assert!(sets >= 1, "cache too small for {assoc} ways of {line_bytes}B lines");
+        CacheSim {
+            line_bytes,
+            sets,
+            assoc,
+            ways: vec![Way { tag: 0, stamp: 0, valid: false, dirty: false }; sets as usize * assoc],
+            clock: 0,
+            cum: AccessStats::default(),
+        }
+    }
+
+    /// Touch one line (by line *number*); returns `true` on hit. `write`
+    /// marks the line dirty.
+    fn touch_line(&mut self, line: u64, write: bool, stats: &mut AccessStats) -> bool {
+        self.clock += 1;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+
+        // Hit?
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.stamp = self.clock;
+                w.dirty |= write;
+                stats.hit_lines += 1;
+                return true;
+            }
+        }
+        // Miss: fill, evicting LRU (preferring an invalid way).
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.stamp + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("associativity > 0");
+        let w = &mut ways[victim];
+        if w.valid && w.dirty {
+            stats.writebacks += 1;
+        }
+        *w = Way { tag, stamp: self.clock, valid: true, dirty: write };
+        stats.miss_lines += 1;
+        false
+    }
+
+    /// Simulate a range access (expanded to line granularity). Returns the
+    /// per-range stats; also accumulates into [`CacheSim::cum`].
+    pub fn access(&mut self, r: MemRange) -> AccessStats {
+        let mut stats = AccessStats::default();
+        if r.bytes == 0 {
+            return stats;
+        }
+        let first = r.addr / self.line_bytes;
+        let last = (r.addr + r.bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            self.touch_line(line, r.write, &mut stats);
+        }
+        self.cum.merge(stats);
+        stats
+    }
+
+    /// Hit ratio over the whole simulation so far (`cr` in Table 2).
+    pub fn hit_ratio(&self) -> f64 {
+        let t = self.cum.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.cum.hit_lines as f64 / t as f64
+        }
+    }
+
+    /// Number of currently valid lines (for capacity invariants in tests).
+    pub fn resident_lines(&self) -> u64 {
+        self.ways.iter().filter(|w| w.valid).count() as u64
+    }
+
+    pub fn capacity_lines(&self) -> u64 {
+        self.sets * self.assoc as u64
+    }
+
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Drop all contents (used between independent experiment runs).
+    pub fn clear(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+            w.dirty = false;
+        }
+        self.cum = AccessStats::default();
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheSim {
+        // 4 KiB, 64 B lines, 4-way => 16 sets.
+        CacheSim::new(4096, 64, 4)
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small();
+        let s1 = c.access(MemRange::read(0, 64));
+        assert_eq!((s1.hit_lines, s1.miss_lines), (0, 1));
+        let s2 = c.access(MemRange::read(0, 64));
+        assert_eq!((s2.hit_lines, s2.miss_lines), (1, 0));
+    }
+
+    #[test]
+    fn range_expands_to_lines() {
+        let mut c = small();
+        // Bytes 30..330 touch lines 0..=5 (last byte 329 is in line 5).
+        let s = c.access(MemRange::read(30, 300));
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.miss_lines, 6);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // 4-way set 0: lines with stride sets*64 = 1024 map to set 0.
+        for i in 0..4u64 {
+            c.access(MemRange::read(i * 1024, 1));
+        }
+        // Touch line 0 again to refresh it.
+        c.access(MemRange::read(0, 1));
+        // Fifth distinct line evicts the LRU, which is line at 1*1024.
+        c.access(MemRange::read(4 * 1024, 1));
+        let s0 = c.access(MemRange::read(0, 1));
+        assert_eq!(s0.hit_lines, 1, "refreshed line must survive");
+        let s1 = c.access(MemRange::read(1024, 1));
+        assert_eq!(s1.miss_lines, 1, "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small();
+        c.access(MemRange::write(0, 64));
+        // Evict set 0 completely with reads.
+        let mut wb = 0;
+        for i in 1..=4u64 {
+            wb += c.access(MemRange::read(i * 1024, 1)).writebacks;
+        }
+        assert_eq!(wb, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small();
+        // Stream 16 KiB twice: second pass still misses (LRU, capacity 4 KiB).
+        for _pass in 0..2 {
+            for line in 0..256u64 {
+                c.access(MemRange::read(line * 64, 64));
+            }
+        }
+        assert!(c.hit_ratio() < 0.05, "streaming working set 4x cache must thrash");
+        // And a small working set re-read is all hits.
+        c.clear();
+        for _pass in 0..2 {
+            for line in 0..32u64 {
+                c.access(MemRange::read(line * 64, 64));
+            }
+        }
+        assert!(c.hit_ratio() >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let mut c = small();
+        for line in 0..10_000u64 {
+            c.access(MemRange::write(line * 64, 64));
+        }
+        assert!(c.resident_lines() <= c.capacity_lines());
+        assert_eq!(c.resident_lines(), c.capacity_lines());
+    }
+
+    #[test]
+    fn zero_byte_access_is_free() {
+        let mut c = small();
+        let s = c.access(MemRange::read(64, 0));
+        assert_eq!(s.total(), 0);
+        assert_eq!(c.cum.total(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = small();
+        c.access(MemRange::write(0, 4096));
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.cum.total(), 0);
+        assert_eq!(c.hit_ratio(), 1.0);
+    }
+}

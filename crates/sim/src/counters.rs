@@ -1,0 +1,291 @@
+//! Hardware performance counters.
+//!
+//! Section 2.2 and Section 5 evaluate GPL through profiler counters:
+//! `VALUBusy` and `MemUnitBusy` (vector-ALU and memory-unit utilization),
+//! kernel occupancy (in-flight wavefronts / theoretical maximum), cache
+//! hit ratio, and the size of intermediate results materialized in global
+//! memory. This module defines the structures the simulator fills in —
+//! the equivalent of what the paper reads from CodeXL / Visual Profiler.
+
+use crate::cache::AccessStats;
+use crate::mem::RegionClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-kernel profile, the "profiling input" of Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct KernelProfile {
+    pub name: String,
+    /// Work units (work-group quanta) executed.
+    pub units: u64,
+    /// Compute instructions issued (`c_inst`).
+    pub compute_insts: u64,
+    /// Memory instructions issued (`m_inst`).
+    pub mem_insts: u64,
+    /// Cycles the kernel's work-groups occupied the vector ALUs.
+    pub compute_cycles: u64,
+    /// Cycles spent on global-memory (cache/miss) traffic.
+    pub mem_cycles: u64,
+    /// Cycles spent on data-channel reservation/sync/transfer (`DC_cost`).
+    pub dc_cycles: u64,
+    /// Idle-bubble cycles: periods where the kernel was launched but had
+    /// no work-group in flight (pipeline delay, Eq. 8's measured analogue).
+    pub delay_cycles: u64,
+    /// Cache behaviour of this kernel's accesses (`cr` = hit ratio).
+    pub cache: AccessStats,
+    /// First dispatch and last completion times, in device cycles.
+    pub first_dispatch: u64,
+    pub last_complete: u64,
+    /// Observed peak concurrent work-groups (for `a_wg * a_CU`).
+    pub peak_inflight: u32,
+}
+
+impl KernelProfile {
+    /// Cache hit ratio for this kernel (`cr_Ki` in Table 2).
+    pub fn hit_ratio(&self) -> f64 {
+        let t = self.cache.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.cache.hit_lines as f64 / t as f64
+        }
+    }
+
+    /// Wall cycles from first dispatch to last completion.
+    pub fn span(&self) -> u64 {
+        self.last_complete.saturating_sub(self.first_dispatch)
+    }
+}
+
+/// Whole-launch profile returned by `Simulator::run`.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchProfile {
+    /// Cycles from launch to the completion of the last kernel.
+    pub elapsed_cycles: u64,
+    /// Vector-ALU busy cycles summed over all CUs.
+    pub valu_busy_cycles: u64,
+    /// Memory-unit busy cycles summed over all CUs.
+    pub mem_busy_cycles: u64,
+    /// Time-integral of in-flight work-groups (for occupancy).
+    pub inflight_integral: u64,
+    /// Number of CUs (denominator for utilizations).
+    pub num_cus: u32,
+    /// Theoretical max resident work-groups on the device.
+    pub max_wavefronts: u64,
+    /// Bytes written per region class during the launch (traffic).
+    pub bytes_written: BTreeMap<RegionClass, u64>,
+    /// Bytes read per region class during the launch (traffic).
+    pub bytes_read: BTreeMap<RegionClass, u64>,
+    /// Footprint of regions first written during the launch: each region
+    /// contributes its allocated size once per `Simulator::reset_footprint`
+    /// epoch. This is the "size of intermediate results materialized in
+    /// the global memory" of Figures 3, 17 and 18.
+    pub footprint_written: BTreeMap<RegionClass, u64>,
+    /// Whole-launch cache stats.
+    pub cache: AccessStats,
+    /// Per-kernel profiles, in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl LaunchProfile {
+    /// `VALUBusy` (Section 2.2): fraction of CU·cycles the vector ALUs
+    /// were busy.
+    pub fn valu_busy(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.valu_busy_cycles as f64 / (self.elapsed_cycles as f64 * self.num_cus as f64)
+        }
+    }
+
+    /// `MemUnitBusy` (Section 2.2).
+    pub fn mem_unit_busy(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.mem_busy_cycles as f64 / (self.elapsed_cycles as f64 * self.num_cus as f64)
+        }
+    }
+
+    /// Kernel occupancy: average in-flight wavefronts over the theoretical
+    /// maximum.
+    pub fn occupancy(&self) -> f64 {
+        if self.elapsed_cycles == 0 || self.max_wavefronts == 0 {
+            0.0
+        } else {
+            self.inflight_integral as f64
+                / (self.elapsed_cycles as f64 * self.max_wavefronts as f64)
+        }
+    }
+
+    /// Cache hit ratio over the launch.
+    pub fn hit_ratio(&self) -> f64 {
+        let t = self.cache.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.cache.hit_lines as f64 / t as f64
+        }
+    }
+
+    /// Write *traffic* to intermediate regions (`Intermediate`,
+    /// `HashTable`, `Scratch`) — repeated accumulator updates count every
+    /// time. See [`LaunchProfile::intermediate_footprint`] for the
+    /// materialized-size metric of Figures 3/17/18.
+    pub fn intermediate_bytes(&self) -> u64 {
+        self.bytes_written
+            .iter()
+            .filter(|(c, _)| c.is_materialized_intermediate())
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Size of intermediate results materialized in global memory: the
+    /// summed footprint of intermediate-class regions written during the
+    /// launch (each region counted once per footprint epoch).
+    pub fn intermediate_footprint(&self) -> u64 {
+        self.footprint_written
+            .iter()
+            .filter(|(c, _)| c.is_materialized_intermediate())
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Sum a cycle component over all kernels.
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.compute_cycles).sum()
+    }
+    pub fn total_mem_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.mem_cycles).sum()
+    }
+    pub fn total_dc_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.dc_cycles).sum()
+    }
+    pub fn total_delay_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.delay_cycles).sum()
+    }
+
+    /// Merge another launch's profile into this one (used to aggregate the
+    /// per-segment / per-kernel launches of a whole query).
+    pub fn merge(&mut self, o: &LaunchProfile) {
+        self.elapsed_cycles += o.elapsed_cycles;
+        self.valu_busy_cycles += o.valu_busy_cycles;
+        self.mem_busy_cycles += o.mem_busy_cycles;
+        self.inflight_integral += o.inflight_integral;
+        self.num_cus = o.num_cus;
+        self.max_wavefronts = o.max_wavefronts;
+        for (c, b) in &o.bytes_written {
+            *self.bytes_written.entry(*c).or_default() += b;
+        }
+        for (c, b) in &o.bytes_read {
+            *self.bytes_read.entry(*c).or_default() += b;
+        }
+        for (c, b) in &o.footprint_written {
+            *self.footprint_written.entry(*c).or_default() += b;
+        }
+        self.cache.merge(o.cache);
+        self.kernels.extend(o.kernels.iter().cloned());
+    }
+}
+
+impl fmt::Display for LaunchProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "elapsed={} cycles  VALUBusy={:.1}%  MemUnitBusy={:.1}%  occupancy={:.1}%  cache-hit={:.1}%",
+            self.elapsed_cycles,
+            self.valu_busy() * 100.0,
+            self.mem_unit_busy() * 100.0,
+            self.occupancy() * 100.0,
+            self.hit_ratio() * 100.0
+        )?;
+        for k in &self.kernels {
+            writeln!(
+                f,
+                "  {:<24} units={:<7} c={:<10} m={:<10} dc={:<9} delay={:<9} cr={:.2}",
+                k.name,
+                k.units,
+                k.compute_cycles,
+                k.mem_cycles,
+                k.dc_cycles,
+                k.delay_cycles,
+                k.hit_ratio()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilizations_divide_by_cu_time() {
+        let p = LaunchProfile {
+            elapsed_cycles: 1000,
+            valu_busy_cycles: 4000,
+            mem_busy_cycles: 2000,
+            num_cus: 8,
+            ..Default::default()
+        };
+        assert!((p.valu_busy() - 0.5).abs() < 1e-12);
+        assert!((p.mem_unit_busy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = LaunchProfile::default();
+        assert_eq!(p.valu_busy(), 0.0);
+        assert_eq!(p.occupancy(), 0.0);
+        assert_eq!(p.hit_ratio(), 1.0);
+        assert_eq!(p.intermediate_bytes(), 0);
+    }
+
+    #[test]
+    fn intermediate_bytes_counts_only_intermediate_classes() {
+        let mut p = LaunchProfile::default();
+        p.bytes_written.insert(RegionClass::TableData, 100);
+        p.bytes_written.insert(RegionClass::Intermediate, 10);
+        p.bytes_written.insert(RegionClass::HashTable, 5);
+        p.bytes_written.insert(RegionClass::Scratch, 2);
+        p.bytes_written.insert(RegionClass::Output, 50);
+        p.bytes_written.insert(RegionClass::ChannelBuf, 1000);
+        assert_eq!(p.intermediate_bytes(), 17);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LaunchProfile {
+            elapsed_cycles: 10,
+            valu_busy_cycles: 5,
+            num_cus: 8,
+            ..Default::default()
+        };
+        let mut b = LaunchProfile {
+            elapsed_cycles: 20,
+            valu_busy_cycles: 10,
+            num_cus: 8,
+            ..Default::default()
+        };
+        b.bytes_written.insert(RegionClass::Intermediate, 7);
+        b.kernels.push(KernelProfile { name: "k".into(), ..Default::default() });
+        a.merge(&b);
+        assert_eq!(a.elapsed_cycles, 30);
+        assert_eq!(a.valu_busy_cycles, 15);
+        assert_eq!(a.bytes_written[&RegionClass::Intermediate], 7);
+        assert_eq!(a.kernels.len(), 1);
+    }
+
+    #[test]
+    fn kernel_span_and_hit_ratio() {
+        let k = KernelProfile {
+            first_dispatch: 100,
+            last_complete: 400,
+            cache: AccessStats { hit_lines: 3, miss_lines: 1, writebacks: 0 },
+            ..Default::default()
+        };
+        assert_eq!(k.span(), 300);
+        assert!((k.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,848 @@
+//! The discrete-event GPU simulator.
+//!
+//! A [`Simulator`] owns the device state that survives across kernel
+//! launches: the simulated clock, the global-memory map, the data cache
+//! and the channels. [`Simulator::run`] launches a set of kernels
+//! *concurrently* (a GPL segment — or a single kernel, which is exactly
+//! KBE) and plays the discrete-event schedule to completion.
+//!
+//! ## Execution model
+//!
+//! * Work-group residency per CU follows Eq. 2: the private-memory,
+//!   local-memory and `wg_max` budgets of each CU are shared by all
+//!   co-resident kernels (Figure 10's mechanism).
+//! * Each CU is a two-stage pipeline: a vector-ALU stage and a memory
+//!   stage. A work-group's compute phase (`(c_inst + m_inst) · w`, Eq. 4)
+//!   occupies the VALU; its memory phase (cache/global traffic + channel
+//!   transfers) occupies the memory unit. Resident work-groups overlap
+//!   the two stages, which is how GPUs hide memory latency — and why a
+//!   lone kernel with one-sided demands leaves the other unit idle
+//!   (Observation 2, Figure 5).
+//! * At most `C` kernels are resident device-wide (the concurrency
+//!   degree). When a segment has more kernels than `C`, the simulator
+//!   interleaves them on "lanes", mimicking AMD's Asynchronous Compute
+//!   Engines: an idle lane-holder yields to a waiting kernel at a small
+//!   switch cost.
+//! * Channel pops happen when a consumer work-group dispatches; pushes
+//!   reserve space at dispatch and commit (publish) at completion — the
+//!   work-group-scope synchronization of Figure 9.
+
+use crate::cache::CacheSim;
+use crate::channel::{Channel, ChannelId, ChannelStats};
+use crate::counters::{KernelProfile, LaunchProfile};
+use crate::device::DeviceSpec;
+use crate::kernel::{ChannelIo, ChannelView, KernelDesc, Work};
+use crate::mem::{MemoryMap, MemRange, RegionClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Device-wide simulator state persisting across launches.
+pub struct Simulator {
+    spec: DeviceSpec,
+    pub mem: MemoryMap,
+    cache: CacheSim,
+    channels: Vec<Channel>,
+    clock: u64,
+    /// Regions already counted toward the materialization footprint in
+    /// the current epoch (see [`Simulator::reset_footprint`]).
+    footprint_seen: std::collections::HashSet<u32>,
+    /// Per-work-unit execution spans, recorded while tracing is enabled
+    /// (see [`Simulator::enable_trace`]). `None` = tracing off (free).
+    trace: Option<Vec<crate::timeline::TraceSpan>>,
+}
+
+struct ChannelsView<'a>(&'a [Channel]);
+
+impl ChannelView for ChannelsView<'_> {
+    fn available(&self, ch: ChannelId) -> u64 {
+        self.0[ch.0 as usize].available()
+    }
+    fn space(&self, ch: ChannelId) -> u64 {
+        self.0[ch.0 as usize].space()
+    }
+    fn eof(&self, ch: ChannelId) -> bool {
+        self.0[ch.0 as usize].eof()
+    }
+}
+
+/// Per-kernel run state.
+struct KState {
+    name: String,
+    wg_count: u32,
+    outputs: Vec<ChannelId>,
+    source: Box<dyn crate::kernel::WorkSource>,
+    /// Source returned `Done` (no more units will be emitted).
+    done: bool,
+    /// Done and drained: outputs are EOF, lane released.
+    finished: bool,
+    /// Last poll returned `Wait`; cleared by channel events.
+    blocked: bool,
+    inflight: u32,
+    inflight_per_cu: Vec<u32>,
+    /// Eq. 2 residency: max co-resident work-groups per CU.
+    residency: u32,
+    ready_at: u64,
+    idle_since: Option<u64>,
+    prof: KernelProfile,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Cu {
+    valu_free: u64,
+    mem_free: u64,
+}
+
+/// A scheduled work-group completion.
+struct Ev {
+    time: u64,
+    seq: u64,
+    kernel: usize,
+    cu: usize,
+    pushes: Vec<ChannelIo>,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl Simulator {
+    pub fn new(spec: DeviceSpec) -> Self {
+        let cache = CacheSim::new(spec.cache_bytes, spec.cache_line, spec.cache_assoc);
+        Simulator {
+            spec,
+            mem: MemoryMap::new(),
+            cache,
+            channels: Vec::new(),
+            clock: 0,
+            footprint_seen: std::collections::HashSet::new(),
+            trace: None,
+        }
+    }
+
+    /// Start recording a [`crate::timeline::TraceSpan`] per dispatched
+    /// work-unit (across launches, until [`Simulator::take_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// Stop tracing and return the recorded spans.
+    pub fn take_trace(&mut self) -> Vec<crate::timeline::TraceSpan> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Start a new materialization-footprint epoch: regions written after
+    /// this call count toward `footprint_written` again (call once per
+    /// query so per-query footprints don't double count shared stores).
+    pub fn reset_footprint(&mut self) {
+        self.footprint_seen.clear();
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Drop cache contents (between independent experiments).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// Create a channel group with `n` ports and `packet_bytes` packets,
+    /// allocating its backing buffers in simulated memory.
+    pub fn create_channel(&mut self, n: u32, packet_bytes: u32) -> ChannelId {
+        let cap = self.spec.channel.capacity_packets;
+        self.create_channel_with_capacity(n, packet_bytes, cap)
+    }
+
+    /// Create a channel group with an explicit per-port packet capacity
+    /// (GPL sizes channel buffers to the tile, Section 3.3).
+    pub fn create_channel_with_capacity(
+        &mut self,
+        n: u32,
+        packet_bytes: u32,
+        capacity_per_port: u32,
+    ) -> ChannelId {
+        assert!(
+            n >= 1 && n <= self.spec.channel.max_channels,
+            "channel count {n} outside [1, {}]",
+            self.spec.channel.max_channels
+        );
+        let bytes = Channel::buffer_bytes_cap(n, packet_bytes, capacity_per_port);
+        let buf = self.mem.alloc(bytes, RegionClass::ChannelBuf, format!("pipe[{n}x{packet_bytes}B]"));
+        let base = self.mem.base(buf);
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel::with_capacity(
+            &self.spec.channel,
+            n,
+            packet_bytes,
+            capacity_per_port,
+            base,
+        ));
+        id
+    }
+
+    pub fn channel_stats(&self, id: ChannelId) -> ChannelStats {
+        self.channels[id.0 as usize].stats
+    }
+
+    /// Eq. 2: split each CU's private-memory, local-memory and `wg_max`
+    /// budgets across the co-launched kernels. Every kernel is guaranteed
+    /// one resident work-group so pipelines always make progress; beyond
+    /// that, slots are handed out round-robin while they fit, capped by
+    /// each kernel's own `wg_count` spread over the CUs.
+    fn allocate_residency(&self, kernels: &[KernelDesc]) -> Vec<u32> {
+        let pm_max = self.spec.private_mem_per_cu;
+        let lm_max = self.spec.local_mem_per_cu;
+        let wg_max = self.spec.max_wg_per_cu;
+        let want: Vec<u32> = kernels
+            .iter()
+            .map(|k| k.wg_count.div_ceil(self.spec.num_cus).max(1))
+            .collect();
+        let mut res: Vec<u32> = vec![1; kernels.len()];
+        let fits = |res: &[u32], extra: usize| -> bool {
+            let mut pm = 0u64;
+            let mut lm = 0u64;
+            let mut wg = 0u64;
+            for (i, k) in kernels.iter().enumerate() {
+                let r = res[i] as u64 + u64::from(i == extra);
+                pm += k.resources.private_bytes_per_wg() * r;
+                lm += k.resources.local_bytes_per_wg as u64 * r;
+                wg += r;
+            }
+            pm <= pm_max && lm <= lm_max && wg <= wg_max as u64
+        };
+        loop {
+            let mut grew = false;
+            for i in 0..kernels.len() {
+                if res[i] < want[i] && fits(&res, i) {
+                    res[i] += 1;
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        res
+    }
+
+    /// Launch `kernels` concurrently and run to completion. Returns the
+    /// launch profile; the device clock, cache contents and channel state
+    /// persist for subsequent launches.
+    pub fn run(&mut self, kernels: Vec<KernelDesc>) -> LaunchProfile {
+        assert!(!kernels.is_empty(), "launching zero kernels");
+        let start = self.clock;
+        let residency = self.allocate_residency(&kernels);
+        let num_cus = self.spec.num_cus as usize;
+
+        // Channel wiring sanity: unique producer and consumer per channel.
+        let mut producer: Vec<Option<usize>> = vec![None; self.channels.len()];
+        let mut consumer: Vec<Option<usize>> = vec![None; self.channels.len()];
+        for (i, k) in kernels.iter().enumerate() {
+            for ch in &k.outputs {
+                assert!(
+                    producer[ch.0 as usize].replace(i).is_none(),
+                    "channel {ch:?} has two producers"
+                );
+            }
+            for ch in &k.inputs {
+                assert!(
+                    consumer[ch.0 as usize].replace(i).is_none(),
+                    "channel {ch:?} has two consumers"
+                );
+            }
+        }
+
+        let mut st: Vec<KState> = kernels
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| KState {
+                prof: KernelProfile { name: k.name.clone(), ..Default::default() },
+                name: k.name,
+                wg_count: k.wg_count,
+                outputs: k.outputs,
+                source: k.source,
+                done: false,
+                finished: false,
+                blocked: false,
+                inflight: 0,
+                inflight_per_cu: vec![0; num_cus],
+                residency: residency[i],
+                ready_at: start + self.spec.launch_cycles,
+                idle_since: Some(start),
+            })
+            .collect();
+        // Interned kernel names for trace spans (cheap Arc clones).
+        let trace_names: Option<Vec<std::sync::Arc<str>>> = self
+            .trace
+            .is_some()
+            .then(|| st.iter().map(|k| std::sync::Arc::from(k.name.as_str())).collect());
+
+        let mut cus = vec![Cu { valu_free: start, mem_free: start }; num_cus];
+        let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut finished = 0usize;
+        let total = st.len();
+        let c_lanes = self.spec.concurrency as usize;
+        let mut holders: Vec<usize> = (0..total.min(c_lanes)).collect();
+        let mut lane_queue: VecDeque<usize> = (total.min(c_lanes)..total).collect();
+
+        let mut profile = LaunchProfile {
+            num_cus: self.spec.num_cus,
+            max_wavefronts: self.spec.max_wavefronts(),
+            ..Default::default()
+        };
+        let mut inflight_total = 0u64;
+        let mut last_occ_update = start;
+
+        macro_rules! occ_tick {
+            ($now:expr) => {
+                profile.inflight_integral += inflight_total * ($now - last_occ_update);
+                last_occ_update = $now;
+            };
+        }
+
+        // Dispatch as many units as possible; returns whether anything
+        // was dispatched or any kernel changed state.
+        macro_rules! schedule {
+            () => {{
+                loop {
+                    let mut progress = false;
+                    // Dispatch pass over lane holders, in index order.
+                    let mut hs: Vec<usize> = holders.clone();
+                    hs.sort_unstable();
+                    for k in hs {
+                        loop {
+                            let s = &st[k];
+                            if s.finished || s.done || s.blocked {
+                                break;
+                            }
+                            if s.inflight >= s.wg_count {
+                                break;
+                            }
+                            // Pick the least-loaded CU with a free slot.
+                            let cu = (0..num_cus)
+                                .filter(|&c| s.inflight_per_cu[c] < s.residency)
+                                .min_by_key(|&c| (cus[c].valu_free.max(cus[c].mem_free), c));
+                            let Some(cu) = cu else { break };
+                            let work = st[k].source.next(&ChannelsView(&self.channels));
+                            match work {
+                                Work::Done => {
+                                    st[k].done = true;
+                                    progress = true;
+                                }
+                                Work::Wait => {
+                                    st[k].blocked = true;
+                                    progress = true;
+                                }
+                                Work::Unit(u) => {
+                                    let t0 = self.clock.max(st[k].ready_at);
+                                    let mut acc: Vec<MemRange> =
+                                        Vec::with_capacity(u.accesses.len() + 4);
+                                    let mut dc = 0u64;
+                                    for io in &u.pops {
+                                        dc += self.channels[io.channel.0 as usize]
+                                            .pop(t0, io.packets, &mut acc);
+                                        // Space freed: wake the producer.
+                                        if let Some(p) = producer[io.channel.0 as usize] {
+                                            st[p].blocked = false;
+                                        }
+                                    }
+                                    for io in &u.pushes {
+                                        dc += self.channels[io.channel.0 as usize]
+                                            .begin_push(t0, io.packets, &mut acc);
+                                    }
+                                    acc.extend_from_slice(&u.accesses);
+                                    // Run the traffic through the cache.
+                                    // Cache hits move the *requested*
+                                    // bytes (sub-line packet reads of a
+                                    // cached line are cheap); misses and
+                                    // write-backs transfer whole lines
+                                    // from DRAM, so sparse gathers pay
+                                    // line-granularity bandwidth.
+                                    let mut hit_bytes = 0u64;
+                                    let mut miss_bytes = 0u64;
+                                    let line = self.cache.line_bytes();
+                                    let mut any = false;
+                                    let mut any_miss = false;
+                                    for r in &acc {
+                                        if r.bytes == 0 {
+                                            continue;
+                                        }
+                                        any = true;
+                                        let stats = self.cache.access(*r);
+                                        st[k].prof.cache.merge(stats);
+                                        profile.cache.merge(stats);
+                                        let total = stats.total().max(1);
+                                        hit_bytes += r.bytes * stats.hit_lines / total;
+                                        miss_bytes +=
+                                            (stats.miss_lines + stats.writebacks) * line;
+                                        any_miss |= stats.miss_lines > 0;
+                                        let (rid, class) = self
+                                            .mem
+                                            .classify_id(r.addr)
+                                            .unwrap_or((crate::mem::RegionId(u32::MAX), RegionClass::Scratch));
+                                        let slot = if r.write {
+                                            &mut profile.bytes_written
+                                        } else {
+                                            &mut profile.bytes_read
+                                        };
+                                        *slot.entry(class).or_default() += r.bytes;
+                                        if r.write
+                                            && rid.0 != u32::MAX
+                                            && self.footprint_seen.insert(rid.0)
+                                        {
+                                            *profile.footprint_written.entry(class).or_default() +=
+                                                self.mem.region(rid).bytes;
+                                        }
+                                    }
+                                    let mut mem_cycles = hit_bytes
+                                        / self.spec.cache_bytes_per_cycle
+                                        + miss_bytes / self.spec.mem_bytes_per_cycle;
+                                    if any_miss {
+                                        mem_cycles += self.spec.mem_latency;
+                                    } else if any {
+                                        mem_cycles += self.spec.cache_latency;
+                                    }
+                                    let compute =
+                                        (u.compute_insts + u.mem_insts) * self.spec.issue_cycles;
+                                    // Two-stage CU pipeline.
+                                    let c = &mut cus[cu];
+                                    let vs = t0.max(c.valu_free);
+                                    let ve = vs + compute;
+                                    c.valu_free = ve;
+                                    let ms = ve.max(c.mem_free);
+                                    let me = (ms + mem_cycles + dc).max(t0 + 1);
+                                    c.mem_free = me;
+                                    profile.valu_busy_cycles += compute;
+                                    profile.mem_busy_cycles += mem_cycles + dc;
+
+                                    let s = &mut st[k];
+                                    if let Some(idle) = s.idle_since.take() {
+                                        s.prof.delay_cycles += t0.saturating_sub(idle);
+                                    }
+                                    if s.prof.units == 0 {
+                                        s.prof.first_dispatch = t0;
+                                    }
+                                    s.prof.units += 1;
+                                    s.prof.compute_insts += u.compute_insts;
+                                    s.prof.mem_insts += u.mem_insts;
+                                    s.prof.compute_cycles += compute;
+                                    s.prof.mem_cycles += mem_cycles;
+                                    s.prof.dc_cycles += dc;
+                                    s.inflight += 1;
+                                    s.inflight_per_cu[cu] += 1;
+                                    s.prof.peak_inflight = s.prof.peak_inflight.max(s.inflight);
+                                    occ_tick!(self.clock);
+                                    inflight_total += 1;
+                                    if let Some(tr) = self.trace.as_mut() {
+                                        tr.push(crate::timeline::TraceSpan {
+                                            kernel: trace_names.as_ref().expect("names")[k]
+                                                .clone(),
+                                            cu: cu as u32,
+                                            start: t0,
+                                            end: me,
+                                        });
+                                    }
+                                    seq += 1;
+                                    events.push(Reverse(Ev {
+                                        time: me,
+                                        seq,
+                                        kernel: k,
+                                        cu,
+                                        pushes: u.pushes,
+                                    }));
+                                    progress = true;
+                                }
+                            }
+                        }
+                        // Finish a drained kernel.
+                        if st[k].done && !st[k].finished && st[k].inflight == 0 {
+                            st[k].finished = true;
+                            st[k].idle_since = None;
+                            st[k].prof.last_complete = st[k].prof.last_complete.max(self.clock);
+                            finished += 1;
+                            for ch in st[k].outputs.clone() {
+                                self.channels[ch.0 as usize].set_eof();
+                                if let Some(c) = consumer[ch.0 as usize] {
+                                    st[c].blocked = false;
+                                }
+                            }
+                            holders.retain(|&h| h != k);
+                            progress = true;
+                        }
+                    }
+                    // Lane reclaim: idle holders yield to waiting kernels.
+                    if !lane_queue.is_empty() {
+                        let mut i = 0;
+                        while i < holders.len() {
+                            let k = holders[i];
+                            let s = &st[k];
+                            if s.inflight == 0 && (s.blocked || s.done) {
+                                holders.swap_remove(i);
+                                if !s.finished {
+                                    lane_queue.push_back(k);
+                                }
+                                progress = true;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
+                    // Lane grant, FIFO over waiting kernels that can make
+                    // progress; blocked waiters are requeued (they get a
+                    // lane once a channel event unblocks them).
+                    let mut scan = lane_queue.len();
+                    while holders.len() < c_lanes && scan > 0 {
+                        scan -= 1;
+                        let Some(k) = lane_queue.pop_front() else { break };
+                        if st[k].finished {
+                            progress = true;
+                            continue;
+                        }
+                        if st[k].blocked {
+                            lane_queue.push_back(k);
+                            continue;
+                        }
+                        st[k].ready_at =
+                            st[k].ready_at.max(self.clock + self.spec.lane_switch_cycles);
+                        holders.push(k);
+                        progress = true;
+                    }
+                    if !progress {
+                        break;
+                    }
+                }
+            }};
+        }
+
+        loop {
+            schedule!();
+            if finished == total {
+                break;
+            }
+            let Some(Reverse(ev)) = events.pop() else {
+                let mut diag = String::new();
+                for s in &st {
+                    diag.push_str(&format!(
+                        "\n  kernel {:<20} done={} finished={} blocked={} inflight={}",
+                        s.name, s.done, s.finished, s.blocked, s.inflight
+                    ));
+                }
+                for (i, c) in self.channels.iter().enumerate() {
+                    diag.push_str(&format!(
+                        "\n  channel {i}: avail={} space={} eof={}",
+                        c.available(),
+                        c.space(),
+                        c.eof()
+                    ));
+                }
+                panic!("simulator deadlock at cycle {}:{diag}", self.clock);
+            };
+            debug_assert!(ev.time >= self.clock, "time must be monotone");
+            occ_tick!(ev.time);
+            self.clock = ev.time;
+            let k = ev.kernel;
+            inflight_total -= 1;
+            st[k].inflight -= 1;
+            st[k].inflight_per_cu[ev.cu] -= 1;
+            st[k].prof.last_complete = self.clock;
+            for io in &ev.pushes {
+                self.channels[io.channel.0 as usize].commit_push(self.clock, io.packets);
+                if let Some(c) = consumer[io.channel.0 as usize] {
+                    st[c].blocked = false;
+                }
+            }
+            if st[k].inflight == 0 && !st[k].done {
+                st[k].idle_since = Some(self.clock);
+            }
+            // A completed unit may unblock its own kernel (slot freed).
+            st[k].blocked = false;
+        }
+
+        profile.elapsed_cycles = self.clock - start;
+        profile.kernels = st.into_iter().map(|s| s.prof).collect();
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{amd_a10, nvidia_k40};
+    use crate::kernel::{KernelDesc, ResourceUsage, WorkUnit};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn res() -> ResourceUsage {
+        ResourceUsage::new(64, 256, 1024)
+    }
+
+    /// A kernel that scans a region in `units` chunks.
+    fn scan_kernel(sim: &mut Simulator, bytes: u64, units: u64) -> KernelDesc {
+        let region = sim.mem.alloc(bytes, RegionClass::TableData, "scan-input");
+        let base = sim.mem.base(region);
+        let chunk = bytes / units;
+        let mut i = 0u64;
+        let src = move |_: &dyn ChannelView| {
+            if i == units {
+                return Work::Done;
+            }
+            let u = WorkUnit {
+                compute_insts: 100,
+                mem_insts: 10,
+                accesses: vec![MemRange::read(base + i * chunk, chunk)],
+                ..Default::default()
+            };
+            i += 1;
+            Work::Unit(u)
+        };
+        KernelDesc::new("scan", res(), 32, Box::new(src))
+    }
+
+    #[test]
+    fn single_kernel_runs_to_completion() {
+        let mut sim = Simulator::new(amd_a10());
+        let k = scan_kernel(&mut sim, 1 << 20, 64);
+        let p = sim.run(vec![k]);
+        assert!(p.elapsed_cycles > 0);
+        assert_eq!(p.kernels.len(), 1);
+        assert_eq!(p.kernels[0].units, 64);
+        assert!(p.bytes_read[&RegionClass::TableData] == 1 << 20);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(amd_a10());
+            let k = scan_kernel(&mut sim, 1 << 20, 64);
+            sim.run(vec![k]).elapsed_cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn producer_consumer_pipeline_completes_and_conserves_packets() {
+        let mut sim = Simulator::new(amd_a10());
+        let ch = sim.create_channel(4, 16);
+        let total = 10_000u64;
+        let consumed = Rc::new(Cell::new(0u64));
+
+        let mut produced = 0u64;
+        let prod = move |view: &dyn ChannelView| {
+            if produced == total {
+                return Work::Done;
+            }
+            let k = view.space(ch).min(64).min(total - produced);
+            if k == 0 {
+                return Work::Wait;
+            }
+            produced += k;
+            Work::Unit(WorkUnit { compute_insts: 4 * k, ..Default::default() }.push(ch, k))
+        };
+        let consumed2 = consumed.clone();
+        let cons = move |view: &dyn ChannelView| {
+            let avail = view.available(ch);
+            if avail == 0 {
+                if view.eof(ch) {
+                    return Work::Done;
+                }
+                return Work::Wait;
+            }
+            let k = avail.min(64);
+            consumed2.set(consumed2.get() + k);
+            Work::Unit(WorkUnit { compute_insts: 2 * k, ..Default::default() }.pop(ch, k))
+        };
+
+        let p = sim.run(vec![
+            KernelDesc::new("producer", res(), 16, Box::new(prod)).writes_channel(ch),
+            KernelDesc::new("consumer", res(), 16, Box::new(cons)).reads_channel(ch),
+        ]);
+        assert_eq!(consumed.get(), total);
+        let cs = sim.channel_stats(ch);
+        assert_eq!(cs.packets_pushed, total);
+        assert_eq!(cs.packets_popped, total);
+        assert!(p.kernels[1].dc_cycles > 0, "consumer must pay channel cost");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn waiting_forever_is_detected() {
+        let mut sim = Simulator::new(amd_a10());
+        let src = |_: &dyn ChannelView| Work::Wait;
+        let k = KernelDesc::new("stuck", res(), 4, Box::new(src));
+        sim.run(vec![k]);
+    }
+
+    #[test]
+    fn residency_respects_local_memory_budget() {
+        let sim = Simulator::new(amd_a10());
+        // One kernel wanting all the local memory per group: 32 KiB / CU
+        // allows exactly 1 resident group of 16 KiB + the guaranteed one of
+        // the second kernel (which overflows by design but is clamped).
+        let big = ResourceUsage::new(64, 64, 16 * 1024);
+        let mk = |name: &str| {
+            KernelDesc::new(name, big, 1024, Box::new(|_: &dyn ChannelView| Work::Done))
+        };
+        let r = sim.allocate_residency(&[mk("a"), mk("b")]);
+        assert_eq!(r, vec![1, 1], "16KiB groups: only one each fits in 32KiB");
+        let small = ResourceUsage::new(64, 64, 1024);
+        let mk2 = || {
+            KernelDesc::new("s", small, 1024, Box::new(|_: &dyn ChannelView| Work::Done))
+        };
+        let r2 = sim.allocate_residency(&[mk2(), mk2()]);
+        assert!(r2[0] > 4, "small groups must get many slots, got {:?}", r2);
+        // wg_max shared: total residency bounded by the device budget.
+        assert!(r2.iter().map(|&x| x as u64).sum::<u64>() <= sim.spec.max_wg_per_cu as u64);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+        /// Eq. 2 invariants: the residency allocator never exceeds any
+        /// CU budget, grants every kernel at least one slot, and never
+        /// grants more slots than a kernel has work-groups for.
+        #[test]
+        fn residency_respects_every_budget(
+            kernels in proptest::collection::vec(
+                (1u32..4096, 8u32..512, 0u32..12_288),
+                1..6,
+            )
+        ) {
+            let sim = Simulator::new(amd_a10());
+            let spec = sim.spec().clone();
+            let descs: Vec<KernelDesc> = kernels
+                .iter()
+                .map(|&(wg, pm, lm)| {
+                    KernelDesc::new(
+                        "k",
+                        ResourceUsage::new(64, pm, lm),
+                        wg,
+                        Box::new(|_: &dyn ChannelView| Work::Done),
+                    )
+                })
+                .collect();
+            let res = sim.allocate_residency(&descs);
+            proptest::prop_assert_eq!(res.len(), descs.len());
+            let mut pm_total = 0u64;
+            let mut lm_total = 0u64;
+            let mut wg_total = 0u64;
+            for (r, d) in res.iter().zip(&descs) {
+                proptest::prop_assert!(*r >= 1, "every kernel gets a slot");
+                proptest::prop_assert!(
+                    *r <= d.wg_count.div_ceil(spec.num_cus).max(1),
+                    "no more residency than work"
+                );
+                pm_total += d.resources.private_bytes_per_wg() * *r as u64;
+                lm_total += d.resources.local_bytes_per_wg as u64 * *r as u64;
+                wg_total += *r as u64;
+            }
+            // Budgets hold whenever they are satisfiable at one slot each
+            // (the allocator clamps the guaranteed slot otherwise).
+            let min_pm: u64 =
+                descs.iter().map(|d| d.resources.private_bytes_per_wg()).sum();
+            let min_lm: u64 =
+                descs.iter().map(|d| d.resources.local_bytes_per_wg as u64).sum();
+            if min_pm <= spec.private_mem_per_cu && min_lm <= spec.local_mem_per_cu {
+                proptest::prop_assert!(pm_total <= spec.private_mem_per_cu);
+                proptest::prop_assert!(lm_total <= spec.local_mem_per_cu);
+            }
+            proptest::prop_assert!(
+                wg_total <= spec.max_wg_per_cu as u64 || descs.len() as u64 > spec.max_wg_per_cu as u64
+            );
+        }
+    }
+
+    #[test]
+    fn more_lanes_help_wide_segments() {
+        // Three compute-heavy kernels: on C=2 (AMD) they interleave; on a
+        // C=16 device they run fully concurrently and finish sooner in
+        // terms of device utilization. We check the lane mechanism runs
+        // and produces a valid profile on both.
+        let run = |spec: DeviceSpec| {
+            let mut sim = Simulator::new(spec);
+            let ks: Vec<KernelDesc> = (0..3)
+                .map(|j| {
+                    let mut i = 0;
+                    let src = move |_: &dyn ChannelView| {
+                        if i == 200 {
+                            return Work::Done;
+                        }
+                        i += 1;
+                        Work::Unit(WorkUnit { compute_insts: 5_000, ..Default::default() })
+                    };
+                    KernelDesc::new(format!("k{j}"), res(), 64, Box::new(src))
+                })
+                .collect();
+            sim.run(ks)
+        };
+        let amd = run(amd_a10());
+        let nv = run(nvidia_k40());
+        assert_eq!(amd.kernels.len(), 3);
+        assert_eq!(nv.kernels.len(), 3);
+        for p in [&amd, &nv] {
+            for k in &p.kernels {
+                assert_eq!(k.units, 200);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_persists_across_launches() {
+        let mut sim = Simulator::new(amd_a10());
+        let k1 = scan_kernel(&mut sim, 1 << 16, 4);
+        let p1 = sim.run(vec![k1]);
+        let t1 = sim.clock();
+        assert_eq!(t1, p1.elapsed_cycles);
+        let k2 = scan_kernel(&mut sim, 1 << 16, 4);
+        let p2 = sim.run(vec![k2]);
+        assert_eq!(sim.clock(), t1 + p2.elapsed_cycles);
+    }
+
+    #[test]
+    fn warm_cache_speeds_up_second_scan() {
+        let mut sim = Simulator::new(amd_a10());
+        let region = sim.mem.alloc(1 << 20, RegionClass::TableData, "r");
+        let base = sim.mem.base(region);
+        let mk = |base: u64| {
+            let mut i = 0u64;
+            let src = move |_: &dyn ChannelView| {
+                if i == 16 {
+                    return Work::Done;
+                }
+                let u = WorkUnit {
+                    compute_insts: 10,
+                    mem_insts: 10,
+                    accesses: vec![MemRange::read(base + i * (1 << 16), 1 << 16)],
+                    ..Default::default()
+                };
+                i += 1;
+                Work::Unit(u)
+            };
+            KernelDesc::new("scan", ResourceUsage::new(64, 64, 0), 8, Box::new(src))
+        };
+        let cold = sim.run(vec![mk(base)]).elapsed_cycles;
+        let warm = sim.run(vec![mk(base)]).elapsed_cycles;
+        assert!(warm < cold, "1 MiB fits the 4 MiB cache: warm {warm} < cold {cold}");
+    }
+}

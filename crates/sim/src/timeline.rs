@@ -1,0 +1,273 @@
+//! Kernel-execution timelines.
+//!
+//! When tracing is enabled ([`crate::Simulator::enable_trace`]), the
+//! simulator records one [`TraceSpan`] per dispatched work-unit: which
+//! kernel occupied a compute unit, from which cycle to which. The
+//! [`render`] function turns the spans into an ASCII Gantt chart — the
+//! quickest way to *see* the paper's execution models side by side: KBE
+//! kernels appear strictly one after another (each launch drains before
+//! the next starts), while a GPL segment's kernels overlap for almost
+//! their entire lifetime, connected by channels (Figures 9/10).
+
+use std::sync::Arc;
+
+/// One work-unit execution: `kernel` occupied CU `cu` over
+/// `[start, end)` (cycles). Channel-transfer and memory time is included
+/// — this is wall-clock occupancy, not VALU-only time.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    pub kernel: Arc<str>,
+    pub cu: u32,
+    pub start: u64,
+    pub end: u64,
+}
+
+/// A row of the rendered chart: per-kernel occupancy over time buckets.
+#[derive(Debug, Clone)]
+pub struct TimelineRow {
+    pub kernel: String,
+    /// Busy fraction (0..=1, summed over CUs and normalized) per bucket.
+    pub density: Vec<f64>,
+}
+
+/// Bucket the spans into `width` time columns, one row per kernel in
+/// first-dispatch order. Density is the fraction of the bucket × CU
+/// area the kernel's spans cover, so a kernel saturating half the CUs
+/// for a whole bucket reads 0.5.
+pub fn bucketize(spans: &[TraceSpan], width: usize, num_cus: u32) -> (Vec<TimelineRow>, u64, u64) {
+    assert!(width > 0, "timeline width must be positive");
+    if spans.is_empty() {
+        return (Vec::new(), 0, 0);
+    }
+    let t0 = spans.iter().map(|s| s.start).min().expect("non-empty");
+    let t1 = spans.iter().map(|s| s.end).max().expect("non-empty").max(t0 + 1);
+    let bucket = ((t1 - t0) as f64 / width as f64).max(1.0);
+    let mut rows: Vec<(Arc<str>, Vec<f64>)> = Vec::new();
+    for s in spans {
+        let row = match rows.iter().position(|(k, _)| *k == s.kernel) {
+            Some(i) => i,
+            None => {
+                rows.push((s.kernel.clone(), vec![0.0; width]));
+                rows.len() - 1
+            }
+        };
+        // Spread the span's cycles over the buckets it overlaps.
+        let (a, b) = (s.start - t0, s.end - t0);
+        let first = (a as f64 / bucket) as usize;
+        let last = (((b as f64 / bucket).ceil() as usize).max(first + 1)).min(width);
+        for i in first..last {
+            let lo = (i as f64) * bucket;
+            let hi = lo + bucket;
+            let overlap = (b as f64).min(hi) - (a as f64).max(lo);
+            if overlap > 0.0 {
+                rows[row].1[i] += overlap;
+            }
+        }
+    }
+    let area = bucket * num_cus.max(1) as f64;
+    let rows = rows
+        .into_iter()
+        .map(|(k, d)| TimelineRow {
+            kernel: k.to_string(),
+            density: d.into_iter().map(|v| (v / area).min(1.0)).collect(),
+        })
+        .collect();
+    (rows, t0, t1)
+}
+
+const SHADES: [char; 6] = [' ', '.', ':', '=', '#', '@'];
+
+/// Render the spans as an ASCII Gantt chart, `width` columns wide.
+/// Shades run ` . : = # @` from idle to all-CUs-busy.
+pub fn render(spans: &[TraceSpan], width: usize, num_cus: u32) -> String {
+    let (rows, t0, t1) = bucketize(spans, width, num_cus);
+    if rows.is_empty() {
+        return "(no spans traced)\n".to_string();
+    }
+    let label = rows.iter().map(|r| r.kernel.len()).max().expect("non-empty").max(6);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>label$} |{}| cycles {t0}..{t1}\n",
+        "kernel",
+        "-".repeat(width),
+    ));
+    for r in &rows {
+        let bar: String = r
+            .density
+            .iter()
+            .map(|&d| SHADES[((d * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)])
+            .collect();
+        out.push_str(&format!("{:>label$} |{bar}|\n", r.kernel));
+    }
+    out
+}
+
+/// Fraction of the makespan during which at least two distinct kernels
+/// have spans in flight — 0 for a strictly serial (KBE) schedule,
+/// approaching 1 for a fully pipelined segment.
+pub fn overlap_fraction(spans: &[TraceSpan]) -> f64 {
+    if spans.is_empty() {
+        return 0.0;
+    }
+    // Sweep over start/end events counting distinct active kernels.
+    let mut events: Vec<(u64, bool, &str)> = Vec::with_capacity(spans.len() * 2);
+    for s in spans {
+        events.push((s.start, true, &s.kernel));
+        events.push((s.end, false, &s.kernel));
+    }
+    events.sort_by_key(|&(t, is_start, _)| (t, !is_start));
+    let mut active: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let (mut last_t, mut overlapped, mut total) = (events[0].0, 0u64, 0u64);
+    let t_end = events.last().expect("non-empty").0;
+    for (t, is_start, k) in events {
+        let distinct = active.iter().filter(|(_, &n)| n > 0).count();
+        if t > last_t {
+            total += t - last_t;
+            if distinct >= 2 {
+                overlapped += t - last_t;
+            }
+            last_t = t;
+        }
+        let e = active.entry(k).or_insert(0);
+        if is_start {
+            *e += 1;
+        } else {
+            *e = e.saturating_sub(1);
+        }
+    }
+    debug_assert_eq!(last_t, t_end);
+    if total == 0 {
+        0.0
+    } else {
+        overlapped as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(k: &str, cu: u32, start: u64, end: u64) -> TraceSpan {
+        TraceSpan { kernel: Arc::from(k), cu, start, end }
+    }
+
+    #[test]
+    fn bucketize_groups_by_kernel_in_first_dispatch_order() {
+        let spans = vec![span("b", 0, 50, 100), span("a", 0, 0, 50), span("b", 1, 60, 90)];
+        let (rows, t0, t1) = bucketize(&spans, 10, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kernel, "b", "first span seen first");
+        assert_eq!(rows[1].kernel, "a");
+        assert_eq!((t0, t1), (0, 100));
+    }
+
+    #[test]
+    fn density_is_bounded_and_localized() {
+        // `k` occupies one CU of two for the first half of a 0..100
+        // makespan (pinned by the second kernel).
+        let spans = vec![span("k", 0, 0, 50), span("other", 1, 0, 100)];
+        let (rows, _, _) = bucketize(&spans, 10, 2);
+        let d = &rows[0].density;
+        for (i, &v) in d.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&v));
+            if i < 5 {
+                assert!((v - 0.5).abs() < 1e-9, "bucket {i}: {v}");
+            } else {
+                assert_eq!(v, 0.0, "bucket {i} past the span");
+            }
+        }
+        // `other` covers every bucket at half density (one CU of two).
+        for (i, &v) in rows[1].density.iter().enumerate() {
+            assert!((v - 0.5).abs() < 1e-9, "other bucket {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_kernel_row() {
+        let spans = vec![span("k_map*", 0, 0, 80), span("k_reduce*", 1, 10, 100)];
+        let s = render(&spans, 20, 2);
+        assert!(s.contains("k_map*"), "{s}");
+        assert!(s.contains("k_reduce*"), "{s}");
+        assert!(s.contains("cycles 0..100"), "{s}");
+    }
+
+    #[test]
+    fn overlap_fraction_distinguishes_serial_from_pipelined() {
+        let serial = vec![span("a", 0, 0, 100), span("b", 0, 100, 200)];
+        assert_eq!(overlap_fraction(&serial), 0.0);
+        let pipelined = vec![span("a", 0, 0, 100), span("b", 1, 0, 100)];
+        assert!((overlap_fraction(&pipelined) - 1.0).abs() < 1e-9);
+        // Same kernel on two CUs is parallelism, not pipelining.
+        let wide = vec![span("a", 0, 0, 100), span("a", 1, 0, 100)];
+        assert_eq!(overlap_fraction(&wide), 0.0);
+        // Half overlapped.
+        let half = vec![span("a", 0, 0, 100), span("b", 1, 50, 150)];
+        assert!((overlap_fraction(&half) - (50.0 / 150.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_renders_gracefully() {
+        assert_eq!(render(&[], 10, 4), "(no spans traced)\n");
+        assert_eq!(overlap_fraction(&[]), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_spans() -> impl Strategy<Value = Vec<TraceSpan>> {
+            proptest::collection::vec(
+                (0u64..10_000, 1u64..500, 0u32..8, 0usize..4),
+                1..50,
+            )
+            .prop_map(|v| {
+                let names = ["k_map*", "k_probe*", "k_reduce*", "k_build"];
+                v.into_iter()
+                    .map(|(start, len, cu, n)| TraceSpan {
+                        kernel: Arc::from(names[n]),
+                        cu,
+                        start,
+                        end: start + len,
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            /// Bucketizing conserves busy time: the densities, scaled
+            /// back to cycle·CU area, sum to the total span length.
+            /// `num_cus` exceeds the generator's max span count, so the
+            /// 1.0 density clamp never binds and conservation is exact.
+            #[test]
+            fn bucketize_conserves_busy_cycles(spans in arb_spans(), width in 1usize..200) {
+                let num_cus = 64;
+                let (rows, t0, t1) = bucketize(&spans, width, num_cus);
+                let bucket = ((t1 - t0) as f64 / width as f64).max(1.0);
+                let got: f64 = rows
+                    .iter()
+                    .flat_map(|r| &r.density)
+                    .map(|d| d * bucket * num_cus as f64)
+                    .sum();
+                let want: f64 = spans.iter().map(|s| (s.end - s.start) as f64).sum();
+                prop_assert!((got - want).abs() <= want * 1e-6 + 1e-6, "got {got}, want {want}");
+            }
+
+            #[test]
+            fn densities_stay_in_unit_range(spans in arb_spans(), width in 1usize..100) {
+                let (rows, _, _) = bucketize(&spans, width, 8);
+                for r in &rows {
+                    prop_assert_eq!(r.density.len(), width);
+                    for &d in &r.density {
+                        prop_assert!((0.0..=1.0).contains(&d));
+                    }
+                }
+            }
+
+            #[test]
+            fn overlap_fraction_is_a_fraction(spans in arb_spans()) {
+                let f = overlap_fraction(&spans);
+                prop_assert!((0.0..=1.0).contains(&f), "{f}");
+            }
+        }
+    }
+}

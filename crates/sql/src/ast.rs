@@ -1,0 +1,121 @@
+//! Abstract syntax for the supported analytical SQL subset:
+//!
+//! ```sql
+//! SELECT <item>[, ...]
+//! FROM <table> [<alias>][, ...]
+//! [WHERE <conjunct> [AND ...]]
+//! [GROUP BY <expr>[, ...]]
+//! [ORDER BY <expr|position> [ASC|DESC][, ...]]
+//! [LIMIT <n>]
+//! ```
+//!
+//! with expressions over columns, numeric / string / date literals,
+//! `+ - * /`, comparisons, `BETWEEN`, `IN (...)`, `LIKE 'prefix%'` (on
+//! dictionary columns), `CASE WHEN ... THEN ... ELSE ... END`,
+//! `EXTRACT(YEAR FROM ...)`, date `INTERVAL` arithmetic, and the
+//! aggregates `SUM`, `COUNT(*)`, `MIN`, `MAX`.
+
+/// A possibly-qualified column reference (`n1.n_name` or `l_orderkey`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Column(ColumnRef),
+    /// Numeric literal, textual (typed during binding: `0.05` on a
+    /// decimal column becomes 5 cents).
+    Number(String),
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'` possibly with interval arithmetic, folded to a
+    /// day number at parse time.
+    DateLit(i32),
+    Binary { op: BinOp, lhs: Box<SqlExpr>, rhs: Box<SqlExpr> },
+    /// `CASE WHEN cond THEN a ELSE b END`.
+    Case { cond: Box<SqlPred>, then: Box<SqlExpr>, otherwise: Box<SqlExpr> },
+    /// `EXTRACT(YEAR FROM e)`.
+    ExtractYear(Box<SqlExpr>),
+    /// Aggregate call; only allowed at the top of a select item.
+    Agg { func: AggFunc, arg: Option<Box<SqlExpr>> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Min,
+    Max,
+}
+
+/// Boolean predicates (WHERE conjuncts, CASE conditions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlPred {
+    Cmp { op: CmpOp, lhs: SqlExpr, rhs: SqlExpr },
+    Between { expr: SqlExpr, lo: SqlExpr, hi: SqlExpr },
+    InList { expr: SqlExpr, list: Vec<SqlExpr> },
+    /// `LIKE 'prefix%'` on a dictionary-encoded column.
+    LikePrefix { expr: SqlExpr, prefix: String },
+    And(Vec<SqlPred>),
+    Or(Box<SqlPred>, Box<SqlPred>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// One SELECT item: an expression with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// A FROM entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses refer to this instance by.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// ORDER BY key: a 1-based output position or an expression matching a
+/// select item / alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Position(usize),
+    Expr(SqlExpr),
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicates: Vec<SqlPred>,
+    pub group_by: Vec<SqlExpr>,
+    pub order_by: Vec<(OrderKey, bool)>, // (key, descending)
+    pub limit: Option<usize>,
+}

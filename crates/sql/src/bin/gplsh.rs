@@ -1,0 +1,165 @@
+//! `gplsh` — an interactive SQL shell over the GPL engine.
+//!
+//! ```text
+//! cargo run --release -p gpl-sql --bin gplsh -- [--sf 0.05] [--device amd|nvidia] [--mode gpl|kbe]
+//! ```
+//!
+//! Reads one statement per line (`;` optional). Meta-commands:
+//! `\mode gpl|kbe|noce`, `\explain <sql>`, `\timeline <sql>` (traced
+//! per-kernel Gantt chart), `\tables`, `\q`.
+
+use gpl_core::{DisplayHint, ExecContext, ExecMode};
+use gpl_storage::{decimal_to_string, Date};
+use gpl_sim::{amd_a10, nvidia_k40};
+use gpl_sql::{compile_optimized, run_sql};
+use gpl_tpch::TpchDb;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sf = 0.05;
+    let mut spec = amd_a10();
+    let mut mode = ExecMode::Gpl;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                sf = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(sf);
+                i += 2;
+            }
+            "--device" => {
+                if args.get(i + 1).map(String::as_str) == Some("nvidia") {
+                    spec = nvidia_k40();
+                }
+                i += 2;
+            }
+            "--mode" => {
+                mode = parse_mode(args.get(i + 1).map(String::as_str).unwrap_or("gpl"));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("generating TPC-H at SF {sf} on {} ...", spec.name);
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(sf));
+    eprintln!(
+        "ready — {} lineitem rows. \\q quits, \\explain <sql> shows the plan.",
+        ctx.db.lineitem.rows()
+    );
+
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("gpl> ");
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                break;
+            }
+        }
+        let line = line.trim().trim_end_matches(';').trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" || line == "quit" || line == "exit" {
+            break;
+        }
+        if line == "\\tables" {
+            for t in ctx.db.tables() {
+                eprintln!("  {:<10} {:>9} rows", t.name(), t.rows());
+            }
+            continue;
+        }
+        if let Some(m) = line.strip_prefix("\\mode") {
+            mode = parse_mode(m.trim());
+            eprintln!("mode: {}", mode.name());
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\explain") {
+            match compile_optimized(&ctx.db, sql.trim()) {
+                Ok(plan) => eprintln!("{}", plan.explain()),
+                Err(e) => eprintln!("{e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\timeline") {
+            ctx.sim.enable_trace();
+            match run_sql(&mut ctx, sql.trim(), mode) {
+                Ok(run) => {
+                    let spans = ctx.sim.take_trace();
+                    eprintln!(
+                        "{} cycles under {}, kernel overlap {:.0}%",
+                        run.cycles,
+                        mode.name(),
+                        100.0 * gpl_sim::overlap_fraction(&spans)
+                    );
+                    eprintln!("{}", gpl_sim::render_timeline(&spans, 96, spec.num_cus));
+                }
+                Err(e) => {
+                    ctx.sim.take_trace();
+                    eprintln!("{e}");
+                }
+            }
+            continue;
+        }
+        let plan = match compile_optimized(&ctx.db, line) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                continue;
+            }
+        };
+        let hints = plan.display.clone().unwrap_or_default();
+        match run_sql(&mut ctx, line, mode) {
+            Ok(run) => {
+                println!("{}", run.output.columns.join(" | "));
+                for row in &run.output.rows {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| render(&ctx, hints.get(i), *v))
+                        .collect();
+                    println!("{}", cells.join(" | "));
+                }
+                eprintln!(
+                    "-- {} rows, {} simulated cycles ({:.2} ms on the {})",
+                    run.output.num_rows(),
+                    run.cycles,
+                    run.ms(&spec),
+                    spec.name
+                );
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+}
+
+fn render(ctx: &ExecContext, hint: Option<&DisplayHint>, v: i64) -> String {
+    match hint {
+        Some(DisplayHint::Decimal) => decimal_to_string(v),
+        Some(DisplayHint::Date) => Date::from_days(v as i32).to_string(),
+        Some(DisplayHint::Dict { table, column }) => ctx
+            .db
+            .table(table)
+            .col(column)
+            .dictionary()
+            .map(|d| d.get(v as u32).to_string())
+            .unwrap_or_else(|| v.to_string()),
+        _ => v.to_string(),
+    }
+}
+
+fn parse_mode(s: &str) -> ExecMode {
+    match s {
+        "kbe" => ExecMode::Kbe,
+        "noce" => ExecMode::GplNoCe,
+        _ => ExecMode::Gpl,
+    }
+}

@@ -1,0 +1,111 @@
+//! Schema metadata the binder and planner consult: tables, column types,
+//! dictionaries, and primary keys (which decide the legal hash-join
+//! build sides).
+
+use crate::token::{err, SqlError};
+use gpl_storage::{DataType, Table};
+use gpl_tpch::TpchDb;
+
+/// Primary key of each TPC-H relation (build sides must be unique keys;
+/// LINEITEM has no usable single-column key and is never a build side).
+pub fn primary_key(table: &str) -> &'static [&'static str] {
+    match table {
+        "region" => &["r_regionkey"],
+        "nation" => &["n_nationkey"],
+        "supplier" => &["s_suppkey"],
+        "customer" => &["c_custkey"],
+        "part" => &["p_partkey"],
+        "orders" => &["o_orderkey"],
+        "partsupp" => &["ps_partkey", "ps_suppkey"],
+        _ => &[],
+    }
+}
+
+/// A catalog over a generated database.
+pub struct Catalog<'a> {
+    pub db: &'a TpchDb,
+}
+
+impl<'a> Catalog<'a> {
+    pub fn new(db: &'a TpchDb) -> Self {
+        Catalog { db }
+    }
+
+    pub fn table(&self, name: &str) -> Result<&'a Table, SqlError> {
+        const TABLES: &[&str] =
+            &["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+        if TABLES.contains(&name) {
+            Ok(self.db.table(name))
+        } else {
+            err(format!("unknown table {name:?}"))
+        }
+    }
+
+    /// The type of `table.column`.
+    pub fn column_type(&self, table: &str, column: &str) -> Result<DataType, SqlError> {
+        let t = self.table(table)?;
+        match t.col_index(column) {
+            Some(i) => Ok(t.col_at(i).data_type()),
+            None => err(format!("table {table:?} has no column {column:?}")),
+        }
+    }
+
+    /// Dictionary code for a string literal compared against a dict
+    /// column; unknown strings get a never-matching sentinel.
+    pub fn dict_code(&self, table: &str, column: &str, value: &str) -> Result<i64, SqlError> {
+        let t = self.table(table)?;
+        let col = t.col(column);
+        let Some(dict) = col.dictionary() else {
+            return err(format!("{table}.{column} is not a string column"));
+        };
+        Ok(dict.code_of(value).map(|c| c as i64).unwrap_or(-1))
+    }
+
+    /// Codes of all dictionary entries with the given prefix (`LIKE 'p%'`).
+    pub fn dict_prefix_codes(
+        &self,
+        table: &str,
+        column: &str,
+        prefix: &str,
+    ) -> Result<Vec<i64>, SqlError> {
+        let t = self.table(table)?;
+        let col = t.col(column);
+        let Some(dict) = col.dictionary() else {
+            return err(format!("{table}.{column} is not a string column"));
+        };
+        Ok(dict
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.starts_with(prefix))
+            .map(|(i, _)| i as i64)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_tables_types_and_dictionaries() {
+        let db = TpchDb::at_scale(0.002);
+        let c = Catalog::new(&db);
+        assert!(c.table("lineitem").is_ok());
+        assert!(c.table("widgets").is_err());
+        assert_eq!(c.column_type("lineitem", "l_extendedprice").unwrap(), DataType::Decimal);
+        assert_eq!(c.column_type("orders", "o_orderdate").unwrap(), DataType::Date);
+        assert!(c.column_type("orders", "nope").is_err());
+        assert!(c.dict_code("region", "r_name", "ASIA").unwrap() >= 0);
+        assert_eq!(c.dict_code("region", "r_name", "MARS").unwrap(), -1);
+        assert_eq!(c.dict_prefix_codes("part", "p_type", "PROMO").unwrap().len(), 25);
+        assert!(c.dict_code("orders", "o_orderdate", "x").is_err());
+    }
+
+    #[test]
+    fn primary_keys() {
+        assert_eq!(primary_key("orders"), &["o_orderkey"]);
+        assert_eq!(primary_key("partsupp"), &["ps_partkey", "ps_suppkey"]);
+        assert!(primary_key("lineitem").is_empty());
+    }
+}

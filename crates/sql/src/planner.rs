@@ -1,0 +1,940 @@
+//! The planner: binds a parsed SELECT against the catalog and compiles
+//! it into a `gpl_core` [`QueryPlan`] — build stages for every dimension
+//! of the (star/snowflake) join tree, then a fact pipeline of probes,
+//! filters and computed columns feeding a hash aggregation, exactly the
+//! segmented shape the GPL engine executes.
+//!
+//! Supported: star/snowflake equi-joins whose build sides are primary
+//! keys (composite keys like PARTSUPP's are composed arithmetically),
+//! conjunctive predicates, dictionary string comparisons and prefix
+//! `LIKE`, `CASE`, `EXTRACT(YEAR ...)`, date intervals, group-by over
+//! columns or expressions, `SUM`/`COUNT(*)`/`MIN`/`MAX`, `ORDER BY` and
+//! `LIMIT`. Not supported (clear errors): subqueries, outer joins,
+//! non-equi joins, division (select the two sums instead of their ratio),
+//! `HAVING`, `DISTINCT`.
+
+use crate::ast::*;
+use crate::catalog::{primary_key, Catalog};
+use crate::parser::parse;
+use crate::token::{err, SqlError};
+use gpl_core::plan::{Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal, COMPOSITE_KEY_MUL};
+use gpl_core::{CmpOp as CoreCmp, Expr, Pred, Slot};
+use gpl_storage::DataType;
+use gpl_tpch::{QueryId, TpchDb};
+use std::collections::HashMap;
+
+/// Compile SQL text into a validated query plan.
+pub fn compile(db: &TpchDb, sql: &str) -> Result<QueryPlan, SqlError> {
+    let stmt = parse(sql)?;
+    let plan = Planner::new(db, stmt)?.plan()?;
+    plan.validate();
+    Ok(plan)
+}
+
+/// The type a bound expression carries.
+#[derive(Debug, Clone, PartialEq)]
+enum Ty {
+    Int,
+    Decimal,
+    Date,
+    /// Dictionary code of `table.column`.
+    Code { table: String, column: String },
+    /// An as-yet-uncoerced numeric literal.
+    NumLit(String),
+}
+
+impl Ty {
+    fn of(dt: DataType) -> Ty {
+        match dt {
+            DataType::I32 | DataType::I64 => Ty::Int,
+            DataType::Date => Ty::Date,
+            DataType::Decimal => Ty::Decimal,
+            DataType::Dict => unreachable!("dict columns carry their table"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bound {
+    expr: Expr,
+    ty: Ty,
+}
+
+/// Parse a numeric literal under a type context.
+fn lit_under(text: &str, ty: &Ty) -> Result<i64, SqlError> {
+    let as_decimal = || -> Result<i64, SqlError> {
+        let (units, frac) = match text.split_once('.') {
+            Some((u, f)) => (u, f),
+            None => (text, ""),
+        };
+        let units: i64 = if units.is_empty() {
+            0
+        } else {
+            units.parse().map_err(|_| SqlError(format!("bad number {text:?}")))?
+        };
+        let frac = format!("{frac:0<2}");
+        if frac.len() > 2 {
+            return err(format!("{text:?} has more than two decimal places"));
+        }
+        let cents: i64 = frac.parse().map_err(|_| SqlError(format!("bad number {text:?}")))?;
+        Ok(units * 100 + cents)
+    };
+    match ty {
+        Ty::Decimal => as_decimal(),
+        Ty::Int | Ty::Date => {
+            text.parse().map_err(|_| SqlError(format!("{text:?} is not an integer")))
+        }
+        Ty::Code { .. } => err(format!("cannot compare a string column with number {text:?}")),
+        Ty::NumLit(_) => match text.parse() {
+            Ok(v) => Ok(v),
+            Err(_) => as_decimal(),
+        },
+    }
+}
+
+/// Coerce a pair of bound operands to a common type.
+fn coerce(a: Bound, b: Bound) -> Result<(Expr, Expr, Ty), SqlError> {
+    match (&a.ty, &b.ty) {
+        // Two bare literals (e.g. CASE ... THEN 1 ELSE 0): nothing else
+        // fixes their type, so decide from their spelling — any decimal
+        // point makes the pair decimal, otherwise plain integers.
+        (Ty::NumLit(ta), Ty::NumLit(tb)) => {
+            let ty =
+                if ta.contains('.') || tb.contains('.') { Ty::Decimal } else { Ty::Int };
+            Ok((Expr::Const(lit_under(ta, &ty)?), Expr::Const(lit_under(tb, &ty)?), ty))
+        }
+        (Ty::NumLit(t), other) if !matches!(other, Ty::NumLit(_)) => {
+            let v = lit_under(t, other)?;
+            Ok((Expr::Const(v), b.expr, other.clone()))
+        }
+        (other, Ty::NumLit(t)) => {
+            let v = lit_under(t, other)?;
+            Ok((a.expr, Expr::Const(v), other.clone()))
+        }
+        (x, y) if x == y => Ok((a.expr, b.expr, a.ty.clone())),
+        // Date ± integer days.
+        (Ty::Date, Ty::Int) | (Ty::Int, Ty::Date) => Ok((a.expr, b.expr, Ty::Date)),
+        (Ty::Decimal, Ty::Int) | (Ty::Int, Ty::Decimal) => Ok((a.expr, b.expr, Ty::Decimal)),
+        (x, y) => err(format!("type mismatch: {x:?} vs {y:?}")),
+    }
+}
+
+/// Binding context: which (relation, column) pairs are available at which
+/// slot of the current pipeline.
+struct Scope<'a> {
+    rels: &'a [Rel],
+    slots: HashMap<(usize, String), Slot>,
+    next_slot: Slot,
+}
+
+impl Scope<'_> {
+    fn slot_of(&self, rel: usize, col: &str) -> Result<Slot, SqlError> {
+        self.slots.get(&(rel, col.to_string())).copied().ok_or_else(|| {
+            SqlError(format!(
+                "column {}.{col} is not available in this pipeline stage",
+                self.rels[rel].binding
+            ))
+        })
+    }
+
+    fn alloc(&mut self, rel: usize, col: &str) -> Slot {
+        let s = self.next_slot;
+        self.slots.insert((rel, col.to_string()), s);
+        self.next_slot += 1;
+        s
+    }
+
+    fn alloc_anon(&mut self) -> Slot {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Rel {
+    binding: String,
+    table: String,
+    rows: usize,
+}
+
+/// A dimension of the join tree.
+#[derive(Debug, Clone)]
+struct Dim {
+    rel: usize,
+    /// Primary-key columns on the dimension side.
+    keys: Vec<String>,
+    /// Matching (relation, column) pairs on the probing side.
+    src: Vec<(usize, String)>,
+    /// Non-key columns the fact pipeline receives as probe payloads.
+    payloads: Vec<String>,
+}
+
+pub(crate) struct Planner<'a> {
+    catalog: Catalog<'a>,
+    stmt: SelectStmt,
+    rels: Vec<Rel>,
+}
+
+impl<'a> Planner<'a> {
+    pub(crate) fn new(db: &'a TpchDb, stmt: SelectStmt) -> Result<Self, SqlError> {
+        let catalog = Catalog::new(db);
+        let mut rels = Vec::new();
+        for t in &stmt.from {
+            let table = catalog.table(&t.table)?;
+            let binding = t.binding().to_string();
+            if rels.iter().any(|r: &Rel| r.binding == binding) {
+                return err(format!("duplicate table binding {binding:?}"));
+            }
+            rels.push(Rel { binding, table: t.table.clone(), rows: table.rows() });
+        }
+        Ok(Planner { catalog, stmt, rels })
+    }
+
+    /// Resolve a column reference to (relation index, column name).
+    fn resolve(&self, c: &ColumnRef) -> Result<(usize, String), SqlError> {
+        if let Some(q) = &c.qualifier {
+            let Some(rel) = self.rels.iter().position(|r| &r.binding == q) else {
+                return err(format!("unknown table or alias {q:?}"));
+            };
+            self.catalog.column_type(&self.rels[rel].table, &c.column)?;
+            return Ok((rel, c.column.clone()));
+        }
+        let mut hits = Vec::new();
+        for (i, r) in self.rels.iter().enumerate() {
+            if self.catalog.column_type(&r.table, &c.column).is_ok() {
+                hits.push(i);
+            }
+        }
+        match hits.len() {
+            0 => err(format!("unknown column {:?}", c.column)),
+            1 => Ok((hits[0], c.column.clone())),
+            _ => {
+                // Same physical table aliased twice: the column exists in
+                // both instances and must be qualified.
+                err(format!("ambiguous column {:?}; qualify it", c.column))
+            }
+        }
+    }
+
+    fn ty_of(&self, rel: usize, col: &str) -> Result<Ty, SqlError> {
+        let table = &self.rels[rel].table;
+        Ok(match self.catalog.column_type(table, col)? {
+            DataType::Dict => Ty::Code { table: table.clone(), column: col.to_string() },
+            dt => Ty::of(dt),
+        })
+    }
+
+    /// Relations mentioned by an expression.
+    fn expr_rels(&self, e: &SqlExpr, out: &mut Vec<usize>) -> Result<(), SqlError> {
+        match e {
+            SqlExpr::Column(c) => {
+                out.push(self.resolve(c)?.0);
+            }
+            SqlExpr::Binary { lhs, rhs, .. } => {
+                self.expr_rels(lhs, out)?;
+                self.expr_rels(rhs, out)?;
+            }
+            SqlExpr::Case { cond, then, otherwise } => {
+                self.pred_rels(cond, out)?;
+                self.expr_rels(then, out)?;
+                self.expr_rels(otherwise, out)?;
+            }
+            SqlExpr::ExtractYear(e) => self.expr_rels(e, out)?,
+            SqlExpr::Agg { arg: Some(a), .. } => self.expr_rels(a, out)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn pred_rels(&self, p: &SqlPred, out: &mut Vec<usize>) -> Result<(), SqlError> {
+        match p {
+            SqlPred::Cmp { lhs, rhs, .. } => {
+                self.expr_rels(lhs, out)?;
+                self.expr_rels(rhs, out)?;
+            }
+            SqlPred::Between { expr, lo, hi } => {
+                self.expr_rels(expr, out)?;
+                self.expr_rels(lo, out)?;
+                self.expr_rels(hi, out)?;
+            }
+            SqlPred::InList { expr, list } => {
+                self.expr_rels(expr, out)?;
+                for e in list {
+                    self.expr_rels(e, out)?;
+                }
+            }
+            SqlPred::LikePrefix { expr, .. } => self.expr_rels(expr, out)?,
+            SqlPred::And(v) => {
+                for q in v {
+                    self.pred_rels(q, out)?;
+                }
+            }
+            SqlPred::Or(a, b) => {
+                self.pred_rels(a, out)?;
+                self.pred_rels(b, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect every column an expression/predicate reads.
+    fn collect_cols(&self, e: &SqlExpr, out: &mut Vec<(usize, String)>) -> Result<(), SqlError> {
+        match e {
+            SqlExpr::Column(c) => out.push(self.resolve(c)?),
+            SqlExpr::Binary { lhs, rhs, .. } => {
+                self.collect_cols(lhs, out)?;
+                self.collect_cols(rhs, out)?;
+            }
+            SqlExpr::Case { cond, then, otherwise } => {
+                self.collect_pred_cols(cond, out)?;
+                self.collect_cols(then, out)?;
+                self.collect_cols(otherwise, out)?;
+            }
+            SqlExpr::ExtractYear(e) => self.collect_cols(e, out)?,
+            SqlExpr::Agg { arg: Some(a), .. } => self.collect_cols(a, out)?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn collect_pred_cols(
+        &self,
+        p: &SqlPred,
+        out: &mut Vec<(usize, String)>,
+    ) -> Result<(), SqlError> {
+        match p {
+            SqlPred::Cmp { lhs, rhs, .. } => {
+                self.collect_cols(lhs, out)?;
+                self.collect_cols(rhs, out)?;
+            }
+            SqlPred::Between { expr, lo, hi } => {
+                self.collect_cols(expr, out)?;
+                self.collect_cols(lo, out)?;
+                self.collect_cols(hi, out)?;
+            }
+            SqlPred::InList { expr, list } => {
+                self.collect_cols(expr, out)?;
+                for e in list {
+                    self.collect_cols(e, out)?;
+                }
+            }
+            SqlPred::LikePrefix { expr, .. } => self.collect_cols(expr, out)?,
+            SqlPred::And(v) => {
+                for q in v {
+                    self.collect_pred_cols(q, out)?;
+                }
+            }
+            SqlPred::Or(a, b) => {
+                self.collect_pred_cols(a, out)?;
+                self.collect_pred_cols(b, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expression binding ------------------------------------------
+
+    fn bind_expr(&self, e: &SqlExpr, scope: &Scope) -> Result<Bound, SqlError> {
+        match e {
+            SqlExpr::Column(c) => {
+                let (rel, col) = self.resolve(c)?;
+                let slot = scope.slot_of(rel, &col)?;
+                Ok(Bound { expr: Expr::Slot(slot), ty: self.ty_of(rel, &col)? })
+            }
+            SqlExpr::Number(n) => {
+                Ok(Bound { expr: Expr::Const(0), ty: Ty::NumLit(n.clone()) })
+            }
+            SqlExpr::DateLit(d) => Ok(Bound { expr: Expr::Const(*d as i64), ty: Ty::Date }),
+            SqlExpr::Str(_) => err("string literals are only valid in comparisons"),
+            SqlExpr::Binary { op, lhs, rhs } => {
+                let l = self.bind_expr(lhs, scope)?;
+                let r = self.bind_expr(rhs, scope)?;
+                let decimal = matches!(l.ty, Ty::Decimal) || matches!(r.ty, Ty::Decimal);
+                let (le, re, ty) = coerce(l, r)?;
+                let (expr, ty) = match op {
+                    BinOp::Add => (le.add(re), ty),
+                    BinOp::Sub => (le.sub(re), ty),
+                    BinOp::Mul if decimal => (le.dec_mul(re), Ty::Decimal),
+                    BinOp::Mul => (le.mul(re), ty),
+                    BinOp::Div => {
+                        return err(
+                            "division is not supported; select both operands (e.g. the two \
+                             sums of a ratio) and divide in the client",
+                        )
+                    }
+                };
+                Ok(Bound { expr, ty })
+            }
+            SqlExpr::Case { cond, then, otherwise } => {
+                let p = self.bind_pred(cond, scope)?;
+                let t = self.bind_expr(then, scope)?;
+                let o = self.bind_expr(otherwise, scope)?;
+                let (te, oe, ty) = coerce(t, o)?;
+                Ok(Bound { expr: Expr::Case(Box::new(p), Box::new(te), Box::new(oe)), ty })
+            }
+            SqlExpr::ExtractYear(inner) => {
+                let b = self.bind_expr(inner, scope)?;
+                if b.ty != Ty::Date {
+                    return err("EXTRACT(YEAR ...) needs a date argument");
+                }
+                Ok(Bound { expr: b.expr.year(), ty: Ty::Int })
+            }
+            SqlExpr::Agg { .. } => err("aggregates are only allowed at the top of SELECT items"),
+        }
+    }
+
+    fn bind_pred(&self, p: &SqlPred, scope: &Scope) -> Result<Pred, SqlError> {
+        match p {
+            SqlPred::Cmp { op, lhs, rhs } => {
+                let core_op = match op {
+                    CmpOp::Eq => CoreCmp::Eq,
+                    CmpOp::Ne => CoreCmp::Ne,
+                    CmpOp::Lt => CoreCmp::Lt,
+                    CmpOp::Le => CoreCmp::Le,
+                    CmpOp::Gt => CoreCmp::Gt,
+                    CmpOp::Ge => CoreCmp::Ge,
+                };
+                // String comparisons resolve through the dictionary.
+                if let SqlExpr::Str(s) = rhs {
+                    let l = self.bind_expr(lhs, scope)?;
+                    let Ty::Code { table, column } = &l.ty else {
+                        return err(format!("cannot compare non-string column with {s:?}"));
+                    };
+                    let code = self.catalog.dict_code(table, column, s)?;
+                    return Ok(Pred::Cmp(core_op, l.expr, Expr::Const(code)));
+                }
+                let l = self.bind_expr(lhs, scope)?;
+                let r = self.bind_expr(rhs, scope)?;
+                let (le, re, _) = coerce(l, r)?;
+                Ok(Pred::Cmp(core_op, le, re))
+            }
+            SqlPred::Between { expr, lo, hi } => {
+                let e = self.bind_expr(expr, scope)?;
+                let l = self.bind_expr(lo, scope)?;
+                let h = self.bind_expr(hi, scope)?;
+                let (e1, lo, _) = coerce(e.clone(), l)?;
+                let (_, hi, _) = coerce(e, h)?;
+                Ok(Pred::And(vec![
+                    Pred::Cmp(CoreCmp::Ge, e1.clone(), lo),
+                    Pred::Cmp(CoreCmp::Le, e1, hi),
+                ]))
+            }
+            SqlPred::InList { expr, list } => {
+                let e = self.bind_expr(expr, scope)?;
+                let mut vals = Vec::with_capacity(list.len());
+                for item in list {
+                    match item {
+                        SqlExpr::Str(s) => {
+                            let Ty::Code { table, column } = &e.ty else {
+                                return err("IN over strings needs a string column");
+                            };
+                            vals.push(self.catalog.dict_code(table, column, s)?);
+                        }
+                        SqlExpr::Number(n) => vals.push(lit_under(n, &e.ty)?),
+                        SqlExpr::DateLit(d) => vals.push(*d as i64),
+                        other => return err(format!("unsupported IN item {other:?}")),
+                    }
+                }
+                Ok(Pred::InList(e.expr, vals))
+            }
+            SqlPred::LikePrefix { expr, prefix } => {
+                let e = self.bind_expr(expr, scope)?;
+                let Ty::Code { table, column } = &e.ty else {
+                    return err("LIKE needs a string column");
+                };
+                let codes = self.catalog.dict_prefix_codes(table, column, prefix)?;
+                Ok(Pred::InList(e.expr, codes))
+            }
+            SqlPred::And(v) => {
+                Ok(Pred::And(v.iter().map(|q| self.bind_pred(q, scope)).collect::<Result<_, _>>()?))
+            }
+            SqlPred::Or(a, b) => Ok(Pred::Or(
+                Box::new(self.bind_pred(a, scope)?),
+                Box::new(self.bind_pred(b, scope)?),
+            )),
+        }
+    }
+
+    // ---- planning ------------------------------------------------------
+
+    pub(crate) fn plan(&self) -> Result<QueryPlan, SqlError> {
+        // 1. Classify predicates.
+        let mut equi: Vec<(usize, String, usize, String)> = Vec::new(); // (rel_a, col_a, rel_b, col_b)
+        let mut single: Vec<Vec<&SqlPred>> = vec![Vec::new(); self.rels.len()];
+        let mut cross: Vec<&SqlPred> = Vec::new();
+        for p in &self.stmt.predicates {
+            if let SqlPred::Cmp { op: CmpOp::Eq, lhs: SqlExpr::Column(a), rhs: SqlExpr::Column(b) } = p
+            {
+                let (ra, ca) = self.resolve(a)?;
+                let (rb, cb) = self.resolve(b)?;
+                if ra != rb {
+                    equi.push((ra, ca, rb, cb));
+                    continue;
+                }
+            }
+            let mut rels = Vec::new();
+            self.pred_rels(p, &mut rels)?;
+            rels.sort_unstable();
+            rels.dedup();
+            match rels.len() {
+                0 => return err("constant predicates are not supported"),
+                1 => single[rels[0]].push(p),
+                _ => cross.push(p),
+            }
+        }
+
+        // 2. Join tree from the driver (largest relation) outward: a
+        //    dimension joins when its full primary key is matched by
+        //    columns already in the tree.
+        let driver = self
+            .rels
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.rows)
+            .map(|(i, _)| i)
+            .ok_or_else(|| SqlError("FROM clause is empty".into()))?;
+        let mut in_tree = vec![false; self.rels.len()];
+        in_tree[driver] = true;
+        let mut dims: Vec<Dim> = Vec::new();
+        let mut edge_used = vec![false; equi.len()];
+        loop {
+            let mut grew = false;
+            for rel in 0..self.rels.len() {
+                if in_tree[rel] {
+                    continue;
+                }
+                let pk = primary_key(&self.rels[rel].table);
+                if pk.is_empty() {
+                    continue;
+                }
+                // For each pk column, find an unused equi edge matching it
+                // against an in-tree column.
+                let mut src = Vec::new();
+                let mut used = Vec::new();
+                for &k in pk {
+                    let found = equi.iter().enumerate().find(|(i, (ra, ca, rb, cb))| {
+                        !edge_used[*i]
+                            && ((*ra == rel && ca == k && in_tree[*rb])
+                                || (*rb == rel && cb == k && in_tree[*ra]))
+                    });
+                    match found {
+                        Some((i, (ra, ca, rb, cb))) => {
+                            used.push(i);
+                            if *ra == rel && ca == k {
+                                src.push((*rb, cb.clone()));
+                            } else {
+                                src.push((*ra, ca.clone()));
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                if src.len() == pk.len() {
+                    for i in used {
+                        edge_used[i] = true;
+                    }
+                    dims.push(Dim {
+                        rel,
+                        keys: pk.iter().map(|s| s.to_string()).collect(),
+                        src,
+                        payloads: Vec::new(),
+                    });
+                    in_tree[rel] = true;
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if let Some(missing) = in_tree.iter().position(|t| !t) {
+            return err(format!(
+                "relation {:?} cannot be joined: no primary-key equi-join path to the driver",
+                self.rels[missing].binding
+            ));
+        }
+        // Leftover equi predicates are plain cross filters (e.g. Q5's
+        // c_nationkey = s_nationkey).
+        let leftover: Vec<&SqlPred> = self
+            .stmt
+            .predicates
+            .iter()
+            .filter(|p| {
+                if let SqlPred::Cmp {
+                    op: CmpOp::Eq,
+                    lhs: SqlExpr::Column(a),
+                    rhs: SqlExpr::Column(b),
+                } = p
+                {
+                    if let (Ok((ra, ca)), Ok((rb, cb))) = (self.resolve(a), self.resolve(b)) {
+                        if ra != rb {
+                            return !equi.iter().zip(&edge_used).any(|((ea, eca, eb, ecb), used)| {
+                                *used
+                                    && ((*ea == ra && eca == &ca && *eb == rb && ecb == &cb)
+                                        || (*ea == rb && eca == &cb && *eb == ra && ecb == &ca))
+                            });
+                        }
+                    }
+                }
+                false
+            })
+            .collect();
+        let mut cross_preds: Vec<&SqlPred> = cross;
+        cross_preds.extend(leftover);
+
+        // 3. Needed columns per relation (beyond keys and stage-local
+        //    filters): select items, group by, cross filters, order-by
+        //    expressions, and the source side of every join edge.
+        let mut needed: Vec<(usize, String)> = Vec::new();
+        for item in &self.stmt.items {
+            self.collect_cols(&item.expr, &mut needed)?;
+        }
+        for g in &self.stmt.group_by {
+            self.collect_cols(g, &mut needed)?;
+        }
+        for p in &cross_preds {
+            self.collect_pred_cols(p, &mut needed)?;
+        }
+        for (k, _) in &self.stmt.order_by {
+            if let OrderKey::Expr(e) = k {
+                // Order keys referencing aliases resolve later; ignore
+                // unresolvable columns here.
+                let _ = self.collect_cols(e, &mut needed);
+            }
+        }
+        for d in &dims {
+            needed.extend(d.src.iter().cloned());
+        }
+        needed.sort();
+        needed.dedup();
+
+        // Dimension payloads: needed columns of the dimension that are
+        // not its probe key (key equality makes the key recoverable from
+        // the probing side, but selecting it is also fine via payload).
+        for d in &mut dims {
+            d.payloads = needed
+                .iter()
+                .filter(|(r, c)| *r == d.rel && !d.keys.contains(c))
+                .map(|(_, c)| c.clone())
+                .collect();
+        }
+
+        // 4. Build stages.
+        let mut stages = Vec::new();
+        for (ht, d) in dims.iter().enumerate() {
+            stages.push(self.build_stage(ht, d, &single[d.rel])?);
+        }
+        // 5. The fact pipeline.
+        let (fact_stage, scope) =
+            self.fact_stage(driver, &dims, &single[driver], &cross_preds, &needed)?;
+        stages.push(fact_stage);
+
+        // 6. Aggregation shape from SELECT / GROUP BY.
+        self.finish_plan(stages, driver, scope)
+    }
+
+    fn build_stage(
+        &self,
+        ht: usize,
+        d: &Dim,
+        filters: &[&SqlPred],
+    ) -> Result<Stage, SqlError> {
+        let rel = d.rel;
+        // Loads: pk + filter columns + payload columns.
+        let mut load_cols: Vec<String> = d.keys.clone();
+        let mut fcols = Vec::new();
+        for p in filters {
+            self.collect_pred_cols(p, &mut fcols)?;
+        }
+        for (r, c) in fcols {
+            debug_assert_eq!(r, rel);
+            if !load_cols.contains(&c) {
+                load_cols.push(c);
+            }
+        }
+        for c in &d.payloads {
+            if !load_cols.contains(c) {
+                load_cols.push(c.clone());
+            }
+        }
+        let mut scope =
+            Scope { rels: &self.rels, slots: HashMap::new(), next_slot: 0 };
+        for c in &load_cols {
+            scope.alloc(rel, c);
+        }
+        let mut ops = Vec::new();
+        for p in filters {
+            ops.push(PipeOp::Filter(self.bind_pred(p, &scope)?));
+        }
+        // Composite keys are composed arithmetically (as Q9 does).
+        let key = if d.keys.len() == 1 {
+            scope.slot_of(rel, &d.keys[0])?
+        } else {
+            let k0 = scope.slot_of(rel, &d.keys[0])?;
+            let k1 = scope.slot_of(rel, &d.keys[1])?;
+            let out = scope.alloc_anon();
+            ops.push(PipeOp::Compute {
+                expr: Expr::Slot(k0).mul(Expr::lit(COMPOSITE_KEY_MUL)).add(Expr::Slot(k1)),
+                out,
+            });
+            out
+        };
+        let payloads: Vec<Slot> =
+            d.payloads.iter().map(|c| scope.slot_of(rel, c)).collect::<Result<_, _>>()?;
+        Ok(Stage {
+            name: format!("build_{}", self.rels[rel].binding),
+            driver: self.rels[rel].table.clone(),
+            loads: load_cols,
+            ops,
+            terminal: Terminal::HashBuild { ht, key, payloads },
+        })
+    }
+
+    fn fact_stage(
+        &self,
+        driver: usize,
+        dims: &[Dim],
+        fact_filters: &[&SqlPred],
+        cross_preds: &[&SqlPred],
+        needed: &[(usize, String)],
+    ) -> Result<(Stage, Scope<'_>), SqlError> {
+        // Fact loads: needed driver columns + driver-side join keys +
+        // fact filter columns.
+        let mut load_cols: Vec<String> = Vec::new();
+        let push = |c: &str, load_cols: &mut Vec<String>| {
+            if !load_cols.iter().any(|x| x == c) {
+                load_cols.push(c.to_string());
+            }
+        };
+        for (r, c) in needed {
+            if *r == driver {
+                push(c, &mut load_cols);
+            }
+        }
+        let mut fcols = Vec::new();
+        for p in fact_filters {
+            self.collect_pred_cols(p, &mut fcols)?;
+        }
+        for (r, c) in &fcols {
+            debug_assert_eq!(*r, driver);
+            push(c, &mut load_cols);
+        }
+        for d in dims {
+            for (r, c) in &d.src {
+                if *r == driver {
+                    push(c, &mut load_cols);
+                }
+            }
+        }
+        let mut scope =
+            Scope { rels: &self.rels, slots: HashMap::new(), next_slot: 0 };
+        for c in &load_cols {
+            scope.alloc(driver, c);
+        }
+
+        let mut ops = Vec::new();
+        for p in fact_filters {
+            ops.push(PipeOp::Filter(self.bind_pred(p, &scope)?));
+        }
+        let mut pending_cross: Vec<&SqlPred> = cross_preds.to_vec();
+        let apply_ready_cross =
+            |scope: &Scope, ops: &mut Vec<PipeOp>, pending: &mut Vec<&SqlPred>| -> Result<(), SqlError> {
+                let mut i = 0;
+                while i < pending.len() {
+                    let mut cols = Vec::new();
+                    self.collect_pred_cols(pending[i], &mut cols)?;
+                    if cols.iter().all(|(r, c)| scope.slots.contains_key(&(*r, c.clone()))) {
+                        let p = pending.remove(i);
+                        ops.push(PipeOp::Filter(self.bind_pred(p, scope)?));
+                    } else {
+                        i += 1;
+                    }
+                }
+                Ok(())
+            };
+
+        for (ht, d) in dims.iter().enumerate() {
+            // Probe key on the fact side.
+            let key = if d.src.len() == 1 {
+                scope.slot_of(d.src[0].0, &d.src[0].1)?
+            } else {
+                let k0 = scope.slot_of(d.src[0].0, &d.src[0].1)?;
+                let k1 = scope.slot_of(d.src[1].0, &d.src[1].1)?;
+                let out = scope.alloc_anon();
+                ops.push(PipeOp::Compute {
+                    expr: Expr::Slot(k0).mul(Expr::lit(COMPOSITE_KEY_MUL)).add(Expr::Slot(k1)),
+                    out,
+                });
+                out
+            };
+            // Join-key equality makes the dimension's key columns
+            // available on the probing side under their dimension name
+            // (e.g. selecting or grouping by c_custkey after joining on
+            // c_custkey = o_custkey reads the o_custkey slot).
+            for (i, kc) in d.keys.iter().enumerate() {
+                let s = scope.slot_of(d.src[i].0, &d.src[i].1)?;
+                scope.slots.entry((d.rel, kc.clone())).or_insert(s);
+            }
+            let payloads: Vec<Slot> =
+                d.payloads.iter().map(|c| scope.alloc(d.rel, c)).collect();
+            ops.push(PipeOp::Probe { ht, key, payloads });
+            apply_ready_cross(&scope, &mut ops, &mut pending_cross)?;
+        }
+        if let Some(p) = pending_cross.first() {
+            return err(format!("predicate {p:?} references unavailable columns"));
+        }
+
+        let stage = Stage {
+            name: format!("probe_{}", self.rels[driver].binding),
+            driver: self.rels[driver].table.clone(),
+            loads: load_cols,
+            ops,
+            terminal: Terminal::Aggregate { groups: vec![], aggs: vec![] }, // placeholder
+        };
+        Ok((stage, scope))
+    }
+
+    fn finish_plan(
+        &self,
+        mut stages: Vec<Stage>,
+        _driver: usize,
+        mut scope: Scope<'_>,
+    ) -> Result<QueryPlan, SqlError> {
+        let fact = stages.last_mut().expect("fact stage exists");
+
+        // Group keys: plain columns group on their slot; expressions get a
+        // computed slot.
+        let mut group_slots = Vec::new();
+        for g in &self.stmt.group_by {
+            let slot = match g {
+                SqlExpr::Column(c) => {
+                    let (rel, col) = self.resolve(c)?;
+                    scope.slot_of(rel, &col)?
+                }
+                other => {
+                    let b = self.bind_expr(other, &scope)?;
+                    let out = scope.alloc_anon();
+                    fact.ops.push(PipeOp::Compute { expr: b.expr, out });
+                    out
+                }
+            };
+            group_slots.push(slot);
+        }
+
+        // SELECT items: each is a group key or an aggregate.
+        let mut aggs: Vec<Agg> = Vec::new();
+        let mut columns: Vec<String> = Vec::new();
+        let mut projection: Vec<usize> = Vec::new();
+        let mut display: Vec<DisplayHint> = Vec::new();
+        let hint_of = |ty: &Ty| match ty {
+            Ty::Decimal => DisplayHint::Decimal,
+            Ty::Date => DisplayHint::Date,
+            Ty::Code { table, column } => {
+                DisplayHint::Dict { table: table.clone(), column: column.clone() }
+            }
+            _ => DisplayHint::Plain,
+        };
+        for (i, item) in self.stmt.items.iter().enumerate() {
+            let name = item
+                .alias
+                .clone()
+                .unwrap_or_else(|| match &item.expr {
+                    SqlExpr::Column(c) => c.column.clone(),
+                    _ => format!("col{}", i + 1),
+                });
+            match &item.expr {
+                SqlExpr::Agg { func, arg } => {
+                    let (agg, hint) = match (func, arg) {
+                        (AggFunc::Count, None) => (Agg::count(), DisplayHint::Plain),
+                        (AggFunc::Count, Some(_)) => (Agg::count(), DisplayHint::Plain),
+                        (f, Some(a)) => {
+                            let b = self.bind_expr(a, &scope)?;
+                            let hint = hint_of(&b.ty);
+                            let agg = match f {
+                                AggFunc::Sum => Agg::sum(b.expr),
+                                AggFunc::Min => Agg::min(b.expr),
+                                AggFunc::Max => Agg::max(b.expr),
+                                AggFunc::Count => unreachable!(),
+                            };
+                            (agg, hint)
+                        }
+                        (f, None) => return err(format!("{f:?} needs an argument")),
+                    };
+                    projection.push(group_slots.len() + aggs.len());
+                    aggs.push(agg);
+                    display.push(hint);
+                }
+                other => {
+                    // Must match a GROUP BY expression.
+                    let idx = self
+                        .stmt
+                        .group_by
+                        .iter()
+                        .position(|g| g == other)
+                        .ok_or_else(|| {
+                            SqlError(format!(
+                                "select item {name:?} is neither an aggregate nor listed in \
+                                 GROUP BY"
+                            ))
+                        })?;
+                    projection.push(idx);
+                    display.push(hint_of(&self.bind_expr(other, &scope)?.ty));
+                }
+            }
+            columns.push(name);
+        }
+        if self.stmt.group_by.is_empty()
+            && self.stmt.items.iter().any(|i| !matches!(i.expr, SqlExpr::Agg { .. }))
+        {
+            return err("without GROUP BY every select item must be an aggregate");
+        }
+        if aggs.is_empty() {
+            return err("at least one aggregate is required (this engine is for OLAP rollups)");
+        }
+        fact.terminal = Terminal::Aggregate { groups: group_slots.clone(), aggs };
+
+        // ORDER BY: positions are 1-based select positions; expressions
+        // match select aliases or select/group expressions.
+        let mut order_by = Vec::new();
+        for (key, desc) in &self.stmt.order_by {
+            let internal = match key {
+                OrderKey::Position(p) => {
+                    if *p == 0 || *p > projection.len() {
+                        return err(format!("ORDER BY position {p} out of range"));
+                    }
+                    projection[*p - 1]
+                }
+                OrderKey::Expr(e) => {
+                    let by_alias = match e {
+                        SqlExpr::Column(c) if c.qualifier.is_none() => self
+                            .stmt
+                            .items
+                            .iter()
+                            .position(|it| it.alias.as_deref() == Some(c.column.as_str())),
+                        _ => None,
+                    };
+                    let pos = by_alias
+                        .or_else(|| self.stmt.items.iter().position(|it| &it.expr == e))
+                        .ok_or_else(|| {
+                            SqlError(format!("ORDER BY key {e:?} is not a select item"))
+                        })?;
+                    projection[pos]
+                }
+            };
+            order_by.push((internal, *desc));
+        }
+
+        let num_hts = stages.len() - 1;
+        Ok(QueryPlan {
+            query: QueryId::Adhoc,
+            stages,
+            num_hts,
+            output_columns: columns,
+            order_by,
+            limit: self.stmt.limit,
+            projection: Some(projection),
+            display: Some(display),
+        })
+    }
+}

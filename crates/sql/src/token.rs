@@ -1,0 +1,245 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, normalized to lowercase (SQL identifiers in
+    /// this subset are case-insensitive; keywords are matched on the
+    /// lowered form).
+    Ident(String),
+    /// Integer or decimal literal, kept textual for type-aware binding.
+    Number(String),
+    /// Single-quoted string literal.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenization / parsing / binding errors, with a human-oriented message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError(pub String);
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+pub(crate) fn err<T>(msg: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError(msg.into()))
+}
+
+/// Tokenize `sql`. Comments (`-- ...`) run to end of line.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let b = sql.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !b.get(i + 1).map(|n| n.is_ascii_digit()).unwrap_or(false) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j == b.len() {
+                    return err("unterminated string literal");
+                }
+                out.push(Token::Str(sql[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < b.len() {
+                    let d = b[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !seen_dot {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Number(sql[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() {
+                    let d = b[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(sql[start..j].to_ascii_lowercase()));
+                i = j;
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_small_query() {
+        let t = tokenize("SELECT sum(x) FROM t WHERE a >= 1.5 -- trailing\n").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("sum".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::RParen,
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+                Token::Ident("where".into()),
+                Token::Ident("a".into()),
+                Token::Ge,
+                Token::Number("1.5".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_dates_and_operators() {
+        let t = tokenize("x <> 'ASIA' and d < date '1995-01-01'").unwrap();
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Str("ASIA".into())));
+        assert!(t.contains(&Token::Str("1995-01-01".into())));
+    }
+
+    #[test]
+    fn qualified_names_keep_dots() {
+        let t = tokenize("n1.n_name").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("n1".into()),
+                Token::Dot,
+                Token::Ident("n_name".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_strings_and_junk() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Typed columnar storage.
+//!
+//! Every column is a dense, fixed-width vector — the layout GPU query
+//! engines use so kernels can compute element addresses from row ids.
+//! Strings are dictionary encoded ([`Column::Dict`]); operators compare
+//! codes, and predicates look codes up in the shared [`Dictionary`].
+
+use crate::types::DataType;
+use std::sync::Arc;
+
+/// An immutable, ordered string dictionary. Codes are indexes into the
+/// sorted entry list, so code equality is string equality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dictionary {
+    entries: Vec<String>,
+}
+
+impl Dictionary {
+    /// Build from entries, which must be unique. Order is preserved
+    /// (generators intern in first-seen order).
+    pub fn new(entries: Vec<String>) -> Self {
+        Dictionary { entries }
+    }
+
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.entries.iter().position(|e| e == s).map(|i| i as u32)
+    }
+
+    pub fn get(&self, code: u32) -> &str {
+        &self.entries[code as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[String] {
+        &self.entries
+    }
+}
+
+/// A builder-side dictionary that interns strings on the fly.
+#[derive(Debug, Default)]
+pub struct DictBuilder {
+    entries: Vec<String>,
+    index: std::collections::HashMap<String, u32>,
+}
+
+impl DictBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = self.entries.len() as u32;
+        self.entries.push(s.to_string());
+        self.index.insert(s.to_string(), c);
+        c
+    }
+
+    pub fn finish(self) -> Dictionary {
+        Dictionary { entries: self.entries }
+    }
+}
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    /// Days since the epoch.
+    Date(Vec<i32>),
+    /// Fixed-point cents.
+    Decimal(Vec<i64>),
+    /// Dictionary codes plus the shared dictionary.
+    Dict(Vec<u32>, Arc<Dictionary>),
+}
+
+impl Column {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::I32(_) => DataType::I32,
+            Column::I64(_) => DataType::I64,
+            Column::Date(_) => DataType::Date,
+            Column::Decimal(_) => DataType::Decimal,
+            Column::Dict(..) => DataType::Dict,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I32(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Date(v) => v.len(),
+            Column::Decimal(v) => v.len(),
+            Column::Dict(v, _) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read any element widened to `i64` — the uniform value the engine's
+    /// kernels operate on (GPU kernels likewise widen in registers).
+    #[inline]
+    pub fn get_i64(&self, row: usize) -> i64 {
+        match self {
+            Column::I32(v) => v[row] as i64,
+            Column::I64(v) => v[row],
+            Column::Date(v) => v[row] as i64,
+            Column::Decimal(v) => v[row],
+            Column::Dict(v, _) => v[row] as i64,
+        }
+    }
+
+    /// Gather the rows at `idx` into a new column of the same type.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        match self {
+            Column::I32(v) => Column::I32(idx.iter().map(|&i| v[i as usize]).collect()),
+            Column::I64(v) => Column::I64(idx.iter().map(|&i| v[i as usize]).collect()),
+            Column::Date(v) => Column::Date(idx.iter().map(|&i| v[i as usize]).collect()),
+            Column::Decimal(v) => Column::Decimal(idx.iter().map(|&i| v[i as usize]).collect()),
+            Column::Dict(v, d) => {
+                Column::Dict(idx.iter().map(|&i| v[i as usize]).collect(), d.clone())
+            }
+        }
+    }
+
+    /// Build a same-typed column from widened `i64` values (inverse of
+    /// [`Column::get_i64`] for non-dict types; dict columns reuse their
+    /// dictionary).
+    pub fn from_i64_like(&self, vals: Vec<i64>) -> Column {
+        match self {
+            Column::I32(_) => Column::I32(vals.into_iter().map(|v| v as i32).collect()),
+            Column::I64(_) => Column::I64(vals),
+            Column::Date(_) => Column::Date(vals.into_iter().map(|v| v as i32).collect()),
+            Column::Decimal(_) => Column::Decimal(vals),
+            Column::Dict(_, d) => {
+                Column::Dict(vals.into_iter().map(|v| v as u32).collect(), d.clone())
+            }
+        }
+    }
+
+    /// The dictionary, if this is a dict column.
+    pub fn dictionary(&self) -> Option<&Arc<Dictionary>> {
+        match self {
+            Column::Dict(_, d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_builder_interns_once() {
+        let mut b = DictBuilder::new();
+        let a = b.intern("ASIA");
+        let e = b.intern("EUROPE");
+        let a2 = b.intern("ASIA");
+        assert_eq!(a, a2);
+        assert_ne!(a, e);
+        let d = b.finish();
+        assert_eq!(d.get(a), "ASIA");
+        assert_eq!(d.code_of("EUROPE"), Some(e));
+        assert_eq!(d.code_of("MARS"), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn get_i64_widens_each_type() {
+        let d = Arc::new(Dictionary::new(vec!["x".into(), "y".into()]));
+        assert_eq!(Column::I32(vec![-5]).get_i64(0), -5);
+        assert_eq!(Column::I64(vec![1 << 40]).get_i64(0), 1 << 40);
+        assert_eq!(Column::Date(vec![8035]).get_i64(0), 8035);
+        assert_eq!(Column::Decimal(vec![1999]).get_i64(0), 1999);
+        assert_eq!(Column::Dict(vec![1], d).get_i64(0), 1);
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats() {
+        let c = Column::I32(vec![10, 20, 30]);
+        let g = c.gather(&[2, 0, 2]);
+        assert_eq!(g, Column::I32(vec![30, 10, 30]));
+    }
+
+    #[test]
+    fn from_i64_like_roundtrips() {
+        let d = Arc::new(Dictionary::new(vec!["x".into()]));
+        let cols = [
+            Column::I32(vec![7]),
+            Column::I64(vec![7]),
+            Column::Date(vec![7]),
+            Column::Decimal(vec![7]),
+            Column::Dict(vec![0], d),
+        ];
+        for c in cols {
+            let vals: Vec<i64> = (0..c.len()).map(|i| c.get_i64(i)).collect();
+            let rebuilt = c.from_i64_like(vals);
+            assert_eq!(rebuilt, c);
+            assert_eq!(rebuilt.data_type(), c.data_type());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # gpl-storage — columnar storage for the GPL reproduction
+//!
+//! Fixed-width, dictionary-encoded columnar tables (the layout GPU query
+//! engines such as OmniDB use), the tiling component of Section 3.3, and
+//! the mapping of tables into the simulator's global-memory address space
+//! so that kernel scans generate realistic cache traffic.
+
+pub mod column;
+pub mod layout;
+pub mod table;
+pub mod tile;
+pub mod types;
+
+pub use column::{Column, DictBuilder, Dictionary};
+pub use layout::TableLayout;
+pub use table::Table;
+pub use tile::Tiling;
+pub use types::{days, dec, dec_mul, decimal_to_string, DataType, Date, DECIMAL_SCALE};

@@ -1,0 +1,45 @@
+//! `tpchgen` — the generator as a standalone dbgen replacement: writes
+//! all eight relations as pipe-separated `.tbl` files.
+//!
+//! ```text
+//! cargo run --release -p gpl-tpch --bin tpchgen -- --sf 0.01 --out /tmp/tpch
+//! ```
+
+use gpl_tpch::{tbl, TpchDb};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: tpchgen [--sf <scale factor>] [--seed <u64>] --out <dir>");
+    exit(2)
+}
+
+fn main() {
+    let mut sf = 0.01f64;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--sf" => sf = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--out" => out = Some(PathBuf::from(val())),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = out else { usage() };
+
+    let mut params = gpl_tpch::TpchParams::new(sf);
+    if let Some(s) = seed {
+        params.seed = s;
+    }
+    let db = TpchDb::generate(params);
+    if let Err(e) = tbl::export_db(&db, &dir) {
+        eprintln!("tpchgen: {e}");
+        exit(1);
+    }
+    for t in db.tables() {
+        println!("{:>12} rows  {}.tbl", t.rows(), dir.join(t.name()).display());
+    }
+}

@@ -1,0 +1,21 @@
+//! # gpl-tpch — deterministic TPC-H data and ground-truth queries
+//!
+//! A from-scratch, seeded `dbgen` equivalent (Section 5.1 evaluates GPL on
+//! TPC-H at scale factors 0.1–10; this reproduction scales down, see
+//! DESIGN.md) plus CPU reference implementations of the paper's workload:
+//! Q5, Q7, Q8, Q9 (as modified in Appendix B), Q14, and the Listing-1
+//! example query. Both query engines and the Ocelot baseline are
+//! validated against [`mod@reference`] bit-for-bit.
+
+pub mod db;
+pub mod gen;
+pub mod output;
+pub mod queries;
+pub mod reference;
+pub mod tbl;
+pub mod text;
+
+pub use db::TpchDb;
+pub use gen::TpchParams;
+pub use output::{OrderBy, QueryOutput};
+pub use queries::{order_spec, q14_window_for_selectivity, Q14Params, QueryId};

@@ -1,0 +1,272 @@
+//! Shared query parameterization.
+//!
+//! Every engine in the repository (CPU reference, KBE, GPL, Ocelot) runs
+//! the same queries with the same literals, defined here once: the five
+//! TPC-H queries of Section 5.1 (Q5, Q7, Q8, Q9 as modified in
+//! Appendix B, Q14) plus the paper's Listing-1 example query.
+
+use crate::db::TpchDb;
+use crate::output::OrderBy;
+use gpl_storage::days;
+
+/// The workloads: the paper's five evaluation queries, the Listing-1
+/// example, and an extended set (Q1/Q3/Q6) beyond the paper that
+/// exercises multi-aggregate group-bys, LIMIT and pure scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    Q1,
+    Q3,
+    Q5,
+    Q6,
+    Q7,
+    Q8,
+    Q9,
+    Q10,
+    Q12,
+    Q14,
+    /// The Listing-1 example: a selection + sum over LINEITEM.
+    Listing1,
+    /// A plan compiled from SQL text (no fixed reference implementation).
+    Adhoc,
+}
+
+impl QueryId {
+    /// The five evaluation queries of Section 5 (Figure 5, 16, 17, ...).
+    pub fn evaluation_set() -> [QueryId; 5] {
+        [QueryId::Q5, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q14]
+    }
+
+    /// Queries beyond the paper's evaluation, kept runnable on every
+    /// engine: Q1 (multi-aggregate group-by), Q3 (top-k join), Q6 (pure
+    /// predicate scan), Q10 (top-k returned-item report), Q12 (two
+    /// CASE-counting sums over a date-window join).
+    pub fn extended_set() -> [QueryId; 5] {
+        [QueryId::Q1, QueryId::Q3, QueryId::Q6, QueryId::Q10, QueryId::Q12]
+    }
+
+    /// Everything runnable.
+    pub fn all() -> [QueryId; 11] {
+        [
+            QueryId::Q1,
+            QueryId::Q3,
+            QueryId::Q5,
+            QueryId::Q6,
+            QueryId::Q7,
+            QueryId::Q8,
+            QueryId::Q9,
+            QueryId::Q10,
+            QueryId::Q12,
+            QueryId::Q14,
+            QueryId::Listing1,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q3 => "Q3",
+            QueryId::Q5 => "Q5",
+            QueryId::Q6 => "Q6",
+            QueryId::Q7 => "Q7",
+            QueryId::Q8 => "Q8",
+            QueryId::Q9 => "Q9",
+            QueryId::Q10 => "Q10",
+            QueryId::Q12 => "Q12",
+            QueryId::Q14 => "Q14",
+            QueryId::Listing1 => "Listing1",
+            QueryId::Adhoc => "adhoc",
+        }
+    }
+}
+
+/// Date literals (day numbers) used by the queries.
+pub mod literals {
+    use super::days;
+
+    /// Q5: `o_orderdate >= 1994-01-01 and < 1995-01-01`.
+    pub fn q5_order_window() -> (i32, i32) {
+        (days("1994-01-01"), days("1995-01-01"))
+    }
+
+    /// Q7: `l_shipdate between 1995-01-01 and 1996-12-31` (inclusive).
+    pub fn q7_ship_window() -> (i32, i32) {
+        (days("1995-01-01"), days("1996-12-31"))
+    }
+
+    /// Q8: `o_orderdate between 1995-01-01 and 1996-12-31` (inclusive).
+    pub fn q8_order_window() -> (i32, i32) {
+        (days("1995-01-01"), days("1996-12-31"))
+    }
+
+    /// Q9 (Appendix B modification): `p_partkey < 1000`.
+    pub const Q9_PARTKEY_BOUND: i64 = 1000;
+
+    /// Q14 default: `l_shipdate >= 1995-09-01 and < 1995-10-01`.
+    pub fn q14_ship_window() -> (i32, i32) {
+        (days("1995-09-01"), days("1995-10-01"))
+    }
+
+    /// Listing 1: `l_shipdate <= 1998-11-01` (nearly all of LINEITEM,
+    /// matching the paper's intent of a high-selectivity scan).
+    pub fn listing1_cutoff() -> i32 {
+        days("1998-11-01")
+    }
+
+    /// Q1: `l_shipdate <= date '1998-12-01' - interval '90' day`.
+    pub fn q1_cutoff() -> i32 {
+        days("1998-12-01") - 90
+    }
+
+    /// Q3: `o_orderdate < 1995-03-15` and `l_shipdate > 1995-03-15`.
+    pub fn q3_date() -> i32 {
+        days("1995-03-15")
+    }
+
+    /// Q3 is a top-k query.
+    pub const Q3_LIMIT: usize = 10;
+
+    /// Q6: shipped in 1994, discount in [0.05, 0.07], quantity < 24.
+    pub fn q6_ship_window() -> (i32, i32) {
+        (days("1994-01-01"), days("1995-01-01"))
+    }
+    pub const Q6_DISCOUNT_LO: i64 = 5;
+    pub const Q6_DISCOUNT_HI: i64 = 7;
+    pub const Q6_QUANTITY_BOUND: i64 = 24 * 100;
+
+    /// Q10: `o_orderdate >= 1993-10-01 and < 1994-01-01`.
+    pub fn q10_order_window() -> (i32, i32) {
+        (days("1993-10-01"), days("1994-01-01"))
+    }
+
+    /// Q10 is a top-k query.
+    pub const Q10_LIMIT: usize = 20;
+
+    /// Q12: `l_receiptdate >= 1994-01-01 and < 1995-01-01`.
+    pub fn q12_receipt_window() -> (i32, i32) {
+        (days("1994-01-01"), days("1995-01-01"))
+    }
+
+    /// Q12: `l_shipmode in (...)`.
+    pub const Q12_SHIP_MODES: [&str; 2] = ["MAIL", "SHIP"];
+
+    /// Q12's high-priority bucket.
+    pub const Q12_HIGH_PRIORITIES: [&str; 2] = ["1-URGENT", "2-HIGH"];
+}
+
+/// Parameters for the Q14 selectivity study (Figures 3, 4, 18): the paper
+/// varies the `l_shipdate` interval to sweep selectivity from 1% to 100%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q14Params {
+    /// `l_shipdate >= lo` (day number).
+    pub lo: i32,
+    /// `l_shipdate < hi` (day number).
+    pub hi: i32,
+}
+
+impl Default for Q14Params {
+    fn default() -> Self {
+        let (lo, hi) = literals::q14_ship_window();
+        Q14Params { lo, hi }
+    }
+}
+
+/// Compute a ship-date window whose selectivity on LINEITEM is
+/// approximately `frac` (0, 1]. Mirrors the paper's predicate-interval
+/// manipulation described in Section 2.2.
+pub fn q14_window_for_selectivity(db: &TpchDb, frac: f64) -> Q14Params {
+    assert!(frac > 0.0 && frac <= 1.0, "selectivity {frac} outside (0, 1]");
+    let col = db.lineitem.col("l_shipdate");
+    let mut dates: Vec<i32> = (0..db.lineitem.rows()).map(|r| col.get_i64(r) as i32).collect();
+    dates.sort_unstable();
+    if dates.is_empty() {
+        return Q14Params::default();
+    }
+    let lo = dates[0];
+    let idx = ((dates.len() as f64 * frac).ceil() as usize).clamp(1, dates.len());
+    // hi is exclusive: one past the last selected date.
+    let hi = dates[idx - 1] + 1;
+    Q14Params { lo, hi }
+}
+
+/// The `ORDER BY` of each query, as (column, descending) over the
+/// [`crate::output::QueryOutput`] column layout documented per query in
+/// [`crate::reference`].
+pub fn order_spec(q: QueryId) -> Vec<OrderBy> {
+    match q {
+        // Q1: order by l_returnflag, l_linestatus.
+        QueryId::Q1 => vec![(0, false), (1, false)],
+        // Q3: order by revenue desc, o_orderdate (columns are
+        // [l_orderkey, o_orderdate, o_shippriority, revenue]).
+        QueryId::Q3 => vec![(3, true), (1, false)],
+        // Q6: scalar.
+        QueryId::Q6 => vec![],
+        // Q5: group by n_name, order by revenue desc.
+        QueryId::Q5 => vec![(1, true)],
+        // Q7: order by l_year (Appendix B drops the multi-column sort).
+        QueryId::Q7 => vec![(2, false)],
+        // Q8: order by o_year.
+        QueryId::Q8 => vec![(0, false)],
+        // Q9: order by o_year desc (Appendix B modification).
+        QueryId::Q9 => vec![(1, true)],
+        // Q10: order by revenue desc, then custkey for a total order
+        // (columns are [c_custkey, c_nationkey, c_acctbal, revenue]).
+        QueryId::Q10 => vec![(3, true), (0, false)],
+        // Q12: order by l_shipmode.
+        QueryId::Q12 => vec![(0, false)],
+        // Q14 / Listing 1: single row, nothing to order.
+        QueryId::Q14 | QueryId::Listing1 => vec![],
+        // Ad-hoc SQL carries its ORDER BY inside the compiled plan.
+        QueryId::Adhoc => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::TpchDb;
+
+    #[test]
+    fn selectivity_window_hits_target() {
+        let db = TpchDb::at_scale(0.01);
+        let ship = db.lineitem.col("l_shipdate");
+        let n = db.lineitem.rows() as f64;
+        for frac in [0.01, 0.25, 0.5, 1.0] {
+            let w = q14_window_for_selectivity(&db, frac);
+            let hit = (0..db.lineitem.rows())
+                .filter(|&r| {
+                    let d = ship.get_i64(r) as i32;
+                    d >= w.lo && d < w.hi
+                })
+                .count() as f64;
+            let got = hit / n;
+            assert!(
+                (got - frac).abs() < 0.02,
+                "target {frac}, got {got} with window {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_selectivity_covers_everything() {
+        let db = TpchDb::at_scale(0.002);
+        let w = q14_window_for_selectivity(&db, 1.0);
+        let ship = db.lineitem.col("l_shipdate");
+        let all = (0..db.lineitem.rows())
+            .all(|r| (ship.get_i64(r) as i32) >= w.lo && (ship.get_i64(r) as i32) < w.hi);
+        assert!(all);
+    }
+
+    #[test]
+    fn literals_are_consistent() {
+        let (lo, hi) = literals::q5_order_window();
+        assert!(lo < hi);
+        let (lo, hi) = literals::q14_ship_window();
+        assert_eq!(hi - lo, 30, "September has 30 days");
+    }
+
+    #[test]
+    fn evaluation_set_is_the_papers() {
+        let names: Vec<_> = QueryId::evaluation_set().iter().map(|q| q.name()).collect();
+        assert_eq!(names, vec!["Q5", "Q7", "Q8", "Q9", "Q14"]);
+    }
+}

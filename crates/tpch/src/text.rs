@@ -1,0 +1,115 @@
+//! Fixed TPC-H text domains (clause 4.2.2 / Appendix A of the spec).
+
+/// The five regions, in key order.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 nations with their region keys, in nation-key order
+/// (region indexes follow [`REGIONS`]).
+pub const NATIONS: &[(&str, i32)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Ship modes (clause 4.2.2.13).
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Order priorities (clause 4.2.2.13), in priority order.
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+const TYPE_SYLLABLE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// The 150 part type strings ("ECONOMY ANODIZED STEEL", ...).
+pub fn part_types() -> Vec<String> {
+    let mut v = Vec::with_capacity(150);
+    for a in TYPE_SYLLABLE_1 {
+        for b in TYPE_SYLLABLE_2 {
+            for c in TYPE_SYLLABLE_3 {
+                v.push(format!("{a} {b} {c}"));
+            }
+        }
+    }
+    v
+}
+
+/// The 25 brand strings ("Brand#11" .. "Brand#55").
+pub fn part_brands() -> Vec<String> {
+    let mut v = Vec::with_capacity(25);
+    for a in 1..=5 {
+        for b in 1..=5 {
+            v.push(format!("Brand#{a}{b}"));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_have_spec_cardinalities() {
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(part_types().len(), 150);
+        assert_eq!(part_brands().len(), 25);
+        assert_eq!(SHIP_MODES.len(), 7);
+        assert_eq!(ORDER_PRIORITIES.len(), 5);
+    }
+
+    #[test]
+    fn q12_literals_exist() {
+        assert!(SHIP_MODES.contains(&"MAIL") && SHIP_MODES.contains(&"SHIP"));
+        assert!(ORDER_PRIORITIES.contains(&"1-URGENT") && ORDER_PRIORITIES.contains(&"2-HIGH"));
+    }
+
+    #[test]
+    fn q8_literal_type_exists() {
+        assert!(part_types().iter().any(|t| t == "ECONOMY ANODIZED STEEL"));
+    }
+
+    #[test]
+    fn promo_types_are_one_sixth() {
+        let promo = part_types().iter().filter(|t| t.starts_with("PROMO")).count();
+        assert_eq!(promo, 25);
+    }
+
+    #[test]
+    fn nation_regions_are_valid() {
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(r));
+        }
+        // Q5 needs ASIA nations; Q7 FRANCE+GERMANY; Q8 AMERICA + BRAZIL.
+        assert!(NATIONS.iter().filter(|(_, r)| *r == 2).count() >= 5);
+        assert_eq!(NATIONS.iter().find(|(n, _)| *n == "BRAZIL").unwrap().1, 1);
+    }
+}

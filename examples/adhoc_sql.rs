@@ -1,0 +1,67 @@
+//! Ad-hoc SQL on the GPL engine.
+//!
+//! Compiles SQL text into a segmented pipelined plan (build stages +
+//! probe pipeline), shows the kernel decomposition under both execution
+//! models, and runs it on the simulated GPU.
+//!
+//! Run with: `cargo run --release --example adhoc_sql`
+//! or with your own query:
+//! `cargo run --release --example adhoc_sql -- "select count(*) from lineitem"`
+
+use gpl_repro::core::{run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::sim::amd_a10;
+use gpl_repro::sql::compile_optimized;
+use gpl_repro::storage::decimal_to_string;
+use gpl_repro::tpch::TpchDb;
+
+const DEFAULT_SQL: &str = "\
+    select n_name as nation, extract(year from o_orderdate) as o_year, \
+           sum(l_extendedprice * (1 - l_discount)) as revenue, count(*) as orders \
+    from lineitem, orders, supplier, nation \
+    where l_orderkey = o_orderkey and l_suppkey = s_suppkey \
+      and s_nationkey = n_nationkey \
+      and n_name in ('FRANCE', 'GERMANY', 'JAPAN') \
+      and o_orderdate >= date '1996-01-01' \
+    group by n_name, extract(year from o_orderdate) \
+    order by revenue desc limit 8";
+
+fn main() {
+    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_SQL.to_string());
+    let spec = amd_a10();
+    let db = TpchDb::at_scale(0.05);
+    println!("-- SQL --\n{sql}\n");
+
+    let plan = match compile_optimized(&db, &sql) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!("-- compiled plan --\n{}", plan.explain());
+
+    let mut ctx = ExecContext::new(spec.clone(), db);
+    let cfg = QueryConfig::default_for(&spec, &plan);
+    let run = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+
+    println!("-- result ({} rows, {} simulated cycles / {:.2} ms) --", run.output.num_rows(), run.cycles, run.ms(&spec));
+    println!("{}", run.output.columns.join(" | "));
+    let nation_dict = ctx.db.nation.col("n_name").dictionary().cloned();
+    for row in &run.output.rows {
+        let cells: Vec<String> = run
+            .output
+            .columns
+            .iter()
+            .zip(row)
+            .map(|(c, v)| match c.as_str() {
+                "nation" => nation_dict
+                    .as_ref()
+                    .map(|d| d.get(*v as u32).to_string())
+                    .unwrap_or_else(|| v.to_string()),
+                "revenue" => decimal_to_string(*v),
+                _ => v.to_string(),
+            })
+            .collect();
+        println!("{}", cells.join(" | "));
+    }
+}

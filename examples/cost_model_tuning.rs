@@ -1,0 +1,77 @@
+//! Cost-based tuning of a pipelined plan (Section 4, on TPC-H Q8).
+//!
+//! Calibrates the Γ channel-throughput table on the simulated device,
+//! estimates the λ data-reduction ratios by sampling, searches the
+//! (Δ, n, p, wg_Ki) space, and then validates the chosen plan against
+//! the simulator — printing the measured-vs-estimated comparison of
+//! Figure 11 and the tile-size trade-off of Figures 12/13.
+//!
+//! Run with: `cargo run --release --example cost_model_tuning`
+
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::model::{evaluate, optimize, GammaTable};
+use gpl_repro::sim::amd_a10;
+use gpl_repro::tpch::{QueryId, TpchDb};
+
+fn main() {
+    let spec = amd_a10();
+    let sf = 0.1;
+    println!("calibrating Γ(n, p, d) on {} ...", spec.name);
+    let gamma = GammaTable::calibrate(&spec);
+    println!(
+        "  e.g. Γ(4, 16B, 1MiB) = {:.2} bytes/cycle, Γ(1, 16B, 1MiB) = {:.2}",
+        gamma.lookup(4, 16, 1 << 20),
+        gamma.lookup(1, 16, 1 << 20)
+    );
+
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(sf));
+    let plan = plan_for(&ctx.db, QueryId::Q8);
+
+    let out = optimize(&spec, &gamma, &ctx.db, &plan);
+    println!(
+        "\noptimized Q8 in {:?} ({} cost evaluations; paper: < 5 ms)",
+        out.elapsed, out.evaluated
+    );
+    for (stage, cfg) in plan.stages.iter().zip(&out.config.stages) {
+        println!(
+            "  {:<16} Δ = {:>5} KB, n = {:>2}, p = {:>2} B, wg = {:?}",
+            stage.name,
+            cfg.tile_bytes >> 10,
+            cfg.n_channels,
+            cfg.packet_bytes,
+            cfg.wg_counts
+        );
+    }
+
+    let tuned = evaluate(&mut ctx, &gamma, &plan, &out.config);
+    println!(
+        "\ntuned:   measured {:>9} cycles, estimated {:>9.0}, relative error {:.1}%",
+        tuned.measured_cycles,
+        tuned.estimated_cycles,
+        tuned.relative_error * 100.0
+    );
+    let default_cfg = QueryConfig::default_for(&spec, &plan);
+    ctx.sim.clear_cache();
+    let default_run = run_query(&mut ctx, &plan, ExecMode::Gpl, &default_cfg);
+    println!(
+        "default: measured {:>9} cycles  ->  the tuned plan is {:.1}% faster",
+        default_run.cycles,
+        (1.0 - tuned.measured_cycles as f64 / default_run.cycles as f64) * 100.0
+    );
+
+    println!("\ntile-size sweep (other knobs at defaults):");
+    for &tile in &gpl_repro::model::search::tile_grid() {
+        let mut cfg = default_cfg.clone();
+        for s in &mut cfg.stages {
+            s.tile_bytes = tile;
+        }
+        let e = evaluate(&mut ctx, &gamma, &plan, &cfg);
+        println!(
+            "  Δ = {:>5} KB: measured {:>9}, estimated {:>9.0} (err {:>5.1}%)",
+            tile >> 10,
+            e.measured_cycles,
+            e.estimated_cycles,
+            e.relative_error * 100.0
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Beyond the paper's evaluation set: the extended TPC-H queries
+//! (Q1 pricing summary, Q3 top-k shipping priority, Q6 revenue-change
+//! scan) on all three execution modes, plus the radix-partitioned hash
+//! join from Section 3.2's extension note, measured against monolithic
+//! probing on a table that overflows the cache.
+//!
+//! Run with: `cargo run --release --example extended_workload`
+
+use gpl_repro::core::ht::{mix64, SimHashTable};
+use gpl_repro::core::partitioned::{build_partitioned, probe_monolithic, probe_partitioned};
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::sim::amd_a10;
+use gpl_repro::tpch::{reference, QueryId, TpchDb};
+
+fn main() {
+    let spec = amd_a10();
+    let sf = 0.05;
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(sf));
+
+    println!("extended queries (SF {sf}, {}):", spec.name);
+    println!("{:>5} {:>6} {:>12} {:>12} {:>12} {:>9}", "query", "rows", "KBE cyc", "w/o CE", "GPL cyc", "GPL/KBE");
+    for q in QueryId::extended_set() {
+        let plan = plan_for(&ctx.db, q);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        let want = reference::run(&ctx.db, q);
+        let mut cycles = Vec::new();
+        for mode in [ExecMode::Kbe, ExecMode::GplNoCe, ExecMode::Gpl] {
+            ctx.sim.clear_cache();
+            let run = run_query(&mut ctx, &plan, mode, &cfg);
+            assert_eq!(run.output, want, "{} under {}", q.name(), mode.name());
+            cycles.push(run.cycles);
+        }
+        println!(
+            "{:>5} {:>6} {:>12} {:>12} {:>12} {:>8.2}x",
+            q.name(),
+            want.num_rows(),
+            cycles[0],
+            cycles[1],
+            cycles[2],
+            cycles[2] as f64 / cycles[0] as f64
+        );
+    }
+
+    // The radix join: a 1M-key build side is ~8x the 4 MB cache.
+    println!("\npartitioned (radix) vs monolithic hash join, 1M build keys / 2M probes:");
+    let build: Vec<i64> = (0..1_000_000).collect();
+    let payload = build.clone();
+    let probes: Vec<i64> =
+        (0..2_000_000).map(|i| (mix64(11 ^ i as u64) as i64).rem_euclid(1_500_000)).collect();
+
+    let mut mono_table = SimHashTable::new(&mut ctx.sim.mem, build.len(), 1, "mono");
+    let mut acc = Vec::new();
+    for (&k, &v) in build.iter().zip(&payload) {
+        mono_table.insert(k, &[v], &mut acc);
+    }
+    ctx.sim.clear_cache();
+    let mono = probe_monolithic(&mut ctx, &mono_table, &probes);
+    let (pt, _) = build_partitioned(&mut ctx, &build, &payload, 16);
+    ctx.sim.clear_cache();
+    let part = probe_partitioned(&mut ctx, &pt, &probes);
+    assert_eq!(mono.matches.len(), part.matches.len());
+    println!(
+        "  monolithic:  {:>9} cycles, cache hit {:>5.1}%",
+        mono.profile.elapsed_cycles,
+        mono.profile.hit_ratio() * 100.0
+    );
+    println!(
+        "  partitioned: {:>9} cycles, cache hit {:>5.1}% ({} partitions, {:.0}% faster)",
+        part.profile.elapsed_cycles,
+        part.profile.hit_ratio() * 100.0,
+        pt.num_parts(),
+        (1.0 - part.profile.elapsed_cycles as f64 / mono.profile.elapsed_cycles as f64) * 100.0
+    );
+}

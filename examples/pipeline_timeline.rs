@@ -1,0 +1,42 @@
+//! Visualize the two execution models (Figures 9/10): trace every
+//! work-unit the simulator dispatches while running Q8 under KBE and
+//! under GPL, and render the per-kernel occupancy as an ASCII Gantt
+//! chart. KBE's kernels run strictly one after another (each launch
+//! drains before the next), while a GPL segment's kernels overlap for
+//! almost their whole lifetime, connected by channels.
+//!
+//! Run with: `cargo run --release --example pipeline_timeline`
+
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::sim::{amd_a10, overlap_fraction, render_timeline};
+use gpl_repro::tpch::{QueryId, TpchDb};
+
+fn main() {
+    let spec = amd_a10();
+    let db = TpchDb::at_scale(0.05);
+    let mut ctx = ExecContext::new(spec.clone(), db);
+    let plan = plan_for(&ctx.db, QueryId::Q8);
+    let cfg = QueryConfig::default_for(&spec, &plan);
+
+    for mode in [ExecMode::Kbe, ExecMode::Gpl] {
+        ctx.sim.clear_cache();
+        ctx.sim.enable_trace();
+        let run = run_query(&mut ctx, &plan, mode, &cfg);
+        let spans = ctx.sim.take_trace();
+        // The fact pipeline dominates; show only its portion of the
+        // trace (the last ~70% of the makespan keeps builds visible).
+        println!(
+            "== Q8 under {} — {} cycles, kernel overlap {:.0}% ==",
+            mode.name(),
+            run.cycles,
+            100.0 * overlap_fraction(&spans)
+        );
+        println!("{}", render_timeline(&spans, 100, spec.num_cus));
+    }
+    println!(
+        "shades run ' . : = # @' from idle to all-CUs-busy. KBE rows light up one\n\
+         after another (serial kernels, materialized hand-offs); GPL's probe and\n\
+         aggregate kernels are shaded for the same cycles as the scan that feeds\n\
+         them — the pipelined, channel-connected execution of Figures 9/10."
+    );
+}

@@ -1,0 +1,22 @@
+//! # gpl-repro — reproduction of *GPL: A GPU-based Pipelined Query
+//! Processing Engine* (SIGMOD 2016)
+//!
+//! Umbrella crate re-exporting the workspace members. See the individual
+//! crates for the substance:
+//!
+//! * [`sim`] — the trace-driven GPU simulator (the hardware substitute).
+//! * [`storage`] — columnar tables, tiling, simulated address mapping.
+//! * [`tpch`] — deterministic TPC-H generator and CPU reference queries.
+//! * [`core`] — the GPL engine: operators-as-kernels, segments, the KBE
+//!   and GPL executors.
+//! * [`model`] — the Section 4 analytical model and parameter search.
+//! * [`ocelot`] — the Ocelot-like comparison baseline (Section 5.5).
+//! * [`sql`] — a SQL front-end compiling an analytical subset to plans.
+
+pub use gpl_core as core;
+pub use gpl_model as model;
+pub use gpl_ocelot as ocelot;
+pub use gpl_sim as sim;
+pub use gpl_sql as sql;
+pub use gpl_storage as storage;
+pub use gpl_tpch as tpch;

@@ -1,0 +1,113 @@
+//! Cross-engine equivalence: KBE, GPL (w/o CE), GPL and the Ocelot
+//! baseline must all agree with the CPU reference — across devices,
+//! scale factors, tile sizes and channel configurations.
+
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::ocelot::OcelotContext;
+use gpl_repro::sim::{amd_a10, nvidia_k40};
+use gpl_repro::tpch::{reference, QueryId, TpchDb};
+
+#[test]
+fn ocelot_matches_reference_on_both_devices() {
+    for spec in [amd_a10(), nvidia_k40()] {
+        let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.008));
+        let mut oc = OcelotContext::new();
+        for q in QueryId::evaluation_set() {
+            let plan = plan_for(&ctx.db, q);
+            let run = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
+            let want = reference::run(&ctx.db, q);
+            assert_eq!(run.output, want, "{} on {}", q.name(), spec.name);
+        }
+    }
+}
+
+#[test]
+fn gpl_results_are_config_independent() {
+    // Whatever Δ / n / p / wg the cost model picks, results never change.
+    let spec = amd_a10();
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.01));
+    for q in [QueryId::Q5, QueryId::Q8] {
+        let plan = plan_for(&ctx.db, q);
+        let want = reference::run(&ctx.db, q);
+        for (tile, n, p, wg) in [
+            (64u64 << 10, 1u32, 8u32, 2u32),
+            (1 << 20, 4, 16, 32),
+            (16 << 20, 16, 64, 128),
+            (3 << 20, 2, 32, 8),
+        ] {
+            let mut cfg = QueryConfig::default_for(&spec, &plan);
+            for s in &mut cfg.stages {
+                s.tile_bytes = tile;
+                s.n_channels = n;
+                s.packet_bytes = p;
+                for w in &mut s.wg_counts {
+                    *w = wg;
+                }
+            }
+            for mode in [ExecMode::Gpl, ExecMode::GplNoCe] {
+                let run = run_query(&mut ctx, &plan, mode, &cfg);
+                assert_eq!(
+                    run.output,
+                    want,
+                    "{} under {} with Δ={tile} n={n} p={p} wg={wg}",
+                    q.name(),
+                    mode.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_stable_across_scale_factors() {
+    // Each SF has its own ground truth; engines must track it.
+    for sf in [0.003, 0.02] {
+        let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(sf));
+        for q in [QueryId::Q7, QueryId::Q9, QueryId::Q14] {
+            let plan = plan_for(&ctx.db, q);
+            let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+            let want = reference::run(&ctx.db, q);
+            let run = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+            assert_eq!(run.output, want, "{} at SF {sf}", q.name());
+        }
+    }
+}
+
+#[test]
+fn warm_ocelot_is_functionally_identical_to_cold() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.008));
+    let mut oc = OcelotContext::new();
+    let plan = plan_for(&ctx.db, QueryId::Q8);
+    let cold = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
+    let warm = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
+    assert_eq!(cold.output, warm.output);
+    assert!(warm.cycles < cold.cycles, "cached hash tables must save time");
+}
+
+#[test]
+fn gpl_beats_kbe_and_materializes_less_at_scale() {
+    // The paper's two headline claims, asserted as a regression guard at
+    // a scale where working sets exceed the 4 MB cache.
+    let spec = amd_a10();
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.1));
+    let mut wins = 0;
+    for q in QueryId::evaluation_set() {
+        let plan = plan_for(&ctx.db, q);
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        ctx.sim.clear_cache();
+        let kbe = run_query(&mut ctx, &plan, ExecMode::Kbe, &cfg);
+        ctx.sim.clear_cache();
+        let gpl = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+        assert!(
+            gpl.profile.intermediate_footprint() < kbe.profile.intermediate_footprint() / 2,
+            "{}: GPL must materialize far less ({} vs {})",
+            q.name(),
+            gpl.profile.intermediate_footprint(),
+            kbe.profile.intermediate_footprint()
+        );
+        if gpl.cycles < kbe.cycles {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 4, "GPL should beat KBE on most queries, won {wins}/5");
+}

@@ -1,0 +1,124 @@
+//! Failure injection: the engines and the simulator must fail loudly and
+//! informatively on misuse, never silently corrupt results.
+
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::sim::{amd_a10, ChannelView, KernelDesc, ResourceUsage, Simulator, Work, WorkUnit};
+use gpl_repro::tpch::{QueryId, TpchDb};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn deadlocked_pipelines_are_reported() {
+    let r = catch_unwind(|| {
+        let mut sim = Simulator::new(amd_a10());
+        let ch = sim.create_channel(1, 16);
+        // A consumer with no producer waits forever.
+        let consumer = move |view: &dyn ChannelView| {
+            if view.available(ch) == 0 && !view.eof(ch) {
+                Work::Wait
+            } else {
+                Work::Done
+            }
+        };
+        let k = KernelDesc::new("orphan", ResourceUsage::new(64, 64, 0), 4, Box::new(consumer))
+            .reads_channel(ch);
+        sim.run(vec![k]);
+    });
+    let msg = *r.expect_err("must deadlock").downcast::<String>().expect("panic message");
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("orphan"), "diagnostics must name the kernel: {msg}");
+}
+
+#[test]
+fn channel_overflow_is_detected() {
+    let r = catch_unwind(|| {
+        let mut sim = Simulator::new(amd_a10());
+        let ch = sim.create_channel(1, 16);
+        let mut fired = false;
+        let producer = move |view: &dyn ChannelView| {
+            if fired {
+                return Work::Done;
+            }
+            fired = true;
+            // Ignore the advertised space — push over capacity.
+            let too_many = view.space(ch) + 1;
+            Work::Unit(WorkUnit::default().push(ch, too_many))
+        };
+        let k = KernelDesc::new("greedy", ResourceUsage::new(64, 64, 0), 4, Box::new(producer))
+            .writes_channel(ch);
+        sim.run(vec![k]);
+    });
+    assert!(r.is_err(), "overflow must panic");
+}
+
+#[test]
+fn two_consumers_on_one_channel_are_rejected() {
+    let r = catch_unwind(|| {
+        let mut sim = Simulator::new(amd_a10());
+        let ch = sim.create_channel(1, 16);
+        let mk = |name: &str| {
+            KernelDesc::new(
+                name,
+                ResourceUsage::new(64, 64, 0),
+                1,
+                Box::new(|_: &dyn ChannelView| Work::Done),
+            )
+            .reads_channel(ch)
+        };
+        sim.run(vec![mk("a"), mk("b")]);
+    });
+    let err = r.expect_err("must reject");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic carries a message");
+    assert!(msg.contains("two consumers"), "{msg}");
+}
+
+#[test]
+fn config_stage_count_mismatch_is_rejected() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
+    let plan = plan_for(&ctx.db, QueryId::Q14);
+    let mut cfg = QueryConfig::default_for(&amd_a10(), &plan);
+    cfg.stages.pop();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+    }));
+    assert!(r.is_err());
+}
+
+#[test]
+fn wg_count_mismatch_is_rejected() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
+    let plan = plan_for(&ctx.db, QueryId::Q14);
+    let mut cfg = QueryConfig::default_for(&amd_a10(), &plan);
+    cfg.stages[1].wg_counts.pop();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+    }));
+    assert!(r.is_err());
+}
+
+#[test]
+fn invalid_channel_count_is_rejected() {
+    let r = catch_unwind(|| {
+        let mut sim = Simulator::new(amd_a10());
+        sim.create_channel(99, 16); // max is 16
+    });
+    assert!(r.is_err());
+}
+
+#[test]
+fn sql_errors_do_not_panic() {
+    let db = TpchDb::at_scale(0.002);
+    for bad in [
+        "",
+        "selec x",
+        "select sum(l_quantity) from no_such_table",
+        "select l_orderkey from lineitem group by l_partkey",
+        "select sum(x y) from lineitem",
+        "select count(*) from lineitem where l_shipdate <= 'not a date'",
+    ] {
+        assert!(gpl_repro::sql::compile(&db, bad).is_err(), "{bad:?} should fail cleanly");
+    }
+}

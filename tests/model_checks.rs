@@ -1,0 +1,79 @@
+//! Integration checks on the analytical model: valid configurations for
+//! every query on both devices, bounded errors, and useful optimization.
+
+use gpl_repro::core::{plan_for, ExecContext};
+use gpl_repro::model::{evaluate, optimize, GammaTable};
+use gpl_repro::sim::{amd_a10, nvidia_k40, DeviceSpec};
+use gpl_repro::tpch::{QueryId, TpchDb};
+
+fn small_gamma(spec: &DeviceSpec) -> GammaTable {
+    let ps = if spec.channel.tunable_packet_size { vec![16, 64] } else { vec![16] };
+    GammaTable::calibrate_grid(spec, vec![1, 4, 16], ps, vec![256 << 10, 2 << 20, 16 << 20])
+}
+
+#[test]
+fn optimizer_yields_valid_configs_on_both_devices() {
+    for spec in [amd_a10(), nvidia_k40()] {
+        let gamma = small_gamma(&spec);
+        let db = TpchDb::at_scale(0.01);
+        for q in QueryId::evaluation_set() {
+            let plan = plan_for(&db, q);
+            let out = optimize(&spec, &gamma, &db, &plan);
+            assert!(out.estimate.is_finite() && out.estimate > 0.0);
+            for (stage, cfg) in plan.stages.iter().zip(&out.config.stages) {
+                assert_eq!(cfg.wg_counts.len(), stage.gpl_kernel_names().len());
+                assert!((1..=16).contains(&cfg.n_channels));
+                assert!(cfg.tile_bytes >= 256 << 10 && cfg.tile_bytes <= 16 << 20);
+                if !spec.channel.tunable_packet_size {
+                    assert_eq!(cfg.packet_bytes, spec.channel.fixed_packet_bytes);
+                }
+            }
+            // The paper's <5 ms budget, with slack for cold caches in CI.
+            assert!(out.elapsed.as_millis() < 1_000, "{}: {:?}", q.name(), out.elapsed);
+        }
+    }
+}
+
+#[test]
+fn model_errors_are_bounded_at_optimal_configs() {
+    let spec = amd_a10();
+    let gamma = small_gamma(&spec);
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.05));
+    for q in QueryId::evaluation_set() {
+        let plan = plan_for(&ctx.db, q);
+        let out = optimize(&spec, &gamma, &ctx.db, &plan);
+        let eval = evaluate(&mut ctx, &gamma, &plan, &out.config);
+        assert!(
+            eval.relative_error < 0.8,
+            "{}: rel. error {:.1}% (measured {}, estimated {:.0})",
+            q.name(),
+            eval.relative_error * 100.0,
+            eval.measured_cycles,
+            eval.estimated_cycles
+        );
+    }
+}
+
+#[test]
+fn tuned_configs_do_not_regress_much_vs_default() {
+    use gpl_repro::core::{run_query, ExecMode, QueryConfig};
+    let spec = amd_a10();
+    let gamma = small_gamma(&spec);
+    let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.05));
+    for q in QueryId::evaluation_set() {
+        let plan = plan_for(&ctx.db, q);
+        let tuned = optimize(&spec, &gamma, &ctx.db, &plan).config;
+        let default = QueryConfig::default_for(&spec, &plan);
+        ctx.sim.clear_cache();
+        let t = run_query(&mut ctx, &plan, ExecMode::Gpl, &tuned);
+        ctx.sim.clear_cache();
+        let d = run_query(&mut ctx, &plan, ExecMode::Gpl, &default);
+        assert!(
+            (t.cycles as f64) < 1.3 * d.cycles as f64,
+            "{}: tuned {} vs default {}",
+            q.name(),
+            t.cycles,
+            d.cycles
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) on the core data structures and
+//! operator invariants, per DESIGN.md's testing strategy.
+
+use gpl_repro::core::ops::{apply_compute, apply_filter, apply_probe, sort_rows, Chunk};
+use gpl_repro::core::ht::{GroupStore, SimHashTable};
+use gpl_repro::core::{CmpOp, Expr, Pred};
+use gpl_repro::sim::{CacheSim, MemRange, MemoryMap};
+use gpl_repro::storage::{dec_mul, Date, Tiling};
+use proptest::prelude::*;
+
+proptest! {
+    /// dec_mul matches widened integer arithmetic and is sign-correct.
+    #[test]
+    fn dec_mul_matches_i128(a in -1_000_000_000_000i64..1_000_000_000_000, b in -10_000i64..10_000) {
+        let want = ((a as i128 * b as i128) / 100) as i64;
+        prop_assert_eq!(dec_mul(a, b), want);
+    }
+
+    /// Date day-number conversion round-trips over four centuries.
+    #[test]
+    fn date_roundtrip(days in -80_000i32..80_000) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(d.to_days(), days);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!((1..=31).contains(&d.day));
+        // Display/parse round-trip too.
+        let s = d.to_string();
+        prop_assert_eq!(Date::parse(&s), Some(d));
+    }
+
+    /// Tiling is a partition: disjoint, ordered, covering every row.
+    #[test]
+    fn tiling_partitions(rows in 0usize..10_000, row_bytes in 1u64..64, tile_bytes in 1u64..65_536) {
+        let t = Tiling::by_bytes(rows, row_bytes, tile_bytes);
+        let mut next = 0usize;
+        for r in t.iter() {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end > r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, rows);
+    }
+
+    /// Filter equals the retain oracle for arbitrary data and thresholds.
+    #[test]
+    fn filter_matches_retain(vals in prop::collection::vec(-1000i64..1000, 0..300), lo in -500i64..500) {
+        let mut c = Chunk::new(2);
+        c.fill(0, vals.clone());
+        c.fill(1, vals.iter().map(|v| v * 2).collect());
+        let pred = Pred::cmp(CmpOp::Ge, Expr::slot(0), Expr::lit(lo));
+        let out = apply_filter(&c, &pred);
+        let want: Vec<i64> = vals.iter().copied().filter(|&v| v >= lo).collect();
+        prop_assert_eq!(&out.cols[0], &want);
+        let want2: Vec<i64> = want.iter().map(|v| v * 2).collect();
+        prop_assert_eq!(&out.cols[1], &want2);
+        prop_assert_eq!(out.rows, want.len());
+    }
+
+    /// Hash probe equals a HashMap-join oracle (unique build keys).
+    #[test]
+    fn probe_matches_hashmap_join(
+        build in prop::collection::hash_map(-500i64..500, -9i64..9, 0..120),
+        probe_keys in prop::collection::vec(-600i64..600, 0..200),
+    ) {
+        let mut mem = MemoryMap::new();
+        let mut ht = SimHashTable::new(&mut mem, build.len(), 1, "t");
+        let mut acc = Vec::new();
+        for (&k, &v) in &build {
+            ht.insert(k, &[v], &mut acc);
+        }
+        let mut c = Chunk::new(2);
+        c.fill(0, probe_keys.clone());
+        acc.clear();
+        let out = apply_probe(&c, &ht, 0, &[1], &mut acc);
+        let want: Vec<(i64, i64)> = probe_keys
+            .iter()
+            .filter_map(|k| build.get(k).map(|&v| (*k, v)))
+            .collect();
+        prop_assert_eq!(out.rows, want.len());
+        prop_assert_eq!(&out.cols[0], &want.iter().map(|p| p.0).collect::<Vec<_>>());
+        prop_assert_eq!(&out.cols[1], &want.iter().map(|p| p.1).collect::<Vec<_>>());
+        // One simulated bucket access per probed row.
+        prop_assert_eq!(acc.len(), probe_keys.len());
+    }
+
+    /// Group store equals a BTreeMap aggregation oracle.
+    #[test]
+    fn group_store_matches_btreemap(rows in prop::collection::vec((-20i64..20, -100i64..100), 0..300)) {
+        let mut mem = MemoryMap::new();
+        let mut g = GroupStore::new(&mut mem, 64, 1, 1, "agg");
+        let mut want = std::collections::BTreeMap::<i64, i64>::new();
+        let mut acc = Vec::new();
+        for &(k, v) in &rows {
+            g.update(&[k], &[v], &mut acc);
+            *want.entry(k).or_default() += v;
+        }
+        let got = g.into_rows();
+        // Grouped aggregation over no input yields no rows (SQL).
+        let want: Vec<Vec<i64>> = want.into_iter().map(|(k, v)| vec![k, v]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Compute fills exactly the expression values.
+    #[test]
+    fn compute_matches_eval(vals in prop::collection::vec(-1000i64..1000, 1..200)) {
+        let mut c = Chunk::new(2);
+        c.fill(0, vals.clone());
+        apply_compute(&mut c, &Expr::slot(0).mul(Expr::lit(3)).add(Expr::lit(7)), 1);
+        let want: Vec<i64> = vals.iter().map(|v| v * 3 + 7).collect();
+        prop_assert_eq!(&c.cols[1], &want);
+    }
+
+    /// sort_rows is a permutation ordered by the spec with full tiebreak.
+    #[test]
+    fn sort_rows_is_ordered_permutation(rows in prop::collection::vec((0i64..50, -50i64..50), 0..200), desc in any::<bool>()) {
+        let mut data: Vec<Vec<i64>> = rows.iter().map(|&(a, b)| vec![a, b]).collect();
+        let mut copy = data.clone();
+        sort_rows(&mut data, &[(0, desc)]);
+        copy.sort();
+        let mut back = data.clone();
+        back.sort();
+        prop_assert_eq!(back, copy, "must be a permutation");
+        for w in data.windows(2) {
+            if desc {
+                prop_assert!(w[0][0] >= w[1][0]);
+            } else {
+                prop_assert!(w[0][0] <= w[1][0]);
+            }
+            if w[0][0] == w[1][0] {
+                prop_assert!(w[0] <= w[1], "tiebreak must be ascending");
+            }
+        }
+    }
+
+    /// The cache never exceeds capacity and counts every line exactly once.
+    #[test]
+    fn cache_accounting_is_exact(accesses in prop::collection::vec((0u64..1u64 << 16, 1u64..512, any::<bool>()), 1..300)) {
+        let mut c = CacheSim::new(16 << 10, 64, 4);
+        let mut lines = 0u64;
+        for &(addr, bytes, write) in &accesses {
+            let r = if write { MemRange::write(addr, bytes) } else { MemRange::read(addr, bytes) };
+            let s = c.access(r);
+            let first = addr / 64;
+            let last = (addr + bytes - 1) / 64;
+            prop_assert_eq!(s.total(), last - first + 1);
+            lines += s.total();
+        }
+        prop_assert_eq!(c.cum.total(), lines);
+        prop_assert!(c.resident_lines() <= c.capacity_lines());
+        prop_assert!(c.hit_ratio() >= 0.0 && c.hit_ratio() <= 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Timeline tracing: the recorded spans must reproduce the defining
+//! structural difference between the execution models — KBE never
+//! overlaps two kernels (one launch at a time, drained between), while
+//! a GPL segment's kernels spend a large share of the makespan in
+//! flight together.
+
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::sim::{overlap_fraction, render_timeline, amd_a10};
+use gpl_repro::tpch::{QueryId, TpchDb};
+
+fn traced(ctx: &mut ExecContext, q: QueryId, mode: ExecMode) -> Vec<gpl_repro::sim::TraceSpan> {
+    let plan = plan_for(&ctx.db, q);
+    let cfg = QueryConfig::default_for(&ctx.sim.spec().clone(), &plan);
+    ctx.sim.clear_cache();
+    ctx.sim.enable_trace();
+    run_query(ctx, &plan, mode, &cfg);
+    ctx.sim.take_trace()
+}
+
+#[test]
+fn kbe_is_serial_and_gpl_is_pipelined() {
+    // Large enough that the fact pipeline (where kernels overlap)
+    // dominates the small build segments.
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.05));
+    let kbe = traced(&mut ctx, QueryId::Q8, ExecMode::Kbe);
+    let gpl = traced(&mut ctx, QueryId::Q8, ExecMode::Gpl);
+    assert!(!kbe.is_empty() && !gpl.is_empty());
+    let (ko, go) = (overlap_fraction(&kbe), overlap_fraction(&gpl));
+    assert_eq!(ko, 0.0, "KBE launches one kernel at a time");
+    assert!(go > 0.25, "GPL overlap {go} should dominate the fact pipeline");
+}
+
+#[test]
+fn spans_are_well_formed_and_cover_the_run() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.01));
+    let before = ctx.sim.clock();
+    let spans = traced(&mut ctx, QueryId::Q14, ExecMode::Gpl);
+    let after = ctx.sim.clock();
+    for s in &spans {
+        assert!(s.start < s.end, "{s:?}");
+        assert!(s.start >= before && s.end <= after, "{s:?} outside [{before}, {after}]");
+        assert!(s.cu < ctx.sim.spec().num_cus, "{s:?}");
+    }
+    // Every GPL kernel of the probe stage dispatched at least one unit.
+    let names: std::collections::HashSet<&str> =
+        spans.iter().map(|s| &*s.kernel).collect();
+    assert!(names.iter().any(|n| n.starts_with("k_map*")), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("k_hash_probe*")), "{names:?}");
+}
+
+#[test]
+fn tracing_is_off_by_default_and_drains_on_take() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.01));
+    let plan = plan_for(&ctx.db, QueryId::Listing1);
+    let cfg = QueryConfig::default_for(&ctx.sim.spec().clone(), &plan);
+    run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+    assert!(ctx.sim.take_trace().is_empty(), "untraced run recorded spans");
+    ctx.sim.enable_trace();
+    run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+    let spans = ctx.sim.take_trace();
+    assert!(!spans.is_empty());
+    // take_trace both returns and disables.
+    run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+    assert!(ctx.sim.take_trace().is_empty(), "take_trace must disable tracing");
+}
+
+#[test]
+fn tracing_has_no_observer_effect() {
+    // Enabling the trace must not perturb the simulation: identical
+    // cycle counts and results with and without it.
+    let run_q8 = |trace: bool| {
+        let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.02));
+        let plan = plan_for(&ctx.db, QueryId::Q8);
+        let cfg = QueryConfig::default_for(&ctx.sim.spec().clone(), &plan);
+        if trace {
+            ctx.sim.enable_trace();
+        }
+        run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg)
+    };
+    let plain = run_q8(false);
+    let traced = run_q8(true);
+    assert_eq!(plain.cycles, traced.cycles);
+    assert_eq!(plain.output, traced.output);
+}
+
+#[test]
+fn render_shows_one_row_per_kernel() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.01));
+    let spans = traced(&mut ctx, QueryId::Listing1, ExecMode::Gpl);
+    let chart = render_timeline(&spans, 60, ctx.sim.spec().num_cus);
+    assert!(chart.contains("k_map*"), "{chart}");
+    assert!(chart.contains("k_reduce*"), "{chart}");
+}
