@@ -6,7 +6,8 @@
 //! 4. model-balanced per-kernel work-groups vs a uniform allocation;
 //! 5. packet size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_model::{optimize, GammaTable};
 use gpl_sim::amd_a10;
@@ -134,5 +135,5 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);
+bench_group!(benches, bench_ablations);
+bench_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion bench for the channel calibration chain (Figure 2 / 23):
+//! Bench for the channel calibration chain (Figure 2 / 23):
 //! wall-clock cost of simulating the producer→consumer microbenchmark
 //! across channel counts and data sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_sim::{amd_a10, nvidia_k40, run_producer_consumer};
 
 fn bench_calibration(c: &mut Criterion) {
@@ -27,5 +28,5 @@ fn bench_calibration(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_calibration);
-criterion_main!(benches);
+bench_group!(benches, bench_calibration);
+bench_main!(benches);

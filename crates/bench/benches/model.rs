@@ -1,8 +1,9 @@
-//! Criterion bench for the analytical model (Figures 11, 14, 24): λ
+//! Bench for the analytical model (Figures 11, 14, 24): λ
 //! estimation, cost evaluation and the full parameter search — the paper
 //! claims the whole optimization stays under 5 ms per query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::{plan_for, QueryConfig};
 use gpl_model::{build_models, estimate_query, estimate_stats, optimize, GammaTable};
 use gpl_sim::amd_a10;
@@ -38,5 +39,5 @@ fn bench_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_model);
-criterion_main!(benches);
+bench_group!(benches, bench_model);
+bench_main!(benches);

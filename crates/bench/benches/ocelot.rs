@@ -1,7 +1,8 @@
-//! Criterion bench for the Ocelot comparison (Figure 22), cold and warm
+//! Bench for the Ocelot comparison (Figure 22), cold and warm
 //! (hash-table cache primed).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_ocelot::OcelotContext;
 use gpl_sim::amd_a10;
@@ -42,5 +43,5 @@ fn bench_ocelot(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ocelot);
-criterion_main!(benches);
+bench_group!(benches, bench_ocelot);
+bench_main!(benches);

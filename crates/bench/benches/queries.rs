@@ -1,7 +1,8 @@
-//! Criterion bench for the headline comparison (Figures 5, 16, 17, 19,
+//! Bench for the headline comparison (Figures 5, 16, 17, 19,
 //! 20, 27): simulating every workload query under each execution mode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_sim::amd_a10;
 use gpl_tpch::{QueryId, TpchDb};
@@ -32,5 +33,5 @@ fn bench_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);
+bench_group!(benches, bench_modes);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion bench for the data-size sweep (Figure 21): KBE vs GPL as
+//! Bench for the data-size sweep (Figure 21): KBE vs GPL as
 //! the scale factor grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_sim::amd_a10;
 use gpl_tpch::{QueryId, TpchDb};
@@ -30,5 +31,5 @@ fn bench_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scale);
-criterion_main!(benches);
+bench_group!(benches, bench_scale);
+bench_main!(benches);

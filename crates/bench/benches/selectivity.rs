@@ -1,6 +1,7 @@
-//! Criterion bench for the Q14 selectivity studies (Figures 3, 4, 18).
+//! Bench for the Q14 selectivity studies (Figures 3, 4, 18).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::plan::q14_plan;
 use gpl_core::{run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_sim::amd_a10;
@@ -33,5 +34,5 @@ fn bench_selectivity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_selectivity);
-criterion_main!(benches);
+bench_group!(benches, bench_selectivity);
+bench_main!(benches);

@@ -1,6 +1,7 @@
-//! Criterion bench for the tile-size knob (Figures 12, 13, 25, 26).
+//! Bench for the tile-size knob (Figures 12, 13, 25, 26).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpl_bench::harness::{BenchmarkId, Criterion};
+use gpl_bench::{bench_group, bench_main};
 use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_sim::amd_a10;
 use gpl_tpch::{QueryId, TpchDb};
@@ -28,5 +29,5 @@ fn bench_tiles(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tiles);
-criterion_main!(benches);
+bench_group!(benches, bench_tiles);
+bench_main!(benches);

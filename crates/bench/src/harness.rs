@@ -1,0 +1,203 @@
+//! Minimal wall-clock benchmark harness (the offline replacement for
+//! criterion, shaped like the subset this repo uses).
+//!
+//! Each benchmark runs one untimed warmup iteration, then up to
+//! `sample_size` timed iterations (capped at ~2 s of wall clock so the
+//! suite stays bounded), and prints min/mean/max per benchmark id.
+//! `GPL_BENCH_SAMPLES=<n>` overrides the sample count globally.
+//!
+//! No statistics beyond that: these benches exist to regenerate the
+//! paper's tables on whatever machine runs them, not to detect 1%
+//! regressions. The simulator itself is deterministic, so variance here
+//! is purely host noise.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark id once at least one sample landed.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(2);
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness handle; hands out benchmark groups.
+pub struct Criterion {
+    /// `GPL_BENCH_SAMPLES`, which beats call-site `sample_size`.
+    forced: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        let forced = std::env::var("GPL_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok());
+        Self { forced }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("\n== {name} ==");
+        Group { name, samples: self.forced.unwrap_or(10), forced: self.forced.is_some() }
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Group {
+    name: String,
+    samples: usize,
+    forced: bool,
+}
+
+impl Group {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !self.forced {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.id.clone(), &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: self.samples, times: Vec::new() };
+        f(&mut b);
+        let times = b.times;
+        if times.is_empty() {
+            println!("{}/{id}: no samples (Bencher::iter never called)", self.name);
+            return;
+        }
+        let min = times.iter().min().unwrap();
+        let max = times.iter().max().unwrap();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{id}: [{} {} {}] ({} samples)",
+            self.name,
+            fmt_dur(*min),
+            fmt_dur(mean),
+            fmt_dur(*max),
+            times.len(),
+        );
+    }
+}
+
+/// Handed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warmup, untimed
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.times.push(t.elapsed());
+            if budget.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one group entry point
+/// (the `criterion_group!` shape).
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (the `criterion_main!` shape).
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("q1", 64).to_string(), "q1/64");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut seen = 0usize;
+        g.bench_function("count", |b| {
+            b.iter(|| seen += 1);
+            // 3 timed + 1 warmup iterations.
+            assert_eq!(seen, 4);
+            assert_eq!(b.times.len(), 3);
+        });
+        g.finish();
+    }
+}

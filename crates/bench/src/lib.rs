@@ -1,8 +1,10 @@
 //! # gpl-bench — the experiment harness
 //!
 //! One subcommand per table/figure of the paper (see DESIGN.md's
-//! per-experiment index), plus criterion micro/macro benches. The
-//! `repro` binary prints the same rows and series the paper reports.
+//! per-experiment index), plus wall-clock micro/macro benches (see
+//! [`harness`]). The `repro` binary prints the same rows and series the
+//! paper reports.
 
 pub mod cli;
 pub mod experiments;
+pub mod harness;

@@ -1,0 +1,166 @@
+//! Collection strategies: `vec` and `hash_map`, sized by a
+//! [`SizeRange`] (built from `usize` ranges like `1..40`).
+//!
+//! Lengths are encoded as a run of continue/stop choices rather than a
+//! single length draw: deleting a contiguous `[continue, element…]`
+//! chunk from the choice stream then shrinks the collection by exactly
+//! one element without disturbing its neighbours, which is what makes
+//! minimal counterexamples like `[10]` reachable. The run length is
+//! geometric with mean at the middle of the requested range.
+
+use crate::strategy::Strategy;
+use crate::Gen;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Requested collection size: `min..=max` inclusive.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.end() >= r.start(), "empty collection size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl SizeRange {
+    /// Drive the continue/stop run: `true` means "append another".
+    /// Choice 0 is always "stop", so exhausted replay streams produce
+    /// the shortest extension and chunk deletion shortens collections.
+    fn more(&self, len: usize, g: &mut Gen) -> bool {
+        if len < self.min {
+            return true;
+        }
+        if len >= self.max {
+            return false;
+        }
+        let avg_extra = ((self.max - self.min) / 2).max(1) as u64;
+        g.draw(avg_extra + 1) != 0
+    }
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, g: &mut Gen) -> Self::Value {
+        let mut v = Vec::new();
+        while self.size.more(v.len(), g) {
+            v.push(self.element.generate(g));
+        }
+        v
+    }
+}
+
+/// A map with up to `size.max` entries; key collisions merge (matching
+/// proptest's semantics of deduplicated keys), so the result may be
+/// smaller than the drawn size.
+pub fn hash_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Eq + Hash,
+{
+    HashMapStrategy { key, value, size: size.into() }
+}
+
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Eq + Hash,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn generate(&self, g: &mut Gen) -> Self::Value {
+        let mut m = HashMap::new();
+        let mut drawn = 0usize;
+        while self.size.more(drawn, g) {
+            let k = self.key.generate(g);
+            let v = self.value.generate(g);
+            m.insert(k, v);
+            drawn += 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_stay_in_range() {
+        let s = vec(0u32..10, 2..7);
+        let mut g = Gen::from_seed(4);
+        for _ in 0..500 {
+            let v = s.generate(&mut g);
+            assert!((2..=6).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn vec_lengths_cover_the_range() {
+        let s = vec(0u32..10, 0..5);
+        let mut g = Gen::from_seed(6);
+        let mut seen = [false; 5];
+        for _ in 0..2_000 {
+            seen[s.generate(&mut g).len()] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "lengths hit: {seen:?}");
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::any;
+        let s = vec(any::<bool>(), 3);
+        let mut g = Gen::from_seed(1);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut g).len(), 3);
+        }
+    }
+
+    #[test]
+    fn hash_map_respects_max_and_dedups() {
+        let s = hash_map(0i64..5, 0i64..100, 0..40);
+        let mut g = Gen::from_seed(11);
+        for _ in 0..200 {
+            let m = s.generate(&mut g);
+            assert!(m.len() <= 5, "only 5 distinct keys possible");
+            for k in m.keys() {
+                assert!((0..5).contains(k));
+            }
+        }
+    }
+}

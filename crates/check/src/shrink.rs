@@ -1,0 +1,123 @@
+//! Choice-stream shrinking: given a failing stream, find a smaller one
+//! that still fails. Two passes run to a fixpoint under a global
+//! attempt budget:
+//!
+//! 1. **chunk deletion** (windows of 8, 4, 2, 1 choices, scanned from
+//!    the tail) — shortens collections and drops irrelevant structure;
+//! 2. **per-choice minimization** — try 0, else binary-search the
+//!    smallest still-failing value (exact for monotone predicates,
+//!    opportunistic otherwise).
+//!
+//! "Smaller" is the standard shortlex order: fewer choices, then
+//! pointwise smaller values, so the process terminates.
+
+/// Shrink `best` (a failing stream) with `still_fails` as the oracle.
+/// `still_fails` must be pure with respect to the stream.
+pub fn shrink(mut best: Vec<u64>, mut still_fails: impl FnMut(&[u64]) -> bool) -> Vec<u64> {
+    let mut budget: u32 = 16_384;
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks, largest windows first, tail to head
+        // (trailing choices are usually the least load-bearing).
+        for size in [8usize, 4, 2, 1] {
+            let mut i = best.len();
+            while i > 0 && budget > 0 {
+                i = i.saturating_sub(size);
+                if best.is_empty() {
+                    break;
+                }
+                let end = (i + size).min(best.len());
+                if i >= end {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.drain(i..end);
+                budget -= 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+
+        // Pass 2: minimize individual choices toward zero.
+        for idx in 0..best.len() {
+            if budget == 0 {
+                break;
+            }
+            let cur = best[idx];
+            if cur == 0 {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand[idx] = 0;
+            budget -= 1;
+            if still_fails(&cand) {
+                best[idx] = 0;
+                improved = true;
+                continue;
+            }
+            // Binary search the smallest failing value in (0, cur].
+            let (mut lo, mut hi) = (0u64, cur);
+            while lo + 1 < hi && budget > 0 {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand[idx] = mid;
+                budget -= 1;
+                if still_fails(&cand) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if hi != cur {
+                best[idx] = hi;
+                improved = true;
+            }
+        }
+
+        if !improved || budget == 0 {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deletes_irrelevant_prefix_and_suffix() {
+        // Fails iff the stream contains a 7 anywhere.
+        let start = vec![3, 1, 7, 4, 1, 5, 9, 2, 6];
+        let min = shrink(start, |s| s.contains(&7));
+        assert_eq!(min, vec![7]);
+    }
+
+    #[test]
+    fn minimizes_values_by_binary_search() {
+        // Fails iff the first choice is >= 500.
+        let min = shrink(vec![987_654], |s| s.first().is_some_and(|&v| v >= 500));
+        assert_eq!(min, vec![500]);
+    }
+
+    #[test]
+    fn combined_structure_and_value_shrink() {
+        // Fails iff the sum exceeds 100. Deletion gets the stream down
+        // to three elements (two sum to 80, passing) and minimization
+        // lands exactly on the boundary sum of 101.
+        let start = vec![40, 40, 40, 40];
+        let min = shrink(start, |s| s.iter().sum::<u64>() > 100);
+        assert_eq!(min.len(), 3);
+        assert_eq!(min.iter().sum::<u64>(), 101);
+    }
+
+    #[test]
+    fn passing_streams_are_left_alone() {
+        // The oracle receiving the original stream must hold; a stream
+        // that cannot shrink stays itself.
+        let min = shrink(vec![0], |s| s == [0]);
+        assert_eq!(min, vec![0]);
+    }
+}

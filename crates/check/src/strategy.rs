@@ -1,0 +1,244 @@
+//! Strategies: composable descriptions of how to draw a value from a
+//! [`Gen`]. The API mirrors the slice of `proptest` this repository
+//! uses — integer ranges, `any`, `Just`, tuples, `prop_map`, and
+//! `prop_oneof` unions — so porting a property is an import change.
+
+use crate::Gen;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Transform generated values. Shrinking still operates on the
+    /// underlying choices, so mapped strategies shrink for free.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (needed by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        self.0.generate(g)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives of one value type; shrinks
+/// toward the first.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        let i = g.draw(self.options.len() as u64) as usize;
+        self.options[i].generate(g)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, g: &mut Gen) -> U {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// Whole-domain strategy for simple types: `any::<bool>()`,
+/// `any::<i64>()`, …
+pub fn any<T: ArbValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arb(g)
+    }
+}
+
+/// Types with a canonical whole-domain draw.
+pub trait ArbValue: Debug + Sized {
+    fn arb(g: &mut Gen) -> Self;
+}
+
+impl ArbValue for bool {
+    fn arb(g: &mut Gen) -> bool {
+        g.draw(2) == 1
+    }
+}
+
+macro_rules! arb_int {
+    ($($ty:ty),*) => {$(
+        impl ArbValue for $ty {
+            fn arb(g: &mut Gen) -> $ty {
+                g.draw_raw() as $ty
+            }
+        }
+    )*};
+}
+arb_int! { i8, u8, i16, u16, i32, u32, i64, u64, isize, usize }
+
+/// Integer ranges are strategies: `-100i64..100`, `0u32..=50`.
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, g: &mut Gen) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(g.draw(span) as $ty)
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, g: &mut Gen) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    lo.wrapping_add(g.draw_raw() as $ty)
+                } else {
+                    lo.wrapping_add(g.draw(span as u64) as $ty)
+                }
+            }
+        }
+    )*};
+}
+range_strategy! { i8, u8, i16, u16, i32, u32, i64, u64, isize, usize }
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(g),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Gen::from_seed(3);
+        for _ in 0..2_000 {
+            let v = (-50i64..50).generate(&mut g);
+            assert!((-50..50).contains(&v));
+            let w = (0u16..=9).generate(&mut g);
+            assert!(w <= 9);
+            let x = (i64::MIN..=i64::MAX).generate(&mut g);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let s = crate::prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            Just(99u32),
+        ];
+        let mut g = Gen::from_seed(5);
+        let mut saw_just = false;
+        let mut saw_even = false;
+        for _ in 0..200 {
+            match s.generate(&mut g) {
+                99 => saw_just = true,
+                v => {
+                    assert!(v < 20 && v % 2 == 0);
+                    saw_even = true;
+                }
+            }
+        }
+        assert!(saw_just && saw_even);
+    }
+
+    #[test]
+    fn tuples_and_any() {
+        let mut g = Gen::from_seed(8);
+        let (a, b, c) = (0u32..4, any::<bool>(), -5i32..=5).generate(&mut g);
+        assert!(a < 4);
+        let _ = b;
+        assert!((-5..=5).contains(&c));
+    }
+
+    #[test]
+    fn replayed_generation_is_identical() {
+        let s = crate::collection::vec((0u32..100, any::<bool>()), 0..20);
+        let mut g = Gen::from_seed(21);
+        let v1 = s.generate(&mut g);
+        let rec = g.into_record();
+        let mut r = Gen::replay(rec);
+        let v2 = s.generate(&mut r);
+        assert_eq!(format!("{v1:?}"), format!("{v2:?}"));
+    }
+}

@@ -716,15 +716,15 @@ mod tests {
         assert!(r2.iter().map(|&x| x as u64).sum::<u64>() <= sim.spec.max_wg_per_cu as u64);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+    gpl_check::prop! {
+        #![cases(64)]
 
         /// Eq. 2 invariants: the residency allocator never exceeds any
         /// CU budget, grants every kernel at least one slot, and never
         /// grants more slots than a kernel has work-groups for.
         #[test]
         fn residency_respects_every_budget(
-            kernels in proptest::collection::vec(
+            kernels in gpl_check::collection::vec(
                 (1u32..4096, 8u32..512, 0u32..12_288),
                 1..6,
             )
@@ -743,13 +743,13 @@ mod tests {
                 })
                 .collect();
             let res = sim.allocate_residency(&descs);
-            proptest::prop_assert_eq!(res.len(), descs.len());
+            gpl_check::prop_assert_eq!(res.len(), descs.len());
             let mut pm_total = 0u64;
             let mut lm_total = 0u64;
             let mut wg_total = 0u64;
             for (r, d) in res.iter().zip(&descs) {
-                proptest::prop_assert!(*r >= 1, "every kernel gets a slot");
-                proptest::prop_assert!(
+                gpl_check::prop_assert!(*r >= 1, "every kernel gets a slot");
+                gpl_check::prop_assert!(
                     *r <= d.wg_count.div_ceil(spec.num_cus).max(1),
                     "no more residency than work"
                 );
@@ -764,10 +764,10 @@ mod tests {
             let min_lm: u64 =
                 descs.iter().map(|d| d.resources.local_bytes_per_wg as u64).sum();
             if min_pm <= spec.private_mem_per_cu && min_lm <= spec.local_mem_per_cu {
-                proptest::prop_assert!(pm_total <= spec.private_mem_per_cu);
-                proptest::prop_assert!(lm_total <= spec.local_mem_per_cu);
+                gpl_check::prop_assert!(pm_total <= spec.private_mem_per_cu);
+                gpl_check::prop_assert!(lm_total <= spec.local_mem_per_cu);
             }
-            proptest::prop_assert!(
+            gpl_check::prop_assert!(
                 wg_total <= spec.max_wg_per_cu as u64 || descs.len() as u64 > spec.max_wg_per_cu as u64
             );
         }

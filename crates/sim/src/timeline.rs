@@ -213,10 +213,10 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use gpl_check::prelude::*;
 
         fn arb_spans() -> impl Strategy<Value = Vec<TraceSpan>> {
-            proptest::collection::vec(
+            collection::vec(
                 (0u64..10_000, 1u64..500, 0u32..8, 0usize..4),
                 1..50,
             )
@@ -233,7 +233,7 @@ mod tests {
             })
         }
 
-        proptest! {
+        prop! {
             /// Bucketizing conserves busy time: the densities, scaled
             /// back to cycle·CU area, sum to the total span length.
             /// `num_cus` exceeds the generator's max span count, so the

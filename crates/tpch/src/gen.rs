@@ -13,8 +13,7 @@
 
 use crate::text;
 use gpl_storage::{days, Column, DictBuilder, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpl_prng::{Rng, SeedableRng, StdRng};
 use std::sync::Arc;
 
 /// Generation parameters.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the repo must build and test green, fully
+# offline, with zero external crate dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/4 dependency-creep check =="
+# Every dependency must be an in-workspace path dependency; the three
+# crates the hermetic-build PR removed must never come back.
+if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: external crate dependency found (see above)" >&2
+    exit 1
+fi
+if grep -n '\(registry\|git\) *=' Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: non-path dependency source found (see above)" >&2
+    exit 1
+fi
+echo "ok: all dependencies are in-tree path dependencies"
+
+echo "== 2/4 offline build =="
+cargo build --offline --workspace
+
+echo "== 3/4 tier-1: release build =="
+cargo build --offline --release
+
+echo "== 4/4 tier-1: full test suite =="
+cargo test --offline --workspace -q
+
+echo "verify: all green"

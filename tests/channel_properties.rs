@@ -5,7 +5,7 @@
 use gpl_repro::sim::{
     amd_a10, ChannelView, KernelDesc, ResourceUsage, Simulator, Work, WorkUnit,
 };
-use proptest::prelude::*;
+use gpl_check::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -65,8 +65,8 @@ fn run_chain(batches: Vec<u16>, n: u32, consumer_batch: u64) -> (Vec<u64>, u64) 
     (recv, prof.elapsed_cycles)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![cases(24)]
 
     /// Packets are conserved and delivered in order for arbitrary batch
     /// shapes, port counts and consumer appetites.

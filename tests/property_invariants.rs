@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on the core data structures and
+//! Property-based tests (gpl-check) on the core data structures and
 //! operator invariants, per DESIGN.md's testing strategy.
 
 use gpl_repro::core::ops::{apply_compute, apply_filter, apply_probe, sort_rows, Chunk};
@@ -6,9 +6,9 @@ use gpl_repro::core::ht::{GroupStore, SimHashTable};
 use gpl_repro::core::{CmpOp, Expr, Pred};
 use gpl_repro::sim::{CacheSim, MemRange, MemoryMap};
 use gpl_repro::storage::{dec_mul, Date, Tiling};
-use proptest::prelude::*;
+use gpl_check::prelude::*;
 
-proptest! {
+prop! {
     /// dec_mul matches widened integer arithmetic and is sign-correct.
     #[test]
     fn dec_mul_matches_i128(a in -1_000_000_000_000i64..1_000_000_000_000, b in -10_000i64..10_000) {

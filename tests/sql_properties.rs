@@ -5,7 +5,7 @@ use gpl_repro::core::{ExecContext, ExecMode};
 use gpl_repro::sim::amd_a10;
 use gpl_repro::sql::run_sql;
 use gpl_repro::tpch::TpchDb;
-use proptest::prelude::*;
+use gpl_check::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
@@ -172,8 +172,8 @@ fn agg_strategy() -> impl Strategy<Value = AggPick> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+prop! {
+    #![cases(16)]
 
     /// Random filtered aggregates, optionally grouped, equal the oracle.
     #[test]
