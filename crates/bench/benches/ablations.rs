@@ -75,7 +75,10 @@ fn bench_ablations(c: &mut Criterion) {
         let plan = plan_for(&ctx.db, q);
         let default_cfg = QueryConfig::default_for(&spec, &plan);
         let tuned = optimize(&spec, &gamma, &ctx.db, &plan).config;
-        for (label, cfg) in [("default_1mb_uniform", &default_cfg), ("model_tuned", &tuned)] {
+        for (label, cfg) in [
+            ("default_1mb_uniform", &default_cfg),
+            ("model_tuned", &tuned),
+        ] {
             g.bench_with_input(BenchmarkId::new("config", label), cfg, |b, cfg| {
                 b.iter(|| {
                     ctx.sim.clear_cache();
@@ -93,8 +96,9 @@ fn bench_ablations(c: &mut Criterion) {
         let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(0.001));
         let build: Vec<i64> = (0..600_000).collect();
         let payload = build.clone();
-        let probes: Vec<i64> =
-            (0..1_200_000).map(|i| (mix64(11 ^ i as u64) as i64).rem_euclid(900_000)).collect();
+        let probes: Vec<i64> = (0..1_200_000)
+            .map(|i| (mix64(11 ^ i as u64) as i64).rem_euclid(900_000))
+            .collect();
         let mut mono_table = SimHashTable::new(&mut ctx.sim.mem, build.len(), 1, "mono");
         let mut acc = Vec::new();
         for (&k, &v) in build.iter().zip(&payload) {

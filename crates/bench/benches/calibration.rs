@@ -16,13 +16,9 @@ fn bench_calibration(c: &mut Criterion) {
             });
         }
         for d in [256u64 << 10, 4 << 20] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{dev}/bytes"), d),
-                &d,
-                |b, &d| {
-                    b.iter(|| run_producer_consumer(&spec, 4, 16, d));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{dev}/bytes"), d), &d, |b, &d| {
+                b.iter(|| run_producer_consumer(&spec, 4, 16, d));
+            });
         }
     }
     g.finish();

@@ -23,18 +23,30 @@ fn bench_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("analytical_model");
     for q in [QueryId::Q8, QueryId::Q14] {
         let plan = plan_for(&db, q);
-        g.bench_with_input(BenchmarkId::new("lambda_estimation", q.name()), &plan, |b, plan| {
-            b.iter(|| estimate_stats(&db, plan));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lambda_estimation", q.name()),
+            &plan,
+            |b, plan| {
+                b.iter(|| estimate_stats(&db, plan));
+            },
+        );
         let stats = estimate_stats(&db, &plan);
         let models = build_models(&db, &plan, &stats, &spec);
         let cfg = QueryConfig::default_for(&spec, &plan);
-        g.bench_with_input(BenchmarkId::new("cost_eval", q.name()), &models, |b, models| {
-            b.iter(|| estimate_query(&spec, &gamma, models, &cfg, true));
-        });
-        g.bench_with_input(BenchmarkId::new("full_search", q.name()), &plan, |b, plan| {
-            b.iter(|| optimize(&spec, &gamma, &db, plan));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cost_eval", q.name()),
+            &models,
+            |b, models| {
+                b.iter(|| estimate_query(&spec, &gamma, models, &cfg, true));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_search", q.name()),
+            &plan,
+            |b, plan| {
+                b.iter(|| optimize(&spec, &gamma, &db, plan));
+            },
+        );
     }
     g.finish();
 }

@@ -24,21 +24,29 @@ fn bench_ocelot(c: &mut Criterion) {
                 run_query(&mut ctx, plan, ExecMode::Gpl, &cfg)
             });
         });
-        g.bench_with_input(BenchmarkId::new("ocelot_cold", q.name()), &plan, |b, plan| {
-            b.iter(|| {
-                let mut oc = OcelotContext::new();
-                ctx.sim.clear_cache();
-                gpl_ocelot::run_query(&mut ctx, &mut oc, plan)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ocelot_cold", q.name()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let mut oc = OcelotContext::new();
+                    ctx.sim.clear_cache();
+                    gpl_ocelot::run_query(&mut ctx, &mut oc, plan)
+                });
+            },
+        );
         let mut warm = OcelotContext::new();
         gpl_ocelot::run_query(&mut ctx, &mut warm, &plan);
-        g.bench_with_input(BenchmarkId::new("ocelot_warm", q.name()), &plan, |b, plan| {
-            b.iter(|| {
-                ctx.sim.clear_cache();
-                gpl_ocelot::run_query(&mut ctx, &mut warm, plan)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ocelot_warm", q.name()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    ctx.sim.clear_cache();
+                    gpl_ocelot::run_query(&mut ctx, &mut warm, plan)
+                });
+            },
+        );
     }
     g.finish();
 }

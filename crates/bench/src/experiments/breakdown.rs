@@ -11,7 +11,12 @@ fn breakdown(run: &QueryRun) -> (f64, f64, f64, f64) {
     let dc = run.profile.total_dc_cycles() as f64;
     let delay = run.profile.total_delay_cycles() as f64;
     let total = (c + m + dc + delay).max(1.0);
-    (c / total * 100.0, m / total * 100.0, dc / total * 100.0, delay / total * 100.0)
+    (
+        c / total * 100.0,
+        m / total * 100.0,
+        dc / total * 100.0,
+        delay / total * 100.0,
+    )
 }
 
 fn run_breakdown(opts: &Opts) {
@@ -19,7 +24,10 @@ fn run_breakdown(opts: &Opts) {
     let mut ctx = opts.ctx(sf);
     let plan = plan_for(&ctx.db, QueryId::Q8);
     let cfg = QueryConfig::default_for(&opts.device, &plan);
-    println!("Q8 execution-time breakdown (SF {sf}, {})", opts.device.name);
+    println!(
+        "Q8 execution-time breakdown (SF {sf}, {})",
+        opts.device.name
+    );
     println!(
         "{:>12} {:>9} {:>9} {:>9} {:>9} {:>16}",
         "mode", "compute", "memory", "DC_cost", "delay", "communication*"
@@ -30,10 +38,12 @@ fn run_breakdown(opts: &Opts) {
         let (c, m, dc, delay) = breakdown(&run);
         // Section 5.3.2: in GPL, memory + DC + delay is "communication";
         // in KBE it is the memory cost.
-        let comm = if matches!(mode, ExecMode::Gpl) { m + dc + delay } else { m };
-        println!(
-            "{name:>12} {c:>8.1}% {m:>8.1}% {dc:>8.1}% {delay:>8.1}% {comm:>15.1}%"
-        );
+        let comm = if matches!(mode, ExecMode::Gpl) {
+            m + dc + delay
+        } else {
+            m
+        };
+        println!("{name:>12} {c:>8.1}% {m:>8.1}% {dc:>8.1}% {delay:>8.1}% {comm:>15.1}%");
     }
     println!(
         "* communication = Mem (KBE) vs Mem + DC + Delay (GPL). paper: up to 34% of KBE \

@@ -10,7 +10,11 @@ pub fn table1(_opts: &Opts) {
     let n = nvidia_k40();
     let rows: Vec<(&str, String, String)> = vec![
         ("#CU", a.num_cus.to_string(), n.num_cus.to_string()),
-        ("Core frequency (MHz)", a.core_freq_mhz.to_string(), n.core_freq_mhz.to_string()),
+        (
+            "Core frequency (MHz)",
+            a.core_freq_mhz.to_string(),
+            n.core_freq_mhz.to_string(),
+        ),
         (
             "Private memory/CU (KB)",
             (a.private_mem_per_cu / 1024).to_string(),
@@ -31,8 +35,16 @@ pub fn table1(_opts: &Opts) {
             format!("{:.1}", a.cache_bytes as f64 / (1 << 20) as f64),
             format!("{:.1}", n.cache_bytes as f64 / (1 << 20) as f64),
         ),
-        ("Concurrent kernels", a.concurrency.to_string(), n.concurrency.to_string()),
-        ("Programming API", "OpenCL (simulated)".into(), "CUDA (simulated)".into()),
+        (
+            "Concurrent kernels",
+            a.concurrency.to_string(),
+            n.concurrency.to_string(),
+        ),
+        (
+            "Programming API",
+            "OpenCL (simulated)".into(),
+            "CUDA (simulated)".into(),
+        ),
     ];
     for (k, va, vn) in rows {
         println!("{k:<26} {va:>14} {vn:>18}");

@@ -17,7 +17,11 @@ pub fn input_bytes(db: &TpchDb, plan: &QueryPlan) -> u64 {
         .iter()
         .map(|s| {
             let t = db.table(&s.driver);
-            s.loads.iter().map(|c| t.col(c).data_type().width()).sum::<u64>() * t.rows() as u64
+            s.loads
+                .iter()
+                .map(|c| t.col(c).data_type().width())
+                .sum::<u64>()
+                * t.rows() as u64
         })
         .sum()
 }
@@ -42,7 +46,10 @@ fn q14_sweep(opts: &Opts, mode: ExecMode) -> Vec<(f64, f64, u64)> {
 /// Figure 3: size of intermediate results in KBE with varying
 /// selectivity (Q14), normalized to the query's input size.
 pub fn fig3(opts: &Opts) {
-    println!("KBE Q14 (SF {}): materialized intermediates / input size", opts.sf_or(0.1));
+    println!(
+        "KBE Q14 (SF {}): materialized intermediates / input size",
+        opts.sf_or(0.1)
+    );
     println!("{:>12} {:>22}", "selectivity", "intermediate / input");
     for (sel, norm, _) in q14_sweep(opts, ExecMode::Kbe) {
         println!("{:>11.0}% {:>22.2}", sel * 100.0, norm);
@@ -67,10 +74,15 @@ pub fn fig4(opts: &Opts) {
         ctx.sim.clear_cache();
         let run = run_query(&mut ctx, &plan, ExecMode::Kbe, &cfg);
         let mem = run.profile.total_mem_cycles() as f64;
-        let other = run.profile.total_compute_cycles() as f64
-            + run.profile.total_delay_cycles() as f64;
+        let other =
+            run.profile.total_compute_cycles() as f64 + run.profile.total_delay_cycles() as f64;
         let total = (mem + other).max(1.0);
-        println!("{:>11.0}% {:>9.1}% {:>9.1}%", sel * 100.0, mem / total * 100.0, other / total * 100.0);
+        println!(
+            "{:>11.0}% {:>9.1}% {:>9.1}%",
+            sel * 100.0,
+            mem / total * 100.0,
+            other / total * 100.0
+        );
     }
     println!("expected shape: the memory share grows with selectivity (up to ~1/3 or more).");
 }
@@ -80,8 +92,14 @@ pub fn fig4(opts: &Opts) {
 pub fn fig17(opts: &Opts) {
     let sf = opts.sf_or(0.1);
     let mut ctx = opts.ctx(sf);
-    println!("materialized intermediates, GPL / KBE (SF {sf}, {})", opts.device.name);
-    println!("{:>5} {:>12} {:>12} {:>10}", "query", "KBE bytes", "GPL bytes", "GPL/KBE");
+    println!(
+        "materialized intermediates, GPL / KBE (SF {sf}, {})",
+        opts.device.name
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>10}",
+        "query", "KBE bytes", "GPL bytes", "GPL/KBE"
+    );
     for q in QueryId::evaluation_set() {
         let plan = plan_for(&ctx.db, q);
         let cfg = QueryConfig::default_for(&opts.device, &plan);
@@ -89,9 +107,17 @@ pub fn fig17(opts: &Opts) {
         let kbe = run_query(&mut ctx, &plan, ExecMode::Kbe, &cfg);
         ctx.sim.clear_cache();
         let gpl = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
-        let (kb, gb) =
-            (kbe.profile.intermediate_footprint(), gpl.profile.intermediate_footprint());
-        println!("{:>5} {:>12} {:>12} {:>9.0}%", q.name(), kb, gb, gb as f64 / kb as f64 * 100.0);
+        let (kb, gb) = (
+            kbe.profile.intermediate_footprint(),
+            gpl.profile.intermediate_footprint(),
+        );
+        println!(
+            "{:>5} {:>12} {:>12} {:>9.0}%",
+            q.name(),
+            kb,
+            gb,
+            gb as f64 / kb as f64 * 100.0
+        );
     }
     println!("paper: GPL materializes only 15–33% of what KBE does.");
 }
@@ -99,7 +125,10 @@ pub fn fig17(opts: &Opts) {
 /// Figure 18: GPL Q14 intermediates vs selectivity, normalized to the
 /// input size (compare with Figure 3's KBE curve).
 pub fn fig18(opts: &Opts) {
-    println!("GPL Q14 (SF {}): materialized intermediates / input size", opts.sf_or(0.1));
+    println!(
+        "GPL Q14 (SF {}): materialized intermediates / input size",
+        opts.sf_or(0.1)
+    );
     println!("{:>12} {:>22}", "selectivity", "intermediate / input");
     for (sel, norm, _) in q14_sweep(opts, ExecMode::Gpl) {
         println!("{:>11.0}% {:>22.3}", sel * 100.0, norm);

@@ -9,6 +9,7 @@ pub mod calibration;
 pub mod intermediates;
 pub mod model_eval;
 pub mod modes;
+pub mod profile;
 pub mod utilization;
 
 use gpl_core::ExecContext;
@@ -25,6 +26,9 @@ pub struct Opts {
     pub sf: Option<f64>,
     /// Device: "amd" (default) or "nvidia".
     pub device: DeviceSpec,
+    /// Positional arguments after the experiment name (e.g. the query
+    /// for `repro profile q1`).
+    pub extra: Vec<String>,
 }
 
 impl Opts {
@@ -204,6 +208,12 @@ pub fn registry() -> Vec<Experiment> {
             description: "execution-time breakdown for Q8 (NVIDIA)",
             run: breakdown::fig29,
         },
+        Experiment {
+            name: "profile",
+            paper_ref: "observability",
+            description: "trace one query under all modes; Chrome-trace + metrics JSON export",
+            run: profile::profile,
+        },
     ]
 }
 
@@ -212,6 +222,7 @@ pub fn dispatch(args: &[String]) {
     let mut name = None;
     let mut sf = None;
     let mut device = amd_a10();
+    let mut extra = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -234,24 +245,31 @@ pub fn dispatch(args: &[String]) {
                 name = Some(a.to_string());
                 i += 1;
             }
+            a if name.is_some() && !a.starts_with("--") => {
+                extra.push(a.to_string());
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
-    let opts = Opts { sf, device };
+    let opts = Opts { sf, device, extra };
     match name.as_deref() {
         None | Some("list") => {
             println!("repro — regenerate the paper's tables and figures\n");
-            println!("usage: repro <experiment|all> [--sf <f>] [--device amd|nvidia]\n");
+            println!("usage: repro <experiment|all> [args] [--sf <f>] [--device amd|nvidia]\n");
             for e in registry() {
                 println!("  {:<8} {:<14} {}", e.name, e.paper_ref, e.description);
             }
         }
         Some("all") => {
             for e in registry() {
-                println!("==================== {} ({}) ====================", e.name, e.paper_ref);
+                println!(
+                    "==================== {} ({}) ====================",
+                    e.name, e.paper_ref
+                );
                 (e.run)(&opts);
                 println!();
             }

@@ -21,7 +21,10 @@ fn model_error(opts: &Opts) {
     let sf = opts.sf_or(0.1);
     let gamma = opts.gamma();
     let mut ctx = opts.ctx(sf);
-    println!("model relative error at the optimal configuration (SF {sf}, {})", opts.device.name);
+    println!(
+        "model relative error at the optimal configuration (SF {sf}, {})",
+        opts.device.name
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>10} {:>9} {:>12}",
         "query", "measured", "estimated", "rel.err", "signed", "search time"
@@ -87,7 +90,11 @@ fn tile_sweep(opts: &Opts) {
         "tile", "measured", "norm. (256KB)", "estimated", "rel.err"
     );
     for (tile, e) in &results {
-        let mark = if *tile == model_tile { "  <- model optimum" } else { "" };
+        let mark = if *tile == model_tile {
+            "  <- model optimum"
+        } else {
+            ""
+        };
         println!(
             "{:>7}KB {:>12} {:>14.2} {:>12.0} {:>8.1}%{mark}",
             tile >> 10,
@@ -130,7 +137,13 @@ pub fn fig14_15(opts: &Opts) {
             let ms = gpl_model::build_models(&ctx.db, &plan, &st, &opts.device);
             gpl_model::estimate_query(&opts.device, &gamma, &ms, &cfg, true)
         };
-        rows.push((i, wg, run.cycles, run.profile.total_delay_cycles(), eval_est));
+        rows.push((
+            i,
+            wg,
+            run.cycles,
+            run.profile.total_delay_cycles(),
+            eval_est,
+        ));
     }
     let delay_base = rows[0].3.max(1) as f64;
     let best_measured = rows.iter().min_by_key(|r| r.2).map(|r| r.0).expect("rows");
@@ -139,14 +152,21 @@ pub fn fig14_15(opts: &Opts) {
         .min_by(|a, b| a.4.partial_cmp(&b.4).expect("finite"))
         .map(|r| r.0)
         .expect("rows");
-    println!("Q8 work-group settings S1..S7 (SF {sf}, {})", opts.device.name);
+    println!(
+        "Q8 work-group settings S1..S7 (SF {sf}, {})",
+        opts.device.name
+    );
     println!(
         "{:>4} {:>5} {:>12} {:>14} {:>12} {:>9}",
         "S", "wg", "measured", "delay (norm.)", "estimated", "rel.err"
     );
     for (i, wg, cycles, delay, est) in &rows {
         let err = (est - *cycles as f64).abs() / *cycles as f64;
-        let mark = if *i == best_model { "  <- model optimum" } else { "" };
+        let mark = if *i == best_model {
+            "  <- model optimum"
+        } else {
+            ""
+        };
         println!(
             "{:>4} {:>5} {:>12} {:>14.2} {:>12.0} {:>8.1}%{mark}",
             format!("S{i}"),

@@ -48,7 +48,10 @@ pub fn timeline(opts: &Opts) {
             run.cycles,
             100.0 * gpl_sim::overlap_fraction(&spans)
         );
-        println!("{}", gpl_sim::render_timeline(&spans, 96, opts.device.num_cus));
+        println!(
+            "{}",
+            gpl_sim::render_timeline(&spans, 96, opts.device.num_cus)
+        );
     }
     println!(
         "shades ' . : = # @' = idle..all-CUs-busy; KBE kernels run strictly one \
@@ -71,7 +74,10 @@ fn mode_comparison(opts: &Opts) {
     let sf = opts.sf_or(0.2);
     let gamma = opts.gamma();
     let mut ctx = opts.ctx(sf);
-    println!("query runtimes (SF {sf}, {}), normalized to KBE", opts.device.name);
+    println!(
+        "query runtimes (SF {sf}, {}), normalized to KBE",
+        opts.device.name
+    );
     println!(
         "{:>5} {:>12} {:>14} {:>12}   {:>11} {:>8}",
         "query", "KBE cyc", "GPL(w/o CE)", "GPL cyc", "w/oCE/KBE", "GPL/KBE"
@@ -161,8 +167,14 @@ pub fn fig22(opts: &Opts) {
         None => vec![0.05, 0.25, 0.5],
     };
     let gamma = opts.gamma();
-    println!("GPL vs Ocelot ({}); Ocelot runs warm (hash-table cache primed)", opts.device.name);
-    println!("{:>6} {:>5} {:>12} {:>12} {:>14}", "SF", "query", "GPL cyc", "Ocelot cyc", "GPL/Ocelot");
+    println!(
+        "GPL vs Ocelot ({}); Ocelot runs warm (hash-table cache primed)",
+        opts.device.name
+    );
+    println!(
+        "{:>6} {:>5} {:>12} {:>12} {:>14}",
+        "SF", "query", "GPL cyc", "Ocelot cyc", "GPL/Ocelot"
+    );
     for &sf in &sweep {
         let mut ctx = opts.ctx(sf);
         let mut oc = OcelotContext::new();

@@ -15,7 +15,11 @@ fn utilization_row(
     let cfg = QueryConfig::default_for(&opts.device, &plan);
     ctx.sim.clear_cache();
     let run = run_query(ctx, &plan, mode, &cfg);
-    (run.profile.valu_busy() * 100.0, run.profile.mem_unit_busy() * 100.0, run.profile.occupancy() * 100.0)
+    (
+        run.profile.valu_busy() * 100.0,
+        run.profile.mem_unit_busy() * 100.0,
+        run.profile.occupancy() * 100.0,
+    )
 }
 
 /// Figure 5: VALUBusy / MemUnitBusy under KBE for the five queries.
@@ -23,7 +27,10 @@ pub fn fig5(opts: &Opts) {
     let sf = opts.sf_or(0.1);
     let mut ctx = opts.ctx(sf);
     println!("KBE resource utilization (SF {sf}, {})", opts.device.name);
-    println!("{:>5} {:>10} {:>12} {:>11}", "query", "VALUBusy", "MemUnitBusy", "occupancy");
+    println!(
+        "{:>5} {:>10} {:>12} {:>11}",
+        "query", "VALUBusy", "MemUnitBusy", "occupancy"
+    );
     let mut avg = (0.0, 0.0);
     for q in QueryId::evaluation_set() {
         let (v, m, o) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
@@ -42,7 +49,10 @@ pub fn fig5(opts: &Opts) {
 pub fn fig19(opts: &Opts) {
     let sf = opts.sf_or(0.1);
     let mut ctx = opts.ctx(sf);
-    println!("resource utilization, KBE vs GPL (SF {sf}, {})", opts.device.name);
+    println!(
+        "resource utilization, KBE vs GPL (SF {sf}, {})",
+        opts.device.name
+    );
     println!(
         "{:>5} {:>14} {:>14}   {:>14} {:>14}",
         "query", "KBE VALUBusy", "KBE MemUnit", "GPL VALUBusy", "GPL MemUnit"
@@ -50,7 +60,14 @@ pub fn fig19(opts: &Opts) {
     for q in QueryId::evaluation_set() {
         let (kv, km, _) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
         let (gv, gm, _) = utilization_row(&mut ctx, opts, q, ExecMode::Gpl);
-        println!("{:>5} {:>13.1}% {:>13.1}%   {:>13.1}% {:>13.1}%", q.name(), kv, km, gv, gm);
+        println!(
+            "{:>5} {:>13.1}% {:>13.1}%   {:>13.1}% {:>13.1}%",
+            q.name(),
+            kv,
+            km,
+            gv,
+            gm
+        );
     }
     println!("expected shape: GPL sustains steadier, higher utilization than KBE.");
 }

@@ -27,11 +27,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        Self { id: format!("{function}/{parameter}") }
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -64,7 +68,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
         let name = name.into();
         println!("\n== {name} ==");
-        Group { name, samples: self.forced.unwrap_or(10), forced: self.forced.is_some() }
+        Group {
+            name,
+            samples: self.forced.unwrap_or(10),
+            forced: self.forced.is_some(),
+        }
     }
 }
 
@@ -99,11 +107,17 @@ impl Group {
     pub fn finish(self) {}
 
     fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-        let mut b = Bencher { samples: self.samples, times: Vec::new() };
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
         f(&mut b);
         let times = b.times;
         if times.is_empty() {
-            println!("{}/{id}: no samples (Bencher::iter never called)", self.name);
+            println!(
+                "{}/{id}: no samples (Bencher::iter never called)",
+                self.name
+            );
             return;
         }
         let min = times.iter().min().unwrap();

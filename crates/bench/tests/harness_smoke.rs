@@ -8,13 +8,40 @@ use gpl_sim::amd_a10;
 #[test]
 fn cheap_experiments_run_at_tiny_scale() {
     // fig2/fig23 run full calibration sweeps and fig21/fig22 fixed SF
-    // sweeps; they are covered by `repro all`.
-    let skip = ["fig2", "fig21", "fig22", "fig23"];
-    let opts = Opts { sf: Some(0.004), device: amd_a10() };
+    // sweeps; they are covered by `repro all`. profile needs a query
+    // argument and has its own smoke test below.
+    let skip = ["fig2", "fig21", "fig22", "fig23", "profile"];
+    let opts = Opts {
+        sf: Some(0.004),
+        device: amd_a10(),
+        extra: Vec::new(),
+    };
     for e in registry() {
         if skip.contains(&e.name) {
             continue;
         }
         (e.run)(&opts);
+    }
+}
+
+#[test]
+fn profile_runs_and_exports() {
+    let opts = Opts {
+        sf: Some(0.004),
+        device: amd_a10(),
+        extra: vec!["q1".to_string()],
+    };
+    let e = registry()
+        .into_iter()
+        .find(|e| e.name == "profile")
+        .expect("registered");
+    (e.run)(&opts);
+    for f in [
+        "profile-q1-kbe.trace.json",
+        "profile-q1-gpl.trace.json",
+        "profile-q1-metrics.json",
+    ] {
+        let text = std::fs::read_to_string(format!("target/obs/{f}")).expect(f);
+        gpl_obs::parse(&text).expect(f);
     }
 }

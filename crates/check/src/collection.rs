@@ -25,14 +25,20 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.end > r.start, "empty collection size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.end() >= r.start(), "empty collection size range");
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -59,7 +65,10 @@ impl SizeRange {
 }
 
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 pub struct VecStrategy<S> {
@@ -87,7 +96,11 @@ where
     V: Strategy,
     K::Value: Eq + Hash,
 {
-    HashMapStrategy { key, value, size: size.into() }
+    HashMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
 }
 
 pub struct HashMapStrategy<K, V> {

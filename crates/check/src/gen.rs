@@ -20,12 +20,22 @@ pub struct Gen {
 impl Gen {
     /// Fresh generation from a seed.
     pub fn from_seed(seed: u64) -> Self {
-        Gen { rng: Pcg32::new(seed, STREAM), replay: None, pos: 0, record: Vec::new() }
+        Gen {
+            rng: Pcg32::new(seed, STREAM),
+            replay: None,
+            pos: 0,
+            record: Vec::new(),
+        }
     }
 
     /// Deterministic replay of a recorded (possibly edited) stream.
     pub fn replay(choices: Vec<u64>) -> Self {
-        Gen { rng: Pcg32::new(0, STREAM), replay: Some(choices), pos: 0, record: Vec::new() }
+        Gen {
+            rng: Pcg32::new(0, STREAM),
+            replay: Some(choices),
+            pos: 0,
+            record: Vec::new(),
+        }
     }
 
     /// Uniform draw in `[0, bound)`; `bound >= 1`.

@@ -68,8 +68,8 @@ pub mod prelude {
     // `prop!` macro — they share the name across namespaces.
     pub use crate::prop;
     pub use crate::strategy::{any, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof};
     pub use crate::Gen;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof};
 }
 
 /// Define property tests. Accepts an optional `#![cases(N)]` header

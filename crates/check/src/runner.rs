@@ -86,9 +86,10 @@ fn load_seeds(path: &Path, name: &str) -> Vec<u64> {
             continue;
         };
         let token = rest.split_whitespace().next().unwrap_or("");
-        let parsed = token
-            .strip_prefix("0x")
-            .map_or_else(|| token.parse::<u64>().ok(), |h| u64::from_str_radix(h, 16).ok());
+        let parsed = token.strip_prefix("0x").map_or_else(
+            || token.parse::<u64>().ok(),
+            |h| u64::from_str_radix(h, 16).ok(),
+        );
         let Some(seed) = parsed else { continue };
         // A `# name:` comment scopes the seed to one property; unscoped
         // seeds are replayed by every property in the file (harmless).
@@ -108,7 +109,11 @@ fn load_seeds(path: &Path, name: &str) -> Vec<u64> {
 
 fn persist_seed(path: &Path, name: &str, seed: u64, minimal: &str) {
     let fresh = !path.exists();
-    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
         return; // read-only checkouts still get the panic report
     };
     if fresh {
@@ -158,18 +163,24 @@ pub fn run_config<S: Strategy>(
     test: impl Fn(S::Value),
 ) {
     install_quiet_hook();
-    let cases = env_u64("GPL_CHECK_CASES").map(|n| n as u32).unwrap_or(cases);
+    let cases = env_u64("GPL_CHECK_CASES")
+        .map(|n| n as u32)
+        .unwrap_or(cases);
     // Hermetic by construction: the universe of cases is a pure function
     // of (file, name) unless GPL_CHECK_SEED overrides the base.
-    let base = env_u64("GPL_CHECK_SEED")
-        .unwrap_or_else(|| fnv1a(format!("{file}::{name}").as_bytes()));
+    let base =
+        env_u64("GPL_CHECK_SEED").unwrap_or_else(|| fnv1a(format!("{file}::{name}").as_bytes()));
 
     let regressions = regressions_path(file);
-    let persisted: Vec<u64> =
-        regressions.as_deref().map(|p| load_seeds(p, name)).unwrap_or_default();
+    let persisted: Vec<u64> = regressions
+        .as_deref()
+        .map(|p| load_seeds(p, name))
+        .unwrap_or_default();
 
     let total = persisted.len() as u64 + cases as u64;
-    let seeds = persisted.into_iter().chain((0..cases as u64).map(|i| base.wrapping_add(i)));
+    let seeds = persisted
+        .into_iter()
+        .chain((0..cases as u64).map(|i| base.wrapping_add(i)));
     for (i, seed) in seeds.enumerate() {
         let Err((choices, msg)) = run_seed(&strat, &test, seed) else {
             continue;
@@ -205,7 +216,6 @@ pub fn run_config<S: Strategy>(
 mod tests {
     use super::*;
     use crate::collection;
-    use crate::strategy::Strategy as _;
 
     fn failure_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
         install_quiet_hook();
@@ -217,9 +227,16 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        run_config("tests/x.rs", "always_passes", 64, false, (0u32..100,), |(v,)| {
-            assert!(v < 100);
-        });
+        run_config(
+            "tests/x.rs",
+            "always_passes",
+            64,
+            false,
+            (0u32..100,),
+            |(v,)| {
+                assert!(v < 100);
+            },
+        );
     }
 
     #[test]
@@ -247,9 +264,16 @@ mod tests {
     #[test]
     fn scalar_failures_shrink_to_the_boundary() {
         let msg = failure_message(|| {
-            run_config("tests/x.rs", "boundary", 256, false, (0i64..1_000_000,), |(v,)| {
-                assert!(v < 31_337);
-            })
+            run_config(
+                "tests/x.rs",
+                "boundary",
+                256,
+                false,
+                (0i64..1_000_000,),
+                |(v,)| {
+                    assert!(v < 31_337);
+                },
+            )
         });
         assert!(msg.contains("minimal counterexample: (31337,)"), "{msg}");
     }
@@ -265,7 +289,10 @@ mod tests {
                 assert!(w.0 < 777);
             })
         });
-        assert!(msg.contains("minimal counterexample: (Wrap(777),)"), "{msg}");
+        assert!(
+            msg.contains("minimal counterexample: (Wrap(777),)"),
+            "{msg}"
+        );
     }
 
     #[test]

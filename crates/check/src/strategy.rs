@@ -69,7 +69,10 @@ pub struct Union<T> {
 
 impl<T> Union<T> {
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }
@@ -203,10 +206,7 @@ mod tests {
 
     #[test]
     fn map_and_union_compose() {
-        let s = crate::prop_oneof![
-            (0u32..10).prop_map(|v| v * 2),
-            Just(99u32),
-        ];
+        let s = crate::prop_oneof![(0u32..10).prop_map(|v| v * 2), Just(99u32),];
         let mut g = Gen::from_seed(5);
         let mut saw_just = false;
         let mut saw_even = false;

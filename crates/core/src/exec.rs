@@ -75,7 +75,11 @@ pub struct QueryConfig {
 impl QueryConfig {
     pub fn default_for(spec: &DeviceSpec, plan: &QueryPlan) -> Self {
         QueryConfig {
-            stages: plan.stages.iter().map(|s| StageConfig::default_for(spec, s)).collect(),
+            stages: plan
+                .stages
+                .iter()
+                .map(|s| StageConfig::default_for(spec, s))
+                .collect(),
         }
     }
 }
@@ -95,11 +99,17 @@ impl ExecContext {
         for t in db.tables() {
             layouts.insert(t.name().to_string(), TableLayout::install(&mut sim.mem, t));
         }
-        ExecContext { sim, db: Rc::new(db), layouts }
+        ExecContext {
+            sim,
+            db: Rc::new(db),
+            layouts,
+        }
     }
 
     pub fn layout(&self, table: &str) -> &TableLayout {
-        self.layouts.get(table).unwrap_or_else(|| panic!("table {table:?} not installed"))
+        self.layouts
+            .get(table)
+            .unwrap_or_else(|| panic!("table {table:?} not installed"))
     }
 
     pub fn spec(&self) -> DeviceSpec {
@@ -135,14 +145,43 @@ pub fn run_query(
     config: &QueryConfig,
 ) -> QueryRun {
     plan.validate();
-    assert_eq!(config.stages.len(), plan.stages.len(), "config/stage count mismatch");
+    assert_eq!(
+        config.stages.len(),
+        plan.stages.len(),
+        "config/stage count mismatch"
+    );
     ctx.sim.reset_footprint();
+    // Observability: one query span, with a child span per stage carrying
+    // the chosen StageConfig. Timestamped in device cycles; gated on the
+    // simulator's recorder so disabled runs pay a branch, not allocations.
+    let rec = ctx.sim.recorder().cloned();
+    let query_span = rec.as_ref().map(|r| {
+        let t = r.track("exec");
+        let s = r.begin(t, "exec", plan.query.name(), ctx.sim.clock());
+        r.arg(s, "mode", mode.name());
+        r.arg(s, "stages", plan.stages.len());
+        s
+    });
     let mut hts: Vec<Option<Rc<RefCell<SimHashTable>>>> = vec![None; plan.num_hts];
     let mut agg_rows: Option<Vec<Vec<i64>>> = None;
     let mut per_stage = Vec::new();
     let mut merged = LaunchProfile::default();
 
-    for (stage, cfg) in plan.stages.iter().zip(&config.stages) {
+    for (idx, (stage, cfg)) in plan.stages.iter().zip(&config.stages).enumerate() {
+        let stage_span = rec.as_ref().map(|r| {
+            let t = r.track("exec");
+            let s = r.begin(
+                t,
+                "stage",
+                &format!("stage{idx}:{}", stage.driver),
+                ctx.sim.clock(),
+            );
+            r.arg(s, "tile_bytes", cfg.tile_bytes);
+            r.arg(s, "n_channels", cfg.n_channels);
+            r.arg(s, "packet_bytes", cfg.packet_bytes);
+            r.arg(s, "kernels", cfg.wg_counts.len());
+            s
+        });
         // Create the stage's blocking-output object up front so tiled
         // modes can accumulate into it across tiles.
         let build = match &stage.terminal {
@@ -197,8 +236,14 @@ pub fn run_query(
         };
 
         if let Some(agg) = agg {
-            let store = Rc::try_unwrap(agg).expect("aggregate store still shared").into_inner();
+            let store = Rc::try_unwrap(agg)
+                .expect("aggregate store still shared")
+                .into_inner();
             agg_rows = Some(store.into_rows());
+        }
+        if let (Some(r), Some(s)) = (rec.as_ref(), stage_span) {
+            r.arg(s, "stage_cycles", profile.elapsed_cycles);
+            r.end(s, ctx.sim.clock());
         }
         merged.merge(&profile);
         per_stage.push(profile);
@@ -217,17 +262,37 @@ pub fn run_query(
         rows.truncate(limit);
     }
     if let Some(proj) = &plan.projection {
-        rows = rows.into_iter().map(|r| proj.iter().map(|&i| r[i]).collect()).collect();
+        rows = rows
+            .into_iter()
+            .map(|r| proj.iter().map(|&i| r[i]).collect())
+            .collect();
     }
 
-    let output = QueryOutput::new(plan.output_columns.iter().map(String::as_str).collect(), rows);
-    QueryRun { output, cycles: merged.elapsed_cycles, profile: merged, per_stage }
+    if let (Some(r), Some(s)) = (rec.as_ref(), query_span) {
+        r.arg(s, "cycles", merged.elapsed_cycles);
+        r.end(s, ctx.sim.clock());
+    }
+    let output = QueryOutput::new(
+        plan.output_columns.iter().map(String::as_str).collect(),
+        rows,
+    );
+    QueryRun {
+        output,
+        cycles: merged.elapsed_cycles,
+        profile: merged,
+        per_stage,
+    }
 }
 
 /// Bytes per driver row across the stage's loaded columns (tiling input).
 pub fn stage_row_bytes(ctx: &ExecContext, stage: &Stage) -> u64 {
     let t = ctx.db.table(&stage.driver);
-    stage.loads.iter().map(|c| t.col(c).data_type().width()).sum::<u64>().max(1)
+    stage
+        .loads
+        .iter()
+        .map(|c| t.col(c).data_type().width())
+        .sum::<u64>()
+        .max(1)
 }
 
 /// Estimate a build stage's output cardinality by evaluating its filters
@@ -237,7 +302,12 @@ pub fn stage_row_bytes(ctx: &ExecContext, stage: &Stage) -> u64 {
 fn estimate_build_rows(ctx: &ExecContext, stage: &Stage) -> usize {
     use crate::plan::PipeOp;
     let total = ctx.db.table(&stage.driver).rows();
-    if stage.ops.iter().any(|op| matches!(op, PipeOp::Probe { .. })) || total == 0 {
+    if stage
+        .ops
+        .iter()
+        .any(|op| matches!(op, PipeOp::Probe { .. }))
+        || total == 0
+    {
         return total.max(1);
     }
     const SAMPLE: usize = 1024;
@@ -275,11 +345,10 @@ fn run_sort_kernel(
     sort_rows(rows, order);
     let n = rows.len().max(1) as u64;
     let width = rows.first().map(|r| r.len()).unwrap_or(1) as u64 * 8;
-    let region = ctx.sim.mem.alloc(
-        n * width,
-        gpl_sim::RegionClass::Output,
-        "sort-output",
-    );
+    let region = ctx
+        .sim
+        .mem
+        .alloc(n * width, gpl_sim::RegionClass::Output, "sort-output");
     let base = ctx.sim.mem.base(region);
     // Bitonic sort: log^2(n) passes, each reading and writing everything.
     let passes = {
@@ -314,8 +383,9 @@ mod tests {
     #[test]
     fn context_installs_all_tables() {
         let ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
-        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
-        {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
             assert_eq!(ctx.layout(t).table(), t);
         }
     }

@@ -61,8 +61,15 @@ struct ExecStep {
 /// What a pipeline op does to each chunk.
 enum OpExec {
     Filter(Pred),
-    Probe { table: Rc<RefCell<SimHashTable>>, key: Slot, payloads: Vec<Slot> },
-    Compute { expr: Expr, out: Slot },
+    Probe {
+        table: Rc<RefCell<SimHashTable>>,
+        key: Slot,
+        payloads: Vec<Slot>,
+    },
+    Compute {
+        expr: Expr,
+        out: Slot,
+    },
 }
 
 impl ExecStep {
@@ -74,7 +81,10 @@ impl ExecStep {
                 key: *key,
                 payloads: payloads.clone(),
             },
-            PipeOp::Compute { expr, out } => OpExec::Compute { expr: expr.clone(), out: *out },
+            PipeOp::Compute { expr, out } => OpExec::Compute {
+                expr: expr.clone(),
+                out: *out,
+            },
         };
         ExecStep {
             exec,
@@ -102,9 +112,11 @@ fn apply_steps(
         *mem += chunk.rows as u64 * s.per_row_mem;
         chunk = match &s.exec {
             OpExec::Filter(p) => apply_filter(&chunk, p),
-            OpExec::Probe { table, key, payloads } => {
-                apply_probe(&chunk, &table.borrow(), *key, payloads, acc)
-            }
+            OpExec::Probe {
+                table,
+                key,
+                payloads,
+            } => apply_probe(&chunk, &table.borrow(), *key, payloads, acc),
             OpExec::Compute { expr, out } => {
                 apply_compute(&mut chunk, expr, *out);
                 chunk
@@ -182,9 +194,15 @@ impl gpl_sim::WorkSource for LeafSource {
         for &(slot, ci, base, width) in &self.cols {
             let col = t.col_at(ci);
             chunk.fill(slot, (self.cursor..end).map(|r| col.get_i64(r)).collect());
-            accesses.push(MemRange::read(base + self.cursor as u64 * width, rows as u64 * width));
+            accesses.push(MemRange::read(
+                base + self.cursor as u64 * width,
+                rows as u64 * width,
+            ));
         }
-        chunk.fill(self.rowid_slot, (self.cursor..end).map(|r| r as i64).collect());
+        chunk.fill(
+            self.rowid_slot,
+            (self.cursor..end).map(|r| r as i64).collect(),
+        );
         let mut compute = rows as u64 * 2 * ops::INST_EXPANSION * self.cols.len() as u64;
         let mut mem = rows as u64 * self.cols.len() as u64;
         let mut out = apply_steps(&self.steps, chunk, &mut accesses, &mut compute, &mut mem);
@@ -194,15 +212,17 @@ impl gpl_sim::WorkSource for LeafSource {
             let rowids: Vec<i64> = out.cols[self.rowid_slot].clone();
             for &(slot, ci, base, width) in &self.lazy_cols {
                 let col = t.col_at(ci);
-                out.fill(slot, rowids.iter().map(|&r| col.get_i64(r as usize)).collect());
+                out.fill(
+                    slot,
+                    rowids.iter().map(|&r| col.get_i64(r as usize)).collect(),
+                );
                 let mut run: Option<(i64, u64)> = None; // (start row, len)
                 for &r in &rowids {
                     match run {
                         Some((s, len)) if r == s + len as i64 => run = Some((s, len + 1)),
                         _ => {
                             if let Some((s, len)) = run {
-                                accesses
-                                    .push(MemRange::read(base + s as u64 * width, len * width));
+                                accesses.push(MemRange::read(base + s as u64 * width, len * width));
                             }
                             run = Some((r, 1));
                         }
@@ -266,7 +286,9 @@ fn take_chunks(
     let mut popped = 0u64;
     let mut rows = 0usize;
     while chunks.len() < MAX_CHUNKS_PER_UNIT {
-        let Some((chunk, packets)) = q.front() else { break };
+        let Some((chunk, packets)) = q.front() else {
+            break;
+        };
         if *packets > budget_in {
             break;
         }
@@ -347,8 +369,16 @@ impl gpl_sim::WorkSource for ProbeSource {
 
 /// What the blocking terminal does with each chunk.
 enum TermExec {
-    Build { table: Rc<RefCell<SimHashTable>>, key: Slot, payloads: Vec<Slot> },
-    Aggregate { store: Rc<RefCell<GroupStore>>, groups: Vec<Slot>, aggs: Vec<crate::plan::Agg> },
+    Build {
+        table: Rc<RefCell<SimHashTable>>,
+        key: Slot,
+        payloads: Vec<Slot>,
+    },
+    Aggregate {
+        store: Rc<RefCell<GroupStore>>,
+        groups: Vec<Slot>,
+        aggs: Vec<crate::plan::Agg>,
+    },
 }
 
 /// The terminal kernel: consumes packets and updates the blocking output
@@ -378,7 +408,11 @@ impl gpl_sim::WorkSource for TermSource {
                 for c in &chunks {
                     rows += c.rows;
                     match &self.exec {
-                        TermExec::Build { table, key, payloads } => {
+                        TermExec::Build {
+                            table,
+                            key,
+                            payloads,
+                        } => {
                             let mut t = table.borrow_mut();
                             for r in 0..c.rows {
                                 let pay: Vec<i64> =
@@ -386,7 +420,11 @@ impl gpl_sim::WorkSource for TermSource {
                                 t.insert(c.cols[*key][r], &pay, &mut acc);
                             }
                         }
-                        TermExec::Aggregate { store, groups, aggs } => {
+                        TermExec::Aggregate {
+                            store,
+                            groups,
+                            aggs,
+                        } => {
                             let mut s = store.borrow_mut();
                             for r in 0..c.rows {
                                 let keys: Vec<i64> = groups.iter().map(|&g| c.cols[g][r]).collect();
@@ -521,7 +559,10 @@ pub(crate) fn run_stage(
                 lazy_cols,
                 num_slots: stage.num_slots(),
                 rowid_slot: stage.num_slots(),
-                steps: groups[0].iter().map(|&i| ExecStep::from_op(&stage.ops[i], hts)).collect(),
+                steps: groups[0]
+                    .iter()
+                    .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
+                    .collect(),
                 ship: edge_live[0].clone(),
                 tiling,
                 tile_idx: 0,
@@ -627,7 +668,13 @@ mod tests {
         // Figure 7c: the whole selection + projection fuses into one map
         // kernel feeding k_reduce* — exactly two concurrent kernels.
         assert_eq!(stage.gpl_kernel_names().len(), 2);
-        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 1, "t")));
+        let agg = Rc::new(RefCell::new(GroupStore::new(
+            &mut ctx.sim.mem,
+            4,
+            0,
+            1,
+            "t",
+        )));
         let p = run_stage(&mut ctx, stage, &[], None, Some(&agg), &cfg(stage));
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::listing1(&ctx.db, cutoff);
@@ -652,7 +699,13 @@ mod tests {
         assert_eq!(ht.borrow().len(), ctx.db.part.rows());
 
         let hts = vec![Some(ht)];
-        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 2, "t")));
+        let agg = Rc::new(RefCell::new(GroupStore::new(
+            &mut ctx.sim.mem,
+            4,
+            0,
+            2,
+            "t",
+        )));
         let s1 = &plan.stages[1];
         // Q14's probe pipeline: leaf map, probe(+fused maps), reduce.
         assert_eq!(s1.gpl_kernel_names().len(), 3);
@@ -671,8 +724,7 @@ mod tests {
         let mut c1 = ctx();
         let agg1 = Rc::new(RefCell::new(GroupStore::new(&mut c1.sim.mem, 4, 0, 1, "t")));
         let rows = c1.db.lineitem.rows();
-        let kbe_prof =
-            crate::kbe::run_stage_range(&mut c1, stage, &[], None, Some(&agg1), 0..rows);
+        let kbe_prof = crate::kbe::run_stage_range(&mut c1, stage, &[], None, Some(&agg1), 0..rows);
 
         let mut c2 = ctx();
         let agg2 = Rc::new(RefCell::new(GroupStore::new(&mut c2.sim.mem, 4, 0, 1, "t")));

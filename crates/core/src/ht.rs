@@ -145,7 +145,13 @@ impl GroupStore {
         num_sums: usize,
         label: impl Into<String>,
     ) -> Self {
-        Self::with_kinds(mem, expected_groups, key_width, vec![AggKind::Sum; num_sums], label)
+        Self::with_kinds(
+            mem,
+            expected_groups,
+            key_width,
+            vec![AggKind::Sum; num_sums],
+            label,
+        )
     }
 
     pub fn with_kinds(
@@ -202,7 +208,8 @@ impl GroupStore {
     /// SQL.
     pub fn into_rows(mut self) -> Vec<Vec<i64>> {
         if self.groups.is_empty() && self.key_width == 0 && !self.kinds.is_empty() {
-            self.groups.insert(Vec::new(), self.kinds.iter().map(|k| k.init()).collect());
+            self.groups
+                .insert(Vec::new(), self.kinds.iter().map(|k| k.init()).collect());
         }
         self.groups
             .into_iter()
@@ -277,7 +284,10 @@ mod tests {
     fn grouped_aggregate_yields_no_rows_when_empty() {
         let mut mem = MemoryMap::new();
         let g = GroupStore::new(&mut mem, 8, 1, 2, "agg");
-        assert!(g.into_rows().is_empty(), "grouped empty input has no groups");
+        assert!(
+            g.into_rows().is_empty(),
+            "grouped empty input has no groups"
+        );
     }
 
     #[test]
@@ -287,6 +297,10 @@ mod tests {
         for k in 0..512u64 {
             hit.insert(mix64(k) & (buckets - 1));
         }
-        assert!(hit.len() > 300, "consecutive keys must spread: {}", hit.len());
+        assert!(
+            hit.len() > 300,
+            "consecutive keys must spread: {}",
+            hit.len()
+        );
     }
 }

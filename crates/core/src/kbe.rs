@@ -58,7 +58,11 @@ pub(crate) fn run_stage_range(
         let ci = t.col_index(name).expect("load column exists");
         let scan = layout.scan(ci, range.clone());
         let width = col.data_type().width();
-        st.addr[s] = Some(ArrayRef { base: scan.addr, width, rows: range.len() });
+        st.addr[s] = Some(ArrayRef {
+            base: scan.addr,
+            width,
+            rows: range.len(),
+        });
     }
 
     for (i, op) in stage.ops.iter().enumerate() {
@@ -74,11 +78,24 @@ pub(crate) fn run_stage_range(
                     "k_map",
                     kernel_resources("k_map", wavefront),
                     ReplayKernel::new(rows, wavefront, ops::INST_EXPANSION * (pred.insts() + 1), 0)
-                        .reads(in_slots.iter().map(|&s| st.addr[s].expect("filled")).collect())
+                        .reads(
+                            in_slots
+                                .iter()
+                                .map(|&s| st.addr[s].expect("filled"))
+                                .collect(),
+                        )
                         .writes(vec![flags]),
                 ));
                 let out = apply_filter(&st.chunk, pred);
-                scatter_phase(ctx, &mut st, out, &live[i + 1], flags, &mut merged, wavefront);
+                scatter_phase(
+                    ctx,
+                    &mut st,
+                    out,
+                    &live[i + 1],
+                    flags,
+                    &mut merged,
+                    wavefront,
+                );
             }
             PipeOp::Probe { ht, key, payloads } => {
                 let table = hts[*ht].as_ref().expect("probed table built").clone();
@@ -97,12 +114,25 @@ pub(crate) fn run_stage_range(
                     ctx,
                     "k_hash_probe",
                     kernel_resources("k_hash_probe", wavefront),
-                    ReplayKernel::new(rows, wavefront, ops::op_compute_insts(op), ops::op_mem_insts(op))
-                        .reads(vec![st.addr[*key].expect("key filled")])
-                        .writes(writes)
-                        .extra(extra, 1),
+                    ReplayKernel::new(
+                        rows,
+                        wavefront,
+                        ops::op_compute_insts(op),
+                        ops::op_mem_insts(op),
+                    )
+                    .reads(vec![st.addr[*key].expect("key filled")])
+                    .writes(writes)
+                    .extra(extra, 1),
                 ));
-                scatter_phase(ctx, &mut st, out, &live[i + 1], flags, &mut merged, wavefront);
+                scatter_phase(
+                    ctx,
+                    &mut st,
+                    out,
+                    &live[i + 1],
+                    flags,
+                    &mut merged,
+                    wavefront,
+                );
             }
             PipeOp::Compute { expr, out } => {
                 let mut in_slots = Vec::new();
@@ -114,7 +144,12 @@ pub(crate) fn run_stage_range(
                     "k_map",
                     kernel_resources("k_map", wavefront),
                     ReplayKernel::new(rows, wavefront, ops::INST_EXPANSION * (expr.insts() + 1), 0)
-                        .reads(in_slots.iter().map(|&s| st.addr[s].expect("filled")).collect())
+                        .reads(
+                            in_slots
+                                .iter()
+                                .map(|&s| st.addr[s].expect("filled"))
+                                .collect(),
+                        )
                         .writes(vec![arr]),
                 ));
                 apply_compute(&mut st.chunk, expr, *out);
@@ -135,7 +170,11 @@ pub(crate) fn run_stage_range(
                 t.insert(st.chunk.cols[*key][r], &pay, &mut extra);
             }
             let mut reads = vec![st.addr[*key].expect("key filled")];
-            reads.extend(payloads.iter().map(|&p| st.addr[p].expect("payload filled")));
+            reads.extend(
+                payloads
+                    .iter()
+                    .map(|&p| st.addr[p].expect("payload filled")),
+            );
             drop(t);
             merged.merge(&launch(
                 ctx,
@@ -157,8 +196,10 @@ pub(crate) fn run_stage_range(
             let mut extra = Vec::with_capacity(rows * 2);
             for r in 0..rows {
                 let keys: Vec<i64> = groups.iter().map(|&g| st.chunk.cols[g][r]).collect();
-                let values: Vec<i64> =
-                    aggs.iter().map(|a| a.expr.eval(&st.chunk.cols, r)).collect();
+                let values: Vec<i64> = aggs
+                    .iter()
+                    .map(|a| a.expr.eval(&st.chunk.cols, r))
+                    .collect();
                 s.update(&keys, &values, &mut extra);
             }
             drop(s);
@@ -178,7 +219,12 @@ pub(crate) fn run_stage_range(
                     ops::terminal_compute_insts(&stage.terminal),
                     ops::terminal_mem_insts(&stage.terminal),
                 )
-                .reads(in_slots.iter().map(|&s| st.addr[s].expect("filled")).collect())
+                .reads(
+                    in_slots
+                        .iter()
+                        .map(|&s| st.addr[s].expect("filled"))
+                        .collect(),
+                )
                 .extra(extra, 2),
             ));
         }
@@ -216,7 +262,11 @@ fn scatter_phase(
         // positions (the offsets array tells it where), so its read
         // volume scales with the survivors, not the input.
         let src = st.addr[s].expect("live slot must be materialized");
-        reads.push(ArrayRef { base: src.base, width: src.width, rows: out_rows });
+        reads.push(ArrayRef {
+            base: src.base,
+            width: src.width,
+            rows: out_rows,
+        });
         let dst = alloc_array(ctx, out_rows, 8, RegionClass::Intermediate, "kbe.compact");
         writes.push(dst);
     }
@@ -261,7 +311,13 @@ mod tests {
         let cutoff = days("1998-11-01");
         let plan = listing1_plan(cutoff);
         let stage = &plan.stages[0];
-        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 1, "t")));
+        let agg = Rc::new(RefCell::new(GroupStore::new(
+            &mut ctx.sim.mem,
+            4,
+            0,
+            1,
+            "t",
+        )));
         let rows = ctx.db.lineitem.rows();
         let p = run_stage_range(&mut ctx, stage, &[], None, Some(&agg), 0..rows);
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
@@ -289,7 +345,13 @@ mod tests {
         assert_eq!(ht.borrow().len(), ctx.db.part.rows());
 
         let hts = vec![Some(ht)];
-        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 2, "t")));
+        let agg = Rc::new(RefCell::new(GroupStore::new(
+            &mut ctx.sim.mem,
+            4,
+            0,
+            2,
+            "t",
+        )));
         let rows1 = ctx.db.lineitem.rows();
         run_stage_range(&mut ctx, &plan.stages[1], &hts, None, Some(&agg), 0..rows1);
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
@@ -304,7 +366,13 @@ mod tests {
         let plan = listing1_plan(cutoff);
         let stage = &plan.stages[0];
         let rows = ctx.db.lineitem.rows();
-        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 1, "t")));
+        let agg = Rc::new(RefCell::new(GroupStore::new(
+            &mut ctx.sim.mem,
+            4,
+            0,
+            1,
+            "t",
+        )));
         let mid = rows / 3;
         run_stage_range(&mut ctx, stage, &[], None, Some(&agg), 0..mid);
         run_stage_range(&mut ctx, stage, &[], None, Some(&agg), mid..rows);
@@ -317,7 +385,13 @@ mod tests {
     fn empty_range_still_launches() {
         let mut ctx = ctx();
         let plan = listing1_plan(0);
-        let agg = Rc::new(RefCell::new(GroupStore::new(&mut ctx.sim.mem, 4, 0, 1, "t")));
+        let agg = Rc::new(RefCell::new(GroupStore::new(
+            &mut ctx.sim.mem,
+            4,
+            0,
+            1,
+            "t",
+        )));
         let p = run_stage_range(&mut ctx, &plan.stages[0], &[], None, Some(&agg), 0..0);
         assert!(p.elapsed_cycles > 0, "launch overhead must be charged");
         assert_eq!(

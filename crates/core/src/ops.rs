@@ -22,7 +22,11 @@ pub struct Chunk {
 
 impl Chunk {
     pub fn new(num_slots: usize) -> Self {
-        Chunk { cols: vec![Vec::new(); num_slots], filled: vec![false; num_slots], rows: 0 }
+        Chunk {
+            cols: vec![Vec::new(); num_slots],
+            filled: vec![false; num_slots],
+            rows: 0,
+        }
     }
 
     /// Fill slot `s` with values (must match current row count unless the
@@ -187,7 +191,10 @@ pub fn live_slots(stage: &Stage) -> Vec<Vec<Slot>> {
         set.extend(reads);
         live_after[i] = set;
     }
-    live_after.into_iter().map(|s| s.into_iter().collect()).collect()
+    live_after
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect()
 }
 
 /// Sort result rows by the stage's order spec with full tie-break —
@@ -263,7 +270,10 @@ mod tests {
             loads: vec!["a".into(), "b".into(), "c".into()],
             ops: vec![
                 PipeOp::Filter(Pred::cmp(CmpOp::Ge, Expr::slot(0), Expr::lit(0))),
-                PipeOp::Compute { expr: Expr::slot(1).add(Expr::slot(2)), out: 3 },
+                PipeOp::Compute {
+                    expr: Expr::slot(1).add(Expr::slot(2)),
+                    out: 3,
+                },
             ],
             terminal: Terminal::sum_aggregate(vec![], vec![Expr::slot(3)]),
         };
@@ -278,7 +288,11 @@ mod tests {
     #[test]
     fn op_costs_are_positive_and_scale() {
         let f = PipeOp::Filter(Pred::True);
-        let p = PipeOp::Probe { ht: 0, key: 0, payloads: vec![1, 2] };
+        let p = PipeOp::Probe {
+            ht: 0,
+            key: 0,
+            payloads: vec![1, 2],
+        };
         assert!(op_compute_insts(&f) >= 1);
         assert_eq!(op_mem_insts(&p), 3);
         assert!(op_compute_insts(&p) > op_compute_insts(&f));

@@ -29,7 +29,9 @@ impl PartitionedHashTable {
     pub fn parts_for(expected_rows: usize, payload_width: usize, cache_bytes: u64) -> usize {
         let entry = 8 * (1 + payload_width as u64);
         let total = (expected_rows as u64 * 2).next_power_of_two() * entry;
-        (total.div_ceil(cache_bytes / 2) as usize).next_power_of_two().max(1)
+        (total.div_ceil(cache_bytes / 2) as usize)
+            .next_power_of_two()
+            .max(1)
     }
 
     pub fn new(
@@ -39,7 +41,10 @@ impl PartitionedHashTable {
         nparts: usize,
         label: &str,
     ) -> Self {
-        assert!(nparts.is_power_of_two(), "radix partitioning wants a power of two");
+        assert!(
+            nparts.is_power_of_two(),
+            "radix partitioning wants a power of two"
+        );
         let per_part = expected_rows.div_ceil(nparts);
         let parts = (0..nparts)
             .map(|i| {
@@ -99,12 +104,20 @@ pub fn build_partitioned(
         table.insert(k, &[v], &mut acc);
     }
     let wavefront = ctx.sim.spec().wavefront_size;
-    let kin = alloc_array(ctx, keys.len(), 8, RegionClass::Intermediate, "radix.build-keys");
+    let kin = alloc_array(
+        ctx,
+        keys.len(),
+        8,
+        RegionClass::Intermediate,
+        "radix.build-keys",
+    );
     let profile = launch(
         ctx,
         "k_hash_build",
         kernel_resources("k_hash_build", wavefront),
-        ReplayKernel::new(keys.len(), wavefront, 12, 2).reads(vec![kin]).extra(acc, 1),
+        ReplayKernel::new(keys.len(), wavefront, 12, 2)
+            .reads(vec![kin])
+            .extra(acc, 1),
     );
     (table, profile)
 }
@@ -123,12 +136,20 @@ pub fn probe_monolithic(
             matches.push((k, p[0]));
         }
     }
-    let kin = alloc_array(ctx, probe_keys.len(), 8, RegionClass::Intermediate, "mono.keys");
+    let kin = alloc_array(
+        ctx,
+        probe_keys.len(),
+        8,
+        RegionClass::Intermediate,
+        "mono.keys",
+    );
     let profile = launch(
         ctx,
         "k_hash_probe",
         kernel_resources("k_hash_probe", wavefront),
-        ReplayKernel::new(probe_keys.len(), wavefront, 11, 2).reads(vec![kin]).extra(acc, 1),
+        ReplayKernel::new(probe_keys.len(), wavefront, 11, 2)
+            .reads(vec![kin])
+            .extra(acc, 1),
     );
     JoinRun { matches, profile }
 }
@@ -151,12 +172,24 @@ pub fn probe_partitioned(
     for &k in probe_keys {
         buckets[table.part_of(k)].push(k);
     }
-    let kin = alloc_array(ctx, probe_keys.len(), 8, RegionClass::Intermediate, "radix.keys");
+    let kin = alloc_array(
+        ctx,
+        probe_keys.len(),
+        8,
+        RegionClass::Intermediate,
+        "radix.keys",
+    );
     let bufs: Vec<ArrayRef> = buckets
         .iter()
         .enumerate()
         .map(|(i, b)| {
-            alloc_array(ctx, b.len().max(1), 8, RegionClass::Intermediate, &format!("radix.p{i}"))
+            alloc_array(
+                ctx,
+                b.len().max(1),
+                8,
+                RegionClass::Intermediate,
+                &format!("radix.p{i}"),
+            )
         })
         .collect();
     merged.merge(&launch(
@@ -193,7 +226,10 @@ pub fn probe_partitioned(
                 .batch(1024),
         ));
     }
-    JoinRun { matches, profile: merged }
+    JoinRun {
+        matches,
+        profile: merged,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +245,9 @@ mod tests {
 
     /// Deterministic pseudo-random keys (probe side references builds).
     fn keys(n: usize, domain: i64, seed: u64) -> Vec<i64> {
-        (0..n).map(|i| (mix64(seed ^ i as u64) as i64).rem_euclid(domain)).collect()
+        (0..n)
+            .map(|i| (mix64(seed ^ i as u64) as i64).rem_euclid(domain))
+            .collect()
     }
 
     #[test]
@@ -263,9 +301,11 @@ mod tests {
         let mono = probe_monolithic(&mut c1, &mono_table, &probes);
 
         let mut c2 = ctx();
-        let nparts =
-            PartitionedHashTable::parts_for(build.len(), 1, c2.sim.spec().cache_bytes);
-        assert!(nparts >= 8, "the table must actually need partitioning, got {nparts}");
+        let nparts = PartitionedHashTable::parts_for(build.len(), 1, c2.sim.spec().cache_bytes);
+        assert!(
+            nparts >= 8,
+            "the table must actually need partitioning, got {nparts}"
+        );
         let (pt, _) = build_partitioned(&mut c2, &build, &payload, nparts);
         c2.sim.clear_cache();
         let part = probe_partitioned(&mut c2, &pt, &probes);
@@ -303,6 +343,9 @@ mod tests {
             assert_eq!(p, t.part_of(k), "routing must be deterministic");
             seen[p] = true;
         }
-        assert!(seen.iter().all(|&s| s), "keys must spread over all partitions");
+        assert!(
+            seen.iter().all(|&s| s),
+            "keys must spread over all partitions"
+        );
     }
 }

@@ -30,7 +30,11 @@ pub enum PipeOp {
     /// Probe a hash table with the key in `key`; on a match append the
     /// payload columns into `payloads` slots, on a miss drop the row
     /// (`k_hash_probe`). `payloads` may be empty (semi-join).
-    Probe { ht: HtId, key: Slot, payloads: Vec<Slot> },
+    Probe {
+        ht: HtId,
+        key: Slot,
+        payloads: Vec<Slot>,
+    },
     /// Compute an expression into a new slot (`k_map`).
     Compute { expr: Expr, out: Slot },
 }
@@ -44,17 +48,29 @@ pub struct Agg {
 
 impl Agg {
     pub fn sum(expr: Expr) -> Agg {
-        Agg { kind: AggKind::Sum, expr }
+        Agg {
+            kind: AggKind::Sum,
+            expr,
+        }
     }
     /// `count(*)` — the expression is a placeholder and never read.
     pub fn count() -> Agg {
-        Agg { kind: AggKind::Count, expr: Expr::Const(1) }
+        Agg {
+            kind: AggKind::Count,
+            expr: Expr::Const(1),
+        }
     }
     pub fn min(expr: Expr) -> Agg {
-        Agg { kind: AggKind::Min, expr }
+        Agg {
+            kind: AggKind::Min,
+            expr,
+        }
     }
     pub fn max(expr: Expr) -> Agg {
-        Agg { kind: AggKind::Max, expr }
+        Agg {
+            kind: AggKind::Max,
+            expr,
+        }
     }
 }
 
@@ -63,7 +79,11 @@ impl Agg {
 pub enum Terminal {
     /// Build hash table `ht` from `key` with `payloads` (`k_hash_build`;
     /// blocking: a barrier is required before the table is probed).
-    HashBuild { ht: HtId, key: Slot, payloads: Vec<Slot> },
+    HashBuild {
+        ht: HtId,
+        key: Slot,
+        payloads: Vec<Slot>,
+    },
     /// Hash aggregation grouped by `groups` (empty groups = scalar
     /// aggregate). Non-blocking packet-at-a-time updates in GPL
     /// (`k_reduce*`), but its *output* is a materialization point.
@@ -73,7 +93,10 @@ pub enum Terminal {
 impl Terminal {
     /// All-SUM aggregation (the paper's workload only needs sums).
     pub fn sum_aggregate(groups: Vec<Slot>, sums: Vec<Expr>) -> Terminal {
-        Terminal::Aggregate { groups, aggs: sums.into_iter().map(Agg::sum).collect() }
+        Terminal::Aggregate {
+            groups,
+            aggs: sums.into_iter().map(Agg::sum).collect(),
+        }
     }
 }
 
@@ -143,7 +166,11 @@ impl Stage {
         }
         let check = |filled: &[bool], slots: &[Slot], what: &str| {
             for &s in slots {
-                assert!(filled[s], "stage {}: {what} reads unfilled slot {s}", self.name);
+                assert!(
+                    filled[s],
+                    "stage {}: {what} reads unfilled slot {s}",
+                    self.name
+                );
             }
         };
         for op in &self.ops {
@@ -306,7 +333,12 @@ impl QueryPlan {
     /// its kernel decomposition under KBE and under GPL.
     pub fn explain(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "plan {} ({} stages):", self.query.name(), self.stages.len());
+        let _ = writeln!(
+            s,
+            "plan {} ({} stages):",
+            self.query.name(),
+            self.stages.len()
+        );
         for (i, st) in self.stages.iter().enumerate() {
             let _ = writeln!(s, " segment S{i}: {} over {}", st.name, st.driver);
             let _ = writeln!(s, "   KBE kernels: {}", st.kbe_kernel_names().join(" -> "));
@@ -326,7 +358,10 @@ pub enum DisplayHint {
     /// Days since the epoch.
     Date,
     /// Dictionary code of `table.column`.
-    Dict { table: String, column: String },
+    Dict {
+        table: String,
+        column: String,
+    },
 }
 
 /// Multiplier for Q9's composite partsupp key: `pk * COMP + sk`. Big
@@ -398,12 +433,24 @@ pub fn q5_plan(db: &TpchDb) -> QueryPlan {
             "build_orders",
             "orders",
             &["o_orderkey", "o_custkey", "o_orderdate"],
-            Some(Pred::between_half_open(Expr::slot(2), olo as i64, ohi as i64)),
+            Some(Pred::between_half_open(
+                Expr::slot(2),
+                olo as i64,
+                ohi as i64,
+            )),
             0,
             0,
             vec![1],
         ),
-        build_stage("build_customer", "customer", &["c_custkey", "c_nationkey"], None, 1, 0, vec![1]),
+        build_stage(
+            "build_customer",
+            "customer",
+            &["c_custkey", "c_nationkey"],
+            None,
+            1,
+            0,
+            vec![1],
+        ),
         build_stage(
             "build_supplier",
             "supplier",
@@ -420,11 +467,30 @@ pub fn q5_plan(db: &TpchDb) -> QueryPlan {
                 .map(str::to_string)
                 .to_vec(),
             ops: vec![
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![4] }, // o_custkey
-                PipeOp::Probe { ht: 2, key: 1, payloads: vec![5] }, // s_nationkey (ASIA only)
-                PipeOp::Probe { ht: 1, key: 4, payloads: vec![6] }, // c_nationkey
-                PipeOp::Filter(Pred::cmp(crate::expr::CmpOp::Eq, Expr::slot(5), Expr::slot(6))),
-                PipeOp::Compute { expr: volume_expr(2, 3), out: 7 },
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![4],
+                }, // o_custkey
+                PipeOp::Probe {
+                    ht: 2,
+                    key: 1,
+                    payloads: vec![5],
+                }, // s_nationkey (ASIA only)
+                PipeOp::Probe {
+                    ht: 1,
+                    key: 4,
+                    payloads: vec![6],
+                }, // c_nationkey
+                PipeOp::Filter(Pred::cmp(
+                    crate::expr::CmpOp::Eq,
+                    Expr::slot(5),
+                    Expr::slot(6),
+                )),
+                PipeOp::Compute {
+                    expr: volume_expr(2, 3),
+                    out: 7,
+                },
             ],
             terminal: Terminal::sum_aggregate(vec![5], vec![Expr::slot(7)]),
         },
@@ -454,7 +520,15 @@ pub fn q7_plan(db: &TpchDb) -> QueryPlan {
         ])
     };
     let stages = vec![
-        build_stage("build_orders", "orders", &["o_orderkey", "o_custkey"], None, 0, 0, vec![1]),
+        build_stage(
+            "build_orders",
+            "orders",
+            &["o_orderkey", "o_custkey"],
+            None,
+            0,
+            0,
+            vec![1],
+        ),
         build_stage(
             "build_customer",
             "customer",
@@ -476,20 +550,48 @@ pub fn q7_plan(db: &TpchDb) -> QueryPlan {
         Stage {
             name: "probe_lineitem".to_string(),
             driver: "lineitem".to_string(),
-            loads: ["l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"]
-                .map(str::to_string)
-                .to_vec(),
+            loads: [
+                "l_orderkey",
+                "l_suppkey",
+                "l_shipdate",
+                "l_extendedprice",
+                "l_discount",
+            ]
+            .map(str::to_string)
+            .to_vec(),
             ops: vec![
-                PipeOp::Filter(Pred::between_inclusive(Expr::slot(2), slo as i64, shi as i64)),
-                PipeOp::Probe { ht: 2, key: 1, payloads: vec![5] }, // s_nationkey
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![6] }, // o_custkey
-                PipeOp::Probe { ht: 1, key: 6, payloads: vec![7] }, // c_nationkey
+                PipeOp::Filter(Pred::between_inclusive(
+                    Expr::slot(2),
+                    slo as i64,
+                    shi as i64,
+                )),
+                PipeOp::Probe {
+                    ht: 2,
+                    key: 1,
+                    payloads: vec![5],
+                }, // s_nationkey
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![6],
+                }, // o_custkey
+                PipeOp::Probe {
+                    ht: 1,
+                    key: 6,
+                    payloads: vec![7],
+                }, // c_nationkey
                 PipeOp::Filter(Pred::Or(
                     Box::new(pair(5, fr, 7, de)),
                     Box::new(pair(5, de, 7, fr)),
                 )),
-                PipeOp::Compute { expr: Expr::slot(2).year(), out: 8 },
-                PipeOp::Compute { expr: volume_expr(3, 4), out: 9 },
+                PipeOp::Compute {
+                    expr: Expr::slot(2).year(),
+                    out: 8,
+                },
+                PipeOp::Compute {
+                    expr: volume_expr(3, 4),
+                    out: 9,
+                },
             ],
             terminal: Terminal::sum_aggregate(vec![5, 7, 8], vec![Expr::slot(9)]),
         },
@@ -529,7 +631,11 @@ pub fn q8_plan(db: &TpchDb) -> QueryPlan {
             "build_orders",
             "orders",
             &["o_orderkey", "o_custkey", "o_orderdate"],
-            Some(Pred::between_inclusive(Expr::slot(2), olo as i64, ohi as i64)),
+            Some(Pred::between_inclusive(
+                Expr::slot(2),
+                olo as i64,
+                ohi as i64,
+            )),
             1,
             0,
             vec![1, 2],
@@ -543,20 +649,56 @@ pub fn q8_plan(db: &TpchDb) -> QueryPlan {
             0,
             vec![],
         ),
-        build_stage("build_supplier", "supplier", &["s_suppkey", "s_nationkey"], None, 3, 0, vec![1]),
+        build_stage(
+            "build_supplier",
+            "supplier",
+            &["s_suppkey", "s_nationkey"],
+            None,
+            3,
+            0,
+            vec![1],
+        ),
         Stage {
             name: "probe_lineitem".to_string(),
             driver: "lineitem".to_string(),
-            loads: ["l_partkey", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"]
-                .map(str::to_string)
-                .to_vec(),
+            loads: [
+                "l_partkey",
+                "l_orderkey",
+                "l_suppkey",
+                "l_extendedprice",
+                "l_discount",
+            ]
+            .map(str::to_string)
+            .to_vec(),
             ops: vec![
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![] }, // steel parts only
-                PipeOp::Probe { ht: 1, key: 1, payloads: vec![5, 6] }, // o_custkey, o_orderdate
-                PipeOp::Probe { ht: 2, key: 5, payloads: vec![] }, // AMERICA customers
-                PipeOp::Probe { ht: 3, key: 2, payloads: vec![7] }, // s_nationkey
-                PipeOp::Compute { expr: Expr::slot(6).year(), out: 8 },
-                PipeOp::Compute { expr: volume_expr(3, 4), out: 9 },
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![],
+                }, // steel parts only
+                PipeOp::Probe {
+                    ht: 1,
+                    key: 1,
+                    payloads: vec![5, 6],
+                }, // o_custkey, o_orderdate
+                PipeOp::Probe {
+                    ht: 2,
+                    key: 5,
+                    payloads: vec![],
+                }, // AMERICA customers
+                PipeOp::Probe {
+                    ht: 3,
+                    key: 2,
+                    payloads: vec![7],
+                }, // s_nationkey
+                PipeOp::Compute {
+                    expr: Expr::slot(6).year(),
+                    out: 8,
+                },
+                PipeOp::Compute {
+                    expr: volume_expr(3, 4),
+                    out: 9,
+                },
                 PipeOp::Compute {
                     expr: Expr::Case(
                         Box::new(Pred::cmp(Eq, Expr::slot(7), Expr::lit(brazil))),
@@ -573,7 +715,9 @@ pub fn q8_plan(db: &TpchDb) -> QueryPlan {
         query: QueryId::Q8,
         stages,
         num_hts: 4,
-        output_columns: ["o_year", "brazil_volume", "total_volume"].map(str::to_string).to_vec(),
+        output_columns: ["o_year", "brazil_volume", "total_volume"]
+            .map(str::to_string)
+            .to_vec(),
         order_by: gpl_tpch::order_spec(QueryId::Q8),
         limit: None,
         projection: None,
@@ -598,7 +742,9 @@ pub fn q9_plan(_db: &TpchDb) -> QueryPlan {
         Stage {
             name: "build_partsupp".to_string(),
             driver: "partsupp".to_string(),
-            loads: ["ps_partkey", "ps_suppkey", "ps_supplycost"].map(str::to_string).to_vec(),
+            loads: ["ps_partkey", "ps_suppkey", "ps_supplycost"]
+                .map(str::to_string)
+                .to_vec(),
             ops: vec![
                 PipeOp::Filter(Pred::cmp(Lt, Expr::slot(0), Expr::lit(bound))),
                 PipeOp::Compute {
@@ -608,10 +754,30 @@ pub fn q9_plan(_db: &TpchDb) -> QueryPlan {
                     out: 3,
                 },
             ],
-            terminal: Terminal::HashBuild { ht: 1, key: 3, payloads: vec![2] },
+            terminal: Terminal::HashBuild {
+                ht: 1,
+                key: 3,
+                payloads: vec![2],
+            },
         },
-        build_stage("build_supplier", "supplier", &["s_suppkey", "s_nationkey"], None, 2, 0, vec![1]),
-        build_stage("build_orders", "orders", &["o_orderkey", "o_orderdate"], None, 3, 0, vec![1]),
+        build_stage(
+            "build_supplier",
+            "supplier",
+            &["s_suppkey", "s_nationkey"],
+            None,
+            2,
+            0,
+            vec![1],
+        ),
+        build_stage(
+            "build_orders",
+            "orders",
+            &["o_orderkey", "o_orderdate"],
+            None,
+            3,
+            0,
+            vec![1],
+        ),
         Stage {
             name: "probe_lineitem".to_string(),
             driver: "lineitem".to_string(),
@@ -627,17 +793,36 @@ pub fn q9_plan(_db: &TpchDb) -> QueryPlan {
             .to_vec(),
             ops: vec![
                 PipeOp::Filter(Pred::cmp(Lt, Expr::slot(0), Expr::lit(bound))),
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![] },
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![],
+                },
                 PipeOp::Compute {
                     expr: Expr::slot(0)
                         .mul(Expr::lit(COMPOSITE_KEY_MUL))
                         .add(Expr::slot(1)),
                     out: 6,
                 },
-                PipeOp::Probe { ht: 1, key: 6, payloads: vec![7] }, // ps_supplycost
-                PipeOp::Probe { ht: 2, key: 1, payloads: vec![8] }, // s_nationkey
-                PipeOp::Probe { ht: 3, key: 2, payloads: vec![9] }, // o_orderdate
-                PipeOp::Compute { expr: Expr::slot(9).year(), out: 10 },
+                PipeOp::Probe {
+                    ht: 1,
+                    key: 6,
+                    payloads: vec![7],
+                }, // ps_supplycost
+                PipeOp::Probe {
+                    ht: 2,
+                    key: 1,
+                    payloads: vec![8],
+                }, // s_nationkey
+                PipeOp::Probe {
+                    ht: 3,
+                    key: 2,
+                    payloads: vec![9],
+                }, // o_orderdate
+                PipeOp::Compute {
+                    expr: Expr::slot(9).year(),
+                    out: 10,
+                },
                 PipeOp::Compute {
                     expr: volume_expr(4, 5).sub(Expr::slot(7).dec_mul(Expr::slot(3))),
                     out: 11,
@@ -650,7 +835,9 @@ pub fn q9_plan(_db: &TpchDb) -> QueryPlan {
         query: QueryId::Q9,
         stages,
         num_hts: 4,
-        output_columns: ["nation", "o_year", "sum_profit"].map(str::to_string).to_vec(),
+        output_columns: ["nation", "o_year", "sum_profit"]
+            .map(str::to_string)
+            .to_vec(),
         order_by: gpl_tpch::order_spec(QueryId::Q9),
         limit: None,
         projection: None,
@@ -662,7 +849,15 @@ pub fn q9_plan(_db: &TpchDb) -> QueryPlan {
 pub fn q14_plan(db: &TpchDb, params: Q14Params) -> QueryPlan {
     let promo = db.promo_type_codes();
     let stages = vec![
-        build_stage("build_part", "part", &["p_partkey", "p_type"], None, 0, 0, vec![1]),
+        build_stage(
+            "build_part",
+            "part",
+            &["p_partkey", "p_type"],
+            None,
+            0,
+            0,
+            vec![1],
+        ),
         Stage {
             name: "probe_lineitem".to_string(),
             driver: "lineitem".to_string(),
@@ -675,8 +870,15 @@ pub fn q14_plan(db: &TpchDb, params: Q14Params) -> QueryPlan {
                     params.lo as i64,
                     params.hi as i64,
                 )),
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![4] }, // p_type
-                PipeOp::Compute { expr: volume_expr(2, 3), out: 5 },
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![4],
+                }, // p_type
+                PipeOp::Compute {
+                    expr: volume_expr(2, 3),
+                    out: 5,
+                },
                 PipeOp::Compute {
                     expr: Expr::Case(
                         Box::new(Pred::InList(Expr::slot(4), promo)),
@@ -693,7 +895,9 @@ pub fn q14_plan(db: &TpchDb, params: Q14Params) -> QueryPlan {
         query: QueryId::Q14,
         stages,
         num_hts: 1,
-        output_columns: ["promo_revenue", "total_revenue"].map(str::to_string).to_vec(),
+        output_columns: ["promo_revenue", "total_revenue"]
+            .map(str::to_string)
+            .to_vec(),
         order_by: gpl_tpch::order_spec(QueryId::Q14),
         limit: None,
         projection: None,
@@ -713,7 +917,10 @@ pub fn listing1_plan(cutoff: i32) -> QueryPlan {
             .to_vec(),
         ops: vec![
             PipeOp::Filter(Pred::cmp(Le, Expr::slot(0), Expr::lit(cutoff as i64))),
-            PipeOp::Compute { expr: charge, out: 4 },
+            PipeOp::Compute {
+                expr: charge,
+                out: 4,
+            },
         ],
         terminal: Terminal::sum_aggregate(vec![], vec![Expr::slot(4)]),
     }];
@@ -728,7 +935,6 @@ pub fn listing1_plan(cutoff: i32) -> QueryPlan {
         display: None,
     }
 }
-
 
 /// Q1 (extended set): the pricing summary report — a single segment with
 /// a wide multi-aggregate group-by ending in `k_groupby*`.
@@ -755,7 +961,10 @@ pub fn q1_plan(_db: &TpchDb) -> QueryPlan {
         ops: vec![
             PipeOp::Filter(Pred::cmp(Le, Expr::slot(6), Expr::lit(cutoff as i64))),
             PipeOp::Compute { expr: vol, out: 7 },
-            PipeOp::Compute { expr: charge, out: 8 },
+            PipeOp::Compute {
+                expr: charge,
+                out: 8,
+            },
         ],
         terminal: Terminal::Aggregate {
             groups: vec![0, 1],
@@ -808,7 +1017,11 @@ pub fn q3_plan(db: &TpchDb) -> QueryPlan {
             "build_customer",
             "customer",
             &["c_custkey", "c_mktsegment"],
-            Some(Pred::cmp(crate::expr::CmpOp::Eq, Expr::slot(1), Expr::lit(building))),
+            Some(Pred::cmp(
+                crate::expr::CmpOp::Eq,
+                Expr::slot(1),
+                Expr::lit(building),
+            )),
             0,
             0,
             vec![],
@@ -821,9 +1034,17 @@ pub fn q3_plan(db: &TpchDb) -> QueryPlan {
                 .to_vec(),
             ops: vec![
                 PipeOp::Filter(Pred::cmp(Lt, Expr::slot(2), Expr::lit(date))),
-                PipeOp::Probe { ht: 0, key: 1, payloads: vec![] }, // BUILDING only
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 1,
+                    payloads: vec![],
+                }, // BUILDING only
             ],
-            terminal: Terminal::HashBuild { ht: 1, key: 0, payloads: vec![2, 3] },
+            terminal: Terminal::HashBuild {
+                ht: 1,
+                key: 0,
+                payloads: vec![2, 3],
+            },
         },
         Stage {
             name: "probe_lineitem".to_string(),
@@ -833,8 +1054,15 @@ pub fn q3_plan(db: &TpchDb) -> QueryPlan {
                 .to_vec(),
             ops: vec![
                 PipeOp::Filter(Pred::cmp(Gt, Expr::slot(1), Expr::lit(date))),
-                PipeOp::Probe { ht: 1, key: 0, payloads: vec![4, 5] }, // date, priority
-                PipeOp::Compute { expr: volume_expr(2, 3), out: 6 },
+                PipeOp::Probe {
+                    ht: 1,
+                    key: 0,
+                    payloads: vec![4, 5],
+                }, // date, priority
+                PipeOp::Compute {
+                    expr: volume_expr(2, 3),
+                    out: 6,
+                },
             ],
             terminal: Terminal::sum_aggregate(vec![0, 4, 5], vec![Expr::slot(6)]),
         },
@@ -870,7 +1098,11 @@ pub fn q10_plan(db: &TpchDb) -> QueryPlan {
             "build_orders",
             "orders",
             &["o_orderkey", "o_custkey", "o_orderdate"],
-            Some(Pred::between_half_open(Expr::slot(2), olo as i64, ohi as i64)),
+            Some(Pred::between_half_open(
+                Expr::slot(2),
+                olo as i64,
+                ohi as i64,
+            )),
             0,
             0,
             vec![1],
@@ -887,14 +1119,30 @@ pub fn q10_plan(db: &TpchDb) -> QueryPlan {
         Stage {
             name: "probe_lineitem".to_string(),
             driver: "lineitem".to_string(),
-            loads: ["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"]
-                .map(str::to_string)
-                .to_vec(),
+            loads: [
+                "l_orderkey",
+                "l_returnflag",
+                "l_extendedprice",
+                "l_discount",
+            ]
+            .map(str::to_string)
+            .to_vec(),
             ops: vec![
                 PipeOp::Filter(Pred::cmp(Eq, Expr::slot(1), Expr::lit(returned))),
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![4] }, // o_custkey
-                PipeOp::Probe { ht: 1, key: 4, payloads: vec![5, 6] }, // c_nationkey, c_acctbal
-                PipeOp::Compute { expr: volume_expr(2, 3), out: 7 },
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![4],
+                }, // o_custkey
+                PipeOp::Probe {
+                    ht: 1,
+                    key: 4,
+                    payloads: vec![5, 6],
+                }, // c_nationkey, c_acctbal
+                PipeOp::Compute {
+                    expr: volume_expr(2, 3),
+                    out: 7,
+                },
             ],
             terminal: Terminal::sum_aggregate(vec![4, 5, 6], vec![Expr::slot(7)]),
         },
@@ -919,11 +1167,20 @@ pub fn q12_plan(db: &TpchDb) -> QueryPlan {
     use crate::expr::CmpOp::Lt;
     use gpl_tpch::queries::literals as lit;
     let (rlo, rhi) = lit::q12_receipt_window();
-    let mode_dict = db.lineitem.col("l_shipmode").dictionary().expect("l_shipmode is dict");
-    let modes: Vec<i64> =
-        lit::Q12_SHIP_MODES.iter().map(|m| mode_dict.code_of(m).expect("mode") as i64).collect();
-    let prio_dict =
-        db.orders.col("o_orderpriority").dictionary().expect("o_orderpriority is dict");
+    let mode_dict = db
+        .lineitem
+        .col("l_shipmode")
+        .dictionary()
+        .expect("l_shipmode is dict");
+    let modes: Vec<i64> = lit::Q12_SHIP_MODES
+        .iter()
+        .map(|m| mode_dict.code_of(m).expect("mode") as i64)
+        .collect();
+    let prio_dict = db
+        .orders
+        .col("o_orderpriority")
+        .dictionary()
+        .expect("o_orderpriority is dict");
     let high: Vec<i64> = lit::Q12_HIGH_PRIORITIES
         .iter()
         .map(|p| prio_dict.code_of(p).expect("priority") as i64)
@@ -944,9 +1201,15 @@ pub fn q12_plan(db: &TpchDb) -> QueryPlan {
         Stage {
             name: "probe_lineitem".to_string(),
             driver: "lineitem".to_string(),
-            loads: ["l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"]
-                .map(str::to_string)
-                .to_vec(),
+            loads: [
+                "l_orderkey",
+                "l_shipmode",
+                "l_shipdate",
+                "l_commitdate",
+                "l_receiptdate",
+            ]
+            .map(str::to_string)
+            .to_vec(),
             ops: vec![
                 PipeOp::Filter(Pred::And(vec![
                     Pred::InList(Expr::slot(1), modes),
@@ -954,7 +1217,11 @@ pub fn q12_plan(db: &TpchDb) -> QueryPlan {
                     Pred::cmp(Lt, Expr::slot(3), Expr::slot(4)), // commit < receipt
                     Pred::cmp(Lt, Expr::slot(2), Expr::slot(3)), // ship < commit
                 ])),
-                PipeOp::Probe { ht: 0, key: 0, payloads: vec![5] },
+                PipeOp::Probe {
+                    ht: 0,
+                    key: 0,
+                    payloads: vec![5],
+                },
                 PipeOp::Compute {
                     expr: Expr::Case(
                         Box::new(is_high.clone()),
@@ -1007,7 +1274,10 @@ pub fn q6_plan(_db: &TpchDb) -> QueryPlan {
                 Pred::between_inclusive(Expr::slot(3), lit::Q6_DISCOUNT_LO, lit::Q6_DISCOUNT_HI),
                 Pred::cmp(Lt, Expr::slot(1), Expr::lit(lit::Q6_QUANTITY_BOUND)),
             ])),
-            PipeOp::Compute { expr: Expr::slot(2).dec_mul(Expr::slot(3)), out: 4 },
+            PipeOp::Compute {
+                expr: Expr::slot(2).dec_mul(Expr::slot(3)),
+                out: 4,
+            },
         ],
         terminal: Terminal::sum_aggregate(vec![], vec![Expr::slot(4)]),
     }];
@@ -1073,7 +1343,10 @@ mod tests {
             name: "bad".into(),
             driver: "lineitem".into(),
             loads: vec!["l_partkey".into()],
-            ops: vec![PipeOp::Compute { expr: Expr::slot(5), out: 6 }],
+            ops: vec![PipeOp::Compute {
+                expr: Expr::slot(5),
+                out: 6,
+            }],
             terminal: Terminal::sum_aggregate(vec![], vec![Expr::slot(6)]),
         };
         let r = std::panic::catch_unwind(|| bad.validate());

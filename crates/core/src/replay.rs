@@ -40,7 +40,11 @@ pub fn alloc_array(
     label: &str,
 ) -> ArrayRef {
     let id = ctx.sim.mem.alloc(rows.max(1) as u64 * width, class, label);
-    ArrayRef { base: ctx.sim.mem.base(id), width, rows }
+    ArrayRef {
+        base: ctx.sim.mem.base(id),
+        width,
+        rows,
+    }
 }
 
 /// A data-parallel kernel that replays a precomputed access pattern over
@@ -111,15 +115,17 @@ impl gpl_sim::WorkSource for ReplayKernel {
             }
             // Even an empty launch occupies the device briefly.
             self.emitted_any = true;
-            return Work::Unit(WorkUnit { compute_insts: 1, ..Default::default() });
+            return Work::Unit(WorkUnit {
+                compute_insts: 1,
+                ..Default::default()
+            });
         }
         let start = self.cursor;
         let end = (start + self.batch).min(self.rows);
         self.cursor = end;
         self.emitted_any = true;
         let rows = (end - start) as u64;
-        let mut accesses: Vec<MemRange> =
-            Vec::with_capacity(self.reads.len() + self.writes.len());
+        let mut accesses: Vec<MemRange> = Vec::with_capacity(self.reads.len() + self.writes.len());
         for r in &self.reads {
             accesses.push(r.slice(start, end, self.rows));
         }
@@ -181,9 +187,14 @@ mod tests {
         let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
         let input = alloc_array(&mut ctx, 20_000, 8, RegionClass::Intermediate, "in");
         let output = alloc_array(&mut ctx, 10_000, 4, RegionClass::Intermediate, "out");
-        let k = ReplayKernel::new(20_000, 64, 4, 1).reads(vec![input]).writes(vec![output]);
+        let k = ReplayKernel::new(20_000, 64, 4, 1)
+            .reads(vec![input])
+            .writes(vec![output]);
         let p = launch(&mut ctx, "k_map", kernel_resources("k_map", 64), k);
-        assert_eq!(p.kernels[0].units, (20_000usize).div_ceil(BATCH_ROWS) as u64);
+        assert_eq!(
+            p.kernels[0].units,
+            (20_000usize).div_ceil(BATCH_ROWS) as u64
+        );
         // All input bytes read, all output bytes written.
         assert_eq!(p.bytes_read[&RegionClass::Intermediate], 20_000 * 8);
         assert_eq!(p.bytes_written[&RegionClass::Intermediate], 10_000 * 4);
@@ -200,7 +211,11 @@ mod tests {
 
     #[test]
     fn array_slice_arithmetic() {
-        let a = ArrayRef { base: 1000, width: 4, rows: 50 };
+        let a = ArrayRef {
+            base: 1000,
+            width: 4,
+            rows: 50,
+        };
         let m = a.slice(10, 20, 100); // rows 5..10 of the array
         assert_eq!(m.addr, 1000 + 5 * 4);
         assert_eq!(m.bytes, 5 * 4);

@@ -80,7 +80,17 @@ pub fn build_models(
     plan.stages
         .iter()
         .enumerate()
-        .map(|(si, stage)| build_stage_model(db, plan, stage, &stats.stage_lambdas[si], stats, spec, wavefront))
+        .map(|(si, stage)| {
+            build_stage_model(
+                db,
+                plan,
+                stage,
+                &stats.stage_lambdas[si],
+                stats,
+                spec,
+                wavefront,
+            )
+        })
         .collect()
 }
 
@@ -97,8 +107,12 @@ fn build_stage_model(
     let live = ops::live_slots(stage);
     let groups = stage.gpl_fusion();
     let names = stage.gpl_kernel_names();
-    let row_bytes: u64 =
-        stage.loads.iter().map(|c| t.col(c).data_type().width()).sum::<u64>().max(1);
+    let row_bytes: u64 = stage
+        .loads
+        .iter()
+        .map(|c| t.col(c).data_type().width())
+        .sum::<u64>()
+        .max(1);
 
     // Eager vs lazy leaf columns (mirrors gpl.rs): columns read by the
     // fused leading ops stream; shipped-only columns gather post-filter.
@@ -110,7 +124,11 @@ fn build_stage_model(
             PipeOp::Compute { expr, .. } => expr.slots(&mut eager_slots),
         }
     }
-    let first_edge_live = if groups.len() > 1 { &live[groups[1][0]] } else { &live[stage.ops.len()] };
+    let first_edge_live = if groups.len() > 1 {
+        &live[groups[1][0]]
+    } else {
+        &live[stage.ops.len()]
+    };
     let leaf_lambda = lambdas[0].max(1e-6);
     let mut eager_bytes = 0u64;
     let mut eager_cols = 0u64;
@@ -130,7 +148,11 @@ fn build_stage_model(
         }
     }
     if eager_cols == 0 && lazy_cols > 0 {
-        let w = stage.loads.first().map(|c| t.col(c).data_type().width()).unwrap_or(4);
+        let w = stage
+            .loads
+            .first()
+            .map(|c| t.col(c).data_type().width())
+            .unwrap_or(4);
         eager_bytes = w;
         eager_cols = 1;
         lazy_bytes = (lazy_bytes - (w as f64 / leaf_lambda).min(64.0)).max(0.0);
@@ -139,7 +161,11 @@ fn build_stage_model(
 
     let edge_width = |g: usize| -> u64 {
         // Width of the channel after kernel group g (matches gpl.rs).
-        let lv = if g + 1 < groups.len() { &live[groups[g + 1][0]] } else { &live[stage.ops.len()] };
+        let lv = if g + 1 < groups.len() {
+            &live[groups[g + 1][0]]
+        } else {
+            &live[stage.ops.len()]
+        };
         (lv.len() as u64 * 8).max(8)
     };
 

@@ -60,8 +60,10 @@ pub fn allocate_residency(
     spec: &DeviceSpec,
     kernels: &[(ResourceUsage, u32)], // (resources, wg count)
 ) -> Vec<u32> {
-    let want: Vec<u32> =
-        kernels.iter().map(|(_, wg)| wg.div_ceil(spec.num_cus).max(1)).collect();
+    let want: Vec<u32> = kernels
+        .iter()
+        .map(|(_, wg)| wg.div_ceil(spec.num_cus).max(1))
+        .collect();
     let mut res = vec![1u32; kernels.len()];
     let fits = |res: &[u32], extra: usize| -> bool {
         let mut pm = 0u64;
@@ -73,7 +75,8 @@ pub fn allocate_residency(
             lm += r.local_bytes_per_wg as u64 * n;
             wg += n;
         }
-        pm <= spec.private_mem_per_cu && lm <= spec.local_mem_per_cu
+        pm <= spec.private_mem_per_cu
+            && lm <= spec.local_mem_per_cu
             && wg <= spec.max_wg_per_cu as u64
     };
     loop {
@@ -142,8 +145,8 @@ pub fn estimate_stage(
         // hash-structure traffic split by the cr surrogate.
         let mut m = 0.0;
         if k.scan_bytes_per_row > 0 {
-            let bytes = rows_in * k.scan_bytes_per_row as f64
-                + rows_out * k.lazy_bytes_per_row as f64;
+            let bytes =
+                rows_in * k.scan_bytes_per_row as f64 + rows_out * k.lazy_bytes_per_row as f64;
             m += bytes / spec.mem_bytes_per_cycle as f64 / used_cus + spec.mem_latency as f64;
         }
         if k.ht_access_bytes > 0 {
@@ -169,13 +172,17 @@ pub fn estimate_stage(
         let mut dc = 0.0;
         if k.in_width > 0 {
             let d = rows_in * k.in_width as f64;
-            let g = gamma.lookup(cfg.n_channels, cfg.packet_bytes, d as u64).max(1e-6);
+            let g = gamma
+                .lookup(cfg.n_channels, cfg.packet_bytes, d as u64)
+                .max(1e-6);
             dc += d / (g * gamma.pressure(inflight(d)));
         }
         if k.out_width > 0 {
             let d = rows_out * k.out_width as f64;
             if d > 0.0 {
-                let g = gamma.lookup(cfg.n_channels, cfg.packet_bytes, d as u64).max(1e-6);
+                let g = gamma
+                    .lookup(cfg.n_channels, cfg.packet_bytes, d as u64)
+                    .max(1e-6);
                 dc += d / (g * gamma.pressure(inflight(d)));
             }
         }
@@ -183,7 +190,12 @@ pub fn estimate_stage(
         // each endpoint bears half.
         dc *= 0.5;
         m += dc;
-        per_kernel.push(KernelCost { c, m, dc, a_wg: residency[i] });
+        per_kernel.push(KernelCost {
+            c,
+            m,
+            dc,
+            a_wg: residency[i],
+        });
     }
 
     // Eq. 8: imbalance between adjacent kernels, accumulated per tile.
@@ -209,10 +221,8 @@ pub fn estimate_stage(
     // tiles "dramatically degrade the data channel efficiency",
     // Section 3.3), and ACE lane interleaving when the pipeline is deeper
     // than `C`.
-    let batches_per_tile =
-        (tile_rows as f64 / gpl_core::gpl::SCAN_BATCH_ROWS as f64).max(1.0);
-    let bubble: f64 = per_kernel.iter().skip(1).map(KernelCost::t).sum::<f64>()
-        / batches_per_tile
+    let batches_per_tile = (tile_rows as f64 / gpl_core::gpl::SCAN_BATCH_ROWS as f64).max(1.0);
+    let bubble: f64 = per_kernel.iter().skip(1).map(KernelCost::t).sum::<f64>() / batches_per_tile
         * num_tiles as f64;
     let lane_cost = spec.lane_switch_cycles as f64
         * (sm.kernels.len() as f64 - spec.concurrency as f64).max(0.0)
@@ -227,7 +237,13 @@ pub fn estimate_stage(
     // total time floors the segment regardless of overlap.
     let slowest = per_kernel.iter().map(KernelCost::t).fold(0.0, f64::max) * num_tiles as f64;
     let total = (sum_t / c_eff + delay).max(slowest) + overhead;
-    StageEstimate { per_kernel, num_tiles, delay, overhead, total }
+    StageEstimate {
+        per_kernel,
+        num_tiles,
+        delay,
+        overhead,
+        total,
+    }
 }
 
 /// Estimate a whole query: the sum of its stage estimates (stages are
@@ -310,8 +326,7 @@ mod tests {
         probe_cfg.wg_counts[0] = 1;
         let starved = estimate_stage(&spec, &g, ms.last().unwrap(), probe_cfg);
         assert!(
-            starved.delay + starved.per_kernel[0].c
-                > balanced.delay + balanced.per_kernel[0].c
+            starved.delay + starved.per_kernel[0].c > balanced.delay + balanced.per_kernel[0].c
         );
     }
 

@@ -22,11 +22,17 @@ pub struct GammaTable {
 }
 
 fn join<T: std::fmt::Display>(v: &[T]) -> String {
-    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn joinf(v: &[f64]) -> String {
-    v.iter().map(|x| format!("{x:.6}")).collect::<Vec<_>>().join(",")
+    v.iter()
+        .map(|x| format!("{x:.6}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn parse_list<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
@@ -83,7 +89,14 @@ impl GammaTable {
             .collect();
         let peak = raw.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
         let pressure = raw.iter().map(|&t| (t / peak).clamp(0.05, 1.0)).collect();
-        GammaTable { vendor: spec.vendor, ns, ps, ds, throughput, pressure }
+        GammaTable {
+            vendor: spec.vendor,
+            ns,
+            ps,
+            ds,
+            throughput,
+            pressure,
+        }
     }
 
     /// Build from precomputed points (tests / serialization).
@@ -105,7 +118,14 @@ impl GammaTable {
             throughput[ni][pi][di] = pt.steady_throughput;
         }
         let pressure = vec![1.0; ds.len()];
-        GammaTable { vendor: spec.vendor, ns, ps, ds, throughput, pressure }
+        GammaTable {
+            vendor: spec.vendor,
+            ns,
+            ps,
+            ds,
+            throughput,
+            pressure,
+        }
     }
 
     pub fn vendor(&self) -> Vendor {
@@ -240,7 +260,14 @@ impl GammaTable {
             }
             throughput[ni][pi] = row;
         }
-        Some(GammaTable { vendor, ns, ps, ds, throughput, pressure })
+        Some(GammaTable {
+            vendor,
+            ns,
+            ps,
+            ds,
+            throughput,
+            pressure,
+        })
     }
 
     /// Load from `path`, or calibrate and save there. Corrupt or
@@ -281,10 +308,38 @@ mod tests {
     fn tiny_table() -> GammaTable {
         let spec = amd_a10();
         let pts = vec![
-            CalibrationPoint { n: 1, packet_bytes: 16, data_bytes: 1 << 16, cycles: 1, throughput: 1.0, steady_throughput: 1.0 },
-            CalibrationPoint { n: 1, packet_bytes: 16, data_bytes: 1 << 20, cycles: 1, throughput: 3.0, steady_throughput: 3.0 },
-            CalibrationPoint { n: 4, packet_bytes: 16, data_bytes: 1 << 16, cycles: 1, throughput: 2.0, steady_throughput: 2.0 },
-            CalibrationPoint { n: 4, packet_bytes: 16, data_bytes: 1 << 20, cycles: 1, throughput: 5.0, steady_throughput: 5.0 },
+            CalibrationPoint {
+                n: 1,
+                packet_bytes: 16,
+                data_bytes: 1 << 16,
+                cycles: 1,
+                throughput: 1.0,
+                steady_throughput: 1.0,
+            },
+            CalibrationPoint {
+                n: 1,
+                packet_bytes: 16,
+                data_bytes: 1 << 20,
+                cycles: 1,
+                throughput: 3.0,
+                steady_throughput: 3.0,
+            },
+            CalibrationPoint {
+                n: 4,
+                packet_bytes: 16,
+                data_bytes: 1 << 16,
+                cycles: 1,
+                throughput: 2.0,
+                steady_throughput: 2.0,
+            },
+            CalibrationPoint {
+                n: 4,
+                packet_bytes: 16,
+                data_bytes: 1 << 20,
+                cycles: 1,
+                throughput: 5.0,
+                steady_throughput: 5.0,
+            },
         ];
         GammaTable::from_points(&spec, &pts)
     }
@@ -343,9 +398,12 @@ mod tests {
     fn corrupt_text_is_rejected() {
         assert!(GammaTable::from_text("").is_none());
         assert!(GammaTable::from_text("gamma v2 Amd ns=1 ps=16 ds=64").is_none());
-        assert!(GammaTable::from_text("gamma v1 Amd ns=1 ps=16 ds=64
+        assert!(GammaTable::from_text(
+            "gamma v1 Amd ns=1 ps=16 ds=64
 pressure 1.0
-t 9 9 zap").is_none());
+t 9 9 zap"
+        )
+        .is_none());
     }
 
     #[test]

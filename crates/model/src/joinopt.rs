@@ -69,15 +69,15 @@ fn apply_ready_maps(
             let is_filter = matches!(op, PipeOp::Filter(_));
             let better = match candidate {
                 None => true,
-                Some((_, l, f)) => {
-                    (is_filter && !f) || (is_filter == f && lambdas[i] < l)
-                }
+                Some((_, l, f)) => (is_filter && !f) || (is_filter == f && lambdas[i] < l),
             };
             if better {
                 candidate = Some((i, lambdas[i], is_filter));
             }
         }
-        let Some((i, _, is_filter)) = candidate else { break };
+        let Some((i, _, is_filter)) = candidate else {
+            break;
+        };
         // Defer computes that no pending op needs yet: a compute is only
         // worth running once something reads its output. Terminal inputs
         // make every compute eventually required, so run it if nothing
@@ -126,15 +126,31 @@ fn reorder_stage(stage: &Stage, lambdas: &[f64], driver_rows: f64) -> Option<Vec
         let mut order = Vec::new();
         let mut card = driver_rows;
         let mut cost = 0.0;
-        apply_ready_maps(stage, lambdas, &mut used, &mut filled, &mut order, &mut card, &mut cost);
-        State { cost, card, used, filled, order }
+        apply_ready_maps(
+            stage,
+            lambdas,
+            &mut used,
+            &mut filled,
+            &mut order,
+            &mut card,
+            &mut cost,
+        );
+        State {
+            cost,
+            card,
+            used,
+            filled,
+            order,
+        }
     };
 
     let mut best: HashMap<u64, State> = HashMap::new();
     best.insert(0, init);
     let full = (1u64 << probes.len()) - 1;
     for mask in 0..=full {
-        let Some(cur) = best.get(&mask).cloned() else { continue };
+        let Some(cur) = best.get(&mask).cloned() else {
+            continue;
+        };
         for (bit, &p) in probes.iter().enumerate() {
             if mask & (1 << bit) != 0 {
                 continue;
@@ -261,7 +277,10 @@ mod tests {
                 _ => None,
             })
             .expect("has probes");
-        assert_eq!(first_probe, 0, "optimizer must move the selective probe back up");
+        assert_eq!(
+            first_probe, 0,
+            "optimizer must move the selective probe back up"
+        );
 
         // And the repair is visible in simulated cycles (at a scale where
         // intermediate cardinality dominates fixed overheads).

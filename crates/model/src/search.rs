@@ -17,7 +17,15 @@ use std::time::{Duration, Instant};
 
 /// The Δ grid of Figure 12: 256 KB to 16 MB.
 pub fn tile_grid() -> Vec<u64> {
-    vec![256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20]
+    vec![
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+        16 << 20,
+    ]
 }
 
 /// Channel-count grid (the paper searches n in [1, 16]).
@@ -70,15 +78,51 @@ pub fn optimize_models(
     plan: &QueryPlan,
     models: &[StageModel],
 ) -> SearchOutcome {
+    optimize_models_traced(spec, gamma, plan, models, None)
+}
+
+/// [`optimize_models`], recording the search into `rec` when present: one
+/// span per stage (carrying the winning configuration) and one instant
+/// event per explored (Δ, n, p) grid point with its post-descent Eq. 8
+/// score. Timestamps come from the recorder's logical clock — the search
+/// has no simulated cycles, and wall time would break determinism.
+pub fn optimize_models_traced(
+    spec: &DeviceSpec,
+    gamma: &GammaTable,
+    plan: &QueryPlan,
+    models: &[StageModel],
+    rec: Option<&gpl_obs::Recorder>,
+) -> SearchOutcome {
     let start = Instant::now();
     let mut evaluated = 0usize;
     let stages = models
         .iter()
-        .map(|sm| optimize_stage(spec, gamma, sm, &mut evaluated))
+        .enumerate()
+        .map(|(idx, sm)| {
+            let span = rec.map(|r| {
+                let t = r.track("model.search");
+                r.begin(t, "search", &format!("stage{idx}"), r.tick())
+            });
+            let before = evaluated;
+            let cfg = optimize_stage(spec, gamma, sm, &mut evaluated, rec, idx);
+            if let (Some(r), Some(s)) = (rec, span) {
+                r.arg(s, "tile_bytes", cfg.tile_bytes);
+                r.arg(s, "n_channels", cfg.n_channels);
+                r.arg(s, "packet_bytes", cfg.packet_bytes);
+                r.arg(s, "evaluated", evaluated - before);
+                r.end(s, r.tick());
+            }
+            cfg
+        })
         .collect();
     let config = QueryConfig { stages };
     let estimate = estimate_query(spec, gamma, models, &config, !plan.order_by.is_empty());
-    SearchOutcome { config, estimate, elapsed: start.elapsed(), evaluated }
+    SearchOutcome {
+        config,
+        estimate,
+        elapsed: start.elapsed(),
+        evaluated,
+    }
 }
 
 fn optimize_stage(
@@ -86,6 +130,8 @@ fn optimize_stage(
     gamma: &GammaTable,
     sm: &StageModel,
     evaluated: &mut usize,
+    rec: Option<&gpl_obs::Recorder>,
+    stage_idx: usize,
 ) -> StageConfig {
     let kernels = sm.kernels.len();
     let mut best: Option<(f64, StageConfig)> = None;
@@ -125,6 +171,22 @@ fn optimize_stage(
                     if !improved {
                         break;
                     }
+                }
+                if let Some(r) = rec {
+                    let t = r.track("model.search");
+                    r.instant(
+                        t,
+                        "search",
+                        "candidate",
+                        r.tick(),
+                        vec![
+                            ("stage", gpl_obs::Value::from(stage_idx)),
+                            ("tile_bytes", gpl_obs::Value::from(tile)),
+                            ("n_channels", gpl_obs::Value::from(n)),
+                            ("packet_bytes", gpl_obs::Value::from(p)),
+                            ("est_cycles", gpl_obs::Value::from(cur)),
+                        ],
+                    );
                 }
                 if best.as_ref().map(|(b, _)| cur < *b).unwrap_or(true) {
                     best = Some((cur, cfg));
@@ -171,7 +233,11 @@ mod tests {
         assert!(out.evaluated > 100);
         // The paper reports <5 ms; allow slack for debug builds and the
         // λ-estimation pass.
-        assert!(out.elapsed.as_millis() < 2_000, "search took {:?}", out.elapsed);
+        assert!(
+            out.elapsed.as_millis() < 2_000,
+            "search took {:?}",
+            out.elapsed
+        );
     }
 
     #[test]
@@ -197,6 +263,11 @@ mod tests {
                 .collect(),
         };
         let bad_est = estimate_query(&spec, &g, &ms, &bad, false);
-        assert!(out.estimate <= bad_est, "optimizer {} vs bad {}", out.estimate, bad_est);
+        assert!(
+            out.estimate <= bad_est,
+            "optimizer {} vs bad {}",
+            out.estimate,
+            bad_est
+        );
     }
 }

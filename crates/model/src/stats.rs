@@ -32,11 +32,7 @@ struct MiniHt {
     map: HashMap<i64, Vec<i64>>,
 }
 
-fn eval_group(
-    ops: &[&PipeOp],
-    mut chunk: Chunk,
-    hts: &[Option<MiniHt>],
-) -> (Chunk, f64) {
+fn eval_group(ops: &[&PipeOp], mut chunk: Chunk, hts: &[Option<MiniHt>]) -> (Chunk, f64) {
     let rows_in = chunk.rows.max(1) as f64;
     for op in ops {
         if chunk.rows == 0 {
@@ -94,8 +90,10 @@ pub fn estimate(db: &TpchDb, plan: &QueryPlan) -> PlanStats {
 /// Per-op λ estimates (used by the join-order optimizer): each op is its
 /// own group.
 pub fn estimate_per_op(db: &TpchDb, plan: &QueryPlan) -> Vec<Vec<f64>> {
-    estimate_grouped(db, plan, |stage| (0..stage.ops.len()).map(|i| vec![i]).collect())
-        .stage_lambdas
+    estimate_grouped(db, plan, |stage| {
+        (0..stage.ops.len()).map(|i| vec![i]).collect()
+    })
+    .stage_lambdas
 }
 
 fn estimate_grouped(
@@ -117,7 +115,9 @@ fn estimate_grouped(
             (0..total).collect()
         } else {
             let step = total as f64 / SAMPLE_ROWS as f64;
-            (0..SAMPLE_ROWS).map(|i| (i as f64 * step) as usize).collect()
+            (0..SAMPLE_ROWS)
+                .map(|i| (i as f64 * step) as usize)
+                .collect()
         };
         let scale = total as f64 / rows.len().max(1) as f64;
 
@@ -130,7 +130,11 @@ fn estimate_grouped(
             lambdas.push((out.rows as f64 / rows_in).clamp(0.0, 1.0));
             chunk = out;
         }
-        let sel = if rows.is_empty() { 0.0 } else { chunk.rows as f64 / rows.len() as f64 };
+        let sel = if rows.is_empty() {
+            0.0
+        } else {
+            chunk.rows as f64 / rows.len() as f64
+        };
         stage_selectivity.push(sel);
 
         if let Terminal::HashBuild { ht, key, payloads } = &stage.terminal {
@@ -144,7 +148,11 @@ fn estimate_grouped(
         }
         stage_lambdas.push(lambdas);
     }
-    PlanStats { stage_lambdas, stage_selectivity, ht_rows }
+    PlanStats {
+        stage_lambdas,
+        stage_selectivity,
+        ht_rows,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! Exporters: Chrome trace-event JSON (loadable in `chrome://tracing`
+//! and Perfetto) and a flat metrics report.
+//!
+//! Timestamps are written exactly as recorded — simulated device cycles
+//! (or the recorder's logical clock for host-side tracks). The trace
+//! viewer labels them "µs"; read them as cycles. Output order is fully
+//! deterministic: thread-name metadata first (in track registration
+//! order), then spans, events and counter samples in record order.
+
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+use crate::record::{Recorder, Value};
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::F64(f) => Json::Num(*f),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn args_json(args: &[(&'static str, Value)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|(k, v)| (k.to_string(), value_json(v)))
+            .collect(),
+    )
+}
+
+/// Build the Chrome trace-event document for everything `rec` recorded.
+pub fn chrome_trace(rec: &Recorder) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    // Track names as thread-name metadata so the viewer shows "engine",
+    // "cu3", "search" instead of bare thread ids.
+    for (tid, name) in rec.track_names().iter().enumerate() {
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("M".into())),
+            ("name", Json::Str("thread_name".into())),
+            ("pid", Json::Int(0)),
+            ("tid", Json::Int(tid as i64)),
+            ("args", Json::obj(vec![("name", Json::Str(name.clone()))])),
+        ]));
+    }
+    // Spans as complete ("X") events; still-open spans export zero-length.
+    for s in rec.spans() {
+        let end = s.end.unwrap_or(s.start);
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("X".into())),
+            ("name", Json::Str(s.name.clone())),
+            ("cat", Json::Str(s.cat.into())),
+            ("ts", Json::Int(s.start as i64)),
+            ("dur", Json::Int((end - s.start) as i64)),
+            ("pid", Json::Int(0)),
+            ("tid", Json::Int(s.track.0 as i64)),
+            ("args", args_json(&s.args)),
+        ]));
+    }
+    // Instant ("i") events, thread-scoped.
+    for e in rec.events() {
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("i".into())),
+            ("name", Json::Str(e.name.clone())),
+            ("cat", Json::Str(e.cat.into())),
+            ("ts", Json::Int(e.ts as i64)),
+            ("pid", Json::Int(0)),
+            ("tid", Json::Int(e.track.0 as i64)),
+            ("s", Json::Str("t".into())),
+            ("args", args_json(&e.args)),
+        ]));
+    }
+    // Counter ("C") samples — channel occupancy and friends.
+    for c in rec.counters() {
+        for (ts, v) in &c.samples {
+            events.push(Json::obj(vec![
+                ("ph", Json::Str("C".into())),
+                ("name", Json::Str(c.name.clone())),
+                ("ts", Json::Int(*ts as i64)),
+                ("pid", Json::Int(0)),
+                ("args", Json::obj(vec![("value", Json::Num(*v))])),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        // Cycles masquerade as microseconds; this only affects the
+        // viewer's axis label.
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+/// Serialize the Chrome trace compactly (the format viewers expect).
+pub fn chrome_trace_string(rec: &Recorder) -> String {
+    chrome_trace(rec).to_string()
+}
+
+/// Flat metrics report: `{"meta": {...}, "metrics": [...]}` with caller
+/// metadata (query, device, scale factor…) up front.
+pub fn metrics_report(reg: &MetricsRegistry, meta: &[(&str, &str)]) -> Json {
+    Json::obj(vec![
+        (
+            "meta",
+            Json::Obj(
+                meta.iter()
+                    .map(|(k, v)| (k.to_string(), Json::Str(v.to_string())))
+                    .collect(),
+            ),
+        ),
+        ("metrics", reg.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::new();
+        let engine = rec.track("engine");
+        let cu0 = rec.track("cu0");
+        let q = rec.begin(engine, "exec", "query Q8", 0);
+        rec.span(cu0, "sim", "k_map*", 10, 90, vec![("units", 4u64.into())]);
+        rec.instant(engine, "exec", "dispatch", 5, vec![("mode", "GPL".into())]);
+        let c = rec.define_counter("channel0.packets");
+        rec.sample(c, 20, 3.0);
+        rec.sample(c, 40, 1.0);
+        rec.end(q, 100);
+        rec
+    }
+
+    #[test]
+    fn trace_round_trips_and_has_every_phase() {
+        let rec = sample_recorder();
+        let text = chrome_trace_string(&rec);
+        let doc = parse(&text).expect("export must parse");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 thread_name + 2 spans + 1 instant + 2 counter samples.
+        assert_eq!(events.len(), 7);
+        let phase = |i: usize| events[i].get("ph").unwrap().as_str().unwrap().to_string();
+        assert_eq!(phase(0), "M");
+        assert_eq!(phase(2), "X");
+        assert_eq!(phase(4), "i");
+        assert_eq!(phase(5), "C");
+    }
+
+    #[test]
+    fn span_events_carry_duration_and_track() {
+        let rec = sample_recorder();
+        let doc = chrome_trace(&rec);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let kmap = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("k_map*"))
+            .unwrap();
+        assert_eq!(kmap.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(kmap.get("dur").unwrap().as_f64(), Some(80.0));
+        assert_eq!(kmap.get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            kmap.get("args").unwrap().get("units").unwrap().as_f64(),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_runs() {
+        let a = chrome_trace_string(&sample_recorder());
+        let b = chrome_trace_string(&sample_recorder());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_report_embeds_meta() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("cycles", &[("mode", "GPL")], 42);
+        let doc = metrics_report(&reg, &[("query", "Q8"), ("sf", "0.01")]);
+        assert_eq!(
+            doc.get("meta").unwrap().get("query").unwrap().as_str(),
+            Some("Q8")
+        );
+        let text = doc.to_string();
+        assert!(parse(&text).is_ok());
+    }
+}

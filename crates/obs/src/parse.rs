@@ -1,0 +1,368 @@
+//! A minimal recursive-descent JSON parser.
+//!
+//! Exists so tests and the verify smoke-run can round-trip the crate's
+//! own exports without external dependencies. Supports the full value
+//! grammar (objects, arrays, strings with escapes including `\uXXXX`
+//! surrogate pairs, numbers, literals); numbers without a fraction or
+//! exponent that fit `i64` parse as [`Json::Int`], the rest as
+//! [`Json::Num`], matching what the writer emits.
+
+use crate::json::Json;
+
+/// Parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            s.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // encoding is already valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+            offset: start,
+            message: format!("bad number {text:?}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpl_check::prelude::*;
+    use gpl_check::BoxedStrategy;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-17").unwrap(), Json::Int(-17));
+        assert_eq!(parse("2.5e3").unwrap(), Json::Num(2500.0));
+        assert_eq!(parse("\"x\"").unwrap(), Json::Str("x".into()));
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let j = parse(r#"{"a": [1, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(j.get("c").and_then(Json::as_str), Some("d"));
+        let arr = j.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0], Json::Int(1));
+        assert_eq!(arr[1].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\A😀""#).unwrap(),
+            Json::Str("a\n\t\"\\A😀".into())
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"\u{1}\"").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    /// Strategy for arbitrary JSON trees of bounded depth.
+    fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+        if depth == 0 {
+            (0u32..5, any_i64(), any_f64_finite(), arb_string())
+                .prop_map(|(tag, i, f, s)| match tag {
+                    0 => Json::Null,
+                    1 => Json::Bool(i % 2 == 0),
+                    2 => Json::Int(i),
+                    3 => Json::Num(f),
+                    _ => Json::Str(s),
+                })
+                .boxed()
+        } else {
+            (
+                0u32..4,
+                collection::vec(arb_json(depth - 1), 0..4),
+                arb_string(),
+            )
+                .prop_map(|(tag, kids, s)| match tag {
+                    0 => Json::Arr(kids),
+                    1 => Json::Obj(
+                        kids.into_iter()
+                            .enumerate()
+                            .map(|(i, v)| (format!("{s}{i}"), v))
+                            .collect(),
+                    ),
+                    _ => Json::Str(s),
+                })
+                .boxed()
+        }
+    }
+
+    fn any_i64() -> impl Strategy<Value = i64> {
+        (-1_000_000i64..1_000_000).prop_map(|x| x.wrapping_mul(92821))
+    }
+
+    fn any_f64_finite() -> impl Strategy<Value = f64> {
+        (-1_000_000_000i64..1_000_000_000).prop_map(|x| x as f64 / 3.0)
+    }
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        collection::vec(0u32..0x2_0000, 0..8)
+            .prop_map(|cps| cps.into_iter().filter_map(char::from_u32).collect())
+    }
+
+    prop! {
+        #![cases(128)]
+
+        /// The writer's output always parses, and re-serializing the
+        /// parsed tree reproduces the exact bytes (a fixed point): the
+        /// two sides agree on escaping, numbers and ordering. Tree
+        /// equality is deliberately not asserted — the writer prints
+        /// integral floats without a fraction, which canonically
+        /// re-parse as `Json::Int`.
+        #[test]
+        fn round_trips(j in arb_json(2)) {
+            let text = j.to_string();
+            let back = parse(&text).expect("own output must parse");
+            prop_assert_eq!(back.to_string(), text);
+        }
+    }
+}

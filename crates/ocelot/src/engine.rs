@@ -74,7 +74,10 @@ fn pad_extra(extra: Vec<MemRange>, logical_rows: usize) -> Vec<MemRange> {
 }
 
 fn build_signature(stage: &Stage, rows: usize) -> String {
-    format!("{}#{rows}:{:?}:{:?}:{:?}", stage.driver, stage.loads, stage.ops, stage.terminal)
+    format!(
+        "{}#{rows}:{:?}:{:?}:{:?}",
+        stage.driver, stage.loads, stage.ops, stage.terminal
+    )
 }
 
 fn run_stage(
@@ -99,17 +102,20 @@ fn run_stage(
     };
     for (s, name) in stage.loads.iter().enumerate() {
         let col = t.col(name);
-        st.chunk.fill(s, (0..rows).map(|r| col.get_i64(r)).collect());
+        st.chunk
+            .fill(s, (0..rows).map(|r| col.get_i64(r)).collect());
         let ci = t.col_index(name).expect("load column exists");
         let scan = layout.scan(ci, 0..rows.max(1));
         // Ocelot sees at most 4-byte elements.
         let width = col.data_type().width().min(OCELOT_WIDTH);
-        st.addr[s] = Some(ArrayRef { base: scan.addr, width, rows });
+        st.addr[s] = Some(ArrayRef {
+            base: scan.addr,
+            width,
+            rows,
+        });
     }
 
-    let bitmap_reads = |st: &BitmapState| -> Vec<ArrayRef> {
-        st.bitmap.into_iter().collect()
-    };
+    let bitmap_reads = |st: &BitmapState| -> Vec<ArrayRef> { st.bitmap.into_iter().collect() };
 
     for op in &stage.ops {
         match op {
@@ -124,8 +130,10 @@ fn run_stage(
                     RegionClass::Intermediate,
                     "ocelot.bitmap",
                 );
-                let mut reads: Vec<ArrayRef> =
-                    in_slots.iter().map(|&s| st.addr[s].expect("filled")).collect();
+                let mut reads: Vec<ArrayRef> = in_slots
+                    .iter()
+                    .map(|&s| st.addr[s].expect("filled"))
+                    .collect();
                 reads.extend(bitmap_reads(&st));
                 merged.merge(&launch(
                     ctx,
@@ -198,8 +206,10 @@ fn run_stage(
                     RegionClass::Intermediate,
                     "ocelot.compute",
                 );
-                let mut reads: Vec<ArrayRef> =
-                    in_slots.iter().map(|&s| st.addr[s].expect("filled")).collect();
+                let mut reads: Vec<ArrayRef> = in_slots
+                    .iter()
+                    .map(|&s| st.addr[s].expect("filled"))
+                    .collect();
                 reads.extend(bitmap_reads(&st));
                 merged.merge(&launch(
                     ctx,
@@ -231,7 +241,11 @@ fn run_stage(
             }
             drop(tt);
             let mut reads = vec![st.addr[*key].expect("key filled")];
-            reads.extend(payloads.iter().map(|&p| st.addr[p].expect("payload filled")));
+            reads.extend(
+                payloads
+                    .iter()
+                    .map(|&p| st.addr[p].expect("payload filled")),
+            );
             reads.extend(bitmap_reads(&st));
             merged.merge(&launch(
                 ctx,
@@ -253,8 +267,10 @@ fn run_stage(
             let mut extra = Vec::with_capacity(st.chunk.rows * 2);
             for r in 0..st.chunk.rows {
                 let keys: Vec<i64> = groups.iter().map(|&g| st.chunk.cols[g][r]).collect();
-                let values: Vec<i64> =
-                    aggs.iter().map(|a| a.expr.eval(&st.chunk.cols, r)).collect();
+                let values: Vec<i64> = aggs
+                    .iter()
+                    .map(|a| a.expr.eval(&st.chunk.cols, r))
+                    .collect();
                 s.update(&keys, &values, &mut extra);
             }
             drop(s);
@@ -264,8 +280,10 @@ fn run_stage(
             }
             in_slots.sort_unstable();
             in_slots.dedup();
-            let mut reads: Vec<ArrayRef> =
-                in_slots.iter().map(|&s| st.addr[s].expect("filled")).collect();
+            let mut reads: Vec<ArrayRef> = in_slots
+                .iter()
+                .map(|&s| st.addr[s].expect("filled"))
+                .collect();
             reads.extend(bitmap_reads(&st));
             merged.merge(&launch(
                 ctx,
@@ -329,8 +347,12 @@ pub fn run_query(ctx: &mut ExecContext, oc: &mut OcelotContext, plan: &QueryPlan
                 "ocelot::agg",
             )));
             let p = run_stage(ctx, stage, &hts, None, Some(&agg));
-            agg_rows =
-                Some(Rc::try_unwrap(agg).expect("store unshared").into_inner().into_rows());
+            agg_rows = Some(
+                Rc::try_unwrap(agg)
+                    .expect("store unshared")
+                    .into_inner()
+                    .into_rows(),
+            );
             merged.merge(&p);
             per_stage.push(p);
         }
@@ -349,7 +371,12 @@ pub fn run_query(ctx: &mut ExecContext, oc: &mut OcelotContext, plan: &QueryPlan
         let k = ReplayKernel::new(n * passes, ctx.sim.spec().wavefront_size, 6, 2)
             .reads(vec![arr])
             .writes(vec![arr]);
-        let p = launch(ctx, "k_sort", kernel_resources("k_map", ctx.sim.spec().wavefront_size), k);
+        let p = launch(
+            ctx,
+            "k_sort",
+            kernel_resources("k_map", ctx.sim.spec().wavefront_size),
+            k,
+        );
         merged.merge(&p);
         per_stage.push(p);
     }
@@ -358,10 +385,21 @@ pub fn run_query(ctx: &mut ExecContext, oc: &mut OcelotContext, plan: &QueryPlan
         rows.truncate(limit);
     }
     if let Some(proj) = &plan.projection {
-        rows = rows.into_iter().map(|r| proj.iter().map(|&i| r[i]).collect()).collect();
+        rows = rows
+            .into_iter()
+            .map(|r| proj.iter().map(|&i| r[i]).collect())
+            .collect();
     }
-    let output = QueryOutput::new(plan.output_columns.iter().map(String::as_str).collect(), rows);
-    QueryRun { output, cycles: merged.elapsed_cycles, profile: merged, per_stage }
+    let output = QueryOutput::new(
+        plan.output_columns.iter().map(String::as_str).collect(),
+        rows,
+    );
+    QueryRun {
+        output,
+        cycles: merged.elapsed_cycles,
+        profile: merged,
+        per_stage,
+    }
 }
 
 #[cfg(test)]
@@ -398,7 +436,12 @@ mod tests {
         let warm = run_query(&mut ctx, &mut oc, &plan);
         assert_eq!(oc.cache_misses, 3, "Q5 builds three tables once");
         assert_eq!(oc.cache_hits, 3, "second run reuses all three");
-        assert!(warm.cycles < cold.cycles, "warm {} < cold {}", warm.cycles, cold.cycles);
+        assert!(
+            warm.cycles < cold.cycles,
+            "warm {} < cold {}",
+            warm.cycles,
+            cold.cycles
+        );
         assert_eq!(warm.output, cold.output);
     }
 
@@ -410,8 +453,12 @@ mod tests {
         let mut oc = OcelotContext::new();
         let plan = plan_for(&ctx.db, QueryId::Q14);
         let run = run_query(&mut ctx, &mut oc, &plan);
-        let names: Vec<&str> =
-            run.profile.kernels.iter().map(|k| k.name.as_str()).collect();
+        let names: Vec<&str> = run
+            .profile
+            .kernels
+            .iter()
+            .map(|k| k.name.as_str())
+            .collect();
         assert!(!names.contains(&"k_prefix_sum"), "{names:?}");
         assert!(!names.contains(&"k_scatter"), "{names:?}");
     }

@@ -33,7 +33,7 @@ fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
 
 /// One ChaCha block: `out = inner_rounds(state) + state`.
 fn block(state: &[u32; 16], rounds: usize, out: &mut [u32]) {
-    debug_assert!(rounds % 2 == 0);
+    debug_assert!(rounds.is_multiple_of(2));
     let mut x = *state;
     for _ in 0..rounds / 2 {
         // Column round.
@@ -96,7 +96,12 @@ impl SeedableRng for StdRng {
         for (k, c) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *k = u32::from_le_bytes(c.try_into().unwrap());
         }
-        StdRng { key, counter: 0, buf: [0; WORDS], index: WORDS }
+        StdRng {
+            key,
+            counter: 0,
+            buf: [0; WORDS],
+            index: WORDS,
+        }
     }
 }
 
@@ -173,8 +178,8 @@ mod tests {
         assert_eq!(
             &bytes[..16],
             &[
-                0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53,
-                0x86, 0xbd, 0x28
+                0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+                0xbd, 0x28
             ]
         );
     }

@@ -17,7 +17,10 @@ pub struct Pcg32 {
 impl Pcg32 {
     /// The reference `pcg32_srandom_r` initialization.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut r = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let mut r = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         r.step();
         r.state = r.state.wrapping_add(seed);
         r.step();

@@ -54,12 +54,23 @@ impl CacheSim {
         let line_bytes = line_bytes as u64;
         let assoc = assoc as usize;
         let sets = cache_bytes / (line_bytes * assoc as u64);
-        assert!(sets >= 1, "cache too small for {assoc} ways of {line_bytes}B lines");
+        assert!(
+            sets >= 1,
+            "cache too small for {assoc} ways of {line_bytes}B lines"
+        );
         CacheSim {
             line_bytes,
             sets,
             assoc,
-            ways: vec![Way { tag: 0, stamp: 0, valid: false, dirty: false }; sets as usize * assoc],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    stamp: 0,
+                    valid: false,
+                    dirty: false
+                };
+                sets as usize * assoc
+            ],
             clock: 0,
             cum: AccessStats::default(),
         }
@@ -94,7 +105,12 @@ impl CacheSim {
         if w.valid && w.dirty {
             stats.writebacks += 1;
         }
-        *w = Way { tag, stamp: self.clock, valid: true, dirty: write };
+        *w = Way {
+            tag,
+            stamp: self.clock,
+            valid: true,
+            dirty: write,
+        };
         stats.miss_lines += 1;
         false
     }
@@ -214,7 +230,10 @@ mod tests {
                 c.access(MemRange::read(line * 64, 64));
             }
         }
-        assert!(c.hit_ratio() < 0.05, "streaming working set 4x cache must thrash");
+        assert!(
+            c.hit_ratio() < 0.05,
+            "streaming working set 4x cache must thrash"
+        );
         // And a small working set re-read is all hits.
         c.clear();
         for _pass in 0..2 {

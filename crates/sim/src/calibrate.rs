@@ -93,7 +93,10 @@ pub fn run_producer_consumer_profiled(
         if produced == total_packets {
             return Work::Done;
         }
-        let k = view.space(ch).min(PRODUCER_BATCH).min(total_packets - produced);
+        let k = view
+            .space(ch)
+            .min(PRODUCER_BATCH)
+            .min(total_packets - produced);
         if k == 0 {
             return Work::Wait;
         }
@@ -140,7 +143,9 @@ pub fn run_producer_consumer_profiled(
     // Eq. 6 costs steady-state transfers inside a running pipeline —
     // strip the one-off launch/fill overhead (bounded below so tiny runs
     // do not divide by nothing).
-    let steady = cycles.saturating_sub(2 * spec.launch_cycles).max(cycles / 4);
+    let steady = cycles
+        .saturating_sub(2 * spec.launch_cycles)
+        .max(cycles / 4);
     (
         CalibrationPoint {
             n,
@@ -179,13 +184,20 @@ pub fn run_channel_rate(
         if produced == total_packets {
             return Work::Done;
         }
-        let k = view.space(ch).min(PRODUCER_BATCH).min(total_packets - produced);
+        let k = view
+            .space(ch)
+            .min(PRODUCER_BATCH)
+            .min(total_packets - produced);
         if k == 0 {
             return Work::Wait;
         }
         produced += k;
         Work::Unit(
-            WorkUnit { compute_insts: k.div_ceil(wavefront), ..Default::default() }.push(ch, k),
+            WorkUnit {
+                compute_insts: k.div_ceil(wavefront),
+                ..Default::default()
+            }
+            .push(ch, k),
         )
     };
     let consumer = move |view: &dyn ChannelView| {
@@ -211,7 +223,9 @@ pub fn run_channel_rate(
             .reads_channel(ch),
     ]);
     let cycles = profile.elapsed_cycles.max(1);
-    let steady = cycles.saturating_sub(2 * spec.launch_cycles).max(cycles / 4);
+    let steady = cycles
+        .saturating_sub(2 * spec.launch_cycles)
+        .max(cycles / 4);
     CalibrationPoint {
         n,
         packet_bytes,
@@ -300,7 +314,9 @@ mod tests {
         assert_eq!(pts.len(), 8);
         // Deterministic: same parameters, same cycles.
         let again = run_producer_consumer(&spec, 1, 16, 1 << 16);
-        let orig = pts.iter().find(|p| p.n == 1 && p.packet_bytes == 16 && p.data_bytes == 1 << 16);
+        let orig = pts
+            .iter()
+            .find(|p| p.n == 1 && p.packet_bytes == 16 && p.data_bytes == 1 << 16);
         assert_eq!(orig.unwrap().cycles, again.cycles);
     }
 

@@ -212,7 +212,10 @@ impl Channel {
     /// staged packets are published first; the timestamp↔address pairing is
     /// then approximate, which only perturbs timing, never data.
     pub fn commit_push(&mut self, ts: u64, k: u64) {
-        assert!(k as usize <= self.staged.len(), "committing more than reserved");
+        assert!(
+            k as usize <= self.staged.len(),
+            "committing more than reserved"
+        );
         for _ in 0..k {
             let (port, seq) = self.staged.pop_front().expect("checked above");
             self.avail.push_back((ts, port, seq));
@@ -223,7 +226,10 @@ impl Channel {
     /// cycles spent synchronizing + reading, pushing the cache traffic into
     /// `accesses`. Caller must have checked [`Channel::available`].
     pub fn pop(&mut self, now: u64, k: u64, accesses: &mut Vec<MemRange>) -> u64 {
-        assert!(k as usize <= self.avail.len(), "consumer popped unavailable packets");
+        assert!(
+            k as usize <= self.avail.len(),
+            "consumer popped unavailable packets"
+        );
         if k == 0 {
             return 0;
         }
@@ -256,8 +262,10 @@ impl Channel {
             }
         }
         if let Some((rp, s, len)) = run {
-            accesses
-                .push(MemRange::read(self.slot_addr(rp, s), len * self.packet_bytes as u64));
+            accesses.push(MemRange::read(
+                self.slot_addr(rp, s),
+                len * self.packet_bytes as u64,
+            ));
         }
         let cycles = t - now;
         self.stats.packets_popped += k;
@@ -356,7 +364,10 @@ mod tests {
         c.pop(20, 8, &mut reads);
         let waddrs: Vec<u64> = writes.iter().map(|a| a.addr).collect();
         let raddrs: Vec<u64> = reads.iter().map(|a| a.addr).collect();
-        assert_eq!(waddrs, raddrs, "consumer must read exactly what was written");
+        assert_eq!(
+            waddrs, raddrs,
+            "consumer must read exactly what was written"
+        );
     }
 
     #[test]

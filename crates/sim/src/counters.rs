@@ -60,6 +60,11 @@ impl KernelProfile {
 /// Whole-launch profile returned by `Simulator::run`.
 #[derive(Debug, Clone, Default)]
 pub struct LaunchProfile {
+    /// Device clock at launch. Per-kernel `first_dispatch` /
+    /// `last_complete` stamps are absolute device cycles ≥ this; merged
+    /// profiles rebase everything to a concatenated 0-based domain (and
+    /// reset this to 0), so `KernelProfile::span` stays meaningful.
+    pub start_cycle: u64,
     /// Cycles from launch to the completion of the last kernel.
     pub elapsed_cycles: u64,
     /// Vector-ALU busy cycles summed over all CUs.
@@ -165,9 +170,35 @@ impl LaunchProfile {
         self.kernels.iter().map(|k| k.delay_cycles).sum()
     }
 
+    /// Shift per-kernel timestamps into a 0-based time domain (subtract
+    /// `start_cycle`). Merged profiles live in this domain.
+    fn rebase_to_zero(&mut self) {
+        if self.start_cycle != 0 {
+            for k in &mut self.kernels {
+                k.first_dispatch = k.first_dispatch.saturating_sub(self.start_cycle);
+                k.last_complete = k.last_complete.saturating_sub(self.start_cycle);
+            }
+            self.start_cycle = 0;
+        }
+    }
+
     /// Merge another launch's profile into this one (used to aggregate the
     /// per-segment / per-kernel launches of a whole query).
+    ///
+    /// Each incoming launch's kernels carry timestamps in that launch's
+    /// own cycle domain; they are rebased by a per-launch offset — the
+    /// accumulated `elapsed_cycles` so far — so that in the merged
+    /// profile the launches sit back to back and `KernelProfile::span`
+    /// (and anything else derived from the stamps) stays correct.
     pub fn merge(&mut self, o: &LaunchProfile) {
+        self.rebase_to_zero();
+        let offset = self.elapsed_cycles;
+        for k in &o.kernels {
+            let mut k = k.clone();
+            k.first_dispatch = k.first_dispatch.saturating_sub(o.start_cycle) + offset;
+            k.last_complete = k.last_complete.saturating_sub(o.start_cycle) + offset;
+            self.kernels.push(k);
+        }
         self.elapsed_cycles += o.elapsed_cycles;
         self.valu_busy_cycles += o.valu_busy_cycles;
         self.mem_busy_cycles += o.mem_busy_cycles;
@@ -184,7 +215,35 @@ impl LaunchProfile {
             *self.footprint_written.entry(*c).or_default() += b;
         }
         self.cache.merge(o.cache);
-        self.kernels.extend(o.kernels.iter().cloned());
+    }
+
+    /// Feed this profile into a [`gpl_obs::MetricsRegistry`], keyed by
+    /// the caller's labels (typically query × mode × device). Counters
+    /// carry raw cycle/byte totals; gauges carry the derived ratios;
+    /// per-kernel spans land in a log2 histogram.
+    pub fn export_metrics(&self, reg: &mut gpl_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("sim.elapsed_cycles", labels, self.elapsed_cycles);
+        reg.counter_add("sim.valu_busy_cycles", labels, self.valu_busy_cycles);
+        reg.counter_add("sim.mem_busy_cycles", labels, self.mem_busy_cycles);
+        reg.counter_add("sim.kernel_launches", labels, self.kernels.len() as u64);
+        reg.counter_add("sim.intermediate_bytes", labels, self.intermediate_bytes());
+        reg.counter_add(
+            "sim.intermediate_footprint",
+            labels,
+            self.intermediate_footprint(),
+        );
+        reg.counter_add("sim.cache_hit_lines", labels, self.cache.hit_lines);
+        reg.counter_add("sim.cache_miss_lines", labels, self.cache.miss_lines);
+        reg.gauge_set("sim.valu_busy", labels, self.valu_busy());
+        reg.gauge_set("sim.mem_unit_busy", labels, self.mem_unit_busy());
+        reg.gauge_set("sim.occupancy", labels, self.occupancy());
+        reg.gauge_set("sim.cache_hit_ratio", labels, self.hit_ratio());
+        for k in &self.kernels {
+            reg.histogram_observe("sim.kernel_span_cycles", labels, k.span());
+            reg.counter_add("sim.kernel_units", labels, k.units);
+            reg.counter_add("sim.dc_cycles", labels, k.dc_cycles);
+            reg.counter_add("sim.delay_cycles", labels, k.delay_cycles);
+        }
     }
 }
 
@@ -269,7 +328,10 @@ mod tests {
             ..Default::default()
         };
         b.bytes_written.insert(RegionClass::Intermediate, 7);
-        b.kernels.push(KernelProfile { name: "k".into(), ..Default::default() });
+        b.kernels.push(KernelProfile {
+            name: "k".into(),
+            ..Default::default()
+        });
         a.merge(&b);
         assert_eq!(a.elapsed_cycles, 30);
         assert_eq!(a.valu_busy_cycles, 15);
@@ -278,11 +340,60 @@ mod tests {
     }
 
     #[test]
+    fn merge_rebases_kernel_timestamps_into_one_domain() {
+        // Launch A: device cycles 1000..1400, kernel active 1100..1300.
+        let a = LaunchProfile {
+            start_cycle: 1000,
+            elapsed_cycles: 400,
+            kernels: vec![KernelProfile {
+                name: "k_a".into(),
+                first_dispatch: 1100,
+                last_complete: 1300,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        // Launch B: a *different* cycle domain (fresh sim), 50..250.
+        let b = LaunchProfile {
+            start_cycle: 50,
+            elapsed_cycles: 200,
+            kernels: vec![KernelProfile {
+                name: "k_b".into(),
+                first_dispatch: 60,
+                last_complete: 210,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let mut m = LaunchProfile::default();
+        m.merge(&a);
+        m.merge(&b);
+        assert_eq!(m.elapsed_cycles, 600);
+        // A's kernel rebased to launch-relative 100..300.
+        assert_eq!(m.kernels[0].first_dispatch, 100);
+        assert_eq!(m.kernels[0].last_complete, 300);
+        assert_eq!(m.kernels[0].span(), 200);
+        // B's kernel offset by A's 400 elapsed: 410..560 — its span is
+        // preserved even though B's raw stamps overlap A's numerically.
+        assert_eq!(m.kernels[1].first_dispatch, 410);
+        assert_eq!(m.kernels[1].last_complete, 560);
+        assert_eq!(m.kernels[1].span(), 150);
+        // Spans never exceed the merged elapsed window.
+        for k in &m.kernels {
+            assert!(k.last_complete <= m.elapsed_cycles);
+        }
+    }
+
+    #[test]
     fn kernel_span_and_hit_ratio() {
         let k = KernelProfile {
             first_dispatch: 100,
             last_complete: 400,
-            cache: AccessStats { hit_lines: 3, miss_lines: 1, writebacks: 0 },
+            cache: AccessStats {
+                hit_lines: 3,
+                miss_lines: 1,
+                writebacks: 0,
+            },
             ..Default::default()
         };
         assert_eq!(k.span(), 300);

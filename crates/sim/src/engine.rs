@@ -32,7 +32,7 @@ use crate::channel::{Channel, ChannelId, ChannelStats};
 use crate::counters::{KernelProfile, LaunchProfile};
 use crate::device::DeviceSpec;
 use crate::kernel::{ChannelIo, ChannelView, KernelDesc, Work};
-use crate::mem::{MemoryMap, MemRange, RegionClass};
+use crate::mem::{MemRange, MemoryMap, RegionClass};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -49,6 +49,13 @@ pub struct Simulator {
     /// Per-work-unit execution spans, recorded while tracing is enabled
     /// (see [`Simulator::enable_trace`]). `None` = tracing off (free).
     trace: Option<Vec<crate::timeline::TraceSpan>>,
+    /// Structured-event recorder (see [`Simulator::attach_recorder`]).
+    /// `None` = observability off; every instrumentation site is gated on
+    /// this so a disabled recorder costs a branch, never an allocation.
+    recorder: Option<gpl_obs::Recorder>,
+    /// Lazily-defined occupancy counter per channel, parallel to
+    /// `channels`. Pre-sized so hot-loop sampling never allocates.
+    chan_counters: Vec<Option<gpl_obs::CounterId>>,
 }
 
 struct ChannelsView<'a>(&'a [Channel]);
@@ -129,7 +136,21 @@ impl Simulator {
             clock: 0,
             footprint_seen: std::collections::HashSet::new(),
             trace: None,
+            recorder: None,
+            chan_counters: Vec::new(),
         }
+    }
+
+    /// Attach a structured-event recorder: every launch then records a
+    /// launch span, per-kernel activity spans and channel-occupancy
+    /// counter samples, timestamped in device cycles.
+    pub fn attach_recorder(&mut self, rec: gpl_obs::Recorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// The attached recorder, if any (a cheap-clone handle).
+    pub fn recorder(&self) -> Option<&gpl_obs::Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Start recording a [`crate::timeline::TraceSpan`] per dispatched
@@ -188,7 +209,11 @@ impl Simulator {
             self.spec.channel.max_channels
         );
         let bytes = Channel::buffer_bytes_cap(n, packet_bytes, capacity_per_port);
-        let buf = self.mem.alloc(bytes, RegionClass::ChannelBuf, format!("pipe[{n}x{packet_bytes}B]"));
+        let buf = self.mem.alloc(
+            bytes,
+            RegionClass::ChannelBuf,
+            format!("pipe[{n}x{packet_bytes}B]"),
+        );
         let base = self.mem.base(buf);
         let id = ChannelId(self.channels.len() as u32);
         self.channels.push(Channel::with_capacity(
@@ -198,6 +223,7 @@ impl Simulator {
             capacity_per_port,
             base,
         ));
+        self.chan_counters.push(None);
         id
     }
 
@@ -277,7 +303,10 @@ impl Simulator {
             .into_iter()
             .enumerate()
             .map(|(i, k)| KState {
-                prof: KernelProfile { name: k.name.clone(), ..Default::default() },
+                prof: KernelProfile {
+                    name: k.name.clone(),
+                    ..Default::default()
+                },
                 name: k.name,
                 wg_count: k.wg_count,
                 outputs: k.outputs,
@@ -293,12 +322,19 @@ impl Simulator {
             })
             .collect();
         // Interned kernel names for trace spans (cheap Arc clones).
-        let trace_names: Option<Vec<std::sync::Arc<str>>> = self
-            .trace
-            .is_some()
-            .then(|| st.iter().map(|k| std::sync::Arc::from(k.name.as_str())).collect());
+        let trace_names: Option<Vec<std::sync::Arc<str>>> = self.trace.is_some().then(|| {
+            st.iter()
+                .map(|k| std::sync::Arc::from(k.name.as_str()))
+                .collect()
+        });
 
-        let mut cus = vec![Cu { valu_free: start, mem_free: start }; num_cus];
+        let mut cus = vec![
+            Cu {
+                valu_free: start,
+                mem_free: start
+            };
+            num_cus
+        ];
         let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut finished = 0usize;
@@ -308,6 +344,7 @@ impl Simulator {
         let mut lane_queue: VecDeque<usize> = (total.min(c_lanes)..total).collect();
 
         let mut profile = LaunchProfile {
+            start_cycle: start,
             num_cus: self.spec.num_cus,
             max_wavefronts: self.spec.max_wavefronts(),
             ..Default::default()
@@ -319,6 +356,26 @@ impl Simulator {
             ($now:expr) => {
                 profile.inflight_integral += inflight_total * ($now - last_occ_update);
                 last_occ_update = $now;
+            };
+        }
+
+        // Sample a channel's fill level (packets available) into its
+        // counter series. Counter ids are created on first sample and
+        // cached per channel, so the steady state is push-one-tuple.
+        macro_rules! chan_sample {
+            ($ch:expr, $now:expr) => {
+                if let Some(rec) = self.recorder.as_ref() {
+                    let i = $ch.0 as usize;
+                    let id = match self.chan_counters[i] {
+                        Some(id) => id,
+                        None => {
+                            let id = rec.define_counter(&format!("channel{i}.packets"));
+                            self.chan_counters[i] = Some(id);
+                            id
+                        }
+                    };
+                    rec.sample(id, $now, self.channels[i].available() as f64);
+                }
             };
         }
 
@@ -363,6 +420,7 @@ impl Simulator {
                                     for io in &u.pops {
                                         dc += self.channels[io.channel.0 as usize]
                                             .pop(t0, io.packets, &mut acc);
+                                        chan_sample!(io.channel, t0);
                                         // Space freed: wake the producer.
                                         if let Some(p) = producer[io.channel.0 as usize] {
                                             st[p].blocked = false;
@@ -395,13 +453,11 @@ impl Simulator {
                                         profile.cache.merge(stats);
                                         let total = stats.total().max(1);
                                         hit_bytes += r.bytes * stats.hit_lines / total;
-                                        miss_bytes +=
-                                            (stats.miss_lines + stats.writebacks) * line;
+                                        miss_bytes += (stats.miss_lines + stats.writebacks) * line;
                                         any_miss |= stats.miss_lines > 0;
-                                        let (rid, class) = self
-                                            .mem
-                                            .classify_id(r.addr)
-                                            .unwrap_or((crate::mem::RegionId(u32::MAX), RegionClass::Scratch));
+                                        let (rid, class) = self.mem.classify_id(r.addr).unwrap_or(
+                                            (crate::mem::RegionId(u32::MAX), RegionClass::Scratch),
+                                        );
                                         let slot = if r.write {
                                             &mut profile.bytes_written
                                         } else {
@@ -457,8 +513,7 @@ impl Simulator {
                                     inflight_total += 1;
                                     if let Some(tr) = self.trace.as_mut() {
                                         tr.push(crate::timeline::TraceSpan {
-                                            kernel: trace_names.as_ref().expect("names")[k]
-                                                .clone(),
+                                            kernel: trace_names.as_ref().expect("names")[k].clone(),
                                             cu: cu as u32,
                                             start: t0,
                                             end: me,
@@ -515,7 +570,9 @@ impl Simulator {
                     let mut scan = lane_queue.len();
                     while holders.len() < c_lanes && scan > 0 {
                         scan -= 1;
-                        let Some(k) = lane_queue.pop_front() else { break };
+                        let Some(k) = lane_queue.pop_front() else {
+                            break;
+                        };
                         if st[k].finished {
                             progress = true;
                             continue;
@@ -524,8 +581,9 @@ impl Simulator {
                             lane_queue.push_back(k);
                             continue;
                         }
-                        st[k].ready_at =
-                            st[k].ready_at.max(self.clock + self.spec.lane_switch_cycles);
+                        st[k].ready_at = st[k]
+                            .ready_at
+                            .max(self.clock + self.spec.lane_switch_cycles);
                         holders.push(k);
                         progress = true;
                     }
@@ -569,6 +627,7 @@ impl Simulator {
             st[k].prof.last_complete = self.clock;
             for io in &ev.pushes {
                 self.channels[io.channel.0 as usize].commit_push(self.clock, io.packets);
+                chan_sample!(io.channel, self.clock);
                 if let Some(c) = consumer[io.channel.0 as usize] {
                     st[c].blocked = false;
                 }
@@ -582,6 +641,39 @@ impl Simulator {
 
         profile.elapsed_cycles = self.clock - start;
         profile.kernels = st.into_iter().map(|s| s.prof).collect();
+        if let Some(rec) = self.recorder.as_ref() {
+            use gpl_obs::Value;
+            let lt = rec.track("sim.launches");
+            rec.span(
+                lt,
+                "sim",
+                "launch",
+                start,
+                self.clock,
+                vec![
+                    ("kernels", Value::from(profile.kernels.len())),
+                    ("elapsed_cycles", Value::from(profile.elapsed_cycles)),
+                ],
+            );
+            let kt = rec.track("sim.kernels");
+            for k in &profile.kernels {
+                rec.span(
+                    kt,
+                    "kernel",
+                    &k.name,
+                    k.first_dispatch,
+                    k.last_complete,
+                    vec![
+                        ("units", Value::from(k.units)),
+                        ("compute_cycles", Value::from(k.compute_cycles)),
+                        ("mem_cycles", Value::from(k.mem_cycles)),
+                        ("dc_cycles", Value::from(k.dc_cycles)),
+                        ("delay_cycles", Value::from(k.delay_cycles)),
+                        ("peak_inflight", Value::from(k.peak_inflight)),
+                    ],
+                );
+            }
+        }
         profile
     }
 }
@@ -658,7 +750,13 @@ mod tests {
                 return Work::Wait;
             }
             produced += k;
-            Work::Unit(WorkUnit { compute_insts: 4 * k, ..Default::default() }.push(ch, k))
+            Work::Unit(
+                WorkUnit {
+                    compute_insts: 4 * k,
+                    ..Default::default()
+                }
+                .push(ch, k),
+            )
         };
         let consumed2 = consumed.clone();
         let cons = move |view: &dyn ChannelView| {
@@ -671,7 +769,13 @@ mod tests {
             }
             let k = avail.min(64);
             consumed2.set(consumed2.get() + k);
-            Work::Unit(WorkUnit { compute_insts: 2 * k, ..Default::default() }.pop(ch, k))
+            Work::Unit(
+                WorkUnit {
+                    compute_insts: 2 * k,
+                    ..Default::default()
+                }
+                .pop(ch, k),
+            )
         };
 
         let p = sim.run(vec![
@@ -707,9 +811,7 @@ mod tests {
         let r = sim.allocate_residency(&[mk("a"), mk("b")]);
         assert_eq!(r, vec![1, 1], "16KiB groups: only one each fits in 32KiB");
         let small = ResourceUsage::new(64, 64, 1024);
-        let mk2 = || {
-            KernelDesc::new("s", small, 1024, Box::new(|_: &dyn ChannelView| Work::Done))
-        };
+        let mk2 = || KernelDesc::new("s", small, 1024, Box::new(|_: &dyn ChannelView| Work::Done));
         let r2 = sim.allocate_residency(&[mk2(), mk2()]);
         assert!(r2[0] > 4, "small groups must get many slots, got {:?}", r2);
         // wg_max shared: total residency bounded by the device budget.
@@ -789,7 +891,10 @@ mod tests {
                             return Work::Done;
                         }
                         i += 1;
-                        Work::Unit(WorkUnit { compute_insts: 5_000, ..Default::default() })
+                        Work::Unit(WorkUnit {
+                            compute_insts: 5_000,
+                            ..Default::default()
+                        })
                     };
                     KernelDesc::new(format!("k{j}"), res(), 64, Box::new(src))
                 })
@@ -805,6 +910,75 @@ mod tests {
                 assert_eq!(k.units, 200);
             }
         }
+    }
+
+    #[test]
+    fn recorder_captures_launch_kernel_and_channel_activity() {
+        let mut sim = Simulator::new(amd_a10());
+        let rec = gpl_obs::Recorder::new();
+        sim.attach_recorder(rec.clone());
+        let ch = sim.create_channel(2, 16);
+        let mut left = 100u64;
+        let prod = move |view: &dyn ChannelView| {
+            if left == 0 {
+                return Work::Done;
+            }
+            let k = view.space(ch).min(16).min(left);
+            if k == 0 {
+                return Work::Wait;
+            }
+            left -= k;
+            Work::Unit(
+                WorkUnit {
+                    compute_insts: k,
+                    ..Default::default()
+                }
+                .push(ch, k),
+            )
+        };
+        let cons = move |view: &dyn ChannelView| {
+            let avail = view.available(ch);
+            if avail == 0 {
+                return if view.eof(ch) { Work::Done } else { Work::Wait };
+            }
+            Work::Unit(
+                WorkUnit {
+                    compute_insts: avail,
+                    ..Default::default()
+                }
+                .pop(ch, avail),
+            )
+        };
+        let p = sim.run(vec![
+            KernelDesc::new("producer", res(), 8, Box::new(prod)).writes_channel(ch),
+            KernelDesc::new("consumer", res(), 8, Box::new(cons)).reads_channel(ch),
+        ]);
+        let spans = rec.spans();
+        // One launch span + one span per kernel.
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "launch");
+        assert_eq!((spans[0].start, spans[0].end), (0, Some(p.elapsed_cycles)));
+        assert_eq!(spans[1].name, "producer");
+        assert_eq!(spans[2].name, "consumer");
+        // Channel occupancy sampled at pushes and pops.
+        let counters = rec.counters();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].name, "channel0.packets");
+        assert!(!counters[0].samples.is_empty());
+        assert_eq!(counters[0].samples.last().unwrap().1, 0.0, "channel drains");
+    }
+
+    #[test]
+    fn absent_recorder_changes_nothing() {
+        let run = |attach: bool| {
+            let mut sim = Simulator::new(amd_a10());
+            if attach {
+                sim.attach_recorder(gpl_obs::Recorder::new());
+            }
+            let k = scan_kernel(&mut sim, 1 << 20, 64);
+            sim.run(vec![k]).elapsed_cycles
+        };
+        assert_eq!(run(false), run(true), "recorder must not perturb timing");
     }
 
     #[test]
@@ -843,6 +1017,9 @@ mod tests {
         };
         let cold = sim.run(vec![mk(base)]).elapsed_cycles;
         let warm = sim.run(vec![mk(base)]).elapsed_cycles;
-        assert!(warm < cold, "1 MiB fits the 4 MiB cache: warm {warm} < cold {cold}");
+        assert!(
+            warm < cold,
+            "1 MiB fits the 4 MiB cache: warm {warm} < cold {cold}"
+        );
     }
 }

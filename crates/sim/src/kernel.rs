@@ -29,7 +29,11 @@ pub struct ResourceUsage {
 
 impl ResourceUsage {
     pub fn new(wi_per_wg: u32, private_bytes_per_wi: u32, local_bytes_per_wg: u32) -> Self {
-        ResourceUsage { wi_per_wg, private_bytes_per_wi, local_bytes_per_wg }
+        ResourceUsage {
+            wi_per_wg,
+            private_bytes_per_wi,
+            local_bytes_per_wg,
+        }
     }
 
     /// Private bytes one resident work-group of this kernel pins on a CU.
@@ -196,7 +200,9 @@ mod tests {
 
     #[test]
     fn work_unit_builders_skip_empty_io() {
-        let u = WorkUnit::default().pop(ChannelId(0), 0).push(ChannelId(1), 3);
+        let u = WorkUnit::default()
+            .pop(ChannelId(0), 0)
+            .push(ChannelId(1), 3);
         assert!(u.pops.is_empty());
         assert_eq!(u.pushes.len(), 1);
         assert_eq!(u.pushes[0].packets, 3);

@@ -72,14 +72,19 @@ pub mod device;
 pub mod engine;
 pub mod kernel;
 pub mod mem;
+pub mod observe;
 pub mod timeline;
 
 pub use cache::{AccessStats, CacheSim};
-pub use calibrate::{calibrate, run_channel_rate, run_producer_consumer, run_producer_consumer_profiled, CalibrationPoint};
+pub use calibrate::{
+    calibrate, run_channel_rate, run_producer_consumer, run_producer_consumer_profiled,
+    CalibrationPoint,
+};
 pub use channel::{ChannelId, ChannelStats};
 pub use counters::{KernelProfile, LaunchProfile};
 pub use device::{amd_a10, nvidia_k40, ChannelSpec, DeviceSpec, Vendor};
 pub use engine::Simulator;
 pub use kernel::{ChannelIo, ChannelView, KernelDesc, ResourceUsage, Work, WorkSource, WorkUnit};
 pub use mem::{MemRange, MemoryMap, Region, RegionClass, RegionId};
+pub use observe::record_spans;
 pub use timeline::{overlap_fraction, render as render_timeline, TraceSpan};

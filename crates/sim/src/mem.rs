@@ -67,10 +67,18 @@ pub struct MemRange {
 
 impl MemRange {
     pub fn read(addr: u64, bytes: u64) -> Self {
-        MemRange { addr, bytes, write: false }
+        MemRange {
+            addr,
+            bytes,
+            write: false,
+        }
     }
     pub fn write(addr: u64, bytes: u64) -> Self {
-        MemRange { addr, bytes, write: true }
+        MemRange {
+            addr,
+            bytes,
+            write: true,
+        }
     }
 }
 
@@ -90,7 +98,10 @@ const ALIGN: u64 = 256;
 impl MemoryMap {
     pub fn new() -> Self {
         // Leave the null page unmapped to catch zero-address bugs.
-        MemoryMap { regions: Vec::new(), next: 4096 }
+        MemoryMap {
+            regions: Vec::new(),
+            next: 4096,
+        }
     }
 
     /// Allocate `bytes` of simulated memory.
@@ -98,7 +109,12 @@ impl MemoryMap {
         let base = self.next.div_ceil(ALIGN) * ALIGN;
         self.next = base + bytes.max(1);
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(Region { base, bytes: bytes.max(1), class, label: label.into() });
+        self.regions.push(Region {
+            base,
+            bytes: bytes.max(1),
+            class,
+            label: label.into(),
+        });
         id
     }
 
@@ -174,7 +190,11 @@ mod tests {
         let a = m.alloc(1000, RegionClass::TableData, "a");
         let b = m.alloc(1, RegionClass::Intermediate, "b");
         let c = m.alloc(4096, RegionClass::HashTable, "c");
-        let (ra, rb, rc) = (m.region(a).clone(), m.region(b).clone(), m.region(c).clone());
+        let (ra, rb, rc) = (
+            m.region(a).clone(),
+            m.region(b).clone(),
+            m.region(c).clone(),
+        );
         assert!(ra.base % ALIGN == 0 && rb.base % ALIGN == 0 && rc.base % ALIGN == 0);
         assert!(ra.base + ra.bytes <= rb.base);
         assert!(rb.base + rb.bytes <= rc.base);

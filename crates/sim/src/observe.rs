@@ -1,0 +1,76 @@
+//! Bridging simulator traces into a [`gpl_obs::Recorder`].
+//!
+//! The engine's own instrumentation ([`crate::Simulator::attach_recorder`])
+//! records launch/kernel spans and channel-occupancy counters. Per-CU
+//! activity, though, comes from the per-work-unit [`TraceSpan`]s the
+//! simulator collects while tracing is enabled — this module replays
+//! them onto CU-numbered recorder tracks, so a Chrome-trace export shows
+//! one timeline row per compute unit with the occupying kernel named on
+//! each slice (the Figure 9/10 picture, but in Perfetto).
+
+use crate::timeline::TraceSpan;
+use gpl_obs::Recorder;
+
+/// Replay work-unit spans onto `cuNN` tracks of `rec`. Tracks are
+/// registered in ascending CU order (zero-padded names keep viewers that
+/// sort lexicographically honest), so the export layout is deterministic
+/// regardless of dispatch order.
+pub fn record_spans(rec: &Recorder, spans: &[TraceSpan]) {
+    let Some(max_cu) = spans.iter().map(|s| s.cu).max() else {
+        return;
+    };
+    let tracks: Vec<_> = (0..=max_cu)
+        .map(|c| rec.track(&format!("cu{c:02}")))
+        .collect();
+    for s in spans {
+        rec.span(
+            tracks[s.cu as usize],
+            "cu",
+            &s.kernel,
+            s.start,
+            s.end,
+            Vec::new(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_land_on_cu_numbered_tracks() {
+        let rec = Recorder::new();
+        let spans = vec![
+            TraceSpan {
+                kernel: Arc::from("k_probe*"),
+                cu: 3,
+                start: 10,
+                end: 20,
+            },
+            TraceSpan {
+                kernel: Arc::from("k_map*"),
+                cu: 0,
+                start: 0,
+                end: 5,
+            },
+        ];
+        record_spans(&rec, &spans);
+        let names = rec.track_names();
+        assert_eq!(names, vec!["cu00", "cu01", "cu02", "cu03"]);
+        let recorded = rec.spans();
+        assert_eq!(recorded.len(), 2);
+        assert_eq!(recorded[0].name, "k_probe*");
+        assert_eq!(recorded[0].track, rec.track("cu03"));
+        assert_eq!((recorded[1].start, recorded[1].end), (0, Some(5)));
+    }
+
+    #[test]
+    fn empty_trace_registers_nothing() {
+        let rec = Recorder::new();
+        record_spans(&rec, &[]);
+        assert!(rec.track_names().is_empty());
+        assert!(rec.spans().is_empty());
+    }
+}

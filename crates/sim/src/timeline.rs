@@ -34,13 +34,21 @@ pub struct TimelineRow {
 /// first-dispatch order. Density is the fraction of the bucket × CU
 /// area the kernel's spans cover, so a kernel saturating half the CUs
 /// for a whole bucket reads 0.5.
+///
+/// Degenerate inputs — no spans, a zero-column chart, or a device with
+/// zero CUs (whose occupancy fraction is undefined) — yield an empty
+/// chart rather than panicking or silently clamping the denominator.
 pub fn bucketize(spans: &[TraceSpan], width: usize, num_cus: u32) -> (Vec<TimelineRow>, u64, u64) {
-    assert!(width > 0, "timeline width must be positive");
-    if spans.is_empty() {
+    if spans.is_empty() || width == 0 || num_cus == 0 {
         return (Vec::new(), 0, 0);
     }
     let t0 = spans.iter().map(|s| s.start).min().expect("non-empty");
-    let t1 = spans.iter().map(|s| s.end).max().expect("non-empty").max(t0 + 1);
+    let t1 = spans
+        .iter()
+        .map(|s| s.end)
+        .max()
+        .expect("non-empty")
+        .max(t0 + 1);
     let bucket = ((t1 - t0) as f64 / width as f64).max(1.0);
     let mut rows: Vec<(Arc<str>, Vec<f64>)> = Vec::new();
     for s in spans {
@@ -64,7 +72,7 @@ pub fn bucketize(spans: &[TraceSpan], width: usize, num_cus: u32) -> (Vec<Timeli
             }
         }
     }
-    let area = bucket * num_cus.max(1) as f64;
+    let area = bucket * num_cus as f64;
     let rows = rows
         .into_iter()
         .map(|(k, d)| TimelineRow {
@@ -84,7 +92,12 @@ pub fn render(spans: &[TraceSpan], width: usize, num_cus: u32) -> String {
     if rows.is_empty() {
         return "(no spans traced)\n".to_string();
     }
-    let label = rows.iter().map(|r| r.kernel.len()).max().expect("non-empty").max(6);
+    let label = rows
+        .iter()
+        .map(|r| r.kernel.len())
+        .max()
+        .expect("non-empty")
+        .max(6);
     let mut out = String::new();
     out.push_str(&format!(
         "{:>label$} |{}| cycles {t0}..{t1}\n",
@@ -95,7 +108,9 @@ pub fn render(spans: &[TraceSpan], width: usize, num_cus: u32) -> String {
         let bar: String = r
             .density
             .iter()
-            .map(|&d| SHADES[((d * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)])
+            .map(|&d| {
+                SHADES[((d * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)]
+            })
             .collect();
         out.push_str(&format!("{:>label$} |{bar}|\n", r.kernel));
     }
@@ -148,12 +163,21 @@ mod tests {
     use super::*;
 
     fn span(k: &str, cu: u32, start: u64, end: u64) -> TraceSpan {
-        TraceSpan { kernel: Arc::from(k), cu, start, end }
+        TraceSpan {
+            kernel: Arc::from(k),
+            cu,
+            start,
+            end,
+        }
     }
 
     #[test]
     fn bucketize_groups_by_kernel_in_first_dispatch_order() {
-        let spans = vec![span("b", 0, 50, 100), span("a", 0, 0, 50), span("b", 1, 60, 90)];
+        let spans = vec![
+            span("b", 0, 50, 100),
+            span("a", 0, 0, 50),
+            span("b", 1, 60, 90),
+        ];
         let (rows, t0, t1) = bucketize(&spans, 10, 2);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].kernel, "b", "first span seen first");
@@ -211,16 +235,26 @@ mod tests {
         assert_eq!(overlap_fraction(&[]), 0.0);
     }
 
+    #[test]
+    fn degenerate_dimensions_yield_empty_chart() {
+        let spans = vec![span("k", 0, 0, 100)];
+        // Zero-column chart: nothing to bucket into.
+        let (rows, t0, t1) = bucketize(&spans, 0, 4);
+        assert!(rows.is_empty());
+        assert_eq!((t0, t1), (0, 0));
+        // Zero CUs: occupancy fraction is undefined, not "one CU".
+        let (rows, ..) = bucketize(&spans, 10, 0);
+        assert!(rows.is_empty());
+        assert_eq!(render(&spans, 0, 4), "(no spans traced)\n");
+        assert_eq!(render(&spans, 10, 0), "(no spans traced)\n");
+    }
+
     mod properties {
         use super::*;
         use gpl_check::prelude::*;
 
         fn arb_spans() -> impl Strategy<Value = Vec<TraceSpan>> {
-            collection::vec(
-                (0u64..10_000, 1u64..500, 0u32..8, 0usize..4),
-                1..50,
-            )
-            .prop_map(|v| {
+            collection::vec((0u64..10_000, 1u64..500, 0u32..8, 0usize..4), 1..50).prop_map(|v| {
                 let names = ["k_map*", "k_probe*", "k_reduce*", "k_build"];
                 v.into_iter()
                     .map(|(start, len, cu, n)| TraceSpan {
@@ -253,8 +287,15 @@ mod tests {
             }
 
             #[test]
-            fn densities_stay_in_unit_range(spans in arb_spans(), width in 1usize..100) {
-                let (rows, _, _) = bucketize(&spans, width, 8);
+            fn densities_stay_in_unit_range(
+                spans in arb_spans(),
+                width in 0usize..100,
+                num_cus in 0u32..16,
+            ) {
+                let (rows, _, _) = bucketize(&spans, width, num_cus);
+                if width == 0 || num_cus == 0 {
+                    prop_assert!(rows.is_empty());
+                }
                 for r in &rows {
                     prop_assert_eq!(r.density.len(), width);
                     for &d in &r.density {

@@ -33,13 +33,24 @@ pub enum SqlExpr {
     /// `DATE 'YYYY-MM-DD'` possibly with interval arithmetic, folded to a
     /// day number at parse time.
     DateLit(i32),
-    Binary { op: BinOp, lhs: Box<SqlExpr>, rhs: Box<SqlExpr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<SqlExpr>,
+        rhs: Box<SqlExpr>,
+    },
     /// `CASE WHEN cond THEN a ELSE b END`.
-    Case { cond: Box<SqlPred>, then: Box<SqlExpr>, otherwise: Box<SqlExpr> },
+    Case {
+        cond: Box<SqlPred>,
+        then: Box<SqlExpr>,
+        otherwise: Box<SqlExpr>,
+    },
     /// `EXTRACT(YEAR FROM e)`.
     ExtractYear(Box<SqlExpr>),
     /// Aggregate call; only allowed at the top of a select item.
-    Agg { func: AggFunc, arg: Option<Box<SqlExpr>> },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<SqlExpr>>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,11 +72,25 @@ pub enum AggFunc {
 /// Boolean predicates (WHERE conjuncts, CASE conditions).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlPred {
-    Cmp { op: CmpOp, lhs: SqlExpr, rhs: SqlExpr },
-    Between { expr: SqlExpr, lo: SqlExpr, hi: SqlExpr },
-    InList { expr: SqlExpr, list: Vec<SqlExpr> },
+    Cmp {
+        op: CmpOp,
+        lhs: SqlExpr,
+        rhs: SqlExpr,
+    },
+    Between {
+        expr: SqlExpr,
+        lo: SqlExpr,
+        hi: SqlExpr,
+    },
+    InList {
+        expr: SqlExpr,
+        list: Vec<SqlExpr>,
+    },
     /// `LIKE 'prefix%'` on a dictionary-encoded column.
-    LikePrefix { expr: SqlExpr, prefix: String },
+    LikePrefix {
+        expr: SqlExpr,
+        prefix: String,
+    },
     And(Vec<SqlPred>),
     Or(Box<SqlPred>, Box<SqlPred>),
 }

@@ -9,9 +9,9 @@
 //! per-kernel Gantt chart), `\tables`, `\q`.
 
 use gpl_core::{DisplayHint, ExecContext, ExecMode};
-use gpl_storage::{decimal_to_string, Date};
 use gpl_sim::{amd_a10, nvidia_k40};
 use gpl_sql::{compile_optimized, run_sql};
+use gpl_storage::{decimal_to_string, Date};
 use gpl_tpch::TpchDb;
 use std::io::{BufRead, Write};
 

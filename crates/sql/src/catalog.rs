@@ -32,8 +32,9 @@ impl<'a> Catalog<'a> {
     }
 
     pub fn table(&self, name: &str) -> Result<&'a Table, SqlError> {
-        const TABLES: &[&str] =
-            &["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+        const TABLES: &[&str] = &[
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ];
         if TABLES.contains(&name) {
             Ok(self.db.table(name))
         } else {
@@ -93,12 +94,23 @@ mod tests {
         let c = Catalog::new(&db);
         assert!(c.table("lineitem").is_ok());
         assert!(c.table("widgets").is_err());
-        assert_eq!(c.column_type("lineitem", "l_extendedprice").unwrap(), DataType::Decimal);
-        assert_eq!(c.column_type("orders", "o_orderdate").unwrap(), DataType::Date);
+        assert_eq!(
+            c.column_type("lineitem", "l_extendedprice").unwrap(),
+            DataType::Decimal
+        );
+        assert_eq!(
+            c.column_type("orders", "o_orderdate").unwrap(),
+            DataType::Date
+        );
         assert!(c.column_type("orders", "nope").is_err());
         assert!(c.dict_code("region", "r_name", "ASIA").unwrap() >= 0);
         assert_eq!(c.dict_code("region", "r_name", "MARS").unwrap(), -1);
-        assert_eq!(c.dict_prefix_codes("part", "p_type", "PROMO").unwrap().len(), 25);
+        assert_eq!(
+            c.dict_prefix_codes("part", "p_type", "PROMO")
+                .unwrap()
+                .len(),
+            25
+        );
         assert!(c.dict_code("orders", "o_orderdate", "x").is_err());
     }
 

@@ -24,14 +24,16 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod corpus;
 pub mod parser;
 pub mod planner;
 #[cfg(test)]
 mod tests;
 pub mod token;
 
+pub use corpus::sql_for;
 pub use parser::parse;
-pub use planner::compile;
+pub use planner::{compile, compile_traced};
 pub use token::SqlError;
 
 use gpl_core::{run_query, ExecContext, ExecMode, QueryConfig, QueryRun};

@@ -17,7 +17,10 @@ struct Parser {
 
 /// Parse one SELECT statement.
 pub fn parse(sql: &str) -> Result<SelectStmt, SqlError> {
-    let mut p = Parser { toks: tokenize(sql)?, pos: 0 };
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
     let stmt = p.select()?;
     if p.pos != p.toks.len() {
         return err(format!("trailing input at {:?}", p.peek()));
@@ -90,7 +93,11 @@ impl Parser {
         while self.eat(&Token::Comma) {
             from.push(self.table_ref()?);
         }
-        let predicates = if self.eat_kw("where") { self.conjuncts()? } else { Vec::new() };
+        let predicates = if self.eat_kw("where") {
+            self.conjuncts()?
+        } else {
+            Vec::new()
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -110,7 +117,8 @@ impl Parser {
                     }
                     self.pos += 1;
                     OrderKey::Position(
-                        n.parse::<usize>().map_err(|_| SqlError("bad position".into()))?,
+                        n.parse::<usize>()
+                            .map_err(|_| SqlError("bad position".into()))?,
                     )
                 } else {
                     OrderKey::Expr(self.expr()?)
@@ -129,15 +137,23 @@ impl Parser {
         }
         let limit = if self.eat_kw("limit") {
             match self.next() {
-                Some(Token::Number(n)) => {
-                    Some(n.parse::<usize>().map_err(|_| SqlError("bad LIMIT".into()))?)
-                }
+                Some(Token::Number(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| SqlError("bad LIMIT".into()))?,
+                ),
                 other => return err(format!("expected LIMIT count, found {other:?}")),
             }
         } else {
             None
         };
-        Ok(SelectStmt { items, from, predicates, group_by, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            from,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -174,7 +190,11 @@ impl Parser {
         while self.eat_kw("and") {
             parts.push(self.pred_or()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { SqlPred::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            SqlPred::And(parts)
+        })
     }
 
     fn pred_or(&mut self) -> Result<SqlPred, SqlError> {
@@ -224,7 +244,10 @@ impl Parser {
                     if prefix.contains('%') || prefix.contains('_') {
                         return err("only prefix LIKE patterns ('abc%') are supported");
                     }
-                    return Ok(SqlPred::LikePrefix { expr: lhs, prefix: prefix.to_string() });
+                    return Ok(SqlPred::LikePrefix {
+                        expr: lhs,
+                        prefix: prefix.to_string(),
+                    });
                 }
                 other => return err(format!("expected LIKE pattern, found {other:?}")),
             }
@@ -253,7 +276,11 @@ impl Parser {
                 break;
             };
             let rhs = self.term()?;
-            e = SqlExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = SqlExpr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(e)
     }
@@ -269,7 +296,11 @@ impl Parser {
                 break;
             };
             let rhs = self.factor()?;
-            e = SqlExpr::Binary { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+            e = SqlExpr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(e)
     }
@@ -297,12 +328,12 @@ impl Parser {
                 break;
             };
             let n: i32 = match self.next() {
-                Some(Token::Str(s)) => {
-                    s.parse().map_err(|_| SqlError(format!("bad interval {s:?}")))?
-                }
-                Some(Token::Number(s)) => {
-                    s.parse().map_err(|_| SqlError(format!("bad interval {s:?}")))?
-                }
+                Some(Token::Str(s)) => s
+                    .parse()
+                    .map_err(|_| SqlError(format!("bad interval {s:?}")))?,
+                Some(Token::Number(s)) => s
+                    .parse()
+                    .map_err(|_| SqlError(format!("bad interval {s:?}")))?,
                 other => return err(format!("expected interval amount, found {other:?}")),
             };
             let n = if neg { -n } else { n };
@@ -311,11 +342,19 @@ impl Parser {
             } else if self.eat_kw("month") {
                 let d = Date::from_days(days);
                 let total = d.year * 12 + (d.month as i32 - 1) + n;
-                Date { year: total.div_euclid(12), month: (total.rem_euclid(12) + 1) as u32, day: d.day }
-                    .to_days()
+                Date {
+                    year: total.div_euclid(12),
+                    month: (total.rem_euclid(12) + 1) as u32,
+                    day: d.day,
+                }
+                .to_days()
             } else if self.eat_kw("year") {
                 let d = Date::from_days(days);
-                Date { year: d.year + n, ..d }.to_days()
+                Date {
+                    year: d.year + n,
+                    ..d
+                }
+                .to_days()
             } else {
                 return err("expected DAY, MONTH or YEAR after interval");
             };
@@ -402,9 +441,15 @@ impl Parser {
                     self.pos += 1;
                     if self.eat(&Token::Dot) {
                         let column = self.ident()?;
-                        Ok(SqlExpr::Column(ColumnRef { qualifier: Some(id), column }))
+                        Ok(SqlExpr::Column(ColumnRef {
+                            qualifier: Some(id),
+                            column,
+                        }))
                     } else {
-                        Ok(SqlExpr::Column(ColumnRef { qualifier: None, column: id }))
+                        Ok(SqlExpr::Column(ColumnRef {
+                            qualifier: None,
+                            column: id,
+                        }))
                     }
                 }
             },
@@ -427,7 +472,13 @@ mod tests {
         .unwrap();
         assert_eq!(q.items.len(), 1);
         assert_eq!(q.items[0].alias.as_deref(), Some("sum_charge"));
-        assert_eq!(q.from, vec![TableRef { table: "lineitem".into(), alias: None }]);
+        assert_eq!(
+            q.from,
+            vec![TableRef {
+                table: "lineitem".into(),
+                alias: None
+            }]
+        );
         assert_eq!(q.predicates.len(), 1);
         assert!(q.group_by.is_empty() && q.order_by.is_empty() && q.limit.is_none());
     }
@@ -453,11 +504,19 @@ mod tests {
              and e >= date '1998-12-01' - interval '90' day",
         )
         .unwrap();
-        let SqlPred::Cmp { rhs: SqlExpr::DateLit(d1), .. } = &q.predicates[0] else {
+        let SqlPred::Cmp {
+            rhs: SqlExpr::DateLit(d1),
+            ..
+        } = &q.predicates[0]
+        else {
             panic!("want date literal")
         };
         assert_eq!(*d1, days("1995-02-01"));
-        let SqlPred::Cmp { rhs: SqlExpr::DateLit(d2), .. } = &q.predicates[1] else {
+        let SqlPred::Cmp {
+            rhs: SqlExpr::DateLit(d2),
+            ..
+        } = &q.predicates[1]
+        else {
             panic!("want date literal")
         };
         assert_eq!(*d2, days("1998-12-01") - 90);
@@ -482,7 +541,9 @@ mod tests {
     #[test]
     fn unary_minus() {
         let q = parse("select a from t where x < -5").unwrap();
-        let SqlPred::Cmp { rhs, .. } = &q.predicates[0] else { panic!() };
+        let SqlPred::Cmp { rhs, .. } = &q.predicates[0] else {
+            panic!()
+        };
         assert!(matches!(rhs, SqlExpr::Binary { op: BinOp::Sub, .. }));
     }
 
@@ -497,14 +558,18 @@ mod tests {
 
     #[test]
     fn extract_and_count_star() {
-        let q = parse(
-            "select extract(year from o_orderdate), count(*) from orders group by 1",
-        );
+        let q = parse("select extract(year from o_orderdate), count(*) from orders group by 1");
         // GROUP BY by position is not supported — positions are only for
         // ORDER BY; expect a parse of the number as an expression instead.
         assert!(q.is_ok());
         let q = q.unwrap();
         assert!(matches!(q.items[0].expr, SqlExpr::ExtractYear(_)));
-        assert!(matches!(q.items[1].expr, SqlExpr::Agg { func: AggFunc::Count, arg: None }));
+        assert!(matches!(
+            q.items[1].expr,
+            SqlExpr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+        ));
     }
 }

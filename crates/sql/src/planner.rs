@@ -25,9 +25,33 @@ use std::collections::HashMap;
 
 /// Compile SQL text into a validated query plan.
 pub fn compile(db: &TpchDb, sql: &str) -> Result<QueryPlan, SqlError> {
+    compile_traced(db, sql, None)
+}
+
+/// [`compile`], recording parse/bind spans into `rec` when present.
+/// Planning happens before any simulated cycle exists, so spans are
+/// timestamped with the recorder's logical clock (deterministic, unlike
+/// wall time).
+pub fn compile_traced(
+    db: &TpchDb,
+    sql: &str,
+    rec: Option<&gpl_obs::Recorder>,
+) -> Result<QueryPlan, SqlError> {
+    let track = rec.map(|r| r.track("sql"));
+    let parse_span = rec.map(|r| r.begin(track.unwrap(), "sql", "parse", r.tick()));
     let stmt = parse(sql)?;
+    if let (Some(r), Some(s)) = (rec, parse_span) {
+        r.arg(s, "bytes", sql.len());
+        r.end(s, r.tick());
+    }
+    let plan_span = rec.map(|r| r.begin(track.unwrap(), "sql", "plan", r.tick()));
     let plan = Planner::new(db, stmt)?.plan()?;
     plan.validate();
+    if let (Some(r), Some(s)) = (rec, plan_span) {
+        r.arg(s, "stages", plan.stages.len());
+        r.arg(s, "query", plan.query.name());
+        r.end(s, r.tick());
+    }
     Ok(plan)
 }
 
@@ -38,7 +62,10 @@ enum Ty {
     Decimal,
     Date,
     /// Dictionary code of `table.column`.
-    Code { table: String, column: String },
+    Code {
+        table: String,
+        column: String,
+    },
     /// An as-yet-uncoerced numeric literal.
     NumLit(String),
 }
@@ -70,21 +97,27 @@ fn lit_under(text: &str, ty: &Ty) -> Result<i64, SqlError> {
         let units: i64 = if units.is_empty() {
             0
         } else {
-            units.parse().map_err(|_| SqlError(format!("bad number {text:?}")))?
+            units
+                .parse()
+                .map_err(|_| SqlError(format!("bad number {text:?}")))?
         };
         let frac = format!("{frac:0<2}");
         if frac.len() > 2 {
             return err(format!("{text:?} has more than two decimal places"));
         }
-        let cents: i64 = frac.parse().map_err(|_| SqlError(format!("bad number {text:?}")))?;
+        let cents: i64 = frac
+            .parse()
+            .map_err(|_| SqlError(format!("bad number {text:?}")))?;
         Ok(units * 100 + cents)
     };
     match ty {
         Ty::Decimal => as_decimal(),
-        Ty::Int | Ty::Date => {
-            text.parse().map_err(|_| SqlError(format!("{text:?} is not an integer")))
-        }
-        Ty::Code { .. } => err(format!("cannot compare a string column with number {text:?}")),
+        Ty::Int | Ty::Date => text
+            .parse()
+            .map_err(|_| SqlError(format!("{text:?} is not an integer"))),
+        Ty::Code { .. } => err(format!(
+            "cannot compare a string column with number {text:?}"
+        )),
         Ty::NumLit(_) => match text.parse() {
             Ok(v) => Ok(v),
             Err(_) => as_decimal(),
@@ -99,9 +132,16 @@ fn coerce(a: Bound, b: Bound) -> Result<(Expr, Expr, Ty), SqlError> {
         // fixes their type, so decide from their spelling — any decimal
         // point makes the pair decimal, otherwise plain integers.
         (Ty::NumLit(ta), Ty::NumLit(tb)) => {
-            let ty =
-                if ta.contains('.') || tb.contains('.') { Ty::Decimal } else { Ty::Int };
-            Ok((Expr::Const(lit_under(ta, &ty)?), Expr::Const(lit_under(tb, &ty)?), ty))
+            let ty = if ta.contains('.') || tb.contains('.') {
+                Ty::Decimal
+            } else {
+                Ty::Int
+            };
+            Ok((
+                Expr::Const(lit_under(ta, &ty)?),
+                Expr::Const(lit_under(tb, &ty)?),
+                ty,
+            ))
         }
         (Ty::NumLit(t), other) if !matches!(other, Ty::NumLit(_)) => {
             let v = lit_under(t, other)?;
@@ -129,12 +169,15 @@ struct Scope<'a> {
 
 impl Scope<'_> {
     fn slot_of(&self, rel: usize, col: &str) -> Result<Slot, SqlError> {
-        self.slots.get(&(rel, col.to_string())).copied().ok_or_else(|| {
-            SqlError(format!(
-                "column {}.{col} is not available in this pipeline stage",
-                self.rels[rel].binding
-            ))
-        })
+        self.slots
+            .get(&(rel, col.to_string()))
+            .copied()
+            .ok_or_else(|| {
+                SqlError(format!(
+                    "column {}.{col} is not available in this pipeline stage",
+                    self.rels[rel].binding
+                ))
+            })
     }
 
     fn alloc(&mut self, rel: usize, col: &str) -> Slot {
@@ -186,9 +229,17 @@ impl<'a> Planner<'a> {
             if rels.iter().any(|r: &Rel| r.binding == binding) {
                 return err(format!("duplicate table binding {binding:?}"));
             }
-            rels.push(Rel { binding, table: t.table.clone(), rows: table.rows() });
+            rels.push(Rel {
+                binding,
+                table: t.table.clone(),
+                rows: table.rows(),
+            });
         }
-        Ok(Planner { catalog, stmt, rels })
+        Ok(Planner {
+            catalog,
+            stmt,
+            rels,
+        })
     }
 
     /// Resolve a column reference to (relation index, column name).
@@ -220,7 +271,10 @@ impl<'a> Planner<'a> {
     fn ty_of(&self, rel: usize, col: &str) -> Result<Ty, SqlError> {
         let table = &self.rels[rel].table;
         Ok(match self.catalog.column_type(table, col)? {
-            DataType::Dict => Ty::Code { table: table.clone(), column: col.to_string() },
+            DataType::Dict => Ty::Code {
+                table: table.clone(),
+                column: col.to_string(),
+            },
             dt => Ty::of(dt),
         })
     }
@@ -235,7 +289,11 @@ impl<'a> Planner<'a> {
                 self.expr_rels(lhs, out)?;
                 self.expr_rels(rhs, out)?;
             }
-            SqlExpr::Case { cond, then, otherwise } => {
+            SqlExpr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
                 self.pred_rels(cond, out)?;
                 self.expr_rels(then, out)?;
                 self.expr_rels(otherwise, out)?;
@@ -286,7 +344,11 @@ impl<'a> Planner<'a> {
                 self.collect_cols(lhs, out)?;
                 self.collect_cols(rhs, out)?;
             }
-            SqlExpr::Case { cond, then, otherwise } => {
+            SqlExpr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
                 self.collect_pred_cols(cond, out)?;
                 self.collect_cols(then, out)?;
                 self.collect_cols(otherwise, out)?;
@@ -340,12 +402,19 @@ impl<'a> Planner<'a> {
             SqlExpr::Column(c) => {
                 let (rel, col) = self.resolve(c)?;
                 let slot = scope.slot_of(rel, &col)?;
-                Ok(Bound { expr: Expr::Slot(slot), ty: self.ty_of(rel, &col)? })
+                Ok(Bound {
+                    expr: Expr::Slot(slot),
+                    ty: self.ty_of(rel, &col)?,
+                })
             }
-            SqlExpr::Number(n) => {
-                Ok(Bound { expr: Expr::Const(0), ty: Ty::NumLit(n.clone()) })
-            }
-            SqlExpr::DateLit(d) => Ok(Bound { expr: Expr::Const(*d as i64), ty: Ty::Date }),
+            SqlExpr::Number(n) => Ok(Bound {
+                expr: Expr::Const(0),
+                ty: Ty::NumLit(n.clone()),
+            }),
+            SqlExpr::DateLit(d) => Ok(Bound {
+                expr: Expr::Const(*d as i64),
+                ty: Ty::Date,
+            }),
             SqlExpr::Str(_) => err("string literals are only valid in comparisons"),
             SqlExpr::Binary { op, lhs, rhs } => {
                 let l = self.bind_expr(lhs, scope)?;
@@ -366,19 +435,29 @@ impl<'a> Planner<'a> {
                 };
                 Ok(Bound { expr, ty })
             }
-            SqlExpr::Case { cond, then, otherwise } => {
+            SqlExpr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let p = self.bind_pred(cond, scope)?;
                 let t = self.bind_expr(then, scope)?;
                 let o = self.bind_expr(otherwise, scope)?;
                 let (te, oe, ty) = coerce(t, o)?;
-                Ok(Bound { expr: Expr::Case(Box::new(p), Box::new(te), Box::new(oe)), ty })
+                Ok(Bound {
+                    expr: Expr::Case(Box::new(p), Box::new(te), Box::new(oe)),
+                    ty,
+                })
             }
             SqlExpr::ExtractYear(inner) => {
                 let b = self.bind_expr(inner, scope)?;
                 if b.ty != Ty::Date {
                     return err("EXTRACT(YEAR ...) needs a date argument");
                 }
-                Ok(Bound { expr: b.expr.year(), ty: Ty::Int })
+                Ok(Bound {
+                    expr: b.expr.year(),
+                    ty: Ty::Int,
+                })
             }
             SqlExpr::Agg { .. } => err("aggregates are only allowed at the top of SELECT items"),
         }
@@ -446,9 +525,11 @@ impl<'a> Planner<'a> {
                 let codes = self.catalog.dict_prefix_codes(table, column, prefix)?;
                 Ok(Pred::InList(e.expr, codes))
             }
-            SqlPred::And(v) => {
-                Ok(Pred::And(v.iter().map(|q| self.bind_pred(q, scope)).collect::<Result<_, _>>()?))
-            }
+            SqlPred::And(v) => Ok(Pred::And(
+                v.iter()
+                    .map(|q| self.bind_pred(q, scope))
+                    .collect::<Result<_, _>>()?,
+            )),
             SqlPred::Or(a, b) => Ok(Pred::Or(
                 Box::new(self.bind_pred(a, scope)?),
                 Box::new(self.bind_pred(b, scope)?),
@@ -464,7 +545,11 @@ impl<'a> Planner<'a> {
         let mut single: Vec<Vec<&SqlPred>> = vec![Vec::new(); self.rels.len()];
         let mut cross: Vec<&SqlPred> = Vec::new();
         for p in &self.stmt.predicates {
-            if let SqlPred::Cmp { op: CmpOp::Eq, lhs: SqlExpr::Column(a), rhs: SqlExpr::Column(b) } = p
+            if let SqlPred::Cmp {
+                op: CmpOp::Eq,
+                lhs: SqlExpr::Column(a),
+                rhs: SqlExpr::Column(b),
+            } = p
             {
                 let (ra, ca) = self.resolve(a)?;
                 let (rb, cb) = self.resolve(b)?;
@@ -569,11 +654,13 @@ impl<'a> Planner<'a> {
                 {
                     if let (Ok((ra, ca)), Ok((rb, cb))) = (self.resolve(a), self.resolve(b)) {
                         if ra != rb {
-                            return !equi.iter().zip(&edge_used).any(|((ea, eca, eb, ecb), used)| {
-                                *used
-                                    && ((*ea == ra && eca == &ca && *eb == rb && ecb == &cb)
-                                        || (*ea == rb && eca == &cb && *eb == ra && ecb == &ca))
-                            });
+                            return !equi.iter().zip(&edge_used).any(
+                                |((ea, eca, eb, ecb), used)| {
+                                    *used
+                                        && ((*ea == ra && eca == &ca && *eb == rb && ecb == &cb)
+                                            || (*ea == rb && eca == &cb && *eb == ra && ecb == &ca))
+                                },
+                            );
                         }
                     }
                 }
@@ -634,12 +721,7 @@ impl<'a> Planner<'a> {
         self.finish_plan(stages, driver, scope)
     }
 
-    fn build_stage(
-        &self,
-        ht: usize,
-        d: &Dim,
-        filters: &[&SqlPred],
-    ) -> Result<Stage, SqlError> {
+    fn build_stage(&self, ht: usize, d: &Dim, filters: &[&SqlPred]) -> Result<Stage, SqlError> {
         let rel = d.rel;
         // Loads: pk + filter columns + payload columns.
         let mut load_cols: Vec<String> = d.keys.clone();
@@ -658,8 +740,11 @@ impl<'a> Planner<'a> {
                 load_cols.push(c.clone());
             }
         }
-        let mut scope =
-            Scope { rels: &self.rels, slots: HashMap::new(), next_slot: 0 };
+        let mut scope = Scope {
+            rels: &self.rels,
+            slots: HashMap::new(),
+            next_slot: 0,
+        };
         for c in &load_cols {
             scope.alloc(rel, c);
         }
@@ -675,13 +760,18 @@ impl<'a> Planner<'a> {
             let k1 = scope.slot_of(rel, &d.keys[1])?;
             let out = scope.alloc_anon();
             ops.push(PipeOp::Compute {
-                expr: Expr::Slot(k0).mul(Expr::lit(COMPOSITE_KEY_MUL)).add(Expr::Slot(k1)),
+                expr: Expr::Slot(k0)
+                    .mul(Expr::lit(COMPOSITE_KEY_MUL))
+                    .add(Expr::Slot(k1)),
                 out,
             });
             out
         };
-        let payloads: Vec<Slot> =
-            d.payloads.iter().map(|c| scope.slot_of(rel, c)).collect::<Result<_, _>>()?;
+        let payloads: Vec<Slot> = d
+            .payloads
+            .iter()
+            .map(|c| scope.slot_of(rel, c))
+            .collect::<Result<_, _>>()?;
         Ok(Stage {
             name: format!("build_{}", self.rels[rel].binding),
             driver: self.rels[rel].table.clone(),
@@ -727,8 +817,11 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        let mut scope =
-            Scope { rels: &self.rels, slots: HashMap::new(), next_slot: 0 };
+        let mut scope = Scope {
+            rels: &self.rels,
+            slots: HashMap::new(),
+            next_slot: 0,
+        };
         for c in &load_cols {
             scope.alloc(driver, c);
         }
@@ -738,21 +831,26 @@ impl<'a> Planner<'a> {
             ops.push(PipeOp::Filter(self.bind_pred(p, &scope)?));
         }
         let mut pending_cross: Vec<&SqlPred> = cross_preds.to_vec();
-        let apply_ready_cross =
-            |scope: &Scope, ops: &mut Vec<PipeOp>, pending: &mut Vec<&SqlPred>| -> Result<(), SqlError> {
-                let mut i = 0;
-                while i < pending.len() {
-                    let mut cols = Vec::new();
-                    self.collect_pred_cols(pending[i], &mut cols)?;
-                    if cols.iter().all(|(r, c)| scope.slots.contains_key(&(*r, c.clone()))) {
-                        let p = pending.remove(i);
-                        ops.push(PipeOp::Filter(self.bind_pred(p, scope)?));
-                    } else {
-                        i += 1;
-                    }
+        let apply_ready_cross = |scope: &Scope,
+                                 ops: &mut Vec<PipeOp>,
+                                 pending: &mut Vec<&SqlPred>|
+         -> Result<(), SqlError> {
+            let mut i = 0;
+            while i < pending.len() {
+                let mut cols = Vec::new();
+                self.collect_pred_cols(pending[i], &mut cols)?;
+                if cols
+                    .iter()
+                    .all(|(r, c)| scope.slots.contains_key(&(*r, c.clone())))
+                {
+                    let p = pending.remove(i);
+                    ops.push(PipeOp::Filter(self.bind_pred(p, scope)?));
+                } else {
+                    i += 1;
                 }
-                Ok(())
-            };
+            }
+            Ok(())
+        };
 
         for (ht, d) in dims.iter().enumerate() {
             // Probe key on the fact side.
@@ -763,7 +861,9 @@ impl<'a> Planner<'a> {
                 let k1 = scope.slot_of(d.src[1].0, &d.src[1].1)?;
                 let out = scope.alloc_anon();
                 ops.push(PipeOp::Compute {
-                    expr: Expr::Slot(k0).mul(Expr::lit(COMPOSITE_KEY_MUL)).add(Expr::Slot(k1)),
+                    expr: Expr::Slot(k0)
+                        .mul(Expr::lit(COMPOSITE_KEY_MUL))
+                        .add(Expr::Slot(k1)),
                     out,
                 });
                 out
@@ -776,8 +876,7 @@ impl<'a> Planner<'a> {
                 let s = scope.slot_of(d.src[i].0, &d.src[i].1)?;
                 scope.slots.entry((d.rel, kc.clone())).or_insert(s);
             }
-            let payloads: Vec<Slot> =
-                d.payloads.iter().map(|c| scope.alloc(d.rel, c)).collect();
+            let payloads: Vec<Slot> = d.payloads.iter().map(|c| scope.alloc(d.rel, c)).collect();
             ops.push(PipeOp::Probe { ht, key, payloads });
             apply_ready_cross(&scope, &mut ops, &mut pending_cross)?;
         }
@@ -790,7 +889,10 @@ impl<'a> Planner<'a> {
             driver: self.rels[driver].table.clone(),
             loads: load_cols,
             ops,
-            terminal: Terminal::Aggregate { groups: vec![], aggs: vec![] }, // placeholder
+            terminal: Terminal::Aggregate {
+                groups: vec![],
+                aggs: vec![],
+            }, // placeholder
         };
         Ok((stage, scope))
     }
@@ -830,19 +932,17 @@ impl<'a> Planner<'a> {
         let hint_of = |ty: &Ty| match ty {
             Ty::Decimal => DisplayHint::Decimal,
             Ty::Date => DisplayHint::Date,
-            Ty::Code { table, column } => {
-                DisplayHint::Dict { table: table.clone(), column: column.clone() }
-            }
+            Ty::Code { table, column } => DisplayHint::Dict {
+                table: table.clone(),
+                column: column.clone(),
+            },
             _ => DisplayHint::Plain,
         };
         for (i, item) in self.stmt.items.iter().enumerate() {
-            let name = item
-                .alias
-                .clone()
-                .unwrap_or_else(|| match &item.expr {
-                    SqlExpr::Column(c) => c.column.clone(),
-                    _ => format!("col{}", i + 1),
-                });
+            let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
+                SqlExpr::Column(c) => c.column.clone(),
+                _ => format!("col{}", i + 1),
+            });
             match &item.expr {
                 SqlExpr::Agg { func, arg } => {
                     let (agg, hint) = match (func, arg) {
@@ -885,14 +985,21 @@ impl<'a> Planner<'a> {
             columns.push(name);
         }
         if self.stmt.group_by.is_empty()
-            && self.stmt.items.iter().any(|i| !matches!(i.expr, SqlExpr::Agg { .. }))
+            && self
+                .stmt
+                .items
+                .iter()
+                .any(|i| !matches!(i.expr, SqlExpr::Agg { .. }))
         {
             return err("without GROUP BY every select item must be an aggregate");
         }
         if aggs.is_empty() {
             return err("at least one aggregate is required (this engine is for OLAP rollups)");
         }
-        fact.terminal = Terminal::Aggregate { groups: group_slots.clone(), aggs };
+        fact.terminal = Terminal::Aggregate {
+            groups: group_slots.clone(),
+            aggs,
+        };
 
         // ORDER BY: positions are 1-based select positions; expressions
         // match select aliases or select/group expressions.

@@ -2,6 +2,7 @@
 //! they used derived tables, since subqueries are out of subset) compiled
 //! from SQL text and validated bit-for-bit against the CPU reference.
 
+use crate::corpus::{Q14_SQL, Q5_SQL, Q7_SQL, Q8_SQL, Q9_SQL};
 use crate::{compile, compile_optimized, run_sql};
 use gpl_core::{run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_sim::amd_a10;
@@ -13,70 +14,10 @@ fn db() -> TpchDb {
 
 fn run_gpl(db: &TpchDb, sql: &str) -> gpl_tpch::QueryOutput {
     let mut ctx = ExecContext::new(amd_a10(), db.clone());
-    run_sql(&mut ctx, sql, ExecMode::Gpl).expect("sql runs").output
+    run_sql(&mut ctx, sql, ExecMode::Gpl)
+        .expect("sql runs")
+        .output
 }
-
-/// Q5 — Listing 2, verbatim modulo whitespace.
-pub const Q5_SQL: &str = "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) as revenue \
-    from customer, orders, lineitem, supplier, nation, region \
-    where c_custkey = o_custkey and l_orderkey = o_orderkey \
-      and l_suppkey = s_suppkey and c_nationkey = s_nationkey \
-      and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
-      and r_name = 'ASIA' \
-      and o_orderdate >= date '1994-01-01' and o_orderdate < date '1995-01-01' \
-    group by n_name order by revenue desc";
-
-/// Q7 — Listing 3 with the derived table flattened (no subqueries in the
-/// subset); semantics are identical because the inner select is a pure
-/// projection.
-pub const Q7_SQL: &str = "select n1.n_name as supp_nation, n2.n_name as cust_nation, \
-      extract(year from l_shipdate) as l_year, \
-      sum(l_extendedprice * (1 - l_discount)) as revenue \
-    from supplier, lineitem, orders, customer, nation n1, nation n2 \
-    where s_suppkey = l_suppkey and o_orderkey = l_orderkey and c_custkey = o_custkey \
-      and s_nationkey = n1.n_nationkey and c_nationkey = n2.n_nationkey \
-      and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY') \
-        or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE')) \
-      and l_shipdate between date '1995-01-01' and date '1996-12-31' \
-    group by n1.n_name, n2.n_name, extract(year from l_shipdate) \
-    order by l_year";
-
-/// Q8 — Listing 4 flattened; the mkt_share *ratio* needs division, so the
-/// numerator and denominator are selected separately (the engine note in
-/// the planner docs).
-pub const Q8_SQL: &str = "select extract(year from o_orderdate) as o_year, \
-      sum(case when n2.n_name = 'BRAZIL' \
-          then l_extendedprice * (1 - l_discount) else 0 end) as brazil_volume, \
-      sum(l_extendedprice * (1 - l_discount)) as total_volume \
-    from part, supplier, lineitem, orders, customer, nation n1, nation n2, region \
-    where p_partkey = l_partkey and s_suppkey = l_suppkey and l_orderkey = o_orderkey \
-      and o_custkey = c_custkey and c_nationkey = n1.n_nationkey \
-      and n1.n_regionkey = r_regionkey and r_name = 'AMERICA' \
-      and s_nationkey = n2.n_nationkey \
-      and o_orderdate between date '1995-01-01' and date '1996-12-31' \
-      and p_type = 'ECONOMY ANODIZED STEEL' \
-    group by extract(year from o_orderdate) order by o_year";
-
-/// Q9 — Listing 5 flattened (Appendix B's `p_partkey < 1000` variant).
-pub const Q9_SQL: &str = "select n_name as nation, extract(year from o_orderdate) as o_year, \
-      sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) as sum_profit \
-    from part, supplier, lineitem, partsupp, orders, nation \
-    where s_suppkey = l_suppkey and ps_suppkey = l_suppkey and ps_partkey = l_partkey \
-      and p_partkey = l_partkey and o_orderkey = l_orderkey and s_nationkey = n_nationkey \
-      and p_partkey < 1000 \
-    group by n_name, extract(year from o_orderdate) order by o_year desc";
-
-/// Q14 — Listing 6 with the promo share kept as (numerator, denominator)
-/// and the garbled `case when p_partKey` of the listing restored to the
-/// standard `p_type like 'PROMO%'` intent.
-pub const Q14_SQL: &str = "select \
-      sum(case when p_type like 'PROMO%' \
-          then l_extendedprice * (1 - l_discount) else 0 end) as promo_revenue, \
-      sum(l_extendedprice * (1 - l_discount)) as total_revenue \
-    from lineitem, part \
-    where l_partkey = p_partkey \
-      and l_shipdate >= date '1995-09-01' \
-      and l_shipdate < date '1995-09-01' + interval '1' month";
 
 #[test]
 fn q5_sql_matches_reference() {
@@ -114,57 +55,16 @@ fn q14_sql_matches_reference() {
 #[test]
 fn q1_q3_q6_from_sql() {
     let db = db();
-    let q1 = "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
-        sum(l_extendedprice) as sum_base_price, \
-        sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, \
-        sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, \
-        sum(l_discount) as sum_disc, count(*) as count_order \
-        from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day \
-        group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus";
-    assert_eq!(run_gpl(&db, q1), reference::q1(&db));
-
-    let q3 = "select l_orderkey, o_orderdate, o_shippriority, \
-        sum(l_extendedprice * (1 - l_discount)) as revenue \
-        from customer, orders, lineitem \
-        where c_mktsegment = 'BUILDING' and c_custkey = o_custkey \
-          and l_orderkey = o_orderkey and o_orderdate < date '1995-03-15' \
-          and l_shipdate > date '1995-03-15' \
-        group by l_orderkey, o_orderdate, o_shippriority \
-        order by revenue desc, o_orderdate limit 10";
-    assert_eq!(run_gpl(&db, q3), reference::q3(&db));
-
-    let q6 = "select sum(l_extendedprice * l_discount) as revenue from lineitem \
-        where l_shipdate >= date '1994-01-01' \
-          and l_shipdate < date '1994-01-01' + interval '1' year \
-          and l_discount between 0.05 and 0.07 and l_quantity < 24";
-    assert_eq!(run_gpl(&db, q6), reference::q6(&db));
+    assert_eq!(run_gpl(&db, crate::corpus::Q1_SQL), reference::q1(&db));
+    assert_eq!(run_gpl(&db, crate::corpus::Q3_SQL), reference::q3(&db));
+    assert_eq!(run_gpl(&db, crate::corpus::Q6_SQL), reference::q6(&db));
 }
 
 #[test]
 fn q10_q12_from_sql() {
     let db = db();
-    let q10 = "select c_custkey, c_nationkey, c_acctbal, \
-        sum(l_extendedprice * (1 - l_discount)) as revenue \
-        from customer, orders, lineitem \
-        where c_custkey = o_custkey and l_orderkey = o_orderkey \
-          and o_orderdate >= date '1993-10-01' and o_orderdate < date '1994-01-01' \
-          and l_returnflag = 'R' \
-        group by c_custkey, c_nationkey, c_acctbal \
-        order by revenue desc, c_custkey limit 20";
-    assert_eq!(run_gpl(&db, q10), reference::q10(&db));
-
-    let q12 = "select l_shipmode, \
-        sum(case when o_orderpriority in ('1-URGENT', '2-HIGH') then 1 else 0 end) \
-            as high_line_count, \
-        sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' \
-            then 1 else 0 end) as low_line_count \
-        from orders, lineitem \
-        where o_orderkey = l_orderkey and l_shipmode in ('MAIL', 'SHIP') \
-          and l_commitdate < l_receiptdate and l_shipdate < l_commitdate \
-          and l_receiptdate >= date '1994-01-01' \
-          and l_receiptdate < date '1994-01-01' + interval '1' year \
-        group by l_shipmode order by l_shipmode";
-    assert_eq!(run_gpl(&db, q12), reference::q12(&db));
+    assert_eq!(run_gpl(&db, crate::corpus::Q10_SQL), reference::q10(&db));
+    assert_eq!(run_gpl(&db, crate::corpus::Q12_SQL), reference::q12(&db));
 }
 
 #[test]
@@ -175,7 +75,10 @@ fn case_literal_pairs_coerce_correctly() {
         let out = run_gpl(&db, "select count(*) from lineitem");
         out.rows[0][0]
     };
-    let out = run_gpl(&db, "select sum(case when l_quantity < 0 then 2 else 3 end) from lineitem");
+    let out = run_gpl(
+        &db,
+        "select sum(case when l_quantity < 0 then 2 else 3 end) from lineitem",
+    );
     assert_eq!(out.rows[0][0], 3 * n, "else-branch 3 per row");
     // ... while a decimal point on either side makes the pair decimal
     // (fixed-point cents), matching the l_discount domain.
@@ -184,7 +87,11 @@ fn case_literal_pairs_coerce_correctly() {
         "select sum(case when l_discount > 0.05 then 1.5 else 0 end) from lineitem",
     );
     let matching = run_gpl(&db, "select count(*) from lineitem where l_discount > 0.05");
-    assert_eq!(out.rows[0][0], 150 * matching.rows[0][0], "1.50 in cents per match");
+    assert_eq!(
+        out.rows[0][0],
+        150 * matching.rows[0][0],
+        "1.50 in cents per match"
+    );
 }
 
 #[test]
@@ -239,7 +146,10 @@ fn helpful_errors() {
     let db = db();
     let cases = [
         ("select x from lineitem", "unknown column"),
-        ("select sum(l_quantity) from lineitem, nation", "cannot be joined"),
+        (
+            "select sum(l_quantity) from lineitem, nation",
+            "cannot be joined",
+        ),
         ("select l_orderkey from lineitem", "aggregate"),
         (
             "select sum(l_extendedprice / l_discount) from lineitem",
@@ -249,9 +159,14 @@ fn helpful_errors() {
             "select sum(l_extendedprice) / sum(l_discount) from lineitem",
             "neither an aggregate",
         ),
-        ("select n_name from nation n1, nation n2 where n1.n_nationkey = n2.n_nationkey",
-         "ambiguous"),
-        ("select sum(l_quantity) from lineitem order by nope", "not a select item"),
+        (
+            "select n_name from nation n1, nation n2 where n1.n_nationkey = n2.n_nationkey",
+            "ambiguous",
+        ),
+        (
+            "select sum(l_quantity) from lineitem order by nope",
+            "not a select item",
+        ),
         (
             "select sum(case when l_quantity < 0 then 0.005 else 0 end) from lineitem",
             "more than two decimal places",
@@ -272,7 +187,17 @@ fn join_order_optimizer_composes_with_sql() {
     assert_eq!(plain.stages.len(), opt.stages.len());
     let spec = amd_a10();
     let mut ctx = ExecContext::new(spec.clone(), db);
-    let a = run_query(&mut ctx, &plain, ExecMode::Gpl, &QueryConfig::default_for(&spec, &plain));
-    let b = run_query(&mut ctx, &opt, ExecMode::Gpl, &QueryConfig::default_for(&spec, &opt));
+    let a = run_query(
+        &mut ctx,
+        &plain,
+        ExecMode::Gpl,
+        &QueryConfig::default_for(&spec, &plain),
+    );
+    let b = run_query(
+        &mut ctx,
+        &opt,
+        ExecMode::Gpl,
+        &QueryConfig::default_for(&spec, &opt),
+    );
     assert_eq!(a.output, b.output);
 }

@@ -66,7 +66,9 @@ impl DictBuilder {
     }
 
     pub fn finish(self) -> Dictionary {
-        Dictionary { entries: self.entries }
+        Dictionary {
+            entries: self.entries,
+        }
     }
 }
 

@@ -60,7 +60,10 @@ impl TableLayout {
     pub fn scan(&self, col: usize, rows: Range<usize>) -> MemRange {
         debug_assert!(rows.end <= self.rows, "scan past end of {}", self.table);
         let w = self.widths[col];
-        MemRange::read(self.bases[col] + rows.start as u64 * w, (rows.len() as u64) * w)
+        MemRange::read(
+            self.bases[col] + rows.start as u64 * w,
+            (rows.len() as u64) * w,
+        )
     }
 
     /// Random (gather) access to a single element of column `col`.

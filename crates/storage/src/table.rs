@@ -16,9 +16,18 @@ impl Table {
     pub fn new(name: impl Into<String>, columns: Vec<(String, Column)>) -> Self {
         let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
         for (n, c) in &columns {
-            assert_eq!(c.len(), rows, "column {n} has {} rows, expected {rows}", c.len());
+            assert_eq!(
+                c.len(),
+                rows,
+                "column {n} has {} rows, expected {rows}",
+                c.len()
+            );
         }
-        Table { name: name.into(), columns, rows }
+        Table {
+            name: name.into(),
+            columns,
+            rows,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -61,7 +70,10 @@ impl Table {
 
     /// Bytes one row occupies across all columns (drives tiling).
     pub fn row_bytes(&self) -> u64 {
-        self.columns.iter().map(|(_, c)| c.data_type().width()).sum()
+        self.columns
+            .iter()
+            .map(|(_, c)| c.data_type().width())
+            .sum()
     }
 
     /// Total bytes of the table in simulated memory.
@@ -71,7 +83,10 @@ impl Table {
 
     /// Schema as (name, type) pairs.
     pub fn schema(&self) -> Vec<(String, DataType)> {
-        self.columns.iter().map(|(n, c)| (n.clone(), c.data_type())).collect()
+        self.columns
+            .iter()
+            .map(|(n, c)| (n.clone(), c.data_type()))
+            .collect()
     }
 }
 

@@ -22,17 +22,26 @@ impl Tiling {
     pub fn by_bytes(rows: usize, row_bytes: u64, tile_bytes: u64) -> Self {
         let row_bytes = row_bytes.max(1);
         let rows_per_tile = (tile_bytes / row_bytes).max(1) as usize;
-        Tiling { rows, rows_per_tile }
+        Tiling {
+            rows,
+            rows_per_tile,
+        }
     }
 
     /// Tile by an explicit row count.
     pub fn by_rows(rows: usize, rows_per_tile: usize) -> Self {
-        Tiling { rows, rows_per_tile: rows_per_tile.max(1) }
+        Tiling {
+            rows,
+            rows_per_tile: rows_per_tile.max(1),
+        }
     }
 
     /// A single tile covering everything (KBE processes untiled input).
     pub fn whole(rows: usize) -> Self {
-        Tiling { rows, rows_per_tile: rows.max(1) }
+        Tiling {
+            rows,
+            rows_per_tile: rows.max(1),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -54,7 +63,10 @@ impl Tiling {
     /// Row range of tile `i`.
     pub fn tile(&self, i: usize) -> Range<usize> {
         let start = i * self.rows_per_tile;
-        assert!(start < self.rows || (self.rows == 0 && i == 0), "tile {i} out of range");
+        assert!(
+            start < self.rows || (self.rows == 0 && i == 0),
+            "tile {i} out of range"
+        );
         start..self.rows.min(start + self.rows_per_tile)
     }
 

@@ -109,7 +109,11 @@ impl Date {
         let mp = (5 * doy + 2) / 153; // [0, 11]
         let day = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
         let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
-        Date { year: (y + i64::from(month <= 2)) as i32, month, day }
+        Date {
+            year: (y + i64::from(month <= 2)) as i32,
+            month,
+            day,
+        }
     }
 
     /// The year extracted from a day number (`extract(year from ..)`).
@@ -121,7 +125,11 @@ impl Date {
     /// `date X + interval N month` predicates, e.g. Q14).
     pub fn add_months(self, months: u32) -> Self {
         let total = self.year * 12 + (self.month as i32 - 1) + months as i32;
-        Date { year: total.div_euclid(12), month: (total.rem_euclid(12) + 1) as u32, day: self.day }
+        Date {
+            year: total.div_euclid(12),
+            month: (total.rem_euclid(12) + 1) as u32,
+            day: self.day,
+        }
     }
 }
 
@@ -134,7 +142,9 @@ impl fmt::Display for Date {
 /// Shorthand: day number of `YYYY-MM-DD` (panics on malformed input;
 /// intended for literals in query definitions and tests).
 pub fn days(s: &str) -> i32 {
-    Date::parse(s).unwrap_or_else(|| panic!("bad date literal {s:?}")).to_days()
+    Date::parse(s)
+        .unwrap_or_else(|| panic!("bad date literal {s:?}"))
+        .to_days()
 }
 
 #[cfg(test)]

@@ -40,6 +40,10 @@ fn main() {
         exit(1);
     }
     for t in db.tables() {
-        println!("{:>12} rows  {}.tbl", t.rows(), dir.join(t.name()).display());
+        println!(
+            "{:>12} rows  {}.tbl",
+            t.rows(),
+            dir.join(t.name()).display()
+        );
     }
 }

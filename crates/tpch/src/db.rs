@@ -95,7 +95,11 @@ impl TpchDb {
 
     /// Name of a nation code.
     pub fn nation_name(&self, code: i64) -> &str {
-        self.nation.col("n_name").dictionary().expect("n_name is dict").get(code as u32)
+        self.nation
+            .col("n_name")
+            .dictionary()
+            .expect("n_name is dict")
+            .get(code as u32)
     }
 
     /// Dictionary code of a part type ("ECONOMY ANODIZED STEEL", ...).
@@ -110,7 +114,11 @@ impl TpchDb {
 
     /// Codes of all `PROMO%` part types (Q14's `like 'PROMO%'`).
     pub fn promo_type_codes(&self) -> Vec<i64> {
-        let d = self.part.col("p_type").dictionary().expect("p_type is dict");
+        let d = self
+            .part
+            .col("p_type")
+            .dictionary()
+            .expect("p_type is dict");
         d.entries()
             .iter()
             .enumerate()
@@ -121,7 +129,9 @@ impl TpchDb {
 
     /// Region key of each nation, indexed by nation key.
     pub fn nation_region(&self) -> Vec<i64> {
-        (0..self.nation.rows()).map(|r| self.nation.col("n_regionkey").get_i64(r)).collect()
+        (0..self.nation.rows())
+            .map(|r| self.nation.col("n_regionkey").get_i64(r))
+            .collect()
     }
 }
 

@@ -12,8 +12,8 @@
 //! reproducible.
 
 use crate::text;
-use gpl_storage::{days, Column, DictBuilder, Table};
 use gpl_prng::{Rng, SeedableRng, StdRng};
+use gpl_storage::{days, Column, DictBuilder, Table};
 use std::sync::Arc;
 
 /// Generation parameters.
@@ -28,13 +28,19 @@ pub struct TpchParams {
 
 impl Default for TpchParams {
     fn default() -> Self {
-        TpchParams { sf: 0.01, seed: 0x6770_6c32_3031_3666 }
+        TpchParams {
+            sf: 0.01,
+            seed: 0x6770_6c32_3031_3666,
+        }
     }
 }
 
 impl TpchParams {
     pub fn new(sf: f64) -> Self {
-        TpchParams { sf, ..Default::default() }
+        TpchParams {
+            sf,
+            ..Default::default()
+        }
     }
 
     fn scaled(&self, per_sf: u64) -> usize {
@@ -168,7 +174,10 @@ pub fn gen_part(p: &TpchParams) -> Table {
     let mut types = DictBuilder::new();
     let type_codes: Vec<u32> = text::part_types().iter().map(|t| types.intern(t)).collect();
     let mut brands = DictBuilder::new();
-    let brand_codes: Vec<u32> = text::part_brands().iter().map(|b| brands.intern(b)).collect();
+    let brand_codes: Vec<u32> = text::part_brands()
+        .iter()
+        .map(|b| brands.intern(b))
+        .collect();
 
     let mut p_type = Vec::with_capacity(n);
     let mut p_brand = Vec::with_capacity(n);
@@ -184,8 +193,14 @@ pub fn gen_part(p: &TpchParams) -> Table {
         "part",
         vec![
             ("p_partkey".into(), Column::I32((1..=n as i32).collect())),
-            ("p_type".into(), Column::Dict(p_type, Arc::new(types.finish()))),
-            ("p_brand".into(), Column::Dict(p_brand, Arc::new(brands.finish()))),
+            (
+                "p_type".into(),
+                Column::Dict(p_type, Arc::new(types.finish())),
+            ),
+            (
+                "p_brand".into(),
+                Column::Dict(p_brand, Arc::new(brands.finish())),
+            ),
             ("p_size".into(), Column::I32(p_size)),
             ("p_retailprice".into(), Column::Decimal(p_retail)),
         ],
@@ -242,7 +257,10 @@ pub fn gen_customer(p: &TpchParams) -> Table {
             ("c_custkey".into(), Column::I32((1..=n as i32).collect())),
             ("c_nationkey".into(), Column::I32(nationkey)),
             ("c_acctbal".into(), Column::Decimal(acctbal)),
-            ("c_mktsegment".into(), Column::Dict(mktsegment, Arc::new(seg.finish()))),
+            (
+                "c_mktsegment".into(),
+                Column::Dict(mktsegment, Arc::new(seg.finish())),
+            ),
         ],
     )
 }
@@ -279,7 +297,11 @@ pub fn gen_orders_lineitem(p: &TpchParams) -> (Table, Table) {
     let mut l_returnflag = Vec::with_capacity(orders * avg_lines);
     let mut l_linestatus = Vec::with_capacity(orders * avg_lines);
     let mut flag_dict = DictBuilder::new();
-    let (f_r, f_a, f_n) = (flag_dict.intern("R"), flag_dict.intern("A"), flag_dict.intern("N"));
+    let (f_r, f_a, f_n) = (
+        flag_dict.intern("R"),
+        flag_dict.intern("A"),
+        flag_dict.intern("N"),
+    );
     let mut status_dict = DictBuilder::new();
     let (s_o, s_f) = (status_dict.intern("O"), status_dict.intern("F"));
     let currentdate = days("1995-06-17");
@@ -339,22 +361,28 @@ pub fn gen_orders_lineitem(p: &TpchParams) -> (Table, Table) {
         let mut rng = p.rng("orders.orderpriority");
         let mut d = DictBuilder::new();
         let codes: Vec<u32> = text::ORDER_PRIORITIES.iter().map(|s| d.intern(s)).collect();
-        let col: Vec<u32> = (0..orders).map(|_| codes[rng.gen_range(0..codes.len())]).collect();
+        let col: Vec<u32> = (0..orders)
+            .map(|_| codes[rng.gen_range(0..codes.len())])
+            .collect();
         Column::Dict(col, Arc::new(d.finish()))
     };
     let l_shipmode = {
         let mut rng = p.rng("lineitem.shipmode");
         let mut d = DictBuilder::new();
         let codes: Vec<u32> = text::SHIP_MODES.iter().map(|s| d.intern(s)).collect();
-        let col: Vec<u32> =
-            (0..l_orderkey.len()).map(|_| codes[rng.gen_range(0..codes.len())]).collect();
+        let col: Vec<u32> = (0..l_orderkey.len())
+            .map(|_| codes[rng.gen_range(0..codes.len())])
+            .collect();
         Column::Dict(col, Arc::new(d.finish()))
     };
 
     let orders_t = Table::new(
         "orders",
         vec![
-            ("o_orderkey".into(), Column::I32((1..=orders as i32).collect())),
+            (
+                "o_orderkey".into(),
+                Column::I32((1..=orders as i32).collect()),
+            ),
             ("o_custkey".into(), Column::I32(o_custkey)),
             ("o_orderdate".into(), Column::Date(o_orderdate)),
             ("o_totalprice".into(), Column::Decimal(o_totalprice)),
@@ -376,8 +404,14 @@ pub fn gen_orders_lineitem(p: &TpchParams) -> (Table, Table) {
             ("l_shipdate".into(), Column::Date(l_shipdate)),
             ("l_commitdate".into(), Column::Date(l_commitdate)),
             ("l_receiptdate".into(), Column::Date(l_receiptdate)),
-            ("l_returnflag".into(), Column::Dict(l_returnflag, Arc::new(flag_dict.finish()))),
-            ("l_linestatus".into(), Column::Dict(l_linestatus, Arc::new(status_dict.finish()))),
+            (
+                "l_returnflag".into(),
+                Column::Dict(l_returnflag, Arc::new(flag_dict.finish())),
+            ),
+            (
+                "l_linestatus".into(),
+                Column::Dict(l_linestatus, Arc::new(status_dict.finish())),
+            ),
             ("l_shipmode".into(), l_shipmode),
         ],
     );
@@ -517,7 +551,10 @@ mod tests {
         let ps = gen_partsupp(&p);
         let mut seen = std::collections::HashSet::new();
         for row in 0..ps.rows() {
-            let pair = (ps.col("ps_partkey").get_i64(row), ps.col("ps_suppkey").get_i64(row));
+            let pair = (
+                ps.col("ps_partkey").get_i64(row),
+                ps.col("ps_suppkey").get_i64(row),
+            );
             assert!(seen.insert(pair), "duplicate {pair:?}");
         }
     }
@@ -546,7 +583,10 @@ mod tests {
         let part = gen_part(&p);
         let dict = part.col("p_type").dictionary().unwrap();
         let code = dict.code_of("ECONOMY ANODIZED STEEL");
-        assert!(code.is_some(), "Q8's literal type must exist in the dictionary");
+        assert!(
+            code.is_some(),
+            "Q8's literal type must exist in the dictionary"
+        );
         // And some parts actually carry it at this scale.
         let code = code.unwrap() as i64;
         let hits = (0..part.rows())

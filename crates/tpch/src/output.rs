@@ -63,10 +63,7 @@ mod tests {
 
     #[test]
     fn sort_desc_with_tiebreak() {
-        let mut q = QueryOutput::new(
-            vec!["k", "v"],
-            vec![vec![2, 10], vec![1, 20], vec![3, 20]],
-        );
+        let mut q = QueryOutput::new(vec!["k", "v"], vec![vec![2, 10], vec![1, 20], vec![3, 20]]);
         q.sort_by(&[(1, true)]);
         assert_eq!(q.rows, vec![vec![1, 20], vec![3, 20], vec![2, 10]]);
     }

@@ -33,7 +33,13 @@ pub enum QueryId {
 impl QueryId {
     /// The five evaluation queries of Section 5 (Figure 5, 16, 17, ...).
     pub fn evaluation_set() -> [QueryId; 5] {
-        [QueryId::Q5, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q14]
+        [
+            QueryId::Q5,
+            QueryId::Q7,
+            QueryId::Q8,
+            QueryId::Q9,
+            QueryId::Q14,
+        ]
     }
 
     /// Queries beyond the paper's evaluation, kept runnable on every
@@ -41,7 +47,13 @@ impl QueryId {
     /// predicate scan), Q10 (top-k returned-item report), Q12 (two
     /// CASE-counting sums over a date-window join).
     pub fn extended_set() -> [QueryId; 5] {
-        [QueryId::Q1, QueryId::Q3, QueryId::Q6, QueryId::Q10, QueryId::Q12]
+        [
+            QueryId::Q1,
+            QueryId::Q3,
+            QueryId::Q6,
+            QueryId::Q10,
+            QueryId::Q12,
+        ]
     }
 
     /// Everything runnable.
@@ -174,9 +186,14 @@ impl Default for Q14Params {
 /// approximately `frac` (0, 1]. Mirrors the paper's predicate-interval
 /// manipulation described in Section 2.2.
 pub fn q14_window_for_selectivity(db: &TpchDb, frac: f64) -> Q14Params {
-    assert!(frac > 0.0 && frac <= 1.0, "selectivity {frac} outside (0, 1]");
+    assert!(
+        frac > 0.0 && frac <= 1.0,
+        "selectivity {frac} outside (0, 1]"
+    );
     let col = db.lineitem.col("l_shipdate");
-    let mut dates: Vec<i32> = (0..db.lineitem.rows()).map(|r| col.get_i64(r) as i32).collect();
+    let mut dates: Vec<i32> = (0..db.lineitem.rows())
+        .map(|r| col.get_i64(r) as i32)
+        .collect();
     dates.sort_unstable();
     if dates.is_empty() {
         return Q14Params::default();

@@ -68,7 +68,9 @@ pub fn q1(db: &TpchDb) -> QueryOutput {
         if l.col("l_shipdate").get_i64(row) > cutoff {
             continue;
         }
-        let e = groups.entry((flag.get_i64(row), status.get_i64(row))).or_insert([0; 6]);
+        let e = groups
+            .entry((flag.get_i64(row), status.get_i64(row)))
+            .or_insert([0; 6]);
         let v = volume(ext.get_i64(row), disc.get_i64(row));
         e[0] += qty.get_i64(row);
         e[1] += ext.get_i64(row);
@@ -132,12 +134,21 @@ pub fn q3(db: &TpchDb) -> QueryOutput {
             continue;
         }
         *groups
-            .entry((l_orderkey.get_i64(row), o_date.get_i64(o), o_prio.get_i64(o)))
+            .entry((
+                l_orderkey.get_i64(row),
+                o_date.get_i64(o),
+                o_prio.get_i64(o),
+            ))
             .or_default() += volume(l_ext.get_i64(row), l_disc.get_i64(row));
     }
-    let rows = groups.into_iter().map(|((k, d, p), v)| vec![k, d, p, v]).collect();
-    let mut out =
-        QueryOutput::new(vec!["l_orderkey", "o_orderdate", "o_shippriority", "revenue"], rows);
+    let rows = groups
+        .into_iter()
+        .map(|((k, d, p), v)| vec![k, d, p, v])
+        .collect();
+    let mut out = QueryOutput::new(
+        vec!["l_orderkey", "o_orderdate", "o_shippriority", "revenue"],
+        rows,
+    );
     out.sort_by(&order_spec(QueryId::Q3));
     out.rows.truncate(literals::Q3_LIMIT);
     out
@@ -240,9 +251,14 @@ pub fn q7(db: &TpchDb) -> QueryOutput {
         *revenue.entry((sn, cn, year(sd))).or_default() +=
             volume(l_ext.get_i64(row), l_disc.get_i64(row));
     }
-    let rows = revenue.into_iter().map(|((s, c, y), v)| vec![s, c, y, v]).collect();
-    let mut out =
-        QueryOutput::new(vec!["supp_nation", "cust_nation", "l_year", "revenue"], rows);
+    let rows = revenue
+        .into_iter()
+        .map(|((s, c, y), v)| vec![s, c, y, v])
+        .collect();
+    let mut out = QueryOutput::new(
+        vec!["supp_nation", "cust_nation", "l_year", "revenue"],
+        rows,
+    );
     out.sort_by(&order_spec(QueryId::Q7));
     out
 }
@@ -291,7 +307,10 @@ pub fn q8(db: &TpchDb) -> QueryOutput {
             e.0 += vol;
         }
     }
-    let rows = share.into_iter().map(|(y, (num, den))| vec![y, num, den]).collect();
+    let rows = share
+        .into_iter()
+        .map(|(y, (num, den))| vec![y, num, den])
+        .collect();
     let mut out = QueryOutput::new(vec!["o_year", "brazil_volume", "total_volume"], rows);
     out.sort_by(&order_spec(QueryId::Q8));
     out
@@ -329,12 +348,15 @@ pub fn q9(db: &TpchDb) -> QueryOutput {
             .map(|r| ps_cost.get_i64(r))
             .expect("lineitem supplier must be one of the part's suppliers");
         let o = (l_orderkey.get_i64(row) - 1) as usize;
-        let amount = volume(l_ext.get_i64(row), l_disc.get_i64(row))
-            - dec_mul(cost, l_qty.get_i64(row));
+        let amount =
+            volume(l_ext.get_i64(row), l_disc.get_i64(row)) - dec_mul(cost, l_qty.get_i64(row));
         let nation = s_nation.get_i64((sk - 1) as usize);
         *profit.entry((nation, year(o_date.get_i64(o)))).or_default() += amount;
     }
-    let rows = profit.into_iter().map(|((n, y), v)| vec![n, y, v]).collect();
+    let rows = profit
+        .into_iter()
+        .map(|((n, y), v)| vec![n, y, v])
+        .collect();
     let mut out = QueryOutput::new(vec!["nation", "o_year", "sum_profit"], rows);
     out.sort_by(&order_spec(QueryId::Q9));
     out
@@ -383,8 +405,10 @@ pub fn q10(db: &TpchDb) -> QueryOutput {
             vec![ck, c_nation.get_i64(c), c_acct.get_i64(c), v]
         })
         .collect();
-    let mut out =
-        QueryOutput::new(vec!["c_custkey", "c_nationkey", "c_acctbal", "revenue"], rows);
+    let mut out = QueryOutput::new(
+        vec!["c_custkey", "c_nationkey", "c_acctbal", "revenue"],
+        rows,
+    );
     out.sort_by(&order_spec(QueryId::Q10));
     out.rows.truncate(literals::Q10_LIMIT);
     out
@@ -434,9 +458,14 @@ pub fn q12(db: &TpchDb) -> QueryOutput {
             e.1 += 1;
         }
     }
-    let rows = counts.into_iter().map(|(m, (h, lo))| vec![m, h, lo]).collect();
-    let mut out =
-        QueryOutput::new(vec!["l_shipmode", "high_line_count", "low_line_count"], rows);
+    let rows = counts
+        .into_iter()
+        .map(|(m, (h, lo))| vec![m, h, lo])
+        .collect();
+    let mut out = QueryOutput::new(
+        vec!["l_shipmode", "high_line_count", "low_line_count"],
+        rows,
+    );
     out.sort_by(&order_spec(QueryId::Q12));
     out
 }
@@ -508,7 +537,9 @@ pub fn q14_matching_rows(db: &TpchDb, params: Q14Params) -> usize {
 /// A nested-loop / filter oracle used by property tests: materialize the
 /// lineitem rows passing an arbitrary predicate on one column.
 pub fn filter_rows(col: &Column, pred: impl Fn(i64) -> bool) -> Vec<u32> {
-    (0..col.len() as u32).filter(|&r| pred(col.get_i64(r as usize))).collect()
+    (0..col.len() as u32)
+        .filter(|&r| pred(col.get_i64(r as usize)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -555,7 +586,12 @@ mod tests {
         assert!(!out.rows.is_empty());
         for r in &out.rows {
             assert!(r[0] == 1995 || r[0] == 1996);
-            assert!(r[1] >= 0 && r[1] <= r[2], "brazil {} > total {}", r[1], r[2]);
+            assert!(
+                r[1] >= 0 && r[1] <= r[2],
+                "brazil {} > total {}",
+                r[1],
+                r[2]
+            );
             assert!(r[2] > 0);
         }
     }
@@ -597,7 +633,10 @@ mod tests {
         let dict = db.lineitem.col("l_shipmode").dictionary().unwrap();
         for r in &out.rows {
             let name = dict.get(r[0] as u32);
-            assert!(literals::Q12_SHIP_MODES.contains(&name), "unexpected mode {name}");
+            assert!(
+                literals::Q12_SHIP_MODES.contains(&name),
+                "unexpected mode {name}"
+            );
             assert!(r[1] > 0 && r[2] > 0, "both buckets populated: {r:?}");
             // High priorities are 2 of 5 uniform choices: high < low.
             assert!(r[1] < r[2], "high {} should be below low {}", r[1], r[2]);

@@ -55,7 +55,10 @@ pub fn write_tbl<W: Write>(t: &Table, w: &mut W) -> io::Result<()> {
 
 /// Parse error with row/column context.
 fn perr(table: &str, line: usize, what: impl std::fmt::Display) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("{table}.tbl line {line}: {what}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{table}.tbl line {line}: {what}"),
+    )
 }
 
 fn parse_decimal(s: &str) -> Option<i64> {
@@ -106,9 +109,9 @@ pub fn read_tbl_like<R: BufRead>(template: &Table, r: R) -> io::Result<Table> {
         if line.is_empty() {
             continue;
         }
-        let row = line.strip_suffix('|').ok_or_else(|| {
-            perr(&name, lineno + 1, "missing trailing field separator")
-        })?;
+        let row = line
+            .strip_suffix('|')
+            .ok_or_else(|| perr(&name, lineno + 1, "missing trailing field separator"))?;
         let fields: Vec<&str> = row.split('|').collect();
         if fields.len() != builders.len() {
             return Err(perr(
@@ -119,21 +122,19 @@ pub fn read_tbl_like<R: BufRead>(template: &Table, r: R) -> io::Result<Table> {
         }
         for ((cname, b), f) in builders.iter_mut().zip(fields) {
             match b {
-                B::I32(v) => v.push(
-                    f.parse().map_err(|_| {
+                B::I32(v) => {
+                    v.push(f.parse().map_err(|_| {
                         perr(&name, lineno + 1, format!("{cname}: bad integer {f:?}"))
-                    })?,
-                ),
-                B::I64(v) => v.push(
-                    f.parse().map_err(|_| {
+                    })?)
+                }
+                B::I64(v) => {
+                    v.push(f.parse().map_err(|_| {
                         perr(&name, lineno + 1, format!("{cname}: bad integer {f:?}"))
-                    })?,
-                ),
+                    })?)
+                }
                 B::Date(v) => v.push(
                     Date::parse(f)
-                        .ok_or_else(|| {
-                            perr(&name, lineno + 1, format!("{cname}: bad date {f:?}"))
-                        })?
+                        .ok_or_else(|| perr(&name, lineno + 1, format!("{cname}: bad date {f:?}")))?
                         .to_days(),
                 ),
                 B::Dec(v) => v.push(parse_decimal(f).ok_or_else(|| {
@@ -221,7 +222,11 @@ mod tests {
         assert_eq!(parse_decimal("-999.99"), Some(-99_999));
         assert_eq!(parse_decimal("0.05"), Some(5));
         assert_eq!(parse_decimal("12"), Some(1_200));
-        assert_eq!(parse_decimal("1.5"), None, "one decimal place is not dbgen format");
+        assert_eq!(
+            parse_decimal("1.5"),
+            None,
+            "one decimal place is not dbgen format"
+        );
         // And via a full column: customer acctbal can be negative.
         let db = db();
         let mut buf = Vec::new();

@@ -34,8 +34,13 @@ pub const NATIONS: &[(&str, i32)] = &[
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Ship modes (clause 4.2.2.13).
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -99,7 +104,10 @@ mod tests {
 
     #[test]
     fn promo_types_are_one_sixth() {
-        let promo = part_types().iter().filter(|t| t.starts_with("PROMO")).count();
+        let promo = part_types()
+            .iter()
+            .filter(|t| t.starts_with("PROMO"))
+            .count();
         assert_eq!(promo, 25);
     }
 

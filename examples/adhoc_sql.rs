@@ -26,7 +26,9 @@ const DEFAULT_SQL: &str = "\
     order by revenue desc limit 8";
 
 fn main() {
-    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_SQL.to_string());
+    let sql = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_SQL.to_string());
     let spec = amd_a10();
     let db = TpchDb::at_scale(0.05);
     println!("-- SQL --\n{sql}\n");
@@ -44,7 +46,12 @@ fn main() {
     let cfg = QueryConfig::default_for(&spec, &plan);
     let run = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
 
-    println!("-- result ({} rows, {} simulated cycles / {:.2} ms) --", run.output.num_rows(), run.cycles, run.ms(&spec));
+    println!(
+        "-- result ({} rows, {} simulated cycles / {:.2} ms) --",
+        run.output.num_rows(),
+        run.cycles,
+        run.ms(&spec)
+    );
     println!("{}", run.output.columns.join(" | "));
     let nation_dict = ctx.db.nation.col("n_name").dictionary().cloned();
     for row in &run.output.rows {

@@ -18,7 +18,10 @@ fn main() {
     let mut ctx = ExecContext::new(spec.clone(), TpchDb::at_scale(sf));
 
     println!("extended queries (SF {sf}, {}):", spec.name);
-    println!("{:>5} {:>6} {:>12} {:>12} {:>12} {:>9}", "query", "rows", "KBE cyc", "w/o CE", "GPL cyc", "GPL/KBE");
+    println!(
+        "{:>5} {:>6} {:>12} {:>12} {:>12} {:>9}",
+        "query", "rows", "KBE cyc", "w/o CE", "GPL cyc", "GPL/KBE"
+    );
     for q in QueryId::extended_set() {
         let plan = plan_for(&ctx.db, q);
         let cfg = QueryConfig::default_for(&spec, &plan);
@@ -45,8 +48,9 @@ fn main() {
     println!("\npartitioned (radix) vs monolithic hash join, 1M build keys / 2M probes:");
     let build: Vec<i64> = (0..1_000_000).collect();
     let payload = build.clone();
-    let probes: Vec<i64> =
-        (0..2_000_000).map(|i| (mix64(11 ^ i as u64) as i64).rem_euclid(1_500_000)).collect();
+    let probes: Vec<i64> = (0..2_000_000)
+        .map(|i| (mix64(11 ^ i as u64) as i64).rem_euclid(1_500_000))
+        .collect();
 
     let mut mono_table = SimHashTable::new(&mut ctx.sim.mem, build.len(), 1, "mono");
     let mut acc = Vec::new();

@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 dependency-creep check =="
+echo "== 1/7 dependency-creep check =="
 # Every dependency must be an in-workspace path dependency; the three
 # crates the hermetic-build PR removed must never come back.
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
@@ -17,13 +17,33 @@ if grep -n '\(registry\|git\) *=' Cargo.toml crates/*/Cargo.toml; then
 fi
 echo "ok: all dependencies are in-tree path dependencies"
 
-echo "== 2/4 offline build =="
+echo "== 2/7 formatting =="
+cargo fmt --check
+
+echo "== 3/7 clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== 4/7 offline build =="
 cargo build --offline --workspace
 
-echo "== 3/4 tier-1: release build =="
+echo "== 5/7 tier-1: release build =="
 cargo build --offline --release
 
-echo "== 4/4 tier-1: full test suite =="
+echo "== 6/7 tier-1: full test suite =="
 cargo test --offline --workspace -q
+
+echo "== 7/7 observability smoke: repro profile q1 =="
+# `repro profile` re-parses every export with the in-tree JSON parser
+# before writing it (and panics otherwise), so a zero exit status
+# asserts the exported JSON parses; the loop below just guards against
+# the files silently not being written at all.
+cargo run --offline --release -p gpl-bench --bin repro -- profile q1 --sf 0.01
+for f in target/obs/profile-q1-kbe.trace.json \
+         target/obs/profile-q1-gpl-noce.trace.json \
+         target/obs/profile-q1-gpl.trace.json \
+         target/obs/profile-q1-metrics.json; do
+    [ -s "$f" ] || { echo "FAIL: missing export $f" >&2; exit 1; }
+done
+echo "ok: all four exports present and parse-checked"
 
 echo "verify: all green"

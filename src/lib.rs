@@ -12,9 +12,11 @@
 //! * [`model`] — the Section 4 analytical model and parameter search.
 //! * [`ocelot`] — the Ocelot-like comparison baseline (Section 5.5).
 //! * [`sql`] — a SQL front-end compiling an analytical subset to plans.
+//! * [`obs`] — structured tracing, metrics, Chrome-trace/JSON export.
 
 pub use gpl_core as core;
 pub use gpl_model as model;
+pub use gpl_obs as obs;
 pub use gpl_ocelot as ocelot;
 pub use gpl_sim as sim;
 pub use gpl_sql as sql;

@@ -2,10 +2,8 @@
 //! capacity discipline, and end-to-end pipeline determinism under
 //! arbitrary batch shapes.
 
-use gpl_repro::sim::{
-    amd_a10, ChannelView, KernelDesc, ResourceUsage, Simulator, Work, WorkUnit,
-};
 use gpl_check::prelude::*;
+use gpl_repro::sim::{amd_a10, ChannelView, KernelDesc, ResourceUsage, Simulator, Work, WorkUnit};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -39,7 +37,13 @@ fn run_chain(batches: Vec<u16>, n: u32, consumer_batch: u64) -> (Vec<u64>, u64) 
             data2.borrow_mut().push_back(next_val);
             next_val += 1;
         }
-        Work::Unit(WorkUnit { compute_insts: want, ..Default::default() }.push(ch, want))
+        Work::Unit(
+            WorkUnit {
+                compute_insts: want,
+                ..Default::default()
+            }
+            .push(ch, want),
+        )
     };
     let recv2 = recv.clone();
     let consumer = move |view: &dyn ChannelView| {
@@ -52,7 +56,13 @@ fn run_chain(batches: Vec<u16>, n: u32, consumer_batch: u64) -> (Vec<u64>, u64) 
             let v = data.borrow_mut().pop_front().expect("data behind timing");
             recv2.borrow_mut().push(v);
         }
-        Work::Unit(WorkUnit { compute_insts: k, ..Default::default() }.pop(ch, k))
+        Work::Unit(
+            WorkUnit {
+                compute_insts: k,
+                ..Default::default()
+            }
+            .pop(ch, k),
+        )
     };
     let res = ResourceUsage::new(64, 64, 0);
     let prof = sim.run(vec![

@@ -81,7 +81,10 @@ fn warm_ocelot_is_functionally_identical_to_cold() {
     let cold = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
     let warm = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
     assert_eq!(cold.output, warm.output);
-    assert!(warm.cycles < cold.cycles, "cached hash tables must save time");
+    assert!(
+        warm.cycles < cold.cycles,
+        "cached hash tables must save time"
+    );
 }
 
 #[test]
@@ -109,5 +112,8 @@ fn gpl_beats_kbe_and_materializes_less_at_scale() {
             wins += 1;
         }
     }
-    assert!(wins >= 4, "GPL should beat KBE on most queries, won {wins}/5");
+    assert!(
+        wins >= 4,
+        "GPL should beat KBE on most queries, won {wins}/5"
+    );
 }

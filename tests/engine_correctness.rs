@@ -24,7 +24,8 @@ fn check_device(spec: DeviceSpec, sf: f64) {
         for mode in [ExecMode::Kbe, ExecMode::GplNoCe, ExecMode::Gpl] {
             let run = run_query(&mut ctx, &plan, mode, &cfg);
             assert_eq!(
-                run.output, want,
+                run.output,
+                want,
                 "{} under {} diverged from the reference on {}",
                 q.name(),
                 mode.name(),

@@ -18,10 +18,23 @@ fn extended_queries_match_reference_in_every_mode() {
             let want = reference::run(&ctx.db, q);
             for mode in [ExecMode::Kbe, ExecMode::GplNoCe, ExecMode::Gpl] {
                 let run = run_query(&mut ctx, &plan, mode, &cfg);
-                assert_eq!(run.output, want, "{} under {} on {}", q.name(), mode.name(), spec.name);
+                assert_eq!(
+                    run.output,
+                    want,
+                    "{} under {} on {}",
+                    q.name(),
+                    mode.name(),
+                    spec.name
+                );
             }
             let run = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
-            assert_eq!(run.output, want, "{} under Ocelot on {}", q.name(), spec.name);
+            assert_eq!(
+                run.output,
+                want,
+                "{} under Ocelot on {}",
+                q.name(),
+                spec.name
+            );
         }
     }
 }
@@ -32,7 +45,11 @@ fn q1_aggregates_are_consistent() {
     let out = reference::q1(&db);
     // Two flags x two statuses at most (R/A only exist before the
     // current date, N after; O/F likewise partition on it).
-    assert!(out.rows.len() >= 2 && out.rows.len() <= 6, "{} groups", out.rows.len());
+    assert!(
+        out.rows.len() >= 2 && out.rows.len() <= 6,
+        "{} groups",
+        out.rows.len()
+    );
     let total: i64 = out.rows.iter().map(|r| r[7]).sum();
     // Q1's cutoff keeps almost every lineitem.
     assert!(total as f64 > 0.9 * db.lineitem.rows() as f64);

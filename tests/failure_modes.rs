@@ -19,13 +19,24 @@ fn deadlocked_pipelines_are_reported() {
                 Work::Done
             }
         };
-        let k = KernelDesc::new("orphan", ResourceUsage::new(64, 64, 0), 4, Box::new(consumer))
-            .reads_channel(ch);
+        let k = KernelDesc::new(
+            "orphan",
+            ResourceUsage::new(64, 64, 0),
+            4,
+            Box::new(consumer),
+        )
+        .reads_channel(ch);
         sim.run(vec![k]);
     });
-    let msg = *r.expect_err("must deadlock").downcast::<String>().expect("panic message");
+    let msg = *r
+        .expect_err("must deadlock")
+        .downcast::<String>()
+        .expect("panic message");
     assert!(msg.contains("deadlock"), "{msg}");
-    assert!(msg.contains("orphan"), "diagnostics must name the kernel: {msg}");
+    assert!(
+        msg.contains("orphan"),
+        "diagnostics must name the kernel: {msg}"
+    );
 }
 
 #[test]
@@ -43,8 +54,13 @@ fn channel_overflow_is_detected() {
             let too_many = view.space(ch) + 1;
             Work::Unit(WorkUnit::default().push(ch, too_many))
         };
-        let k = KernelDesc::new("greedy", ResourceUsage::new(64, 64, 0), 4, Box::new(producer))
-            .writes_channel(ch);
+        let k = KernelDesc::new(
+            "greedy",
+            ResourceUsage::new(64, 64, 0),
+            4,
+            Box::new(producer),
+        )
+        .writes_channel(ch);
         sim.run(vec![k]);
     });
     assert!(r.is_err(), "overflow must panic");
@@ -119,6 +135,9 @@ fn sql_errors_do_not_panic() {
         "select sum(x y) from lineitem",
         "select count(*) from lineitem where l_shipdate <= 'not a date'",
     ] {
-        assert!(gpl_repro::sql::compile(&db, bad).is_err(), "{bad:?} should fail cleanly");
+        assert!(
+            gpl_repro::sql::compile(&db, bad).is_err(),
+            "{bad:?} should fail cleanly"
+        );
     }
 }

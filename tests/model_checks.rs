@@ -7,7 +7,11 @@ use gpl_repro::sim::{amd_a10, nvidia_k40, DeviceSpec};
 use gpl_repro::tpch::{QueryId, TpchDb};
 
 fn small_gamma(spec: &DeviceSpec) -> GammaTable {
-    let ps = if spec.channel.tunable_packet_size { vec![16, 64] } else { vec![16] };
+    let ps = if spec.channel.tunable_packet_size {
+        vec![16, 64]
+    } else {
+        vec![16]
+    };
     GammaTable::calibrate_grid(spec, vec![1, 4, 16], ps, vec![256 << 10, 2 << 20, 16 << 20])
 }
 
@@ -29,7 +33,12 @@ fn optimizer_yields_valid_configs_on_both_devices() {
                 }
             }
             // The paper's <5 ms budget, with slack for cold caches in CI.
-            assert!(out.elapsed.as_millis() < 1_000, "{}: {:?}", q.name(), out.elapsed);
+            assert!(
+                out.elapsed.as_millis() < 1_000,
+                "{}: {:?}",
+                q.name(),
+                out.elapsed
+            );
         }
     }
 }

@@ -1,12 +1,12 @@
 //! Property-based tests (gpl-check) on the core data structures and
 //! operator invariants, per DESIGN.md's testing strategy.
 
-use gpl_repro::core::ops::{apply_compute, apply_filter, apply_probe, sort_rows, Chunk};
+use gpl_check::prelude::*;
 use gpl_repro::core::ht::{GroupStore, SimHashTable};
+use gpl_repro::core::ops::{apply_compute, apply_filter, apply_probe, sort_rows, Chunk};
 use gpl_repro::core::{CmpOp, Expr, Pred};
 use gpl_repro::sim::{CacheSim, MemRange, MemoryMap};
 use gpl_repro::storage::{dec_mul, Date, Tiling};
-use gpl_check::prelude::*;
 
 prop! {
     /// dec_mul matches widened integer arithmetic and is sign-correct.

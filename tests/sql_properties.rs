@@ -1,11 +1,11 @@
 //! Property tests on the SQL front-end: randomly generated single-table
 //! queries must agree with a direct row-at-a-time evaluation oracle.
 
+use gpl_check::prelude::*;
 use gpl_repro::core::{ExecContext, ExecMode};
 use gpl_repro::sim::amd_a10;
 use gpl_repro::sql::run_sql;
 use gpl_repro::tpch::TpchDb;
-use gpl_check::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
@@ -89,17 +89,26 @@ fn col_strategy() -> impl Strategy<Value = Col> {
 }
 
 fn conjunct_strategy() -> impl Strategy<Value = Conjunct> {
-    (col_strategy(), prop_oneof![
-        Just("<"),
-        Just("<="),
-        Just(">"),
-        Just(">="),
-        Just("="),
-        Just("<>"),
-    ], any::<i64>())
+    (
+        col_strategy(),
+        prop_oneof![
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+            Just("="),
+            Just("<>"),
+        ],
+        any::<i64>(),
+    )
         .prop_map(|(col, op, raw)| {
             let (lit_sql, lit) = col.literal(raw);
-            Conjunct { col, op, lit_sql, lit }
+            Conjunct {
+                col,
+                op,
+                lit_sql,
+                lit,
+            }
         })
 }
 

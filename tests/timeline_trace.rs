@@ -5,7 +5,7 @@
 //! flight together.
 
 use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
-use gpl_repro::sim::{overlap_fraction, render_timeline, amd_a10};
+use gpl_repro::sim::{amd_a10, overlap_fraction, render_timeline};
 use gpl_repro::tpch::{QueryId, TpchDb};
 
 fn traced(ctx: &mut ExecContext, q: QueryId, mode: ExecMode) -> Vec<gpl_repro::sim::TraceSpan> {
@@ -27,7 +27,10 @@ fn kbe_is_serial_and_gpl_is_pipelined() {
     assert!(!kbe.is_empty() && !gpl.is_empty());
     let (ko, go) = (overlap_fraction(&kbe), overlap_fraction(&gpl));
     assert_eq!(ko, 0.0, "KBE launches one kernel at a time");
-    assert!(go > 0.25, "GPL overlap {go} should dominate the fact pipeline");
+    assert!(
+        go > 0.25,
+        "GPL overlap {go} should dominate the fact pipeline"
+    );
 }
 
 #[test]
@@ -38,14 +41,19 @@ fn spans_are_well_formed_and_cover_the_run() {
     let after = ctx.sim.clock();
     for s in &spans {
         assert!(s.start < s.end, "{s:?}");
-        assert!(s.start >= before && s.end <= after, "{s:?} outside [{before}, {after}]");
+        assert!(
+            s.start >= before && s.end <= after,
+            "{s:?} outside [{before}, {after}]"
+        );
         assert!(s.cu < ctx.sim.spec().num_cus, "{s:?}");
     }
     // Every GPL kernel of the probe stage dispatched at least one unit.
-    let names: std::collections::HashSet<&str> =
-        spans.iter().map(|s| &*s.kernel).collect();
+    let names: std::collections::HashSet<&str> = spans.iter().map(|s| &*s.kernel).collect();
     assert!(names.iter().any(|n| n.starts_with("k_map*")), "{names:?}");
-    assert!(names.iter().any(|n| n.starts_with("k_hash_probe*")), "{names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("k_hash_probe*")),
+        "{names:?}"
+    );
 }
 
 #[test]
@@ -54,14 +62,20 @@ fn tracing_is_off_by_default_and_drains_on_take() {
     let plan = plan_for(&ctx.db, QueryId::Listing1);
     let cfg = QueryConfig::default_for(&ctx.sim.spec().clone(), &plan);
     run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
-    assert!(ctx.sim.take_trace().is_empty(), "untraced run recorded spans");
+    assert!(
+        ctx.sim.take_trace().is_empty(),
+        "untraced run recorded spans"
+    );
     ctx.sim.enable_trace();
     run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
     let spans = ctx.sim.take_trace();
     assert!(!spans.is_empty());
     // take_trace both returns and disables.
     run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
-    assert!(ctx.sim.take_trace().is_empty(), "take_trace must disable tracing");
+    assert!(
+        ctx.sim.take_trace().is_empty(),
+        "take_trace must disable tracing"
+    );
 }
 
 #[test]
