@@ -10,6 +10,7 @@ pub mod intermediates;
 pub mod model_eval;
 pub mod modes;
 pub mod profile;
+pub mod serve;
 pub mod utilization;
 
 use gpl_core::ExecContext;
@@ -29,6 +30,10 @@ pub struct Opts {
     /// Positional arguments after the experiment name (e.g. the query
     /// for `repro profile q1`).
     pub extra: Vec<String>,
+    /// Pin the `repro serve` sweep to one worker count.
+    pub workers: Option<usize>,
+    /// Workload size for `repro serve` (default: 22 requests).
+    pub queries: Option<usize>,
 }
 
 impl Opts {
@@ -209,6 +214,12 @@ pub fn registry() -> Vec<Experiment> {
             run: breakdown::fig29,
         },
         Experiment {
+            name: "serve",
+            paper_ref: "serving",
+            description: "multi-query scheduler: throughput and queue latency vs workers",
+            run: serve::serve,
+        },
+        Experiment {
             name: "profile",
             paper_ref: "observability",
             description: "trace one query under all modes; Chrome-trace + metrics JSON export",
@@ -223,11 +234,21 @@ pub fn dispatch(args: &[String]) {
     let mut sf = None;
     let mut device = amd_a10();
     let mut extra = Vec::new();
+    let mut workers = None;
+    let mut queries = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--sf" => {
                 sf = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--workers" => {
+                workers = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--queries" => {
+                queries = args.get(i + 1).and_then(|v| v.parse().ok());
                 i += 2;
             }
             "--device" => {
@@ -255,7 +276,13 @@ pub fn dispatch(args: &[String]) {
             }
         }
     }
-    let opts = Opts { sf, device, extra };
+    let opts = Opts {
+        sf,
+        device,
+        extra,
+        workers,
+        queries,
+    };
     match name.as_deref() {
         None | Some("list") => {
             println!("repro — regenerate the paper's tables and figures\n");

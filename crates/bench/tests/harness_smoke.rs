@@ -15,6 +15,9 @@ fn cheap_experiments_run_at_tiny_scale() {
         sf: Some(0.004),
         device: amd_a10(),
         extra: Vec::new(),
+        // Keep `serve` cheap here: a pinned pool and a short workload.
+        workers: Some(2),
+        queries: Some(6),
     };
     for e in registry() {
         if skip.contains(&e.name) {
@@ -30,6 +33,8 @@ fn profile_runs_and_exports() {
         sf: Some(0.004),
         device: amd_a10(),
         extra: vec!["q1".to_string()],
+        workers: None,
+        queries: None,
     };
     let e = registry()
         .into_iter()

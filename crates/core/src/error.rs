@@ -1,0 +1,83 @@
+//! Structured execution errors.
+//!
+//! A single-query CLI can afford to abort on a stalled pipeline; a query
+//! *server* cannot — one bad query must fail alone, with enough context
+//! to debug it, while the worker that ran it moves on to the next
+//! request. [`ExecError`] is that boundary: the simulator's deadlock
+//! diagnostic is preserved verbatim, and the serving layer's per-query
+//! cycle budget and cancellation surface here too.
+
+use std::fmt;
+
+/// Why a query execution stopped without producing a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The simulated pipeline stalled: every kernel blocked (or drained)
+    /// with no completion event pending. Carries the device clock and
+    /// the simulator's per-kernel / per-channel state dump.
+    Deadlock { cycle: u64, diagnostic: String },
+    /// The query exceeded its simulated-cycle budget. Deterministic by
+    /// construction: the same query under the same budget always times
+    /// out at the same stage boundary, regardless of wall-clock speed.
+    Timeout {
+        budget_cycles: u64,
+        spent_cycles: u64,
+    },
+    /// The query's cancellation flag was raised between stages.
+    Cancelled,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Deadlock { cycle, diagnostic } => {
+                write!(f, "simulator deadlock at cycle {cycle}:{diagnostic}")
+            }
+            ExecError::Timeout {
+                budget_cycles,
+                spent_cycles,
+            } => write!(
+                f,
+                "query exceeded its cycle budget: {spent_cycles} spent of {budget_cycles} allowed"
+            ),
+            ExecError::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<gpl_sim::DeadlockError> for ExecError {
+    fn from(e: gpl_sim::DeadlockError) -> Self {
+        ExecError::Deadlock {
+            cycle: e.cycle,
+            diagnostic: e.diagnostic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_the_deadlock_diagnostic() {
+        let e = ExecError::from(gpl_sim::DeadlockError {
+            cycle: 618,
+            diagnostic: "\n  kernel k_map blocked".into(),
+        });
+        let s = e.to_string();
+        assert!(s.contains("cycle 618"));
+        assert!(s.contains("k_map"), "{s}");
+    }
+
+    #[test]
+    fn timeout_and_cancel_render() {
+        let t = ExecError::Timeout {
+            budget_cycles: 10,
+            spent_cycles: 25,
+        };
+        assert!(t.to_string().contains("25 spent of 10"));
+        assert_eq!(ExecError::Cancelled.to_string(), "query cancelled");
+    }
+}

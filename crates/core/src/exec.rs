@@ -1,6 +1,7 @@
 //! Query execution: context, configuration, and the three execution
 //! modes of Section 5.1 — KBE, GPL (w/o CE), and full GPL.
 
+use crate::error::ExecError;
 use crate::gpl;
 use crate::ht::{GroupStore, SimHashTable};
 use crate::kbe;
@@ -12,6 +13,8 @@ use gpl_tpch::{QueryOutput, TpchDb};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// How a plan is executed (Section 5.1's three systems).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,22 +91,28 @@ impl QueryConfig {
 /// engines. Table columns are mapped into simulated memory once.
 pub struct ExecContext {
     pub sim: Simulator,
-    pub db: Rc<TpchDb>,
+    pub db: Arc<TpchDb>,
     layouts: HashMap<String, TableLayout>,
 }
 
 impl ExecContext {
     pub fn new(spec: DeviceSpec, db: TpchDb) -> Self {
+        Self::with_shared(spec, Arc::new(db))
+    }
+
+    /// Build a context over an already-shared database. Worker threads in
+    /// the serving layer each call this with a clone of one `Arc<TpchDb>`:
+    /// the (large, immutable) column data is shared, while the simulator
+    /// and its memory map — the mutable, per-query state — stay private
+    /// to the worker. `TableLayout::install` only allocates simulated
+    /// regions; it copies no data, so per-worker setup is cheap.
+    pub fn with_shared(spec: DeviceSpec, db: Arc<TpchDb>) -> Self {
         let mut sim = Simulator::new(spec);
         let mut layouts = HashMap::new();
         for t in db.tables() {
             layouts.insert(t.name().to_string(), TableLayout::install(&mut sim.mem, t));
         }
-        ExecContext {
-            sim,
-            db: Rc::new(db),
-            layouts,
-        }
+        ExecContext { sim, db, layouts }
     }
 
     pub fn layout(&self, table: &str) -> &TableLayout {
@@ -114,6 +123,60 @@ impl ExecContext {
 
     pub fn spec(&self) -> DeviceSpec {
         self.sim.spec().clone()
+    }
+
+    /// Launch a set of kernels on this context's simulator, surfacing a
+    /// pipeline stall as a structured [`ExecError::Deadlock`] instead of
+    /// panicking. This is the seam the GPL engine and the failure-mode
+    /// tests use to exercise the error path.
+    pub fn run_kernels(&mut self, kernels: Vec<KernelDesc>) -> Result<LaunchProfile, ExecError> {
+        self.sim.try_run(kernels).map_err(ExecError::from)
+    }
+}
+
+/// Runtime limits for one query execution, checked at stage boundaries.
+///
+/// Both limits are expressed in *deterministic* units — simulated device
+/// cycles and an explicit flag — never wall-clock time, so a limited run
+/// produces the same outcome on a loaded laptop and an idle server.
+#[derive(Debug, Clone, Default)]
+pub struct ExecLimits {
+    /// Abort with [`ExecError::Timeout`] once the query's simulated
+    /// cycles exceed this budget. `None` = unlimited.
+    pub max_cycles: Option<u64>,
+    /// Abort with [`ExecError::Cancelled`] when this flag is raised.
+    /// Checked before every stage, so cancellation latency is bounded by
+    /// one stage, not one query.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl ExecLimits {
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn with_max_cycles(max_cycles: u64) -> Self {
+        ExecLimits {
+            max_cycles: Some(max_cycles),
+            cancel: None,
+        }
+    }
+
+    fn check(&self, spent: u64) -> Result<(), ExecError> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(ExecError::Cancelled);
+            }
+        }
+        if let Some(budget) = self.max_cycles {
+            if spent > budget {
+                return Err(ExecError::Timeout {
+                    budget_cycles: budget,
+                    spent_cycles: spent,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -137,13 +200,33 @@ impl QueryRun {
     }
 }
 
-/// Run `plan` under `mode` with `config`.
+/// Run `plan` under `mode` with `config`, panicking on execution errors.
+///
+/// This is the single-query entry point used by benchmarks and tests,
+/// where a deadlock is a bug worth aborting on. Servers should call
+/// [`try_run_query`], which keeps the process alive and the diagnostic
+/// intact.
 pub fn run_query(
     ctx: &mut ExecContext,
     plan: &QueryPlan,
     mode: ExecMode,
     config: &QueryConfig,
 ) -> QueryRun {
+    try_run_query(ctx, plan, mode, config, &ExecLimits::none()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run `plan` under `mode` with `config`, subject to `limits`.
+///
+/// Errors leave the context usable for the next query: the simulator's
+/// clock and memory map survive, and the serving layer discards the
+/// per-query state (hash tables, aggregate stores) with the locals here.
+pub fn try_run_query(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    mode: ExecMode,
+    config: &QueryConfig,
+    limits: &ExecLimits,
+) -> Result<QueryRun, ExecError> {
     plan.validate();
     assert_eq!(
         config.stages.len(),
@@ -168,6 +251,7 @@ pub fn run_query(
     let mut merged = LaunchProfile::default();
 
     for (idx, (stage, cfg)) in plan.stages.iter().zip(&config.stages).enumerate() {
+        limits.check(merged.elapsed_cycles)?;
         let stage_span = rec.as_ref().map(|r| {
             let t = r.track("exec");
             let s = r.begin(
@@ -232,7 +316,7 @@ pub fn run_query(
                 }
                 p
             }
-            ExecMode::Gpl => gpl::run_stage(ctx, stage, &hts, build.as_ref(), agg.as_ref(), cfg),
+            ExecMode::Gpl => gpl::run_stage(ctx, stage, &hts, build.as_ref(), agg.as_ref(), cfg)?,
         };
 
         if let Some(agg) = agg {
@@ -250,6 +334,7 @@ pub fn run_query(
     }
 
     let mut rows = agg_rows.expect("plan must end in an aggregate stage");
+    limits.check(merged.elapsed_cycles)?;
     // Final ORDER BY, as a (blocking) sort kernel, then LIMIT.
     if !plan.order_by.is_empty() {
         let prof = run_sort_kernel(ctx, &mut rows, &plan.order_by);
@@ -276,12 +361,12 @@ pub fn run_query(
         plan.output_columns.iter().map(String::as_str).collect(),
         rows,
     );
-    QueryRun {
+    Ok(QueryRun {
         output,
         cycles: merged.elapsed_cycles,
         profile: merged,
         per_stage,
-    }
+    })
 }
 
 /// Bytes per driver row across the stage's loaded columns (tiling input).
@@ -399,6 +484,47 @@ mod tests {
         for (s, c) in plan.stages.iter().zip(&cfg.stages) {
             assert_eq!(c.wg_counts.len(), s.gpl_kernel_names().len());
         }
+    }
+
+    #[test]
+    fn cycle_budget_trips_at_a_stage_boundary() {
+        let db = TpchDb::at_scale(0.002);
+        let plan = crate::plan::plan_for(&db, gpl_tpch::QueryId::Q5);
+        let mut ctx = ExecContext::new(amd_a10(), db);
+        let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+        let err = try_run_query(
+            &mut ctx,
+            &plan,
+            ExecMode::Kbe,
+            &cfg,
+            &ExecLimits::with_max_cycles(1),
+        )
+        .unwrap_err();
+        match err {
+            ExecError::Timeout {
+                budget_cycles,
+                spent_cycles,
+            } => {
+                assert_eq!(budget_cycles, 1);
+                assert!(spent_cycles > 1);
+            }
+            e => panic!("expected timeout, got {e}"),
+        }
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_before_the_first_stage() {
+        let db = TpchDb::at_scale(0.002);
+        let plan = crate::plan::plan_for(&db, gpl_tpch::QueryId::Q6);
+        let mut ctx = ExecContext::new(amd_a10(), db);
+        let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+        let flag = Arc::new(AtomicBool::new(true));
+        let limits = ExecLimits {
+            max_cycles: None,
+            cancel: Some(flag),
+        };
+        let err = try_run_query(&mut ctx, &plan, ExecMode::Kbe, &cfg, &limits).unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
     }
 
     #[test]

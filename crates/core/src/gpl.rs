@@ -12,6 +12,7 @@
 //! build, aggregation) writes global state — exactly Figure 8's contrast
 //! with KBE.
 
+use crate::error::ExecError;
 use crate::exec::{stage_row_bytes, ExecContext, StageConfig};
 use crate::expr::{Expr, Pred, Slot};
 use crate::ht::{GroupStore, SimHashTable};
@@ -24,6 +25,7 @@ use gpl_tpch::TpchDb;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Rows a leaf work-group quantum covers.
 pub const SCAN_BATCH_ROWS: usize = 4096;
@@ -135,7 +137,7 @@ fn apply_steps(
 /// rows only — the way a real map kernel evaluates its predicate before
 /// touching payload columns. A hidden row-id slot tracks survivors.
 struct LeafSource {
-    db: Rc<TpchDb>,
+    db: Arc<TpchDb>,
     table: String,
     /// Eagerly streamed: (slot, table column index, base, width).
     cols: Vec<(Slot, usize, u64, u64)>,
@@ -451,7 +453,10 @@ impl gpl_sim::WorkSource for TermSource {
     }
 }
 
-/// Run one stage as a GPL pipeline.
+/// Run one stage as a GPL pipeline. The channel pipeline is the only
+/// execution path whose kernels can block on each other, so it is the
+/// only one that can deadlock — hence the `Result`; KBE and replay
+/// kernels never return `Work::Wait` and stay infallible.
 pub(crate) fn run_stage(
     ctx: &mut ExecContext,
     stage: &Stage,
@@ -459,7 +464,7 @@ pub(crate) fn run_stage(
     build: Option<&Rc<RefCell<SimHashTable>>>,
     agg: Option<&Rc<RefCell<GroupStore>>>,
     cfg: &StageConfig,
-) -> LaunchProfile {
+) -> Result<LaunchProfile, ExecError> {
     let spec = ctx.sim.spec().clone();
     let wavefront = spec.wavefront_size;
     let live = live_slots(stage);
@@ -639,7 +644,7 @@ pub(crate) fn run_stage(
         .reads_channel(channels[last]),
     );
 
-    ctx.sim.run(kernels)
+    ctx.run_kernels(kernels)
 }
 
 #[cfg(test)]
@@ -675,7 +680,7 @@ mod tests {
             1,
             "t",
         )));
-        let p = run_stage(&mut ctx, stage, &[], None, Some(&agg), &cfg(stage));
+        let p = run_stage(&mut ctx, stage, &[], None, Some(&agg), &cfg(stage)).unwrap();
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::listing1(&ctx.db, cutoff);
         assert_eq!(got, want.rows);
@@ -695,7 +700,7 @@ mod tests {
             "part",
         )));
         let s0 = &plan.stages[0];
-        run_stage(&mut ctx, s0, &[], Some(&ht), None, &cfg(s0));
+        run_stage(&mut ctx, s0, &[], Some(&ht), None, &cfg(s0)).unwrap();
         assert_eq!(ht.borrow().len(), ctx.db.part.rows());
 
         let hts = vec![Some(ht)];
@@ -709,7 +714,7 @@ mod tests {
         let s1 = &plan.stages[1];
         // Q14's probe pipeline: leaf map, probe(+fused maps), reduce.
         assert_eq!(s1.gpl_kernel_names().len(), 3);
-        run_stage(&mut ctx, s1, &hts, None, Some(&agg), &cfg(s1));
+        run_stage(&mut ctx, s1, &hts, None, Some(&agg), &cfg(s1)).unwrap();
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::q14(&ctx.db, params);
         assert_eq!(got, want.rows);
@@ -728,7 +733,7 @@ mod tests {
 
         let mut c2 = ctx();
         let agg2 = Rc::new(RefCell::new(GroupStore::new(&mut c2.sim.mem, 4, 0, 1, "t")));
-        let gpl_prof = run_stage(&mut c2, stage, &[], None, Some(&agg2), &cfg(stage));
+        let gpl_prof = run_stage(&mut c2, stage, &[], None, Some(&agg2), &cfg(stage)).unwrap();
 
         assert!(
             gpl_prof.intermediate_footprint() < kbe_prof.intermediate_footprint() / 4,

@@ -21,6 +21,7 @@
 //! Results of every mode are validated bit-for-bit against the CPU
 //! reference in `gpl-tpch`.
 
+pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod gpl;
@@ -31,7 +32,10 @@ pub mod partitioned;
 pub mod plan;
 pub mod replay;
 
-pub use exec::{run_query, ExecContext, ExecMode, QueryConfig, QueryRun, StageConfig};
+pub use error::ExecError;
+pub use exec::{
+    run_query, try_run_query, ExecContext, ExecLimits, ExecMode, QueryConfig, QueryRun, StageConfig,
+};
 pub use expr::{CmpOp, Expr, Pred, Slot};
 pub use ht::AggKind;
 pub use plan::{plan_for, Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal};

@@ -30,5 +30,8 @@ pub use cost::{allocate_residency, estimate_query, estimate_stage, StageEstimate
 pub use error::{evaluate, relative_error, ModelEval};
 pub use gamma::GammaTable;
 pub use joinopt::optimize_join_order;
-pub use search::{optimize, optimize_models, optimize_models_traced, SearchOutcome};
+pub use search::{
+    optimize, optimize_models, optimize_models_cached, optimize_models_traced, SearchCache,
+    SearchOutcome,
+};
 pub use stats::{estimate as estimate_stats, PlanStats};

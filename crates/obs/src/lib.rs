@@ -31,4 +31,6 @@ pub use export::{chrome_trace, chrome_trace_string, metrics_report};
 pub use json::Json;
 pub use metrics::{Histogram, Metric, MetricKey, MetricsRegistry};
 pub use parse::{parse, ParseError};
-pub use record::{CounterId, CounterSeries, Event, Recorder, Span, SpanId, TrackId, Value};
+pub use record::{
+    CounterId, CounterSeries, Event, Recorder, RecorderDump, Span, SpanId, TrackId, Value,
+};

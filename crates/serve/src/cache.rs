@@ -1,0 +1,172 @@
+//! The shared plan/config cache.
+//!
+//! Planning a query costs two searches: join-order optimization at
+//! compile time and the Section-4 knob search (<5 ms each, but per
+//! query). A server answering the same normalized SQL thousands of
+//! times pays both once: [`PlanCache`] memoizes the compiled
+//! [`QueryPlan`] *and* the optimizer's chosen [`QueryConfig`], keyed by
+//! `normalized SQL × device × exec mode`. The config half additionally
+//! flows through `gpl-model`'s [`SearchCache`], whose hit/miss counters
+//! the batch report surfaces.
+
+use gpl_core::{ExecMode, QueryConfig, QueryPlan};
+use gpl_model::{build_models, estimate_stats, optimize_models_cached, GammaTable, SearchCache};
+use gpl_sim::DeviceSpec;
+use gpl_tpch::TpchDb;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// One cached planning outcome.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    pub plan: QueryPlan,
+    pub config: QueryConfig,
+    /// The cost model's Eq. 8 estimate for `config`, in cycles.
+    pub estimate: f64,
+}
+
+struct PlanCacheInner {
+    map: HashMap<String, Arc<PlanEntry>>,
+    /// Recency order, least-recent first.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe LRU cache of [`PlanEntry`]s shared by all workers.
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    search: SearchCache,
+    capacity: usize,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            search: SearchCache::new(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Normalize SQL for cache keying: collapse runs of whitespace and
+    /// strip a trailing semicolon, so reformatted copies of one query
+    /// share an entry. Case is preserved — string literals are
+    /// case-sensitive and keywords are cheap to leave alone.
+    pub fn normalize(sql: &str) -> String {
+        let mut out = String::with_capacity(sql.len());
+        let mut in_ws = true; // also trims leading whitespace
+        for c in sql.chars() {
+            if c.is_whitespace() {
+                if !in_ws {
+                    out.push(' ');
+                    in_ws = true;
+                }
+            } else {
+                out.push(c);
+                in_ws = false;
+            }
+        }
+        while out.ends_with(' ') || out.ends_with(';') {
+            out.pop();
+        }
+        out
+    }
+
+    fn key(spec: &DeviceSpec, mode: ExecMode, normalized: &str) -> String {
+        format!("{}\u{1f}{}\u{1f}{normalized}", spec.name, mode.name())
+    }
+
+    /// Look up (or compile + optimize and insert) the plan for `sql`.
+    /// Returns the entry and whether it was a cache hit. The cache lock
+    /// is *not* held while planning, so a slow miss never blocks other
+    /// workers; two workers racing on the same cold query both plan it
+    /// (deterministically identically) and the second insert wins.
+    pub fn get_or_plan(
+        &self,
+        db: &TpchDb,
+        spec: &DeviceSpec,
+        gamma: &GammaTable,
+        sql: &str,
+        mode: ExecMode,
+    ) -> Result<(Arc<PlanEntry>, bool), String> {
+        let normalized = Self::normalize(sql);
+        let key = Self::key(spec, mode, &normalized);
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            if let Some(entry) = inner.map.get(&key).cloned() {
+                inner.hits += 1;
+                inner.order.retain(|k| k != &key);
+                inner.order.push_back(key);
+                return Ok((entry, true));
+            }
+            inner.misses += 1;
+        }
+        let plan = gpl_sql::compile_optimized(db, sql).map_err(|e| e.to_string())?;
+        let stats = estimate_stats(db, &plan);
+        let models = build_models(db, &plan, &stats, spec);
+        let search_key = format!("{}\u{1f}{normalized}", mode.name());
+        let out = optimize_models_cached(spec, gamma, &plan, &models, &self.search, &search_key);
+        let entry = Arc::new(PlanEntry {
+            plan,
+            config: out.config,
+            estimate: out.estimate,
+        });
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.map.insert(key.clone(), entry.clone()).is_none() {
+            inner.order.push_back(key);
+        } else {
+            inner.order.retain(|k| k != &key);
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&victim);
+        }
+        Ok((entry, false))
+    }
+
+    /// Cumulative `(hits, misses)` of the plan cache.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Cumulative `(hits, misses)` of the inner config [`SearchCache`].
+    pub fn search_stats(&self) -> (u64, u64) {
+        self.search.stats()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_whitespace_and_trailing_semicolon() {
+        assert_eq!(
+            PlanCache::normalize("  select\n\t sum(x)  from t ; "),
+            "select sum(x) from t"
+        );
+        assert_eq!(
+            PlanCache::normalize("select 'A  B'"),
+            "select 'A B'",
+            "normalization is lexical, not literal-aware; keys only"
+        );
+    }
+}

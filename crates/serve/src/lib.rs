@@ -1,0 +1,36 @@
+//! # gpl-serve — a concurrent multi-query serving layer
+//!
+//! The paper's engine answers one query on one thread; the roadmap's
+//! north star is sustained traffic. This crate turns the reproduction
+//! into a query *server* while keeping every result deterministic:
+//!
+//! * [`scheduler`] — a bounded pool of `std::thread` workers behind a
+//!   two-class (high/normal) FIFO admission queue, with per-query
+//!   simulated-cycle timeouts and cooperative cancellation. Each worker
+//!   builds a fresh [`gpl_core::ExecContext`] per query over the shared
+//!   `Arc<TpchDb>`, so simulated cycles are a pure function of the
+//!   request — results and cycle counts are byte-identical at any
+//!   worker count (pinned by `tests/determinism.rs`).
+//! * [`cache`] — the shared [`PlanCache`]: compiled plans *and* the
+//!   Section-4 optimizer's chosen configurations, keyed by normalized
+//!   SQL × device × exec mode, LRU-evicted, with hit/miss counters at
+//!   both the plan and config-search layers.
+//! * [`request`] — request/response types; failures surface as
+//!   structured [`ServeError`]s (the simulator's deadlock diagnostic
+//!   survives verbatim) instead of aborting the process.
+//! * [`report`] — batch aggregates: queries/sec, queue-latency
+//!   percentiles, a deterministic FNV-1a result fingerprint, the merged
+//!   `q{id}/`-prefixed multi-track trace, and `serve.*` metrics.
+//!
+//! The `repro serve` experiment in `gpl-bench` drives this layer over
+//! the TPC-H corpus at worker counts 1/2/4/8.
+
+pub mod cache;
+pub mod report;
+pub mod request;
+pub mod scheduler;
+
+pub use cache::{PlanCache, PlanEntry};
+pub use report::BatchReport;
+pub use request::{Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
+pub use scheduler::{ServeConfig, Server};

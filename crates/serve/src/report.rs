@@ -1,0 +1,223 @@
+//! Batch reporting: throughput/latency aggregates, the deterministic
+//! result fingerprint, the merged multi-track trace, and the
+//! `serve.*` metrics snapshot.
+
+use crate::request::QueryResponse;
+use gpl_obs::{MetricsRegistry, Recorder};
+use std::time::Duration;
+
+/// Everything a completed batch produced. `responses` are sorted by
+/// request id; wall-clock fields (latencies, throughput) depend on the
+/// machine and worker count, while [`BatchReport::fingerprint`] covers
+/// only the deterministic per-query facts.
+#[derive(Debug)]
+pub struct BatchReport {
+    pub responses: Vec<QueryResponse>,
+    pub workers: usize,
+    pub wall: Duration,
+    /// Plan-cache `(hits, misses)` at batch end (cumulative per server).
+    pub plan_cache: (u64, u64),
+    /// Config search-cache `(hits, misses)` at batch end.
+    pub search_cache: (u64, u64),
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl BatchReport {
+    pub fn ok_count(&self) -> usize {
+        self.responses.iter().filter(|r| r.result.is_ok()).count()
+    }
+
+    pub fn err_count(&self) -> usize {
+        self.responses.len() - self.ok_count()
+    }
+
+    /// Completed queries per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.responses.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The `pct`-th percentile (0–100, nearest-rank) of queue latency.
+    pub fn queue_latency_pct(&self, pct: f64) -> Duration {
+        let mut lat: Vec<Duration> = self.responses.iter().map(|r| r.queue_wall).collect();
+        if lat.is_empty() {
+            return Duration::ZERO;
+        }
+        lat.sort();
+        let rank = ((pct / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// The deterministic simulated schedule: queries in id order, each
+    /// assigned to the earliest-available of `workers` simulated
+    /// devices (every worker owns its own simulator, so the fleet is
+    /// `workers` GPUs). Returns `(id, start_cycle, cycles)` per
+    /// successful query. Failed queries occupy no device time.
+    pub fn simulated_schedule(&self) -> Vec<(u64, u64, u64)> {
+        let mut avail = vec![0u64; self.workers.max(1)];
+        let mut sched = Vec::with_capacity(self.responses.len());
+        for r in &self.responses {
+            if let Ok(res) = &r.result {
+                let w = (0..avail.len())
+                    .min_by_key(|&w| avail[w])
+                    .expect("non-empty");
+                sched.push((r.id, avail[w], res.cycles));
+                avail[w] += res.cycles;
+            }
+        }
+        sched
+    }
+
+    /// Simulated cycles until the last device drains — the deterministic
+    /// makespan of the batch on `workers` simulated GPUs.
+    pub fn simulated_makespan(&self) -> u64 {
+        self.simulated_schedule()
+            .iter()
+            .map(|&(_, start, cycles)| start + cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The `pct`-th percentile (nearest-rank) of *simulated* queue
+    /// latency: how many device cycles each query waited for a free
+    /// simulated GPU. Deterministic, unlike the wall-clock latencies.
+    pub fn simulated_queue_pct(&self, pct: f64) -> u64 {
+        let mut waits: Vec<u64> = self
+            .simulated_schedule()
+            .iter()
+            .map(|&(_, start, _)| start)
+            .collect();
+        if waits.is_empty() {
+            return 0;
+        }
+        waits.sort_unstable();
+        let rank = ((pct / 100.0) * waits.len() as f64).ceil() as usize;
+        waits[rank.clamp(1, waits.len()) - 1]
+    }
+
+    /// FNV-1a over the deterministic facts of every response, in id
+    /// order: id, mode, and either (columns, rows, simulated cycles) or
+    /// the error's display text. Identical across worker counts and
+    /// machines; any scheduling-dependent field is excluded.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for r in &self.responses {
+            fnv1a(&mut h, &r.id.to_le_bytes());
+            fnv1a(&mut h, r.mode.name().as_bytes());
+            match &r.result {
+                Ok(res) => {
+                    fnv1a(&mut h, &[1]);
+                    for c in &res.output.columns {
+                        fnv1a(&mut h, c.as_bytes());
+                    }
+                    fnv1a(&mut h, &(res.output.rows.len() as u64).to_le_bytes());
+                    for row in &res.output.rows {
+                        for v in row {
+                            fnv1a(&mut h, &v.to_le_bytes());
+                        }
+                    }
+                    fnv1a(&mut h, &res.cycles.to_le_bytes());
+                }
+                Err(e) => {
+                    fnv1a(&mut h, &[0]);
+                    fnv1a(&mut h, e.to_string().as_bytes());
+                }
+            }
+        }
+        h
+    }
+
+    /// Merge every per-query recorder dump into one multi-track trace:
+    /// query `id`'s tracks appear under the `q{id}/` prefix, in id
+    /// order. Timestamps stay in per-query simulated cycles (all start
+    /// at zero), so the trace aligns queries on a common axis instead of
+    /// serializing them.
+    pub fn merged_trace(&self) -> Recorder {
+        let rec = Recorder::new();
+        for r in &self.responses {
+            if let Some(dump) = &r.trace {
+                rec.absorb(&format!("q{}/", r.id), dump);
+            }
+        }
+        rec
+    }
+
+    /// Snapshot the batch into a metrics registry: the
+    /// `serve.queued/running/done` gauges (terminal values for a drained
+    /// batch: 0 / 0 / n), cache counters, and per-outcome counts.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("serve.queued", &[], 0.0);
+        m.gauge_set("serve.running", &[], 0.0);
+        m.gauge_set("serve.done", &[], self.responses.len() as f64);
+        m.gauge_set("serve.workers", &[], self.workers as f64);
+        m.counter_add("serve.queries.ok", &[], self.ok_count() as u64);
+        m.counter_add("serve.queries.err", &[], self.err_count() as u64);
+        m.counter_add("serve.plan_cache.hits", &[], self.plan_cache.0);
+        m.counter_add("serve.plan_cache.misses", &[], self.plan_cache.1);
+        m.counter_add("serve.search_cache.hits", &[], self.search_cache.0);
+        m.counter_add("serve.search_cache.misses", &[], self.search_cache.1);
+        for r in &self.responses {
+            m.histogram_observe(
+                "serve.queue_latency_us",
+                &[],
+                r.queue_wall.as_micros() as u64,
+            );
+            if let Ok(res) = &r.result {
+                m.histogram_observe("serve.query_cycles", &[], res.cycles);
+            }
+        }
+        m
+    }
+
+    /// Human-readable batch summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "batch: {} queries, {} workers, {:.1} ms wall, {:.1} q/s\n",
+            self.responses.len(),
+            self.workers,
+            self.wall.as_secs_f64() * 1e3,
+            self.queries_per_sec()
+        ));
+        out.push_str(&format!(
+            "queue latency: p50 {:.2} ms, p95 {:.2} ms\n",
+            self.queue_latency_pct(50.0).as_secs_f64() * 1e3,
+            self.queue_latency_pct(95.0).as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!(
+            "plan cache: {} hits / {} misses; config search cache: {} hits / {} misses\n",
+            self.plan_cache.0, self.plan_cache.1, self.search_cache.0, self.search_cache.1
+        ));
+        out.push_str(&format!("fingerprint: {:#018x}\n", self.fingerprint()));
+        for r in &self.responses {
+            match &r.result {
+                Ok(res) => out.push_str(&format!(
+                    "  q{:<3} {:<11} {:>4} rows {:>12} cycles  plan {:>7.3} ms{}  exec {:>8.2} ms (w{})\n",
+                    r.id,
+                    r.mode.name(),
+                    res.output.rows.len(),
+                    res.cycles,
+                    r.plan_wall.as_secs_f64() * 1e3,
+                    if r.plan_cache_hit { " (hit) " } else { " (miss)" },
+                    r.exec_wall.as_secs_f64() * 1e3,
+                    r.worker,
+                )),
+                Err(e) => out.push_str(&format!(
+                    "  q{:<3} {:<11} ERROR: {e}\n",
+                    r.id,
+                    r.mode.name()
+                )),
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,308 @@
+//! The multi-query scheduler: a bounded pool of worker threads behind a
+//! two-class (high/normal) FIFO queue.
+//!
+//! Each worker owns its own simulator: it builds a fresh
+//! [`ExecContext`] per query over the shared `Arc<TpchDb>`, so a
+//! query's simulated cycle count is a pure function of the request —
+//! never of which worker ran it, what ran before it, or how many
+//! workers exist. That is the scheduler's determinism contract
+//! (`tests/determinism.rs` pins it): concurrency changes wall-clock
+//! latencies only.
+
+use crate::cache::PlanCache;
+use crate::report::BatchReport;
+use crate::request::{Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
+use gpl_core::{try_run_query, ExecContext, ExecLimits};
+use gpl_model::GammaTable;
+use gpl_obs::Recorder;
+use gpl_sim::DeviceSpec;
+use gpl_tpch::TpchDb;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each owns one simulator at a time).
+    pub workers: usize,
+    /// [`PlanCache`] capacity in entries.
+    pub plan_cache_capacity: usize,
+    /// Attach a per-query recorder and ship its dump in the response
+    /// (merged into a multi-track trace by the batch report).
+    pub record_traces: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            plan_cache_capacity: 64,
+            record_traces: false,
+        }
+    }
+}
+
+struct Job {
+    req: QueryRequest,
+    submitted: Instant,
+}
+
+struct Queue {
+    high: VecDeque<Job>,
+    normal: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    spec: DeviceSpec,
+    db: Arc<TpchDb>,
+    gamma: Arc<GammaTable>,
+    plans: Arc<PlanCache>,
+    queue: Mutex<Queue>,
+    available: Condvar,
+    record_traces: bool,
+    /// `serve.queued/running/done` gauge backing (snapshot into the
+    /// metrics registry by [`BatchReport::metrics`]).
+    queued: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+}
+
+/// The query server: owns the worker pool, the admission queue and the
+/// shared [`PlanCache`].
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    results: Mutex<Receiver<QueryResponse>>,
+}
+
+impl Server {
+    /// Start `config.workers` workers over a shared database and
+    /// calibrated Γ table.
+    pub fn start(
+        config: ServeConfig,
+        spec: DeviceSpec,
+        db: Arc<TpchDb>,
+        gamma: Arc<GammaTable>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            spec,
+            db,
+            gamma,
+            plans: Arc::new(PlanCache::new(config.plan_cache_capacity)),
+            queue: Mutex::new(Queue {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            record_traces: config.record_traces,
+            queued: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        });
+        let (tx, rx) = channel();
+        let workers = (0..config.workers.max(1))
+            .map(|idx| {
+                let shared = shared.clone();
+                let tx: Sender<QueryResponse> = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gpl-serve-{idx}"))
+                    .spawn(move || worker_loop(idx, &shared, &tx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers,
+            results: Mutex::new(rx),
+        }
+    }
+
+    /// The shared plan cache (for stats and tests).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.shared.plans
+    }
+
+    /// Current `(queued, running, done)` gauge values.
+    pub fn gauges(&self) -> (u64, u64, u64) {
+        (
+            self.shared.queued.load(Ordering::Relaxed),
+            self.shared.running.load(Ordering::Relaxed),
+            self.shared.done.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Enqueue one request.
+    pub fn submit(&self, req: QueryRequest) {
+        self.submit_all(std::iter::once(req));
+    }
+
+    /// Enqueue a batch atomically: the queue lock is held across every
+    /// push, so no worker observes a partially-admitted batch. With one
+    /// worker this makes the *execution order* of a batch fully
+    /// deterministic: all high-priority requests in submit order, then
+    /// all normal ones.
+    pub fn submit_all(&self, reqs: impl IntoIterator<Item = QueryRequest>) {
+        let mut n = 0u64;
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            for req in reqs {
+                let job = Job {
+                    req,
+                    submitted: Instant::now(),
+                };
+                match job.req.priority {
+                    Priority::High => q.high.push_back(job),
+                    Priority::Normal => q.normal.push_back(job),
+                }
+                n += 1;
+            }
+        }
+        self.shared.queued.fetch_add(n, Ordering::Relaxed);
+        self.shared.available.notify_all();
+    }
+
+    /// Collect `n` responses, blocking until all have arrived. Responses
+    /// arrive in completion order (worker-count dependent).
+    pub fn collect(&self, n: usize) -> Vec<QueryResponse> {
+        let rx = self.results.lock().expect("results poisoned");
+        (0..n)
+            .map(|_| rx.recv().expect("worker pool alive"))
+            .collect()
+    }
+
+    /// Submit a batch, wait for every response, and return them sorted
+    /// by request id — the deterministic view of a workload.
+    pub fn run_batch(&self, reqs: Vec<QueryRequest>) -> Vec<QueryResponse> {
+        let n = reqs.len();
+        self.submit_all(reqs);
+        let mut responses = self.collect(n);
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    /// [`Server::run_batch`] wrapped into a [`BatchReport`] with
+    /// throughput/latency aggregates and cache statistics.
+    pub fn run_batch_report(&self, reqs: Vec<QueryRequest>) -> BatchReport {
+        let workers = self.workers.len();
+        let t0 = Instant::now();
+        let responses = self.run_batch(reqs);
+        BatchReport {
+            responses,
+            workers,
+            wall: t0.elapsed(),
+            plan_cache: self.shared.plans.stats(),
+            search_cache: self.shared.plans.search_stats(),
+        }
+    }
+
+    /// Stop accepting work, drain the queue, and join every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = q.high.pop_front().or_else(|| q.normal.pop_front()) {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).expect("queue poisoned");
+            }
+        };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let resp = process(idx, shared, job);
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared.done.fetch_add(1, Ordering::Relaxed);
+        if tx.send(resp).is_err() {
+            // Server dropped the receiver; nothing left to report to.
+            return;
+        }
+    }
+}
+
+fn process(idx: usize, shared: &Shared, job: Job) -> QueryResponse {
+    let queue_wall = job.submitted.elapsed();
+    let req = job.req;
+    let plan_t0 = Instant::now();
+    let planned =
+        shared
+            .plans
+            .get_or_plan(&shared.db, &shared.spec, &shared.gamma, &req.sql, req.mode);
+    let plan_wall = plan_t0.elapsed();
+    let (entry, hit) = match planned {
+        Ok(v) => v,
+        Err(msg) => {
+            return QueryResponse {
+                id: req.id,
+                mode: req.mode,
+                result: Err(ServeError::Plan(msg)),
+                plan_cache_hit: false,
+                plan_wall,
+                queue_wall,
+                exec_wall: Default::default(),
+                worker: idx,
+                trace: None,
+            }
+        }
+    };
+    // A fresh context per query: fresh simulator clock, cold data cache,
+    // private memory map — the isolation that makes cycles per-query
+    // pure. Layout installation is cheap (region bookkeeping, no copy).
+    let exec_t0 = Instant::now();
+    let mut ctx = ExecContext::with_shared(shared.spec.clone(), shared.db.clone());
+    let rec = shared.record_traces.then(Recorder::new);
+    if let Some(r) = &rec {
+        ctx.sim.attach_recorder(r.clone());
+    }
+    let limits = ExecLimits {
+        max_cycles: req.max_cycles,
+        cancel: req.cancel.clone(),
+    };
+    let result = try_run_query(&mut ctx, &entry.plan, req.mode, &entry.config, &limits)
+        .map(|run| QueryResult {
+            output: run.output,
+            cycles: run.cycles,
+        })
+        .map_err(ServeError::Exec);
+    QueryResponse {
+        id: req.id,
+        mode: req.mode,
+        result,
+        plan_cache_hit: hit,
+        plan_wall,
+        queue_wall,
+        exec_wall: exec_t0.elapsed(),
+        worker: idx,
+        trace: rec.map(|r| r.dump()),
+    }
+}

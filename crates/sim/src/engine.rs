@@ -36,6 +36,31 @@ use crate::mem::{MemRange, MemoryMap, RegionClass};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// A pipeline that can no longer make progress: every kernel is blocked
+/// (or drained) and no completion event is pending. Carried as a value so
+/// serving layers can fail one query instead of aborting the process; the
+/// diagnostic preserves the per-kernel / per-channel state dump the panic
+/// message used to carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockError {
+    /// Device clock at which the simulator stalled.
+    pub cycle: u64,
+    /// Per-kernel and per-channel state at the stall, one line each.
+    pub diagnostic: String,
+}
+
+impl std::fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulator deadlock at cycle {}:{}",
+            self.cycle, self.diagnostic
+        )
+    }
+}
+
+impl std::error::Error for DeadlockError {}
+
 /// Device-wide simulator state persisting across launches.
 pub struct Simulator {
     spec: DeviceSpec,
@@ -274,8 +299,17 @@ impl Simulator {
 
     /// Launch `kernels` concurrently and run to completion. Returns the
     /// launch profile; the device clock, cache contents and channel state
-    /// persist for subsequent launches.
+    /// persist for subsequent launches. Panics on deadlock — use
+    /// [`Simulator::try_run`] to receive a structured error instead.
     pub fn run(&mut self, kernels: Vec<KernelDesc>) -> LaunchProfile {
+        self.try_run(kernels).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run`], but a stalled pipeline returns a
+    /// [`DeadlockError`] (with the clock and the per-kernel/channel state
+    /// dump) instead of panicking. On error the launch is abandoned
+    /// mid-flight; the simulator should be discarded, not relaunched.
+    pub fn try_run(&mut self, kernels: Vec<KernelDesc>) -> Result<LaunchProfile, DeadlockError> {
         assert!(!kernels.is_empty(), "launching zero kernels");
         let start = self.clock;
         let residency = self.allocate_residency(&kernels);
@@ -615,7 +649,10 @@ impl Simulator {
                         c.eof()
                     ));
                 }
-                panic!("simulator deadlock at cycle {}:{diag}", self.clock);
+                return Err(DeadlockError {
+                    cycle: self.clock,
+                    diagnostic: diag,
+                });
             };
             debug_assert!(ev.time >= self.clock, "time must be monotone");
             occ_tick!(ev.time);
@@ -674,7 +711,7 @@ impl Simulator {
                 );
             }
         }
-        profile
+        Ok(profile)
     }
 }
 
@@ -796,6 +833,16 @@ mod tests {
         let src = |_: &dyn ChannelView| Work::Wait;
         let k = KernelDesc::new("stuck", res(), 4, Box::new(src));
         sim.run(vec![k]);
+    }
+
+    #[test]
+    fn try_run_returns_structured_deadlock() {
+        let mut sim = Simulator::new(amd_a10());
+        let src = |_: &dyn ChannelView| Work::Wait;
+        let k = KernelDesc::new("stuck", res(), 4, Box::new(src));
+        let err = sim.try_run(vec![k]).expect_err("must deadlock");
+        assert!(err.diagnostic.contains("stuck"), "{}", err.diagnostic);
+        assert!(err.to_string().contains("simulator deadlock at cycle"));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub use calibrate::{
 pub use channel::{ChannelId, ChannelStats};
 pub use counters::{KernelProfile, LaunchProfile};
 pub use device::{amd_a10, nvidia_k40, ChannelSpec, DeviceSpec, Vendor};
-pub use engine::Simulator;
+pub use engine::{DeadlockError, Simulator};
 pub use kernel::{ChannelIo, ChannelView, KernelDesc, ResourceUsage, Work, WorkSource, WorkUnit};
 pub use mem::{MemRange, MemoryMap, Region, RegionClass, RegionId};
 pub use observe::record_spans;

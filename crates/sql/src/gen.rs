@@ -1,0 +1,328 @@
+//! Random in-subset SQL generation for differential fuzzing.
+//!
+//! Emits ad-hoc analytic queries — filters, FK→PK snowflake joins,
+//! aggregates, `GROUP BY`/`ORDER BY`/`LIMIT` — drawn from a seeded
+//! [`gpl_prng`] stream. The generator is deliberately conservative:
+//! every query it produces lies inside the planner's subset (at least
+//! one aggregate, group-by columns in the select list, joins only along
+//! foreign-key edges whose build side has a primary key), so a
+//! compilation failure on generated SQL is a planner bug, not a
+//! generator bug. Literals come from the fixed TPC-H text domains and
+//! value ranges, giving predicates realistic selectivities.
+
+use gpl_prng::Rng;
+
+/// One joinable table with the columns the generator may touch.
+struct TableInfo {
+    /// Low-cardinality columns usable in `GROUP BY` (and `SELECT`).
+    group_cols: &'static [&'static str],
+    /// Numeric columns usable inside `SUM`/`MIN`/`MAX`.
+    agg_cols: &'static [&'static str],
+    /// Columns usable in `WHERE`, with how to draw a literal.
+    filter_cols: &'static [(&'static str, FilterKind)],
+}
+
+#[derive(Clone, Copy)]
+enum FilterKind {
+    /// Integer comparison with a literal in `[lo, hi]`.
+    Int(i64, i64),
+    /// Date comparison within the TPC-H date window.
+    Date,
+    /// Two-decimal comparison with a literal in `[lo, hi]` hundredths.
+    Decimal(i64, i64),
+    /// Equality against one of the fixed dictionary values.
+    Dict(&'static [&'static str]),
+}
+
+const LINEITEM: TableInfo = TableInfo {
+    group_cols: &["l_returnflag", "l_linestatus", "l_shipmode", "l_linenumber"],
+    agg_cols: &["l_quantity", "l_extendedprice", "l_discount", "l_tax"],
+    filter_cols: &[
+        ("l_shipdate", FilterKind::Date),
+        ("l_quantity", FilterKind::Int(1, 50)),
+        ("l_discount", FilterKind::Decimal(0, 10)),
+        ("l_returnflag", FilterKind::Dict(&["R", "A", "N"])),
+        (
+            "l_shipmode",
+            FilterKind::Dict(&["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]),
+        ),
+    ],
+};
+
+const ORDERS: TableInfo = TableInfo {
+    group_cols: &["o_orderpriority", "o_shippriority"],
+    agg_cols: &["o_totalprice"],
+    filter_cols: &[
+        ("o_orderdate", FilterKind::Date),
+        (
+            "o_orderpriority",
+            FilterKind::Dict(&["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]),
+        ),
+    ],
+};
+
+const CUSTOMER: TableInfo = TableInfo {
+    group_cols: &["c_mktsegment", "c_nationkey"],
+    agg_cols: &["c_acctbal"],
+    filter_cols: &[(
+        "c_mktsegment",
+        FilterKind::Dict(&[
+            "AUTOMOBILE",
+            "BUILDING",
+            "FURNITURE",
+            "MACHINERY",
+            "HOUSEHOLD",
+        ]),
+    )],
+};
+
+const SUPPLIER: TableInfo = TableInfo {
+    group_cols: &["s_nationkey"],
+    agg_cols: &["s_acctbal"],
+    filter_cols: &[],
+};
+
+const PART: TableInfo = TableInfo {
+    group_cols: &["p_size"],
+    agg_cols: &["p_retailprice", "p_size"],
+    filter_cols: &[("p_size", FilterKind::Int(1, 50))],
+};
+
+const PARTSUPP: TableInfo = TableInfo {
+    group_cols: &[],
+    agg_cols: &["ps_availqty", "ps_supplycost"],
+    filter_cols: &[("ps_availqty", FilterKind::Int(1, 9999))],
+};
+
+const NATION: TableInfo = TableInfo {
+    group_cols: &["n_name", "n_regionkey"],
+    agg_cols: &[],
+    filter_cols: &[],
+};
+
+const REGION: TableInfo = TableInfo {
+    group_cols: &["r_name"],
+    agg_cols: &[],
+    filter_cols: &[(
+        "r_name",
+        FilterKind::Dict(&["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]),
+    )],
+};
+
+fn info(name: &str) -> &'static TableInfo {
+    match name {
+        "lineitem" => &LINEITEM,
+        "orders" => &ORDERS,
+        "customer" => &CUSTOMER,
+        "supplier" => &SUPPLIER,
+        "part" => &PART,
+        "partsupp" => &PARTSUPP,
+        "nation" => &NATION,
+        "region" => &REGION,
+        other => panic!("unknown table {other}"),
+    }
+}
+
+/// Pick a random snowflake: a fact root plus FK→PK edges. Every edge's
+/// target has a primary key, so each joined dimension is a legal build
+/// side. `nation` is reachable from both `customer` and `supplier`; the
+/// generator joins it from at most one (the planner's subset has no
+/// table aliases).
+fn random_join(rng: &mut impl Rng) -> (Vec<&'static str>, Vec<String>) {
+    let roots = ["lineitem", "lineitem", "orders", "partsupp", "customer"];
+    let root = roots[rng.gen_range(0..roots.len())];
+    let mut tables = vec![root];
+    let mut joins = Vec::new();
+    let join = |tables: &mut Vec<&'static str>, joins: &mut Vec<String>, t, pred: &str| {
+        tables.push(t);
+        joins.push(pred.to_string());
+    };
+    match root {
+        "lineitem" => {
+            if rng.gen_bool(0.5) {
+                join(&mut tables, &mut joins, "orders", "l_orderkey = o_orderkey");
+            }
+            if rng.gen_bool(0.4) {
+                join(&mut tables, &mut joins, "part", "l_partkey = p_partkey");
+            }
+            if rng.gen_bool(0.4) {
+                join(&mut tables, &mut joins, "supplier", "l_suppkey = s_suppkey");
+            }
+        }
+        "orders" => {
+            if rng.gen_bool(0.7) {
+                join(&mut tables, &mut joins, "customer", "o_custkey = c_custkey");
+            }
+        }
+        "partsupp" => {
+            if rng.gen_bool(0.6) {
+                join(&mut tables, &mut joins, "part", "ps_partkey = p_partkey");
+            }
+            if rng.gen_bool(0.5) {
+                join(
+                    &mut tables,
+                    &mut joins,
+                    "supplier",
+                    "ps_suppkey = s_suppkey",
+                );
+            }
+        }
+        "customer" => {}
+        _ => unreachable!(),
+    }
+    // Second-level extensions of the snowflake.
+    if tables.contains(&"orders") && root != "orders" && rng.gen_bool(0.4) {
+        join(&mut tables, &mut joins, "customer", "o_custkey = c_custkey");
+    }
+    if tables.contains(&"customer") && rng.gen_bool(0.5) {
+        join(
+            &mut tables,
+            &mut joins,
+            "nation",
+            "c_nationkey = n_nationkey",
+        );
+    } else if tables.contains(&"supplier") && rng.gen_bool(0.5) {
+        join(
+            &mut tables,
+            &mut joins,
+            "nation",
+            "s_nationkey = n_nationkey",
+        );
+    }
+    if tables.contains(&"nation") && rng.gen_bool(0.5) {
+        join(
+            &mut tables,
+            &mut joins,
+            "region",
+            "n_regionkey = r_regionkey",
+        );
+    }
+    (tables, joins)
+}
+
+fn random_date(rng: &mut impl Rng) -> String {
+    let y = rng.gen_range(1992..=1998i32);
+    let m = rng.gen_range(1..=12u32);
+    let d = rng.gen_range(1..=28u32);
+    format!("date '{y}-{m:02}-{d:02}'")
+}
+
+fn random_filter(rng: &mut impl Rng, col: &str, kind: FilterKind) -> String {
+    let cmp = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
+    match kind {
+        FilterKind::Int(lo, hi) => format!("{col} {cmp} {}", rng.gen_range(lo..=hi)),
+        FilterKind::Date => format!("{col} {cmp} {}", random_date(rng)),
+        FilterKind::Decimal(lo, hi) => {
+            let v = rng.gen_range(lo..=hi);
+            format!("{col} {cmp} {}.{:02}", v / 100, v % 100)
+        }
+        FilterKind::Dict(values) => {
+            format!("{col} = '{}'", values[rng.gen_range(0..values.len())])
+        }
+    }
+}
+
+/// Generate one random in-subset SQL query.
+pub fn random_query(rng: &mut impl Rng) -> String {
+    let (tables, joins) = random_join(rng);
+    let infos: Vec<&TableInfo> = tables.iter().map(|t| info(t)).collect();
+
+    // Aggregates: always at least one, so every query stays in subset.
+    let agg_cols: Vec<&str> = infos
+        .iter()
+        .flat_map(|i| i.agg_cols.iter().copied())
+        .collect();
+    let mut aggs = Vec::new();
+    let n_aggs = rng.gen_range(1..=2usize);
+    for i in 0..n_aggs {
+        let pick = rng.gen_range(0..4u32);
+        let agg = if agg_cols.is_empty() || pick == 3 {
+            format!("count(*) as agg{i}")
+        } else {
+            let col = agg_cols[rng.gen_range(0..agg_cols.len())];
+            let f = ["sum", "min", "max"][pick as usize % 3];
+            format!("{f}({col}) as agg{i}")
+        };
+        aggs.push(agg);
+    }
+
+    // Group by 0–2 low-cardinality columns; grouped columns must appear
+    // in the select list (planner rule).
+    let mut group_pool: Vec<&str> = infos
+        .iter()
+        .flat_map(|i| i.group_cols.iter().copied())
+        .collect();
+    rng.shuffle(&mut group_pool);
+    let n_groups = if group_pool.is_empty() || rng.gen_bool(0.25) {
+        0
+    } else {
+        rng.gen_range(1..=2usize.min(group_pool.len()))
+    };
+    let groups: Vec<&str> = group_pool.into_iter().take(n_groups).collect();
+
+    // Filters: 0–3 predicates over the included tables.
+    let filter_pool: Vec<(&str, FilterKind)> = infos
+        .iter()
+        .flat_map(|i| i.filter_cols.iter().copied())
+        .collect();
+    let mut filters = Vec::new();
+    if !filter_pool.is_empty() {
+        for _ in 0..rng.gen_range(0..=3usize) {
+            let (col, kind) = filter_pool[rng.gen_range(0..filter_pool.len())];
+            filters.push(random_filter(rng, col, kind));
+        }
+    }
+
+    let mut select: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
+    select.extend(aggs.iter().cloned());
+    let mut sql = format!("select {} from {}", select.join(", "), tables.join(", "));
+    let mut preds: Vec<String> = joins;
+    preds.extend(filters);
+    if !preds.is_empty() {
+        sql.push_str(&format!(" where {}", preds.join(" and ")));
+    }
+    if !groups.is_empty() {
+        sql.push_str(&format!(" group by {}", groups.join(", ")));
+    }
+    if rng.gen_bool(0.5) {
+        // Order by a select-list column (group col or aggregate alias).
+        let mut keys: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
+        keys.extend((0..n_aggs).map(|i| format!("agg{i}")));
+        let k = &keys[rng.gen_range(0..keys.len())];
+        let dir = if rng.gen_bool(0.5) { "" } else { " desc" };
+        sql.push_str(&format!(" order by {k}{dir}"));
+    }
+    if rng.gen_bool(0.3) {
+        sql.push_str(&format!(" limit {}", rng.gen_range(1..=50u32)));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpl_prng::{SeedableRng, StdRng};
+
+    #[test]
+    fn generated_queries_compile() {
+        let db = gpl_tpch::TpchDb::at_scale(0.002);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..100 {
+            let sql = random_query(&mut rng);
+            crate::compile(&db, &sql).unwrap_or_else(|e| panic!("query {i} {sql:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| random_query(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| random_query(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -25,6 +25,7 @@
 pub mod ast;
 pub mod catalog;
 pub mod corpus;
+pub mod gen;
 pub mod parser;
 pub mod planner;
 #[cfg(test)]
@@ -32,6 +33,7 @@ mod tests;
 pub mod token;
 
 pub use corpus::sql_for;
+pub use gen::random_query;
 pub use parser::parse;
 pub use planner::{compile, compile_traced};
 pub use token::SqlError;

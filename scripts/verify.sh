@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 dependency-creep check =="
+echo "== 1/9 dependency-creep check =="
 # Every dependency must be an in-workspace path dependency; the three
 # crates the hermetic-build PR removed must never come back.
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
@@ -17,22 +17,22 @@ if grep -n '\(registry\|git\) *=' Cargo.toml crates/*/Cargo.toml; then
 fi
 echo "ok: all dependencies are in-tree path dependencies"
 
-echo "== 2/7 formatting =="
+echo "== 2/9 formatting =="
 cargo fmt --check
 
-echo "== 3/7 clippy (warnings are errors) =="
+echo "== 3/9 clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 4/7 offline build =="
+echo "== 4/9 offline build =="
 cargo build --offline --workspace
 
-echo "== 5/7 tier-1: release build =="
+echo "== 5/9 tier-1: release build =="
 cargo build --offline --release
 
-echo "== 6/7 tier-1: full test suite =="
+echo "== 6/9 tier-1: full test suite =="
 cargo test --offline --workspace -q
 
-echo "== 7/7 observability smoke: repro profile q1 =="
+echo "== 7/9 observability smoke: repro profile q1 =="
 # `repro profile` re-parses every export with the in-tree JSON parser
 # before writing it (and panics otherwise), so a zero exit status
 # asserts the exported JSON parses; the loop below just guards against
@@ -45,5 +45,22 @@ for f in target/obs/profile-q1-kbe.trace.json \
     [ -s "$f" ] || { echo "FAIL: missing export $f" >&2; exit 1; }
 done
 echo "ok: all four exports present and parse-checked"
+
+echo "== 8/9 serving smoke: repro serve --workers 4 --queries 32 =="
+# The experiment itself asserts a worker-count-independent result
+# fingerprint and that every corpus query succeeds; a zero exit status
+# is the gate.
+cargo run --offline --release -p gpl-bench --bin repro -- serve --workers 4 --queries 32 --sf 0.01
+
+echo "== 9/9 scheduler determinism, five runs =="
+# The 32-query seed-42 workload at 1/2/8 workers must match its pinned
+# fingerprint every time — run it repeatedly to shake out scheduling
+# races that a single lucky run could hide.
+for i in 1 2 3 4 5; do
+    cargo test --offline --release -q --test determinism \
+        serving_is_deterministic_across_worker_counts -- --exact \
+        || { echo "FAIL: determinism run $i" >&2; exit 1; }
+done
+echo "ok: five consecutive deterministic runs"
 
 echo "verify: all green"

@@ -13,11 +13,13 @@
 //! * [`ocelot`] — the Ocelot-like comparison baseline (Section 5.5).
 //! * [`sql`] — a SQL front-end compiling an analytical subset to plans.
 //! * [`obs`] — structured tracing, metrics, Chrome-trace/JSON export.
+//! * [`serve`] — the concurrent multi-query scheduler and plan cache.
 
 pub use gpl_core as core;
 pub use gpl_model as model;
 pub use gpl_obs as obs;
 pub use gpl_ocelot as ocelot;
+pub use gpl_serve as serve;
 pub use gpl_sim as sim;
 pub use gpl_sql as sql;
 pub use gpl_storage as storage;

@@ -1,11 +1,17 @@
 //! Cross-engine equivalence: KBE, GPL (w/o CE), GPL and the Ocelot
 //! baseline must all agree with the CPU reference — across devices,
-//! scale factors, tile sizes and channel configurations.
+//! scale factors, tile sizes and channel configurations. The bottom
+//! half is the differential fuzzer: randomly generated in-subset SQL
+//! must get the same answer from every engine (failing seeds persist to
+//! `tests/cross_engine.proptest-regressions`).
 
+use gpl_check::prelude::*;
+use gpl_prng::{SeedableRng, StdRng};
 use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_repro::ocelot::OcelotContext;
 use gpl_repro::sim::{amd_a10, nvidia_k40};
 use gpl_repro::tpch::{reference, QueryId, TpchDb};
+use std::sync::{Arc, OnceLock};
 
 #[test]
 fn ocelot_matches_reference_on_both_devices() {
@@ -116,4 +122,42 @@ fn gpl_beats_kbe_and_materializes_less_at_scale() {
         wins >= 4,
         "GPL should beat KBE on most queries, won {wins}/5"
     );
+}
+
+/// One shared SF-0.01 catalog for the fuzzer (generation is
+/// deterministic, and per-query contexts only borrow it via `Arc`).
+fn fuzz_db() -> Arc<TpchDb> {
+    static DB: OnceLock<Arc<TpchDb>> = OnceLock::new();
+    DB.get_or_init(|| Arc::new(TpchDb::at_scale(0.01))).clone()
+}
+
+prop! {
+    #![cases(200)]
+
+    /// Differential fuzzing: any query the generator emits must compile
+    /// and produce byte-identical rows under KBE, GPL (w/o CE), GPL and
+    /// the Ocelot baseline. Each case is one seed for the SQL generator,
+    /// so a persisted regression replays the exact query text.
+    #[test]
+    fn random_queries_agree_across_engines_and_baseline(seed in any::<u64>()) {
+        let db = fuzz_db();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sql = gpl_repro::sql::random_query(&mut rng);
+        let plan = gpl_repro::sql::compile(&db, &sql)
+            .unwrap_or_else(|e| panic!("generated query must compile: {sql:?}: {e}"));
+        let spec = amd_a10();
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        let mut ctx = ExecContext::with_shared(spec, db);
+        let kbe = run_query(&mut ctx, &plan, ExecMode::Kbe, &cfg);
+        for mode in [ExecMode::GplNoCe, ExecMode::Gpl] {
+            let run = run_query(&mut ctx, &plan, mode, &cfg);
+            prop_assert_eq!(
+                &run.output, &kbe.output,
+                "{} disagrees with KBE on {:?}", mode.name(), sql
+            );
+        }
+        let mut oc = OcelotContext::new();
+        let oce = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
+        prop_assert_eq!(&oce.output, &kbe.output, "ocelot disagrees with KBE on {:?}", sql);
+    }
 }

@@ -1,10 +1,18 @@
 //! Failure injection: the engines and the simulator must fail loudly and
-//! informatively on misuse, never silently corrupt results.
+//! informatively on misuse, never silently corrupt results — and, at
+//! the serving layer, failures must be *responses*: a deadlock, timeout
+//! or cancellation takes down one query, never a worker or the pool.
 
-use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::core::{
+    plan_for, run_query, try_run_query, ExecContext, ExecError, ExecLimits, ExecMode, QueryConfig,
+};
+use gpl_repro::model::GammaTable;
+use gpl_repro::serve::{QueryRequest, ServeConfig, ServeError, Server};
 use gpl_repro::sim::{amd_a10, ChannelView, KernelDesc, ResourceUsage, Simulator, Work, WorkUnit};
 use gpl_repro::tpch::{QueryId, TpchDb};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 #[test]
 fn deadlocked_pipelines_are_reported() {
@@ -122,6 +130,165 @@ fn invalid_channel_count_is_rejected() {
         sim.create_channel(99, 16); // max is 16
     });
     assert!(r.is_err());
+}
+
+/// A deadlocked pipeline surfaces as a structured [`ExecError`] through
+/// the fallible executor seam, with the simulator's cycle and kernel
+/// diagnostic intact — no panic, no poisoned context.
+#[test]
+fn deadlock_is_a_structured_error_with_diagnostics() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
+    let ch = ctx.sim.create_channel(1, 16);
+    let consumer = move |view: &dyn ChannelView| {
+        if view.available(ch) == 0 && !view.eof(ch) {
+            Work::Wait
+        } else {
+            Work::Done
+        }
+    };
+    let k = KernelDesc::new(
+        "orphan",
+        ResourceUsage::new(64, 64, 0),
+        4,
+        Box::new(consumer),
+    )
+    .reads_channel(ch);
+    let err = ctx.run_kernels(vec![k]).expect_err("must deadlock");
+    match &err {
+        ExecError::Deadlock { cycle, diagnostic } => {
+            // An orphan consumer makes no progress at all, so the stall
+            // is detected at the simulation's very first cycle.
+            assert_eq!(*cycle, 0, "no work could have advanced the clock");
+            assert!(
+                diagnostic.contains("orphan"),
+                "diagnostic must name the kernel: {diagnostic}"
+            );
+            assert!(
+                err.to_string().contains("deadlock at cycle"),
+                "display form: {err}"
+            );
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+    // The context survives the failure and can still run real queries.
+    let plan = plan_for(&ctx.db, QueryId::Q6);
+    let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+    let run = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+    assert!(!run.output.rows.is_empty());
+}
+
+/// An exhausted cycle budget reports how far the query got, and a
+/// pre-raised cancel flag stops before any stage runs.
+#[test]
+fn timeout_and_cancellation_are_structured_errors() {
+    let mut ctx = ExecContext::new(amd_a10(), TpchDb::at_scale(0.002));
+    let plan = plan_for(&ctx.db, QueryId::Q5);
+    let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+    let err = try_run_query(
+        &mut ctx,
+        &plan,
+        ExecMode::Gpl,
+        &cfg,
+        &ExecLimits::with_max_cycles(1),
+    )
+    .expect_err("1-cycle budget must trip");
+    match err {
+        ExecError::Timeout {
+            budget_cycles,
+            spent_cycles,
+        } => {
+            assert_eq!(budget_cycles, 1);
+            assert!(spent_cycles > 1);
+        }
+        other => panic!("expected Timeout, got {other}"),
+    }
+    let limits = ExecLimits {
+        max_cycles: None,
+        cancel: Some(Arc::new(AtomicBool::new(true))),
+    };
+    let err = try_run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg, &limits)
+        .expect_err("raised flag must cancel");
+    assert!(matches!(err, ExecError::Cancelled));
+}
+
+/// A timed-out query must free its worker slot: with a single worker,
+/// a query that blows its budget is followed by queries that succeed —
+/// and the error response carries the budget diagnostics.
+#[test]
+fn timed_out_query_frees_the_worker_slot() {
+    let gamma = Arc::new(GammaTable::calibrate_grid(
+        &amd_a10(),
+        vec![1, 4, 16],
+        vec![16, 64],
+        vec![256 << 10, 2 << 20, 16 << 20],
+    ));
+    let srv = Server::start(
+        ServeConfig {
+            workers: 1,
+            plan_cache_capacity: 8,
+            record_traces: false,
+        },
+        amd_a10(),
+        Arc::new(TpchDb::at_scale(0.002)),
+        gamma,
+    );
+    let sql = gpl_repro::sql::sql_for(QueryId::Q5).unwrap();
+    let reqs = vec![
+        QueryRequest::new(0, sql, ExecMode::Gpl).with_max_cycles(1),
+        QueryRequest::new(1, sql, ExecMode::Gpl),
+        QueryRequest::new(2, sql, ExecMode::Gpl),
+    ];
+    let responses = srv.run_batch(reqs);
+    match &responses[0].result {
+        Err(ServeError::Exec(ExecError::Timeout {
+            budget_cycles,
+            spent_cycles,
+        })) => {
+            assert_eq!(*budget_cycles, 1);
+            assert!(*spent_cycles > 1);
+        }
+        other => panic!("expected a timeout response, got {other:?}"),
+    }
+    for r in &responses[1..] {
+        let res = r.result.as_ref().expect("pool must keep serving");
+        assert!(!res.output.rows.is_empty());
+    }
+    let (queued, running, done) = srv.gauges();
+    assert_eq!((queued, running, done), (0, 0, 3));
+}
+
+/// Cancellation through the server: a pre-cancelled request comes back
+/// as a `Cancelled` response while the rest of the batch is unaffected.
+#[test]
+fn cancelled_request_is_a_response_not_a_casualty() {
+    let gamma = Arc::new(GammaTable::calibrate_grid(
+        &amd_a10(),
+        vec![1, 4, 16],
+        vec![16, 64],
+        vec![256 << 10, 2 << 20, 16 << 20],
+    ));
+    let srv = Server::start(
+        ServeConfig {
+            workers: 2,
+            plan_cache_capacity: 8,
+            record_traces: false,
+        },
+        amd_a10(),
+        Arc::new(TpchDb::at_scale(0.002)),
+        gamma,
+    );
+    let sql = gpl_repro::sql::sql_for(QueryId::Q6).unwrap();
+    let flag = Arc::new(AtomicBool::new(true));
+    let reqs = vec![
+        QueryRequest::new(0, sql, ExecMode::Gpl).with_cancel(flag),
+        QueryRequest::new(1, sql, ExecMode::Gpl),
+    ];
+    let responses = srv.run_batch(reqs);
+    assert!(matches!(
+        responses[0].result,
+        Err(ServeError::Exec(ExecError::Cancelled))
+    ));
+    assert!(responses[1].result.is_ok());
 }
 
 #[test]
