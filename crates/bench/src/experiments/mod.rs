@@ -6,6 +6,7 @@
 
 pub mod breakdown;
 pub mod calibration;
+pub mod faults;
 pub mod intermediates;
 pub mod model_eval;
 pub mod modes;
@@ -212,6 +213,12 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "Figure 29",
             description: "execution-time breakdown for Q8 (NVIDIA)",
             run: breakdown::fig29,
+        },
+        Experiment {
+            name: "faults",
+            paper_ref: "robustness",
+            description: "fault injection & recovery: goodput, fallbacks, breaker, shedding",
+            run: faults::faults,
         },
         Experiment {
             name: "serve",

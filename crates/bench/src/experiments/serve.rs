@@ -70,6 +70,7 @@ pub fn serve(opts: &Opts) {
                 workers: w,
                 plan_cache_capacity: 64,
                 record_traces: false,
+                ..ServeConfig::default()
             },
             opts.device.clone(),
             db.clone(),
@@ -111,6 +112,7 @@ pub fn serve(opts: &Opts) {
             workers: sweep.last().copied().unwrap_or(4).min(4),
             plan_cache_capacity: 64,
             record_traces: false,
+            ..ServeConfig::default()
         },
         opts.device.clone(),
         db.clone(),

@@ -7,6 +7,7 @@
 //! diagnostic is preserved verbatim, and the serving layer's per-query
 //! cycle budget and cancellation surface here too.
 
+use gpl_sim::{FaultKind, FaultRecord};
 use std::fmt;
 
 /// Why a query execution stopped without producing a result.
@@ -25,6 +26,48 @@ pub enum ExecError {
     },
     /// The query's cancellation flag was raised between stages.
     Cancelled,
+    /// A transient device fault (injected kernel fault or
+    /// checksum-detected channel corruption) exhausted every retry and
+    /// fallback. Carries the *last* structured fault record.
+    Fault(FaultRecord),
+    /// The device was lost mid-query and no fallback was available.
+    DeviceLost(FaultRecord),
+    /// A simulated allocation failed under memory pressure and retries
+    /// / fallbacks were exhausted.
+    Oom(FaultRecord),
+    /// Load shedding: the admission queue was over its configured bound,
+    /// so the request was rejected before execution (fast-fail instead
+    /// of unbounded queueing latency).
+    Rejected { queue_depth: u64, bound: u64 },
+}
+
+impl ExecError {
+    /// Map an injected [`FaultRecord`] to its error variant.
+    pub fn from_fault(record: FaultRecord) -> Self {
+        match record.kind {
+            FaultKind::Oom => ExecError::Oom(record),
+            FaultKind::DeviceLost => ExecError::DeviceLost(record),
+            _ => ExecError::Fault(record),
+        }
+    }
+
+    /// The structured fault record, for the device-fault variants.
+    pub fn fault_record(&self) -> Option<&FaultRecord> {
+        match self {
+            ExecError::Fault(r) | ExecError::DeviceLost(r) | ExecError::Oom(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this error indicates device misbehaviour (the class the
+    /// serving layer's circuit breaker counts). Timeouts, cancellations
+    /// and deadlocks are query problems, not device problems.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(
+            self,
+            ExecError::Fault(_) | ExecError::DeviceLost(_) | ExecError::Oom(_)
+        )
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -41,6 +84,13 @@ impl fmt::Display for ExecError {
                 "query exceeded its cycle budget: {spent_cycles} spent of {budget_cycles} allowed"
             ),
             ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::Fault(r) => write!(f, "transient device fault: {r}"),
+            ExecError::DeviceLost(r) => write!(f, "device lost: {r}"),
+            ExecError::Oom(r) => write!(f, "device out of memory: {r}"),
+            ExecError::Rejected { queue_depth, bound } => write!(
+                f,
+                "admission rejected: queue depth {queue_depth} over bound {bound}"
+            ),
         }
     }
 }
@@ -69,6 +119,106 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("cycle 618"));
         assert!(s.contains("k_map"), "{s}");
+    }
+
+    /// One representative of every variant — kept exhaustive by the
+    /// match below, so adding a variant without extending this test
+    /// fails to compile.
+    fn all_variants() -> Vec<ExecError> {
+        let record = |kind| gpl_sim::FaultRecord {
+            kind,
+            kernel: matches!(kind, FaultKind::KernelFault).then(|| "k_map".to_string()),
+            cycle: 4242,
+            launch: 3,
+        };
+        vec![
+            ExecError::Deadlock {
+                cycle: 618,
+                diagnostic: "\n  kernel k_map blocked".into(),
+            },
+            ExecError::Timeout {
+                budget_cycles: 10,
+                spent_cycles: 25,
+            },
+            ExecError::Cancelled,
+            ExecError::Fault(record(FaultKind::KernelFault)),
+            ExecError::DeviceLost(record(FaultKind::DeviceLost)),
+            ExecError::Oom(record(FaultKind::Oom)),
+            ExecError::Rejected {
+                queue_depth: 9,
+                bound: 8,
+            },
+        ]
+    }
+
+    /// Round-trip: every variant's display text is non-empty, unique,
+    /// stable across repeated formatting, and carries its structured
+    /// payload (cycle counts, fault records) verbatim.
+    #[test]
+    fn display_is_exhaustive_and_round_trips() {
+        let all = all_variants();
+        let mut seen = std::collections::HashSet::new();
+        for e in &all {
+            // Exhaustiveness guard: a new variant must be added above.
+            match e {
+                ExecError::Deadlock { .. }
+                | ExecError::Timeout { .. }
+                | ExecError::Cancelled
+                | ExecError::Fault(_)
+                | ExecError::DeviceLost(_)
+                | ExecError::Oom(_)
+                | ExecError::Rejected { .. } => {}
+            }
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, e.to_string(), "formatting must be pure");
+            assert!(seen.insert(s.clone()), "duplicate display text: {s}");
+            if let Some(r) = e.fault_record() {
+                assert!(s.contains(&r.to_string()), "{s} must embed {r}");
+                assert!(e.is_device_fault());
+            }
+        }
+        assert!(all_variants()
+            .iter()
+            .any(|e| e.to_string().contains("queue depth 9 over bound 8")));
+    }
+
+    /// The satellite contract: `ExecError` composes with `?` outside
+    /// the workspace via `std::error::Error`.
+    #[test]
+    fn composes_with_question_mark_as_dyn_error() {
+        fn fails() -> Result<(), Box<dyn std::error::Error>> {
+            Err(ExecError::Cancelled)?;
+            Ok(())
+        }
+        let e = fails().unwrap_err();
+        assert_eq!(e.to_string(), "query cancelled");
+    }
+
+    #[test]
+    fn fault_records_map_to_their_variants() {
+        let mk = |kind| gpl_sim::FaultRecord {
+            kind,
+            kernel: None,
+            cycle: 1,
+            launch: 0,
+        };
+        assert!(matches!(
+            ExecError::from_fault(mk(FaultKind::Oom)),
+            ExecError::Oom(_)
+        ));
+        assert!(matches!(
+            ExecError::from_fault(mk(FaultKind::DeviceLost)),
+            ExecError::DeviceLost(_)
+        ));
+        assert!(matches!(
+            ExecError::from_fault(mk(FaultKind::KernelFault)),
+            ExecError::Fault(_)
+        ));
+        assert!(matches!(
+            ExecError::from_fault(mk(FaultKind::ChannelCorrupt)),
+            ExecError::Fault(_)
+        ));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::ht::{GroupStore, SimHashTable};
 use crate::kbe;
 use crate::ops::sort_rows;
 use crate::plan::{QueryPlan, Stage, Terminal};
+use crate::recover::{RecoveryPolicy, RecoveryStats};
 use gpl_sim::{DeviceSpec, KernelDesc, LaunchProfile, ResourceUsage, Simulator, Work, WorkUnit};
 use gpl_storage::{TableLayout, Tiling};
 use gpl_tpch::{QueryOutput, TpchDb};
@@ -184,13 +185,17 @@ impl ExecLimits {
 #[derive(Debug, Clone)]
 pub struct QueryRun {
     pub output: QueryOutput,
-    /// Simulated cycles for the whole query (all launches).
+    /// Simulated cycles for the whole query: all successful launches
+    /// plus any cycles wasted on failed attempts and backoff
+    /// (`recovery.wasted_cycles`; zero on a fault-free run).
     pub cycles: u64,
-    /// Merged profile across all launches.
+    /// Merged profile across all successful launches.
     pub profile: LaunchProfile,
     /// Per-stage merged profiles, in stage order (the final sort, if any,
     /// is appended as an extra entry).
     pub per_stage: Vec<LaunchProfile>,
+    /// What the recovery stack did (default on a fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl QueryRun {
@@ -215,7 +220,9 @@ pub fn run_query(
     try_run_query(ctx, plan, mode, config, &ExecLimits::none()).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Run `plan` under `mode` with `config`, subject to `limits`.
+/// Run `plan` under `mode` with `config`, subject to `limits`, with no
+/// recovery: the first injected fault (if a fault plan is attached)
+/// surfaces as an error. See [`try_run_query_recovering`].
 ///
 /// Errors leave the context usable for the next query: the simulator's
 /// clock and memory map survive, and the serving layer discards the
@@ -226,6 +233,33 @@ pub fn try_run_query(
     mode: ExecMode,
     config: &QueryConfig,
     limits: &ExecLimits,
+) -> Result<QueryRun, ExecError> {
+    try_run_query_recovering(ctx, plan, mode, config, limits, None)
+}
+
+/// A stage's blocking output, handed back only on success so a retried
+/// attempt can never observe (or double-apply into) a failed attempt's
+/// partial state.
+type StageOut = (
+    LaunchProfile,
+    Option<(usize, Rc<RefCell<SimHashTable>>)>,
+    Option<Vec<Vec<i64>>>,
+);
+
+/// [`try_run_query`] with the recovery stack enabled: per-stage retries
+/// with deterministic exponential backoff, graceful degradation down the
+/// GPL → GPL-w/o-CE → KBE ladder, and a disarmed last-resort KBE attempt
+/// (see [`crate::recover`]). `recovery: None` disables recovery.
+///
+/// Recovered runs return bit-identical rows to fault-free runs — faults
+/// cost cycles (`QueryRun::recovery.wasted_cycles`), never correctness.
+pub fn try_run_query_recovering(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    mode: ExecMode,
+    config: &QueryConfig,
+    limits: &ExecLimits,
+    recovery: Option<&RecoveryPolicy>,
 ) -> Result<QueryRun, ExecError> {
     plan.validate();
     assert_eq!(
@@ -249,9 +283,10 @@ pub fn try_run_query(
     let mut agg_rows: Option<Vec<Vec<i64>>> = None;
     let mut per_stage = Vec::new();
     let mut merged = LaunchProfile::default();
+    let mut stats = RecoveryStats::default();
 
     for (idx, (stage, cfg)) in plan.stages.iter().zip(&config.stages).enumerate() {
-        limits.check(merged.elapsed_cycles)?;
+        limits.check(merged.elapsed_cycles + stats.wasted_cycles)?;
         let stage_span = rec.as_ref().map(|r| {
             let t = r.track("exec");
             let s = r.begin(
@@ -266,66 +301,33 @@ pub fn try_run_query(
             r.arg(s, "kernels", cfg.wg_counts.len());
             s
         });
-        // Create the stage's blocking-output object up front so tiled
-        // modes can accumulate into it across tiles.
-        let build = match &stage.terminal {
-            Terminal::HashBuild { ht, payloads, .. } => {
-                let expected = estimate_build_rows(ctx, stage);
-                let t = Rc::new(RefCell::new(SimHashTable::new(
-                    &mut ctx.sim.mem,
-                    expected,
-                    payloads.len(),
-                    format!("{}::ht{}", plan.query.name(), ht),
-                )));
-                hts[*ht] = Some(t.clone());
-                Some(t)
-            }
-            Terminal::Aggregate { .. } => None,
-        };
-        let agg = match &stage.terminal {
-            Terminal::Aggregate { groups, aggs } => {
-                Some(Rc::new(RefCell::new(GroupStore::with_kinds(
-                    &mut ctx.sim.mem,
-                    if groups.is_empty() { 1 } else { 4096 },
-                    groups.len(),
-                    aggs.iter().map(|a| a.kind).collect(),
-                    format!("{}::agg", plan.query.name()),
-                ))))
-            }
-            Terminal::HashBuild { .. } => None,
-        };
-
-        let rows = ctx.db.table(&stage.driver).rows();
-        let profile = match mode {
-            ExecMode::Kbe => {
-                kbe::run_stage_range(ctx, stage, &hts, build.as_ref(), agg.as_ref(), 0..rows)
-            }
-            ExecMode::GplNoCe => {
-                let row_bytes = stage_row_bytes(ctx, stage);
-                let tiling = Tiling::by_bytes(rows, row_bytes, cfg.tile_bytes);
-                let mut p = LaunchProfile::default();
-                for tile in tiling.iter() {
-                    p.merge(&kbe::run_stage_range(
-                        ctx,
-                        stage,
-                        &hts,
-                        build.as_ref(),
-                        agg.as_ref(),
-                        tile,
-                    ));
-                }
-                p
-            }
-            ExecMode::Gpl => gpl::run_stage(ctx, stage, &hts, build.as_ref(), agg.as_ref(), cfg)?,
-        };
-
-        if let Some(agg) = agg {
-            let store = Rc::try_unwrap(agg)
-                .expect("aggregate store still shared")
-                .into_inner();
-            agg_rows = Some(store.into_rows());
+        let spent = merged.elapsed_cycles;
+        let ((profile, built, rows_out), ran_on) = run_stage_recovering(
+            ctx,
+            plan,
+            stage,
+            cfg,
+            mode,
+            &hts,
+            recovery,
+            limits,
+            spent,
+            &mut stats,
+            rec.as_ref(),
+        )?;
+        // Install the blocking outputs only now, on success: a failed
+        // attempt's partial hash table or aggregate store is dropped
+        // with its locals and can never leak into a retry.
+        if let Some((slot, ht)) = built {
+            hts[slot] = Some(ht);
+        }
+        if let Some(rows) = rows_out {
+            agg_rows = Some(rows);
         }
         if let (Some(r), Some(s)) = (rec.as_ref(), stage_span) {
+            if ran_on != mode {
+                r.arg(s, "degraded_to", ran_on.name());
+            }
             r.arg(s, "stage_cycles", profile.elapsed_cycles);
             r.end(s, ctx.sim.clock());
         }
@@ -334,15 +336,24 @@ pub fn try_run_query(
     }
 
     let mut rows = agg_rows.expect("plan must end in an aggregate stage");
-    limits.check(merged.elapsed_cycles)?;
-    // Final ORDER BY, as a (blocking) sort kernel, then LIMIT.
+    limits.check(merged.elapsed_cycles + stats.wasted_cycles)?;
+    // Final ORDER BY, as a (blocking) sort kernel, then LIMIT. The sort
+    // runs over host-side result rows, outside the fault domain: disarm
+    // injection so the output path cannot strand a pending fault.
     if !plan.order_by.is_empty() {
+        let was_armed = ctx.sim.faults_armed();
+        ctx.sim.set_faults_armed(false);
         let prof = run_sort_kernel(ctx, &mut rows, &plan.order_by);
+        ctx.sim.set_faults_armed(was_armed);
         merged.merge(&prof);
         per_stage.push(prof);
     } else {
         sort_rows(&mut rows, &[]);
     }
+    // The final budget check: a query landing *exactly* on its budget
+    // succeeds (`spent > budget` times out, `spent == budget` passes) —
+    // the boundary `tests/fault_recovery.rs` pins at 1/2/8 workers.
+    limits.check(merged.elapsed_cycles + stats.wasted_cycles)?;
     if let Some(limit) = plan.limit {
         rows.truncate(limit);
     }
@@ -355,6 +366,12 @@ pub fn try_run_query(
 
     if let (Some(r), Some(s)) = (rec.as_ref(), query_span) {
         r.arg(s, "cycles", merged.elapsed_cycles);
+        if stats.eventful() {
+            r.arg(s, "faults", stats.faults.len());
+            r.arg(s, "retries", stats.retries);
+            r.arg(s, "fallbacks", stats.fallbacks);
+            r.arg(s, "wasted_cycles", stats.wasted_cycles);
+        }
         r.end(s, ctx.sim.clock());
     }
     let output = QueryOutput::new(
@@ -363,10 +380,200 @@ pub fn try_run_query(
     );
     Ok(QueryRun {
         output,
-        cycles: merged.elapsed_cycles,
+        cycles: merged.elapsed_cycles + stats.wasted_cycles,
         profile: merged,
         per_stage,
+        recovery: stats,
     })
+}
+
+/// One attempt at one stage on one mode. Fresh blocking outputs (hash
+/// table / aggregate store) are created *per attempt*; the caller
+/// installs them into the query's state only on success. An injected
+/// fault surfaces as the corresponding [`ExecError`] variant.
+fn run_stage_attempt(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    stage: &Stage,
+    cfg: &StageConfig,
+    mode: ExecMode,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+) -> Result<StageOut, ExecError> {
+    debug_assert!(!ctx.sim.fault_pending(), "stale fault entering a stage");
+    let build = match &stage.terminal {
+        Terminal::HashBuild { ht, payloads, .. } => {
+            let expected = estimate_build_rows(ctx, stage);
+            Some((
+                *ht,
+                Rc::new(RefCell::new(SimHashTable::new(
+                    &mut ctx.sim.mem,
+                    expected,
+                    payloads.len(),
+                    format!("{}::ht{}", plan.query.name(), ht),
+                ))),
+            ))
+        }
+        Terminal::Aggregate { .. } => None,
+    };
+    let agg = match &stage.terminal {
+        Terminal::Aggregate { groups, aggs } => {
+            Some(Rc::new(RefCell::new(GroupStore::with_kinds(
+                &mut ctx.sim.mem,
+                if groups.is_empty() { 1 } else { 4096 },
+                groups.len(),
+                aggs.iter().map(|a| a.kind).collect(),
+                format!("{}::agg", plan.query.name()),
+            ))))
+        }
+        Terminal::HashBuild { .. } => None,
+    };
+
+    let rows = ctx.db.table(&stage.driver).rows();
+    let build_rc = build.as_ref().map(|(_, t)| t);
+    let profile = match mode {
+        ExecMode::Kbe => kbe::run_stage_range(ctx, stage, hts, build_rc, agg.as_ref(), 0..rows),
+        ExecMode::GplNoCe => {
+            let row_bytes = stage_row_bytes(ctx, stage);
+            let tiling = Tiling::by_bytes(rows, row_bytes, cfg.tile_bytes);
+            let mut p = LaunchProfile::default();
+            for tile in tiling.iter() {
+                p.merge(&kbe::run_stage_range(
+                    ctx,
+                    stage,
+                    hts,
+                    build_rc,
+                    agg.as_ref(),
+                    tile,
+                ));
+            }
+            p
+        }
+        ExecMode::Gpl => gpl::run_stage(ctx, stage, hts, build_rc, agg.as_ref(), cfg)?,
+    };
+    if let Some(record) = ctx.sim.take_fault() {
+        return Err(ExecError::from_fault(record));
+    }
+    let agg_rows = agg.map(|a| {
+        Rc::try_unwrap(a)
+            .expect("aggregate store still shared")
+            .into_inner()
+            .into_rows()
+    });
+    Ok((profile, build, agg_rows))
+}
+
+/// Drive one stage through the recovery ladder (see [`crate::recover`]):
+/// `1 + max_retries` attempts per mode down the degradation chain, with
+/// deterministic backoff between same-mode attempts, then one disarmed
+/// last-resort KBE attempt. Device loss skips what is left of the armed
+/// ladder. Timeouts, cancellations and deadlocks propagate immediately.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_recovering(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    stage: &Stage,
+    cfg: &StageConfig,
+    mode: ExecMode,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    recovery: Option<&RecoveryPolicy>,
+    limits: &ExecLimits,
+    spent: u64,
+    stats: &mut RecoveryStats,
+    rec: Option<&gpl_obs::Recorder>,
+) -> Result<(StageOut, ExecMode), ExecError> {
+    let Some(policy) = recovery else {
+        return Ok((run_stage_attempt(ctx, plan, stage, cfg, mode, hts)?, mode));
+    };
+    let instant = |name: &str, args: Vec<(&'static str, gpl_obs::Value)>, ctx: &ExecContext| {
+        if let Some(r) = rec {
+            let t = r.track("recover");
+            r.instant(t, "recover", name, ctx.sim.clock(), args);
+        }
+    };
+    let ladder = policy.ladder(mode);
+    let mut last_err: Option<ExecError> = None;
+    let mut first = true;
+    'modes: for &m in &ladder {
+        for attempt in 0..=policy.max_retries {
+            if !first {
+                if attempt == 0 {
+                    // Entering a degraded mode.
+                    stats.fallbacks += 1;
+                    stats.degraded_to = Some(m);
+                    instant(
+                        "fallback",
+                        vec![("to", gpl_obs::Value::from(m.name()))],
+                        ctx,
+                    );
+                } else {
+                    stats.retries += 1;
+                    let delay = policy.backoff_for(attempt);
+                    ctx.sim.advance(delay);
+                    stats.backoff_cycles += delay;
+                    stats.wasted_cycles += delay;
+                    instant(
+                        "retry",
+                        vec![
+                            ("attempt", gpl_obs::Value::from(attempt)),
+                            ("backoff_cycles", gpl_obs::Value::from(delay)),
+                        ],
+                        ctx,
+                    );
+                }
+            }
+            first = false;
+            limits.check(spent + stats.wasted_cycles)?;
+            let c0 = ctx.sim.clock();
+            match run_stage_attempt(ctx, plan, stage, cfg, m, hts) {
+                Ok(out) => return Ok((out, m)),
+                Err(e) => {
+                    let device_lost = matches!(e, ExecError::DeviceLost(_));
+                    match &e {
+                        ExecError::Fault(record)
+                        | ExecError::Oom(record)
+                        | ExecError::DeviceLost(record) => {
+                            stats.wasted_cycles += ctx.sim.clock().saturating_sub(c0);
+                            instant(
+                                "fault",
+                                vec![
+                                    ("kind", gpl_obs::Value::from(record.kind.name())),
+                                    ("launch", gpl_obs::Value::from(record.launch)),
+                                ],
+                                ctx,
+                            );
+                            stats.faults.push(record.clone());
+                            last_err = Some(e);
+                        }
+                        // Query problems, not device problems: propagate.
+                        _ => return Err(e),
+                    }
+                    if device_lost {
+                        // Retrying a lost device is futile; go straight
+                        // to the disarmed last resort (if any).
+                        break 'modes;
+                    }
+                }
+            }
+        }
+    }
+    if policy.fallback {
+        // Last resort: KBE with injection disarmed — the hardened path
+        // outside the faulty device's blast radius (the CPU-fallback
+        // analogue). Guarantees termination even at fault rate 1.
+        stats.fallbacks += 1;
+        stats.degraded_to = Some(ExecMode::Kbe);
+        instant(
+            "fallback",
+            vec![("to", gpl_obs::Value::from("KBE (disarmed)"))],
+            ctx,
+        );
+        let was_armed = ctx.sim.faults_armed();
+        ctx.sim.set_faults_armed(false);
+        let result = run_stage_attempt(ctx, plan, stage, cfg, ExecMode::Kbe, hts);
+        ctx.sim.set_faults_armed(was_armed);
+        return Ok((result?, ExecMode::Kbe));
+    }
+    Err(last_err.expect("at least one attempt ran"))
 }
 
 /// Bytes per driver row across the stage's loaded columns (tiling input).

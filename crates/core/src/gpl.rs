@@ -36,8 +36,36 @@ const TILE_DISPATCH_INSTS: u64 = 256;
 const MAX_CHUNKS_PER_UNIT: usize = 4;
 
 /// Functional data queue riding alongside a channel: chunks plus their
-/// packet counts (the timing side lives in the simulator's channel).
-type DataQ = Rc<RefCell<VecDeque<(Chunk, u64)>>>;
+/// packet counts and a producer-stamped checksum (the timing side lives
+/// in the simulator's channel). Consumers re-hash on pop — the per-tile
+/// integrity check the fault plane's `ChannelCorrupt` injections model
+/// tripping.
+type DataQ = Rc<RefCell<VecDeque<(Chunk, u64, u64)>>>;
+
+/// FNV-1a over a chunk's shape and every filled slot's values: the
+/// per-tile checksum producers stamp on each queued chunk.
+pub(crate) fn chunk_checksum(c: &Chunk) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(c.rows as u64);
+    for (s, col) in c.cols.iter().enumerate() {
+        if !c.filled[s] {
+            continue;
+        }
+        mix(s as u64);
+        for &v in col {
+            mix(v as u64);
+        }
+    }
+    h
+}
 
 fn packets_for(rows: usize, row_bytes: u64, packet_bytes: u32) -> u64 {
     ((rows as u64 * row_bytes).div_ceil(packet_bytes as u64)).max(1)
@@ -247,7 +275,8 @@ impl gpl_sim::WorkSource for LeafSource {
         if out.rows > 0 {
             project_to(&mut out, &self.ship);
             let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
-            self.out_q.borrow_mut().push_back((out, packets));
+            let sum = chunk_checksum(&out);
+            self.out_q.borrow_mut().push_back((out, packets, sum));
             unit = unit.push(self.out, packets);
         }
         self.cursor = end;
@@ -288,7 +317,7 @@ fn take_chunks(
     let mut popped = 0u64;
     let mut rows = 0usize;
     while chunks.len() < MAX_CHUNKS_PER_UNIT {
-        let Some((chunk, packets)) = q.front() else {
+        let Some((chunk, packets, _)) = q.front() else {
             break;
         };
         if *packets > budget_in {
@@ -304,7 +333,16 @@ fn take_chunks(
         budget_in -= *packets;
         popped += *packets;
         rows += chunk.rows;
-        let (chunk, _) = q.pop_front().expect("front exists");
+        let (chunk, _, sum) = q.pop_front().expect("front exists");
+        // Channel-transit integrity: a mismatch means a chunk was mutated
+        // while queued — an engine invariant breach, never expected in
+        // the simulator (injected `ChannelCorrupt` faults model this
+        // check firing and are surfaced at launch admission instead).
+        assert_eq!(
+            chunk_checksum(&chunk),
+            sum,
+            "channel chunk corrupted in transit on channel {input:?}"
+        );
         chunks.push(chunk);
     }
     if chunks.is_empty() {
@@ -360,7 +398,8 @@ impl gpl_sim::WorkSource for ProbeSource {
                 if out.rows > 0 {
                     project_to(&mut out, &self.ship);
                     let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
-                    self.out_q.borrow_mut().push_back((out, packets));
+                    let sum = chunk_checksum(&out);
+                    self.out_q.borrow_mut().push_back((out, packets, sum));
                     unit = unit.push(self.out, packets);
                 }
                 Work::Unit(unit)
@@ -741,6 +780,30 @@ mod tests {
             gpl_prof.intermediate_footprint(),
             kbe_prof.intermediate_footprint()
         );
+    }
+
+    #[test]
+    fn chunk_checksum_detects_any_mutation() {
+        let mut c = Chunk::new(3);
+        c.fill(0, vec![1, 2, 3]);
+        c.fill(2, vec![-7, 0, 9]);
+        let sum = chunk_checksum(&c);
+        assert_eq!(sum, chunk_checksum(&c.clone()), "pure over clones");
+
+        let mut flipped = c.clone();
+        flipped.cols[2][1] = 1;
+        assert_ne!(sum, chunk_checksum(&flipped), "value flip detected");
+
+        let mut truncated = c.clone();
+        truncated.cols[0].pop();
+        truncated.cols[2].pop();
+        truncated.rows = 2;
+        assert_ne!(sum, chunk_checksum(&truncated), "row drop detected");
+
+        // Unfilled slots are dead state and must not affect the sum.
+        let mut junk = c.clone();
+        junk.cols[1] = vec![99];
+        assert_eq!(sum, chunk_checksum(&junk));
     }
 
     #[test]

@@ -30,12 +30,15 @@ pub mod kbe;
 pub mod ops;
 pub mod partitioned;
 pub mod plan;
+pub mod recover;
 pub mod replay;
 
 pub use error::ExecError;
 pub use exec::{
-    run_query, try_run_query, ExecContext, ExecLimits, ExecMode, QueryConfig, QueryRun, StageConfig,
+    run_query, try_run_query, try_run_query_recovering, ExecContext, ExecLimits, ExecMode,
+    QueryConfig, QueryRun, StageConfig,
 };
 pub use expr::{CmpOp, Expr, Pred, Slot};
 pub use ht::AggKind;
 pub use plan::{plan_for, Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal};
+pub use recover::{RecoveryPolicy, RecoveryStats};

@@ -1,0 +1,157 @@
+//! The recovery stack: segment retries, deterministic backoff, and
+//! graceful degradation.
+//!
+//! GPL's pipelined segments fail as a unit — the fault plane
+//! (`gpl_sim::fault`) guarantees a faulted launch had no functional side
+//! effects — so the natural retry granularity is the *segment* (stage).
+//! When a stage draws a fault, the executor re-runs it on the same mode
+//! up to [`RecoveryPolicy::max_retries`] times, separated by a
+//! deterministic exponential backoff charged to the simulated clock.
+//! When a mode's budget is exhausted, execution *degrades*: GPL falls
+//! back to GPL-without-CE, then to KBE — the existing engines reused as
+//! degraded modes, exactly the GPU→CPU fallback ladder production
+//! engines run (PAPERS.md: "Accelerating Presto with GPUs"). As a last
+//! resort the stage runs once more on KBE with fault injection
+//! *disarmed* (the hardened path — the analogue of falling back to the
+//! CPU, outside the faulty device's blast radius), so recovery
+//! terminates even at fault probability 1. Faults cost cycles; they
+//! never change results.
+
+use crate::exec::ExecMode;
+use gpl_sim::FaultRecord;
+
+/// Retry/fallback knobs, all in deterministic units (attempt counts and
+/// simulated cycles — never wall clock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Re-attempts per mode after the first try (0 = fail straight to
+    /// the next mode in the ladder).
+    pub max_retries: u32,
+    /// Backoff before retry `i` (1-based within a mode):
+    /// `base * factor^(i-1)`, capped. Charged to the simulated clock.
+    pub backoff_base_cycles: u64,
+    pub backoff_factor: u32,
+    pub backoff_cap_cycles: u64,
+    /// Degrade through the mode ladder (GPL → GPL w/o CE → KBE) and run
+    /// the disarmed last-resort KBE attempt. With `false`, exhausting
+    /// the primary mode's retries surfaces the last fault as an error.
+    pub fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_cycles: 8_192,
+            backoff_factor: 2,
+            backoff_cap_cycles: 1 << 20,
+            fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    pub fn with_retries(max_retries: u32) -> Self {
+        RecoveryPolicy {
+            max_retries,
+            ..Default::default()
+        }
+    }
+
+    pub fn no_fallback(mut self) -> Self {
+        self.fallback = false;
+        self
+    }
+
+    /// Backoff delay before the `attempt`-th retry (1-based) of a mode.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let mut d = self.backoff_base_cycles;
+        for _ in 1..attempt {
+            d = d.saturating_mul(self.backoff_factor as u64);
+            if d >= self.backoff_cap_cycles {
+                break;
+            }
+        }
+        d.min(self.backoff_cap_cycles)
+    }
+
+    /// The degradation ladder starting at `mode`. Without `fallback`,
+    /// only the primary mode is tried.
+    pub fn ladder(&self, mode: ExecMode) -> Vec<ExecMode> {
+        if !self.fallback {
+            return vec![mode];
+        }
+        match mode {
+            ExecMode::Gpl => vec![ExecMode::Gpl, ExecMode::GplNoCe, ExecMode::Kbe],
+            ExecMode::GplNoCe => vec![ExecMode::GplNoCe, ExecMode::Kbe],
+            ExecMode::Kbe => vec![ExecMode::Kbe],
+        }
+    }
+}
+
+/// What recovery did for one query: all zeros / empty on a fault-free
+/// run. Aggregated into the serving layer's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Same-mode re-attempts across all stages.
+    pub retries: u64,
+    /// Mode transitions taken (degradations, including the disarmed
+    /// last-resort attempt).
+    pub fallbacks: u64,
+    /// Simulated cycles spent in backoff delays.
+    pub backoff_cycles: u64,
+    /// Simulated cycles lost to failed attempts + backoff (included in
+    /// the query's total `cycles`).
+    pub wasted_cycles: u64,
+    /// Every fault the query survived (or died on), in order.
+    pub faults: Vec<FaultRecord>,
+    /// The most degraded mode any stage ended up executing on, when
+    /// different from the requested mode.
+    pub degraded_to: Option<ExecMode>,
+}
+
+impl RecoveryStats {
+    /// Whether anything at all went wrong (and was absorbed).
+    pub fn eventful(&self) -> bool {
+        !self.faults.is_empty() || self.retries > 0 || self.fallbacks > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RecoveryPolicy {
+            max_retries: 10,
+            backoff_base_cycles: 100,
+            backoff_factor: 2,
+            backoff_cap_cycles: 500,
+            fallback: true,
+        };
+        assert_eq!(p.backoff_for(1), 100);
+        assert_eq!(p.backoff_for(2), 200);
+        assert_eq!(p.backoff_for(3), 400);
+        assert_eq!(p.backoff_for(4), 500, "capped");
+        assert_eq!(p.backoff_for(30), 500, "no overflow");
+    }
+
+    #[test]
+    fn ladder_degrades_toward_kbe() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(
+            p.ladder(ExecMode::Gpl),
+            vec![ExecMode::Gpl, ExecMode::GplNoCe, ExecMode::Kbe]
+        );
+        assert_eq!(
+            p.ladder(ExecMode::GplNoCe),
+            vec![ExecMode::GplNoCe, ExecMode::Kbe]
+        );
+        assert_eq!(p.ladder(ExecMode::Kbe), vec![ExecMode::Kbe]);
+        assert_eq!(
+            p.clone().no_fallback().ladder(ExecMode::Gpl),
+            vec![ExecMode::Gpl]
+        );
+    }
+}

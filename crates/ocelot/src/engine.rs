@@ -399,6 +399,7 @@ pub fn run_query(ctx: &mut ExecContext, oc: &mut OcelotContext, plan: &QueryPlan
         cycles: merged.elapsed_cycles,
         profile: merged,
         per_stage,
+        recovery: Default::default(),
     }
 }
 

@@ -25,12 +25,14 @@
 //! The `repro serve` experiment in `gpl-bench` drives this layer over
 //! the TPC-H corpus at worker counts 1/2/4/8.
 
+pub mod breaker;
 pub mod cache;
 pub mod report;
 pub mod request;
 pub mod scheduler;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{PlanCache, PlanEntry};
 pub use report::BatchReport;
 pub use request::{Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
-pub use scheduler::{ServeConfig, Server};
+pub use scheduler::{FaultConfig, ServeConfig, Server};

@@ -19,6 +19,10 @@ pub struct BatchReport {
     pub plan_cache: (u64, u64),
     /// Config search-cache `(hits, misses)` at batch end.
     pub search_cache: (u64, u64),
+    /// Load-shed rejections at batch end (cumulative per server).
+    pub sheds: u64,
+    /// Circuit-breaker `(rejections, opens)` across all workers.
+    pub breaker: (u64, u64),
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -135,6 +139,65 @@ impl BatchReport {
         h
     }
 
+    /// Sum of recovery activity over the batch:
+    /// `(faults survived, retries, fallbacks, wasted cycles)`.
+    pub fn recovery_totals(&self) -> (u64, u64, u64, u64) {
+        self.responses.iter().fold((0, 0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.recovery.faults.len() as u64,
+                acc.1 + r.recovery.retries,
+                acc.2 + r.recovery.fallbacks,
+                acc.3 + r.recovery.wasted_cycles,
+            )
+        })
+    }
+
+    /// Like [`BatchReport::fingerprint`] but over *results only*: id,
+    /// mode, columns and rows — no cycle counts, no error text. A
+    /// fault-injected run with full recovery matches the fault-free run
+    /// under this fingerprint (faults cost cycles, never rows), which is
+    /// exactly what the `repro faults` experiment asserts.
+    pub fn rows_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for r in &self.responses {
+            fnv1a(&mut h, &r.id.to_le_bytes());
+            fnv1a(&mut h, r.mode.name().as_bytes());
+            match &r.result {
+                Ok(res) => {
+                    fnv1a(&mut h, &[1]);
+                    for c in &res.output.columns {
+                        fnv1a(&mut h, c.as_bytes());
+                    }
+                    fnv1a(&mut h, &(res.output.rows.len() as u64).to_le_bytes());
+                    for row in &res.output.rows {
+                        for v in row {
+                            fnv1a(&mut h, &v.to_le_bytes());
+                        }
+                    }
+                }
+                Err(_) => fnv1a(&mut h, &[0]),
+            }
+        }
+        h
+    }
+
+    /// The `pct`-th percentile (nearest-rank) of *simulated completion
+    /// latency* — queue wait plus execution, in device cycles, under the
+    /// deterministic schedule of [`BatchReport::simulated_schedule`].
+    pub fn simulated_latency_pct(&self, pct: f64) -> u64 {
+        let mut lat: Vec<u64> = self
+            .simulated_schedule()
+            .iter()
+            .map(|&(_, start, cycles)| start + cycles)
+            .collect();
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        let rank = ((pct / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
     /// Merge every per-query recorder dump into one multi-track trace:
     /// query `id`'s tracks appear under the `q{id}/` prefix, in id
     /// order. Timestamps stay in per-query simulated cycles (all start
@@ -165,6 +228,14 @@ impl BatchReport {
         m.counter_add("serve.plan_cache.misses", &[], self.plan_cache.1);
         m.counter_add("serve.search_cache.hits", &[], self.search_cache.0);
         m.counter_add("serve.search_cache.misses", &[], self.search_cache.1);
+        let (faults, retries, fallbacks, wasted) = self.recovery_totals();
+        m.counter_add("serve.faults.injected", &[], faults);
+        m.counter_add("serve.faults.retries", &[], retries);
+        m.counter_add("serve.faults.fallbacks", &[], fallbacks);
+        m.counter_add("serve.faults.wasted_cycles", &[], wasted);
+        m.counter_add("serve.shed", &[], self.sheds);
+        m.counter_add("serve.breaker.rejections", &[], self.breaker.0);
+        m.counter_add("serve.breaker.opens", &[], self.breaker.1);
         for r in &self.responses {
             m.histogram_observe(
                 "serve.queue_latency_us",
@@ -197,6 +268,14 @@ impl BatchReport {
             "plan cache: {} hits / {} misses; config search cache: {} hits / {} misses\n",
             self.plan_cache.0, self.plan_cache.1, self.search_cache.0, self.search_cache.1
         ));
+        let (faults, retries, fallbacks, wasted) = self.recovery_totals();
+        if faults + retries + fallbacks + self.sheds + self.breaker.0 > 0 {
+            out.push_str(&format!(
+                "recovery: {faults} faults survived, {retries} retries, {fallbacks} fallbacks, \
+                 {wasted} wasted cycles; {} shed, {} breaker rejections ({} opens)\n",
+                self.sheds, self.breaker.0, self.breaker.1
+            ));
+        }
         out.push_str(&format!("fingerprint: {:#018x}\n", self.fingerprint()));
         for r in &self.responses {
             match &r.result {

@@ -68,6 +68,9 @@ impl QueryRequest {
 pub enum ServeError {
     Plan(String),
     Exec(ExecError),
+    /// The worker's circuit breaker is open: the request was rejected
+    /// without touching the device while its fault streak cools down.
+    CircuitOpen,
 }
 
 impl fmt::Display for ServeError {
@@ -75,6 +78,12 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Plan(msg) => write!(f, "planning failed: {msg}"),
             ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            // Deliberately carries no worker id: which worker rejected a
+            // request is a scheduling accident, and this text feeds the
+            // deterministic batch fingerprint.
+            ServeError::CircuitOpen => {
+                write!(f, "circuit breaker open: device cooling down after faults")
+            }
         }
     }
 }
@@ -105,7 +114,12 @@ pub struct QueryResponse {
     /// Wall time executing on the worker's simulator.
     pub exec_wall: Duration,
     /// Which worker ran the query (scheduling detail, non-deterministic).
+    /// `usize::MAX` for responses manufactured off-worker (shed at
+    /// admission, cancelled at shutdown).
     pub worker: usize,
     /// Per-query recorder dump when tracing was enabled.
     pub trace: Option<RecorderDump>,
+    /// What the recovery stack absorbed for this query (all zeros on a
+    /// fault-free run or when recovery is disabled).
+    pub recovery: gpl_core::RecoveryStats,
 }

@@ -9,13 +9,14 @@
 //! (`tests/determinism.rs` pins it): concurrency changes wall-clock
 //! latencies only.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::PlanCache;
 use crate::report::BatchReport;
 use crate::request::{Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
-use gpl_core::{try_run_query, ExecContext, ExecLimits};
+use gpl_core::{try_run_query_recovering, ExecContext, ExecError, ExecLimits, RecoveryPolicy};
 use gpl_model::GammaTable;
 use gpl_obs::Recorder;
-use gpl_sim::DeviceSpec;
+use gpl_sim::{DeviceSpec, FaultPlan, FaultSpec};
 use gpl_tpch::TpchDb;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +24,23 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Seeded fault injection for every query the server runs. The
+/// per-query plan seed is `seed ^ (id * φ64)`, so a query's fault
+/// schedule is a pure function of (config seed, request id) —
+/// independent of worker count and arrival order, like every other
+/// deterministic per-query fact.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    pub seed: u64,
+    pub spec: FaultSpec,
+}
+
+/// Per-query fault-plan seed: splitmix-style id mixing keeps nearby ids'
+/// PCG streams uncorrelated.
+pub(crate) fn per_query_seed(seed: u64, id: u64) -> u64 {
+    seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -34,6 +52,16 @@ pub struct ServeConfig {
     /// Attach a per-query recorder and ship its dump in the response
     /// (merged into a multi-track trace by the batch report).
     pub record_traces: bool,
+    /// Load shedding: reject submissions once the admission queue holds
+    /// this many jobs ([`ExecError::Rejected`]). `None` = unbounded.
+    pub max_queue_depth: Option<usize>,
+    /// Inject seeded faults into every query's simulator.
+    pub faults: Option<FaultConfig>,
+    /// Recovery stack applied to every query (retries / degradation /
+    /// last-resort KBE). `None` = first fault surfaces as an error.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Per-worker circuit breaker over device faults.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +70,10 @@ impl Default for ServeConfig {
             workers: 4,
             plan_cache_capacity: 64,
             record_traces: false,
+            max_queue_depth: None,
+            faults: None,
+            recovery: None,
+            breaker: None,
         }
     }
 }
@@ -65,11 +97,20 @@ struct Shared {
     queue: Mutex<Queue>,
     available: Condvar,
     record_traces: bool,
+    faults: Option<FaultConfig>,
+    recovery: Option<RecoveryPolicy>,
+    breaker: Option<BreakerConfig>,
     /// `serve.queued/running/done` gauge backing (snapshot into the
     /// metrics registry by [`BatchReport::metrics`]).
     queued: AtomicU64,
     running: AtomicU64,
     done: AtomicU64,
+    /// Requests rejected by load shedding / an open breaker (the
+    /// response stream carries the structured errors; these are the
+    /// cheap aggregate gauges).
+    sheds: AtomicU64,
+    breaker_rejections: AtomicU64,
+    breaker_opens: AtomicU64,
 }
 
 /// The query server: owns the worker pool, the admission queue and the
@@ -77,7 +118,27 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    max_queue_depth: Option<usize>,
+    /// Producer side of the response stream, for responses that never
+    /// reach a worker (shed at admission, drained at shutdown).
+    tx: Sender<QueryResponse>,
     results: Mutex<Receiver<QueryResponse>>,
+}
+
+/// A response manufactured outside any worker (shed / drained).
+fn synthetic_response(req: QueryRequest, err: ExecError) -> QueryResponse {
+    QueryResponse {
+        id: req.id,
+        mode: req.mode,
+        result: Err(ServeError::Exec(err)),
+        plan_cache_hit: false,
+        plan_wall: Default::default(),
+        queue_wall: Default::default(),
+        exec_wall: Default::default(),
+        worker: usize::MAX,
+        trace: None,
+        recovery: Default::default(),
+    }
 }
 
 impl Server {
@@ -101,9 +162,15 @@ impl Server {
             }),
             available: Condvar::new(),
             record_traces: config.record_traces,
+            faults: config.faults,
+            recovery: config.recovery,
+            breaker: config.breaker,
             queued: AtomicU64::new(0),
             running: AtomicU64::new(0),
             done: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
         });
         let (tx, rx) = channel();
         let workers = (0..config.workers.max(1))
@@ -119,6 +186,8 @@ impl Server {
         Server {
             shared,
             workers,
+            max_queue_depth: config.max_queue_depth,
+            tx,
             results: Mutex::new(rx),
         }
     }
@@ -147,11 +216,33 @@ impl Server {
     /// worker this makes the *execution order* of a batch fully
     /// deterministic: all high-priority requests in submit order, then
     /// all normal ones.
+    ///
+    /// Load shedding happens here, under the same lock: once the queue
+    /// holds [`ServeConfig::max_queue_depth`] jobs, further requests are
+    /// answered immediately with [`ExecError::Rejected`] instead of
+    /// queueing unboundedly. A shed response still arrives on the
+    /// response stream, so `collect(n)` accounts for every submission.
     pub fn submit_all(&self, reqs: impl IntoIterator<Item = QueryRequest>) {
         let mut n = 0u64;
+        let mut sheds = 0u64;
         {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
             for req in reqs {
+                let depth = q.high.len() + q.normal.len();
+                if let Some(bound) = self.max_queue_depth {
+                    if depth >= bound {
+                        sheds += 1;
+                        let resp = synthetic_response(
+                            req,
+                            ExecError::Rejected {
+                                queue_depth: depth as u64,
+                                bound: bound as u64,
+                            },
+                        );
+                        let _ = self.tx.send(resp);
+                        continue;
+                    }
+                }
                 let job = Job {
                     req,
                     submitted: Instant::now(),
@@ -164,6 +255,7 @@ impl Server {
             }
         }
         self.shared.queued.fetch_add(n, Ordering::Relaxed);
+        self.shared.sheds.fetch_add(sheds, Ordering::Relaxed);
         self.shared.available.notify_all();
     }
 
@@ -198,23 +290,64 @@ impl Server {
             wall: t0.elapsed(),
             plan_cache: self.shared.plans.stats(),
             search_cache: self.shared.plans.search_stats(),
+            sheds: self.shed_count(),
+            breaker: self.breaker_counts(),
         }
     }
 
-    /// Stop accepting work, drain the queue, and join every worker.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    /// Requests rejected so far by load shedding.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.sheds.load(Ordering::Relaxed)
     }
 
-    fn shutdown_inner(&mut self) {
+    /// `(rejections, opens)` across every worker's circuit breaker.
+    pub fn breaker_counts(&self) -> (u64, u64) {
+        (
+            self.shared.breaker_rejections.load(Ordering::Relaxed),
+            self.shared.breaker_opens.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stop accepting work, cancel whatever is still queued, join every
+    /// worker, and return *all* outstanding responses — completed ones
+    /// still buffered in the response stream plus a structured
+    /// [`ExecError::Cancelled`] response for each drained job — sorted
+    /// by id. Callers who submitted more than they collected therefore
+    /// get an answer for every request instead of a hang.
+    pub fn shutdown(mut self) -> Vec<QueryResponse> {
+        let drained = self.shutdown_inner();
+        let mut responses: Vec<QueryResponse> = drained
+            .into_iter()
+            .map(|job| synthetic_response(job.req, ExecError::Cancelled))
+            .collect();
         {
+            let rx = self.results.lock().expect("results poisoned");
+            responses.extend(rx.try_iter());
+        }
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    /// Flip the shutdown flag and drain the queue *atomically* (one lock
+    /// scope): a worker either popped a job before this ran, or finds an
+    /// empty queue with the flag set and exits — no job is both drained
+    /// here and executed there.
+    fn shutdown_inner(&mut self) -> Vec<Job> {
+        let drained: Vec<Job> = {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
             q.shutdown = true;
-        }
+            let mut d: Vec<Job> = q.high.drain(..).collect();
+            d.extend(q.normal.drain(..));
+            d
+        };
+        self.shared
+            .queued
+            .fetch_sub(drained.len() as u64, Ordering::Relaxed);
         self.shared.available.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        drained
     }
 }
 
@@ -225,6 +358,11 @@ impl Drop for Server {
 }
 
 fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
+    // The worker's circuit breaker and its device clock: the sum of
+    // simulated cycles this worker's device has executed (plus reject
+    // costs), driving the breaker's deterministic cool-down timer.
+    let mut breaker = shared.breaker.clone().map(CircuitBreaker::new);
+    let mut device_cycles = 0u64;
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("queue poisoned");
@@ -240,7 +378,31 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         shared.running.fetch_add(1, Ordering::Relaxed);
-        let resp = process(idx, shared, job);
+        let admitted = match breaker.as_mut() {
+            Some(b) => b.admit(device_cycles),
+            None => true,
+        };
+        let resp = if !admitted {
+            let cfg = shared.breaker.as_ref().expect("breaker configured");
+            device_cycles += cfg.reject_cost_cycles;
+            shared.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+            synthetic_response_on(idx, job, ServeError::CircuitOpen)
+        } else {
+            let (resp, spent) = process(idx, shared, job);
+            device_cycles += spent;
+            if let Some(b) = breaker.as_mut() {
+                let opens_before = b.stats().opens;
+                match &resp.result {
+                    Err(ServeError::Exec(e)) if e.is_device_fault() => b.on_fault(device_cycles),
+                    Err(_) => {} // query problem: no breaker signal
+                    Ok(_) => b.on_success(),
+                }
+                shared
+                    .breaker_opens
+                    .fetch_add(b.stats().opens - opens_before, Ordering::Relaxed);
+            }
+            resp
+        };
         shared.running.fetch_sub(1, Ordering::Relaxed);
         shared.done.fetch_add(1, Ordering::Relaxed);
         if tx.send(resp).is_err() {
@@ -250,7 +412,26 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
     }
 }
 
-fn process(idx: usize, shared: &Shared, job: Job) -> QueryResponse {
+/// A breaker rejection, attributed to the worker whose breaker is open.
+fn synthetic_response_on(idx: usize, job: Job, err: ServeError) -> QueryResponse {
+    QueryResponse {
+        id: job.req.id,
+        mode: job.req.mode,
+        result: Err(err),
+        plan_cache_hit: false,
+        plan_wall: Default::default(),
+        queue_wall: job.submitted.elapsed(),
+        exec_wall: Default::default(),
+        worker: idx,
+        trace: None,
+        recovery: Default::default(),
+    }
+}
+
+/// Run one job; returns the response plus the simulated device cycles
+/// the attempt consumed (successful or not — wasted cycles count toward
+/// the worker's device clock).
+fn process(idx: usize, shared: &Shared, job: Job) -> (QueryResponse, u64) {
     let queue_wall = job.submitted.elapsed();
     let req = job.req;
     let plan_t0 = Instant::now();
@@ -262,17 +443,21 @@ fn process(idx: usize, shared: &Shared, job: Job) -> QueryResponse {
     let (entry, hit) = match planned {
         Ok(v) => v,
         Err(msg) => {
-            return QueryResponse {
-                id: req.id,
-                mode: req.mode,
-                result: Err(ServeError::Plan(msg)),
-                plan_cache_hit: false,
-                plan_wall,
-                queue_wall,
-                exec_wall: Default::default(),
-                worker: idx,
-                trace: None,
-            }
+            return (
+                QueryResponse {
+                    id: req.id,
+                    mode: req.mode,
+                    result: Err(ServeError::Plan(msg)),
+                    plan_cache_hit: false,
+                    plan_wall,
+                    queue_wall,
+                    exec_wall: Default::default(),
+                    worker: idx,
+                    trace: None,
+                    recovery: Default::default(),
+                },
+                0,
+            )
         }
     };
     // A fresh context per query: fresh simulator clock, cold data cache,
@@ -284,25 +469,49 @@ fn process(idx: usize, shared: &Shared, job: Job) -> QueryResponse {
     if let Some(r) = &rec {
         ctx.sim.attach_recorder(r.clone());
     }
+    if let Some(fc) = &shared.faults {
+        // Seeded per query id, not per worker: the fault schedule a
+        // query sees is part of its deterministic identity.
+        ctx.sim.attach_faults(FaultPlan::new(
+            fc.spec.clone(),
+            per_query_seed(fc.seed, req.id),
+        ));
+    }
     let limits = ExecLimits {
         max_cycles: req.max_cycles,
         cancel: req.cancel.clone(),
     };
-    let result = try_run_query(&mut ctx, &entry.plan, req.mode, &entry.config, &limits)
-        .map(|run| QueryResult {
+    let mut recovery = Default::default();
+    let result = try_run_query_recovering(
+        &mut ctx,
+        &entry.plan,
+        req.mode,
+        &entry.config,
+        &limits,
+        shared.recovery.as_ref(),
+    )
+    .map(|run| {
+        recovery = run.recovery;
+        QueryResult {
             output: run.output,
             cycles: run.cycles,
-        })
-        .map_err(ServeError::Exec);
-    QueryResponse {
-        id: req.id,
-        mode: req.mode,
-        result,
-        plan_cache_hit: hit,
-        plan_wall,
-        queue_wall,
-        exec_wall: exec_t0.elapsed(),
-        worker: idx,
-        trace: rec.map(|r| r.dump()),
-    }
+        }
+    })
+    .map_err(ServeError::Exec);
+    let spent = ctx.sim.clock();
+    (
+        QueryResponse {
+            id: req.id,
+            mode: req.mode,
+            result,
+            plan_cache_hit: hit,
+            plan_wall,
+            queue_wall,
+            exec_wall: exec_t0.elapsed(),
+            worker: idx,
+            trace: rec.map(|r| r.dump()),
+            recovery,
+        },
+        spent,
+    )
 }

@@ -25,6 +25,7 @@ fn server(workers: usize) -> Server {
             workers,
             plan_cache_capacity: 32,
             record_traces: false,
+            ..ServeConfig::default()
         },
         amd_a10(),
         Arc::new(TpchDb::at_scale(0.002)),
@@ -135,6 +136,7 @@ fn traced_batch_merges_per_query_tracks() {
             workers: 2,
             plan_cache_capacity: 8,
             record_traces: true,
+            ..ServeConfig::default()
         },
         amd_a10(),
         Arc::new(TpchDb::at_scale(0.002)),

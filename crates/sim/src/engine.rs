@@ -31,6 +31,7 @@ use crate::cache::CacheSim;
 use crate::channel::{Channel, ChannelId, ChannelStats};
 use crate::counters::{KernelProfile, LaunchProfile};
 use crate::device::DeviceSpec;
+use crate::fault::{Admission, FaultPlan, FaultRecord};
 use crate::kernel::{ChannelIo, ChannelView, KernelDesc, Work};
 use crate::mem::{MemRange, MemoryMap, RegionClass};
 use std::cmp::Reverse;
@@ -81,6 +82,14 @@ pub struct Simulator {
     /// Lazily-defined occupancy counter per channel, parallel to
     /// `channels`. Pre-sized so hot-loop sampling never allocates.
     chan_counters: Vec<Option<gpl_obs::CounterId>>,
+    /// Seeded fault injector (see [`crate::fault`]). `None` = a healthy
+    /// device; every launch pays one branch.
+    faults: Option<FaultPlan>,
+    /// A fault injected at launch admission, waiting for the engine
+    /// above to collect it with [`Simulator::take_fault`]. While set,
+    /// every launch returns a stub profile immediately (the segment is
+    /// aborting; nothing functional runs).
+    pending_fault: Option<FaultRecord>,
 }
 
 struct ChannelsView<'a>(&'a [Channel]);
@@ -163,7 +172,52 @@ impl Simulator {
             trace: None,
             recorder: None,
             chan_counters: Vec::new(),
+            faults: None,
+            pending_fault: None,
         }
+    }
+
+    /// Attach a seeded fault injector: every subsequent armed launch is
+    /// admitted through it (see [`crate::fault`] for the model).
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault plan's counters, if any.
+    pub fn fault_stats(&self) -> Option<&crate::fault::FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Arm/disarm the attached fault plan (no-op without one). Disarmed
+    /// launches run untouched and consume no randomness — the hardened
+    /// path the last-resort KBE fallback executes on.
+    pub fn set_faults_armed(&mut self, armed: bool) {
+        if let Some(f) = self.faults.as_mut() {
+            f.set_armed(armed);
+        }
+    }
+
+    /// Whether a fault plan is attached *and* armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.armed())
+    }
+
+    /// Take the pending injected fault, if a launch failed since the
+    /// last call. Engines check this after every launch batch; while it
+    /// is pending, launches return stub profiles (the segment aborts).
+    pub fn take_fault(&mut self) -> Option<FaultRecord> {
+        self.pending_fault.take()
+    }
+
+    /// Whether an injected fault is waiting to be collected.
+    pub fn fault_pending(&self) -> bool {
+        self.pending_fault.is_some()
+    }
+
+    /// Advance the device clock by `cycles` with no work — the
+    /// deterministic backoff delay of the retry stack.
+    pub fn advance(&mut self, cycles: u64) {
+        self.clock += cycles;
     }
 
     /// Attach a structured-event recorder: every launch then records a
@@ -311,6 +365,69 @@ impl Simulator {
     /// mid-flight; the simulator should be discarded, not relaunched.
     pub fn try_run(&mut self, kernels: Vec<KernelDesc>) -> Result<LaunchProfile, DeadlockError> {
         assert!(!kernels.is_empty(), "launching zero kernels");
+        // Fault admission (see `crate::fault`): decided BEFORE any
+        // `WorkSource` is polled, so a failed launch has zero functional
+        // side effects — the invariant segment-granularity retry relies
+        // on. While a fault is pending collection, the segment is
+        // aborting: subsequent launches return stubs immediately.
+        if self.pending_fault.is_some() {
+            return Ok(LaunchProfile {
+                start_cycle: self.clock,
+                num_cus: self.spec.num_cus,
+                max_wavefronts: self.spec.max_wavefronts(),
+                ..Default::default()
+            });
+        }
+        if let Some(plan) = self.faults.as_mut() {
+            let clock = self.clock;
+            let allocated = self.mem.allocated();
+            let names: Vec<&str> = kernels.iter().map(|k| k.name.as_str()).collect();
+            let uses_channels = kernels
+                .iter()
+                .any(|k| !k.inputs.is_empty() || !k.outputs.is_empty());
+            let admission = plan.admit(clock, &names, uses_channels, allocated);
+            match admission {
+                Admission::Clear => {}
+                Admission::Stall { record } => {
+                    // Non-failing: the pipe wedged and restarted; the
+                    // launch proceeds after the stall charge.
+                    self.clock = self.clock.max(record.cycle);
+                    if let Some(rec) = self.recorder.as_ref() {
+                        let t = rec.track("sim.faults");
+                        rec.instant(
+                            t,
+                            "fault",
+                            record.kind.name(),
+                            record.cycle,
+                            vec![("launch", gpl_obs::Value::from(record.launch))],
+                        );
+                    }
+                }
+                Admission::Fail { record } => {
+                    let start = self.clock;
+                    self.clock = self.clock.max(record.cycle);
+                    if let Some(rec) = self.recorder.as_ref() {
+                        let t = rec.track("sim.faults");
+                        rec.instant(
+                            t,
+                            "fault",
+                            record.kind.name(),
+                            record.cycle,
+                            vec![("launch", gpl_obs::Value::from(record.launch))],
+                        );
+                    }
+                    let elapsed = self.clock - start;
+                    self.pending_fault = Some(record);
+                    return Ok(LaunchProfile {
+                        start_cycle: start,
+                        elapsed_cycles: elapsed,
+                        num_cus: self.spec.num_cus,
+                        max_wavefronts: self.spec.max_wavefronts(),
+                        ..Default::default()
+                    });
+                }
+            }
+        }
         let start = self.clock;
         let residency = self.allocate_residency(&kernels);
         let num_cus = self.spec.num_cus as usize;

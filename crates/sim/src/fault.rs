@@ -1,0 +1,602 @@
+//! Deterministic fault injection — the simulator's fault plane.
+//!
+//! Real GPU serving fleets see transient kernel faults, wedged DMA
+//! channels, allocation failures under memory pressure, and whole-device
+//! loss; the paper never asks what happens then, but a production engine
+//! must (see "Accelerating Presto with GPUs" in PAPERS.md, which runs
+//! GPU operators behind a CPU-fallback path for exactly this reason).
+//! A [`FaultPlan`] attached to a [`crate::Simulator`] injects those
+//! failure modes *deterministically*: one seeded PCG32 draw per armed
+//! launch, timestamps in simulated cycles only, no ambient entropy. The
+//! same seed yields the same faults at the same clocks, forever — which
+//! is what lets the recovery stack above be tested byte-for-byte.
+//!
+//! ## The launch-admission invariant
+//!
+//! Faults are decided at **launch admission**, before the simulator
+//! polls any [`crate::WorkSource`]. A failed launch therefore has *zero
+//! functional side effects* — no data-queue mutation, no hash-table or
+//! aggregate update — only a detection-latency charge on the clock.
+//! That invariant is what makes segment-granularity retry in `gpl-core`
+//! sound: re-running a faulted segment can never double-apply work.
+//! Channel *stalls* are the one non-failing kind: the launch proceeds
+//! after losing `stall_cycles` on the clock.
+
+use gpl_prng::{Pcg32, RngCore};
+use std::fmt;
+
+/// The PCG stream selector for fault plans (any fixed odd-ish constant;
+/// distinct from the property-test harness streams).
+const FAULT_STREAM: u64 = 0xfa17_fa17;
+
+/// What kind of hardware misbehaviour was injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A transient kernel fault (the GPU analogue of an ECC trip or an
+    /// illegal-address abort): the launch fails, the device survives.
+    KernelFault,
+    /// A wedged channel: the launch *succeeds* after losing
+    /// [`FaultSpec::stall_cycles`] to a drained-and-restarted pipe.
+    ChannelStall,
+    /// Corrupted channel traffic, surfaced by the per-tile checksum the
+    /// consumer verifies (`gpl-core`'s data queues): the launch fails.
+    ChannelCorrupt,
+    /// Tile/hash-table allocation failure under memory pressure: fires
+    /// only when the simulated allocator is past
+    /// [`FaultSpec::mem_pressure_bytes`].
+    Oom,
+    /// Whole-device loss: every subsequent armed launch fails until the
+    /// plan is disarmed. Not retryable on the same device.
+    DeviceLost,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::KernelFault => "kernel_fault",
+            FaultKind::ChannelStall => "channel_stall",
+            FaultKind::ChannelCorrupt => "channel_corrupt",
+            FaultKind::Oom => "oom",
+            FaultKind::DeviceLost => "device_lost",
+        }
+    }
+
+    /// Whether retrying the same device can help. Everything transient
+    /// is retryable; a lost device is not.
+    pub fn retryable(self) -> bool {
+        !matches!(self, FaultKind::DeviceLost)
+    }
+
+    /// Stable index for per-kind counters.
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            FaultKind::KernelFault => 0,
+            FaultKind::ChannelStall => 1,
+            FaultKind::ChannelCorrupt => 2,
+            FaultKind::Oom => 3,
+            FaultKind::DeviceLost => 4,
+        }
+    }
+
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::KernelFault,
+        FaultKind::ChannelStall,
+        FaultKind::ChannelCorrupt,
+        FaultKind::Oom,
+        FaultKind::DeviceLost,
+    ];
+}
+
+/// One injected fault, as surfaced to the engine: what fired, on which
+/// kernel (when attributable), and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    pub kind: FaultKind,
+    /// The victim kernel, for kinds that single one out.
+    pub kernel: Option<String>,
+    /// Device clock at which the fault was *detected* (admission clock
+    /// plus [`FaultSpec::detect_cycles`]).
+    pub cycle: u64,
+    /// Zero-based index of the armed launch that drew the fault.
+    pub launch: u64,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.name())?;
+        if let Some(k) = &self.kernel {
+            write!(f, " on kernel {k}")?;
+        }
+        write!(f, " at cycle {} (launch {})", self.cycle, self.launch)
+    }
+}
+
+/// A fault pinned to fire on a specific kernel: the first armed launch
+/// containing `kernel` fails with `kind` at `max(clock, at_cycle) +
+/// detect_cycles`. Pinned faults fire once each, before any
+/// probabilistic draw, and consume no randomness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinnedFault {
+    pub kind: FaultKind,
+    pub kernel: String,
+    pub at_cycle: u64,
+}
+
+/// The (cloneable) fault-injection recipe: per-launch probabilities, the
+/// memory-pressure watermark gating OOM, latency charges, and pinned
+/// schedules. Build a [`FaultPlan`] from it with a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Per-launch probability of a transient kernel fault.
+    pub kernel_fault: f64,
+    /// Per-launch probability of a channel stall (channel-using launches
+    /// only; the draw is consumed either way for stream stability).
+    pub channel_stall: f64,
+    /// Per-launch probability of checksum-detected channel corruption
+    /// (channel-using launches only).
+    pub channel_corrupt: f64,
+    /// Per-launch probability of an allocation failure — fires only when
+    /// simulated allocation exceeds [`FaultSpec::mem_pressure_bytes`].
+    pub oom: f64,
+    /// Per-launch probability of losing the whole device.
+    pub device_lost: f64,
+    /// OOM watermark: injected OOMs require `MemoryMap::allocated()` to
+    /// exceed this. `None` disables pressure gating (OOM can always fire).
+    pub mem_pressure_bytes: Option<u64>,
+    /// Cycles from admission to fault *detection* (charged to the clock
+    /// of every failing launch — the cost of noticing).
+    pub detect_cycles: u64,
+    /// Cycles a [`FaultKind::ChannelStall`] costs before the launch runs.
+    pub stall_cycles: u64,
+    /// "Fire at cycle N on kernel K" schedules, for tests.
+    pub pinned: Vec<PinnedFault>,
+}
+
+impl FaultSpec {
+    /// No faults at all (probabilities zero, nothing pinned).
+    pub fn none() -> Self {
+        FaultSpec {
+            kernel_fault: 0.0,
+            channel_stall: 0.0,
+            channel_corrupt: 0.0,
+            oom: 0.0,
+            device_lost: 0.0,
+            mem_pressure_bytes: None,
+            detect_cycles: 2_000,
+            stall_cycles: 20_000,
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Transient faults only, all at probability `p` per launch: kernel
+    /// faults, channel stalls and channel corruption (no OOM, no device
+    /// loss) — the workhorse recipe of the fuzz suites.
+    pub fn uniform(p: f64) -> Self {
+        FaultSpec {
+            kernel_fault: p,
+            channel_stall: p,
+            channel_corrupt: p,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Sum of failure probabilities (sanity bound; stalls excluded
+    /// because they do not fail the launch).
+    fn fail_mass(&self) -> f64 {
+        self.kernel_fault + self.channel_corrupt + self.oom + self.device_lost
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// Per-kind injection counters (includes non-failing stalls).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    injected: [u64; 5],
+    /// Armed launches examined (denominator for observed rates).
+    pub launches: u64,
+}
+
+impl FaultStats {
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.idx()]
+    }
+
+    /// All injected events, stalls included.
+    pub fn total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Injected events that failed their launch (everything but stalls).
+    pub fn total_failures(&self) -> u64 {
+        self.total() - self.injected(FaultKind::ChannelStall)
+    }
+}
+
+/// What admission decided for one launch.
+#[derive(Debug)]
+pub(crate) enum Admission {
+    /// Run normally.
+    Clear,
+    /// Run after charging `record.cycle - clock` stall cycles.
+    Stall { record: FaultRecord },
+    /// Fail the launch; `record.cycle` is the detection clock.
+    Fail { record: FaultRecord },
+}
+
+/// A seeded fault injector bound to one simulator. Consumes exactly one
+/// PCG32 `next_u64` per armed launch (plus one `next_u32` to pick a
+/// kernel-fault victim), so the fault stream is independent of *what*
+/// the launches do — only of how many there were.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    rng: Pcg32,
+    /// Which pinned faults already fired.
+    fired: Vec<bool>,
+    launch_no: u64,
+    armed: bool,
+    lost: bool,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        assert!(
+            spec.fail_mass() + spec.channel_stall <= 1.0 + 1e-9,
+            "fault probabilities sum over 1"
+        );
+        let fired = vec![false; spec.pinned.len()];
+        FaultPlan {
+            spec,
+            rng: Pcg32::new(seed, FAULT_STREAM),
+            fired,
+            launch_no: 0,
+            armed: true,
+            lost: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Convenience: [`FaultSpec::uniform`] with a seed.
+    pub fn seeded(seed: u64, p: f64) -> Self {
+        FaultPlan::new(FaultSpec::uniform(p), seed)
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// While disarmed, launches are admitted untouched and consume no
+    /// randomness — the "run on the hardened path" escape hatch the
+    /// last-resort KBE fallback uses.
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Whether a [`FaultKind::DeviceLost`] has fired: every later armed
+    /// launch fails immediately.
+    pub fn device_lost(&self) -> bool {
+        self.lost
+    }
+
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Decide the fate of one launch. `kernels` are the launch's kernel
+    /// names; `uses_channels` gates the channel kinds; `allocated` is
+    /// the allocator's current total for the OOM watermark.
+    pub(crate) fn admit(
+        &mut self,
+        clock: u64,
+        kernels: &[&str],
+        uses_channels: bool,
+        allocated: u64,
+    ) -> Admission {
+        if !self.armed {
+            return Admission::Clear;
+        }
+        let launch = self.launch_no;
+        self.launch_no += 1;
+        self.stats.launches += 1;
+        let detect = self.spec.detect_cycles;
+        if self.lost {
+            // The device stays lost; repeat records count separately so
+            // observed rates reflect every failed launch.
+            self.stats.injected[FaultKind::DeviceLost.idx()] += 1;
+            return Admission::Fail {
+                record: FaultRecord {
+                    kind: FaultKind::DeviceLost,
+                    kernel: None,
+                    cycle: clock + detect,
+                    launch,
+                },
+            };
+        }
+        // Pinned schedules fire first and consume no randomness.
+        for i in 0..self.spec.pinned.len() {
+            if self.fired[i] {
+                continue;
+            }
+            let p = &self.spec.pinned[i];
+            if kernels.iter().any(|k| *k == p.kernel) {
+                self.fired[i] = true;
+                self.stats.injected[p.kind.idx()] += 1;
+                if p.kind == FaultKind::DeviceLost {
+                    self.lost = true;
+                }
+                let at = clock.max(p.at_cycle);
+                let kernel = Some(p.kernel.clone());
+                let kind = p.kind;
+                return if kind == FaultKind::ChannelStall {
+                    Admission::Stall {
+                        record: FaultRecord {
+                            kind,
+                            kernel,
+                            cycle: at + self.spec.stall_cycles,
+                            launch,
+                        },
+                    }
+                } else {
+                    Admission::Fail {
+                        record: FaultRecord {
+                            kind,
+                            kernel,
+                            cycle: at + detect,
+                            launch,
+                        },
+                    }
+                };
+            }
+        }
+        // One uniform draw per launch, walked against cumulative
+        // thresholds. Gated kinds (channel faults on channel-less
+        // launches, OOM under the watermark) still consume their slice
+        // of the draw, so the stream is stable across gating.
+        let r = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let mut cum = self.spec.device_lost;
+        if r < cum {
+            self.lost = true;
+            self.stats.injected[FaultKind::DeviceLost.idx()] += 1;
+            return Admission::Fail {
+                record: FaultRecord {
+                    kind: FaultKind::DeviceLost,
+                    kernel: None,
+                    cycle: clock + detect,
+                    launch,
+                },
+            };
+        }
+        cum += self.spec.oom;
+        if r < cum {
+            let pressured = self.spec.mem_pressure_bytes.is_none_or(|w| allocated > w);
+            if pressured {
+                self.stats.injected[FaultKind::Oom.idx()] += 1;
+                return Admission::Fail {
+                    record: FaultRecord {
+                        kind: FaultKind::Oom,
+                        kernel: None,
+                        cycle: clock + detect,
+                        launch,
+                    },
+                };
+            }
+            return Admission::Clear;
+        }
+        cum += self.spec.kernel_fault;
+        if r < cum {
+            let victim = kernels[(self.rng.next_u32() as usize) % kernels.len().max(1)];
+            self.stats.injected[FaultKind::KernelFault.idx()] += 1;
+            return Admission::Fail {
+                record: FaultRecord {
+                    kind: FaultKind::KernelFault,
+                    kernel: Some(victim.to_string()),
+                    cycle: clock + detect,
+                    launch,
+                },
+            };
+        }
+        cum += self.spec.channel_corrupt;
+        if r < cum {
+            if uses_channels {
+                self.stats.injected[FaultKind::ChannelCorrupt.idx()] += 1;
+                return Admission::Fail {
+                    record: FaultRecord {
+                        kind: FaultKind::ChannelCorrupt,
+                        kernel: None,
+                        cycle: clock + detect,
+                        launch,
+                    },
+                };
+            }
+            return Admission::Clear;
+        }
+        cum += self.spec.channel_stall;
+        if r < cum && uses_channels {
+            self.stats.injected[FaultKind::ChannelStall.idx()] += 1;
+            return Admission::Stall {
+                record: FaultRecord {
+                    kind: FaultKind::ChannelStall,
+                    kernel: None,
+                    cycle: clock + self.spec.stall_cycles,
+                    launch,
+                },
+            };
+        }
+        Admission::Clear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit_n(plan: &mut FaultPlan, n: usize) -> Vec<Admission> {
+        (0..n)
+            .map(|i| plan.admit(i as u64 * 100, &["k_a", "k_b"], true, 0))
+            .collect()
+    }
+
+    #[test]
+    fn zero_probability_injects_nothing() {
+        let mut p = FaultPlan::new(FaultSpec::none(), 7);
+        for a in admit_n(&mut p, 200) {
+            assert!(matches!(a, Admission::Clear));
+        }
+        assert_eq!(p.stats().total(), 0);
+        assert_eq!(p.stats().launches, 200);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let run = || {
+            let mut p = FaultPlan::seeded(99, 0.05);
+            admit_n(&mut p, 500)
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        let mut other = FaultPlan::seeded(100, 0.05);
+        let b: Vec<String> = admit_n(&mut other, 500)
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect();
+        assert_ne!(run(), b, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn observed_rate_tracks_probability() {
+        let mut p = FaultPlan::new(
+            FaultSpec {
+                kernel_fault: 0.1,
+                ..FaultSpec::none()
+            },
+            3,
+        );
+        admit_n(&mut p, 2000);
+        let hits = p.stats().injected(FaultKind::KernelFault);
+        assert!((120..=280).contains(&hits), "0.1 of 2000 ≈ 200, got {hits}");
+    }
+
+    #[test]
+    fn device_loss_is_sticky_until_disarmed() {
+        let mut p = FaultPlan::new(
+            FaultSpec {
+                device_lost: 1.0,
+                ..FaultSpec::none()
+            },
+            1,
+        );
+        assert!(matches!(
+            p.admit(0, &["k"], false, 0),
+            Admission::Fail {
+                record: FaultRecord {
+                    kind: FaultKind::DeviceLost,
+                    ..
+                }
+            }
+        ));
+        assert!(p.device_lost());
+        // Still lost on the next launch...
+        assert!(matches!(
+            p.admit(10, &["k"], false, 0),
+            Admission::Fail { .. }
+        ));
+        // ...until disarmed (the hardened-path escape).
+        p.set_armed(false);
+        assert!(matches!(p.admit(20, &["k"], false, 0), Admission::Clear));
+    }
+
+    #[test]
+    fn oom_respects_the_pressure_watermark() {
+        let spec = FaultSpec {
+            oom: 1.0,
+            mem_pressure_bytes: Some(1 << 20),
+            ..FaultSpec::none()
+        };
+        let mut p = FaultPlan::new(spec, 5);
+        assert!(matches!(p.admit(0, &["k"], false, 100), Admission::Clear));
+        assert!(matches!(
+            p.admit(0, &["k"], false, (1 << 20) + 1),
+            Admission::Fail {
+                record: FaultRecord {
+                    kind: FaultKind::Oom,
+                    ..
+                }
+            }
+        ));
+    }
+
+    #[test]
+    fn channel_kinds_skip_channel_less_launches() {
+        let spec = FaultSpec {
+            channel_corrupt: 0.5,
+            channel_stall: 0.5,
+            ..FaultSpec::none()
+        };
+        let mut p = FaultPlan::new(spec, 11);
+        for _ in 0..100 {
+            assert!(matches!(p.admit(0, &["k"], false, 0), Admission::Clear));
+        }
+    }
+
+    #[test]
+    fn pinned_fault_fires_once_on_its_kernel_at_its_cycle() {
+        let spec = FaultSpec {
+            pinned: vec![PinnedFault {
+                kind: FaultKind::KernelFault,
+                kernel: "k_b".into(),
+                at_cycle: 5_000,
+            }],
+            ..FaultSpec::none()
+        };
+        let mut p = FaultPlan::new(spec.clone(), 1);
+        // Launch without the victim: clear.
+        assert!(matches!(p.admit(0, &["k_a"], false, 0), Admission::Clear));
+        // Launch with it, before at_cycle: fires at at_cycle + detect.
+        match p.admit(100, &["k_a", "k_b"], false, 0) {
+            Admission::Fail { record } => {
+                assert_eq!(record.kind, FaultKind::KernelFault);
+                assert_eq!(record.kernel.as_deref(), Some("k_b"));
+                assert_eq!(record.cycle, 5_000 + spec.detect_cycles);
+            }
+            a => panic!("expected pinned failure, got {a:?}"),
+        }
+        // Fires once.
+        assert!(matches!(
+            p.admit(9_000, &["k_b"], false, 0),
+            Admission::Clear
+        ));
+    }
+
+    #[test]
+    fn record_display_is_stable() {
+        let r = FaultRecord {
+            kind: FaultKind::KernelFault,
+            kernel: Some("k_map".into()),
+            cycle: 1234,
+            launch: 7,
+        };
+        assert_eq!(
+            r.to_string(),
+            "kernel_fault on kernel k_map at cycle 1234 (launch 7)"
+        );
+        let r2 = FaultRecord {
+            kind: FaultKind::DeviceLost,
+            kernel: None,
+            cycle: 9,
+            launch: 0,
+        };
+        assert_eq!(r2.to_string(), "device_lost at cycle 9 (launch 0)");
+    }
+}

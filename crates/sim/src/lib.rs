@@ -70,6 +70,7 @@ pub mod channel;
 pub mod counters;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod mem;
 pub mod observe;
@@ -84,6 +85,7 @@ pub use channel::{ChannelId, ChannelStats};
 pub use counters::{KernelProfile, LaunchProfile};
 pub use device::{amd_a10, nvidia_k40, ChannelSpec, DeviceSpec, Vendor};
 pub use engine::{DeadlockError, Simulator};
+pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultSpec, FaultStats, PinnedFault};
 pub use kernel::{ChannelIo, ChannelView, KernelDesc, ResourceUsage, Work, WorkSource, WorkUnit};
 pub use mem::{MemRange, MemoryMap, Region, RegionClass, RegionId};
 pub use observe::record_spans;

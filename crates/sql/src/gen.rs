@@ -10,7 +10,7 @@
 //! generator bug. Literals come from the fixed TPC-H text domains and
 //! value ranges, giving predicates realistic selectivities.
 
-use gpl_prng::Rng;
+use gpl_prng::{Rng, SeedableRng};
 
 /// One joinable table with the columns the generator may touch.
 struct TableInfo {
@@ -298,6 +298,14 @@ pub fn random_query(rng: &mut impl Rng) -> String {
     sql
 }
 
+/// A reproducible batch of `n` random in-subset queries from one seed —
+/// the standard workload shape for differential and fault-injection
+/// harnesses (`tests/fault_recovery.rs`, `repro faults`).
+pub fn random_workload(seed: u64, n: usize) -> Vec<String> {
+    let mut rng = gpl_prng::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_query(&mut rng)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +318,17 @@ mod tests {
         for i in 0..100 {
             let sql = random_query(&mut rng);
             crate::compile(&db, &sql).unwrap_or_else(|e| panic!("query {i} {sql:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn workload_is_seed_deterministic_and_compiles() {
+        let a = random_workload(618, 10);
+        assert_eq!(a, random_workload(618, 10));
+        assert_ne!(a, random_workload(619, 10), "seed matters");
+        let db = gpl_tpch::TpchDb::at_scale(0.002);
+        for sql in &a {
+            crate::compile(&db, sql).expect("workload query compiles");
         }
     }
 

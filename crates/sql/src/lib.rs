@@ -33,7 +33,7 @@ mod tests;
 pub mod token;
 
 pub use corpus::sql_for;
-pub use gen::random_query;
+pub use gen::{random_query, random_workload};
 pub use parser::parse;
 pub use planner::{compile, compile_traced};
 pub use token::SqlError;

@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/9 dependency-creep check =="
+echo "== 1/11 dependency-creep check =="
 # Every dependency must be an in-workspace path dependency; the three
 # crates the hermetic-build PR removed must never come back.
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
@@ -17,22 +17,22 @@ if grep -n '\(registry\|git\) *=' Cargo.toml crates/*/Cargo.toml; then
 fi
 echo "ok: all dependencies are in-tree path dependencies"
 
-echo "== 2/9 formatting =="
+echo "== 2/11 formatting =="
 cargo fmt --check
 
-echo "== 3/9 clippy (warnings are errors) =="
+echo "== 3/11 clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 4/9 offline build =="
+echo "== 4/11 offline build =="
 cargo build --offline --workspace
 
-echo "== 5/9 tier-1: release build =="
+echo "== 5/11 tier-1: release build =="
 cargo build --offline --release
 
-echo "== 6/9 tier-1: full test suite =="
+echo "== 6/11 tier-1: full test suite =="
 cargo test --offline --workspace -q
 
-echo "== 7/9 observability smoke: repro profile q1 =="
+echo "== 7/11 observability smoke: repro profile q1 =="
 # `repro profile` re-parses every export with the in-tree JSON parser
 # before writing it (and panics otherwise), so a zero exit status
 # asserts the exported JSON parses; the loop below just guards against
@@ -46,13 +46,36 @@ for f in target/obs/profile-q1-kbe.trace.json \
 done
 echo "ok: all four exports present and parse-checked"
 
-echo "== 8/9 serving smoke: repro serve --workers 4 --queries 32 =="
+echo "== 8/11 serving smoke: repro serve --workers 4 --queries 32 =="
 # The experiment itself asserts a worker-count-independent result
 # fingerprint and that every corpus query succeeds; a zero exit status
 # is the gate.
 cargo run --offline --release -p gpl-bench --bin repro -- serve --workers 4 --queries 32 --sf 0.01
 
-echo "== 9/9 scheduler determinism, five runs =="
+echo "== 9/11 fault-injection smoke: repro faults =="
+# The experiment asserts that recovered runs reproduce the fault-free
+# rows fingerprint at every swept fault rate, that the breaker trips,
+# and that shedding rejects exactly the overflow; zero exit = gate.
+cargo run --offline --release -p gpl-bench --bin repro -- faults --sf 0.01
+
+echo "== 10/11 seeded-fault determinism: five byte-identical reports =="
+# Same seed, same report — the faults experiment writes only
+# deterministic facts (no wall-clock), so five runs must produce a
+# byte-identical target/obs/faults-report.txt.
+ref_hash=""
+for i in 1 2 3 4 5; do
+    cargo run --offline --release -p gpl-bench --bin repro -- faults --sf 0.01 >/dev/null
+    h=$(sha256sum target/obs/faults-report.txt | cut -d' ' -f1)
+    if [ -z "$ref_hash" ]; then
+        ref_hash="$h"
+    elif [ "$h" != "$ref_hash" ]; then
+        echo "FAIL: faults report differs on run $i ($h != $ref_hash)" >&2
+        exit 1
+    fi
+done
+echo "ok: five byte-identical fault reports ($ref_hash)"
+
+echo "== 11/11 scheduler determinism, five runs =="
 # The 32-query seed-42 workload at 1/2/8 workers must match its pinned
 # fingerprint every time — run it repeatedly to shake out scheduling
 # races that a single lucky run could hide.

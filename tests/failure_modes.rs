@@ -227,6 +227,7 @@ fn timed_out_query_frees_the_worker_slot() {
             workers: 1,
             plan_cache_capacity: 8,
             record_traces: false,
+            ..ServeConfig::default()
         },
         amd_a10(),
         Arc::new(TpchDb::at_scale(0.002)),
@@ -272,6 +273,7 @@ fn cancelled_request_is_a_response_not_a_casualty() {
             workers: 2,
             plan_cache_capacity: 8,
             record_traces: false,
+            ..ServeConfig::default()
         },
         amd_a10(),
         Arc::new(TpchDb::at_scale(0.002)),
@@ -289,6 +291,117 @@ fn cancelled_request_is_a_response_not_a_casualty() {
         Err(ServeError::Exec(ExecError::Cancelled))
     ));
     assert!(responses[1].result.is_ok());
+}
+
+/// Shutdown drains instead of dropping: every query still queued when
+/// the server stops comes back as a structured `Cancelled` response, so
+/// each of the N submissions is answered exactly once — no hang, no
+/// silently vanished work.
+#[test]
+fn shutdown_drains_queued_queries_as_cancelled_responses() {
+    let gamma = Arc::new(GammaTable::calibrate_grid(
+        &amd_a10(),
+        vec![1, 4, 16],
+        vec![16, 64],
+        vec![256 << 10, 2 << 20, 16 << 20],
+    ));
+    let srv = Server::start(
+        ServeConfig {
+            workers: 1,
+            plan_cache_capacity: 8,
+            record_traces: false,
+            ..ServeConfig::default()
+        },
+        amd_a10(),
+        Arc::new(TpchDb::at_scale(0.002)),
+        gamma,
+    );
+    let sql = gpl_repro::sql::sql_for(QueryId::Q8).unwrap();
+    srv.submit_all((0..6).map(|i| QueryRequest::new(i, sql, ExecMode::Gpl)));
+    // Shut down immediately: with one worker, most of the six are still
+    // queued. Each must surface as exactly one response.
+    let mut responses = srv.shutdown();
+    assert_eq!(responses.len(), 6, "every submission gets a response");
+    responses.sort_by_key(|r| r.id);
+    let mut cancelled = 0;
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "no duplicate or missing ids");
+        match &r.result {
+            Ok(run) => assert!(!run.output.rows.is_empty()),
+            Err(ServeError::Exec(ExecError::Cancelled)) => cancelled += 1,
+            other => panic!("q{i}: expected Ok or Cancelled, got {other:?}"),
+        }
+    }
+    assert!(
+        cancelled > 0,
+        "an immediate shutdown must catch queued work"
+    );
+}
+
+/// The cycle budget is inclusive: a query landing *exactly* on its
+/// budget succeeds, one cycle less times out — and because each query
+/// runs on its own simulator, the boundary is identical at any worker
+/// count.
+#[test]
+fn timeout_boundary_is_exact_and_worker_count_independent() {
+    let gamma = Arc::new(GammaTable::calibrate_grid(
+        &amd_a10(),
+        vec![1, 4, 16],
+        vec![16, 64],
+        vec![256 << 10, 2 << 20, 16 << 20],
+    ));
+    let db = Arc::new(TpchDb::at_scale(0.002));
+    let sql = gpl_repro::sql::sql_for(QueryId::Q6).unwrap();
+    let serve_cfg = || ServeConfig {
+        plan_cache_capacity: 8,
+        record_traces: false,
+        ..ServeConfig::default()
+    };
+    // Measure the query's deterministic cost once, unlimited.
+    let clean = Server::start(
+        ServeConfig {
+            workers: 1,
+            ..serve_cfg()
+        },
+        amd_a10(),
+        db.clone(),
+        gamma.clone(),
+    )
+    .run_batch(vec![QueryRequest::new(0, sql, ExecMode::Gpl)]);
+    let cost = clean[0].result.as_ref().expect("clean run").cycles;
+    assert!(cost > 1);
+
+    for workers in [1, 2, 8] {
+        let srv = Server::start(
+            ServeConfig {
+                workers,
+                ..serve_cfg()
+            },
+            amd_a10(),
+            db.clone(),
+            gamma.clone(),
+        );
+        let responses = srv.run_batch(vec![
+            QueryRequest::new(0, sql, ExecMode::Gpl).with_max_cycles(cost),
+            QueryRequest::new(1, sql, ExecMode::Gpl).with_max_cycles(cost - 1),
+        ]);
+        let on_budget = &responses[0];
+        let run = on_budget
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("exactly on budget must pass at {workers} workers: {e:?}"));
+        assert_eq!(run.cycles, cost, "cost itself is deterministic");
+        match &responses[1].result {
+            Err(ServeError::Exec(ExecError::Timeout {
+                budget_cycles,
+                spent_cycles,
+            })) => {
+                assert_eq!(*budget_cycles, cost - 1);
+                assert!(*spent_cycles > *budget_cycles);
+            }
+            other => panic!("one under budget must time out at {workers} workers: {other:?}"),
+        }
+    }
 }
 
 #[test]
