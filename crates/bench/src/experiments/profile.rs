@@ -124,13 +124,12 @@ pub fn profile(opts: &Opts) {
         if mode == ExecMode::Gpl {
             let num_cus = u64::from(opts.device.num_cus);
             let mut rows = Vec::new();
-            for (i, (sm, (stage, scfg))) in models
-                .iter()
-                .zip(plan.stages.iter().zip(&cfg.stages))
-                .enumerate()
-            {
+            for (i, (sm, scfg)) in models.iter().zip(&cfg.stages).enumerate() {
                 let est = estimate_stage(&opts.device, &gamma, sm, scfg);
-                let names = stage.gpl_kernel_names();
+                // Kernel identity comes off the stage's lowered IR (via
+                // the model built from it) — the same names the GPL
+                // executor launches with.
+                let names = sm.ir.kernel_names();
                 let observed = &run.per_stage[i];
                 for (j, (kc, name)) in est.per_kernel.iter().zip(&names).enumerate() {
                     let predicted = kc.t() * est.num_tiles as f64;

@@ -39,6 +39,10 @@ pub enum ExecError {
     /// so the request was rejected before execution (fast-fail instead
     /// of unbounded queueing latency).
     Rejected { queue_depth: u64, bound: u64 },
+    /// A [`StageConfig`](crate::exec::StageConfig) does not fit the
+    /// segment it configures (wg-count arity mismatch against the
+    /// lowered IR). A caller bug, not a device fault — never retried.
+    InvalidConfig(crate::segment::ConfigError),
 }
 
 impl ExecError {
@@ -91,6 +95,7 @@ impl fmt::Display for ExecError {
                 f,
                 "admission rejected: queue depth {queue_depth} over bound {bound}"
             ),
+            ExecError::InvalidConfig(e) => write!(f, "invalid stage config: {e}"),
         }
     }
 }
@@ -148,6 +153,11 @@ mod tests {
                 queue_depth: 9,
                 bound: 8,
             },
+            ExecError::InvalidConfig(crate::segment::ConfigError {
+                stage: "probe_lineitem".into(),
+                kernels: 3,
+                wg_counts: 2,
+            }),
         ]
     }
 
@@ -167,7 +177,8 @@ mod tests {
                 | ExecError::Fault(_)
                 | ExecError::DeviceLost(_)
                 | ExecError::Oom(_)
-                | ExecError::Rejected { .. } => {}
+                | ExecError::Rejected { .. }
+                | ExecError::InvalidConfig(_) => {}
             }
             let s = e.to_string();
             assert!(!s.is_empty());

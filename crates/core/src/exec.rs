@@ -8,6 +8,7 @@ use crate::kbe;
 use crate::ops::sort_rows;
 use crate::plan::{QueryPlan, Stage, Terminal};
 use crate::recover::{RecoveryPolicy, RecoveryStats};
+use crate::segment::SegmentIr;
 use gpl_sim::{DeviceSpec, KernelDesc, LaunchProfile, ResourceUsage, Simulator, Work, WorkUnit};
 use gpl_storage::{TableLayout, Tiling};
 use gpl_tpch::{QueryOutput, TpchDb};
@@ -287,24 +288,32 @@ pub fn try_run_query_recovering(
 
     for (idx, (stage, cfg)) in plan.stages.iter().zip(&config.stages).enumerate() {
         limits.check(merged.elapsed_cycles + stats.wasted_cycles)?;
+        // Lower the stage once; every consumer below — mode dispatch,
+        // span naming, both executors — reads this one IR.
+        let ir = SegmentIr::lower(
+            stage,
+            ctx.db.table(&stage.driver),
+            ctx.sim.spec().wavefront_size,
+        );
         let stage_span = rec.as_ref().map(|r| {
             let t = r.track("exec");
             let s = r.begin(
                 t,
                 "stage",
-                &format!("stage{idx}:{}", stage.driver),
+                &format!("stage{idx}:{}", ir.driver),
                 ctx.sim.clock(),
             );
             r.arg(s, "tile_bytes", cfg.tile_bytes);
             r.arg(s, "n_channels", cfg.n_channels);
             r.arg(s, "packet_bytes", cfg.packet_bytes);
-            r.arg(s, "kernels", cfg.wg_counts.len());
+            r.arg(s, "kernels", ir.nodes.len());
             s
         });
         let spent = merged.elapsed_cycles;
         let ((profile, built, rows_out), ran_on) = run_stage_recovering(
             ctx,
             plan,
+            &ir,
             stage,
             cfg,
             mode,
@@ -394,6 +403,7 @@ pub fn try_run_query_recovering(
 fn run_stage_attempt(
     ctx: &mut ExecContext,
     plan: &QueryPlan,
+    ir: &SegmentIr,
     stage: &Stage,
     cfg: &StageConfig,
     mode: ExecMode,
@@ -431,14 +441,14 @@ fn run_stage_attempt(
     let rows = ctx.db.table(&stage.driver).rows();
     let build_rc = build.as_ref().map(|(_, t)| t);
     let profile = match mode {
-        ExecMode::Kbe => kbe::run_stage_range(ctx, stage, hts, build_rc, agg.as_ref(), 0..rows),
+        ExecMode::Kbe => kbe::run_stage_range(ctx, ir, stage, hts, build_rc, agg.as_ref(), 0..rows),
         ExecMode::GplNoCe => {
-            let row_bytes = stage_row_bytes(ctx, stage);
-            let tiling = Tiling::by_bytes(rows, row_bytes, cfg.tile_bytes);
+            let tiling = Tiling::by_bytes(rows, ir.row_bytes, cfg.tile_bytes);
             let mut p = LaunchProfile::default();
             for tile in tiling.iter() {
                 p.merge(&kbe::run_stage_range(
                     ctx,
+                    ir,
                     stage,
                     hts,
                     build_rc,
@@ -448,7 +458,7 @@ fn run_stage_attempt(
             }
             p
         }
-        ExecMode::Gpl => gpl::run_stage(ctx, stage, hts, build_rc, agg.as_ref(), cfg)?,
+        ExecMode::Gpl => gpl::run_stage(ctx, ir, stage, hts, build_rc, agg.as_ref(), cfg)?,
     };
     if let Some(record) = ctx.sim.take_fault() {
         return Err(ExecError::from_fault(record));
@@ -471,6 +481,7 @@ fn run_stage_attempt(
 fn run_stage_recovering(
     ctx: &mut ExecContext,
     plan: &QueryPlan,
+    ir: &SegmentIr,
     stage: &Stage,
     cfg: &StageConfig,
     mode: ExecMode,
@@ -482,7 +493,10 @@ fn run_stage_recovering(
     rec: Option<&gpl_obs::Recorder>,
 ) -> Result<(StageOut, ExecMode), ExecError> {
     let Some(policy) = recovery else {
-        return Ok((run_stage_attempt(ctx, plan, stage, cfg, mode, hts)?, mode));
+        return Ok((
+            run_stage_attempt(ctx, plan, ir, stage, cfg, mode, hts)?,
+            mode,
+        ));
     };
     let instant = |name: &str, args: Vec<(&'static str, gpl_obs::Value)>, ctx: &ExecContext| {
         if let Some(r) = rec {
@@ -524,7 +538,7 @@ fn run_stage_recovering(
             first = false;
             limits.check(spent + stats.wasted_cycles)?;
             let c0 = ctx.sim.clock();
-            match run_stage_attempt(ctx, plan, stage, cfg, m, hts) {
+            match run_stage_attempt(ctx, plan, ir, stage, cfg, m, hts) {
                 Ok(out) => return Ok((out, m)),
                 Err(e) => {
                     let device_lost = matches!(e, ExecError::DeviceLost(_));
@@ -569,22 +583,11 @@ fn run_stage_recovering(
         );
         let was_armed = ctx.sim.faults_armed();
         ctx.sim.set_faults_armed(false);
-        let result = run_stage_attempt(ctx, plan, stage, cfg, ExecMode::Kbe, hts);
+        let result = run_stage_attempt(ctx, plan, ir, stage, cfg, ExecMode::Kbe, hts);
         ctx.sim.set_faults_armed(was_armed);
         return Ok((result?, ExecMode::Kbe));
     }
     Err(last_err.expect("at least one attempt ran"))
-}
-
-/// Bytes per driver row across the stage's loaded columns (tiling input).
-pub fn stage_row_bytes(ctx: &ExecContext, stage: &Stage) -> u64 {
-    let t = ctx.db.table(&stage.driver);
-    stage
-        .loads
-        .iter()
-        .map(|c| t.col(c).data_type().width())
-        .sum::<u64>()
-        .max(1)
 }
 
 /// Estimate a build stage's output cardinality by evaluating its filters
@@ -690,6 +693,8 @@ mod tests {
         assert_eq!(cfg.stages.len(), plan.stages.len());
         for (s, c) in plan.stages.iter().zip(&cfg.stages) {
             assert_eq!(c.wg_counts.len(), s.gpl_kernel_names().len());
+            let ir = SegmentIr::lower(s, db.table(&s.driver), amd_a10().wavefront_size);
+            ir.validate_config(c).expect("default config fits the IR");
         }
     }
 

@@ -13,13 +13,14 @@
 //! with KBE.
 
 use crate::error::ExecError;
-use crate::exec::{stage_row_bytes, ExecContext, StageConfig};
+use crate::exec::{ExecContext, StageConfig};
 use crate::expr::{Expr, Pred, Slot};
 use crate::ht::{GroupStore, SimHashTable};
-use crate::ops::{self, apply_compute, apply_filter, apply_probe, live_slots, Chunk};
+use crate::ops::{self, apply_compute, apply_filter, apply_probe, Chunk};
 use crate::plan::{PipeOp, Stage, Terminal};
+use crate::segment::SegmentIr;
 use gpl_sim::mem::MemRange;
-use gpl_sim::{ChannelId, ChannelView, KernelDesc, LaunchProfile, ResourceUsage, Work, WorkUnit};
+use gpl_sim::{ChannelId, ChannelView, KernelDesc, LaunchProfile, Work, WorkUnit};
 use gpl_storage::Tiling;
 use gpl_tpch::TpchDb;
 use std::cell::RefCell;
@@ -69,16 +70,6 @@ pub(crate) fn chunk_checksum(c: &Chunk) -> u64 {
 
 fn packets_for(rows: usize, row_bytes: u64, packet_bytes: u32) -> u64 {
     ((rows as u64 * row_bytes).div_ceil(packet_bytes as u64)).max(1)
-}
-
-fn resources_for(flavour: &str, wavefront: u32) -> ResourceUsage {
-    match flavour {
-        "map" => ResourceUsage::new(wavefront, 64, 0),
-        "probe" => ResourceUsage::new(wavefront, 96, 0),
-        "build" => ResourceUsage::new(wavefront, 96, 2048),
-        "aggregate" => ResourceUsage::new(wavefront, 64, 8192),
-        other => panic!("unknown flavour {other}"),
-    }
 }
 
 /// One fused pipeline op with its per-row cost estimates.
@@ -492,12 +483,15 @@ impl gpl_sim::WorkSource for TermSource {
     }
 }
 
-/// Run one stage as a GPL pipeline. The channel pipeline is the only
-/// execution path whose kernels can block on each other, so it is the
-/// only one that can deadlock — hence the `Result`; KBE and replay
+/// Run one stage as a GPL pipeline, launching the kernels and channels
+/// its lowered [`SegmentIr`] describes (`ir` must be the lowering of
+/// `stage` at this context's wavefront). The channel pipeline is the
+/// only execution path whose kernels can block on each other, so it is
+/// the only one that can deadlock — hence the `Result`; KBE and replay
 /// kernels never return `Work::Wait` and stay infallible.
 pub(crate) fn run_stage(
     ctx: &mut ExecContext,
+    ir: &SegmentIr,
     stage: &Stage,
     hts: &[Option<Rc<RefCell<SimHashTable>>>],
     build: Option<&Rc<RefCell<SimHashTable>>>,
@@ -506,42 +500,20 @@ pub(crate) fn run_stage(
 ) -> Result<LaunchProfile, ExecError> {
     let spec = ctx.sim.spec().clone();
     let wavefront = spec.wavefront_size;
-    let live = live_slots(stage);
-    let groups = stage.gpl_fusion();
-    let num_kernels = groups.len() + 1;
-    assert_eq!(
-        cfg.wg_counts.len(),
-        num_kernels,
-        "stage {} needs {} wg counts",
-        stage.name,
-        num_kernels
-    );
-
-    // Edge e sits after kernel group e; it carries the slots live into the
-    // first op of group e+1 (or into the terminal for the last edge).
-    let num_edges = groups.len();
-    let edge_live: Vec<Vec<Slot>> = (0..num_edges)
-        .map(|e| {
-            if e + 1 < groups.len() {
-                live[groups[e + 1][0]].clone()
-            } else {
-                live[stage.ops.len()].clone()
-            }
-        })
-        .collect();
+    ir.validate_config(cfg).map_err(ExecError::InvalidConfig)?;
+    let num_kernels = ir.nodes.len();
+    let num_edges = ir.edges.len();
 
     // Channel buffers are sized to the tile (Section 3.3); capacity is
     // also kept large enough for the biggest single batch to avoid
     // artificial deadlock, and floored at 64 packets.
     let mut channels = Vec::with_capacity(num_edges);
-    let mut widths = Vec::with_capacity(num_edges);
     let mut queues: Vec<DataQ> = Vec::with_capacity(num_edges);
-    for lv in &edge_live {
-        let width = Chunk::row_bytes(lv).max(8);
+    for edge in &ir.edges {
         // A quarter of the tile may be in flight per edge (Section 3.3:
         // buffers scale with the tile so the knob reaches the cache).
         let tile_packets = (cfg.tile_bytes / 4).div_ceil(cfg.packet_bytes as u64);
-        let batch_packets = packets_for(SCAN_BATCH_ROWS, width, cfg.packet_bytes);
+        let batch_packets = packets_for(SCAN_BATCH_ROWS, edge.row_bytes, cfg.packet_bytes);
         let cap_per_port = tile_packets
             .div_ceil(cfg.n_channels as u64)
             .max(2 * batch_packets)
@@ -551,50 +523,24 @@ pub(crate) fn run_stage(
             cfg.packet_bytes,
             cap_per_port,
         ));
-        widths.push(width);
         queues.push(Rc::new(RefCell::new(VecDeque::new())));
     }
 
     let t = ctx.db.table(&stage.driver);
     let layout = ctx.layout(&stage.driver);
-    // Split the loads: columns read by the fused leading ops stream
-    // eagerly; columns only shipped onward gather lazily post-filter.
-    let mut eager_slots: Vec<Slot> = Vec::new();
-    for &i in &groups[0] {
-        match &stage.ops[i] {
-            PipeOp::Filter(p) => p.slots(&mut eager_slots),
-            PipeOp::Probe { key, .. } => eager_slots.push(*key),
-            PipeOp::Compute { expr, .. } => expr.slots(&mut eager_slots),
-        }
-    }
-    let mut cols = Vec::new();
-    let mut lazy_cols = Vec::new();
-    for (slot, name) in stage.loads.iter().enumerate() {
-        let ci = t.col_index(name).expect("load column exists");
-        let width = t.col_at(ci).data_type().width();
-        let base = layout.scan(ci, 0..1).addr;
-        if eager_slots.contains(&slot) {
-            cols.push((slot, ci, base, width));
-        } else if edge_live[0].contains(&slot) {
-            lazy_cols.push((slot, ci, base, width));
-        }
-        // Loads neither read by the leading ops nor shipped are dead.
-    }
-    if cols.is_empty() {
-        // A pure pass-through leaf still needs one streamed column to
-        // drive the scan; promote the first lazy column.
-        if !lazy_cols.is_empty() {
-            cols.push(lazy_cols.remove(0));
-        }
-    }
-    let tiling = Tiling::by_bytes(t.rows(), stage_row_bytes(ctx, stage), cfg.tile_bytes);
-    let names = stage.gpl_kernel_names();
+    // The IR's eager/lazy leaf split, bound to this context's simulated
+    // column addresses: (slot, column index, base, width).
+    let bind =
+        |c: &crate::segment::LeafColumn| (c.slot, c.col, layout.scan(c.col, 0..1).addr, c.width);
+    let cols: Vec<(Slot, usize, u64, u64)> = ir.eager.iter().map(bind).collect();
+    let lazy_cols: Vec<(Slot, usize, u64, u64)> = ir.lazy.iter().map(bind).collect();
+    let tiling = Tiling::by_bytes(t.rows(), ir.row_bytes, cfg.tile_bytes);
 
     let mut kernels = Vec::with_capacity(num_kernels);
     kernels.push(
         KernelDesc::new(
-            names[0].clone(),
-            resources_for("map", wavefront),
+            ir.nodes[0].name.clone(),
+            ir.nodes[0].resources,
             cfg.wg_counts[0],
             Box::new(LeafSource {
                 db: ctx.db.clone(),
@@ -603,17 +549,18 @@ pub(crate) fn run_stage(
                 lazy_cols,
                 num_slots: stage.num_slots(),
                 rowid_slot: stage.num_slots(),
-                steps: groups[0]
+                steps: ir.nodes[0]
+                    .ops
                     .iter()
                     .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
                     .collect(),
-                ship: edge_live[0].clone(),
+                ship: ir.edges[0].ship.clone(),
                 tiling,
                 tile_idx: 0,
                 cursor: 0,
                 out: channels[0],
                 out_q: queues[0].clone(),
-                out_row_bytes: widths[0],
+                out_row_bytes: ir.edges[0].row_bytes,
                 packet_bytes: cfg.packet_bytes,
                 wavefront: wavefront as u64,
             }),
@@ -621,23 +568,25 @@ pub(crate) fn run_stage(
         .writes_channel(channels[0]),
     );
 
-    for g in 1..groups.len() {
+    for g in 1..num_edges {
+        let node = &ir.nodes[g];
         kernels.push(
             KernelDesc::new(
-                names[g].clone(),
-                resources_for("probe", wavefront),
+                node.name.clone(),
+                node.resources,
                 cfg.wg_counts[g],
                 Box::new(ProbeSource {
-                    steps: groups[g]
+                    steps: node
+                        .ops
                         .iter()
                         .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
                         .collect(),
-                    ship: edge_live[g].clone(),
+                    ship: ir.edges[g].ship.clone(),
                     input: channels[g - 1],
                     in_q: queues[g - 1].clone(),
                     out: channels[g],
                     out_q: queues[g].clone(),
-                    out_row_bytes: widths[g],
+                    out_row_bytes: ir.edges[g].row_bytes,
                     packet_bytes: cfg.packet_bytes,
                     wavefront: wavefront as u64,
                 }),
@@ -647,36 +596,31 @@ pub(crate) fn run_stage(
         );
     }
 
-    let (exec, flavour) = match &stage.terminal {
-        Terminal::HashBuild { key, payloads, .. } => (
-            TermExec::Build {
-                table: build.expect("build target").clone(),
-                key: *key,
-                payloads: payloads.clone(),
-            },
-            "build",
-        ),
-        Terminal::Aggregate { groups, aggs } => (
-            TermExec::Aggregate {
-                store: agg.expect("aggregate store").clone(),
-                groups: groups.clone(),
-                aggs: aggs.clone(),
-            },
-            "aggregate",
-        ),
+    let exec = match &stage.terminal {
+        Terminal::HashBuild { key, payloads, .. } => TermExec::Build {
+            table: build.expect("build target").clone(),
+            key: *key,
+            payloads: payloads.clone(),
+        },
+        Terminal::Aggregate { groups, aggs } => TermExec::Aggregate {
+            store: agg.expect("aggregate store").clone(),
+            groups: groups.clone(),
+            aggs: aggs.clone(),
+        },
     };
     let last = num_edges - 1;
+    let term = ir.nodes.last().expect("terminal node");
     kernels.push(
         KernelDesc::new(
-            names[num_kernels - 1].clone(),
-            resources_for(flavour, wavefront),
+            term.name.clone(),
+            term.resources,
             cfg.wg_counts[num_kernels - 1],
             Box::new(TermSource {
                 exec,
                 input: channels[last],
                 in_q: queues[last].clone(),
-                per_row_compute: ops::terminal_compute_insts(&stage.terminal),
-                per_row_mem: ops::terminal_mem_insts(&stage.terminal),
+                per_row_compute: term.per_row_compute,
+                per_row_mem: term.per_row_mem,
                 wavefront: wavefront as u64,
             }),
         )
@@ -703,6 +647,14 @@ mod tests {
         StageConfig::default_for(&amd_a10(), stage)
     }
 
+    fn ir_for(ctx: &ExecContext, stage: &Stage) -> SegmentIr {
+        SegmentIr::lower(
+            stage,
+            ctx.db.table(&stage.driver),
+            ctx.sim.spec().wavefront_size,
+        )
+    }
+
     #[test]
     fn listing1_pipeline_matches_reference_and_figure7() {
         let mut ctx = ctx();
@@ -719,7 +671,8 @@ mod tests {
             1,
             "t",
         )));
-        let p = run_stage(&mut ctx, stage, &[], None, Some(&agg), &cfg(stage)).unwrap();
+        let ir = ir_for(&ctx, stage);
+        let p = run_stage(&mut ctx, &ir, stage, &[], None, Some(&agg), &cfg(stage)).unwrap();
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::listing1(&ctx.db, cutoff);
         assert_eq!(got, want.rows);
@@ -739,7 +692,8 @@ mod tests {
             "part",
         )));
         let s0 = &plan.stages[0];
-        run_stage(&mut ctx, s0, &[], Some(&ht), None, &cfg(s0)).unwrap();
+        let ir0 = ir_for(&ctx, s0);
+        run_stage(&mut ctx, &ir0, s0, &[], Some(&ht), None, &cfg(s0)).unwrap();
         assert_eq!(ht.borrow().len(), ctx.db.part.rows());
 
         let hts = vec![Some(ht)];
@@ -753,7 +707,8 @@ mod tests {
         let s1 = &plan.stages[1];
         // Q14's probe pipeline: leaf map, probe(+fused maps), reduce.
         assert_eq!(s1.gpl_kernel_names().len(), 3);
-        run_stage(&mut ctx, s1, &hts, None, Some(&agg), &cfg(s1)).unwrap();
+        let ir1 = ir_for(&ctx, s1);
+        run_stage(&mut ctx, &ir1, s1, &hts, None, Some(&agg), &cfg(s1)).unwrap();
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::q14(&ctx.db, params);
         assert_eq!(got, want.rows);
@@ -768,11 +723,14 @@ mod tests {
         let mut c1 = ctx();
         let agg1 = Rc::new(RefCell::new(GroupStore::new(&mut c1.sim.mem, 4, 0, 1, "t")));
         let rows = c1.db.lineitem.rows();
-        let kbe_prof = crate::kbe::run_stage_range(&mut c1, stage, &[], None, Some(&agg1), 0..rows);
+        let kbe_ir = ir_for(&c1, stage);
+        let kbe_prof =
+            crate::kbe::run_stage_range(&mut c1, &kbe_ir, stage, &[], None, Some(&agg1), 0..rows);
 
         let mut c2 = ctx();
         let agg2 = Rc::new(RefCell::new(GroupStore::new(&mut c2.sim.mem, 4, 0, 1, "t")));
-        let gpl_prof = run_stage(&mut c2, stage, &[], None, Some(&agg2), &cfg(stage)).unwrap();
+        let ir = ir_for(&c2, stage);
+        let gpl_prof = run_stage(&mut c2, &ir, stage, &[], None, Some(&agg2), &cfg(stage)).unwrap();
 
         assert!(
             gpl_prof.intermediate_footprint() < kbe_prof.intermediate_footprint() / 4,

@@ -13,6 +13,7 @@ use crate::ht::{GroupStore, SimHashTable};
 use crate::ops::{self, apply_compute, apply_filter, apply_probe, live_slots, Chunk};
 use crate::plan::{PipeOp, Stage, Terminal};
 use crate::replay::{alloc_array, kernel_resources, launch, ArrayRef, ReplayKernel};
+use crate::segment::SegmentIr;
 use gpl_sim::mem::RegionClass;
 use gpl_sim::LaunchProfile;
 use std::cell::RefCell;
@@ -26,11 +27,14 @@ struct MatState {
     addr: Vec<Option<ArrayRef>>,
 }
 
-/// Run one stage's kernel sequence over `range` of the driving relation.
-/// `build` / `agg` receive the blocking terminal's output (shared across
-/// tiles in GPL (w/o CE) mode).
+/// Run one stage's kernel sequence over `range` of the driving relation:
+/// each op of the stage's lowered IR nodes (in [`SegmentIr::op_order`])
+/// expands into its map / prefix-sum / scatter decomposition. `build` /
+/// `agg` receive the blocking terminal's output (shared across tiles in
+/// GPL (w/o CE) mode).
 pub(crate) fn run_stage_range(
     ctx: &mut ExecContext,
+    ir: &SegmentIr,
     stage: &Stage,
     hts: &[Option<Rc<RefCell<SimHashTable>>>],
     build: Option<&Rc<RefCell<SimHashTable>>>,
@@ -65,7 +69,8 @@ pub(crate) fn run_stage_range(
         });
     }
 
-    for (i, op) in stage.ops.iter().enumerate() {
+    for i in ir.op_order() {
+        let op = &stage.ops[i];
         let rows = st.chunk.rows;
         match op {
             PipeOp::Filter(pred) => {
@@ -305,6 +310,14 @@ mod tests {
         ExecContext::new(amd_a10(), TpchDb::at_scale(0.002))
     }
 
+    fn ir_for(ctx: &ExecContext, stage: &Stage) -> SegmentIr {
+        SegmentIr::lower(
+            stage,
+            ctx.db.table(&stage.driver),
+            ctx.sim.spec().wavefront_size,
+        )
+    }
+
     #[test]
     fn listing1_stage_aggregates_correctly() {
         let mut ctx = ctx();
@@ -319,7 +332,8 @@ mod tests {
             "t",
         )));
         let rows = ctx.db.lineitem.rows();
-        let p = run_stage_range(&mut ctx, stage, &[], None, Some(&agg), 0..rows);
+        let ir = ir_for(&ctx, stage);
+        let p = run_stage_range(&mut ctx, &ir, stage, &[], None, Some(&agg), 0..rows);
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::listing1(&ctx.db, cutoff);
         assert_eq!(got, want.rows);
@@ -341,7 +355,16 @@ mod tests {
             "part",
         )));
         let rows0 = ctx.db.part.rows();
-        run_stage_range(&mut ctx, &plan.stages[0], &[], Some(&ht), None, 0..rows0);
+        let ir0 = ir_for(&ctx, &plan.stages[0]);
+        run_stage_range(
+            &mut ctx,
+            &ir0,
+            &plan.stages[0],
+            &[],
+            Some(&ht),
+            None,
+            0..rows0,
+        );
         assert_eq!(ht.borrow().len(), ctx.db.part.rows());
 
         let hts = vec![Some(ht)];
@@ -353,7 +376,16 @@ mod tests {
             "t",
         )));
         let rows1 = ctx.db.lineitem.rows();
-        run_stage_range(&mut ctx, &plan.stages[1], &hts, None, Some(&agg), 0..rows1);
+        let ir1 = ir_for(&ctx, &plan.stages[1]);
+        run_stage_range(
+            &mut ctx,
+            &ir1,
+            &plan.stages[1],
+            &hts,
+            None,
+            Some(&agg),
+            0..rows1,
+        );
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::q14(&ctx.db, params);
         assert_eq!(got, want.rows);
@@ -374,8 +406,9 @@ mod tests {
             "t",
         )));
         let mid = rows / 3;
-        run_stage_range(&mut ctx, stage, &[], None, Some(&agg), 0..mid);
-        run_stage_range(&mut ctx, stage, &[], None, Some(&agg), mid..rows);
+        let ir = ir_for(&ctx, stage);
+        run_stage_range(&mut ctx, &ir, stage, &[], None, Some(&agg), 0..mid);
+        run_stage_range(&mut ctx, &ir, stage, &[], None, Some(&agg), mid..rows);
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::listing1(&ctx.db, cutoff);
         assert_eq!(got, want.rows);
@@ -392,7 +425,8 @@ mod tests {
             1,
             "t",
         )));
-        let p = run_stage_range(&mut ctx, &plan.stages[0], &[], None, Some(&agg), 0..0);
+        let ir = ir_for(&ctx, &plan.stages[0]);
+        let p = run_stage_range(&mut ctx, &ir, &plan.stages[0], &[], None, Some(&agg), 0..0);
         assert!(p.elapsed_cycles > 0, "launch overhead must be charged");
         assert_eq!(
             Rc::try_unwrap(agg).unwrap().into_inner().into_rows(),

@@ -6,6 +6,10 @@
 //! * [`plan`] — segmented physical plans: pipelines of operators cut at
 //!   blocking kernels, with hand-verified plans for the paper's workload
 //!   (TPC-H Q5/Q7/Q8/Q9/Q14 and the Listing-1 example).
+//! * [`segment`] — the shared segment IR: each stage lowers once to a
+//!   kernel DAG (nodes, channel edges, eager/lazy leaf columns) that
+//!   both executors and the Section-4 cost model consume, so the
+//!   modeled pipeline and the executed pipeline agree by construction.
 //! * [`kbe`] — the kernel-based-execution baseline (Section 2.2): one
 //!   kernel at a time, map + prefix-sum + scatter decomposition, every
 //!   intermediate materialized in global memory.
@@ -32,6 +36,7 @@ pub mod partitioned;
 pub mod plan;
 pub mod recover;
 pub mod replay;
+pub mod segment;
 
 pub use error::ExecError;
 pub use exec::{
@@ -42,3 +47,4 @@ pub use expr::{CmpOp, Expr, Pred, Slot};
 pub use ht::AggKind;
 pub use plan::{plan_for, Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal};
 pub use recover::{RecoveryPolicy, RecoveryStats};
+pub use segment::{ChannelEdge, KernelFlavour, KernelNode, LeafColumn, SegmentIr};

@@ -216,74 +216,28 @@ impl Stage {
         filled.iter().filter(|&&f| f).count()
     }
 
-    /// GPL kernel fusion (Section 3.2): the leaf `k_map` kernel absorbs
-    /// the scan and every leading non-probe op (the paper's selection is
-    /// *one* map kernel that evaluates predicates and sends satisfied
-    /// tuples onward); each hash probe starts a new kernel and absorbs
-    /// the non-probe ops that follow it. Returns the op indices of each
-    /// kernel: element 0 is the leaf kernel's ops, subsequent elements
-    /// each start with a probe. The blocking terminal is an additional
-    /// kernel not listed here.
+    /// GPL kernel fusion (Section 3.2) — delegates to the canonical
+    /// implementation in [`crate::segment::fusion_groups`], which also
+    /// drives [`crate::segment::SegmentIr::lower`]. Returns the op
+    /// indices of each kernel: element 0 is the leaf kernel's ops,
+    /// subsequent elements each start with a probe. The blocking
+    /// terminal is an additional kernel not listed here.
     pub fn gpl_fusion(&self) -> Vec<Vec<usize>> {
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new()];
-        for (i, op) in self.ops.iter().enumerate() {
-            // A probe starts a new kernel — except the very first op: a
-            // pipeline with no leading selection fuses its first probe
-            // into the scan kernel, so the first channel carries only
-            // surviving rows (the scan gathers payload columns lazily).
-            if matches!(op, PipeOp::Probe { .. }) && !groups[0].is_empty() {
-                groups.push(Vec::new());
-            }
-            groups.last_mut().expect("non-empty").push(i);
-        }
-        groups
+        crate::segment::fusion_groups(self)
     }
 
     /// Kernel names of this stage under GPL decomposition (Figure 7c):
     /// the fused leaf map kernel, one kernel per probe (with fused
-    /// trailing maps), and the terminal kernel.
+    /// trailing maps), and the terminal kernel. Identical to the node
+    /// names of the stage's lowered [`crate::segment::SegmentIr`].
     pub fn gpl_kernel_names(&self) -> Vec<String> {
-        let mut v = Vec::new();
-        for (g, ops) in self.gpl_fusion().into_iter().enumerate() {
-            if g == 0 {
-                v.push(format!("k_map*(scan {})", self.driver));
-            } else {
-                let PipeOp::Probe { ht, .. } = &self.ops[ops[0]] else {
-                    unreachable!("group {g} must start with a probe");
-                };
-                let fused = if ops.len() > 1 { "+map" } else { "" };
-                v.push(format!("k_hash_probe*(ht{ht}{fused})"));
-            }
-        }
-        v.push(match &self.terminal {
-            Terminal::HashBuild { ht, .. } => format!("k_hash_build(ht{ht})"),
-            Terminal::Aggregate { groups, .. } if groups.is_empty() => "k_reduce*".to_string(),
-            Terminal::Aggregate { .. } => "k_groupby*".to_string(),
-        });
-        v
+        crate::segment::gpl_kernel_names(self)
     }
 
     /// Kernel names under KBE decomposition: selections and probes expand
     /// to map + prefix-sum + scatter (Figure 7b, the GDB selection \[13\]).
     pub fn kbe_kernel_names(&self) -> Vec<String> {
-        let mut v = Vec::new();
-        for op in &self.ops {
-            match op {
-                PipeOp::Filter(_) => {
-                    v.extend(["k_map", "k_prefix_sum", "k_scatter"].map(str::to_string));
-                }
-                PipeOp::Probe { ht, .. } => {
-                    v.push(format!("k_hash_probe(ht{ht})"));
-                    v.extend(["k_prefix_sum", "k_scatter"].map(str::to_string));
-                }
-                PipeOp::Compute { .. } => v.push("k_map".to_string()),
-            }
-        }
-        v.push(match &self.terminal {
-            Terminal::HashBuild { ht, .. } => format!("k_hash_build(ht{ht})"),
-            Terminal::Aggregate { .. } => "k_aggregate".to_string(),
-        });
-        v
+        crate::segment::kbe_kernel_names(self)
     }
 }
 

@@ -1,10 +1,19 @@
 //! Program-analysis inputs (Table 2): per-kernel resource usage,
 //! instruction counts and data widths, assembled into a [`StageModel`]
 //! the Eq. 2–9 evaluator consumes.
+//!
+//! The structural facts — fusion groups, kernel names, resources,
+//! per-op instruction counts, channel widths, and the eager/lazy leaf
+//! column split — come straight off the stage's lowered
+//! [`SegmentIr`], the same object the executors launch from, so model
+//! and executor cannot drift. This module only adds what lowering
+//! cannot know: the statistics-dependent terms (λ-scaled gather costs,
+//! hash-table geometry from cardinality estimates).
 
 use crate::stats::PlanStats;
 use gpl_core::ops;
 use gpl_core::plan::{PipeOp, QueryPlan, Stage, Terminal};
+use gpl_core::segment::SegmentIr;
 use gpl_sim::{DeviceSpec, ResourceUsage};
 use gpl_tpch::TpchDb;
 
@@ -49,23 +58,15 @@ pub struct StageModel {
     /// Bytes per driver row across loaded columns (tiling input).
     pub row_bytes: u64,
     pub kernels: Vec<KernelModel>,
+    /// The lowered segment these kernels describe, with the model's λ
+    /// estimates attached — what the executors launch from.
+    pub ir: SegmentIr,
 }
 
 fn ht_geometry(expected_rows: f64, payloads: usize) -> (u64, u64) {
     let entry = 8 * (1 + payloads as u64);
     let buckets = ((expected_rows.max(1.0) as usize) * 2).next_power_of_two() as u64;
     (entry, buckets * entry)
-}
-
-fn resources_for(flavour: &str, wavefront: u32) -> ResourceUsage {
-    // Must mirror the executors' declarations (kbe.rs / gpl.rs).
-    match flavour {
-        "map" => ResourceUsage::new(wavefront, 64, 0),
-        "probe" => ResourceUsage::new(wavefront, 96, 0),
-        "build" => ResourceUsage::new(wavefront, 96, 2048),
-        "aggregate" => ResourceUsage::new(wavefront, 64, 8192),
-        other => panic!("unknown flavour {other}"),
-    }
 }
 
 /// Build the stage models for a plan, using the λ estimates of
@@ -103,79 +104,46 @@ fn build_stage_model(
     _spec: &DeviceSpec,
     wavefront: u32,
 ) -> StageModel {
-    let t = db.table(&stage.driver);
-    let live = ops::live_slots(stage);
-    let groups = stage.gpl_fusion();
-    let names = stage.gpl_kernel_names();
-    let row_bytes: u64 = stage
-        .loads
-        .iter()
-        .map(|c| t.col(c).data_type().width())
-        .sum::<u64>()
-        .max(1);
+    let mut ir = SegmentIr::lower(stage, db.table(&stage.driver), wavefront);
+    ir.attach_lambdas(lambdas);
 
-    // Eager vs lazy leaf columns (mirrors gpl.rs): columns read by the
-    // fused leading ops stream; shipped-only columns gather post-filter.
-    let mut eager_slots: Vec<usize> = Vec::new();
-    for &i in &groups[0] {
-        match &stage.ops[i] {
-            PipeOp::Filter(p) => p.slots(&mut eager_slots),
-            PipeOp::Probe { key, .. } => eager_slots.push(*key),
-            PipeOp::Compute { expr, .. } => expr.slots(&mut eager_slots),
-        }
-    }
-    let first_edge_live = if groups.len() > 1 {
-        &live[groups[1][0]]
-    } else {
-        &live[stage.ops.len()]
-    };
+    // The λ-dependent leaf transfer terms, over the IR's column split.
+    // A gather transfers whole lines for sparse survivors but converges
+    // to the plain column stream when they are dense: the per-survivor
+    // cost is min(line, width / λ).
     let leaf_lambda = lambdas[0].max(1e-6);
-    let mut eager_bytes = 0u64;
-    let mut eager_cols = 0u64;
+    let gather = |w: u64| (w as f64 / leaf_lambda).min(64.0);
+    let eager_bytes: u64;
+    let eager_cols: u64;
     let mut lazy_bytes = 0.0f64;
-    let mut lazy_cols = 0u64;
-    for (slot, name) in stage.loads.iter().enumerate() {
-        let w = t.col(name).data_type().width();
-        if eager_slots.contains(&slot) {
-            eager_bytes += w;
-            eager_cols += 1;
-        } else if first_edge_live.contains(&slot) {
-            // A gather transfers whole lines for sparse survivors but
-            // converges to the plain column stream when they are dense:
-            // the per-survivor cost is min(line, width / λ).
-            lazy_bytes += (w as f64 / leaf_lambda).min(64.0);
-            lazy_cols += 1;
+    let lazy_cols = ir.lazy.len() as u64;
+    if ir.promoted_leaf {
+        // The executor streams the promoted column to drive the scan:
+        // charge it eagerly and remove its gather term. Summing every
+        // lazy term first (promoted column included, in load order) and
+        // then subtracting keeps the f64 arithmetic bit-identical to
+        // the pre-IR derivation.
+        let promoted = &ir.eager[0];
+        lazy_bytes += gather(promoted.width);
+        for c in &ir.lazy {
+            lazy_bytes += gather(c.width);
+        }
+        lazy_bytes = (lazy_bytes - gather(promoted.width)).max(0.0);
+        eager_bytes = promoted.width;
+        eager_cols = 1;
+    } else {
+        eager_bytes = ir.eager.iter().map(|c| c.width).sum();
+        eager_cols = ir.eager.len() as u64;
+        for c in &ir.lazy {
+            lazy_bytes += gather(c.width);
         }
     }
-    if eager_cols == 0 && lazy_cols > 0 {
-        let w = stage
-            .loads
-            .first()
-            .map(|c| t.col(c).data_type().width())
-            .unwrap_or(4);
-        eager_bytes = w;
-        eager_cols = 1;
-        lazy_bytes = (lazy_bytes - (w as f64 / leaf_lambda).min(64.0)).max(0.0);
-        lazy_cols -= 1;
-    }
 
-    let edge_width = |g: usize| -> u64 {
-        // Width of the channel after kernel group g (matches gpl.rs).
-        let lv = if g + 1 < groups.len() {
-            &live[groups[g + 1][0]]
-        } else {
-            &live[stage.ops.len()]
-        };
-        (lv.len() as u64 * 8).max(8)
-    };
-
-    let mut kernels = Vec::with_capacity(groups.len() + 1);
+    let mut kernels = Vec::with_capacity(ir.nodes.len());
     let mut in_ratio = 1.0;
-    for (g, ops_idx) in groups.iter().enumerate() {
-        let mut per_row_compute = 0u64;
-        let mut per_row_mem = 0u64;
-        let mut ht_access = 0u64;
-        let mut ht_foot = 0u64;
+    for (g, node) in ir.nodes[..ir.edges.len()].iter().enumerate() {
+        let mut per_row_compute = node.per_row_compute;
+        let mut per_row_mem = node.per_row_mem;
         if g == 0 {
             // Eager columns are loaded for every row; lazy ones only for
             // the survivors (scale their issue cost by λ).
@@ -183,25 +151,26 @@ fn build_stage_model(
                 + (2.0 * ops::INST_EXPANSION as f64 * lazy_cols as f64 * lambdas[0]) as u64;
             per_row_mem += eager_cols + (lazy_cols as f64 * lambdas[0]) as u64;
         }
-        for &i in ops_idx {
-            let op = &stage.ops[i];
-            per_row_compute += ops::op_compute_insts(op);
-            per_row_mem += ops::op_mem_insts(op);
-            if let PipeOp::Probe { ht, payloads, .. } = op {
+        // Hash-table geometry is the one per-op term lowering cannot
+        // provide (it needs cardinality estimates).
+        let mut ht_access = 0u64;
+        let mut ht_foot = 0u64;
+        for &i in &node.ops {
+            if let PipeOp::Probe { ht, payloads, .. } = &stage.ops[i] {
                 let (entry, foot) = ht_geometry(stats.ht_rows[*ht], payloads.len());
                 ht_access += entry;
                 ht_foot += foot;
             }
         }
         kernels.push(KernelModel {
-            name: names[g].clone(),
-            resources: resources_for(if g == 0 { "map" } else { "probe" }, wavefront),
+            name: node.name.clone(),
+            resources: node.resources,
             per_row_compute,
             per_row_mem,
             in_ratio,
             lambda: lambdas[g],
-            in_width: if g == 0 { 0 } else { edge_width(g - 1) },
-            out_width: edge_width(g),
+            in_width: if g == 0 { 0 } else { ir.edges[g - 1].row_bytes },
+            out_width: ir.edges[g].row_bytes,
             scan_bytes_per_row: if g == 0 { eager_bytes } else { 0 },
             lazy_bytes_per_row: if g == 0 { lazy_bytes as u64 } else { 0 },
             ht_access_bytes: ht_access,
@@ -212,27 +181,27 @@ fn build_stage_model(
     }
 
     // The terminal kernel.
-    let (flavour, ht_access, ht_foot) = match &stage.terminal {
+    let (ht_access, ht_foot) = match &stage.terminal {
         Terminal::HashBuild { payloads, .. } => {
-            let expected = in_ratio * t.rows() as f64;
-            let (entry, foot) = ht_geometry(expected.max(1.0), payloads.len());
-            ("build", entry, foot)
+            let expected = in_ratio * ir.driver_rows as f64;
+            ht_geometry(expected.max(1.0), payloads.len())
         }
         Terminal::Aggregate { groups, aggs } => {
             let expected = if groups.is_empty() { 1.0 } else { 4096.0 };
             let entry = 8 * (groups.len().max(1) + aggs.len()) as u64;
             let buckets = ((expected as usize) * 2).next_power_of_two() as u64;
-            ("aggregate", 2 * entry, buckets * entry)
+            (2 * entry, buckets * entry)
         }
     };
+    let term = ir.nodes.last().expect("terminal node");
     kernels.push(KernelModel {
-        name: names.last().expect("terminal").clone(),
-        resources: resources_for(flavour, wavefront),
-        per_row_compute: ops::terminal_compute_insts(&stage.terminal),
-        per_row_mem: ops::terminal_mem_insts(&stage.terminal),
+        name: term.name.clone(),
+        resources: term.resources,
+        per_row_compute: term.per_row_compute,
+        per_row_mem: term.per_row_mem,
         in_ratio,
         lambda: 0.0,
-        in_width: edge_width(groups.len() - 1),
+        in_width: ir.edges.last().expect("edge").row_bytes,
         out_width: 0,
         scan_bytes_per_row: 0,
         lazy_bytes_per_row: 0,
@@ -242,10 +211,11 @@ fn build_stage_model(
     });
 
     StageModel {
-        name: stage.name.clone(),
-        driver_rows: t.rows() as u64,
-        row_bytes,
+        name: ir.stage.clone(),
+        driver_rows: ir.driver_rows,
+        row_bytes: ir.row_bytes,
         kernels,
+        ir,
     }
 }
 

@@ -113,7 +113,7 @@ pub fn estimate_stage(
     sm: &StageModel,
     cfg: &StageConfig,
 ) -> StageEstimate {
-    assert_eq!(cfg.wg_counts.len(), sm.kernels.len(), "wg count per kernel");
+    sm.ir.validate_config(cfg).unwrap_or_else(|e| panic!("{e}"));
     let tile_rows = (cfg.tile_bytes / sm.row_bytes).clamp(1, sm.driver_rows.max(1));
     let num_tiles = sm.driver_rows.div_ceil(tile_rows).max(1);
     let wavefront = spec.wavefront_size as f64;

@@ -253,7 +253,7 @@ fn optimize_stage(
     rec: Option<&gpl_obs::Recorder>,
     stage_idx: usize,
 ) -> StageConfig {
-    let kernels = sm.kernels.len();
+    let kernels = sm.ir.nodes.len();
     let mut best: Option<(f64, StageConfig)> = None;
     for &tile in &tile_grid() {
         for &n in &channel_grid() {

@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/11 dependency-creep check =="
+echo "== 1/12 dependency-creep check =="
 # Every dependency must be an in-workspace path dependency; the three
 # crates the hermetic-build PR removed must never come back.
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
@@ -17,22 +17,25 @@ if grep -n '\(registry\|git\) *=' Cargo.toml crates/*/Cargo.toml; then
 fi
 echo "ok: all dependencies are in-tree path dependencies"
 
-echo "== 2/11 formatting =="
+echo "== 2/12 formatting =="
 cargo fmt --check
 
-echo "== 3/11 clippy (warnings are errors) =="
+echo "== 3/12 clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 4/11 offline build =="
+echo "== 4/12 rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps
+
+echo "== 5/12 offline build =="
 cargo build --offline --workspace
 
-echo "== 5/11 tier-1: release build =="
+echo "== 6/12 tier-1: release build =="
 cargo build --offline --release
 
-echo "== 6/11 tier-1: full test suite =="
+echo "== 7/12 tier-1: full test suite =="
 cargo test --offline --workspace -q
 
-echo "== 7/11 observability smoke: repro profile q1 =="
+echo "== 8/12 observability smoke: repro profile q1 =="
 # `repro profile` re-parses every export with the in-tree JSON parser
 # before writing it (and panics otherwise), so a zero exit status
 # asserts the exported JSON parses; the loop below just guards against
@@ -46,19 +49,19 @@ for f in target/obs/profile-q1-kbe.trace.json \
 done
 echo "ok: all four exports present and parse-checked"
 
-echo "== 8/11 serving smoke: repro serve --workers 4 --queries 32 =="
+echo "== 9/12 serving smoke: repro serve --workers 4 --queries 32 =="
 # The experiment itself asserts a worker-count-independent result
 # fingerprint and that every corpus query succeeds; a zero exit status
 # is the gate.
 cargo run --offline --release -p gpl-bench --bin repro -- serve --workers 4 --queries 32 --sf 0.01
 
-echo "== 9/11 fault-injection smoke: repro faults =="
+echo "== 10/12 fault-injection smoke: repro faults =="
 # The experiment asserts that recovered runs reproduce the fault-free
 # rows fingerprint at every swept fault rate, that the breaker trips,
 # and that shedding rejects exactly the overflow; zero exit = gate.
 cargo run --offline --release -p gpl-bench --bin repro -- faults --sf 0.01
 
-echo "== 10/11 seeded-fault determinism: five byte-identical reports =="
+echo "== 11/12 seeded-fault determinism: five byte-identical reports =="
 # Same seed, same report — the faults experiment writes only
 # deterministic facts (no wall-clock), so five runs must produce a
 # byte-identical target/obs/faults-report.txt.
@@ -75,7 +78,7 @@ for i in 1 2 3 4 5; do
 done
 echo "ok: five byte-identical fault reports ($ref_hash)"
 
-echo "== 11/11 scheduler determinism, five runs =="
+echo "== 12/12 scheduler determinism, five runs =="
 # The 32-query seed-42 workload at 1/2/8 workers must match its pinned
 # fingerprint every time — run it repeatedly to shake out scheduling
 # races that a single lucky run could hide.
