@@ -10,6 +10,7 @@ pub mod faults;
 pub mod intermediates;
 pub mod model_eval;
 pub mod modes;
+pub mod pipeline;
 pub mod profile;
 pub mod serve;
 pub mod utilization;
@@ -231,6 +232,12 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "observability",
             description: "trace one query under all modes; Chrome-trace + metrics JSON export",
             run: profile::profile,
+        },
+        Experiment {
+            name: "pipeline",
+            paper_ref: "pipelining",
+            description: "cross-segment overlap: modeled vs observed cycles, GPL vs pipelined",
+            run: pipeline::pipeline,
         },
     ]
 }

@@ -1,0 +1,182 @@
+//! `repro pipeline [<query>...]`: cross-segment pipelining, modeled vs
+//! observed. For each query (default: the two acceptance workloads, Q9
+//! and Q14) the command plans once, runs the overlap predicate
+//! ([`gpl_model::attach_overlap`]) over the paper-default configuration,
+//! then executes the plan twice — sequential GPL and GPL (pipelined) —
+//! asserting the outputs bit-identical before reporting anything.
+//!
+//! The printed table and the `target/obs/BENCH_pipeline.json` artifact
+//! carry, per fused pair: the chosen slice count K, the model's
+//! sequential and pipelined cycle estimates, and the simulator's
+//! observed build/probe spans with the measured overlap window. All
+//! numbers are simulated cycles, so two runs of the same command are
+//! byte-identical — the verify gate diffs them.
+
+use super::Opts;
+use gpl_core::{plan_for, run_query, ExecMode, QueryConfig, QueryRun};
+use gpl_model::{attach_overlap, build_models, estimate_stats, OverlapDecision};
+use gpl_obs::{parse, Json};
+use gpl_tpch::{QueryId, TpchDb};
+
+const OUT_DIR: &str = "target/obs";
+
+fn query_by_name(name: &str) -> Option<QueryId> {
+    QueryId::all()
+        .into_iter()
+        .find(|q| q.name().eq_ignore_ascii_case(name))
+}
+
+/// FNV-1a over the result rows — the same digest shape the serve report
+/// uses, so artifacts can be compared across tools.
+fn row_fingerprint(run: &QueryRun) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(&(run.output.rows.len() as u64).to_le_bytes());
+    for row in &run.output.rows {
+        for v in row {
+            mix(&v.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// The simulated span `[first dispatch, last complete]` of one stage's
+/// kernels in a finished run.
+fn stage_span(run: &QueryRun, stage: usize) -> (u64, u64) {
+    let ks = &run.per_stage[stage].kernels;
+    let start = ks.iter().map(|k| k.first_dispatch).min().unwrap_or(0);
+    let end = ks.iter().map(|k| k.last_complete).max().unwrap_or(0);
+    (start, end)
+}
+
+/// Observed overlap between a fused pair's segments: how many cycles the
+/// build stage's span and the probe stage's span share.
+fn observed_overlap(run: &QueryRun, d: &OverlapDecision) -> u64 {
+    let (b0, b1) = stage_span(run, d.build_stage);
+    let (p0, p1) = stage_span(run, d.probe_stage);
+    b1.min(p1).saturating_sub(b0.max(p0))
+}
+
+fn write_checked(path: &str, text: &str) {
+    parse(text).unwrap_or_else(|e| panic!("{path}: export does not re-parse: {e}"));
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("{path}: {e}"));
+}
+
+pub fn pipeline(opts: &Opts) {
+    let names: Vec<String> = if opts.extra.is_empty() {
+        vec!["q9".into(), "q14".into()]
+    } else {
+        opts.extra.clone()
+    };
+    let queries: Vec<QueryId> = names
+        .iter()
+        .map(|n| {
+            query_by_name(n).unwrap_or_else(|| {
+                eprintln!("unknown query {n:?}; run `repro profile` for the list");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let sf = opts.sf_or(0.01);
+    let gamma = opts.gamma();
+    std::fs::create_dir_all(OUT_DIR).expect("create target/obs");
+
+    println!(
+        "cross-segment pipelining, GPL vs GPL (pipelined) ({}, SF {sf})",
+        opts.device.name
+    );
+    println!(
+        "\n{:<6} {:>5} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+        "query", "K", "model seq", "model pipe", "obs seq", "obs pipe", "obs Δ", "overlap cyc"
+    );
+
+    let mut query_entries: Vec<Json> = Vec::new();
+    for query in queries {
+        let db = TpchDb::at_scale(sf);
+        let plan = plan_for(&db, query);
+        let stats = estimate_stats(&db, &plan);
+        let models = build_models(&db, &plan, &stats, &opts.device);
+        let base = QueryConfig::default_for(&opts.device, &plan);
+        let mut piped = base.clone();
+        let decisions = attach_overlap(&opts.device, &gamma, &plan, &models, &mut piped);
+
+        let mut ctx = opts.ctx(sf);
+        let seq = run_query(&mut ctx, &plan, ExecMode::Gpl, &base);
+        let mut ctx = opts.ctx(sf);
+        let pipe = run_query(&mut ctx, &plan, ExecMode::GplPipelined, &piped);
+        assert_eq!(
+            seq.output,
+            pipe.output,
+            "{}: pipelined output must be bit-identical to sequential",
+            query.name()
+        );
+        let fp = row_fingerprint(&seq);
+        assert_eq!(fp, row_fingerprint(&pipe));
+
+        let model_seq: f64 = decisions.iter().map(|d| d.sequential).sum();
+        let model_pipe: f64 = decisions.iter().map(|d| d.pipelined).sum();
+        let k_text = decisions
+            .iter()
+            .map(|d| d.slices.to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+        let delta = 100.0 * (seq.cycles as f64 - pipe.cycles as f64) / seq.cycles as f64;
+        let overlap: u64 = decisions
+            .iter()
+            .filter(|d| d.slices > 0)
+            .map(|d| observed_overlap(&pipe, d))
+            .sum();
+        println!(
+            "{:<6} {:>5} {:>12.0} {:>12.0} {:>12} {:>12} {:>8.1}% {:>12}",
+            query.name(),
+            k_text,
+            model_seq,
+            model_pipe,
+            seq.cycles,
+            pipe.cycles,
+            delta,
+            overlap
+        );
+
+        let pair_entries: Vec<Json> = decisions
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("build_stage", Json::Int(d.build_stage as i64)),
+                    ("probe_stage", Json::Int(d.probe_stage as i64)),
+                    ("slices", Json::Int(i64::from(d.slices))),
+                    ("model_sequential_cycles", Json::Num(d.sequential)),
+                    ("model_pipelined_cycles", Json::Num(d.pipelined)),
+                    (
+                        "observed_overlap_cycles",
+                        Json::Int(observed_overlap(&pipe, d) as i64),
+                    ),
+                ])
+            })
+            .collect();
+        query_entries.push(Json::obj(vec![
+            ("query", Json::Str(query.name().to_string())),
+            ("sequential_cycles", Json::Int(seq.cycles as i64)),
+            ("pipelined_cycles", Json::Int(pipe.cycles as i64)),
+            ("row_fingerprint", Json::Str(format!("{fp:#018x}"))),
+            ("rows", Json::Int(seq.output.rows.len() as i64)),
+            ("pairs", Json::Arr(pair_entries)),
+        ]));
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("pipeline".to_string())),
+        ("device", Json::Str(opts.device.name.clone())),
+        ("sf", Json::Num(sf)),
+        ("queries", Json::Arr(query_entries)),
+    ]);
+    let path = format!("{OUT_DIR}/BENCH_pipeline.json");
+    write_checked(&path, &report.to_pretty_string());
+    println!("\nwrote {path} (re-parsed with the in-tree JSON parser)");
+    println!("outputs asserted bit-identical between modes before reporting.");
+}

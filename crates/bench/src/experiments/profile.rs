@@ -31,6 +31,7 @@ fn mode_key(mode: ExecMode) -> &'static str {
         ExecMode::Kbe => "kbe",
         ExecMode::GplNoCe => "gpl-noce",
         ExecMode::Gpl => "gpl",
+        ExecMode::GplPipelined => "gpl-pipelined",
     }
 }
 

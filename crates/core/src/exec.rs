@@ -8,7 +8,7 @@ use crate::kbe;
 use crate::ops::sort_rows;
 use crate::plan::{QueryPlan, Stage, Terminal};
 use crate::recover::{RecoveryPolicy, RecoveryStats};
-use crate::segment::SegmentIr;
+use crate::segment::{overlap_pairs, InterSegmentEdge, SegmentIr};
 use gpl_sim::{DeviceSpec, KernelDesc, LaunchProfile, ResourceUsage, Simulator, Work, WorkUnit};
 use gpl_storage::{TableLayout, Tiling};
 use gpl_tpch::{QueryOutput, TpchDb};
@@ -29,6 +29,13 @@ pub enum ExecMode {
     GplNoCe,
     /// Full GPL: concurrent kernels connected by channels, tiled input.
     Gpl,
+    /// Full GPL plus cross-segment pipelining: an eligible build→probe
+    /// stage pair runs as one fused launch, the shared hash table
+    /// installed and published slice by slice so the probe segment's
+    /// leaf (and the early slices' probes) overlap the build terminal.
+    /// Stages outside an eligible pair — or pairs whose
+    /// [`StageConfig::overlap_slices`] is 0 — run exactly as [`Gpl`].
+    GplPipelined,
 }
 
 impl ExecMode {
@@ -37,6 +44,7 @@ impl ExecMode {
             ExecMode::Kbe => "KBE",
             ExecMode::GplNoCe => "GPL (w/o CE)",
             ExecMode::Gpl => "GPL",
+            ExecMode::GplPipelined => "GPL (pipelined)",
         }
     }
 }
@@ -54,6 +62,12 @@ pub struct StageConfig {
     /// Work-groups per GPL kernel (scan, ops…, terminal). Must have one
     /// entry per kernel of [`Stage::gpl_kernel_names`].
     pub wg_counts: Vec<u32>,
+    /// Cross-segment overlap slices (K) when this stage's hash-build
+    /// terminal is the producer of an eligible [`InterSegmentEdge`] and
+    /// the query runs under [`ExecMode::GplPipelined`]: 0 disables the
+    /// overlap (the pair runs sequentially — the default), K ≥ 1 splits
+    /// the installation into K published slices. Ignored elsewhere.
+    pub overlap_slices: u32,
 }
 
 impl StageConfig {
@@ -67,6 +81,7 @@ impl StageConfig {
             n_channels: 4,
             packet_bytes: spec.channel.fixed_packet_bytes,
             wg_counts: vec![4 * spec.num_cus; kernels],
+            overlap_slices: 0,
         }
     }
 }
@@ -86,6 +101,16 @@ impl QueryConfig {
                 .map(|s| StageConfig::default_for(spec, s))
                 .collect(),
         }
+    }
+
+    /// Set the overlap-slice knob on every stage (the scheduler only
+    /// reads it on the build stage of an eligible pair). Builder-style,
+    /// for tests and benchmarks.
+    pub fn with_overlap_slices(mut self, k: u32) -> Self {
+        for s in &mut self.stages {
+            s.overlap_slices = k;
+        }
+        self
     }
 }
 
@@ -286,8 +311,38 @@ pub fn try_run_query_recovering(
     let mut merged = LaunchProfile::default();
     let mut stats = RecoveryStats::default();
 
-    for (idx, (stage, cfg)) in plan.stages.iter().zip(&config.stages).enumerate() {
+    // Under GPL-pipelined, eligible build→probe pairs with a non-zero
+    // overlap knob run fused; everything else takes the per-stage path.
+    let pairs = if mode == ExecMode::GplPipelined {
+        overlap_pairs(&plan.stages)
+    } else {
+        Vec::new()
+    };
+    let mut idx = 0;
+    while idx < plan.stages.len() {
         limits.check(merged.elapsed_cycles + stats.wasted_cycles)?;
+        if let Some(pair) = pairs
+            .iter()
+            .find(|p| p.build_stage == idx && config.stages[p.build_stage].overlap_slices > 0)
+        {
+            run_pair_recovering(
+                ctx,
+                plan,
+                pair,
+                config,
+                &mut hts,
+                &mut agg_rows,
+                recovery,
+                limits,
+                &mut stats,
+                rec.as_ref(),
+                &mut merged,
+                &mut per_stage,
+            )?;
+            idx += 2;
+            continue;
+        }
+        let (stage, cfg) = (&plan.stages[idx], &config.stages[idx]);
         // Lower the stage once; every consumer below — mode dispatch,
         // span naming, both executors — reads this one IR.
         let ir = SegmentIr::lower(
@@ -342,6 +397,7 @@ pub fn try_run_query_recovering(
         }
         merged.merge(&profile);
         per_stage.push(profile);
+        idx += 1;
     }
 
     let mut rows = agg_rows.expect("plan must end in an aggregate stage");
@@ -410,6 +466,58 @@ fn run_stage_attempt(
     hts: &[Option<Rc<RefCell<SimHashTable>>>],
 ) -> Result<StageOut, ExecError> {
     debug_assert!(!ctx.sim.fault_pending(), "stale fault entering a stage");
+    let (build, agg) = make_blocking_outputs(ctx, plan, stage);
+
+    let rows = ctx.db.table(&stage.driver).rows();
+    let build_rc = build.as_ref().map(|(_, t)| t);
+    let profile = match mode {
+        ExecMode::Kbe => kbe::run_stage_range(ctx, ir, stage, hts, build_rc, agg.as_ref(), 0..rows),
+        ExecMode::GplNoCe => {
+            let tiling = Tiling::by_bytes(rows, ir.row_bytes, cfg.tile_bytes);
+            let mut p = LaunchProfile::default();
+            for tile in tiling.iter() {
+                p.merge(&kbe::run_stage_range(
+                    ctx,
+                    ir,
+                    stage,
+                    hts,
+                    build_rc,
+                    agg.as_ref(),
+                    tile,
+                ));
+            }
+            p
+        }
+        // A lone stage has no pair to overlap with: pipelined mode runs
+        // the plain GPL pipeline.
+        ExecMode::Gpl | ExecMode::GplPipelined => {
+            gpl::run_stage(ctx, ir, stage, hts, build_rc, agg.as_ref(), cfg)?
+        }
+    };
+    if let Some(record) = ctx.sim.take_fault() {
+        return Err(ExecError::from_fault(record));
+    }
+    let agg_rows = agg.map(|a| {
+        Rc::try_unwrap(a)
+            .expect("aggregate store still shared")
+            .into_inner()
+            .into_rows()
+    });
+    Ok((profile, build, agg_rows))
+}
+
+/// Fresh blocking outputs (hash table / aggregate store) for one attempt
+/// at `stage` — created per attempt so a failed attempt's partial state
+/// drops with its locals.
+#[allow(clippy::type_complexity)]
+fn make_blocking_outputs(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    stage: &Stage,
+) -> (
+    Option<(usize, Rc<RefCell<SimHashTable>>)>,
+    Option<Rc<RefCell<GroupStore>>>,
+) {
     let build = match &stage.terminal {
         Terminal::HashBuild { ht, payloads, .. } => {
             let expected = estimate_build_rows(ctx, stage);
@@ -437,31 +545,62 @@ fn run_stage_attempt(
         }
         Terminal::HashBuild { .. } => None,
     };
+    (build, agg)
+}
 
-    let rows = ctx.db.table(&stage.driver).rows();
-    let build_rc = build.as_ref().map(|(_, t)| t);
-    let profile = match mode {
-        ExecMode::Kbe => kbe::run_stage_range(ctx, ir, stage, hts, build_rc, agg.as_ref(), 0..rows),
-        ExecMode::GplNoCe => {
-            let tiling = Tiling::by_bytes(rows, ir.row_bytes, cfg.tile_bytes);
-            let mut p = LaunchProfile::default();
-            for tile in tiling.iter() {
-                p.merge(&kbe::run_stage_range(
-                    ctx,
-                    ir,
-                    stage,
-                    hts,
-                    build_rc,
-                    agg.as_ref(),
-                    tile,
-                ));
-            }
-            p
-        }
-        ExecMode::Gpl => gpl::run_stage(ctx, ir, stage, hts, build_rc, agg.as_ref(), cfg)?,
-    };
+/// One fused attempt at an overlapped pair: both segments' kernels in a
+/// single launch, the shared hash table installed slice by slice and
+/// published through the inter-segment channel. Fresh blocking outputs
+/// per attempt, exactly like [`run_stage_attempt`] — so a mid-overlap
+/// fault can never double-publish or drop a slice: the retried attempt
+/// starts from nothing installed and nothing published.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn run_pair_attempt(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    edge: &InterSegmentEdge,
+    ir_b: &SegmentIr,
+    cfg_b: &StageConfig,
+    ir_p: &SegmentIr,
+    cfg_p: &StageConfig,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+) -> Result<
+    (
+        LaunchProfile,
+        Vec<(usize, Rc<RefCell<SimHashTable>>)>,
+        Option<Vec<Vec<i64>>>,
+    ),
+    ExecError,
+> {
+    debug_assert!(!ctx.sim.fault_pending(), "stale fault entering a pair");
+    let (stage_b, stage_p) = (
+        &plan.stages[edge.build_stage],
+        &plan.stages[edge.probe_stage],
+    );
+    let (shared_build, _) = make_blocking_outputs(ctx, plan, stage_b);
+    let (slot, shared) = shared_build.expect("pair build stage ends in a hash build");
+    debug_assert_eq!(slot, edge.ht, "pair edge names the built table");
+    let (build_p, agg) = make_blocking_outputs(ctx, plan, stage_p);
+    let profile = gpl::run_overlapped_pair(
+        ctx,
+        edge,
+        ir_b,
+        stage_b,
+        cfg_b,
+        ir_p,
+        stage_p,
+        cfg_p,
+        hts,
+        &shared,
+        build_p.as_ref().map(|(_, t)| t),
+        agg.as_ref(),
+    )?;
     if let Some(record) = ctx.sim.take_fault() {
         return Err(ExecError::from_fault(record));
+    }
+    let mut built = vec![(slot, shared)];
+    if let Some((s, t)) = build_p {
+        built.push((s, t));
     }
     let agg_rows = agg.map(|a| {
         Rc::try_unwrap(a)
@@ -469,7 +608,189 @@ fn run_stage_attempt(
             .into_inner()
             .into_rows()
     });
-    Ok((profile, build, agg_rows))
+    Ok((profile, built, agg_rows))
+}
+
+/// Drive one eligible pair through the pipelined scheduler: fused
+/// attempts with the policy's retry budget and deterministic backoff,
+/// then degradation to the *sequential* pair — the two stages run one
+/// after the other through the normal recovery ladder starting at GPL.
+/// Installs blocking outputs into `hts`/`agg_rows` only on success, and
+/// merges profiles (the fused launch is split back into per-stage views
+/// by segment tag so `QueryRun::per_stage` keeps one entry per stage).
+#[allow(clippy::too_many_arguments)]
+fn run_pair_recovering(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    pair: &InterSegmentEdge,
+    config: &QueryConfig,
+    hts: &mut [Option<Rc<RefCell<SimHashTable>>>],
+    agg_rows: &mut Option<Vec<Vec<i64>>>,
+    recovery: Option<&RecoveryPolicy>,
+    limits: &ExecLimits,
+    stats: &mut RecoveryStats,
+    rec: Option<&gpl_obs::Recorder>,
+    merged: &mut LaunchProfile,
+    per_stage: &mut Vec<LaunchProfile>,
+) -> Result<ExecMode, ExecError> {
+    let (bi, pi) = (pair.build_stage, pair.probe_stage);
+    let (stage_b, stage_p) = (&plan.stages[bi], &plan.stages[pi]);
+    let (cfg_b, cfg_p) = (&config.stages[bi], &config.stages[pi]);
+    let wf = ctx.sim.spec().wavefront_size;
+    let ir_b = SegmentIr::lower(stage_b, ctx.db.table(&stage_b.driver), wf);
+    let ir_p = SegmentIr::lower(stage_p, ctx.db.table(&stage_p.driver), wf);
+    // Slice volume: the expected table size split K ways.
+    let Terminal::HashBuild { payloads, .. } = &stage_b.terminal else {
+        unreachable!("pair build stage must end in a hash build");
+    };
+    let expected = estimate_build_rows(ctx, stage_b) as u64;
+    let table_bytes = expected * 8 * (1 + payloads.len() as u64);
+    let edge = pair.clone().with_slices(cfg_b.overlap_slices, table_bytes);
+
+    let span = rec.map(|r| {
+        let t = r.track("exec");
+        let s = r.begin(
+            t,
+            "stage",
+            &format!("stage{bi}+{pi}:{}+{}", ir_b.driver, ir_p.driver),
+            ctx.sim.clock(),
+        );
+        r.arg(s, "overlap_slices", edge.slices);
+        r.arg(s, "slice_bytes", edge.slice_bytes);
+        r.arg(s, "kernels", ir_b.nodes.len() + ir_p.nodes.len());
+        s
+    });
+    let instant = |name: &str, args: Vec<(&'static str, gpl_obs::Value)>, ctx: &ExecContext| {
+        if let Some(r) = rec {
+            let t = r.track("recover");
+            r.instant(t, "recover", name, ctx.sim.clock(), args);
+        }
+    };
+    let spent = merged.elapsed_cycles;
+    let max_retries = recovery.map(|p| p.max_retries).unwrap_or(0);
+    for attempt in 0..=max_retries {
+        if attempt > 0 {
+            let policy = recovery.expect("retries imply a policy");
+            stats.retries += 1;
+            let delay = policy.backoff_for(attempt);
+            ctx.sim.advance(delay);
+            stats.backoff_cycles += delay;
+            stats.wasted_cycles += delay;
+            instant(
+                "retry",
+                vec![
+                    ("attempt", gpl_obs::Value::from(attempt)),
+                    ("backoff_cycles", gpl_obs::Value::from(delay)),
+                ],
+                ctx,
+            );
+        }
+        limits.check(spent + stats.wasted_cycles)?;
+        let c0 = ctx.sim.clock();
+        match run_pair_attempt(ctx, plan, &edge, &ir_b, cfg_b, &ir_p, cfg_p, hts) {
+            Ok((profile, built, rows)) => {
+                for (slot, t) in built {
+                    hts[slot] = Some(t);
+                }
+                if let Some(rows) = rows {
+                    *agg_rows = Some(rows);
+                }
+                if let Some(r) = rec {
+                    // The measured overlap window: where the two
+                    // segments' kernel activity intersects.
+                    if let (Some((a0, a1)), Some((b0, b1))) =
+                        (profile.segment_window(0), profile.segment_window(1))
+                    {
+                        let (lo, hi) = (a0.max(b0), a1.min(b1));
+                        if lo < hi {
+                            let t = r.track("exec");
+                            r.span(
+                                t,
+                                "overlap",
+                                &format!("overlap:slices={}", edge.slices),
+                                lo,
+                                hi,
+                                vec![("cycles", gpl_obs::Value::from(hi - lo))],
+                            );
+                        }
+                    }
+                    if let Some(s) = span {
+                        r.arg(s, "stage_cycles", profile.elapsed_cycles);
+                        r.end(s, ctx.sim.clock());
+                    }
+                }
+                merged.merge(&profile);
+                per_stage.extend(profile.split_by_segment(&[0, 1]));
+                return Ok(ExecMode::GplPipelined);
+            }
+            Err(e) => {
+                let (record, lost) = match &e {
+                    ExecError::Fault(r) | ExecError::Oom(r) => (r.clone(), false),
+                    ExecError::DeviceLost(r) => (r.clone(), true),
+                    // Query problems, not device problems: propagate.
+                    _ => return Err(e),
+                };
+                stats.wasted_cycles += ctx.sim.clock().saturating_sub(c0);
+                instant(
+                    "fault",
+                    vec![
+                        ("kind", gpl_obs::Value::from(record.kind.name())),
+                        ("launch", gpl_obs::Value::from(record.launch)),
+                    ],
+                    ctx,
+                );
+                stats.faults.push(record);
+                if recovery.is_none() {
+                    return Err(e);
+                }
+                if lost {
+                    break;
+                }
+            }
+        }
+    }
+    let policy = recovery.expect("fused attempts exhausted implies a policy");
+    // Degrade to the sequential pair: both stages one after the other,
+    // each down the normal ladder starting at GPL.
+    stats.fallbacks += 1;
+    stats.degraded_to = Some(ExecMode::Gpl);
+    instant(
+        "fallback",
+        vec![("to", gpl_obs::Value::from("GPL (sequential pair)"))],
+        ctx,
+    );
+    let mut ran = ExecMode::Gpl;
+    for (ir, stage, cfg) in [(&ir_b, stage_b, cfg_b), (&ir_p, stage_p, cfg_p)] {
+        let spent = merged.elapsed_cycles;
+        let ((profile, built, rows), ran_on) = run_stage_recovering(
+            ctx,
+            plan,
+            ir,
+            stage,
+            cfg,
+            ExecMode::Gpl,
+            hts,
+            Some(policy),
+            limits,
+            spent,
+            stats,
+            rec,
+        )?;
+        if let Some((slot, t)) = built {
+            hts[slot] = Some(t);
+        }
+        if let Some(rows) = rows {
+            *agg_rows = Some(rows);
+        }
+        merged.merge(&profile);
+        per_stage.push(profile);
+        ran = ran_on;
+    }
+    if let (Some(r), Some(s)) = (rec, span) {
+        r.arg(s, "degraded_to", ran.name());
+        r.end(s, ctx.sim.clock());
+    }
+    Ok(ran)
 }
 
 /// Drive one stage through the recovery ladder (see [`crate::recover`]):

@@ -18,9 +18,9 @@ use crate::expr::{Expr, Pred, Slot};
 use crate::ht::{GroupStore, SimHashTable};
 use crate::ops::{self, apply_compute, apply_filter, apply_probe, Chunk};
 use crate::plan::{PipeOp, Stage, Terminal};
-use crate::segment::SegmentIr;
+use crate::segment::{InterSegmentEdge, SegmentIr};
 use gpl_sim::mem::MemRange;
-use gpl_sim::{ChannelId, ChannelView, KernelDesc, LaunchProfile, Work, WorkUnit};
+use gpl_sim::{ChannelId, ChannelView, KernelDesc, LaunchProfile, RegionClass, Work, WorkUnit};
 use gpl_storage::Tiling;
 use gpl_tpch::TpchDb;
 use std::cell::RefCell;
@@ -35,6 +35,15 @@ pub const SCAN_BATCH_ROWS: usize = 4096;
 const TILE_DISPATCH_INSTS: u64 = 256;
 /// Maximum chunks a consumer fuses into one work-group quantum.
 const MAX_CHUNKS_PER_UNIT: usize = 4;
+/// Unit row cap for kernels of a fused (cross-segment) launch. With two
+/// segments sharing the device's few dispatch lanes, a kernel waits
+/// longer between dispatches and its input backlog grows; uncapped it
+/// would drain the backlog as one giant unit whose output chunk fattens
+/// the next kernel's units in turn, serializing the probe cascade onto
+/// single CUs. Capping at the leaf batch size keeps units small enough
+/// to spread across CUs. Sequential launches are uncapped so their
+/// timing (and every pinned trace) is untouched.
+const FUSED_UNIT_ROWS: usize = SCAN_BATCH_ROWS;
 
 /// Functional data queue riding alongside a channel: chunks plus their
 /// packet counts and a producer-stamped checksum (the timing side lives
@@ -278,7 +287,86 @@ impl gpl_sim::WorkSource for LeafSource {
     }
 }
 
+/// The consumer end of an [`InterSegmentEdge`]: admission state for a
+/// probe kernel whose hash table is still being installed by the
+/// producer segment's terminal. Rows flow only against slices the build
+/// side has published; the rest wait in per-slice pending buffers until
+/// their slice's publication record arrives.
+struct Gate {
+    /// The shared, concurrently-installed hash table — borrowed to
+    /// verify each published slice's checksum before admitting rows.
+    table: Rc<RefCell<SimHashTable>>,
+    /// Probe key slot in this kernel's input chunks.
+    key: Slot,
+    slices: u32,
+    /// Slices published so far. The build terminal publishes strictly in
+    /// slice order, so this single counter is the full admission state.
+    published: u32,
+    /// The publication channel from the build terminal.
+    pub_in: ChannelId,
+    pub_q: DataQ,
+    /// Per-slice buffers of not-yet-admissible chunks, arrival order.
+    pending: Vec<VecDeque<Chunk>>,
+}
+
+/// Slot-wise row selection: gather `idx` from every filled slot.
+fn select_rows(c: &Chunk, idx: &[usize]) -> Chunk {
+    let mut out = Chunk::new(c.cols.len());
+    out.rows = idx.len();
+    for s in 0..c.cols.len() {
+        if c.filled[s] {
+            out.cols[s] = idx.iter().map(|&r| c.cols[s][r]).collect();
+            out.filled[s] = true;
+        }
+    }
+    out
+}
+
+/// Route one popped chunk through the slice gate: rows whose key slice
+/// is already published go to `admitted`; the rest are buffered per
+/// slice (arrival order preserved) until their slice publishes.
+fn route_by_slice(
+    chunk: Chunk,
+    key: Slot,
+    published: u32,
+    slices: u32,
+    admitted: &mut Vec<Chunk>,
+    pending: &mut [VecDeque<Chunk>],
+) {
+    if chunk.rows == 0 {
+        return;
+    }
+    let slice_of: Vec<u32> = chunk.cols[key]
+        .iter()
+        .map(|&k| SimHashTable::slice_of(k, slices))
+        .collect();
+    if published >= slices || slice_of.iter().all(|&s| s < published) {
+        admitted.push(chunk);
+        return;
+    }
+    // One group per unpublished slice plus one for the admissible rows.
+    let adm = slices as usize;
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); adm + 1];
+    for (r, &s) in slice_of.iter().enumerate() {
+        let g = if s < published { adm } else { s as usize };
+        groups[g].push(r);
+    }
+    for (g, idx) in groups.iter().enumerate() {
+        if idx.is_empty() {
+            continue;
+        }
+        let sub = select_rows(&chunk, idx);
+        if g == adm {
+            admitted.push(sub);
+        } else {
+            pending[g].push_back(sub);
+        }
+    }
+}
+
 /// A fused probe kernel: pops chunks, probes (+ fused maps), pushes.
+/// With a [`Gate`] attached it is the consumer side of an inter-segment
+/// edge and admits rows slice by slice as the build terminal publishes.
 struct ProbeSource {
     steps: Vec<ExecStep>,
     ship: Vec<Slot>,
@@ -289,15 +377,25 @@ struct ProbeSource {
     out_row_bytes: u64,
     packet_bytes: u32,
     wavefront: u64,
+    /// See [`take_chunks`]: `usize::MAX` sequentially, [`FUSED_UNIT_ROWS`]
+    /// inside a fused launch.
+    unit_rows_cap: usize,
+    gate: Option<Gate>,
 }
 
 /// Pop as many whole chunks as the channel's available packets and the
 /// output budget allow. Returns (chunks, packets popped) or None.
+/// `rows_cap` bounds the unit's row count (the first chunk is always
+/// taken so progress never stalls): sequential stages pass `usize::MAX`,
+/// fused launches [`FUSED_UNIT_ROWS`] — without the cap, a kernel
+/// starved of a dispatch lane gulps its whole backlog into one monster
+/// unit whose serial latency then fattens every downstream unit in turn.
 fn take_chunks(
     view: &dyn ChannelView,
     input: ChannelId,
     in_q: &DataQ,
     out_budget: Option<(u64, u64, u32)>, // (space, out_row_bytes, packet_bytes)
+    rows_cap: usize,
 ) -> Option<(Vec<Chunk>, u64)> {
     let mut budget_in = view.available(input);
     if budget_in == 0 {
@@ -312,6 +410,9 @@ fn take_chunks(
             break;
         };
         if *packets > budget_in {
+            break;
+        }
+        if !chunks.is_empty() && rows + chunk.rows > rows_cap {
             break;
         }
         if let Some((space, w, p)) = out_budget {
@@ -362,10 +463,149 @@ fn concat(mut chunks: Vec<Chunk>) -> Chunk {
     merged
 }
 
+impl ProbeSource {
+    /// Slice-gated admission (the consumer end of an inter-segment
+    /// edge). Each quantum: (1) drain publication records, verifying the
+    /// in-order protocol and each slice's checksum against the shared
+    /// table; (2) admit buffered chunks of newly published slices, in
+    /// slice order, within the conservative output budget; (3) pop fresh
+    /// input chunks and route their rows by key slice. Admitted rows run
+    /// the fused steps exactly as the ungated path does.
+    fn next_gated(&mut self, view: &dyn ChannelView) -> Work {
+        let gate = self.gate.as_mut().expect("gated probe");
+        let mut pub_popped = 0u64;
+        {
+            let avail = view.available(gate.pub_in);
+            let mut q = gate.pub_q.borrow_mut();
+            while pub_popped < avail {
+                let Some((rec, packets, sum)) = q.pop_front() else {
+                    break;
+                };
+                assert_eq!(
+                    chunk_checksum(&rec),
+                    sum,
+                    "channel chunk corrupted in transit on channel {:?}",
+                    gate.pub_in
+                );
+                pub_popped += packets;
+                let slice = rec.cols[0][0] as u32;
+                assert_eq!(
+                    slice, gate.published,
+                    "slice published out of order (a slice was dropped or double-published)"
+                );
+                let want = rec.cols[2][0] as u64;
+                let got = gate.table.borrow().slice_checksum(slice, gate.slices);
+                assert_eq!(
+                    got, want,
+                    "published slice {slice} diverges from the shared hash table"
+                );
+                gate.published += 1;
+            }
+        }
+        // Admit pending chunks of published slices, oldest slice first.
+        let space = view.space(self.out);
+        let mut admitted: Vec<Chunk> = Vec::new();
+        let mut budget_rows = 0usize;
+        'pend: for s in 0..gate.published as usize {
+            while let Some(c) = gate.pending[s].front() {
+                if packets_for(budget_rows + c.rows, self.out_row_bytes, self.packet_bytes) > space
+                    || (budget_rows > 0 && budget_rows + c.rows > self.unit_rows_cap)
+                {
+                    break 'pend;
+                }
+                budget_rows += c.rows;
+                admitted.push(gate.pending[s].pop_front().expect("front exists"));
+            }
+        }
+        // Fresh input chunks, routed per key slice.
+        let mut data_popped = 0u64;
+        let mut routed_rows = 0u64;
+        {
+            let mut avail_in = view.available(self.input);
+            let mut q = self.in_q.borrow_mut();
+            let mut fresh = 0;
+            while fresh < MAX_CHUNKS_PER_UNIT {
+                let Some((c, packets, _)) = q.front() else {
+                    break;
+                };
+                if *packets > avail_in
+                    || packets_for(budget_rows + c.rows, self.out_row_bytes, self.packet_bytes)
+                        > space
+                    || (budget_rows > 0 && budget_rows + c.rows > self.unit_rows_cap)
+                {
+                    break;
+                }
+                avail_in -= *packets;
+                data_popped += *packets;
+                let (chunk, _, sum) = q.pop_front().expect("front exists");
+                assert_eq!(
+                    chunk_checksum(&chunk),
+                    sum,
+                    "channel chunk corrupted in transit on channel {:?}",
+                    self.input
+                );
+                budget_rows += chunk.rows;
+                routed_rows += chunk.rows as u64;
+                fresh += 1;
+                route_by_slice(
+                    chunk,
+                    gate.key,
+                    gate.published,
+                    gate.slices,
+                    &mut admitted,
+                    &mut gate.pending,
+                );
+            }
+        }
+        if admitted.is_empty() {
+            if pub_popped == 0 && data_popped == 0 {
+                let drained = view.eof(self.input)
+                    && self.in_q.borrow().is_empty()
+                    && gate.published == gate.slices
+                    && gate.pending.iter().all(VecDeque::is_empty);
+                return if drained { Work::Done } else { Work::Wait };
+            }
+            // Routing-only quantum: packets consumed, no rows admissible.
+            return Work::Unit(
+                WorkUnit {
+                    compute_insts: (routed_rows * 2).div_ceil(self.wavefront).max(1),
+                    ..Default::default()
+                }
+                .pop(self.input, data_popped)
+                .pop(gate.pub_in, pub_popped),
+            );
+        }
+        let merged = concat(admitted);
+        let mut acc = Vec::new();
+        let mut compute = routed_rows * 2; // slice-routing cost
+        let mut mem = 0u64;
+        let mut out = apply_steps(&self.steps, merged, &mut acc, &mut compute, &mut mem);
+        let mut unit = WorkUnit {
+            compute_insts: compute.div_ceil(self.wavefront).max(1),
+            mem_insts: mem.div_ceil(self.wavefront),
+            accesses: acc,
+            ..Default::default()
+        }
+        .pop(self.input, data_popped)
+        .pop(gate.pub_in, pub_popped);
+        if out.rows > 0 {
+            project_to(&mut out, &self.ship);
+            let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
+            let sum = chunk_checksum(&out);
+            self.out_q.borrow_mut().push_back((out, packets, sum));
+            unit = unit.push(self.out, packets);
+        }
+        Work::Unit(unit)
+    }
+}
+
 impl gpl_sim::WorkSource for ProbeSource {
     fn next(&mut self, view: &dyn ChannelView) -> Work {
+        if self.gate.is_some() {
+            return self.next_gated(view);
+        }
         let out_budget = Some((view.space(self.out), self.out_row_bytes, self.packet_bytes));
-        match take_chunks(view, self.input, &self.in_q, out_budget) {
+        match take_chunks(view, self.input, &self.in_q, out_budget, self.unit_rows_cap) {
             None => {
                 if view.eof(self.input) && self.in_q.borrow().is_empty() {
                     Work::Done
@@ -422,11 +662,14 @@ struct TermSource {
     per_row_compute: u64,
     per_row_mem: u64,
     wavefront: u64,
+    /// See [`take_chunks`]: `usize::MAX` sequentially, [`FUSED_UNIT_ROWS`]
+    /// inside a fused launch.
+    unit_rows_cap: usize,
 }
 
 impl gpl_sim::WorkSource for TermSource {
     fn next(&mut self, view: &dyn ChannelView) -> Work {
-        match take_chunks(view, self.input, &self.in_q, None) {
+        match take_chunks(view, self.input, &self.in_q, None, self.unit_rows_cap) {
             None => {
                 if view.eof(self.input) && self.in_q.borrow().is_empty() {
                     Work::Done
@@ -483,13 +726,159 @@ impl gpl_sim::WorkSource for TermSource {
     }
 }
 
-/// Run one stage as a GPL pipeline, launching the kernels and channels
-/// its lowered [`SegmentIr`] describes (`ir` must be the lowering of
-/// `stage` at this context's wavefront). The channel pipeline is the
-/// only execution path whose kernels can block on each other, so it is
-/// the only one that can deadlock — hence the `Result`; KBE and replay
-/// kernels never return `Work::Wait` and stay infallible.
-pub(crate) fn run_stage(
+/// The pipelined hash-build terminal (the producer end of an
+/// [`InterSegmentEdge`]): while its input streams, rows are *staged* to
+/// a scratch region with cheap sequential writes — none of the random
+/// bucket traffic yet. Once the input drains, the staged rows are
+/// partitioned by [`SimHashTable::slice_of`] (arrival order preserved
+/// inside each slice) and installed one slice per work unit, paying the
+/// same per-row bucket traffic the sequential terminal pays plus a
+/// read-back of the staged entries. Each completed slice is published
+/// through the inter-segment channel as a one-packet record
+/// `[slice, rows, slice_checksum]` so the consumer can verify it saw
+/// exactly the slice the builder installed.
+/// One staged build entry: `(key, payload values)`.
+type StagedRow = (i64, Vec<i64>);
+
+struct BuildPublishSource {
+    table: Rc<RefCell<SimHashTable>>,
+    key: Slot,
+    payloads: Vec<Slot>,
+    input: ChannelId,
+    in_q: DataQ,
+    per_row_compute: u64,
+    per_row_mem: u64,
+    wavefront: u64,
+    slices: u32,
+    /// Arrival-order staged rows: (key, payload values).
+    staged: Vec<StagedRow>,
+    stage_base: u64,
+    entry_bytes: u64,
+    /// Set once the input has drained: per-slice row partitions.
+    parts: Option<Vec<Vec<StagedRow>>>,
+    next_slice: u32,
+    /// Rows installed so far (staging read-back offset).
+    installed: u64,
+    out: ChannelId,
+    out_q: DataQ,
+}
+
+impl gpl_sim::WorkSource for BuildPublishSource {
+    fn next(&mut self, view: &dyn ChannelView) -> Work {
+        if self.parts.is_none() {
+            match take_chunks(view, self.input, &self.in_q, None, FUSED_UNIT_ROWS) {
+                Some((chunks, popped)) => {
+                    let mut rows = 0usize;
+                    let offset = self.staged.len() as u64;
+                    for c in &chunks {
+                        rows += c.rows;
+                        for r in 0..c.rows {
+                            let pay: Vec<i64> =
+                                self.payloads.iter().map(|&p| c.cols[p][r]).collect();
+                            self.staged.push((c.cols[self.key][r], pay));
+                        }
+                    }
+                    // Staging detour: sequential append of (key, payload)
+                    // entries.
+                    return Work::Unit(
+                        WorkUnit {
+                            compute_insts: (rows as u64 * 2 * ops::INST_EXPANSION)
+                                .div_ceil(self.wavefront)
+                                .max(1),
+                            mem_insts: (rows as u64 * (1 + self.payloads.len() as u64))
+                                .div_ceil(self.wavefront),
+                            accesses: vec![MemRange::write(
+                                self.stage_base + offset * self.entry_bytes,
+                                rows as u64 * self.entry_bytes,
+                            )],
+                            ..Default::default()
+                        }
+                        .pop(self.input, popped),
+                    );
+                }
+                None => {
+                    if !(view.eof(self.input) && self.in_q.borrow().is_empty()) {
+                        return Work::Wait;
+                    }
+                    // Input drained: partition the staged rows into their
+                    // deterministic slices and switch to installation.
+                    let mut parts: Vec<Vec<StagedRow>> =
+                        (0..self.slices).map(|_| Vec::new()).collect();
+                    for (k, pay) in self.staged.drain(..) {
+                        parts[SimHashTable::slice_of(k, self.slices) as usize].push((k, pay));
+                    }
+                    self.parts = Some(parts);
+                }
+            }
+        }
+        // Installation: one slice per work unit, then its publication
+        // record. Publishing strictly in slice order is what lets the
+        // consumer hold a single high-water-mark counter.
+        if self.next_slice == self.slices {
+            return Work::Done;
+        }
+        if view.space(self.out) < 1 {
+            return Work::Wait;
+        }
+        let s = self.next_slice;
+        let rows = std::mem::take(&mut self.parts.as_mut().expect("installing")[s as usize]);
+        let nrows = rows.len() as u64;
+        let mut acc = Vec::new();
+        if nrows > 0 {
+            // Read back the slice's staged entries (the partition pass
+            // compacted them, so one contiguous run per slice).
+            acc.push(MemRange::read(
+                self.stage_base + self.installed * self.entry_bytes,
+                nrows * self.entry_bytes,
+            ));
+            let mut t = self.table.borrow_mut();
+            for (k, pay) in &rows {
+                t.insert(*k, pay, &mut acc);
+            }
+        }
+        let sum = self.table.borrow().slice_checksum(s, self.slices);
+        let mut rec = Chunk::new(3);
+        rec.fill(0, vec![s as i64]);
+        rec.fill(1, vec![nrows as i64]);
+        rec.fill(2, vec![sum as i64]);
+        let rsum = chunk_checksum(&rec);
+        self.out_q.borrow_mut().push_back((rec, 1, rsum));
+        self.installed += nrows;
+        self.next_slice += 1;
+        // Per-row install cost as the sequential terminal, plus the
+        // checksum sweep over the slice's entries.
+        Work::Unit(
+            WorkUnit {
+                compute_insts: (nrows * self.per_row_compute)
+                    .div_ceil(self.wavefront)
+                    .max(1)
+                    + (nrows * 2).div_ceil(self.wavefront),
+                mem_insts: (nrows * self.per_row_mem).div_ceil(self.wavefront),
+                accesses: acc,
+                ..Default::default()
+            }
+            .push(self.out, 1),
+        )
+    }
+}
+
+/// Inter-segment plumbing handed to [`stage_kernels`] for the producer
+/// (build) side of a fused pair.
+struct PublishSide {
+    slices: u32,
+    out: ChannelId,
+    out_q: DataQ,
+    /// Base address of the staging scratch region.
+    stage_base: u64,
+}
+
+/// Assemble one stage's kernels wired to freshly created channels —
+/// everything [`run_stage`] does short of launching. `segment` tags each
+/// kernel for fused multi-segment launches; `publish` swaps the blocking
+/// hash-build terminal for the slice-publishing variant, and `gate`
+/// attaches slice-gated admission to the kernel at the given node index.
+#[allow(clippy::too_many_arguments)]
+fn stage_kernels(
     ctx: &mut ExecContext,
     ir: &SegmentIr,
     stage: &Stage,
@@ -497,7 +886,11 @@ pub(crate) fn run_stage(
     build: Option<&Rc<RefCell<SimHashTable>>>,
     agg: Option<&Rc<RefCell<GroupStore>>>,
     cfg: &StageConfig,
-) -> Result<LaunchProfile, ExecError> {
+    segment: u32,
+    unit_rows_cap: usize,
+    publish: Option<PublishSide>,
+    mut gate: Option<(usize, Gate)>,
+) -> Result<Vec<KernelDesc>, ExecError> {
     let spec = ctx.sim.spec().clone();
     let wavefront = spec.wavefront_size;
     ir.validate_config(cfg).map_err(ExecError::InvalidConfig)?;
@@ -565,56 +958,88 @@ pub(crate) fn run_stage(
                 wavefront: wavefront as u64,
             }),
         )
-        .writes_channel(channels[0]),
+        .writes_channel(channels[0])
+        .in_segment(segment),
     );
 
     for g in 1..num_edges {
         let node = &ir.nodes[g];
-        kernels.push(
-            KernelDesc::new(
-                node.name.clone(),
-                node.resources,
-                cfg.wg_counts[g],
-                Box::new(ProbeSource {
-                    steps: node
-                        .ops
-                        .iter()
-                        .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
-                        .collect(),
-                    ship: ir.edges[g].ship.clone(),
-                    input: channels[g - 1],
-                    in_q: queues[g - 1].clone(),
-                    out: channels[g],
-                    out_q: queues[g].clone(),
-                    out_row_bytes: ir.edges[g].row_bytes,
-                    packet_bytes: cfg.packet_bytes,
-                    wavefront: wavefront as u64,
-                }),
-            )
-            .reads_channel(channels[g - 1])
-            .writes_channel(channels[g]),
-        );
+        let gated_here = matches!(&gate, Some((gk, _)) if *gk == g);
+        let this_gate = if gated_here {
+            gate.take().map(|(_, g)| g)
+        } else {
+            None
+        };
+        let pub_in = this_gate.as_ref().map(|g| g.pub_in);
+        let mut kd = KernelDesc::new(
+            node.name.clone(),
+            node.resources,
+            cfg.wg_counts[g],
+            Box::new(ProbeSource {
+                steps: node
+                    .ops
+                    .iter()
+                    .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
+                    .collect(),
+                ship: ir.edges[g].ship.clone(),
+                input: channels[g - 1],
+                in_q: queues[g - 1].clone(),
+                out: channels[g],
+                out_q: queues[g].clone(),
+                out_row_bytes: ir.edges[g].row_bytes,
+                packet_bytes: cfg.packet_bytes,
+                wavefront: wavefront as u64,
+                unit_rows_cap,
+                gate: this_gate,
+            }),
+        )
+        .reads_channel(channels[g - 1])
+        .writes_channel(channels[g])
+        .in_segment(segment);
+        if let Some(ch) = pub_in {
+            kd = kd.reads_channel(ch);
+        }
+        kernels.push(kd);
     }
+    debug_assert!(gate.is_none(), "gated kernel index not found in stage");
 
-    let exec = match &stage.terminal {
-        Terminal::HashBuild { key, payloads, .. } => TermExec::Build {
+    let last = num_edges - 1;
+    let term = ir.nodes.last().expect("terminal node");
+    let publish_out = publish.as_ref().map(|p| p.out);
+    let term_source: Box<dyn gpl_sim::WorkSource> = match (&stage.terminal, publish) {
+        (Terminal::HashBuild { key, payloads, .. }, Some(p)) => Box::new(BuildPublishSource {
             table: build.expect("build target").clone(),
             key: *key,
             payloads: payloads.clone(),
-        },
-        Terminal::Aggregate { groups, aggs } => TermExec::Aggregate {
-            store: agg.expect("aggregate store").clone(),
-            groups: groups.clone(),
-            aggs: aggs.clone(),
-        },
-    };
-    let last = num_edges - 1;
-    let term = ir.nodes.last().expect("terminal node");
-    kernels.push(
-        KernelDesc::new(
-            term.name.clone(),
-            term.resources,
-            cfg.wg_counts[num_kernels - 1],
+            input: channels[last],
+            in_q: queues[last].clone(),
+            per_row_compute: term.per_row_compute,
+            per_row_mem: term.per_row_mem,
+            wavefront: wavefront as u64,
+            slices: p.slices,
+            staged: Vec::new(),
+            stage_base: p.stage_base,
+            entry_bytes: 8 * (1 + payloads.len() as u64),
+            parts: None,
+            next_slice: 0,
+            installed: 0,
+            out: p.out,
+            out_q: p.out_q,
+        }),
+        (_, Some(_)) => unreachable!("publishing requires a hash-build terminal"),
+        (terminal, None) => {
+            let exec = match terminal {
+                Terminal::HashBuild { key, payloads, .. } => TermExec::Build {
+                    table: build.expect("build target").clone(),
+                    key: *key,
+                    payloads: payloads.clone(),
+                },
+                Terminal::Aggregate { groups, aggs } => TermExec::Aggregate {
+                    store: agg.expect("aggregate store").clone(),
+                    groups: groups.clone(),
+                    aggs: aggs.clone(),
+                },
+            };
             Box::new(TermSource {
                 exec,
                 input: channels[last],
@@ -622,11 +1047,164 @@ pub(crate) fn run_stage(
                 per_row_compute: term.per_row_compute,
                 per_row_mem: term.per_row_mem,
                 wavefront: wavefront as u64,
-            }),
-        )
-        .reads_channel(channels[last]),
-    );
+                unit_rows_cap,
+            })
+        }
+    };
+    let mut kd = KernelDesc::new(
+        term.name.clone(),
+        term.resources,
+        cfg.wg_counts[num_kernels - 1],
+        term_source,
+    )
+    .reads_channel(channels[last])
+    .in_segment(segment);
+    if let Some(ch) = publish_out {
+        kd = kd.writes_channel(ch);
+    }
+    kernels.push(kd);
 
+    Ok(kernels)
+}
+
+/// Run one stage as a GPL pipeline, launching the kernels and channels
+/// its lowered [`SegmentIr`] describes (`ir` must be the lowering of
+/// `stage` at this context's wavefront). The channel pipeline is the
+/// only execution path whose kernels can block on each other, so it is
+/// the only one that can deadlock — hence the `Result`; KBE and replay
+/// kernels never return `Work::Wait` and stay infallible.
+pub(crate) fn run_stage(
+    ctx: &mut ExecContext,
+    ir: &SegmentIr,
+    stage: &Stage,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    build: Option<&Rc<RefCell<SimHashTable>>>,
+    agg: Option<&Rc<RefCell<GroupStore>>>,
+    cfg: &StageConfig,
+) -> Result<LaunchProfile, ExecError> {
+    let kernels = stage_kernels(
+        ctx,
+        ir,
+        stage,
+        hts,
+        build,
+        agg,
+        cfg,
+        0,
+        usize::MAX,
+        None,
+        None,
+    )?;
+    ctx.run_kernels(kernels)
+}
+
+/// Run an eligible build→probe stage pair as ONE fused launch
+/// (cross-segment pipelining): the build stage's kernels carry segment
+/// tag 0 and its terminal publishes the shared hash table slice by
+/// slice; the probe stage's kernels carry tag 1, with the paired probe
+/// kernel gated on published slices. Row results are bit-identical to
+/// running the stages sequentially — terminals are order-insensitive,
+/// so gating-induced reordering cannot change them — while the probe
+/// leaf's scan and the early slices' probes overlap the build tail.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_overlapped_pair(
+    ctx: &mut ExecContext,
+    edge: &InterSegmentEdge,
+    ir_b: &SegmentIr,
+    stage_b: &Stage,
+    cfg_b: &StageConfig,
+    ir_p: &SegmentIr,
+    stage_p: &Stage,
+    cfg_p: &StageConfig,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    shared: &Rc<RefCell<SimHashTable>>,
+    probe_build: Option<&Rc<RefCell<SimHashTable>>>,
+    agg: Option<&Rc<RefCell<GroupStore>>>,
+) -> Result<LaunchProfile, ExecError> {
+    let slices = edge.slices.max(1);
+    // The publication channel: one port, one packet per slice record.
+    let pub_ch = ctx
+        .sim
+        .create_channel_with_capacity(1, cfg_b.packet_bytes, slices.max(64));
+    let pub_q: DataQ = Rc::new(RefCell::new(VecDeque::new()));
+    // Staging scratch for the publish-side terminal, bounded by the
+    // driver's row count (every scanned row might reach the build).
+    let Terminal::HashBuild { payloads, .. } = &stage_b.terminal else {
+        unreachable!("pair build stage must end in a hash build");
+    };
+    let entry_bytes = 8 * (1 + payloads.len() as u64);
+    let bound = ctx.db.table(&stage_b.driver).rows() as u64;
+    let region = ctx.sim.mem.alloc(
+        (bound * entry_bytes).max(8),
+        RegionClass::Scratch,
+        format!("{}::stage-slices", ir_b.stage),
+    );
+    let stage_base = ctx.sim.mem.base(region);
+
+    // The fused launch allocates residency (Eq. 2) across BOTH segments
+    // once, so every work-group slot the build side claims is a slot the
+    // probe side keeps losing even after the build drains. The build is
+    // the minority partner — it overlaps the probe's leaf rather than
+    // racing it — so cap its wg counts at one work-group per CU and let
+    // the probe segment keep its near-solo residency share.
+    let mut cfg_b_fused = cfg_b.clone();
+    for wg in &mut cfg_b_fused.wg_counts {
+        *wg = (*wg).min(ctx.sim.spec().num_cus);
+    }
+    let mut kernels = stage_kernels(
+        ctx,
+        ir_b,
+        stage_b,
+        hts,
+        Some(shared),
+        None,
+        &cfg_b_fused,
+        0,
+        FUSED_UNIT_ROWS,
+        Some(PublishSide {
+            slices,
+            out: pub_ch,
+            out_q: pub_q.clone(),
+            stage_base,
+        }),
+        None,
+    )?;
+
+    // The probe side resolves the pair's table to the shared (still
+    // installing) instance.
+    let mut hts_p: Vec<Option<Rc<RefCell<SimHashTable>>>> = hts.to_vec();
+    hts_p[edge.ht] = Some(shared.clone());
+    let gk = ir_p
+        .nodes
+        .iter()
+        .position(|n| n.ops.first() == Some(&edge.probe_op))
+        .expect("paired probe starts a kernel");
+    let key = match &stage_p.ops[edge.probe_op] {
+        PipeOp::Probe { key, .. } => *key,
+        _ => unreachable!("paired op is a probe"),
+    };
+    let gate = Gate {
+        table: shared.clone(),
+        key,
+        slices,
+        published: 0,
+        pub_in: pub_ch,
+        pub_q,
+        pending: (0..slices).map(|_| VecDeque::new()).collect(),
+    };
+    kernels.extend(stage_kernels(
+        ctx,
+        ir_p,
+        stage_p,
+        &hts_p,
+        probe_build,
+        agg,
+        cfg_p,
+        1,
+        FUSED_UNIT_ROWS,
+        None,
+        Some((gk, gate)),
+    )?);
     ctx.run_kernels(kernels)
 }
 
@@ -712,6 +1290,62 @@ mod tests {
         let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
         let want = gpl_tpch::reference::q14(&ctx.db, params);
         assert_eq!(got, want.rows);
+    }
+
+    #[test]
+    fn q14_overlapped_pair_matches_reference_for_every_k() {
+        let params = Q14Params::default();
+        for k in [1u32, 2, 4, 8] {
+            let mut ctx = ctx();
+            let plan = q14_plan(&ctx.db, params);
+            let pairs = crate::segment::overlap_pairs(&plan.stages);
+            assert_eq!(pairs.len(), 1, "q14 has exactly one eligible pair");
+            let table_bytes = ctx.db.part.rows() as u64 * 16;
+            let edge = pairs[0].clone().with_slices(k, table_bytes);
+            let ht = Rc::new(RefCell::new(SimHashTable::new(
+                &mut ctx.sim.mem,
+                ctx.db.part.rows(),
+                1,
+                "part",
+            )));
+            let agg = Rc::new(RefCell::new(GroupStore::new(
+                &mut ctx.sim.mem,
+                4,
+                0,
+                2,
+                "t",
+            )));
+            let (s0, s1) = (&plan.stages[0], &plan.stages[1]);
+            let (ir0, ir1) = (ir_for(&ctx, s0), ir_for(&ctx, s1));
+            let hts: Vec<Option<Rc<RefCell<SimHashTable>>>> = vec![None];
+            let p = run_overlapped_pair(
+                &mut ctx,
+                &edge,
+                &ir0,
+                s0,
+                &cfg(s0),
+                &ir1,
+                s1,
+                &cfg(s1),
+                &hts,
+                &ht,
+                None,
+                Some(&agg),
+            )
+            .unwrap();
+            assert_eq!(ht.borrow().len(), ctx.db.part.rows());
+            let got = Rc::try_unwrap(agg).unwrap().into_inner().into_rows();
+            let want = gpl_tpch::reference::q14(&ctx.db, params);
+            assert_eq!(got, want.rows, "fused K={k} must match the reference");
+            // Both segments ran inside the one launch and their kernel
+            // activity genuinely interleaved.
+            assert!(p.segment_window(0).is_some());
+            assert!(p.segment_window(1).is_some());
+            assert!(
+                p.overlap_cycles(0, 1) > 0,
+                "K={k}: probe segment must start before the build segment ends"
+            );
+        }
     }
 
     #[test]

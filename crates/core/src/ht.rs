@@ -89,6 +89,46 @@ impl SimHashTable {
         acc.push(self.bucket_access(key));
         self.map.get(&key).map(|v| v.as_slice())
     }
+
+    /// Which of `slices` deterministic installation slices `key` belongs
+    /// to. Both ends of an inter-segment edge (the publishing build
+    /// terminal and the slice-gated probe) call this one function, so
+    /// slice membership agrees by construction.
+    #[inline]
+    pub fn slice_of(key: i64, slices: u32) -> u32 {
+        (mix64(key as u64) % slices.max(1) as u64) as u32
+    }
+
+    /// FNV-1a over the `(key, payload)` entries of `slice`, in sorted
+    /// key order — the per-slice content checksum the overlap protocol
+    /// publishes with each installed slice and re-derives at the gate.
+    /// A mismatch means the shared table diverged from what the build
+    /// terminal installed (a dropped or double-published slice).
+    pub fn slice_checksum(&self, slice: u32, slices: u32) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut keys: Vec<i64> = self
+            .map
+            .keys()
+            .copied()
+            .filter(|&k| Self::slice_of(k, slices) == slice)
+            .collect();
+        keys.sort_unstable();
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for k in keys {
+            mix(k as u64);
+            for &p in &self.map[&k] {
+                mix(p as u64);
+            }
+        }
+        h
+    }
 }
 
 /// Aggregate function kinds supported by the group store.
@@ -287,6 +327,42 @@ mod tests {
         assert!(
             g.into_rows().is_empty(),
             "grouped empty input has no groups"
+        );
+    }
+
+    #[test]
+    fn slices_partition_the_table_and_checksums_pin_content() {
+        let mut mem = MemoryMap::new();
+        let mut ht = SimHashTable::new(&mut mem, 64, 1, "t");
+        let mut acc = Vec::new();
+        for k in 0..64i64 {
+            ht.insert(k, &[k * 10], &mut acc);
+        }
+        // Every key lands in exactly one of K slices.
+        for slices in [1u32, 2, 8] {
+            let mut count = 0usize;
+            for s in 0..slices {
+                count += (0..64i64)
+                    .filter(|&k| SimHashTable::slice_of(k, slices) == s)
+                    .count();
+            }
+            assert_eq!(count, 64);
+        }
+        // Checksums are pure, slice-local, and content-sensitive.
+        let sum = ht.slice_checksum(0, 2);
+        assert_eq!(sum, ht.slice_checksum(0, 2));
+        assert_ne!(sum, ht.slice_checksum(1, 2), "slices differ in content");
+        let mut ht2 = SimHashTable::new(&mut mem, 64, 1, "t2");
+        for k in 0..64i64 {
+            let pay = if k == 7 { 999 } else { k * 10 };
+            ht2.insert(k, &[pay], &mut acc);
+        }
+        let s7 = SimHashTable::slice_of(7, 2);
+        assert_ne!(ht.slice_checksum(s7, 2), ht2.slice_checksum(s7, 2));
+        assert_eq!(
+            ht.slice_checksum(1 - s7, 2),
+            ht2.slice_checksum(1 - s7, 2),
+            "the untouched slice checksums identically"
         );
     }
 

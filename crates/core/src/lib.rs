@@ -47,4 +47,6 @@ pub use expr::{CmpOp, Expr, Pred, Slot};
 pub use ht::AggKind;
 pub use plan::{plan_for, Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal};
 pub use recover::{RecoveryPolicy, RecoveryStats};
-pub use segment::{ChannelEdge, KernelFlavour, KernelNode, LeafColumn, SegmentIr};
+pub use segment::{
+    overlap_pairs, ChannelEdge, InterSegmentEdge, KernelFlavour, KernelNode, LeafColumn, SegmentIr,
+};

@@ -82,6 +82,12 @@ impl RecoveryPolicy {
             return vec![mode];
         }
         match mode {
+            ExecMode::GplPipelined => vec![
+                ExecMode::GplPipelined,
+                ExecMode::Gpl,
+                ExecMode::GplNoCe,
+                ExecMode::Kbe,
+            ],
             ExecMode::Gpl => vec![ExecMode::Gpl, ExecMode::GplNoCe, ExecMode::Kbe],
             ExecMode::GplNoCe => vec![ExecMode::GplNoCe, ExecMode::Kbe],
             ExecMode::Kbe => vec![ExecMode::Kbe],
@@ -140,6 +146,15 @@ mod tests {
     #[test]
     fn ladder_degrades_toward_kbe() {
         let p = RecoveryPolicy::default();
+        assert_eq!(
+            p.ladder(ExecMode::GplPipelined),
+            vec![
+                ExecMode::GplPipelined,
+                ExecMode::Gpl,
+                ExecMode::GplNoCe,
+                ExecMode::Kbe
+            ]
+        );
         assert_eq!(
             p.ladder(ExecMode::Gpl),
             vec![ExecMode::Gpl, ExecMode::GplNoCe, ExecMode::Kbe]

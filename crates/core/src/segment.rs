@@ -404,6 +404,96 @@ impl SegmentIr {
     }
 }
 
+/// An inter-segment channel (the cross-segment pipelining extension):
+/// the blocking hash-build terminal of `build_stage` publishes its hash
+/// table in `slices` deterministic slices, and the paired probe kernel
+/// of `probe_stage` admits rows against published slices only — so the
+/// consumer segment's leaf can start tiling while later slices are still
+/// installing. Sits *alongside* [`ChannelEdge`]: channel edges connect
+/// kernels within a segment, inter-segment edges connect the terminal of
+/// one segment to a probe of the next.
+///
+/// Slice assignment is [`crate::ht::SimHashTable::slice_of`] (splitmix64
+/// over the key, mod `slices`) on both ends, so publisher and gate agree
+/// on slice membership by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterSegmentEdge {
+    /// Stage whose hash-build terminal produces the shared table.
+    pub build_stage: usize,
+    /// Stage whose probe consumes it (always `build_stage + 1`).
+    pub probe_stage: usize,
+    /// The shared hash-table slot.
+    pub ht: usize,
+    /// Index (into the probe stage's `ops`) of the paired probe. Always
+    /// `> 0`: the probe starts its own kernel, which is the gated one.
+    pub probe_op: usize,
+    /// Number of deterministic installation slices (K). `overlap_pairs`
+    /// leaves this at 1; the scheduler re-slices from the build stage's
+    /// configured `overlap_slices` knob.
+    pub slices: u32,
+    /// Estimated bytes published per slice (`ht bytes / slices`), filled
+    /// in by [`InterSegmentEdge::with_slices`].
+    pub slice_bytes: u64,
+}
+
+impl InterSegmentEdge {
+    /// Re-slice the edge: `slices = k`, `slice_bytes = table_bytes / k`.
+    pub fn with_slices(mut self, k: u32, table_bytes: u64) -> Self {
+        let k = k.max(1);
+        self.slices = k;
+        self.slice_bytes = table_bytes.div_ceil(k as u64);
+        self
+    }
+}
+
+/// Detect the build→probe stage pairs eligible for cross-segment
+/// overlap. A pair is two *adjacent* stages where stage `i` ends in a
+/// `HashBuild{ht}` terminal and stage `i + 1` probes that `ht` exactly
+/// once, at an op index `> 0` (so the paired probe starts its own
+/// kernel under [`fusion_groups`] and can be slice-gated without
+/// touching the leaf's tile loop). Every other hash table stage `i + 1`
+/// probes was built *before* stage `i`, so overlapping the pair is
+/// always safe. Pairs are chosen greedily left to right and never
+/// share a stage.
+///
+/// This is the single structural derivation the scheduler, the cost
+/// model's overlap predicate, and the IR drift guard all consume —
+/// agreement by construction, like the rest of the segment IR.
+pub fn overlap_pairs(stages: &[Stage]) -> Vec<InterSegmentEdge> {
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i + 1 < stages.len() {
+        let Terminal::HashBuild { ht, .. } = &stages[i].terminal else {
+            i += 1;
+            continue;
+        };
+        let probes: Vec<usize> = stages[i + 1]
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(op, p)| match p {
+                PipeOp::Probe { ht: h, .. } if h == ht => Some(op),
+                _ => None,
+            })
+            .collect();
+        match probes.as_slice() {
+            [op] if *op > 0 => {
+                pairs.push(InterSegmentEdge {
+                    build_stage: i,
+                    probe_stage: i + 1,
+                    ht: *ht,
+                    probe_op: *op,
+                    slices: 1,
+                    slice_bytes: 0,
+                });
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    pairs
+}
+
 /// GPL kernel fusion (Section 3.2): the leaf `k_map` kernel absorbs the
 /// scan and every leading non-probe op; each hash probe starts a new
 /// kernel and absorbs the non-probe ops that follow it — except the
@@ -563,6 +653,57 @@ mod tests {
         for (i, _) in ir.edges.iter().enumerate() {
             assert!(r.contains(&format!("e{i}:")), "missing edge {i}: {r}");
         }
+    }
+
+    #[test]
+    fn q14_pairs_build_part_with_probe_lineitem() {
+        let db = db();
+        let plan = q14_plan(&db, Q14Params::default());
+        let pairs = overlap_pairs(&plan.stages);
+        assert_eq!(pairs.len(), 1);
+        let p = &pairs[0];
+        assert_eq!((p.build_stage, p.probe_stage), (0, 1));
+        assert_eq!(p.ht, 0);
+        assert!(p.probe_op > 0, "paired probe must start its own kernel");
+        assert!(matches!(
+            plan.stages[1].ops[p.probe_op],
+            PipeOp::Probe { ht: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn overlap_pairs_never_share_a_stage() {
+        let db = db();
+        for q in QueryId::all() {
+            let plan = crate::plan::plan_for(&db, q);
+            let pairs = overlap_pairs(&plan.stages);
+            let mut used = std::collections::HashSet::new();
+            for p in &pairs {
+                assert_eq!(p.probe_stage, p.build_stage + 1, "{}", q.name());
+                assert!(used.insert(p.build_stage), "{}", q.name());
+                assert!(used.insert(p.probe_stage), "{}", q.name());
+                assert!(matches!(
+                    plan.stages[p.build_stage].terminal,
+                    Terminal::HashBuild { ht, .. } if ht == p.ht
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn with_slices_divides_the_table_volume() {
+        let e = InterSegmentEdge {
+            build_stage: 0,
+            probe_stage: 1,
+            ht: 0,
+            probe_op: 1,
+            slices: 1,
+            slice_bytes: 0,
+        }
+        .with_slices(8, 1000);
+        assert_eq!(e.slices, 8);
+        assert_eq!(e.slice_bytes, 125);
+        assert_eq!(e.clone().with_slices(0, 1000).slices, 1, "K floors at 1");
     }
 
     #[test]

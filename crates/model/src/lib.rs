@@ -15,6 +15,9 @@
 //!   costs, combined into the segment time `T_Sk`.
 //! * [`search`] — the pruned parameter search (n in \[1, 16\], wg multiples
 //!   of #CU, the Figure 12 tile grid) with its <5 ms budget.
+//! * [`overlap`] — the cross-segment pipelining predicate: decides per
+//!   eligible build→probe pair whether overlapping the build terminal
+//!   with the probe leaf pays off, and at how many slices K.
 //! * [`error`] — Eq. 10 relative-error validation against the simulator.
 
 pub mod analyze;
@@ -22,6 +25,7 @@ pub mod cost;
 pub mod error;
 pub mod gamma;
 pub mod joinopt;
+pub mod overlap;
 pub mod search;
 pub mod stats;
 
@@ -30,6 +34,7 @@ pub use cost::{allocate_residency, estimate_query, estimate_stage, StageEstimate
 pub use error::{evaluate, relative_error, ModelEval};
 pub use gamma::GammaTable;
 pub use joinopt::optimize_join_order;
+pub use overlap::{attach_overlap, OverlapDecision};
 pub use search::{
     optimize, optimize_models, optimize_models_cached, optimize_models_traced, SearchCache,
     SearchOutcome,

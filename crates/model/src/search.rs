@@ -49,6 +49,15 @@ pub fn wg_multiplier_grid() -> Vec<u32> {
     vec![1, 2, 4, 8, 16]
 }
 
+/// Overlap-slice grid (K) for cross-segment pipelining. This knob sits
+/// next to Δ/n/p/wg but is searched by [`crate::overlap::attach_overlap`]
+/// as a *post-pass* over the already-optimized per-stage configs — the
+/// base search stays byte-identical for the three sequential modes,
+/// which pinned serve fingerprints depend on.
+pub fn slice_grid() -> Vec<u32> {
+    vec![1, 2, 4, 8]
+}
+
 /// Result of optimizing one plan.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -263,6 +272,7 @@ fn optimize_stage(
                     n_channels: n,
                     packet_bytes: p,
                     wg_counts: vec![4 * spec.num_cus; kernels],
+                    overlap_slices: 0,
                 };
                 // Coordinate descent on the per-kernel work-group counts,
                 // which the paper tunes to minimize the delay cost.
@@ -423,6 +433,7 @@ mod tests {
                     n_channels: 1,
                     packet_bytes: 8,
                     wg_counts: vec![spec.num_cus; s.gpl_kernel_names().len()],
+                    overlap_slices: 0,
                 })
                 .collect(),
         };

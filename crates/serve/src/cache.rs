@@ -112,9 +112,17 @@ impl PlanCache {
         let models = build_models(db, &plan, &stats, spec);
         let search_key = format!("{}\u{1f}{normalized}", mode.name());
         let out = optimize_models_cached(spec, gamma, &plan, &models, &self.search, &search_key);
+        let mut config = out.config;
+        // Cross-segment pipelining is a post-pass over the searched
+        // config: only the pipelined mode consults the overlap predicate,
+        // so the three sequential modes' cached outcomes stay
+        // byte-identical to the base search.
+        if mode == ExecMode::GplPipelined {
+            gpl_model::attach_overlap(spec, gamma, &plan, &models, &mut config);
+        }
         let entry = Arc::new(PlanEntry {
             plan,
-            config: out.config,
+            config,
             estimate: out.estimate,
         });
         let mut inner = self.inner.lock().expect("plan cache poisoned");

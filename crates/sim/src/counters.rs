@@ -38,6 +38,10 @@ pub struct KernelProfile {
     pub last_complete: u64,
     /// Observed peak concurrent work-groups (for `a_wg * a_CU`).
     pub peak_inflight: u32,
+    /// Segment tag carried over from [`crate::KernelDesc::segment`]:
+    /// which stage of a fused multi-segment launch this kernel belonged
+    /// to (0 for ordinary launches).
+    pub segment: u32,
 }
 
 impl KernelProfile {
@@ -168,6 +172,75 @@ impl LaunchProfile {
     }
     pub fn total_delay_cycles(&self) -> u64 {
         self.kernels.iter().map(|k| k.delay_cycles).sum()
+    }
+
+    /// The active window `[first_dispatch, last_complete)` of the
+    /// kernels tagged with `segment`, in this profile's own time domain.
+    /// `None` when no kernel carries the tag (or none dispatched).
+    pub fn segment_window(&self, segment: u32) -> Option<(u64, u64)> {
+        let mut w: Option<(u64, u64)> = None;
+        for k in self.kernels.iter().filter(|k| k.segment == segment) {
+            if k.units == 0 {
+                continue;
+            }
+            w = Some(match w {
+                None => (k.first_dispatch, k.last_complete),
+                Some((lo, hi)) => (lo.min(k.first_dispatch), hi.max(k.last_complete)),
+            });
+        }
+        w
+    }
+
+    /// Cycles during which segments `a` and `b` of a fused launch were
+    /// *both* active — the observed cross-segment overlap the pipelined
+    /// scheduler buys. 0 when either segment never dispatched or the
+    /// windows are disjoint (a sequential schedule).
+    pub fn overlap_cycles(&self, a: u32, b: u32) -> u64 {
+        match (self.segment_window(a), self.segment_window(b)) {
+            (Some((a0, a1)), Some((b0, b1))) => a1.min(b1).saturating_sub(a0.max(b0)),
+            _ => 0,
+        }
+    }
+
+    /// Split a fused multi-segment launch into per-segment views for
+    /// reporting: view `i` carries the kernels tagged `segments[i]`
+    /// (timestamps kept in the fused domain) with `elapsed_cycles` set
+    /// to that segment's active span. Whole-launch aggregates (cache,
+    /// byte traffic, busy cycles) are not separable per segment and stay
+    /// on the first view only, so merging every view double-counts
+    /// nothing.
+    pub fn split_by_segment(&self, segments: &[u32]) -> Vec<LaunchProfile> {
+        segments
+            .iter()
+            .enumerate()
+            .map(|(i, &seg)| {
+                let kernels: Vec<KernelProfile> = self
+                    .kernels
+                    .iter()
+                    .filter(|k| k.segment == seg)
+                    .cloned()
+                    .collect();
+                let span = self
+                    .segment_window(seg)
+                    .map(|(lo, hi)| hi.saturating_sub(lo))
+                    .unwrap_or(0);
+                let mut p = if i == 0 {
+                    let mut p = self.clone();
+                    p.kernels.clear();
+                    p
+                } else {
+                    LaunchProfile {
+                        start_cycle: self.start_cycle,
+                        num_cus: self.num_cus,
+                        max_wavefronts: self.max_wavefronts,
+                        ..Default::default()
+                    }
+                };
+                p.elapsed_cycles = span;
+                p.kernels = kernels;
+                p
+            })
+            .collect()
     }
 
     /// Shift per-kernel timestamps into a 0-based time domain (subtract

@@ -456,6 +456,7 @@ impl Simulator {
             .map(|(i, k)| KState {
                 prof: KernelProfile {
                     name: k.name.clone(),
+                    segment: k.segment,
                     ..Default::default()
                 },
                 name: k.name,

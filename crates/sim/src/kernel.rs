@@ -145,6 +145,12 @@ pub struct KernelDesc {
     /// Channels this kernel produces into (it is the unique producer).
     /// They are marked EOF when the kernel finishes.
     pub outputs: Vec<ChannelId>,
+    /// Segment tag for fused multi-segment launches (cross-segment
+    /// pipelining): kernels of the same launch carrying different tags
+    /// belong to different stages, and the profile preserves the tag so
+    /// callers can split per-stage timelines back out. 0 for ordinary
+    /// single-segment launches.
+    pub segment: u32,
     pub source: Box<dyn WorkSource>,
 }
 
@@ -161,6 +167,7 @@ impl KernelDesc {
             wg_count: wg_count.max(1),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            segment: 0,
             source,
         }
     }
@@ -174,6 +181,12 @@ impl KernelDesc {
         self.outputs.push(ch);
         self
     }
+
+    /// Tag this kernel as belonging to segment `seg` of a fused launch.
+    pub fn in_segment(mut self, seg: u32) -> Self {
+        self.segment = seg;
+        self
+    }
 }
 
 impl std::fmt::Debug for KernelDesc {
@@ -184,6 +197,7 @@ impl std::fmt::Debug for KernelDesc {
             .field("wg_count", &self.wg_count)
             .field("inputs", &self.inputs)
             .field("outputs", &self.outputs)
+            .field("segment", &self.segment)
             .finish_non_exhaustive()
     }
 }

@@ -5,8 +5,8 @@
 //! ```
 //!
 //! Reads one statement per line (`;` optional). Meta-commands:
-//! `\mode gpl|kbe|noce`, `\explain <sql>`, `\timeline <sql>` (traced
-//! per-kernel Gantt chart), `\tables`, `\q`.
+//! `\mode gpl|kbe|noce|pipelined`, `\explain <sql>`, `\timeline <sql>`
+//! (traced per-kernel Gantt chart), `\tables`, `\q`.
 
 use gpl_core::{DisplayHint, ExecContext, ExecMode};
 use gpl_sim::{amd_a10, nvidia_k40};
@@ -160,6 +160,7 @@ fn parse_mode(s: &str) -> ExecMode {
     match s {
         "kbe" => ExecMode::Kbe,
         "noce" => ExecMode::GplNoCe,
+        "pipelined" | "gpl-pipelined" => ExecMode::GplPipelined,
         _ => ExecMode::Gpl,
     }
 }

@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/12 dependency-creep check =="
+echo "== 1/13 dependency-creep check =="
 # Every dependency must be an in-workspace path dependency; the three
 # crates the hermetic-build PR removed must never come back.
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
@@ -17,25 +17,25 @@ if grep -n '\(registry\|git\) *=' Cargo.toml crates/*/Cargo.toml; then
 fi
 echo "ok: all dependencies are in-tree path dependencies"
 
-echo "== 2/12 formatting =="
+echo "== 2/13 formatting =="
 cargo fmt --check
 
-echo "== 3/12 clippy (warnings are errors) =="
+echo "== 3/13 clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== 4/12 rustdoc (warnings are errors) =="
+echo "== 4/13 rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps
 
-echo "== 5/12 offline build =="
+echo "== 5/13 offline build =="
 cargo build --offline --workspace
 
-echo "== 6/12 tier-1: release build =="
+echo "== 6/13 tier-1: release build =="
 cargo build --offline --release
 
-echo "== 7/12 tier-1: full test suite =="
+echo "== 7/13 tier-1: full test suite =="
 cargo test --offline --workspace -q
 
-echo "== 8/12 observability smoke: repro profile q1 =="
+echo "== 8/13 observability smoke: repro profile q1 =="
 # `repro profile` re-parses every export with the in-tree JSON parser
 # before writing it (and panics otherwise), so a zero exit status
 # asserts the exported JSON parses; the loop below just guards against
@@ -49,19 +49,19 @@ for f in target/obs/profile-q1-kbe.trace.json \
 done
 echo "ok: all four exports present and parse-checked"
 
-echo "== 9/12 serving smoke: repro serve --workers 4 --queries 32 =="
+echo "== 9/13 serving smoke: repro serve --workers 4 --queries 32 =="
 # The experiment itself asserts a worker-count-independent result
 # fingerprint and that every corpus query succeeds; a zero exit status
 # is the gate.
 cargo run --offline --release -p gpl-bench --bin repro -- serve --workers 4 --queries 32 --sf 0.01
 
-echo "== 10/12 fault-injection smoke: repro faults =="
+echo "== 10/13 fault-injection smoke: repro faults =="
 # The experiment asserts that recovered runs reproduce the fault-free
 # rows fingerprint at every swept fault rate, that the breaker trips,
 # and that shedding rejects exactly the overflow; zero exit = gate.
 cargo run --offline --release -p gpl-bench --bin repro -- faults --sf 0.01
 
-echo "== 11/12 seeded-fault determinism: five byte-identical reports =="
+echo "== 11/13 seeded-fault determinism: five byte-identical reports =="
 # Same seed, same report — the faults experiment writes only
 # deterministic facts (no wall-clock), so five runs must produce a
 # byte-identical target/obs/faults-report.txt.
@@ -78,7 +78,7 @@ for i in 1 2 3 4 5; do
 done
 echo "ok: five byte-identical fault reports ($ref_hash)"
 
-echo "== 12/12 scheduler determinism, five runs =="
+echo "== 12/13 scheduler determinism, five runs =="
 # The 32-query seed-42 workload at 1/2/8 workers must match its pinned
 # fingerprint every time — run it repeatedly to shake out scheduling
 # races that a single lucky run could hide.
@@ -88,5 +88,22 @@ for i in 1 2 3 4 5; do
         || { echo "FAIL: determinism run $i" >&2; exit 1; }
 done
 echo "ok: five consecutive deterministic runs"
+
+
+echo "== 13/13 pipeline smoke: repro pipeline q14, byte-identical twice =="
+# Cross-segment pipelining (DESIGN.md §9): the experiment asserts the
+# fused run's rows bit-identical to sequential GPL before printing
+# anything, and every reported number is simulated cycles — so stdout
+# and the BENCH_pipeline.json artifact must not change between runs.
+cargo run --offline --release -p gpl-bench --bin repro -- pipeline q14 --sf 0.01 > target/obs/pipeline-run1.txt
+h1_out=$(sha256sum target/obs/pipeline-run1.txt | cut -d' ' -f1)
+h1_json=$(sha256sum target/obs/BENCH_pipeline.json | cut -d' ' -f1)
+cargo run --offline --release -p gpl-bench --bin repro -- pipeline q14 --sf 0.01 > target/obs/pipeline-run2.txt
+h2_out=$(sha256sum target/obs/pipeline-run2.txt | cut -d' ' -f1)
+h2_json=$(sha256sum target/obs/BENCH_pipeline.json | cut -d' ' -f1)
+[ "$h1_out" = "$h2_out" ] || { echo "FAIL: pipeline stdout differs across runs" >&2; exit 1; }
+[ "$h1_json" = "$h2_json" ] || { echo "FAIL: BENCH_pipeline.json differs across runs" >&2; exit 1; }
+[ -s target/obs/BENCH_pipeline.json ] || { echo "FAIL: missing BENCH_pipeline.json" >&2; exit 1; }
+echo "ok: pipeline experiment byte-identical across two runs ($h1_json)"
 
 echo "verify: all green"

@@ -1,5 +1,5 @@
-//! Cross-engine equivalence: KBE, GPL (w/o CE), GPL and the Ocelot
-//! baseline must all agree with the CPU reference — across devices,
+//! Cross-engine equivalence: KBE, GPL (w/o CE), GPL, GPL (pipelined)
+//! and the Ocelot baseline must all agree with the CPU reference — across devices,
 //! scale factors, tile sizes and channel configurations. The bottom
 //! half is the differential fuzzer: randomly generated in-subset SQL
 //! must get the same answer from every engine (failing seeds persist to
@@ -135,9 +135,12 @@ prop! {
     #![cases(200)]
 
     /// Differential fuzzing: any query the generator emits must compile
-    /// and produce byte-identical rows under KBE, GPL (w/o CE), GPL and
-    /// the Ocelot baseline. Each case is one seed for the SQL generator,
-    /// so a persisted regression replays the exact query text.
+    /// and produce byte-identical rows under KBE, GPL (w/o CE), GPL,
+    /// GPL (pipelined) and the Ocelot baseline. Each case is one seed
+    /// for the SQL generator, so a persisted regression replays the
+    /// exact query text. The pipelined arm forces the overlap knob on
+    /// (the predicate would leave it off for most tiny fuzz tables), so
+    /// every eligible build→probe pair actually fuses.
     #[test]
     fn random_queries_agree_across_engines_and_baseline(seed in any::<u64>()) {
         let db = fuzz_db();
@@ -156,6 +159,12 @@ prop! {
                 "{} disagrees with KBE on {:?}", mode.name(), sql
             );
         }
+        let piped = cfg.clone().with_overlap_slices(3);
+        let run = run_query(&mut ctx, &plan, ExecMode::GplPipelined, &piped);
+        prop_assert_eq!(
+            &run.output, &kbe.output,
+            "GPL (pipelined) disagrees with KBE on {:?}", sql
+        );
         let mut oc = OcelotContext::new();
         let oce = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
         prop_assert_eq!(&oce.output, &kbe.output, "ocelot disagrees with KBE on {:?}", sql);

@@ -420,3 +420,137 @@ fn circuit_breaker_trips_after_the_fault_and_rejects_the_rest() {
         .map(|e| e.to_string())
         .is_some()));
 }
+
+// ---------------------------------------------------------------------
+// Faults inside an overlapped slice window (cross-segment pipelining).
+// The slice gate's own invariants — publication strictly in order,
+// per-slice checksums matching the shared table — turn any
+// double-published or dropped slice into a panic, so "recovers with
+// bit-identical rows" below also certifies the republish path clean.
+// ---------------------------------------------------------------------
+
+/// Run `q` under GPL (pipelined) with the overlap knob forced to `k`,
+/// `spec` faults attached and the default recovery policy.
+fn run_overlapped_faulted(
+    q: QueryId,
+    k: u32,
+    spec: FaultSpec,
+    seed: u64,
+    policy: &RecoveryPolicy,
+) -> QueryRun {
+    let device = amd_a10();
+    let plan = gpl_repro::core::plan_for(&db(), q);
+    assert!(
+        !gpl_repro::core::overlap_pairs(&plan.stages).is_empty(),
+        "{} must have an eligible build→probe pair",
+        q.name()
+    );
+    let cfg = QueryConfig::default_for(&device, &plan).with_overlap_slices(k);
+    let mut ctx = ExecContext::with_shared(device, db());
+    ctx.sim.attach_faults(FaultPlan::new(spec, seed));
+    try_run_query_recovering(
+        &mut ctx,
+        &plan,
+        ExecMode::GplPipelined,
+        &cfg,
+        &ExecLimits::none(),
+        Some(policy),
+    )
+    .expect("recovery must absorb faults in the fused window")
+}
+
+/// Fault-free sequential rows for the same hand plan.
+fn clean_plan_rows(q: QueryId) -> gpl_repro::tpch::QueryOutput {
+    let device = amd_a10();
+    let plan = gpl_repro::core::plan_for(&db(), q);
+    let cfg = QueryConfig::default_for(&device, &plan);
+    let mut ctx = ExecContext::with_shared(device, db());
+    run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg).output
+}
+
+#[test]
+fn transient_fault_mid_overlap_retries_the_fused_pair_bit_identically() {
+    // Pin a kernel fault on the publishing build terminal: in pipelined
+    // mode that kernel only ever runs inside the fused launch, so the
+    // fault lands mid-overlap by construction.
+    let want = clean_plan_rows(QueryId::Q14);
+    let mut spec = FaultSpec::none();
+    spec.pinned.push(PinnedFault {
+        kind: FaultKind::KernelFault,
+        kernel: "k_hash_build(ht0)".into(),
+        at_cycle: 0,
+    });
+    let run = run_overlapped_faulted(QueryId::Q14, 2, spec, 0, &RecoveryPolicy::default());
+    assert_eq!(run.output, want, "rows must survive the mid-overlap fault");
+    assert_eq!(run.recovery.faults.len(), 1, "the pinned fault fired once");
+    assert_eq!(run.recovery.retries, 1, "one same-mode fused retry");
+    assert_eq!(
+        run.recovery.fallbacks, 0,
+        "a transient fault must not abandon the fused pair"
+    );
+    assert_eq!(run.recovery.degraded_to, None);
+    assert!(run.recovery.wasted_cycles > 0);
+}
+
+#[test]
+fn channel_corruption_mid_overlap_degrades_to_the_sequential_pair() {
+    // Corrupt every channel-using launch: the fused attempts (which use
+    // the inter-segment publication channel) burn down, and the ladder
+    // degrades to the sequential per-stage path — still bit-identical.
+    let want = clean_plan_rows(QueryId::Q14);
+    let spec = FaultSpec {
+        channel_corrupt: 1.0,
+        ..FaultSpec::none()
+    };
+    let run = run_overlapped_faulted(QueryId::Q14, 2, spec, 13, &RecoveryPolicy::with_retries(1));
+    assert_eq!(run.output, want, "degraded run must match fault-free rows");
+    assert!(
+        run.recovery.fallbacks >= 1,
+        "persistent corruption must force at least one fallback: {:?}",
+        run.recovery
+    );
+    assert!(
+        run.recovery.faults.len() >= 2,
+        "both fused attempts saw the corruption"
+    );
+    assert!(
+        run.recovery
+            .faults
+            .iter()
+            .any(|f| f.kind == FaultKind::ChannelCorrupt),
+        "the record names the corruption: {:?}",
+        run.recovery.faults
+    );
+    let degraded = run.recovery.degraded_to.expect("ladder engaged");
+    assert_ne!(degraded, ExecMode::GplPipelined, "overlap was abandoned");
+}
+
+#[test]
+fn mixed_fault_sweep_over_overlapped_queries_is_bit_identical() {
+    // Uniform transient faults at a heavy rate, across both acceptance
+    // queries, slice counts and seeds: rows never change, and eventful
+    // runs always paid wasted cycles.
+    for q in [QueryId::Q9, QueryId::Q14] {
+        let want = clean_plan_rows(q);
+        for k in [2u32, 8] {
+            for seed in 0..4u64 {
+                let run = run_overlapped_faulted(
+                    q,
+                    k,
+                    FaultSpec::uniform(3e-2),
+                    seed,
+                    &RecoveryPolicy::default(),
+                );
+                assert_eq!(
+                    run.output,
+                    want,
+                    "{} K={k} seed={seed} rows changed under faults",
+                    q.name()
+                );
+                if run.recovery.eventful() {
+                    assert!(run.recovery.wasted_cycles > 0);
+                }
+            }
+        }
+    }
+}

@@ -8,7 +8,10 @@
 
 use gpl_prng::{SeedableRng, StdRng};
 use gpl_repro::core::segment::SegmentIr;
-use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig, QueryPlan};
+use gpl_repro::core::{
+    overlap_pairs, plan_for, run_query, ExecContext, ExecMode, PipeOp, QueryConfig, QueryPlan,
+    Terminal,
+};
 use gpl_repro::model::{build_models, estimate_stats};
 use gpl_repro::sim::amd_a10;
 use gpl_repro::tpch::{QueryId, TpchDb};
@@ -64,6 +67,25 @@ fn assert_model_matches_ir(db: &TpchDb, plan: &QueryPlan, tag: &str) {
             );
         }
 
+        // Edge ship-sets and row widths, model IR vs fresh lowering:
+        // the whole-IR equality above would catch these too, but the
+        // per-edge form pinpoints *which* edge drifted, and checks the
+        // width invariant (8 bytes per shipped slot, floored at one
+        // slot) the channel sizing math assumes.
+        assert_eq!(sm.ir.edges.len(), ir.edges.len(), "{at}: edge count");
+        for (g, (me, fe)) in sm.ir.edges.iter().zip(&ir.edges).enumerate() {
+            assert_eq!(me.ship, fe.ship, "{at}: edge {g} ship-set drifted");
+            assert_eq!(me.row_bytes, fe.row_bytes, "{at}: edge {g} row width");
+            let mut sorted = fe.ship.clone();
+            sorted.sort();
+            assert_eq!(fe.ship, sorted, "{at}: edge {g} ship-set unsorted");
+            assert_eq!(
+                fe.row_bytes,
+                (8 * fe.ship.len() as u64).max(8),
+                "{at}: edge {g} row width must be 8 bytes per shipped slot"
+            );
+        }
+
         // Leaf column split: the model streams eagerly exactly the
         // columns the executor streams.
         let leaf = &sm.kernels[0];
@@ -116,14 +138,72 @@ fn assert_executor_launches_ir_kernels(db: &Arc<TpchDb>, plan: &QueryPlan, tag: 
     }
 }
 
+/// Drift checks for the cross-segment seam: [`overlap_pairs`] is the
+/// single source of truth for which adjacent stages may fuse, consumed
+/// by the executor, the overlap predicate and the serving cache. Its
+/// edges must be deterministic and structurally consistent with the
+/// plan and with the lowered probe IR (whose gated-kernel position the
+/// predicate's `gated_share` computation relies on).
+fn assert_overlap_edges_consistent(db: &TpchDb, plan: &QueryPlan, tag: &str) {
+    let spec = amd_a10();
+    let pairs = overlap_pairs(&plan.stages);
+    assert_eq!(
+        pairs,
+        overlap_pairs(&plan.stages),
+        "{tag}: overlap detection must be deterministic"
+    );
+    for pair in &pairs {
+        let at = format!("{tag}, pair {}→{}", pair.build_stage, pair.probe_stage);
+        assert_eq!(pair.probe_stage, pair.build_stage + 1, "{at}: adjacency");
+        assert!(pair.probe_op > 0, "{at}: the gated probe starts a kernel");
+        let Terminal::HashBuild { ht, .. } = &plan.stages[pair.build_stage].terminal else {
+            panic!("{at}: build stage must end in HashBuild");
+        };
+        assert_eq!(*ht, pair.ht, "{at}: edge names the built table");
+        let probe = &plan.stages[pair.probe_stage];
+        match &probe.ops[pair.probe_op] {
+            PipeOp::Probe { ht, .. } => {
+                assert_eq!(*ht, pair.ht, "{at}: gated probe reads the built table")
+            }
+            other => panic!("{at}: op {} is not a probe: {other:?}", pair.probe_op),
+        }
+        // Detection leaves K = 1; re-slicing is the scheduler's move and
+        // must cover the table volume exactly.
+        assert_eq!(pair.slices, 1, "{at}: detection does not choose K");
+        let sliced = pair.clone().with_slices(8, 1 << 20);
+        assert_eq!(sliced.slices, 8);
+        assert!(
+            sliced.slice_bytes * u64::from(sliced.slices) >= 1 << 20,
+            "{at}: slices must cover the table"
+        );
+        // The probe IR must carry a kernel that *starts* with the gated
+        // op — the position `gpl_model::attach_overlap` keys its
+        // gated-share split on, and the kernel the executor gates.
+        let ir = SegmentIr::lower(probe, db.table(&probe.driver), spec.wavefront_size);
+        assert!(
+            ir.nodes
+                .iter()
+                .any(|n| n.ops.first() == Some(&pair.probe_op)),
+            "{at}: no kernel starts at the gated probe op"
+        );
+    }
+}
+
 #[test]
 fn model_matches_executor_on_every_tpch_plan() {
     let db = shared_db();
+    let mut pairs_seen = 0;
     for q in QueryId::all() {
         let plan = plan_for(&db, q);
         assert_model_matches_ir(&db, &plan, q.name());
         assert_executor_launches_ir_kernels(&db, &plan, q.name());
+        assert_overlap_edges_consistent(&db, &plan, q.name());
+        pairs_seen += overlap_pairs(&plan.stages).len();
     }
+    assert!(
+        pairs_seen >= 5,
+        "the corpus must exercise real overlap edges, saw {pairs_seen}"
+    );
 }
 
 #[test]
@@ -136,6 +216,7 @@ fn model_matches_executor_on_100_generator_queries() {
             .unwrap_or_else(|e| panic!("query {i} must compile: {sql:?}: {e}"));
         let tag = format!("generator query {i} ({sql:.60?})");
         assert_model_matches_ir(&db, &plan, &tag);
+        assert_overlap_edges_consistent(&db, &plan, &tag);
         // A slice of the stream also runs end-to-end, pinning launched
         // kernel names against the IR (the full stream would dominate
         // suite runtime without adding coverage: launch names are a
