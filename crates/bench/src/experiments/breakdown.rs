@@ -2,7 +2,9 @@
 //! under KBE vs GPL — the communication-cost claim of Section 5.3.2.
 
 use super::Opts;
+use crate::artifact::{mode_key, row_fingerprint, RunEntry};
 use gpl_core::{plan_for, run_query, ExecMode, QueryConfig, QueryRun};
+use gpl_obs::Json;
 use gpl_tpch::QueryId;
 
 fn breakdown(run: &QueryRun) -> (f64, f64, f64, f64) {
@@ -22,6 +24,7 @@ fn breakdown(run: &QueryRun) -> (f64, f64, f64, f64) {
 fn run_breakdown(opts: &Opts) {
     let sf = opts.sf_or(0.2);
     let mut ctx = opts.ctx(sf);
+    opts.artifact.sf(sf);
     let plan = plan_for(&ctx.db, QueryId::Q8);
     let cfg = QueryConfig::default_for(&opts.device, &plan);
     println!(
@@ -43,6 +46,17 @@ fn run_breakdown(opts: &Opts) {
         } else {
             m
         };
+        opts.artifact.run(
+            RunEntry::new("Q8", mode_key(mode))
+                .cycles(run.cycles)
+                .rows(run.output.rows.len() as u64)
+                .fingerprint(row_fingerprint(&run))
+                .extra("compute_pct", Json::Num(c))
+                .extra("mem_pct", Json::Num(m))
+                .extra("dc_pct", Json::Num(dc))
+                .extra("delay_pct", Json::Num(delay))
+                .extra("communication_pct", Json::Num(comm)),
+        );
         println!("{name:>12} {c:>8.1}% {m:>8.1}% {dc:>8.1}% {delay:>8.1}% {comm:>15.1}%");
     }
     println!(

@@ -1,10 +1,11 @@
 //! Table 1 and the channel calibration figures (Figure 2 / Figure 23).
 
 use super::Opts;
+use gpl_obs::Json;
 use gpl_sim::{amd_a10, calibrate, nvidia_k40, DeviceSpec};
 
 /// Table 1: hardware specification.
-pub fn table1(_opts: &Opts) {
+pub fn table1(opts: &Opts) {
     println!("{:<26} {:>14} {:>18}", "", "AMD", "NVIDIA");
     let a = amd_a10();
     let n = nvidia_k40();
@@ -46,12 +47,28 @@ pub fn table1(_opts: &Opts) {
             "CUDA (simulated)".into(),
         ),
     ];
-    for (k, va, vn) in rows {
+    for (k, va, vn) in &rows {
         println!("{k:<26} {va:>14} {vn:>18}");
     }
+    opts.artifact.fact(
+        "spec_rows",
+        Json::Arr(
+            rows.iter()
+                .map(|(k, va, vn)| {
+                    Json::obj(vec![
+                        ("key", Json::Str(k.to_string())),
+                        ("amd", Json::Str(va.clone())),
+                        ("nvidia", Json::Str(vn.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    );
 }
 
-fn channel_sweep(spec: &DeviceSpec) {
+/// Run the producer→consumer sweep and return the measured points as a
+/// JSON series for the experiment's artifact.
+fn channel_sweep(spec: &DeviceSpec) -> Json {
     let packet = spec.channel.fixed_packet_bytes;
     println!(
         "producer→consumer chain, packet size {packet} B, N = 512K..8M integers ({})",
@@ -59,6 +76,7 @@ fn channel_sweep(spec: &DeviceSpec) {
     );
     let header = "throughput (bytes/cycle) by #channels  n=1     n=2     n=4     n=8    n=16";
     println!("{:>10} {:>10} {header}", "N (ints)", "bytes");
+    let mut points = Vec::new();
     for ints in [512 * 1024u64, 1 << 20, 2 << 20, 4 << 20, 8 << 20] {
         let d = ints * 4;
         print!("{:>10} {:>10}", ints, d);
@@ -66,6 +84,11 @@ fn channel_sweep(spec: &DeviceSpec) {
         for n in [1u32, 2, 4, 8, 16] {
             let p = calibrate::run_producer_consumer(spec, n, packet, d);
             print!(" {:>7.3}", p.throughput);
+            points.push(Json::obj(vec![
+                ("ints", Json::Int(ints as i64)),
+                ("channels", Json::Int(n as i64)),
+                ("throughput", Json::Num(p.throughput)),
+            ]));
         }
         println!();
     }
@@ -74,20 +97,29 @@ fn channel_sweep(spec: &DeviceSpec) {
          near the {} MiB cache (paper: suitable N = 1M integers on the 4 MiB AMD cache).",
         spec.cache_bytes >> 20
     );
+    Json::Arr(points)
 }
 
 /// Figure 2: AMD channel calibration.
-pub fn fig2(_opts: &Opts) {
-    channel_sweep(&amd_a10());
+pub fn fig2(opts: &Opts) {
+    let series = channel_sweep(&amd_a10());
+    opts.artifact.fact("channel_sweep", series);
     // The paper additionally varies the packet size on AMD.
     println!("\npacket-size sweep at N = 1M ints, n = 4:");
+    let mut pkt = Vec::new();
     for p in [8u32, 16, 32, 64] {
         let r = calibrate::run_producer_consumer(&amd_a10(), 4, p, 4 << 20);
         println!("  p = {p:>3} B: {:.3} bytes/cycle", r.throughput);
+        pkt.push(Json::obj(vec![
+            ("packet_bytes", Json::Int(p as i64)),
+            ("throughput", Json::Num(r.throughput)),
+        ]));
     }
+    opts.artifact.fact("packet_sweep", Json::Arr(pkt));
 }
 
 /// Figure 23: the NVIDIA profile (no packet-size knob, Appendix A.1).
-pub fn fig23(_opts: &Opts) {
-    channel_sweep(&nvidia_k40());
+pub fn fig23(opts: &Opts) {
+    let series = channel_sweep(&nvidia_k40());
+    opts.artifact.fact("channel_sweep", series);
 }

@@ -25,7 +25,9 @@
 //! five times and compares hashes.
 
 use super::Opts;
+use crate::artifact::RunEntry;
 use gpl_core::RecoveryPolicy;
+use gpl_obs::Json;
 use gpl_serve::{BreakerConfig, FaultConfig, QueryRequest, ServeConfig, ServeError, Server};
 use gpl_sim::FaultSpec;
 use gpl_sql::sql_for;
@@ -93,6 +95,17 @@ pub fn faults(opts: &Opts) {
     assert_eq!(base.err_count(), 0, "baseline must be clean");
     let base_rows_fp = base.rows_fingerprint();
     let makespan_s = |cycles: u64| opts.device.cycles_to_ms(cycles) / 1e3;
+    opts.artifact.sf(sf);
+    opts.artifact.run(
+        RunEntry::new("baseline", "gpl")
+            .cycles(base.simulated_makespan())
+            .rows(n as u64)
+            .fingerprint(base_rows_fp)
+            .extra(
+                "p95_latency_cycles",
+                Json::Int(base.simulated_latency_pct(95.0) as i64),
+            ),
+    );
     emit(
         format!(
             "baseline (no faults): goodput {:.1} q/s, p95 {:.2} ms, rows fp {base_rows_fp:#018x}\n",
@@ -141,6 +154,19 @@ pub fn faults(opts: &Opts) {
             .run_batch_report(workload(n));
             let (faults, retries, fallbacks, _) = report.recovery_totals();
             let rows_fp = report.rows_fingerprint();
+            opts.artifact.run(
+                RunEntry::new(format!("rate={rate:.0e}/{label}"), "gpl")
+                    .cycles(report.simulated_makespan())
+                    .rows(report.ok_count() as u64)
+                    .fingerprint(rows_fp)
+                    .extra("faults", Json::Int(faults as i64))
+                    .extra("retries", Json::Int(retries as i64))
+                    .extra("fallbacks", Json::Int(fallbacks as i64))
+                    .extra(
+                        "p95_latency_cycles",
+                        Json::Int(report.simulated_latency_pct(95.0) as i64),
+                    ),
+            );
             if recovered {
                 assert_eq!(
                     report.err_count(),
@@ -208,6 +234,17 @@ pub fn faults(opts: &Opts) {
         "heavy faults must trip the breaker"
     );
     assert_eq!(circuit_open as u64, breaker_report.breaker.0);
+    opts.artifact.fact(
+        "breaker",
+        Json::obj(vec![
+            ("ok", Json::Int(breaker_report.ok_count() as i64)),
+            (
+                "rejected_while_open",
+                Json::Int(breaker_report.breaker.0 as i64),
+            ),
+            ("opens", Json::Int(breaker_report.breaker.1 as i64)),
+        ]),
+    );
 
     // Load shedding: the 24-request batch against a queue bound of 8 —
     // submit_all holds the queue lock across the whole batch, so exactly
@@ -236,6 +273,13 @@ pub fn faults(opts: &Opts) {
         shed_report.responses.len(),
         n,
         "shed requests still get responses"
+    );
+    opts.artifact.fact(
+        "load_shedding",
+        Json::obj(vec![
+            ("answered", Json::Int(shed_report.ok_count() as i64)),
+            ("shed", Json::Int(shed_report.sheds as i64)),
+        ]),
     );
 
     std::fs::create_dir_all("target/obs").expect("create target/obs");

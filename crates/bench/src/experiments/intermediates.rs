@@ -2,8 +2,10 @@
 //! — Observation 1 and its resolution by channels.
 
 use super::Opts;
+use crate::artifact::{mode_key, row_fingerprint, RunEntry};
 use gpl_core::plan::q14_plan;
 use gpl_core::{plan_for, run_query, ExecMode, QueryConfig, QueryPlan};
+use gpl_obs::Json;
 use gpl_tpch::{q14_window_for_selectivity, QueryId, TpchDb};
 
 /// Selectivity grid used by the Q14 studies (the paper sweeps 1%–100%;
@@ -29,6 +31,7 @@ pub fn input_bytes(db: &TpchDb, plan: &QueryPlan) -> u64 {
 fn q14_sweep(opts: &Opts, mode: ExecMode) -> Vec<(f64, f64, u64)> {
     let sf = opts.sf_or(0.1);
     let mut ctx = opts.ctx(sf);
+    opts.artifact.sf(sf);
     let mut out = Vec::new();
     for &sel in &SELECTIVITIES {
         let params = q14_window_for_selectivity(&ctx.db, sel);
@@ -40,6 +43,20 @@ fn q14_sweep(opts: &Opts, mode: ExecMode) -> Vec<(f64, f64, u64)> {
         let norm = run.profile.intermediate_footprint() as f64 / input as f64;
         out.push((sel, norm, run.cycles));
     }
+    opts.artifact.fact(
+        "q14_selectivity_sweep",
+        Json::Arr(
+            out.iter()
+                .map(|(sel, norm, cycles)| {
+                    Json::obj(vec![
+                        ("selectivity", Json::Num(*sel)),
+                        ("intermediate_over_input", Json::Num(*norm)),
+                        ("cycles", Json::Int(*cycles as i64)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
     out
 }
 
@@ -65,8 +82,10 @@ pub fn fig3(opts: &Opts) {
 pub fn fig4(opts: &Opts) {
     let sf = opts.sf_or(0.1);
     let mut ctx = opts.ctx(sf);
+    opts.artifact.sf(sf);
     println!("KBE Q14 (SF {sf}): execution-time split, memory vs other");
     println!("{:>12} {:>10} {:>10}", "selectivity", "Mem_cost", "Others");
+    let mut points = Vec::new();
     for &sel in &SELECTIVITIES {
         let params = q14_window_for_selectivity(&ctx.db, sel);
         let plan = q14_plan(&ctx.db, params);
@@ -77,6 +96,10 @@ pub fn fig4(opts: &Opts) {
         let other =
             run.profile.total_compute_cycles() as f64 + run.profile.total_delay_cycles() as f64;
         let total = (mem + other).max(1.0);
+        points.push(Json::obj(vec![
+            ("selectivity", Json::Num(sel)),
+            ("mem_share", Json::Num(mem / total)),
+        ]));
         println!(
             "{:>11.0}% {:>9.1}% {:>9.1}%",
             sel * 100.0,
@@ -84,6 +107,7 @@ pub fn fig4(opts: &Opts) {
             other / total * 100.0
         );
     }
+    opts.artifact.fact("q14_mem_share", Json::Arr(points));
     println!("expected shape: the memory share grows with selectivity (up to ~1/3 or more).");
 }
 
@@ -92,6 +116,7 @@ pub fn fig4(opts: &Opts) {
 pub fn fig17(opts: &Opts) {
     let sf = opts.sf_or(0.1);
     let mut ctx = opts.ctx(sf);
+    opts.artifact.sf(sf);
     println!(
         "materialized intermediates, GPL / KBE (SF {sf}, {})",
         opts.device.name
@@ -111,6 +136,15 @@ pub fn fig17(opts: &Opts) {
             kbe.profile.intermediate_footprint(),
             gpl.profile.intermediate_footprint(),
         );
+        for (mode, run, bytes) in [(ExecMode::Kbe, &kbe, kb), (ExecMode::Gpl, &gpl, gb)] {
+            opts.artifact.run(
+                RunEntry::new(q.name(), mode_key(mode))
+                    .cycles(run.cycles)
+                    .rows(run.output.rows.len() as u64)
+                    .fingerprint(row_fingerprint(run))
+                    .extra("intermediate_bytes", Json::Int(bytes as i64)),
+            );
+        }
         println!(
             "{:>5} {:>12} {:>12} {:>9.0}%",
             q.name(),

@@ -4,6 +4,7 @@
 //! short note on what shape to expect. DESIGN.md carries the full
 //! per-experiment index; EXPERIMENTS.md records paper-vs-measured.
 
+pub mod bench;
 pub mod breakdown;
 pub mod calibration;
 pub mod faults;
@@ -15,6 +16,7 @@ pub mod profile;
 pub mod serve;
 pub mod utilization;
 
+use crate::artifact::ArtifactSink;
 use gpl_core::ExecContext;
 use gpl_model::GammaTable;
 use gpl_sim::{amd_a10, nvidia_k40, DeviceSpec};
@@ -36,6 +38,9 @@ pub struct Opts {
     pub workers: Option<usize>,
     /// Workload size for `repro serve` (default: 22 requests).
     pub queries: Option<usize>,
+    /// Where the experiment records its [`crate::artifact::BenchArtifact`]
+    /// entries; the dispatcher writes `BENCH_<name>.json` on return.
+    pub artifact: ArtifactSink,
 }
 
 impl Opts {
@@ -296,14 +301,23 @@ pub fn dispatch(args: &[String]) {
         extra,
         workers,
         queries,
+        artifact: ArtifactSink::default(),
     };
     match name.as_deref() {
         None | Some("list") => {
             println!("repro — regenerate the paper's tables and figures\n");
-            println!("usage: repro <experiment|all> [args] [--sf <f>] [--device amd|nvidia]\n");
+            println!(
+                "usage: repro <experiment|all|bench> [args] [--sf <f>] [--device amd|nvidia]\n"
+            );
             for e in registry() {
                 println!("  {:<8} {:<14} {}", e.name, e.paper_ref, e.description);
             }
+            println!(
+                "  {:<8} {:<14} {}",
+                "bench",
+                "trajectory",
+                bench::DESCRIPTION
+            );
         }
         Some("all") => {
             for e in registry() {
@@ -311,16 +325,30 @@ pub fn dispatch(args: &[String]) {
                     "==================== {} ({}) ====================",
                     e.name, e.paper_ref
                 );
-                (e.run)(&opts);
+                run_with_artifact(&e, &opts);
                 println!();
             }
         }
+        Some("bench") => bench::bench(&opts),
         Some(n) => match registry().into_iter().find(|e| e.name == n) {
-            Some(e) => (e.run)(&opts),
+            Some(e) => run_with_artifact(&e, &opts),
             None => {
                 eprintln!("unknown experiment {n:?}; run `repro list`");
                 std::process::exit(2);
             }
         },
     }
+}
+
+/// Run one experiment with the artifact lifecycle around it: reset the
+/// sink, run, then write the parse-checked `BENCH_<name>.json` — every
+/// experiment emits an artifact, even one that records nothing.
+fn run_with_artifact(e: &Experiment, opts: &Opts) {
+    opts.artifact.begin(e.name, &opts.device.name);
+    if let Some(sf) = opts.sf {
+        opts.artifact.sf(sf);
+    }
+    (e.run)(opts);
+    let path = opts.artifact.finish();
+    println!("artifact: {path}");
 }

@@ -1,8 +1,10 @@
 //! Analytical-model validation (Figures 11–15, 24–26).
 
 use super::Opts;
+use crate::artifact::RunEntry;
 use gpl_core::{plan_for, run_query, ExecMode, QueryConfig};
 use gpl_model::{evaluate, optimize};
+use gpl_obs::Json;
 use gpl_tpch::QueryId;
 
 /// Figure 11 (AMD) / Figure 24 (NVIDIA): relative error of the runtime
@@ -29,10 +31,17 @@ fn model_error(opts: &Opts) {
         "{:>5} {:>12} {:>12} {:>10} {:>9} {:>12}",
         "query", "measured", "estimated", "rel.err", "signed", "search time"
     );
+    opts.artifact.sf(sf);
     for q in QueryId::evaluation_set() {
         let plan = plan_for(&ctx.db, q);
         let out = optimize(&opts.device, &gamma, &ctx.db, &plan);
         let eval = evaluate(&mut ctx, &gamma, &plan, &out.config);
+        opts.artifact.run(
+            RunEntry::new(q.name(), "gpl")
+                .cycles(eval.measured_cycles)
+                .extra("estimated_cycles", Json::Num(eval.estimated_cycles))
+                .extra("relative_error", Json::Num(eval.relative_error)),
+        );
         println!(
             "{:>5} {:>12} {:>12.0} {:>9.1}% {:>8.0}% {:>11.1?}",
             q.name(),
@@ -84,6 +93,22 @@ fn tile_sweep(opts: &Opts) {
         .map(|(t, _)| *t)
         .expect("non-empty sweep");
     let model_tile = chosen.config.stages.last().expect("stages").tile_bytes;
+    opts.artifact.sf(sf);
+    opts.artifact.fact(
+        "tile_sweep",
+        Json::Arr(
+            results
+                .iter()
+                .map(|(tile, e)| {
+                    Json::obj(vec![
+                        ("tile_bytes", Json::Int(*tile as i64)),
+                        ("measured_cycles", Json::Int(e.measured_cycles as i64)),
+                        ("estimated_cycles", Json::Num(e.estimated_cycles)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
     println!("Q8 tile-size sweep (SF {sf}, {})", opts.device.name);
     println!(
         "{:>9} {:>12} {:>14} {:>12} {:>9}",
@@ -152,6 +177,23 @@ pub fn fig14_15(opts: &Opts) {
         .min_by(|a, b| a.4.partial_cmp(&b.4).expect("finite"))
         .map(|r| r.0)
         .expect("rows");
+    opts.artifact.sf(sf);
+    opts.artifact.fact(
+        "wg_sweep",
+        Json::Arr(
+            rows.iter()
+                .map(|(i, wg, cycles, delay, est)| {
+                    Json::obj(vec![
+                        ("setting", Json::Int(*i as i64)),
+                        ("wg", Json::Int(*wg as i64)),
+                        ("measured_cycles", Json::Int(*cycles as i64)),
+                        ("delay_cycles", Json::Int(*delay as i64)),
+                        ("estimated_cycles", Json::Num(*est)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
     println!(
         "Q8 work-group settings S1..S7 (SF {sf}, {})",
         opts.device.name

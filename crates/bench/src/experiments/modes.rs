@@ -2,8 +2,10 @@
 //! 22, 27).
 
 use super::Opts;
+use crate::artifact::{mode_key, row_fingerprint, RunEntry};
 use gpl_core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
 use gpl_model::{optimize, GammaTable};
+use gpl_obs::Json;
 use gpl_ocelot::OcelotContext;
 use gpl_tpch::QueryId;
 
@@ -26,6 +28,10 @@ pub fn fig7(opts: &Opts) {
     for q in QueryId::evaluation_set() {
         println!("{}", plan_for(&ctx.db, q).explain());
     }
+    opts.artifact.fact(
+        "plans_printed",
+        Json::Int(1 + QueryId::evaluation_set().len() as i64),
+    );
 }
 
 /// Figures 9/10 made visible: trace Q8 under KBE and GPL and render the
@@ -36,10 +42,17 @@ pub fn timeline(opts: &Opts) {
     let mut ctx = opts.ctx(sf);
     let plan = plan_for(&ctx.db, QueryId::Q8);
     let cfg = QueryConfig::default_for(&opts.device, &plan);
+    opts.artifact.sf(sf);
     for mode in [ExecMode::Kbe, ExecMode::Gpl] {
         ctx.sim.clear_cache();
         ctx.sim.enable_trace();
         let run = run_query(&mut ctx, &plan, mode, &cfg);
+        opts.artifact.run(
+            RunEntry::new("Q8", mode_key(mode))
+                .cycles(run.cycles)
+                .rows(run.output.rows.len() as u64)
+                .fingerprint(row_fingerprint(&run)),
+        );
         let spans = ctx.sim.take_trace();
         println!(
             "Q8 under {} ({}, SF {sf}) — {} cycles, kernel overlap {:.0}%",
@@ -74,6 +87,7 @@ fn mode_comparison(opts: &Opts) {
     let sf = opts.sf_or(0.2);
     let gamma = opts.gamma();
     let mut ctx = opts.ctx(sf);
+    opts.artifact.sf(sf);
     println!(
         "query runtimes (SF {sf}, {}), normalized to KBE",
         opts.device.name
@@ -93,6 +107,18 @@ fn mode_comparison(opts: &Opts) {
         let noce = run_query(&mut ctx, &plan, ExecMode::GplNoCe, &gpl_cfg);
         ctx.sim.clear_cache();
         let gpl = run_query(&mut ctx, &plan, ExecMode::Gpl, &gpl_cfg);
+        for (mode, run) in [
+            (ExecMode::Kbe, &kbe),
+            (ExecMode::GplNoCe, &noce),
+            (ExecMode::Gpl, &gpl),
+        ] {
+            opts.artifact.run(
+                RunEntry::new(q.name(), mode_key(mode))
+                    .cycles(run.cycles)
+                    .rows(run.output.rows.len() as u64)
+                    .fingerprint(row_fingerprint(run)),
+            );
+        }
         let r_noce = noce.cycles as f64 / kbe.cycles as f64;
         let r_gpl = gpl.cycles as f64 / kbe.cycles as f64;
         best = best.min(r_gpl);
@@ -119,8 +145,12 @@ fn mode_comparison(opts: &Opts) {
 pub fn fig21(opts: &Opts) {
     // The paper sweeps SF 0.1..10; the equivalent regimes on the scaled
     // data sit lower — KBE's intermediates cross the 4 MB cache around
-    // SF 0.05.
-    let sweep = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
+    // SF 0.05. An explicit --sf collapses the sweep to that one point
+    // (like fig22), which keeps `repro all --sf <tiny>` cheap.
+    let sweep: Vec<f64> = match opts.sf {
+        Some(sf) => vec![sf],
+        None => vec![0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5],
+    };
     let gamma = opts.gamma();
     println!("runtime vs scale factor ({}), Q8 and Q14", opts.device.name);
     println!(
@@ -138,6 +168,14 @@ pub fn fig21(opts: &Opts) {
             let kbe = run_query(&mut ctx, &plan, ExecMode::Kbe, &kbe_cfg);
             ctx.sim.clear_cache();
             let gpl = run_query(&mut ctx, &plan, ExecMode::Gpl, &gpl_cfg);
+            for (mode, run) in [(ExecMode::Kbe, &kbe), (ExecMode::Gpl, &gpl)] {
+                opts.artifact.run(
+                    RunEntry::new(format!("{}@{sf}", q.name()), mode_key(mode))
+                        .cycles(run.cycles)
+                        .rows(run.output.rows.len() as u64)
+                        .fingerprint(row_fingerprint(run)),
+                );
+            }
             cells.push((kbe.ms(&opts.device), gpl.ms(&opts.device)));
         }
         println!(
@@ -189,6 +227,18 @@ pub fn fig22(opts: &Opts) {
             ctx.sim.clear_cache();
             let warm = gpl_ocelot::run_query(&mut ctx, &mut oc, &plan);
             assert_eq!(gpl.output, warm.output, "{} outputs diverged", q.name());
+            opts.artifact.run(
+                RunEntry::new(format!("{}@{sf}", q.name()), "gpl")
+                    .cycles(gpl.cycles)
+                    .rows(gpl.output.rows.len() as u64)
+                    .fingerprint(row_fingerprint(&gpl)),
+            );
+            opts.artifact.run(
+                RunEntry::new(format!("{}@{sf}", q.name()), "ocelot-warm")
+                    .cycles(warm.cycles)
+                    .rows(warm.output.rows.len() as u64)
+                    .fingerprint(row_fingerprint(&warm)),
+            );
             println!(
                 "{:>6} {:>5} {:>12} {:>12} {:>13.2}x",
                 sf,

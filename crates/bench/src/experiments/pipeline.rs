@@ -6,43 +6,24 @@
 //! asserting the outputs bit-identical before reporting anything.
 //!
 //! The printed table and the `target/obs/BENCH_pipeline.json` artifact
-//! carry, per fused pair: the chosen slice count K, the model's
-//! sequential and pipelined cycle estimates, and the simulator's
-//! observed build/probe spans with the measured overlap window. All
-//! numbers are simulated cycles, so two runs of the same command are
-//! byte-identical — the verify gate diffs them.
+//! (standard [`crate::artifact::BenchArtifact`] schema, written by the
+//! dispatcher) carry, per fused pair: the chosen slice count K, the
+//! model's sequential and pipelined cycle estimates, and the
+//! simulator's observed build/probe spans with the measured overlap
+//! window. All numbers are simulated cycles, so two runs of the same
+//! command are byte-identical — the verify gate diffs them.
 
 use super::Opts;
+use crate::artifact::{row_fingerprint, RunEntry};
 use gpl_core::{plan_for, run_query, ExecMode, QueryConfig, QueryRun};
 use gpl_model::{attach_overlap, build_models, estimate_stats, OverlapDecision};
-use gpl_obs::{parse, Json};
+use gpl_obs::Json;
 use gpl_tpch::{QueryId, TpchDb};
-
-const OUT_DIR: &str = "target/obs";
 
 fn query_by_name(name: &str) -> Option<QueryId> {
     QueryId::all()
         .into_iter()
         .find(|q| q.name().eq_ignore_ascii_case(name))
-}
-
-/// FNV-1a over the result rows — the same digest shape the serve report
-/// uses, so artifacts can be compared across tools.
-fn row_fingerprint(run: &QueryRun) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    mix(&(run.output.rows.len() as u64).to_le_bytes());
-    for row in &run.output.rows {
-        for v in row {
-            mix(&v.to_le_bytes());
-        }
-    }
-    h
 }
 
 /// The simulated span `[first dispatch, last complete]` of one stage's
@@ -62,11 +43,6 @@ fn observed_overlap(run: &QueryRun, d: &OverlapDecision) -> u64 {
     b1.min(p1).saturating_sub(b0.max(p0))
 }
 
-fn write_checked(path: &str, text: &str) {
-    parse(text).unwrap_or_else(|e| panic!("{path}: export does not re-parse: {e}"));
-    std::fs::write(path, text).unwrap_or_else(|e| panic!("{path}: {e}"));
-}
-
 pub fn pipeline(opts: &Opts) {
     let names: Vec<String> = if opts.extra.is_empty() {
         vec!["q9".into(), "q14".into()]
@@ -84,7 +60,7 @@ pub fn pipeline(opts: &Opts) {
         .collect();
     let sf = opts.sf_or(0.01);
     let gamma = opts.gamma();
-    std::fs::create_dir_all(OUT_DIR).expect("create target/obs");
+    opts.artifact.sf(sf);
 
     println!(
         "cross-segment pipelining, GPL vs GPL (pipelined) ({}, SF {sf})",
@@ -95,7 +71,6 @@ pub fn pipeline(opts: &Opts) {
         "query", "K", "model seq", "model pipe", "obs seq", "obs pipe", "obs Δ", "overlap cyc"
     );
 
-    let mut query_entries: Vec<Json> = Vec::new();
     for query in queries {
         let db = TpchDb::at_scale(sf);
         let plan = plan_for(&db, query);
@@ -159,24 +134,21 @@ pub fn pipeline(opts: &Opts) {
                 ])
             })
             .collect();
-        query_entries.push(Json::obj(vec![
-            ("query", Json::Str(query.name().to_string())),
-            ("sequential_cycles", Json::Int(seq.cycles as i64)),
-            ("pipelined_cycles", Json::Int(pipe.cycles as i64)),
-            ("row_fingerprint", Json::Str(format!("{fp:#018x}"))),
-            ("rows", Json::Int(seq.output.rows.len() as i64)),
-            ("pairs", Json::Arr(pair_entries)),
-        ]));
+        opts.artifact.run(
+            RunEntry::new(query.name(), "gpl")
+                .cycles(seq.cycles)
+                .rows(seq.output.rows.len() as u64)
+                .fingerprint(fp),
+        );
+        opts.artifact.run(
+            RunEntry::new(query.name(), "gpl-pipelined")
+                .cycles(pipe.cycles)
+                .rows(pipe.output.rows.len() as u64)
+                .fingerprint(fp)
+                .extra("pairs", Json::Arr(pair_entries)),
+        );
     }
 
-    let report = Json::obj(vec![
-        ("bench", Json::Str("pipeline".to_string())),
-        ("device", Json::Str(opts.device.name.clone())),
-        ("sf", Json::Num(sf)),
-        ("queries", Json::Arr(query_entries)),
-    ]);
-    let path = format!("{OUT_DIR}/BENCH_pipeline.json");
-    write_checked(&path, &report.to_pretty_string());
-    println!("\nwrote {path} (re-parsed with the in-tree JSON parser)");
-    println!("outputs asserted bit-identical between modes before reporting.");
+    println!("\noutputs asserted bit-identical between modes before reporting;");
+    println!("per-pair overlap details land in the BENCH_pipeline.json artifact.");
 }

@@ -12,9 +12,10 @@
 //! so a passing run guarantees well-formed files.
 
 use super::Opts;
+use crate::artifact::{mode_key, row_fingerprint, RunEntry};
 use gpl_core::{run_query, ExecMode, QueryConfig, QueryRun};
-use gpl_model::{build_models, estimate_stage, estimate_stats, optimize_models_traced};
-use gpl_obs::{chrome_trace_string, metrics_report, parse, MetricsRegistry, Recorder};
+use gpl_model::{build_models, drift_for_run, estimate_stats, optimize_models_traced};
+use gpl_obs::{chrome_trace_string, metrics_report, parse, DriftReport, MetricsRegistry, Recorder};
 use gpl_tpch::QueryId;
 
 /// Where the exports land, relative to the working directory.
@@ -24,15 +25,6 @@ fn query_by_name(name: &str) -> Option<QueryId> {
     QueryId::all()
         .into_iter()
         .find(|q| q.name().eq_ignore_ascii_case(name))
-}
-
-fn mode_key(mode: ExecMode) -> &'static str {
-    match mode {
-        ExecMode::Kbe => "kbe",
-        ExecMode::GplNoCe => "gpl-noce",
-        ExecMode::Gpl => "gpl",
-        ExecMode::GplPipelined => "gpl-pipelined",
-    }
 }
 
 /// Write `text` to `path`, after asserting it round-trips the in-tree
@@ -69,6 +61,7 @@ pub fn profile(opts: &Opts) {
     };
     let sf = opts.sf_or(0.01);
     let gamma = opts.gamma();
+    opts.artifact.sf(sf);
     std::fs::create_dir_all(OUT_DIR).expect("create target/obs");
 
     println!(
@@ -79,7 +72,7 @@ pub fn profile(opts: &Opts) {
     let mut registry = MetricsRegistry::new();
     let mut summary: Vec<(ExecMode, QueryRun)> = Vec::new();
     let mut written: Vec<String> = Vec::new();
-    let mut gpl_prediction: Option<Vec<(String, f64, f64)>> = None;
+    let mut gpl_drift: Option<DriftReport> = None;
 
     for mode in [ExecMode::Kbe, ExecMode::GplNoCe, ExecMode::Gpl] {
         // A fresh context and recorder per mode: each trace file stands
@@ -115,37 +108,28 @@ pub fn profile(opts: &Opts) {
         write_checked(&path, &chrome_trace_string(&rec));
         written.push(path);
 
-        // Eq. 8 predicted vs observed, for the mode the model targets.
-        // The model's per-kernel t() is wall-style: total work divided by
-        // the CUs the kernel effectively occupies. The simulator counts
-        // busy cycles summed over every work-unit, so the observed side
-        // must be divided by the same effective-CU count (reconstructed
-        // from the residency the estimate carries) to compare like with
-        // like.
+        // Predicted-vs-observed drift, for the mode the model targets:
+        // the Eq. 8 cycle estimates and the per-kernel λ joined against
+        // the simulator's observed cycles and row counts, keyed by the
+        // shared lowered-IR kernel names.
+        let mut entry = RunEntry::new(query.name(), mode_key(mode))
+            .cycles(run.cycles)
+            .rows(run.output.rows.len() as u64)
+            .fingerprint(row_fingerprint(&run));
         if mode == ExecMode::Gpl {
-            let num_cus = u64::from(opts.device.num_cus);
-            let mut rows = Vec::new();
-            for (i, (sm, scfg)) in models.iter().zip(&cfg.stages).enumerate() {
-                let est = estimate_stage(&opts.device, &gamma, sm, scfg);
-                // Kernel identity comes off the stage's lowered IR (via
-                // the model built from it) — the same names the GPL
-                // executor launches with.
-                let names = sm.ir.kernel_names();
-                let observed = &run.per_stage[i];
-                for (j, (kc, name)) in est.per_kernel.iter().zip(&names).enumerate() {
-                    let predicted = kc.t() * est.num_tiles as f64;
-                    let slots = (u64::from(kc.a_wg) * num_cus).min(u64::from(scfg.wg_counts[j]));
-                    let used_cus = slots.min(num_cus).max(1) as f64;
-                    let obs = observed
-                        .kernels
-                        .get(j)
-                        .map(|k| (k.compute_cycles + k.mem_cycles + k.dc_cycles) as f64 / used_cus)
-                        .unwrap_or(0.0);
-                    rows.push((format!("s{i}:{name}"), predicted, obs));
-                }
-            }
-            gpl_prediction = Some(rows);
+            let report = drift_for_run(
+                &opts.device,
+                &gamma,
+                &models,
+                &cfg,
+                &run,
+                query.name(),
+                mode_key(mode),
+            );
+            entry = entry.drift(report.summary());
+            gpl_drift = Some(report);
         }
+        opts.artifact.run(entry);
         summary.push((mode, run));
     }
 
@@ -167,27 +151,16 @@ pub fn profile(opts: &Opts) {
         );
     }
 
-    if let Some(rows) = &gpl_prediction {
+    if let Some(report) = &gpl_drift {
         println!("\nEq. 8 model vs simulator, per GPL kernel");
         println!("(whole-stage busy cycles over the kernel's effective CUs):");
-        println!(
-            "{:<24} {:>14} {:>14} {:>10}",
-            "kernel", "predicted", "observed", "rel err"
+        print!("{}", report.render());
+        let path = format!(
+            "{OUT_DIR}/profile-{}-drift.json",
+            query.name().to_lowercase()
         );
-        for (name, predicted, observed) in rows {
-            let err = if *observed > 0.0 {
-                (predicted - observed).abs() / observed
-            } else {
-                0.0
-            };
-            println!(
-                "{:<24} {:>14.0} {:>14.0} {:>9.1}%",
-                name,
-                predicted,
-                observed,
-                err * 100.0
-            );
-        }
+        write_checked(&path, &report.to_json().to_pretty_string());
+        written.push(path);
     }
 
     let sf_text = format!("{sf}");

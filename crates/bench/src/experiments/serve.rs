@@ -18,6 +18,8 @@
 //! show the plan cache collapsing repeat planning cost.
 
 use super::Opts;
+use crate::artifact::RunEntry;
+use gpl_obs::Json;
 use gpl_serve::{QueryRequest, ServeConfig, Server};
 use gpl_sql::sql_for;
 use gpl_tpch::{QueryId, TpchDb};
@@ -55,6 +57,7 @@ pub fn serve(opts: &Opts) {
 
     let db = Arc::new(TpchDb::at_scale(sf));
     let gamma = Arc::new(opts.gamma());
+    opts.artifact.sf(sf);
 
     println!(
         "{:>7}  {:>10}  {:>12}  {:>12}  {:>9}  {:>18}",
@@ -82,6 +85,22 @@ pub fn serve(opts: &Opts) {
         let qps = n as f64 / makespan_s.max(1e-12);
         sim_qps.push(qps);
         fingerprints.push(report.fingerprint());
+        // Only simulated quantities go into the artifact — wall-clock
+        // throughput varies per host and would break byte-reproducibility.
+        opts.artifact.run(
+            RunEntry::new(format!("serve-{w}w"), "gpl")
+                .cycles(report.simulated_makespan())
+                .rows(report.ok_count() as u64)
+                .fingerprint(report.fingerprint())
+                .extra(
+                    "queue_p50_cycles",
+                    Json::Int(report.simulated_queue_pct(50.0) as i64),
+                )
+                .extra(
+                    "queue_p95_cycles",
+                    Json::Int(report.simulated_queue_pct(95.0) as i64),
+                ),
+        );
         println!(
             "{:>7}  {:>10.1}  {:>12.2}  {:>12.2}  {:>9.1}  {:#018x}",
             w,
@@ -137,6 +156,13 @@ pub fn serve(opts: &Opts) {
             .collect::<Vec<_>>(),
     );
     let (hits, misses) = srv.plan_cache().stats();
+    opts.artifact.fact(
+        "plan_cache",
+        Json::obj(vec![
+            ("hits", Json::Int(hits as i64)),
+            ("misses", Json::Int(misses as i64)),
+        ]),
+    );
     let ratio = cold_miss_ms / warm_hit_ms.max(1e-6);
     println!("\nplan cache across a repeat of the workload ({hits} hits / {misses} misses):");
     println!("  cold plan (miss): {cold_miss_ms:.3} ms avg");

@@ -3,7 +3,18 @@
 
 use super::Opts;
 use gpl_core::{plan_for, run_query, ExecMode, QueryConfig};
+use gpl_obs::Json;
 use gpl_tpch::QueryId;
+
+fn util_point(q: QueryId, mode: &str, v: f64, m: f64, o: f64) -> Json {
+    Json::obj(vec![
+        ("query", Json::Str(q.name().to_string())),
+        ("mode", Json::Str(mode.to_string())),
+        ("valu_busy", Json::Num(v / 100.0)),
+        ("mem_unit_busy", Json::Num(m / 100.0)),
+        ("occupancy", Json::Num(o / 100.0)),
+    ])
+}
 
 fn utilization_row(
     ctx: &mut gpl_core::ExecContext,
@@ -31,13 +42,17 @@ pub fn fig5(opts: &Opts) {
         "{:>5} {:>10} {:>12} {:>11}",
         "query", "VALUBusy", "MemUnitBusy", "occupancy"
     );
+    opts.artifact.sf(sf);
     let mut avg = (0.0, 0.0);
+    let mut points = Vec::new();
     for q in QueryId::evaluation_set() {
         let (v, m, o) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
         avg.0 += v / 5.0;
         avg.1 += m / 5.0;
+        points.push(util_point(q, "kbe", v, m, o));
         println!("{:>5} {:>9.1}% {:>11.1}% {:>10.1}%", q.name(), v, m, o);
     }
+    opts.artifact.fact("utilization", Json::Arr(points));
     println!("{:>5} {:>9.1}% {:>11.1}%", "avg", avg.0, avg.1);
     println!(
         "expected shape: one kernel at a time leaves at least one unit under-used; \
@@ -57,9 +72,13 @@ pub fn fig19(opts: &Opts) {
         "{:>5} {:>14} {:>14}   {:>14} {:>14}",
         "query", "KBE VALUBusy", "KBE MemUnit", "GPL VALUBusy", "GPL MemUnit"
     );
+    opts.artifact.sf(sf);
+    let mut points = Vec::new();
     for q in QueryId::evaluation_set() {
-        let (kv, km, _) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
-        let (gv, gm, _) = utilization_row(&mut ctx, opts, q, ExecMode::Gpl);
+        let (kv, km, ko) = utilization_row(&mut ctx, opts, q, ExecMode::Kbe);
+        let (gv, gm, go) = utilization_row(&mut ctx, opts, q, ExecMode::Gpl);
+        points.push(util_point(q, "kbe", kv, km, ko));
+        points.push(util_point(q, "gpl", gv, gm, go));
         println!(
             "{:>5} {:>13.1}% {:>13.1}%   {:>13.1}% {:>13.1}%",
             q.name(),
@@ -69,6 +88,7 @@ pub fn fig19(opts: &Opts) {
             gm
         );
     }
+    opts.artifact.fact("utilization", Json::Arr(points));
     println!("expected shape: GPL sustains steadier, higher utilization than KBE.");
 }
 
@@ -78,9 +98,13 @@ pub fn fig28(opts: &Opts) {
     o.device = gpl_sim::nvidia_k40();
     let sf = o.sf_or(0.1);
     let mut ctx = o.ctx(sf);
+    opts.artifact.sf(sf);
     println!("Q8 resource utilization (SF {sf}, {})", o.device.name);
-    for (name, mode) in [("KBE", ExecMode::Kbe), ("GPL", ExecMode::Gpl)] {
+    let mut points = Vec::new();
+    for (name, key, mode) in [("KBE", "kbe", ExecMode::Kbe), ("GPL", "gpl", ExecMode::Gpl)] {
         let (v, m, occ) = utilization_row(&mut ctx, &o, QueryId::Q8, mode);
+        points.push(util_point(QueryId::Q8, key, v, m, occ));
         println!("{name:>4}: VALUBusy {v:>5.1}%  MemUnitBusy {m:>5.1}%  occupancy {occ:>5.1}%");
     }
+    opts.artifact.fact("utilization", Json::Arr(points));
 }

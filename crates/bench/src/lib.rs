@@ -5,6 +5,9 @@
 //! [`harness`]). The `repro` binary prints the same rows and series the
 //! paper reports.
 
+pub mod artifact;
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+
+pub use artifact::{ArtifactSink, BenchArtifact, RunEntry};

@@ -18,6 +18,7 @@ fn cheap_experiments_run_at_tiny_scale() {
         // Keep `serve` cheap here: a pinned pool and a short workload.
         workers: Some(2),
         queries: Some(6),
+        artifact: Default::default(),
     };
     for e in registry() {
         if skip.contains(&e.name) {
@@ -35,6 +36,7 @@ fn profile_runs_and_exports() {
         extra: vec!["q1".to_string()],
         workers: None,
         queries: None,
+        artifact: Default::default(),
     };
     let e = registry()
         .into_iter()

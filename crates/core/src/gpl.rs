@@ -271,7 +271,8 @@ impl gpl_sim::WorkSource for LeafSource {
             mem_insts: mem.div_ceil(self.wavefront),
             accesses,
             ..Default::default()
-        };
+        }
+        .rows(rows as u64, out.rows as u64);
         if out.rows > 0 {
             project_to(&mut out, &self.ship);
             let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
@@ -576,6 +577,7 @@ impl ProbeSource {
             );
         }
         let merged = concat(admitted);
+        let in_rows = merged.rows as u64;
         let mut acc = Vec::new();
         let mut compute = routed_rows * 2; // slice-routing cost
         let mut mem = 0u64;
@@ -586,6 +588,7 @@ impl ProbeSource {
             accesses: acc,
             ..Default::default()
         }
+        .rows(in_rows, out.rows as u64)
         .pop(self.input, data_popped)
         .pop(gate.pub_in, pub_popped);
         if out.rows > 0 {
@@ -615,6 +618,7 @@ impl gpl_sim::WorkSource for ProbeSource {
             }
             Some((chunks, popped)) => {
                 let merged = concat(chunks);
+                let in_rows = merged.rows as u64;
                 let mut acc = Vec::new();
                 let mut compute = 0u64;
                 let mut mem = 0u64;
@@ -625,6 +629,7 @@ impl gpl_sim::WorkSource for ProbeSource {
                     accesses: acc,
                     ..Default::default()
                 }
+                .rows(in_rows, out.rows as u64)
                 .pop(self.input, popped);
                 if out.rows > 0 {
                     project_to(&mut out, &self.ship);
@@ -719,6 +724,7 @@ impl gpl_sim::WorkSource for TermSource {
                         accesses: acc,
                         ..Default::default()
                     }
+                    .rows(rows as u64, 0)
                     .pop(self.input, popped),
                 )
             }
@@ -793,6 +799,7 @@ impl gpl_sim::WorkSource for BuildPublishSource {
                             )],
                             ..Default::default()
                         }
+                        .rows(rows as u64, 0)
                         .pop(self.input, popped),
                     );
                 }

@@ -78,6 +78,7 @@ pub(crate) fn run_stage_range(
                 pred.slots(&mut in_slots);
                 in_slots.dedup();
                 let flags = alloc_array(ctx, rows, 1, RegionClass::Scratch, "kbe.flags");
+                let out = apply_filter(&st.chunk, pred);
                 merged.merge(&launch(
                     ctx,
                     "k_map",
@@ -89,9 +90,9 @@ pub(crate) fn run_stage_range(
                                 .map(|&s| st.addr[s].expect("filled"))
                                 .collect(),
                         )
-                        .writes(vec![flags]),
+                        .writes(vec![flags])
+                        .io_rows(rows as u64, out.rows as u64),
                 ));
-                let out = apply_filter(&st.chunk, pred);
                 scatter_phase(
                     ctx,
                     &mut st,
@@ -127,7 +128,8 @@ pub(crate) fn run_stage_range(
                     )
                     .reads(vec![st.addr[*key].expect("key filled")])
                     .writes(writes)
-                    .extra(extra, 1),
+                    .extra(extra, 1)
+                    .io_rows(rows as u64, out.rows as u64),
                 ));
                 scatter_phase(
                     ctx,
@@ -155,7 +157,8 @@ pub(crate) fn run_stage_range(
                                 .map(|&s| st.addr[s].expect("filled"))
                                 .collect(),
                         )
-                        .writes(vec![arr]),
+                        .writes(vec![arr])
+                        .io_rows(rows as u64, rows as u64),
                 ));
                 apply_compute(&mut st.chunk, expr, *out);
                 st.addr[*out] = Some(arr);
@@ -192,7 +195,8 @@ pub(crate) fn run_stage_range(
                     ops::terminal_mem_insts(&stage.terminal),
                 )
                 .reads(reads)
-                .extra(extra, 1),
+                .extra(extra, 1)
+                .io_rows(rows as u64, 0),
             ));
         }
         Terminal::Aggregate { groups, aggs } => {
@@ -230,7 +234,8 @@ pub(crate) fn run_stage_range(
                         .map(|&s| st.addr[s].expect("filled"))
                         .collect(),
                 )
-                .extra(extra, 2),
+                .extra(extra, 2)
+                .io_rows(rows as u64, 0),
             ));
         }
     }
@@ -256,7 +261,8 @@ fn scatter_phase(
         kernel_resources("k_prefix_sum", wavefront),
         ReplayKernel::new(rows, wavefront, 2 * ops::INST_EXPANSION, 0)
             .reads(vec![flags])
-            .writes(vec![offsets]),
+            .writes(vec![offsets])
+            .io_rows(rows as u64, rows as u64),
     ));
 
     let out_rows = out.rows;
@@ -286,7 +292,8 @@ fn scatter_phase(
             live_out.len() as u64,
         )
         .reads(reads)
-        .writes(writes.clone()),
+        .writes(writes.clone())
+        .io_rows(rows as u64, out_rows as u64),
     ));
     // The compacted arrays replace the slot backing; dead slots drop.
     let mut addr = vec![None; st.addr.len()];

@@ -64,6 +64,11 @@ pub struct ReplayKernel {
     pub extra: Vec<MemRange>,
     pub extra_per_row: usize,
     pub emitted_any: bool,
+    /// Observed-statistics totals (see [`ReplayKernel::io_rows`]): rows
+    /// consumed and rows surviving over the whole launch, distributed
+    /// proportionally across the emitted work units.
+    pub rows_in_total: u64,
+    pub rows_out_total: u64,
 }
 
 impl ReplayKernel {
@@ -80,6 +85,8 @@ impl ReplayKernel {
             extra: Vec::new(),
             extra_per_row: 0,
             emitted_any: false,
+            rows_in_total: 0,
+            rows_out_total: 0,
         }
     }
 
@@ -103,6 +110,16 @@ impl ReplayKernel {
     /// batches to fill the device).
     pub fn batch(mut self, rows: usize) -> Self {
         self.batch = rows.max(1);
+        self
+    }
+
+    /// Declare the launch's observed row totals: `rows_in` consumed and
+    /// `rows_out` surviving. Units report proportional shares that sum
+    /// exactly to the totals, so the kernel profile's `rows_in/rows_out`
+    /// match the eager host-side computation.
+    pub fn io_rows(mut self, rows_in: u64, rows_out: u64) -> Self {
+        self.rows_in_total = rows_in;
+        self.rows_out_total = rows_out;
         self
     }
 }
@@ -140,12 +157,21 @@ impl gpl_sim::WorkSource for ReplayKernel {
             );
         }
         let mem_ops = self.per_row_mem + self.reads.len() as u64 + self.writes.len() as u64;
-        Work::Unit(WorkUnit {
-            compute_insts: (rows * self.per_row_compute).div_ceil(self.wavefront),
-            mem_insts: (rows * mem_ops).div_ceil(self.wavefront),
-            accesses,
-            ..Default::default()
-        })
+        // Proportional shares of the declared totals: prefix(end) −
+        // prefix(start) telescopes to the exact totals over the launch.
+        let total = self.rows as u64;
+        let share = |t: u64| {
+            (t * end as u64 / total.max(1)).saturating_sub(t * start as u64 / total.max(1))
+        };
+        Work::Unit(
+            WorkUnit {
+                compute_insts: (rows * self.per_row_compute).div_ceil(self.wavefront),
+                mem_insts: (rows * mem_ops).div_ceil(self.wavefront),
+                accesses,
+                ..Default::default()
+            }
+            .rows(share(self.rows_in_total), share(self.rows_out_total)),
+        )
     }
 }
 

@@ -19,9 +19,13 @@
 //!   eligible build→probe pair whether overlapping the build terminal
 //!   with the probe leaf pays off, and at how many slices K.
 //! * [`error`] — Eq. 10 relative-error validation against the simulator.
+//! * [`drift`] — the per-kernel predicted-vs-observed join (λ and Eq. 8
+//!   cycles against the simulator's row counts and busy cycles),
+//!   producing `gpl_obs` drift reports.
 
 pub mod analyze;
 pub mod cost;
+pub mod drift;
 pub mod error;
 pub mod gamma;
 pub mod joinopt;
@@ -31,6 +35,7 @@ pub mod stats;
 
 pub use analyze::{build_models, KernelModel, StageModel};
 pub use cost::{allocate_residency, estimate_query, estimate_stage, StageEstimate};
+pub use drift::drift_for_run;
 pub use error::{evaluate, relative_error, ModelEval};
 pub use gamma::GammaTable;
 pub use joinopt::optimize_join_order;

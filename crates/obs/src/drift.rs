@@ -1,0 +1,293 @@
+//! Predicted-vs-observed drift reports: the feedback seam between the
+//! cost model and the executors.
+//!
+//! The model predicts, per kernel, a selectivity λ (Table 2) and an
+//! Eq. 8 cycle estimate; the simulator observes, per kernel, actual
+//! rows-in/rows-out and cycle counts. Both sides key their entries by
+//! the same `SegmentIr` node names, so joining them is positional and
+//! exact. This module holds the joined rows ([`KernelDrift`]), the
+//! per-query report ([`DriftReport`]) and batch aggregation
+//! ([`DriftSummary`]) — all plain data with deterministic rendering,
+//! ready for an adaptive re-optimizer to consume.
+
+use crate::json::Json;
+
+/// One kernel's predicted-vs-observed join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDrift {
+    /// Stage (segment) name, e.g. `probe_lineitem`.
+    pub stage: String,
+    /// Kernel name from the lowered IR, e.g. `k_hash_probe_part`.
+    pub kernel: String,
+    /// The model's per-kernel selectivity λ (rows-out / rows-in;
+    /// terminals predict 0).
+    pub predicted_lambda: f64,
+    /// Observed rows-out / rows-in from the kernel profile.
+    pub observed_lambda: f64,
+    /// Observed rows consumed.
+    pub rows_in: u64,
+    /// Observed rows emitted downstream.
+    pub rows_out: u64,
+    /// Eq. 8 per-kernel cycle estimate (t(K) × tiles).
+    pub predicted_cycles: f64,
+    /// Observed busy cycles normalized by the CUs the kernel's resident
+    /// work-groups occupied.
+    pub observed_cycles: f64,
+}
+
+/// `|predicted − observed| / observed`, with observed == 0 treated as
+/// exact when the prediction is also 0 and as 100% error otherwise —
+/// keeps every error finite and reports deterministic.
+pub fn rel_err(predicted: f64, observed: f64) -> f64 {
+    if observed.abs() > f64::EPSILON {
+        (predicted - observed).abs() / observed.abs()
+    } else if predicted.abs() > f64::EPSILON {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+impl KernelDrift {
+    /// Relative error of the λ prediction.
+    pub fn lambda_err(&self) -> f64 {
+        rel_err(self.predicted_lambda, self.observed_lambda)
+    }
+
+    /// Relative error of the Eq. 8 cycle prediction.
+    pub fn cycles_err(&self) -> f64 {
+        rel_err(self.predicted_cycles, self.observed_cycles)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stage", Json::Str(self.stage.clone())),
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("predicted_lambda", Json::Num(self.predicted_lambda)),
+            ("observed_lambda", Json::Num(self.observed_lambda)),
+            ("rows_in", Json::Int(self.rows_in as i64)),
+            ("rows_out", Json::Int(self.rows_out as i64)),
+            ("predicted_cycles", Json::Num(self.predicted_cycles)),
+            ("observed_cycles", Json::Num(self.observed_cycles)),
+            ("lambda_err", Json::Num(self.lambda_err())),
+            ("cycles_err", Json::Num(self.cycles_err())),
+        ])
+    }
+}
+
+/// Per-query drift report: one [`KernelDrift`] per lowered kernel, in
+/// IR order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriftReport {
+    pub query: String,
+    pub mode: String,
+    pub kernels: Vec<KernelDrift>,
+}
+
+impl DriftReport {
+    pub fn new(query: impl Into<String>, mode: impl Into<String>) -> Self {
+        DriftReport {
+            query: query.into(),
+            mode: mode.into(),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// The `n` kernels with the largest cycle error, ties broken by
+    /// (stage, kernel) name so the order is deterministic.
+    pub fn worst(&self, n: usize) -> Vec<&KernelDrift> {
+        let mut sorted: Vec<&KernelDrift> = self.kernels.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.cycles_err()
+                .partial_cmp(&a.cycles_err())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&a.stage, &a.kernel).cmp(&(&b.stage, &b.kernel)))
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    pub fn summary(&self) -> DriftSummary {
+        DriftSummary::from_reports(std::slice::from_ref(self))
+    }
+
+    /// Fixed-width table, byte-stable across runs: every float is
+    /// rendered with four decimals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("drift report: {} [{}]\n", self.query, self.mode));
+        out.push_str(&format!(
+            "{:<18} {:<22} {:>8} {:>8} {:>7} {:>10} {:>10} {:>12} {:>12} {:>7}\n",
+            "stage",
+            "kernel",
+            "pred_l",
+            "obs_l",
+            "l_err",
+            "rows_in",
+            "rows_out",
+            "pred_cyc",
+            "obs_cyc",
+            "c_err"
+        ));
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<18} {:<22} {:>8.4} {:>8.4} {:>7.4} {:>10} {:>10} {:>12.1} {:>12.1} {:>7.4}\n",
+                k.stage,
+                k.kernel,
+                k.predicted_lambda,
+                k.observed_lambda,
+                k.lambda_err(),
+                k.rows_in,
+                k.rows_out,
+                k.predicted_cycles,
+                k.observed_cycles,
+                k.cycles_err()
+            ));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "kernels {}  mean λ err {:.4}  max λ err {:.4}  mean cycle err {:.4}  max cycle err {:.4}\n",
+            s.kernels, s.mean_lambda_err, s.max_lambda_err, s.mean_cycles_err, s.max_cycles_err
+        ));
+        for w in self.worst(3) {
+            out.push_str(&format!(
+                "  worst: {}/{} cycle err {:.4}\n",
+                w.stage,
+                w.kernel,
+                w.cycles_err()
+            ));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("query", Json::Str(self.query.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            (
+                "kernels",
+                Json::Arr(self.kernels.iter().map(|k| k.to_json()).collect()),
+            ),
+            ("summary", self.summary().to_json()),
+        ])
+    }
+}
+
+/// Aggregate drift statistics over one report or a whole query batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriftSummary {
+    /// Kernels joined.
+    pub kernels: usize,
+    pub mean_lambda_err: f64,
+    pub max_lambda_err: f64,
+    pub mean_cycles_err: f64,
+    pub max_cycles_err: f64,
+    /// `query/stage/kernel` of the worst cycle offender.
+    pub worst_kernel: String,
+}
+
+impl DriftSummary {
+    /// Aggregate across reports (a query batch): flat mean over all
+    /// joined kernels, max over all, worst offender fully qualified.
+    pub fn from_reports(reports: &[DriftReport]) -> Self {
+        let mut s = DriftSummary::default();
+        let mut lambda_sum = 0.0;
+        let mut cycles_sum = 0.0;
+        for r in reports {
+            for k in &r.kernels {
+                s.kernels += 1;
+                let le = k.lambda_err();
+                let ce = k.cycles_err();
+                lambda_sum += le;
+                cycles_sum += ce;
+                s.max_lambda_err = s.max_lambda_err.max(le);
+                if ce > s.max_cycles_err || s.worst_kernel.is_empty() {
+                    s.max_cycles_err = s.max_cycles_err.max(ce);
+                    s.worst_kernel = format!("{}/{}/{}", r.query, k.stage, k.kernel);
+                }
+            }
+        }
+        if s.kernels > 0 {
+            s.mean_lambda_err = lambda_sum / s.kernels as f64;
+            s.mean_cycles_err = cycles_sum / s.kernels as f64;
+        }
+        s
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernels", Json::Int(self.kernels as i64)),
+            ("mean_lambda_err", Json::Num(self.mean_lambda_err)),
+            ("max_lambda_err", Json::Num(self.max_lambda_err)),
+            ("mean_cycles_err", Json::Num(self.mean_cycles_err)),
+            ("max_cycles_err", Json::Num(self.max_cycles_err)),
+            ("worst_kernel", Json::Str(self.worst_kernel.clone())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kd(stage: &str, kernel: &str, pl: f64, ol: f64, pc: f64, oc: f64) -> KernelDrift {
+        KernelDrift {
+            stage: stage.into(),
+            kernel: kernel.into(),
+            predicted_lambda: pl,
+            observed_lambda: ol,
+            rows_in: 100,
+            rows_out: (ol * 100.0) as u64,
+            predicted_cycles: pc,
+            observed_cycles: oc,
+        }
+    }
+
+    #[test]
+    fn rel_err_handles_zero_observed() {
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert_eq!(rel_err(0.5, 0.0), 1.0);
+        assert!((rel_err(1.5, 1.0) - 0.5).abs() < 1e-12);
+        assert!((rel_err(0.5, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates_and_names_worst() {
+        let mut r = DriftReport::new("q9", "gpl");
+        r.kernels.push(kd("s0", "k_map", 0.5, 0.5, 100.0, 100.0));
+        r.kernels.push(kd("s0", "k_probe", 0.9, 0.45, 100.0, 200.0));
+        let s = r.summary();
+        assert_eq!(s.kernels, 2);
+        assert!((s.max_lambda_err - 1.0).abs() < 1e-12);
+        assert!((s.max_cycles_err - 0.5).abs() < 1e-12);
+        assert_eq!(s.worst_kernel, "q9/s0/k_probe");
+        assert!((s.mean_cycles_err - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_is_deterministic_under_ties() {
+        let mut r = DriftReport::new("q", "m");
+        r.kernels.push(kd("s1", "kb", 0.0, 0.0, 100.0, 200.0));
+        r.kernels.push(kd("s0", "ka", 0.0, 0.0, 100.0, 200.0));
+        let w = r.worst(2);
+        assert_eq!(w[0].stage, "s0");
+        assert_eq!(w[1].stage, "s1");
+    }
+
+    #[test]
+    fn render_is_stable_and_json_round_trips() {
+        let mut r = DriftReport::new("q14", "gpl-pipelined");
+        r.kernels
+            .push(kd("probe", "k_hash_probe", 0.2, 0.1, 5e3, 6e3));
+        assert_eq!(r.render(), r.render());
+        let text = r.to_json().to_string();
+        let back = crate::parse::parse(&text).unwrap();
+        assert_eq!(back.get("query").unwrap().as_str().unwrap(), "q14");
+        let ks = back.get("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(ks.len(), 1);
+        assert_eq!(
+            ks[0].get("kernel").unwrap().as_str().unwrap(),
+            "k_hash_probe"
+        );
+    }
+}

@@ -11,6 +11,10 @@
 //!   are byte-stable across runs.
 //! * [`metrics`] — a [`MetricsRegistry`] of monotonic counters, gauges
 //!   and log2-bucketed histograms, keyed by name × sorted labels.
+//! * [`drift`] — per-kernel predicted-vs-observed joins ([`KernelDrift`],
+//!   [`DriftReport`], [`DriftSummary`]): the model's λ / Eq. 8 cycle
+//!   estimates against the simulator's observed row counts and cycles,
+//!   keyed by the shared `SegmentIr` kernel names.
 //! * [`json`] / [`parse`] — a hand-rolled JSON writer (correct string
 //!   escaping, deterministic number formatting, non-finite floats →
 //!   `null`) and the minimal parser that lets tests and the verify
@@ -21,12 +25,14 @@
 //! The crate is dependency-free and knows nothing about the simulator;
 //! `gpl-sim` and the layers above it push their events in.
 
+pub mod drift;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod parse;
 pub mod record;
 
+pub use drift::{DriftReport, DriftSummary, KernelDrift};
 pub use export::{chrome_trace, chrome_trace_string, metrics_report};
 pub use json::Json;
 pub use metrics::{Histogram, Metric, MetricKey, MetricsRegistry};

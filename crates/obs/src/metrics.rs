@@ -69,6 +69,38 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Nearest-rank percentile (`q` in `0..=100`) read off the log2
+    /// buckets: the upper edge of the bucket holding the rank-th
+    /// observation, clamped to the observed `[min, max]`. Exact for the
+    /// extremes; within a factor of 2 in between (the bucket width).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= rank {
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
 }
 
 /// Bucket index for a value: 0 for 0, otherwise `1 + floor(log2(v))`.
@@ -285,6 +317,34 @@ mod tests {
             .map(|e| e.get("name").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(names, vec!["cycles", "occupancy", "span"]);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_over_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Ranks 50/95/99 land in buckets [32,63] / [64,127] / [64,127];
+        // upper edges clamp to the observed max of 100.
+        assert_eq!(h.p50(), 63);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        // A single observation is every percentile.
+        let mut one = Histogram::default();
+        one.observe(42);
+        assert_eq!(one.p50(), 42);
+        assert_eq!(one.p99(), 42);
+        // All-zero observations stay at zero.
+        let mut z = Histogram::default();
+        z.observe(0);
+        z.observe(0);
+        assert_eq!(z.p95(), 0);
+        // The top bucket's edge clamps to max, not u64::MAX.
+        let mut big = Histogram::default();
+        big.observe(u64::MAX - 3);
+        assert_eq!(big.p50(), u64::MAX - 3);
     }
 
     #[test]

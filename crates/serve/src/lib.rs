@@ -19,8 +19,13 @@
 //!   structured [`ServeError`]s (the simulator's deadlock diagnostic
 //!   survives verbatim) instead of aborting the process.
 //! * [`report`] — batch aggregates: queries/sec, queue-latency
-//!   percentiles, a deterministic FNV-1a result fingerprint, the merged
+//!   percentiles (one shared log2-histogram quantile path), a
+//!   deterministic FNV-1a result fingerprint, the merged
 //!   `q{id}/`-prefixed multi-track trace, and `serve.*` metrics.
+//! * [`telemetry`] — time-series telemetry sampled on the logical ticks
+//!   of the deterministic simulated schedule: queue depth, running/done,
+//!   plan-cache hit rate, recovery events, and breaker state
+//!   transitions, exported as metrics and Chrome-trace counter tracks.
 //!
 //! The `repro serve` experiment in `gpl-bench` drives this layer over
 //! the TPC-H corpus at worker counts 1/2/4/8.
@@ -30,9 +35,11 @@ pub mod cache;
 pub mod report;
 pub mod request;
 pub mod scheduler;
+pub mod telemetry;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{PlanCache, PlanEntry};
 pub use report::BatchReport;
-pub use request::{Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
+pub use request::{KernelRows, Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
 pub use scheduler::{FaultConfig, ServeConfig, Server};
+pub use telemetry::{BreakerTransition, Telemetry, TelemetrySample};

@@ -3,7 +3,8 @@
 //! `serve.*` metrics snapshot.
 
 use crate::request::QueryResponse;
-use gpl_obs::{MetricsRegistry, Recorder};
+use crate::telemetry::{BreakerTransition, Telemetry};
+use gpl_obs::{Histogram, MetricsRegistry, Recorder};
 use std::time::Duration;
 
 /// Everything a completed batch produced. `responses` are sorted by
@@ -23,6 +24,20 @@ pub struct BatchReport {
     pub sheds: u64,
     /// Circuit-breaker `(rejections, opens)` across all workers.
     pub breaker: (u64, u64),
+    /// Breaker state changes (cumulative per server), sorted by
+    /// (device cycle, worker).
+    pub breaker_transitions: Vec<BreakerTransition>,
+}
+
+/// Nearest-rank percentile over the log2 [`Histogram`] buckets — the one
+/// quantile implementation every latency figure in this crate goes
+/// through (bucket upper edge, clamped to the observed min/max).
+fn histogram_pct(values: impl IntoIterator<Item = u64>, pct: f64) -> u64 {
+    let mut h = Histogram::default();
+    for v in values {
+        h.observe(v);
+    }
+    h.percentile(pct)
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -49,15 +64,15 @@ impl BatchReport {
         self.responses.len() as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
-    /// The `pct`-th percentile (0–100, nearest-rank) of queue latency.
+    /// The `pct`-th percentile (0–100) of wall-clock queue latency, read
+    /// off a log2 histogram at microsecond resolution.
     pub fn queue_latency_pct(&self, pct: f64) -> Duration {
-        let mut lat: Vec<Duration> = self.responses.iter().map(|r| r.queue_wall).collect();
-        if lat.is_empty() {
-            return Duration::ZERO;
-        }
-        lat.sort();
-        let rank = ((pct / 100.0) * lat.len() as f64).ceil() as usize;
-        lat[rank.clamp(1, lat.len()) - 1]
+        Duration::from_micros(histogram_pct(
+            self.responses
+                .iter()
+                .map(|r| r.queue_wall.as_micros() as u64),
+            pct,
+        ))
     }
 
     /// The deterministic simulated schedule: queries in id order, each
@@ -90,21 +105,14 @@ impl BatchReport {
             .unwrap_or(0)
     }
 
-    /// The `pct`-th percentile (nearest-rank) of *simulated* queue
-    /// latency: how many device cycles each query waited for a free
-    /// simulated GPU. Deterministic, unlike the wall-clock latencies.
+    /// The `pct`-th percentile of *simulated* queue latency: how many
+    /// device cycles each query waited for a free simulated GPU.
+    /// Deterministic, unlike the wall-clock latencies.
     pub fn simulated_queue_pct(&self, pct: f64) -> u64 {
-        let mut waits: Vec<u64> = self
-            .simulated_schedule()
-            .iter()
-            .map(|&(_, start, _)| start)
-            .collect();
-        if waits.is_empty() {
-            return 0;
-        }
-        waits.sort_unstable();
-        let rank = ((pct / 100.0) * waits.len() as f64).ceil() as usize;
-        waits[rank.clamp(1, waits.len()) - 1]
+        histogram_pct(
+            self.simulated_schedule().iter().map(|&(_, start, _)| start),
+            pct,
+        )
     }
 
     /// FNV-1a over the deterministic facts of every response, in id
@@ -181,21 +189,16 @@ impl BatchReport {
         h
     }
 
-    /// The `pct`-th percentile (nearest-rank) of *simulated completion
-    /// latency* — queue wait plus execution, in device cycles, under the
+    /// The `pct`-th percentile of *simulated completion latency* —
+    /// queue wait plus execution, in device cycles, under the
     /// deterministic schedule of [`BatchReport::simulated_schedule`].
     pub fn simulated_latency_pct(&self, pct: f64) -> u64 {
-        let mut lat: Vec<u64> = self
-            .simulated_schedule()
-            .iter()
-            .map(|&(_, start, cycles)| start + cycles)
-            .collect();
-        if lat.is_empty() {
-            return 0;
-        }
-        lat.sort_unstable();
-        let rank = ((pct / 100.0) * lat.len() as f64).ceil() as usize;
-        lat[rank.clamp(1, lat.len()) - 1]
+        histogram_pct(
+            self.simulated_schedule()
+                .iter()
+                .map(|&(_, start, cycles)| start + cycles),
+            pct,
+        )
     }
 
     /// Merge every per-query recorder dump into one multi-track trace:
@@ -205,12 +208,21 @@ impl BatchReport {
     /// serializing them.
     pub fn merged_trace(&self) -> Recorder {
         let rec = Recorder::new();
+        // Batch-level counter ("C") tracks first, so the serve/* series
+        // sit above the per-query track groups in the rendered trace.
+        self.telemetry().record_counters(&rec);
         for r in &self.responses {
             if let Some(dump) = &r.trace {
                 rec.absorb(&format!("q{}/", r.id), dump);
             }
         }
         rec
+    }
+
+    /// The batch's time-series telemetry, derived from the deterministic
+    /// simulated schedule (see [`Telemetry`]).
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry::from_report(self)
     }
 
     /// Snapshot the batch into a metrics registry: the
@@ -246,6 +258,7 @@ impl BatchReport {
                 m.histogram_observe("serve.query_cycles", &[], res.cycles);
             }
         }
+        self.telemetry().export_metrics(&mut m);
         m
     }
 

@@ -12,7 +12,8 @@
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::PlanCache;
 use crate::report::BatchReport;
-use crate::request::{Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
+use crate::request::{KernelRows, Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
+use crate::telemetry::BreakerTransition;
 use gpl_core::{try_run_query_recovering, ExecContext, ExecError, ExecLimits, RecoveryPolicy};
 use gpl_model::GammaTable;
 use gpl_obs::Recorder;
@@ -111,6 +112,10 @@ struct Shared {
     sheds: AtomicU64,
     breaker_rejections: AtomicU64,
     breaker_opens: AtomicU64,
+    /// Breaker state changes across all workers, each stamped with the
+    /// owning worker's device clock (telemetry; fully deterministic with
+    /// one worker).
+    breaker_transitions: Mutex<Vec<BreakerTransition>>,
 }
 
 /// The query server: owns the worker pool, the admission queue and the
@@ -171,6 +176,7 @@ impl Server {
             sheds: AtomicU64::new(0),
             breaker_rejections: AtomicU64::new(0),
             breaker_opens: AtomicU64::new(0),
+            breaker_transitions: Mutex::new(Vec::new()),
         });
         let (tx, rx) = channel();
         let workers = (0..config.workers.max(1))
@@ -292,6 +298,7 @@ impl Server {
             search_cache: self.shared.plans.search_stats(),
             sheds: self.shed_count(),
             breaker: self.breaker_counts(),
+            breaker_transitions: self.breaker_transitions(),
         }
     }
 
@@ -306,6 +313,19 @@ impl Server {
             self.shared.breaker_rejections.load(Ordering::Relaxed),
             self.shared.breaker_opens.load(Ordering::Relaxed),
         )
+    }
+
+    /// Every breaker state change so far, sorted by (device cycle,
+    /// worker) for a stable view.
+    pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
+        let mut v = self
+            .shared
+            .breaker_transitions
+            .lock()
+            .expect("transitions poisoned")
+            .clone();
+        v.sort_by_key(|t| (t.cycle, t.worker));
+        v
     }
 
     /// Stop accepting work, cancel whatever is still queued, join every
@@ -379,7 +399,12 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         shared.running.fetch_add(1, Ordering::Relaxed);
         let admitted = match breaker.as_mut() {
-            Some(b) => b.admit(device_cycles),
+            Some(b) => {
+                let before = b.state();
+                let admitted = b.admit(device_cycles);
+                record_transition(shared, idx, device_cycles, before, b.state());
+                admitted
+            }
             None => true,
         };
         let resp = if !admitted {
@@ -392,11 +417,13 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
             device_cycles += spent;
             if let Some(b) = breaker.as_mut() {
                 let opens_before = b.stats().opens;
+                let before = b.state();
                 match &resp.result {
                     Err(ServeError::Exec(e)) if e.is_device_fault() => b.on_fault(device_cycles),
                     Err(_) => {} // query problem: no breaker signal
                     Ok(_) => b.on_success(),
                 }
+                record_transition(shared, idx, device_cycles, before, b.state());
                 shared
                     .breaker_opens
                     .fetch_add(b.stats().opens - opens_before, Ordering::Relaxed);
@@ -409,6 +436,28 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
             // Server dropped the receiver; nothing left to report to.
             return;
         }
+    }
+}
+
+/// Log one breaker state change (no-op when the state did not move).
+fn record_transition(
+    shared: &Shared,
+    worker: usize,
+    cycle: u64,
+    from: crate::breaker::BreakerState,
+    to: crate::breaker::BreakerState,
+) {
+    if from != to {
+        shared
+            .breaker_transitions
+            .lock()
+            .expect("transitions poisoned")
+            .push(BreakerTransition {
+                worker,
+                cycle,
+                from,
+                to,
+            });
     }
 }
 
@@ -492,9 +541,22 @@ fn process(idx: usize, shared: &Shared, job: Job) -> (QueryResponse, u64) {
     )
     .map(|run| {
         recovery = run.recovery;
+        // The observed-λ plane, as served: per-kernel row flow keyed by
+        // the shared lowered-IR kernel names, in stage launch order.
+        let kernel_rows = run
+            .per_stage
+            .iter()
+            .flat_map(|s| s.kernels.iter())
+            .map(|k| KernelRows {
+                name: k.name.clone(),
+                rows_in: k.rows_in,
+                rows_out: k.rows_out,
+            })
+            .collect();
         QueryResult {
             output: run.output,
             cycles: run.cycles,
+            kernel_rows,
         }
     })
     .map_err(ServeError::Exec);

@@ -1,0 +1,262 @@
+//! Time-series telemetry over a served batch.
+//!
+//! The serving layer's aggregate counters (`BatchReport::metrics`) say
+//! *how much* happened; this module says *when*. Every series is derived
+//! from the deterministic simulated schedule — queries in id order packed
+//! onto the earliest-available simulated device — so the samples are a
+//! pure function of the batch, byte-identical across machines and runs.
+//!
+//! A **logical tick** is one schedule event: a query starting on its
+//! device or completing there. Each tick carries the device-cycle
+//! timestamp of the event plus the state of the whole server at that
+//! instant: queue depth, queries running, queries done, the cumulative
+//! plan-cache hit rate, and the cumulative recovery-event count. Breaker
+//! state changes are recorded live by the workers (stamped with the
+//! owning worker's device clock) and surface alongside the sampled
+//! series.
+//!
+//! Exports: [`Telemetry::export_metrics`] folds the series into a
+//! [`MetricsRegistry`]; [`Telemetry::record_counters`] emits Chrome-trace
+//! counter ("C") tracks onto a [`Recorder`], so the series render as
+//! stacked area charts above the per-query span tracks in Perfetto.
+
+use crate::breaker::BreakerState;
+use crate::report::BatchReport;
+use gpl_obs::{MetricsRegistry, Recorder};
+
+/// One breaker state change, stamped with the owning worker's device
+/// clock. Which worker saw which query is a scheduling accident, so a
+/// multi-worker transition log is reproducible only per seed and worker
+/// count; with one worker it is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    pub worker: usize,
+    /// The worker's device-cycle clock at the transition.
+    pub cycle: u64,
+    pub from: BreakerState,
+    pub to: BreakerState,
+}
+
+/// Numeric encoding of a breaker state for counter tracks: closed 0,
+/// half-open 1, open 2 (sorted by "how broken").
+pub fn breaker_state_code(s: BreakerState) -> u64 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
+    }
+}
+
+/// The server's state at one logical tick of the simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySample {
+    /// Logical tick index (0 = batch admitted, before any query starts).
+    pub tick: u64,
+    /// Simulated device cycle of the event.
+    pub cycle: u64,
+    /// Requests admitted but not yet started on a device.
+    pub queue_depth: u64,
+    /// Queries executing on some simulated device.
+    pub running: u64,
+    /// Queries completed.
+    pub done: u64,
+    /// Cumulative plan-cache hit rate over the queries started so far
+    /// (0.0 before the first start).
+    pub plan_cache_hit_rate: f64,
+    /// Cumulative recovery events (faults survived + retries +
+    /// fallbacks) over the queries completed so far.
+    pub recovery_events: u64,
+}
+
+/// The full time series of a batch: samples at every logical tick plus
+/// the breaker transition log.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    pub samples: Vec<TelemetrySample>,
+    pub breaker_transitions: Vec<BreakerTransition>,
+}
+
+/// A schedule event: `end` sorts before `start` at the same cycle (the
+/// device frees before the next query occupies it).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    End,
+    Start,
+}
+
+impl Telemetry {
+    /// Derive the series from a batch report's deterministic schedule.
+    pub fn from_report(report: &BatchReport) -> Self {
+        // Per-query facts keyed by id, in the same id order the schedule
+        // visits them.
+        let mut events: Vec<(u64, EventKind, u64)> = Vec::new();
+        let mut hit_by_id = Vec::new();
+        let mut recovery_by_id = Vec::new();
+        let scheduled = report.simulated_schedule();
+        for &(id, start, cycles) in &scheduled {
+            events.push((start, EventKind::Start, id));
+            events.push((start + cycles, EventKind::End, id));
+            let r = report
+                .responses
+                .iter()
+                .find(|r| r.id == id)
+                .expect("scheduled id has a response");
+            hit_by_id.push((id, r.plan_cache_hit));
+            recovery_by_id.push((
+                id,
+                r.recovery.faults.len() as u64 + r.recovery.retries + r.recovery.fallbacks,
+            ));
+        }
+        events.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
+
+        let mut samples = Vec::with_capacity(events.len() + 1);
+        let mut queue_depth = scheduled.len() as u64;
+        let (mut running, mut done) = (0u64, 0u64);
+        let (mut hits, mut started) = (0u64, 0u64);
+        let mut recovery_events = 0u64;
+        samples.push(TelemetrySample {
+            tick: 0,
+            cycle: 0,
+            queue_depth,
+            running,
+            done,
+            plan_cache_hit_rate: 0.0,
+            recovery_events,
+        });
+        for (tick, (cycle, kind, id)) in events.into_iter().enumerate() {
+            match kind {
+                EventKind::Start => {
+                    queue_depth -= 1;
+                    running += 1;
+                    started += 1;
+                    if hit_by_id.iter().any(|&(i, h)| i == id && h) {
+                        hits += 1;
+                    }
+                }
+                EventKind::End => {
+                    running -= 1;
+                    done += 1;
+                    recovery_events += recovery_by_id
+                        .iter()
+                        .find(|&&(i, _)| i == id)
+                        .map(|&(_, n)| n)
+                        .unwrap_or(0);
+                }
+            }
+            samples.push(TelemetrySample {
+                tick: tick as u64 + 1,
+                cycle,
+                queue_depth,
+                running,
+                done,
+                plan_cache_hit_rate: if started == 0 {
+                    0.0
+                } else {
+                    hits as f64 / started as f64
+                },
+                recovery_events,
+            });
+        }
+        Telemetry {
+            samples,
+            breaker_transitions: report.breaker_transitions.clone(),
+        }
+    }
+
+    /// Fold the series into a metrics registry: peak/terminal gauges,
+    /// the queue-depth histogram, and per-edge breaker transition
+    /// counters.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.gauge_set("serve.telemetry.ticks", &[], self.samples.len() as f64);
+        for s in &self.samples {
+            m.histogram_observe("serve.telemetry.queue_depth", &[], s.queue_depth);
+        }
+        if let Some(last) = self.samples.last() {
+            m.gauge_set(
+                "serve.telemetry.plan_cache_hit_rate",
+                &[],
+                last.plan_cache_hit_rate,
+            );
+            m.gauge_set(
+                "serve.telemetry.recovery_events",
+                &[],
+                last.recovery_events as f64,
+            );
+        }
+        for t in &self.breaker_transitions {
+            let edge = format!("{:?}->{:?}", t.from, t.to);
+            m.counter_add("serve.breaker.transitions", &[("edge", &edge)], 1);
+        }
+    }
+
+    /// Emit the series as Chrome-trace counter ("C") tracks, timestamped
+    /// in simulated device cycles; breaker transitions become a numeric
+    /// per-worker state track (closed 0 / half-open 1 / open 2).
+    pub fn record_counters(&self, rec: &Recorder) {
+        let queue = rec.define_counter("serve/queue_depth");
+        let running = rec.define_counter("serve/running");
+        let done = rec.define_counter("serve/done");
+        let hit_rate = rec.define_counter("serve/plan_cache_hit_rate");
+        let recovery = rec.define_counter("serve/recovery_events");
+        for s in &self.samples {
+            rec.sample(queue, s.cycle, s.queue_depth as f64);
+            rec.sample(running, s.cycle, s.running as f64);
+            rec.sample(done, s.cycle, s.done as f64);
+            rec.sample(hit_rate, s.cycle, s.plan_cache_hit_rate);
+            rec.sample(recovery, s.cycle, s.recovery_events as f64);
+        }
+        let mut workers: Vec<usize> = self.breaker_transitions.iter().map(|t| t.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in workers {
+            let c = rec.define_counter(&format!("serve/breaker_state.w{w}"));
+            rec.sample(c, 0, 0.0);
+            for t in self.breaker_transitions.iter().filter(|t| t.worker == w) {
+                rec.sample(c, t.cycle, breaker_state_code(t.to) as f64);
+            }
+        }
+    }
+
+    /// Deterministic fixed-width rendering of the sampled series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>12} {:>7} {:>8} {:>6} {:>9} {:>9}\n",
+            "tick", "cycle", "queued", "running", "done", "hit-rate", "recovery"
+        ));
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:>5} {:>12} {:>7} {:>8} {:>6} {:>9.4} {:>9}\n",
+                s.tick,
+                s.cycle,
+                s.queue_depth,
+                s.running,
+                s.done,
+                s.plan_cache_hit_rate,
+                s.recovery_events
+            ));
+        }
+        for t in &self.breaker_transitions {
+            out.push_str(&format!(
+                "breaker w{} @{}: {:?} -> {:?}\n",
+                t.worker, t.cycle, t.from, t.to
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_codes_order_by_brokenness() {
+        assert!(
+            breaker_state_code(BreakerState::Closed) < breaker_state_code(BreakerState::HalfOpen)
+        );
+        assert!(
+            breaker_state_code(BreakerState::HalfOpen) < breaker_state_code(BreakerState::Open)
+        );
+    }
+}

@@ -31,6 +31,12 @@ pub struct KernelProfile {
     /// Idle-bubble cycles: periods where the kernel was launched but had
     /// no work-group in flight (pipeline delay, Eq. 8's measured analogue).
     pub delay_cycles: u64,
+    /// Observed rows consumed across all work units — the measured side
+    /// of the model's per-kernel λ. Informational only; never feeds back
+    /// into timing.
+    pub rows_in: u64,
+    /// Observed rows emitted downstream across all work units.
+    pub rows_out: u64,
     /// Cache behaviour of this kernel's accesses (`cr` = hit ratio).
     pub cache: AccessStats,
     /// First dispatch and last completion times, in device cycles.
@@ -58,6 +64,17 @@ impl KernelProfile {
     /// Wall cycles from first dispatch to last completion.
     pub fn span(&self) -> u64 {
         self.last_complete.saturating_sub(self.first_dispatch)
+    }
+
+    /// Observed selectivity `rows_out / rows_in` — the measured analogue
+    /// of the model's λ. 0.0 when the kernel consumed no rows (e.g. a
+    /// pure install step).
+    pub fn observed_lambda(&self) -> f64 {
+        if self.rows_in == 0 {
+            0.0
+        } else {
+            self.rows_out as f64 / self.rows_in as f64
+        }
     }
 }
 
@@ -316,6 +333,8 @@ impl LaunchProfile {
             reg.counter_add("sim.kernel_units", labels, k.units);
             reg.counter_add("sim.dc_cycles", labels, k.dc_cycles);
             reg.counter_add("sim.delay_cycles", labels, k.delay_cycles);
+            reg.counter_add("sim.rows_in", labels, k.rows_in);
+            reg.counter_add("sim.rows_out", labels, k.rows_out);
         }
     }
 }

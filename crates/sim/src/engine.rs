@@ -655,6 +655,8 @@ impl Simulator {
                                     s.prof.units += 1;
                                     s.prof.compute_insts += u.compute_insts;
                                     s.prof.mem_insts += u.mem_insts;
+                                    s.prof.rows_in += u.rows_in;
+                                    s.prof.rows_out += u.rows_out;
                                     s.prof.compute_cycles += compute;
                                     s.prof.mem_cycles += mem_cycles;
                                     s.prof.dc_cycles += dc;

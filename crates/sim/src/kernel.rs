@@ -67,6 +67,11 @@ pub struct WorkUnit {
     pub pops: Vec<ChannelIo>,
     /// Packets produced to output channels. Must not exceed reported space.
     pub pushes: Vec<ChannelIo>,
+    /// Rows the work-group consumed (observed-statistics plane; purely
+    /// informational — never affects timing).
+    pub rows_in: u64,
+    /// Rows the work-group emitted downstream.
+    pub rows_out: u64,
 }
 
 impl WorkUnit {
@@ -80,6 +85,14 @@ impl WorkUnit {
         if packets > 0 {
             self.pushes.push(ChannelIo { channel, packets });
         }
+        self
+    }
+    /// Stamp the unit with observed row counts. The engine accumulates
+    /// them into the kernel's profile; the drift plane joins them against
+    /// the model's predicted λ per kernel.
+    pub fn rows(mut self, rows_in: u64, rows_out: u64) -> Self {
+        self.rows_in = rows_in;
+        self.rows_out = rows_out;
         self
     }
 }

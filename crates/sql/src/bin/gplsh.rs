@@ -6,9 +6,13 @@
 //!
 //! Reads one statement per line (`;` optional). Meta-commands:
 //! `\mode gpl|kbe|noce|pipelined`, `\explain <sql>`, `\timeline <sql>`
-//! (traced per-kernel Gantt chart), `\tables`, `\q`.
+//! (traced per-kernel Gantt chart), `\trace` (toggle per-query
+//! predicted-vs-observed drift), `\stats` (session metrics registry,
+//! plus the last drift table when tracing is on), `\tables`, `\q`.
 
-use gpl_core::{DisplayHint, ExecContext, ExecMode};
+use gpl_core::{DisplayHint, ExecContext, ExecMode, QueryConfig};
+use gpl_model::GammaTable;
+use gpl_obs::{metrics_report, DriftReport, MetricsRegistry};
 use gpl_sim::{amd_a10, nvidia_k40};
 use gpl_sql::{compile_optimized, run_sql};
 use gpl_storage::{decimal_to_string, Date};
@@ -51,6 +55,14 @@ fn main() {
         ctx.db.lineitem.rows()
     );
 
+    // Session observability: every executed query folds its profile into
+    // this registry; `\stats` prints it. `\trace` additionally joins each
+    // GPL query's observed rows/cycles against the model (Eq. 8 + λ).
+    let mut registry = MetricsRegistry::new();
+    let mut tracing = false;
+    let mut last_drift: Option<DriftReport> = None;
+    let mut gamma: Option<GammaTable> = None;
+
     let stdin = std::io::stdin();
     loop {
         eprint!("gpl> ");
@@ -74,6 +86,27 @@ fn main() {
         if line == "\\tables" {
             for t in ctx.db.tables() {
                 eprintln!("  {:<10} {:>9} rows", t.name(), t.rows());
+            }
+            continue;
+        }
+        if line == "\\trace" {
+            tracing = !tracing;
+            eprintln!(
+                "drift tracing: {} (GPL queries join observed rows/cycles against the model)",
+                if tracing { "on" } else { "off" }
+            );
+            continue;
+        }
+        if line == "\\stats" {
+            let report = metrics_report(&registry, &[("device", spec.name.as_str())]);
+            println!("{}", report.to_pretty_string());
+            match (&last_drift, tracing) {
+                (Some(d), true) => {
+                    eprintln!("model vs simulator, last traced GPL query:");
+                    eprint!("{}", d.render());
+                }
+                (None, true) => eprintln!("no GPL query traced yet"),
+                _ => {}
             }
             continue;
         }
@@ -135,6 +168,28 @@ fn main() {
                     run.ms(&spec),
                     spec.name
                 );
+                registry.counter_add("gplsh.queries", &[("mode", mode.name())], 1);
+                run.profile
+                    .export_metrics(&mut registry, &[("mode", mode.name())]);
+                if tracing && mode == ExecMode::Gpl {
+                    // Mirror run_sql's choices (optimized join order, the
+                    // default config) so the predictions match what ran.
+                    let g = gamma.get_or_insert_with(|| {
+                        eprintln!("calibrating Γ for {} (cached under target/) ...", spec.name);
+                        let file = format!(
+                            "target/gamma-{}.txt",
+                            spec.name.to_lowercase().replace(' ', "-")
+                        );
+                        GammaTable::load_or_calibrate(&spec, std::path::Path::new(&file))
+                    });
+                    let stats = gpl_model::estimate_stats(&ctx.db, &plan);
+                    let models = gpl_model::build_models(&ctx.db, &plan, &stats, &spec);
+                    let cfg = QueryConfig::default_for(&spec, &plan);
+                    let report =
+                        gpl_model::drift_for_run(&spec, g, &models, &cfg, &run, "sql", "gpl");
+                    eprint!("{}", report.render());
+                    last_drift = Some(report);
+                }
             }
             Err(e) => eprintln!("{e}"),
         }
