@@ -14,6 +14,7 @@ pub mod modes;
 pub mod pipeline;
 pub mod profile;
 pub mod serve;
+pub mod shard;
 pub mod utilization;
 
 use crate::artifact::ArtifactSink;
@@ -243,6 +244,12 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "pipelining",
             description: "cross-segment overlap: modeled vs observed cycles, GPL vs pipelined",
             run: pipeline::pipeline,
+        },
+        Experiment {
+            name: "shard",
+            paper_ref: "multi-device",
+            description: "heterogeneous CPU/GPU sharding: placement, modeled vs observed, scaling",
+            run: shard::shard,
         },
     ]
 }

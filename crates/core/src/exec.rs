@@ -189,7 +189,7 @@ impl ExecLimits {
         }
     }
 
-    fn check(&self, spent: u64) -> Result<(), ExecError> {
+    pub(crate) fn check(&self, spent: u64) -> Result<(), ExecError> {
         if let Some(flag) = &self.cancel {
             if flag.load(Ordering::Relaxed) {
                 return Err(ExecError::Cancelled);
@@ -510,7 +510,7 @@ fn run_stage_attempt(
 /// at `stage` — created per attempt so a failed attempt's partial state
 /// drops with its locals.
 #[allow(clippy::type_complexity)]
-fn make_blocking_outputs(
+pub(crate) fn make_blocking_outputs(
     ctx: &mut ExecContext,
     plan: &QueryPlan,
     stage: &Stage,
@@ -953,7 +953,7 @@ fn estimate_build_rows(ctx: &ExecContext, stage: &Stage) -> usize {
 
 /// Simulate the final sort: a blocking bitonic-style kernel over the
 /// (small) aggregate output.
-fn run_sort_kernel(
+pub(crate) fn run_sort_kernel(
     ctx: &mut ExecContext,
     rows: &mut [Vec<i64>],
     order: &[(usize, bool)],

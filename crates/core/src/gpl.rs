@@ -177,6 +177,9 @@ struct LeafSource {
     steps: Vec<ExecStep>,
     /// Slots shipped to the next kernel.
     ship: Vec<Slot>,
+    /// First absolute row of this kernel's shard of the driving relation;
+    /// `tiling`/`cursor` are relative to it. 0 for an unsharded scan.
+    base: usize,
     tiling: Tiling,
     tile_idx: usize,
     cursor: usize,
@@ -223,15 +226,22 @@ impl gpl_sim::WorkSource for LeafSource {
         let mut accesses = Vec::with_capacity(self.cols.len() + self.lazy_cols.len());
         for &(slot, ci, base, width) in &self.cols {
             let col = t.col_at(ci);
-            chunk.fill(slot, (self.cursor..end).map(|r| col.get_i64(r)).collect());
+            chunk.fill(
+                slot,
+                (self.cursor..end)
+                    .map(|r| col.get_i64(self.base + r))
+                    .collect(),
+            );
             accesses.push(MemRange::read(
-                base + self.cursor as u64 * width,
+                base + (self.base + self.cursor) as u64 * width,
                 rows as u64 * width,
             ));
         }
+        // Row ids are absolute so lazy gathers and downstream ops see the
+        // same values sharded or not.
         chunk.fill(
             self.rowid_slot,
-            (self.cursor..end).map(|r| r as i64).collect(),
+            (self.cursor..end).map(|r| (self.base + r) as i64).collect(),
         );
         let mut compute = rows as u64 * 2 * ops::INST_EXPANSION * self.cols.len() as u64;
         let mut mem = rows as u64 * self.cols.len() as u64;
@@ -895,6 +905,7 @@ fn stage_kernels(
     cfg: &StageConfig,
     segment: u32,
     unit_rows_cap: usize,
+    rows: Option<std::ops::Range<usize>>,
     publish: Option<PublishSide>,
     mut gate: Option<(usize, Gate)>,
 ) -> Result<Vec<KernelDesc>, ExecError> {
@@ -934,7 +945,12 @@ fn stage_kernels(
         |c: &crate::segment::LeafColumn| (c.slot, c.col, layout.scan(c.col, 0..1).addr, c.width);
     let cols: Vec<(Slot, usize, u64, u64)> = ir.eager.iter().map(bind).collect();
     let lazy_cols: Vec<(Slot, usize, u64, u64)> = ir.lazy.iter().map(bind).collect();
-    let tiling = Tiling::by_bytes(t.rows(), ir.row_bytes, cfg.tile_bytes);
+    // The shard of the driving relation this launch scans; tiles are cut
+    // within the shard so the tile knob keeps its meaning per launch.
+    let rows = rows.unwrap_or(0..t.rows());
+    debug_assert!(rows.end <= t.rows(), "shard range exceeds table");
+    let base = rows.start;
+    let tiling = Tiling::by_bytes(rows.len(), ir.row_bytes, cfg.tile_bytes);
 
     let mut kernels = Vec::with_capacity(num_kernels);
     kernels.push(
@@ -955,6 +971,7 @@ fn stage_kernels(
                     .map(|&i| ExecStep::from_op(&stage.ops[i], hts))
                     .collect(),
                 ship: ir.edges[0].ship.clone(),
+                base,
                 tiling,
                 tile_idx: 0,
                 cursor: 0,
@@ -1101,6 +1118,38 @@ pub(crate) fn run_stage(
         usize::MAX,
         None,
         None,
+        None,
+    )?;
+    ctx.run_kernels(kernels)
+}
+
+/// [`run_stage`] over one shard of the driving relation: the leaf scans
+/// only `rows`, tiling within the shard; everything downstream is
+/// unchanged. With `rows == 0..t.rows()` this is exactly `run_stage`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_stage_range(
+    ctx: &mut ExecContext,
+    ir: &SegmentIr,
+    stage: &Stage,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    build: Option<&Rc<RefCell<SimHashTable>>>,
+    agg: Option<&Rc<RefCell<GroupStore>>>,
+    cfg: &StageConfig,
+    rows: std::ops::Range<usize>,
+) -> Result<LaunchProfile, ExecError> {
+    let kernels = stage_kernels(
+        ctx,
+        ir,
+        stage,
+        hts,
+        build,
+        agg,
+        cfg,
+        0,
+        usize::MAX,
+        Some(rows),
+        None,
+        None,
     )?;
     ctx.run_kernels(kernels)
 }
@@ -1168,6 +1217,7 @@ pub(crate) fn run_overlapped_pair(
         &cfg_b_fused,
         0,
         FUSED_UNIT_ROWS,
+        None,
         Some(PublishSide {
             slices,
             out: pub_ch,
@@ -1209,6 +1259,7 @@ pub(crate) fn run_overlapped_pair(
         cfg_p,
         1,
         FUSED_UNIT_ROWS,
+        None,
         None,
         Some((gk, gate)),
     )?);

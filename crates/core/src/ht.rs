@@ -99,6 +99,16 @@ impl SimHashTable {
         (mix64(key as u64) % slices.max(1) as u64) as u32
     }
 
+    /// Drain into `(key, payload)` entries in sorted key order — the
+    /// canonical form a shard merge unions before re-inserting into the
+    /// merged table. Keys are unique per table (insert panics on
+    /// duplicates), so the union of disjoint shard builds is exact.
+    pub fn into_entries(self) -> Vec<(i64, Vec<i64>)> {
+        let mut entries: Vec<(i64, Vec<i64>)> = self.map.into_iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
     /// FNV-1a over the `(key, payload)` entries of `slice`, in sorted
     /// key order — the per-slice content checksum the overlap protocol
     /// publishes with each installed slice and re-derives at the gate.
@@ -161,6 +171,21 @@ impl AggKind {
             AggKind::Max => acc.max(v),
         }
     }
+
+    /// Merge two *accumulators* of this kind (shard merge). Unlike
+    /// [`AggKind::fold`], both sides are partial aggregate states: a
+    /// COUNT merge adds the partial counts rather than counting the
+    /// right-hand side as one more row. Every kind here is commutative
+    /// and associative, which is what makes the cross-shard merge
+    /// order-independent.
+    #[inline]
+    pub fn combine(self, a: i64, b: i64) -> i64 {
+        match self {
+            AggKind::Sum | AggKind::Count => a + b,
+            AggKind::Min => a.min(b),
+            AggKind::Max => a.max(b),
+        }
+    }
 }
 
 /// Hash-aggregation store: `groups → running aggregates`, with simulated
@@ -217,6 +242,34 @@ impl GroupStore {
 
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Simulated bytes the store occupies (its materialization footprint).
+    pub fn bytes(&self) -> u64 {
+        self.buckets * self.entry_bytes
+    }
+
+    /// Merge another shard's partial aggregate state into this store,
+    /// combining accumulators group-by-group with [`AggKind::combine`].
+    /// Both stores must have the same shape (key width + kinds). The
+    /// groups live in `BTreeMap`s, so the merged state — and therefore
+    /// [`GroupStore::into_rows`] — is independent of the order shards
+    /// complete in.
+    pub fn absorb(&mut self, other: GroupStore) {
+        assert_eq!(self.key_width, other.key_width, "key width mismatch");
+        assert_eq!(self.kinds, other.kinds, "aggregate kinds mismatch");
+        for (keys, aggs) in other.groups {
+            match self.groups.entry(keys) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(aggs);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    for ((a, b), k) in e.get_mut().iter_mut().zip(aggs).zip(&self.kinds) {
+                        *a = k.combine(*a, b);
+                    }
+                }
+            }
+        }
     }
 
     /// Fold `values` into the aggregates of group `keys`; reports the
@@ -364,6 +417,68 @@ mod tests {
             ht2.slice_checksum(1 - s7, 2),
             "the untouched slice checksums identically"
         );
+    }
+
+    #[test]
+    fn combine_merges_partial_accumulators() {
+        assert_eq!(AggKind::Sum.combine(3, 4), 7);
+        // COUNT merges partial counts — it does not count the rhs as a row.
+        assert_eq!(AggKind::Count.combine(3, 4), 7);
+        assert_eq!(AggKind::Min.combine(3, 4), 3);
+        assert_eq!(AggKind::Max.combine(3, 4), 4);
+        // Identities are neutral under combine.
+        for k in [AggKind::Sum, AggKind::Count, AggKind::Min, AggKind::Max] {
+            assert_eq!(k.combine(k.init(), 42), 42);
+        }
+    }
+
+    #[test]
+    fn into_entries_is_sorted_and_complete() {
+        let mut mem = MemoryMap::new();
+        let mut ht = SimHashTable::new(&mut mem, 8, 1, "t");
+        let mut acc = Vec::new();
+        for k in [9i64, -3, 4, 0] {
+            ht.insert(k, &[k * 2], &mut acc);
+        }
+        let entries = ht.into_entries();
+        assert_eq!(
+            entries,
+            vec![(-3, vec![-6]), (0, vec![0]), (4, vec![8]), (9, vec![18]),]
+        );
+    }
+
+    #[test]
+    fn absorb_merges_shard_states_like_one_store() {
+        let kinds = vec![AggKind::Sum, AggKind::Count, AggKind::Min, AggKind::Max];
+        let mut mem = MemoryMap::new();
+        let mut acc = Vec::new();
+        // Oracle: every row folded into one store.
+        let rows: Vec<(i64, i64)> = vec![(1, 10), (2, 7), (1, -4), (3, 0), (2, 9)];
+        let mut whole = GroupStore::with_kinds(&mut mem, 8, 1, kinds.clone(), "w");
+        for &(g, v) in &rows {
+            whole.update(&[g], &[v, v, v, v], &mut acc);
+        }
+        // Shards: rows split 2/3, folded separately, then absorbed.
+        let mut a = GroupStore::with_kinds(&mut mem, 8, 1, kinds.clone(), "a");
+        let mut b = GroupStore::with_kinds(&mut mem, 8, 1, kinds.clone(), "b");
+        for &(g, v) in &rows[..2] {
+            a.update(&[g], &[v, v, v, v], &mut acc);
+        }
+        for &(g, v) in &rows[2..] {
+            b.update(&[g], &[v, v, v, v], &mut acc);
+        }
+        a.absorb(b);
+        assert_eq!(a.into_rows(), whole.into_rows());
+    }
+
+    #[test]
+    fn absorb_keeps_scalar_identity_row_semantics() {
+        let mut mem = MemoryMap::new();
+        let mut a = GroupStore::new(&mut mem, 1, 0, 2, "a");
+        let b = GroupStore::new(&mut mem, 1, 0, 2, "b");
+        // Two empty scalar shards merge to the single identity row.
+        a.absorb(b);
+        assert_eq!(a.into_rows(), vec![vec![0, 0]]);
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub(crate) fn run_stage_range(
             rows: range.len(),
         });
     }
+    // A count(*)-only stage loads no columns; the driving row count
+    // still comes from the scan range, not the (empty) materialized
+    // chunk, or the aggregate loop below would never run.
+    if stage.loads.is_empty() {
+        st.chunk.rows = range.len();
+    }
 
     for i in ir.op_order() {
         let op = &stage.ops[i];

@@ -21,6 +21,9 @@
 //! * [`expr`], [`ops`], [`ht`] — the operator/kernel building blocks.
 //! * [`partitioned`] — the radix hash join Section 3.2 sketches as an
 //!   extension, measurable against monolithic probing.
+//! * [`shard`] — multi-device sharding: per-shard tile streams over a
+//!   heterogeneous CPU/GPU [`shard::DevicePool`] with a deterministic
+//!   merge of blocking-terminal state.
 //!
 //! Results of every mode are validated bit-for-bit against the CPU
 //! reference in `gpl-tpch`.
@@ -37,6 +40,7 @@ pub mod plan;
 pub mod recover;
 pub mod replay;
 pub mod segment;
+pub mod shard;
 
 pub use error::ExecError;
 pub use exec::{
@@ -49,4 +53,8 @@ pub use plan::{plan_for, Agg, DisplayHint, PipeOp, QueryPlan, Stage, Terminal};
 pub use recover::{RecoveryPolicy, RecoveryStats};
 pub use segment::{
     overlap_pairs, ChannelEdge, InterSegmentEdge, KernelFlavour, KernelNode, LeafColumn, SegmentIr,
+};
+pub use shard::{
+    try_run_query_sharded, DeviceKind, DevicePool, DeviceRun, PoolDevice, ShardAssignment,
+    ShardFaults, ShardPlan, ShardedRun, Sharder,
 };

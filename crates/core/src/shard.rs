@@ -1,0 +1,871 @@
+//! Multi-device sharding: split the driving relation into per-shard
+//! tile streams, run each shard's `SegmentIr` launch on a device of a
+//! simulated heterogeneous pool, and merge the blocking-terminal state
+//! deterministically.
+//!
+//! The shard/merge seam exploits two structural facts of the engine:
+//!
+//! * **Builds are key-unique.** Every TPC-H build side here is a
+//!   key–FK join ([`SimHashTable::insert`] panics on duplicates), so
+//!   the union of disjoint shard builds is exactly the unsharded table
+//!   — probes cannot tell the difference.
+//! * **Aggregates are commutative monoids.** [`AggKind::combine`](crate::ht::AggKind::combine)
+//!   merges partial accumulators group-by-group in `BTreeMap` order,
+//!   so merged state is independent of shard completion order.
+//!
+//! The final `ORDER BY` (or the canonical full-row sort) then fixes
+//! row order, making sharded output bit-identical to the single-device
+//! oracle for every shard count — the invariant
+//! `tests/shard_equivalence.rs` pins.
+//!
+//! Cost model of the pool: devices simulate independently (one
+//! `Simulator` each, sharing the immutable `Arc<TpchDb>`); shards
+//! assigned to the same device serialize on its clock; a stage's wall
+//! time is the *maximum* per-device clock advance, since devices run
+//! concurrently; merged build state is broadcast to every live device
+//! at its copy bandwidth before the next stage probes it. Heterogeneous
+//! CPU/GPU placement (He et al., arXiv:1307.1955) picks, per stage, the
+//! device class whose Eq. 8 estimate is lowest — `gpl_model`'s
+//! placement pass produces the [`ShardAssignment`] consumed here.
+
+use crate::error::ExecError;
+use crate::exec::{
+    make_blocking_outputs, run_sort_kernel, ExecContext, ExecLimits, ExecMode, QueryConfig,
+    StageConfig,
+};
+use crate::gpl;
+use crate::ht::{mix64, GroupStore, SimHashTable};
+use crate::kbe;
+use crate::ops::sort_rows;
+use crate::plan::{QueryPlan, Stage, Terminal};
+use crate::recover::{RecoveryPolicy, RecoveryStats};
+use crate::segment::SegmentIr;
+use gpl_sim::{DeviceSpec, FaultPlan, FaultSpec, LaunchProfile};
+use gpl_storage::Tiling;
+use gpl_tpch::{QueryOutput, TpchDb};
+use std::cell::RefCell;
+use std::ops::Range;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Coarse device class used for placement and shard scheduling: shards
+/// of a stage run on devices of the *same* class so per-shard tuned
+/// configs stay meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    Gpu,
+    Cpu,
+}
+
+impl DeviceKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::Cpu => "cpu",
+        }
+    }
+}
+
+/// One device of the pool.
+#[derive(Debug, Clone)]
+pub struct PoolDevice {
+    pub spec: DeviceSpec,
+    pub kind: DeviceKind,
+}
+
+/// A fixed, ordered set of simulated devices. Order is part of the
+/// contract: shard→device assignment, merge order, and telemetry keys
+/// all index into it, so two pools with the same devices in the same
+/// order behave identically.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    devices: Vec<PoolDevice>,
+}
+
+impl DevicePool {
+    pub fn new(devices: Vec<PoolDevice>) -> Self {
+        assert!(!devices.is_empty(), "a pool needs at least one device");
+        let mut names: Vec<&str> = devices.iter().map(|d| d.spec.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), devices.len(), "duplicate device names");
+        DevicePool { devices }
+    }
+
+    /// The reference heterogeneous pool: both GPU classes of the paper
+    /// plus the host-CPU profile.
+    pub fn default_pool() -> Self {
+        DevicePool::new(vec![
+            PoolDevice {
+                spec: gpl_sim::amd_a10(),
+                kind: DeviceKind::Gpu,
+            },
+            PoolDevice {
+                spec: gpl_sim::nvidia_k40(),
+                kind: DeviceKind::Gpu,
+            },
+            PoolDevice {
+                spec: gpl_sim::cpu_host(),
+                kind: DeviceKind::Cpu,
+            },
+        ])
+    }
+
+    pub fn devices(&self) -> &[PoolDevice] {
+        &self.devices
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Stable cache-key component: device names in pool order.
+    pub fn key(&self) -> String {
+        self.devices
+            .iter()
+            .map(|d| d.spec.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// How the driving relation splits into shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sharder {
+    /// Contiguous balanced row ranges (one range per shard).
+    Range,
+    /// Fixed-size row blocks dealt to shards by a key mix of the block
+    /// index — models hash partitioning's skew tolerance while staying
+    /// a pure function of (rows, shards).
+    Hash { block_rows: usize },
+}
+
+impl Sharder {
+    /// Split `rows` into `shards` disjoint, covering range lists —
+    /// shard `i` scans exactly the ranges of `partition(..)[i]`, in
+    /// order. Total/disjointness for arbitrary inputs is property-
+    /// tested in `tests/property_invariants.rs`.
+    pub fn partition(&self, rows: usize, shards: usize) -> Vec<Vec<Range<usize>>> {
+        let shards = shards.max(1);
+        let mut parts = vec![Vec::new(); shards];
+        match self {
+            Sharder::Range => {
+                let q = rows / shards;
+                let r = rows % shards;
+                let mut start = 0;
+                for (i, p) in parts.iter_mut().enumerate() {
+                    let len = q + usize::from(i < r);
+                    if len > 0 {
+                        p.push(start..start + len);
+                    }
+                    start += len;
+                }
+            }
+            Sharder::Hash { block_rows } => {
+                let block = (*block_rows).max(1);
+                let mut b = 0;
+                while b * block < rows {
+                    let range = b * block..((b + 1) * block).min(rows);
+                    let s = (mix64(b as u64) % shards as u64) as usize;
+                    // Coalesce blocks that land adjacently in one shard.
+                    match parts[s].last_mut() {
+                        Some(last) if last.end == range.start => last.end = range.end,
+                        _ => parts[s].push(range),
+                    }
+                    b += 1;
+                }
+            }
+        }
+        parts
+    }
+
+    /// Stable cache-key component.
+    pub fn key(&self) -> String {
+        match self {
+            Sharder::Range => "range".to_string(),
+            Sharder::Hash { block_rows } => format!("hash{block_rows}"),
+        }
+    }
+}
+
+/// The `ExecMode`-orthogonal sharding decision carried in plan-cache
+/// keys: how many shards, split how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    pub shards: usize,
+    pub sharder: Sharder,
+}
+
+impl ShardPlan {
+    /// The degenerate single-shard plan (still runs through the pool).
+    pub fn single() -> Self {
+        ShardPlan {
+            shards: 1,
+            sharder: Sharder::Range,
+        }
+    }
+
+    pub fn range(shards: usize) -> Self {
+        ShardPlan {
+            shards,
+            sharder: Sharder::Range,
+        }
+    }
+
+    /// Stable plan-cache key component, e.g. `range:4`.
+    pub fn cache_key(&self) -> String {
+        format!("{}:{}", self.sharder.key(), self.shards)
+    }
+}
+
+/// Per-stage device placement plus per-device searched configs — the
+/// output of `gpl_model`'s placement pass (or a hand-rolled test
+/// assignment). `stage_device[s]` anchors stage `s` on a pool device;
+/// shards of the stage round-robin over live devices of the anchor's
+/// *class*, each using its own device's `configs` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardAssignment {
+    /// Pool-device index per plan stage.
+    pub stage_device: Vec<usize>,
+    /// One tuned `QueryConfig` per pool device (pool order).
+    pub configs: Vec<QueryConfig>,
+}
+
+impl ShardAssignment {
+    /// Everything on device 0 with default configs — the no-model
+    /// baseline assignment.
+    pub fn default_for(pool: &DevicePool, plan: &QueryPlan) -> Self {
+        ShardAssignment {
+            stage_device: vec![0; plan.stages.len()],
+            configs: pool
+                .devices()
+                .iter()
+                .map(|d| QueryConfig::default_for(&d.spec, plan))
+                .collect(),
+        }
+    }
+
+    /// Stages dealt round-robin across the pool with default configs —
+    /// exercises every device class without a model in the loop (the
+    /// differential tests' assignment).
+    pub fn round_robin(pool: &DevicePool, plan: &QueryPlan) -> Self {
+        let mut a = Self::default_for(pool, plan);
+        for (i, d) in a.stage_device.iter_mut().enumerate() {
+            *d = i % pool.len();
+        }
+        a
+    }
+
+    /// Stable cache-key component: anchor indices in stage order.
+    pub fn key(&self) -> String {
+        self.stage_device
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Fault-injection configuration for a sharded run: one seeded plan per
+/// device, derived from `seed` and the pool index so per-device fault
+/// streams are independent but reproducible.
+#[derive(Debug, Clone)]
+pub struct ShardFaults {
+    pub spec: FaultSpec,
+    pub seed: u64,
+}
+
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl ShardFaults {
+    /// The per-device fault seed (device pool index mixed in).
+    pub fn seed_for(&self, device: usize) -> u64 {
+        self.seed ^ (device as u64 + 1).wrapping_mul(SEED_MIX)
+    }
+}
+
+/// One device's view of a sharded run.
+#[derive(Debug, Clone)]
+pub struct DeviceRun {
+    /// `DeviceSpec::name` of the pool device.
+    pub device: String,
+    pub kind: DeviceKind,
+    /// This device's final simulated clock: launches it ran, backoff it
+    /// charged, and merge broadcasts it received.
+    pub cycles: u64,
+    /// Per plan stage, the merged profile of the shard launches this
+    /// device ran for that stage (`LaunchProfile::default()` when it
+    /// did not participate); the final sort, if this device ran it, is
+    /// appended as one extra entry. Positionally joinable against the
+    /// stage models, like `QueryRun::per_stage`.
+    pub per_stage: Vec<LaunchProfile>,
+    /// Whether the device was lost to a sticky fault during the run.
+    pub lost: bool,
+}
+
+/// The result of a sharded pool run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    pub output: QueryOutput,
+    /// Observed simulated cycles for the whole query: the sum over
+    /// stages of the *maximum* per-device clock advance (devices run
+    /// concurrently; shards on one device serialize), plus merge
+    /// broadcasts and the final sort.
+    pub cycles: u64,
+    /// Wall cycles per plan stage (the max-over-devices terms), with
+    /// the final sort appended when the plan orders.
+    pub stage_cycles: Vec<u64>,
+    pub per_device: Vec<DeviceRun>,
+    pub recovery: RecoveryStats,
+}
+
+impl ShardedRun {
+    /// FNV-1a over the result rows — same digest shape as the serve
+    /// report and bench artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(&(self.output.rows.len() as u64).to_le_bytes());
+        for row in &self.output.rows {
+            for v in row {
+                mix(&v.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+/// A shard attempt's blocking output: the launch profile plus the
+/// *owned* terminal state (unwrapped from its `Rc` so the merge can
+/// consume it).
+type ShardOut = (
+    LaunchProfile,
+    Option<(usize, SimHashTable)>,
+    Option<GroupStore>,
+);
+
+/// Run `plan` sharded across `pool` under `mode`.
+///
+/// Shards execute sequentially on the host (the simulation is
+/// deterministic regardless of serve worker count); concurrency across
+/// devices is modeled by the per-stage max-over-devices wall. Faults,
+/// when configured, inject per device with independent seeded streams;
+/// a shard whose device suffers a sticky loss is reassigned to the
+/// next live device (same class first), falling back to a disarmed KBE
+/// attempt on the last candidate when the pool is exhausted — rows
+/// stay bit-identical throughout, mirroring the single-device ladder.
+///
+/// `excluded` (pool order) lets a caller with per-device breakers keep
+/// a device out of admission; it is ignored when it would exclude
+/// everything. `GplPipelined` runs its stages per shard like `Gpl`:
+/// the cross-shard merge is a barrier between stages, so there is no
+/// build→probe pair left to fuse inside one shard launch.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_query_sharded(
+    pool: &DevicePool,
+    db: &Arc<TpchDb>,
+    plan: &QueryPlan,
+    mode: ExecMode,
+    shard: &ShardPlan,
+    assignment: &ShardAssignment,
+    limits: &ExecLimits,
+    recovery: Option<&RecoveryPolicy>,
+    faults: Option<&ShardFaults>,
+    excluded: Option<&[bool]>,
+) -> Result<ShardedRun, ExecError> {
+    plan.validate();
+    let n = pool.len();
+    assert_eq!(assignment.configs.len(), n, "one config per pool device");
+    assert_eq!(
+        assignment.stage_device.len(),
+        plan.stages.len(),
+        "one anchor per stage"
+    );
+    for cfg in &assignment.configs {
+        assert_eq!(cfg.stages.len(), plan.stages.len(), "config/stage mismatch");
+    }
+    assert!(
+        assignment.stage_device.iter().all(|&d| d < n),
+        "anchor out of range"
+    );
+
+    let mut ctxs: Vec<ExecContext> = pool
+        .devices()
+        .iter()
+        .map(|d| ExecContext::with_shared(d.spec.clone(), db.clone()))
+        .collect();
+    if let Some(f) = faults {
+        for (i, ctx) in ctxs.iter_mut().enumerate() {
+            ctx.sim
+                .attach_faults(FaultPlan::new(f.spec.clone(), f.seed_for(i)));
+        }
+    }
+
+    let mut alive: Vec<bool> = match excluded {
+        Some(ex) if ex.len() == n && ex.iter().any(|&e| !e) => ex.iter().map(|&e| !e).collect(),
+        _ => vec![true; n],
+    };
+    // Per device, per plan stage (plus sort), the merged launch profile.
+    let mut dev_stages: Vec<Vec<LaunchProfile>> = vec![Vec::new(); n];
+    let mut hts: Vec<Vec<Option<Rc<RefCell<SimHashTable>>>>> = vec![vec![None; plan.num_hts]; n];
+    let mut agg_store: Option<GroupStore> = None;
+    let mut stats = RecoveryStats::default();
+    let mut stage_cycles = Vec::new();
+    let mut total = 0u64;
+    let mut primary = assignment.stage_device[plan.stages.len() - 1];
+
+    for (sidx, stage) in plan.stages.iter().enumerate() {
+        limits.check(total + stats.wasted_cycles)?;
+        let anchor = assignment.stage_device[sidx];
+        let kind = pool.devices()[anchor].kind;
+        // Devices eligible for this stage: live devices of the anchor's
+        // class, anchor first; any live device if the class died out.
+        let mut class: Vec<usize> = (0..n)
+            .filter(|&d| alive[d] && pool.devices()[d].kind == kind)
+            .collect();
+        if class.is_empty() {
+            class = (0..n).filter(|&d| alive[d]).collect();
+        }
+        let exhausted = class.is_empty();
+        if exhausted {
+            // Every device lost: the disarmed last resort runs on the
+            // anchor, like the single-device ladder's hardened path.
+            class = vec![anchor];
+        }
+        if let Some(pos) = class.iter().position(|&d| d == anchor) {
+            class.rotate_left(pos);
+        }
+        primary = class[0];
+
+        let rows = db.table(&stage.driver).rows();
+        let parts = shard.sharder.partition(rows, shard.shards);
+        let c_start: Vec<u64> = ctxs.iter().map(|c| c.sim.clock()).collect();
+
+        // Per-device lowering: the IR depends on the wavefront size.
+        let irs: Vec<SegmentIr> = ctxs
+            .iter()
+            .map(|c| SegmentIr::lower(stage, db.table(&stage.driver), c.sim.spec().wavefront_size))
+            .collect();
+
+        let mut stage_profiles: Vec<LaunchProfile> = vec![LaunchProfile::default(); n];
+        let mut shard_builds: Vec<SimHashTable> = Vec::new();
+        let mut shard_aggs: Vec<GroupStore> = Vec::new();
+        let mut ht_slot = None;
+
+        for (si, part) in parts.iter().enumerate() {
+            // Candidate devices for this shard: the class rotated so
+            // shard si starts at class[si % len], then (on loss) the
+            // remaining live devices outside the class.
+            let mut cands: Vec<usize> = {
+                let len = class.len();
+                (0..len).map(|o| class[(si + o) % len]).collect()
+            };
+            let extra: Vec<usize> = (0..n)
+                .filter(|&d| alive[d] && !cands.contains(&d))
+                .collect();
+            cands.extend(extra);
+            let mut last_err: Option<ExecError> = None;
+            let mut done = false;
+            for (ci, &dev) in cands.iter().enumerate() {
+                let reassigned = ci > 0;
+                if reassigned {
+                    stats.fallbacks += 1;
+                }
+                let dev_is_last = ci + 1 == cands.len();
+                match run_shard_on_device(
+                    &mut ctxs[dev],
+                    plan,
+                    &irs[dev],
+                    stage,
+                    &assignment.configs[dev].stages[sidx],
+                    mode,
+                    &hts[dev],
+                    part,
+                    recovery,
+                    limits,
+                    total,
+                    &mut stats,
+                    // The disarmed last resort belongs to the final
+                    // candidate only; earlier losses reassign instead.
+                    dev_is_last || exhausted,
+                ) {
+                    Ok((profile, built, agg)) => {
+                        stage_profiles[dev].merge(&profile);
+                        if let Some((slot, t)) = built {
+                            ht_slot = Some(slot);
+                            shard_builds.push(t);
+                        }
+                        if let Some(a) = agg {
+                            shard_aggs.push(a);
+                        }
+                        done = true;
+                        break;
+                    }
+                    Err(e) if matches!(e, ExecError::DeviceLost(_)) => {
+                        alive[dev] = false;
+                        last_err = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !done {
+                return Err(last_err.expect("at least one candidate attempted"));
+            }
+        }
+
+        // Deterministic merge of the blocking-terminal state.
+        match &stage.terminal {
+            Terminal::HashBuild { payloads, .. } => {
+                let slot = ht_slot.expect("build stage produced tables");
+                let mut entries: Vec<(i64, Vec<i64>)> = shard_builds
+                    .drain(..)
+                    .flat_map(SimHashTable::into_entries)
+                    .collect();
+                entries.sort_unstable_by_key(|(k, _)| *k);
+                for w in entries.windows(2) {
+                    assert_ne!(w[0].0, w[1].0, "build key in two shards");
+                }
+                // Broadcast the merged table to every live device at its
+                // copy bandwidth so the next stage can probe locally.
+                let mut sink = Vec::new();
+                for d in (0..n).filter(|&d| alive[d]) {
+                    let mut t = SimHashTable::new(
+                        &mut ctxs[d].sim.mem,
+                        entries.len().max(1),
+                        payloads.len(),
+                        format!("{}::ht{}@{d}", plan.query.name(), slot),
+                    );
+                    for (k, p) in &entries {
+                        sink.clear();
+                        t.insert(*k, p, &mut sink);
+                    }
+                    let bw = broadcast_bandwidth(ctxs[d].sim.spec());
+                    ctxs[d].sim.advance(t.bytes() / bw + 64);
+                    hts[d][slot] = Some(Rc::new(RefCell::new(t)));
+                }
+            }
+            Terminal::Aggregate { .. } => {
+                let mut it = shard_aggs.drain(..);
+                let mut merged = it.next().expect("aggregate stage produced stores");
+                let mut gathered = 0u64;
+                for s in it {
+                    gathered += s.bytes();
+                    merged.absorb(s);
+                }
+                // Gather charge on the stage's primary device.
+                let bw = broadcast_bandwidth(ctxs[primary].sim.spec());
+                ctxs[primary].sim.advance(gathered / bw);
+                agg_store = Some(merged);
+            }
+        }
+
+        let wall = ctxs
+            .iter()
+            .zip(&c_start)
+            .map(|(c, &s)| c.sim.clock().saturating_sub(s))
+            .max()
+            .unwrap_or(0);
+        total += wall;
+        stage_cycles.push(wall);
+        for (d, p) in stage_profiles.into_iter().enumerate() {
+            dev_stages[d].push(p);
+        }
+    }
+
+    let store = agg_store.expect("plan must end in an aggregate stage");
+    let mut rows = store.into_rows();
+    limits.check(total + stats.wasted_cycles)?;
+    if !plan.order_by.is_empty() {
+        // The sort runs on the final stage's primary device, disarmed
+        // like the single-device path: the output path cannot fault.
+        let ctx = &mut ctxs[primary];
+        let c0 = ctx.sim.clock();
+        let was_armed = ctx.sim.faults_armed();
+        ctx.sim.set_faults_armed(false);
+        let prof = run_sort_kernel(ctx, &mut rows, &plan.order_by);
+        ctx.sim.set_faults_armed(was_armed);
+        let wall = ctx.sim.clock().saturating_sub(c0);
+        total += wall;
+        stage_cycles.push(wall);
+        dev_stages[primary].push(prof);
+    } else {
+        sort_rows(&mut rows, &[]);
+    }
+    limits.check(total + stats.wasted_cycles)?;
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit);
+    }
+    if let Some(proj) = &plan.projection {
+        rows = rows
+            .into_iter()
+            .map(|r| proj.iter().map(|&i| r[i]).collect())
+            .collect();
+    }
+
+    let output = QueryOutput::new(
+        plan.output_columns.iter().map(String::as_str).collect(),
+        rows,
+    );
+    let per_device = ctxs
+        .iter()
+        .enumerate()
+        .map(|(d, c)| DeviceRun {
+            device: pool.devices()[d].spec.name.clone(),
+            kind: pool.devices()[d].kind,
+            cycles: c.sim.clock(),
+            per_stage: std::mem::take(&mut dev_stages[d]),
+            lost: !alive[d],
+        })
+        .collect();
+    Ok(ShardedRun {
+        output,
+        cycles: total,
+        stage_cycles,
+        per_device,
+        recovery: stats,
+    })
+}
+
+/// Device-level copy bandwidth used to charge merge broadcasts/gathers:
+/// the per-CU miss-path stream rate times the CU count.
+fn broadcast_bandwidth(spec: &DeviceSpec) -> u64 {
+    (spec.mem_bytes_per_cycle * spec.num_cus as u64).max(1)
+}
+
+/// One shard on one device, through the recovery ladder: `1 +
+/// max_retries` attempts per mode down the degradation chain with
+/// deterministic backoff on this device's clock, then — when this is
+/// the shard's last candidate device — a disarmed last-resort KBE
+/// attempt. Device loss returns early so the caller can reassign.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_on_device(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    ir: &SegmentIr,
+    stage: &Stage,
+    cfg: &StageConfig,
+    mode: ExecMode,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    part: &[Range<usize>],
+    recovery: Option<&RecoveryPolicy>,
+    limits: &ExecLimits,
+    spent: u64,
+    stats: &mut RecoveryStats,
+    last_resort_here: bool,
+) -> Result<ShardOut, ExecError> {
+    let Some(policy) = recovery else {
+        return run_shard_attempt(ctx, plan, ir, stage, cfg, mode, hts, part);
+    };
+    let ladder = policy.ladder(mode);
+    let mut last_err: Option<ExecError> = None;
+    let mut first = true;
+    'modes: for &m in &ladder {
+        for attempt in 0..=policy.max_retries {
+            if !first {
+                if attempt == 0 {
+                    stats.fallbacks += 1;
+                    stats.degraded_to = Some(m);
+                } else {
+                    stats.retries += 1;
+                    let delay = policy.backoff_for(attempt);
+                    ctx.sim.advance(delay);
+                    stats.backoff_cycles += delay;
+                    stats.wasted_cycles += delay;
+                }
+            }
+            first = false;
+            limits.check(spent + stats.wasted_cycles)?;
+            let c0 = ctx.sim.clock();
+            match run_shard_attempt(ctx, plan, ir, stage, cfg, m, hts, part) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    let device_lost = matches!(e, ExecError::DeviceLost(_));
+                    match &e {
+                        ExecError::Fault(record)
+                        | ExecError::Oom(record)
+                        | ExecError::DeviceLost(record) => {
+                            stats.wasted_cycles += ctx.sim.clock().saturating_sub(c0);
+                            stats.faults.push(record.clone());
+                            last_err = Some(e);
+                        }
+                        // Query problems, not device problems.
+                        _ => return Err(e),
+                    }
+                    if device_lost {
+                        break 'modes;
+                    }
+                }
+            }
+        }
+    }
+    let lost = matches!(last_err, Some(ExecError::DeviceLost(_)));
+    if policy.fallback && (last_resort_here || !lost) {
+        stats.fallbacks += 1;
+        stats.degraded_to = Some(ExecMode::Kbe);
+        let was_armed = ctx.sim.faults_armed();
+        ctx.sim.set_faults_armed(false);
+        let result = run_shard_attempt(ctx, plan, ir, stage, cfg, ExecMode::Kbe, hts, part);
+        ctx.sim.set_faults_armed(was_armed);
+        return result;
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+/// One attempt at one shard: fresh blocking outputs, every range of the
+/// shard's partition accumulated into them, terminal state handed back
+/// *owned* for the merge. Mirrors `exec::run_stage_attempt` with the
+/// leaf scan restricted to the shard's ranges. `GplPipelined` executes
+/// like `Gpl` (see [`try_run_query_sharded`]).
+#[allow(clippy::too_many_arguments)]
+fn run_shard_attempt(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    ir: &SegmentIr,
+    stage: &Stage,
+    cfg: &StageConfig,
+    mode: ExecMode,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    part: &[Range<usize>],
+) -> Result<ShardOut, ExecError> {
+    debug_assert!(!ctx.sim.fault_pending(), "stale fault entering a shard");
+    let (build, agg) = make_blocking_outputs(ctx, plan, stage);
+    let build_rc = build.as_ref().map(|(_, t)| t);
+    let mut profile = LaunchProfile::default();
+    for range in part {
+        let p = match mode {
+            ExecMode::Kbe => {
+                kbe::run_stage_range(ctx, ir, stage, hts, build_rc, agg.as_ref(), range.clone())
+            }
+            ExecMode::GplNoCe => {
+                let tiling = Tiling::by_bytes(range.len(), ir.row_bytes, cfg.tile_bytes);
+                let mut p = LaunchProfile::default();
+                for tile in tiling.iter() {
+                    p.merge(&kbe::run_stage_range(
+                        ctx,
+                        ir,
+                        stage,
+                        hts,
+                        build_rc,
+                        agg.as_ref(),
+                        range.start + tile.start..range.start + tile.end,
+                    ));
+                }
+                p
+            }
+            ExecMode::Gpl | ExecMode::GplPipelined => gpl::run_stage_range(
+                ctx,
+                ir,
+                stage,
+                hts,
+                build_rc,
+                agg.as_ref(),
+                cfg,
+                range.clone(),
+            )?,
+        };
+        profile.merge(&p);
+        if let Some(record) = ctx.sim.take_fault() {
+            return Err(ExecError::from_fault(record));
+        }
+    }
+    let built = build.map(|(slot, rc)| {
+        (
+            slot,
+            Rc::try_unwrap(rc)
+                .expect("hash table still shared")
+                .into_inner(),
+        )
+    });
+    let agg_store = agg.map(|a| {
+        Rc::try_unwrap(a)
+            .expect("aggregate store still shared")
+            .into_inner()
+    });
+    Ok((profile, built, agg_store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_query, ExecContext};
+    use crate::plan::plan_for;
+    use gpl_tpch::QueryId;
+
+    #[test]
+    fn range_partition_is_balanced_total_disjoint() {
+        let parts = Sharder::Range.partition(10, 3);
+        assert_eq!(parts, vec![vec![0..4], vec![4..7], vec![7..10]]);
+        assert!(Sharder::Range.partition(2, 7)[3..]
+            .iter()
+            .all(Vec::is_empty));
+        assert_eq!(Sharder::Range.partition(0, 4), vec![vec![]; 4]);
+    }
+
+    #[test]
+    fn hash_partition_covers_and_coalesces() {
+        let s = Sharder::Hash { block_rows: 8 };
+        let parts = s.partition(100, 3);
+        let mut rows: Vec<usize> = parts.iter().flatten().flat_map(|r| r.clone()).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, (0..100).collect::<Vec<_>>());
+        // Coalescing: no shard holds two adjacent ranges.
+        for p in &parts {
+            for w in p.windows(2) {
+                assert!(w[0].end < w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_keys_and_cache_keys_are_stable() {
+        let pool = DevicePool::default_pool();
+        assert_eq!(pool.key(), "AMD A10 APU+NVIDIA Tesla K40+Host CPU x86");
+        assert_eq!(ShardPlan::range(4).cache_key(), "range:4");
+        assert_eq!(
+            ShardPlan {
+                shards: 2,
+                sharder: Sharder::Hash { block_rows: 512 }
+            }
+            .cache_key(),
+            "hash512:2"
+        );
+    }
+
+    #[test]
+    fn sharded_q14_matches_single_device_oracle() {
+        let db = Arc::new(gpl_tpch::TpchDb::at_scale(0.002));
+        let plan = plan_for(&db, QueryId::Q14);
+        let pool = DevicePool::default_pool();
+        let assignment = ShardAssignment::round_robin(&pool, &plan);
+        let mut ctx = ExecContext::with_shared(gpl_sim::amd_a10(), db.clone());
+        let cfg = QueryConfig::default_for(&gpl_sim::amd_a10(), &plan);
+        let oracle = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+        for shards in [1, 3] {
+            let run = try_run_query_sharded(
+                &pool,
+                &db,
+                &plan,
+                ExecMode::Gpl,
+                &ShardPlan::range(shards),
+                &assignment,
+                &ExecLimits::none(),
+                None,
+                None,
+                None,
+            )
+            .expect("sharded run succeeds");
+            assert_eq!(run.output.rows, oracle.output.rows, "shards={shards}");
+            assert!(run.cycles > 0);
+            assert_eq!(run.per_device.len(), 3);
+        }
+    }
+}

@@ -21,7 +21,7 @@ use crate::cost::estimate_stage;
 use crate::gamma::GammaTable;
 use gpl_core::{QueryConfig, QueryRun};
 use gpl_obs::{DriftReport, KernelDrift};
-use gpl_sim::DeviceSpec;
+use gpl_sim::{DeviceSpec, LaunchProfile};
 
 /// Join `run`'s observed per-stage kernel profiles against the model's
 /// predictions. Stages beyond `run.per_stage` (or kernels the run never
@@ -36,12 +36,47 @@ pub fn drift_for_run(
     query: &str,
     mode: &str,
 ) -> DriftReport {
-    let num_cus = u64::from(spec.num_cus);
     let mut report = DriftReport::new(query, mode);
+    join_observed(&mut report, spec, gamma, models, cfg, &run.per_stage);
+    report
+}
+
+/// The multi-device sibling of [`drift_for_run`]: join one pool
+/// device's merged per-stage profiles (`gpl_core::shard::DeviceRun::
+/// per_stage`) against *that device's* model predictions, keyed
+/// `(device, kernel)` via [`DriftReport::for_device`]. Stages the
+/// device never participated in carry `LaunchProfile::default()`
+/// entries, so they join as observed zeros — the report still covers
+/// the full plan per device.
+#[allow(clippy::too_many_arguments)]
+pub fn drift_for_device_run(
+    spec: &DeviceSpec,
+    gamma: &GammaTable,
+    models: &[StageModel],
+    cfg: &QueryConfig,
+    per_stage: &[LaunchProfile],
+    query: &str,
+    device: &str,
+    mode: &str,
+) -> DriftReport {
+    let mut report = DriftReport::for_device(query, device, mode);
+    join_observed(&mut report, spec, gamma, models, cfg, per_stage);
+    report
+}
+
+fn join_observed(
+    report: &mut DriftReport,
+    spec: &DeviceSpec,
+    gamma: &GammaTable,
+    models: &[StageModel],
+    cfg: &QueryConfig,
+    per_stage: &[LaunchProfile],
+) {
+    let num_cus = u64::from(spec.num_cus);
     for (i, (sm, scfg)) in models.iter().zip(&cfg.stages).enumerate() {
         let est = estimate_stage(spec, gamma, sm, scfg);
         let names = sm.ir.kernel_names();
-        let observed = run.per_stage.get(i);
+        let observed = per_stage.get(i);
         for (j, ((kc, km), name)) in est
             .per_kernel
             .iter()
@@ -71,7 +106,6 @@ pub fn drift_for_run(
             });
         }
     }
-    report
 }
 
 #[cfg(test)]

@@ -41,7 +41,12 @@ fn parse_list<T: std::str::FromStr>(s: &str) -> Option<Vec<T>> {
 
 /// The calibration grid used throughout the repository.
 pub fn default_grid(spec: &DeviceSpec) -> (Vec<u32>, Vec<u32>, Vec<u64>) {
-    let ns = vec![1, 2, 4, 8, 16];
+    // The CPU profile caps channel fan-out below 16; probing past the
+    // device limit would abort inside the simulator.
+    let ns: Vec<u32> = [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&n| n <= spec.channel.max_channels)
+        .collect();
     let ps = if spec.channel.tunable_packet_size {
         vec![8, 16, 32, 64]
     } else {
@@ -224,6 +229,7 @@ impl GammaTable {
         let vendor = match hp.next()? {
             "Amd" => Vendor::Amd,
             "Nvidia" => Vendor::Nvidia,
+            "Cpu" => Vendor::Cpu,
             _ => return None,
         };
         let mut ns = None;

@@ -30,16 +30,18 @@ pub mod error;
 pub mod gamma;
 pub mod joinopt;
 pub mod overlap;
+pub mod place;
 pub mod search;
 pub mod stats;
 
 pub use analyze::{build_models, KernelModel, StageModel};
 pub use cost::{allocate_residency, estimate_query, estimate_stage, StageEstimate};
-pub use drift::drift_for_run;
+pub use drift::{drift_for_device_run, drift_for_run};
 pub use error::{evaluate, relative_error, ModelEval};
 pub use gamma::GammaTable;
 pub use joinopt::optimize_join_order;
 pub use overlap::{attach_overlap, OverlapDecision};
+pub use place::{place_query, PlacedStage, Placement};
 pub use search::{
     optimize, optimize_models, optimize_models_cached, optimize_models_traced, SearchCache,
     SearchOutcome,

@@ -264,8 +264,14 @@ fn optimize_stage(
 ) -> StageConfig {
     let kernels = sm.ir.nodes.len();
     let mut best: Option<(f64, StageConfig)> = None;
+    // Respect the device's channel fan-out cap (the CPU profile stops
+    // at 4); a config past it would abort at channel creation.
+    let ns: Vec<u32> = channel_grid()
+        .into_iter()
+        .filter(|&n| n <= spec.channel.max_channels)
+        .collect();
     for &tile in &tile_grid() {
-        for &n in &channel_grid() {
+        for &n in &ns {
             for &p in &packet_grid(spec) {
                 let mut cfg = StageConfig {
                     tile_bytes: tile,

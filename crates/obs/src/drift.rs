@@ -93,6 +93,14 @@ impl DriftReport {
         }
     }
 
+    /// Report keyed by `(device, kernel)` — the multi-device convention:
+    /// the query slot carries `query@device`, so batch summaries qualify
+    /// the worst offender as `q9@Host CPU x86/stage/kernel` and the same
+    /// kernel drifting on two devices yields two distinct keys.
+    pub fn for_device(query: &str, device: &str, mode: impl Into<String>) -> Self {
+        Self::new(format!("{query}@{device}"), mode)
+    }
+
     /// The `n` kernels with the largest cycle error, ties broken by
     /// (stage, kernel) name so the order is deterministic.
     pub fn worst(&self, n: usize) -> Vec<&KernelDrift> {
@@ -262,6 +270,19 @@ mod tests {
         assert!((s.max_cycles_err - 0.5).abs() < 1e-12);
         assert_eq!(s.worst_kernel, "q9/s0/k_probe");
         assert!((s.mean_cycles_err - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_keyed_reports_separate_per_device_offenders() {
+        let mut amd = DriftReport::for_device("q9", "AMD A10 APU", "gpl");
+        amd.kernels
+            .push(kd("s0", "k_probe", 0.5, 0.5, 100.0, 110.0));
+        let mut cpu = DriftReport::for_device("q9", "Host CPU x86", "gpl");
+        cpu.kernels
+            .push(kd("s0", "k_probe", 0.5, 0.5, 100.0, 400.0));
+        let s = DriftSummary::from_reports(&[amd, cpu]);
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.worst_kernel, "q9@Host CPU x86/s0/k_probe");
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! flows through `gpl-model`'s [`SearchCache`], whose hit/miss counters
 //! the batch report surfaces.
 
+use gpl_core::shard::{DevicePool, ShardPlan};
 use gpl_core::{ExecMode, QueryConfig, QueryPlan};
-use gpl_model::{build_models, estimate_stats, optimize_models_cached, GammaTable, SearchCache};
+use gpl_model::{
+    build_models, estimate_stats, optimize_models_cached, place_query, GammaTable, Placement,
+    SearchCache,
+};
 use gpl_sim::DeviceSpec;
 use gpl_tpch::TpchDb;
 use std::collections::{HashMap, VecDeque};
@@ -25,6 +29,15 @@ pub struct PlanEntry {
     pub estimate: f64,
 }
 
+/// One cached sharded-planning outcome: the compiled plan plus the
+/// heterogeneous placement pass's full output (per-stage device choice,
+/// per-device tuned configs, and the modeled-cycle matrix).
+#[derive(Debug, Clone)]
+pub struct ShardEntry {
+    pub plan: QueryPlan,
+    pub placement: Placement,
+}
+
 struct PlanCacheInner {
     map: HashMap<String, Arc<PlanEntry>>,
     /// Recency order, least-recent first.
@@ -33,9 +46,20 @@ struct PlanCacheInner {
     misses: u64,
 }
 
-/// Thread-safe LRU cache of [`PlanEntry`]s shared by all workers.
+struct ShardCacheInner {
+    map: HashMap<String, Arc<ShardEntry>>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe LRU cache of [`PlanEntry`]s shared by all workers. When
+/// the server runs sharded, a sibling map caches [`ShardEntry`]s under
+/// keys that add the pool and the `ExecMode`-orthogonal [`ShardPlan`]
+/// component.
 pub struct PlanCache {
     inner: Mutex<PlanCacheInner>,
+    sharded: Mutex<ShardCacheInner>,
     search: SearchCache,
     capacity: usize,
 }
@@ -44,6 +68,12 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         PlanCache {
             inner: Mutex::new(PlanCacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            sharded: Mutex::new(ShardCacheInner {
                 map: HashMap::new(),
                 order: VecDeque::new(),
                 hits: 0,
@@ -139,6 +169,72 @@ impl PlanCache {
             inner.map.remove(&victim);
         }
         Ok((entry, false))
+    }
+
+    /// The sharded sibling of [`PlanCache::key`]: the same mode ×
+    /// normalized-SQL core plus the pool identity and the
+    /// `ExecMode`-orthogonal shard-plan component, so one server can
+    /// cache the same query at several shard counts side by side.
+    fn shard_key(pool: &DevicePool, shard: &ShardPlan, mode: ExecMode, normalized: &str) -> String {
+        format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{normalized}",
+            pool.key(),
+            shard.cache_key(),
+            mode.name()
+        )
+    }
+
+    /// Look up (or compile + place and insert) the sharded plan for
+    /// `sql`: the heterogeneous placement pass runs once per (pool,
+    /// shard plan, mode, SQL) and its full output — including the
+    /// per-device tuned configs — is cached with the plan. Placement is
+    /// a pure function of its inputs, so a cache hit returns exactly
+    /// what a fresh search would (the drift guard in
+    /// `tests/cross_engine.rs` pins this).
+    pub fn get_or_place(
+        &self,
+        db: &TpchDb,
+        pool: &DevicePool,
+        gammas: &[GammaTable],
+        sql: &str,
+        mode: ExecMode,
+        shard: &ShardPlan,
+    ) -> Result<(Arc<ShardEntry>, bool), String> {
+        let normalized = Self::normalize(sql);
+        let key = Self::shard_key(pool, shard, mode, &normalized);
+        {
+            let mut inner = self.sharded.lock().expect("shard cache poisoned");
+            if let Some(entry) = inner.map.get(&key).cloned() {
+                inner.hits += 1;
+                inner.order.retain(|k| k != &key);
+                inner.order.push_back(key);
+                return Ok((entry, true));
+            }
+            inner.misses += 1;
+        }
+        let plan = gpl_sql::compile_optimized(db, sql).map_err(|e| e.to_string())?;
+        let placement = place_query(pool, gammas, db, &plan, None);
+        let entry = Arc::new(ShardEntry { plan, placement });
+        let mut inner = self.sharded.lock().expect("shard cache poisoned");
+        if inner.map.insert(key.clone(), entry.clone()).is_none() {
+            inner.order.push_back(key);
+        } else {
+            inner.order.retain(|k| k != &key);
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&victim);
+        }
+        Ok((entry, false))
+    }
+
+    /// Cumulative `(hits, misses)` of the sharded plan cache.
+    pub fn shard_stats(&self) -> (u64, u64) {
+        let inner = self.sharded.lock().expect("shard cache poisoned");
+        (inner.hits, inner.misses)
     }
 
     /// Cumulative `(hits, misses)` of the plan cache.

@@ -38,8 +38,8 @@ pub mod scheduler;
 pub mod telemetry;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
-pub use cache::{PlanCache, PlanEntry};
+pub use cache::{PlanCache, PlanEntry, ShardEntry};
 pub use report::BatchReport;
 pub use request::{KernelRows, Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
-pub use scheduler::{FaultConfig, ServeConfig, Server};
+pub use scheduler::{FaultConfig, ServeConfig, Server, ShardServeConfig};
 pub use telemetry::{BreakerTransition, Telemetry, TelemetrySample};

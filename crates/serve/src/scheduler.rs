@@ -14,6 +14,7 @@ use crate::cache::PlanCache;
 use crate::report::BatchReport;
 use crate::request::{KernelRows, Priority, QueryRequest, QueryResponse, QueryResult, ServeError};
 use crate::telemetry::BreakerTransition;
+use gpl_core::shard::{try_run_query_sharded, DevicePool, ShardFaults, ShardPlan};
 use gpl_core::{try_run_query_recovering, ExecContext, ExecError, ExecLimits, RecoveryPolicy};
 use gpl_model::GammaTable;
 use gpl_obs::Recorder;
@@ -43,6 +44,19 @@ pub(crate) fn per_query_seed(seed: u64, id: u64) -> u64 {
     seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Multi-device serving: run every query sharded across a heterogeneous
+/// [`DevicePool`] instead of on the single worker device. The placement
+/// pass (cached with the plan) picks CPU vs GPU per stage; shards
+/// round-robin over live devices of the chosen class.
+#[derive(Debug, Clone)]
+pub struct ShardServeConfig {
+    pub pool: DevicePool,
+    /// One calibrated Γ table per pool device, in pool order.
+    pub gammas: Vec<GammaTable>,
+    /// Shard count + sharder, applied to every query.
+    pub plan: ShardPlan,
+}
+
 /// Server construction knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -61,8 +75,16 @@ pub struct ServeConfig {
     /// Recovery stack applied to every query (retries / degradation /
     /// last-resort KBE). `None` = first fault surfaces as an error.
     pub recovery: Option<RecoveryPolicy>,
-    /// Per-worker circuit breaker over device faults.
+    /// Per-worker circuit breaker over device faults. Under
+    /// [`ServeConfig::sharding`] the same config instead seeds one
+    /// breaker *per pool device* per worker; a tripped device is
+    /// excluded from that worker's next sharded runs until it cools
+    /// down.
     pub breaker: Option<BreakerConfig>,
+    /// Run queries sharded over a heterogeneous device pool. `None`
+    /// (the default) keeps the classic single-device path — and its
+    /// pinned fingerprints — untouched.
+    pub sharding: Option<ShardServeConfig>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +97,7 @@ impl Default for ServeConfig {
             faults: None,
             recovery: None,
             breaker: None,
+            sharding: None,
         }
     }
 }
@@ -101,6 +124,7 @@ struct Shared {
     faults: Option<FaultConfig>,
     recovery: Option<RecoveryPolicy>,
     breaker: Option<BreakerConfig>,
+    sharding: Option<ShardServeConfig>,
     /// `serve.queued/running/done` gauge backing (snapshot into the
     /// metrics registry by [`BatchReport::metrics`]).
     queued: AtomicU64,
@@ -155,6 +179,13 @@ impl Server {
         db: Arc<TpchDb>,
         gamma: Arc<GammaTable>,
     ) -> Self {
+        if let Some(sc) = &config.sharding {
+            assert_eq!(
+                sc.gammas.len(),
+                sc.pool.len(),
+                "one gamma table per pool device"
+            );
+        }
         let shared = Arc::new(Shared {
             spec,
             db,
@@ -170,6 +201,7 @@ impl Server {
             faults: config.faults,
             recovery: config.recovery,
             breaker: config.breaker,
+            sharding: config.sharding,
             queued: AtomicU64::new(0),
             running: AtomicU64::new(0),
             done: AtomicU64::new(0),
@@ -381,8 +413,30 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
     // The worker's circuit breaker and its device clock: the sum of
     // simulated cycles this worker's device has executed (plus reject
     // costs), driving the breaker's deterministic cool-down timer.
-    let mut breaker = shared.breaker.clone().map(CircuitBreaker::new);
+    // Under sharding the single breaker is replaced by one breaker and
+    // one clock *per pool device*: a tripped device is excluded from
+    // this worker's next sharded runs while it cools down, instead of
+    // rejecting whole queries.
+    let mut breaker = if shared.sharding.is_none() {
+        shared.breaker.clone().map(CircuitBreaker::new)
+    } else {
+        None
+    };
     let mut device_cycles = 0u64;
+    let mut device_breakers: Option<Vec<CircuitBreaker>> = match (&shared.sharding, &shared.breaker)
+    {
+        (Some(sc), Some(cfg)) => Some(
+            (0..sc.pool.len())
+                .map(|_| CircuitBreaker::new(cfg.clone()))
+                .collect(),
+        ),
+        _ => None,
+    };
+    let mut device_clocks: Vec<u64> = shared
+        .sharding
+        .as_ref()
+        .map(|sc| vec![0; sc.pool.len()])
+        .unwrap_or_default();
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("queue poisoned");
@@ -398,37 +452,50 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         shared.running.fetch_add(1, Ordering::Relaxed);
-        let admitted = match breaker.as_mut() {
-            Some(b) => {
-                let before = b.state();
-                let admitted = b.admit(device_cycles);
-                record_transition(shared, idx, device_cycles, before, b.state());
-                admitted
-            }
-            None => true,
-        };
-        let resp = if !admitted {
-            let cfg = shared.breaker.as_ref().expect("breaker configured");
-            device_cycles += cfg.reject_cost_cycles;
-            shared.breaker_rejections.fetch_add(1, Ordering::Relaxed);
-            synthetic_response_on(idx, job, ServeError::CircuitOpen)
+        let resp = if let Some(sc) = &shared.sharding {
+            run_sharded_job(
+                idx,
+                shared,
+                sc,
+                job,
+                device_breakers.as_mut(),
+                &mut device_clocks,
+            )
         } else {
-            let (resp, spent) = process(idx, shared, job);
-            device_cycles += spent;
-            if let Some(b) = breaker.as_mut() {
-                let opens_before = b.stats().opens;
-                let before = b.state();
-                match &resp.result {
-                    Err(ServeError::Exec(e)) if e.is_device_fault() => b.on_fault(device_cycles),
-                    Err(_) => {} // query problem: no breaker signal
-                    Ok(_) => b.on_success(),
+            let admitted = match breaker.as_mut() {
+                Some(b) => {
+                    let before = b.state();
+                    let admitted = b.admit(device_cycles);
+                    record_transition(shared, idx, None, device_cycles, before, b.state());
+                    admitted
                 }
-                record_transition(shared, idx, device_cycles, before, b.state());
-                shared
-                    .breaker_opens
-                    .fetch_add(b.stats().opens - opens_before, Ordering::Relaxed);
+                None => true,
+            };
+            if !admitted {
+                let cfg = shared.breaker.as_ref().expect("breaker configured");
+                device_cycles += cfg.reject_cost_cycles;
+                shared.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                synthetic_response_on(idx, job, ServeError::CircuitOpen)
+            } else {
+                let (resp, spent) = process(idx, shared, job);
+                device_cycles += spent;
+                if let Some(b) = breaker.as_mut() {
+                    let opens_before = b.stats().opens;
+                    let before = b.state();
+                    match &resp.result {
+                        Err(ServeError::Exec(e)) if e.is_device_fault() => {
+                            b.on_fault(device_cycles)
+                        }
+                        Err(_) => {} // query problem: no breaker signal
+                        Ok(_) => b.on_success(),
+                    }
+                    record_transition(shared, idx, None, device_cycles, before, b.state());
+                    shared
+                        .breaker_opens
+                        .fetch_add(b.stats().opens - opens_before, Ordering::Relaxed);
+                }
+                resp
             }
-            resp
         };
         shared.running.fetch_sub(1, Ordering::Relaxed);
         shared.done.fetch_add(1, Ordering::Relaxed);
@@ -439,10 +506,80 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
     }
 }
 
+/// What one sharded query did on one pool device, as seen by that
+/// device's breaker.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceOutcome {
+    cycles: u64,
+    lost: bool,
+    /// Whether the device participated (breakers only hear from devices
+    /// that actually ran or died; an idle device's streak is untouched).
+    ran: bool,
+}
+
+/// One sharded job end to end: per-device breaker admission (a tripped
+/// device is excluded, the query only rejects when *every* device is
+/// open), execution across the pool, and per-device breaker feedback
+/// from each device's outcome.
+fn run_sharded_job(
+    idx: usize,
+    shared: &Shared,
+    sc: &ShardServeConfig,
+    job: Job,
+    mut breakers: Option<&mut Vec<CircuitBreaker>>,
+    clocks: &mut [u64],
+) -> QueryResponse {
+    let excluded: Option<Vec<bool>> = breakers.as_deref_mut().map(|bs| {
+        bs.iter_mut()
+            .enumerate()
+            .map(|(d, b)| {
+                let before = b.state();
+                let ok = b.admit(clocks[d]);
+                record_transition(shared, idx, Some(d), clocks[d], before, b.state());
+                !ok
+            })
+            .collect()
+    });
+    if excluded.as_ref().is_some_and(|e| e.iter().all(|&x| x)) {
+        let cfg = shared.breaker.as_ref().expect("breaker configured");
+        for c in clocks.iter_mut() {
+            *c += cfg.reject_cost_cycles;
+        }
+        shared.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+        return synthetic_response_on(idx, job, ServeError::CircuitOpen);
+    }
+    let (resp, outcomes) = process_sharded(idx, shared, sc, job, excluded.as_deref());
+    if let Some(bs) = breakers {
+        for (d, b) in bs.iter_mut().enumerate() {
+            clocks[d] += outcomes[d].cycles;
+            if !outcomes[d].ran {
+                continue;
+            }
+            let opens_before = b.stats().opens;
+            let before = b.state();
+            if outcomes[d].lost {
+                b.on_fault(clocks[d]);
+            } else {
+                b.on_success();
+            }
+            record_transition(shared, idx, Some(d), clocks[d], before, b.state());
+            shared
+                .breaker_opens
+                .fetch_add(b.stats().opens - opens_before, Ordering::Relaxed);
+        }
+    } else {
+        for (d, o) in outcomes.iter().enumerate() {
+            clocks[d] += o.cycles;
+        }
+    }
+    resp
+}
+
 /// Log one breaker state change (no-op when the state did not move).
 fn record_transition(
     shared: &Shared,
     worker: usize,
+    device: Option<usize>,
     cycle: u64,
     from: crate::breaker::BreakerState,
     to: crate::breaker::BreakerState,
@@ -454,6 +591,7 @@ fn record_transition(
             .expect("transitions poisoned")
             .push(BreakerTransition {
                 worker,
+                device,
                 cycle,
                 from,
                 to,
@@ -575,5 +713,134 @@ fn process(idx: usize, shared: &Shared, job: Job) -> (QueryResponse, u64) {
             recovery,
         },
         spent,
+    )
+}
+
+/// Run one job across the device pool; returns the response plus each
+/// pool device's outcome (cycles it advanced, whether it was lost) for
+/// the caller's per-device breakers.
+///
+/// `record_traces` applies to the single-device path only: a sharded
+/// run builds one internal simulator per pool device and per-query
+/// tracing is not threaded through them.
+fn process_sharded(
+    idx: usize,
+    shared: &Shared,
+    sc: &ShardServeConfig,
+    job: Job,
+    excluded: Option<&[bool]>,
+) -> (QueryResponse, Vec<DeviceOutcome>) {
+    let queue_wall = job.submitted.elapsed();
+    let req = job.req;
+    let plan_t0 = Instant::now();
+    let planned = shared.plans.get_or_place(
+        &shared.db, &sc.pool, &sc.gammas, &req.sql, req.mode, &sc.plan,
+    );
+    let plan_wall = plan_t0.elapsed();
+    let mut outcomes = vec![DeviceOutcome::default(); sc.pool.len()];
+    let (entry, hit) = match planned {
+        Ok(v) => v,
+        Err(msg) => {
+            return (
+                QueryResponse {
+                    id: req.id,
+                    mode: req.mode,
+                    result: Err(ServeError::Plan(msg)),
+                    plan_cache_hit: false,
+                    plan_wall,
+                    queue_wall,
+                    exec_wall: Default::default(),
+                    worker: idx,
+                    trace: None,
+                    recovery: Default::default(),
+                },
+                outcomes,
+            )
+        }
+    };
+    let exec_t0 = Instant::now();
+    // Same per-query fault identity as the single-device path; the
+    // sharded runner further mixes the pool index in, so each device
+    // draws an independent but reproducible fault stream.
+    let faults = shared.faults.as_ref().map(|fc| ShardFaults {
+        spec: fc.spec.clone(),
+        seed: per_query_seed(fc.seed, req.id),
+    });
+    let limits = ExecLimits {
+        max_cycles: req.max_cycles,
+        cancel: req.cancel.clone(),
+    };
+    let mut recovery = Default::default();
+    let result = try_run_query_sharded(
+        &sc.pool,
+        &shared.db,
+        &entry.plan,
+        req.mode,
+        &sc.plan,
+        &entry.placement.assignment,
+        &limits,
+        shared.recovery.as_ref(),
+        faults.as_ref(),
+        excluded,
+    )
+    .map(|run| {
+        recovery = run.recovery.clone();
+        for (d, dr) in run.per_device.iter().enumerate() {
+            outcomes[d] = DeviceOutcome {
+                cycles: dr.cycles,
+                lost: dr.lost,
+                ran: dr.cycles > 0 || dr.lost,
+            };
+        }
+        // The observed-λ plane, keyed `(kernel, device)`: the same
+        // kernel running on two pool devices yields two distinct rows.
+        let kernel_rows = run
+            .per_device
+            .iter()
+            .flat_map(|dr| {
+                dr.per_stage.iter().flat_map(|s| {
+                    s.kernels.iter().map(|k| KernelRows {
+                        name: format!("{}@{}", k.name, dr.device),
+                        rows_in: k.rows_in,
+                        rows_out: k.rows_out,
+                    })
+                })
+            })
+            .collect();
+        QueryResult {
+            output: run.output,
+            cycles: run.cycles,
+            kernel_rows,
+        }
+    })
+    .map_err(|e| {
+        if e.is_device_fault() {
+            // The run died before producing per-device facts; charge
+            // the fault to every device that was eligible to run —
+            // conservative, but a sticky pool-wide failure should trip
+            // the whole worker's pool anyway.
+            for (d, o) in outcomes.iter_mut().enumerate() {
+                if excluded.is_none_or(|x| !x[d]) {
+                    o.lost = true;
+                    o.ran = true;
+                }
+            }
+        }
+        ServeError::Exec(e)
+    });
+    (
+        QueryResponse {
+            id: req.id,
+            mode: req.mode,
+            result,
+            plan_cache_hit: hit,
+            plan_wall,
+            queue_wall,
+            exec_wall: exec_t0.elapsed(),
+            worker: idx,
+            trace: None,
+            recovery,
+        },
+        outcomes,
     )
 }

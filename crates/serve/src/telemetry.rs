@@ -31,6 +31,10 @@ use gpl_obs::{MetricsRegistry, Recorder};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerTransition {
     pub worker: usize,
+    /// Pool-device index when the transition belongs to one of a
+    /// sharded worker's *per-device* breakers; `None` for the classic
+    /// whole-worker breaker.
+    pub device: Option<usize>,
     /// The worker's device-cycle clock at the transition.
     pub cycle: u64,
     pub from: BreakerState,
@@ -205,13 +209,28 @@ impl Telemetry {
             rec.sample(hit_rate, s.cycle, s.plan_cache_hit_rate);
             rec.sample(recovery, s.cycle, s.recovery_events as f64);
         }
-        let mut workers: Vec<usize> = self.breaker_transitions.iter().map(|t| t.worker).collect();
-        workers.sort_unstable();
-        workers.dedup();
-        for w in workers {
-            let c = rec.define_counter(&format!("serve/breaker_state.w{w}"));
+        let mut tracks: Vec<(usize, Option<usize>)> = self
+            .breaker_transitions
+            .iter()
+            .map(|t| (t.worker, t.device))
+            .collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for (w, d) in tracks {
+            // Per-device breakers of a sharded worker get one state
+            // track per (worker, pool device); the classic whole-worker
+            // breaker keeps its unsuffixed track name.
+            let name = match d {
+                Some(d) => format!("serve/breaker_state.w{w}.d{d}"),
+                None => format!("serve/breaker_state.w{w}"),
+            };
+            let c = rec.define_counter(&name);
             rec.sample(c, 0, 0.0);
-            for t in self.breaker_transitions.iter().filter(|t| t.worker == w) {
+            for t in self
+                .breaker_transitions
+                .iter()
+                .filter(|t| t.worker == w && t.device == d)
+            {
                 rec.sample(c, t.cycle, breaker_state_code(t.to) as f64);
             }
         }
@@ -237,9 +256,10 @@ impl Telemetry {
             ));
         }
         for t in &self.breaker_transitions {
+            let dev = t.device.map(|d| format!(" d{d}")).unwrap_or_default();
             out.push_str(&format!(
-                "breaker w{} @{}: {:?} -> {:?}\n",
-                t.worker, t.cycle, t.from, t.to
+                "breaker w{}{} @{}: {:?} -> {:?}\n",
+                t.worker, dev, t.cycle, t.from, t.to
             ));
         }
         out

@@ -86,10 +86,14 @@ pub struct DeviceSpec {
 }
 
 /// GPU vendor, selecting the channel-throughput formulation (Eq. 1 vs 11).
+/// `Cpu` marks the simulated CPU profile used by the heterogeneous
+/// device pool; it shares AMD's tunable-pipe formulation (its channels
+/// are plain shared-memory queues).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vendor {
     Amd,
     Nvidia,
+    Cpu,
 }
 
 impl DeviceSpec {
@@ -183,6 +187,52 @@ pub fn nvidia_k40() -> DeviceSpec {
     }
 }
 
+/// A simulated host-CPU profile for the heterogeneous device pool.
+///
+/// The asymmetries follow the coupled CPU-GPU co-processing literature
+/// (He et al., arXiv:1307.1955; Shanbhag et al., arXiv:2003.01178):
+/// far fewer hardware threads (8 cores × 2 resident groups, SIMD width
+/// 8 vs 32/64-wide wavefronts), but a 1-cycle scalar issue pipeline
+/// (vs `w = 4` on both GPUs), a large last-level cache with low hit
+/// latency, and — the decisive term for tiny kernels — a ~50× cheaper
+/// dispatch: a host function call instead of a driver round-trip
+/// (`launch_cycles` 300 vs 15 000 / 12 000). Channels degrade to plain
+/// in-memory queues with no shared-memory staging: low port throughput,
+/// shallow buffers, few ports.
+pub fn cpu_host() -> DeviceSpec {
+    DeviceSpec {
+        name: "Host CPU x86".to_string(),
+        vendor: Vendor::Cpu,
+        num_cus: 8,
+        core_freq_mhz: 3000,
+        wavefront_size: 8,
+        issue_cycles: 1,
+        concurrency: 4,
+        private_mem_per_cu: 64 * 1024,
+        local_mem_per_cu: 16 * 1024,
+        global_mem: 64 * 1024 * 1024 * 1024,
+        cache_bytes: 32 * 1024 * 1024,
+        cache_line: 64,
+        cache_assoc: 16,
+        mem_latency: 300,
+        cache_latency: 40,
+        mem_bytes_per_cycle: 2,
+        cache_bytes_per_cycle: 16,
+        max_wg_per_cu: 2,
+        launch_cycles: 300,
+        lane_switch_cycles: 100,
+        channel: ChannelSpec {
+            reserve_cycles: 8,
+            sync_cycles: 4,
+            port_bytes_per_cycle: 8,
+            max_channels: 4,
+            capacity_packets: 256,
+            tunable_packet_size: true,
+            fixed_packet_bytes: 16,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +281,21 @@ mod tests {
     fn issue_cost_w_is_four_on_both_platforms() {
         assert_eq!(amd_a10().issue_cycles, 4);
         assert_eq!(nvidia_k40().issue_cycles, 4);
+    }
+
+    #[test]
+    fn cpu_profile_encodes_the_asymmetries() {
+        let c = cpu_host();
+        assert_eq!(c.vendor, Vendor::Cpu);
+        // Higher per-CU issue rate than either GPU.
+        assert!(c.issue_cycles < amd_a10().issue_cycles);
+        // Lower parallelism: far fewer resident wavefronts.
+        assert!(c.max_wavefronts() < nvidia_k40().max_wavefronts());
+        assert!(c.max_wavefronts() < amd_a10().max_wavefronts());
+        // Dispatch is a host call, not a driver round-trip.
+        assert!(c.launch_cycles * 10 < nvidia_k40().launch_cycles);
+        // No shared-memory staging: channel ports are narrow and few.
+        assert!(c.channel.port_bytes_per_cycle < amd_a10().channel.port_bytes_per_cycle);
+        assert!(c.channel.max_channels < amd_a10().channel.max_channels);
     }
 }

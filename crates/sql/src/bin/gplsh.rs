@@ -7,10 +7,13 @@
 //! Reads one statement per line (`;` optional). Meta-commands:
 //! `\mode gpl|kbe|noce|pipelined`, `\explain <sql>`, `\timeline <sql>`
 //! (traced per-kernel Gantt chart), `\trace` (toggle per-query
-//! predicted-vs-observed drift), `\stats` (session metrics registry,
-//! plus the last drift table when tracing is on), `\tables`, `\q`.
+//! predicted-vs-observed drift), `\shard <n>` (run subsequent queries
+//! sharded over the heterogeneous device pool; `\shard off` returns to
+//! the single CLI device), `\stats` (session metrics registry, plus
+//! the last drift table when tracing is on), `\tables`, `\q`.
 
-use gpl_core::{DisplayHint, ExecContext, ExecMode, QueryConfig};
+use gpl_core::shard::{try_run_query_sharded, DevicePool, ShardPlan};
+use gpl_core::{DisplayHint, ExecContext, ExecLimits, ExecMode, QueryConfig};
 use gpl_model::GammaTable;
 use gpl_obs::{metrics_report, DriftReport, MetricsRegistry};
 use gpl_sim::{amd_a10, nvidia_k40};
@@ -62,6 +65,11 @@ fn main() {
     let mut tracing = false;
     let mut last_drift: Option<DriftReport> = None;
     let mut gamma: Option<GammaTable> = None;
+    // `\shard <n>` routes subsequent queries through the heterogeneous
+    // device pool; 0 means the classic single-device path. The pool and
+    // its per-device Γ tables calibrate lazily on first sharded query.
+    let mut shards: usize = 0;
+    let mut pool_state: Option<(DevicePool, Vec<GammaTable>)> = None;
 
     let stdin = std::io::stdin();
     loop {
@@ -115,6 +123,27 @@ fn main() {
             eprintln!("mode: {}", mode.name());
             continue;
         }
+        if let Some(n) = line.strip_prefix("\\shard") {
+            shards = match n.trim() {
+                "" | "off" | "0" => 0,
+                v => match v.parse() {
+                    Ok(k) if k >= 1 => k,
+                    _ => {
+                        eprintln!("usage: \\shard <n>|off");
+                        continue;
+                    }
+                },
+            };
+            if shards == 0 {
+                eprintln!("sharding: off (single device {})", spec.name);
+            } else {
+                eprintln!(
+                    "sharding: {shards} range shard(s) over {} with per-stage placement",
+                    DevicePool::default_pool().key()
+                );
+            }
+            continue;
+        }
         if let Some(sql) = line.strip_prefix("\\explain") {
             match compile_optimized(&ctx.db, sql.trim()) {
                 Ok(plan) => eprintln!("{}", plan.explain()),
@@ -150,6 +179,59 @@ fn main() {
             }
         };
         let hints = plan.display.clone().unwrap_or_default();
+        if shards > 0 {
+            let (pool, gammas) = pool_state.get_or_insert_with(|| {
+                let pool = DevicePool::default_pool();
+                eprintln!("calibrating Γ per pool device (cached under target/) ...");
+                let gammas = pool
+                    .devices()
+                    .iter()
+                    .map(|d| {
+                        let file = format!(
+                            "target/gamma-{}.txt",
+                            d.spec.name.to_lowercase().replace(' ', "-")
+                        );
+                        GammaTable::load_or_calibrate(&d.spec, std::path::Path::new(&file))
+                    })
+                    .collect();
+                (pool, gammas)
+            });
+            let placement = gpl_model::place_query(pool, gammas, &ctx.db, &plan, None);
+            match try_run_query_sharded(
+                pool,
+                &ctx.db,
+                &plan,
+                mode,
+                &ShardPlan::range(shards),
+                &placement.assignment,
+                &ExecLimits::default(),
+                None,
+                None,
+                None,
+            ) {
+                Ok(run) => {
+                    println!("{}", run.output.columns.join(" | "));
+                    for row in &run.output.rows {
+                        let cells: Vec<String> = row
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| render(&ctx, hints.get(i), *v))
+                            .collect();
+                        println!("{}", cells.join(" | "));
+                    }
+                    eprintln!(
+                        "-- {} rows, {} simulated cycles, {shards} shard(s), placement {} over {}",
+                        run.output.num_rows(),
+                        run.cycles,
+                        placement.assignment.key(),
+                        pool.key()
+                    );
+                    registry.counter_add("gplsh.queries.sharded", &[("mode", mode.name())], 1);
+                }
+                Err(e) => eprintln!("{e}"),
+            }
+            continue;
+        }
         match run_sql(&mut ctx, line, mode) {
             Ok(run) => {
                 println!("{}", run.output.columns.join(" | "));

@@ -7,8 +7,11 @@
 
 use gpl_check::prelude::*;
 use gpl_prng::{SeedableRng, StdRng};
-use gpl_repro::core::{plan_for, run_query, ExecContext, ExecMode, QueryConfig};
+use gpl_repro::core::shard::{try_run_query_sharded, DevicePool, ShardPlan};
+use gpl_repro::core::{plan_for, run_query, ExecContext, ExecLimits, ExecMode, QueryConfig};
+use gpl_repro::model::{place_query, GammaTable};
 use gpl_repro::ocelot::OcelotContext;
+use gpl_repro::serve::PlanCache;
 use gpl_repro::sim::{amd_a10, nvidia_k40};
 use gpl_repro::tpch::{reference, QueryId, TpchDb};
 use std::sync::{Arc, OnceLock};
@@ -169,4 +172,123 @@ prop! {
         let oce = gpl_repro::ocelot::run_query(&mut ctx, &mut oc, &plan);
         prop_assert_eq!(&oce.output, &kbe.output, "ocelot disagrees with KBE on {:?}", sql);
     }
+}
+
+/// The heterogeneous pool with one small calibrated Γ table per device
+/// (placement quality is irrelevant to equivalence; a coarse grid keeps
+/// the fuzzer fast). Channel counts respect each device's fan-out cap —
+/// the CPU profile stops at 4.
+fn pool_state() -> &'static (DevicePool, Vec<GammaTable>) {
+    static POOL: OnceLock<(DevicePool, Vec<GammaTable>)> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool = DevicePool::default_pool();
+        let gammas = pool
+            .devices()
+            .iter()
+            .map(|d| {
+                let ns: Vec<u32> = [1u32, 4, 16]
+                    .into_iter()
+                    .filter(|&n| n <= d.spec.channel.max_channels)
+                    .collect();
+                GammaTable::calibrate_grid(
+                    &d.spec,
+                    ns,
+                    vec![16, 64],
+                    vec![256 << 10, 2 << 20, 16 << 20],
+                )
+            })
+            .collect();
+        (pool, gammas)
+    })
+}
+
+prop! {
+    #![cases(200)]
+
+    /// The sharded-heterogeneous arm of the differential fuzzer: KBE on
+    /// the single device, GPL on the single device, and GPL sharded
+    /// across the CPU/GPU pool under the placement pass must all return
+    /// byte-identical rows for any generated query.
+    #[test]
+    fn random_queries_agree_with_the_sharded_heterogeneous_pool(seed in any::<u64>()) {
+        let db = fuzz_db();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sql = gpl_repro::sql::random_query(&mut rng);
+        let plan = gpl_repro::sql::compile(&db, &sql)
+            .unwrap_or_else(|e| panic!("generated query must compile: {sql:?}: {e}"));
+        let spec = amd_a10();
+        let cfg = QueryConfig::default_for(&spec, &plan);
+        let mut ctx = ExecContext::with_shared(spec, db.clone());
+        let kbe = run_query(&mut ctx, &plan, ExecMode::Kbe, &cfg);
+        let gpl = run_query(&mut ctx, &plan, ExecMode::Gpl, &cfg);
+        prop_assert_eq!(&gpl.output, &kbe.output, "GPL disagrees with KBE on {:?}", sql);
+        let (pool, gammas) = pool_state();
+        let placement = place_query(pool, gammas, &db, &plan, None);
+        let shards = 1 + (seed % 4) as usize;
+        let run = try_run_query_sharded(
+            pool,
+            &db,
+            &plan,
+            ExecMode::Gpl,
+            &ShardPlan::range(shards),
+            &placement.assignment,
+            &ExecLimits::default(),
+            None,
+            None,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("fault-free sharded run failed on {sql:?}: {e}"));
+        prop_assert_eq!(
+            &run.output, &kbe.output,
+            "GPL sharded ({} shards, placement {}) disagrees with KBE on {:?}",
+            shards, placement.assignment.key(), sql
+        );
+    }
+}
+
+/// The placement drift guard: a placement served from the shared
+/// [`PlanCache`] must equal a fresh Section-4 + placement search run —
+/// stage devices, per-device configs and the modeled total. Placement
+/// is a pure function of (pool, Γ, catalog, plan), so a cache hit that
+/// drifts from a fresh search means a stale or mis-keyed entry.
+#[test]
+fn cached_placement_matches_a_fresh_search() {
+    let db = fuzz_db();
+    let (pool, gammas) = pool_state();
+    let cache = PlanCache::new(16);
+    let shard = ShardPlan::range(2);
+    for q in [QueryId::Q5, QueryId::Q9, QueryId::Q14] {
+        let sql = gpl_repro::sql::sql_for(q).expect("query in corpus");
+        let (_, hit) = cache
+            .get_or_place(&db, pool, gammas, sql, ExecMode::Gpl, &shard)
+            .expect("placement succeeds");
+        assert!(!hit, "{}: first lookup must miss", q.name());
+        let (entry, hit) = cache
+            .get_or_place(&db, pool, gammas, sql, ExecMode::Gpl, &shard)
+            .expect("placement succeeds");
+        assert!(hit, "{}: second lookup must hit", q.name());
+
+        let plan = gpl_repro::sql::compile_optimized(&db, sql).expect("compiles");
+        let fresh = place_query(pool, gammas, &db, &plan, None);
+        assert_eq!(
+            entry.placement.assignment.key(),
+            fresh.assignment.key(),
+            "{}: cached stage devices drifted from a fresh search",
+            q.name()
+        );
+        assert_eq!(
+            entry.placement.assignment.configs,
+            fresh.assignment.configs,
+            "{}: cached per-device configs drifted",
+            q.name()
+        );
+        assert_eq!(
+            entry.placement.modeled_total,
+            fresh.modeled_total,
+            "{}: cached modeled total drifted",
+            q.name()
+        );
+    }
+    let (hits, misses) = cache.shard_stats();
+    assert_eq!((hits, misses), (3, 3));
 }

@@ -554,3 +554,120 @@ fn mixed_fault_sweep_over_overlapped_queries_is_bit_identical() {
         }
     }
 }
+
+/// The heterogeneous pool plus one coarse Γ table per device for the
+/// placement pass (grids respect each device's channel fan-out cap —
+/// the CPU profile stops at 4).
+fn shard_pool() -> &'static (gpl_repro::core::shard::DevicePool, Vec<GammaTable>) {
+    use gpl_repro::core::shard::DevicePool;
+    static POOL: OnceLock<(DevicePool, Vec<GammaTable>)> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool = DevicePool::default_pool();
+        let gammas = pool
+            .devices()
+            .iter()
+            .map(|d| {
+                let ns: Vec<u32> = [1u32, 4, 16]
+                    .into_iter()
+                    .filter(|&n| n <= d.spec.channel.max_channels)
+                    .collect();
+                GammaTable::calibrate_grid(
+                    &d.spec,
+                    ns,
+                    vec![16, 64],
+                    vec![256 << 10, 2 << 20, 16 << 20],
+                )
+            })
+            .collect();
+        (pool, gammas)
+    })
+}
+
+/// Losing a device mid-query under sharded serving: a pinned
+/// device-loss fires on the first terminal-reduce launch of every
+/// device that reaches one, the recovery ladder reassigns the dead
+/// device's shards (falling to the disarmed last resort if the whole
+/// pool dies), and the rows stay bit-identical to a fault-free sharded
+/// server — at every worker count, with the full fingerprint (rows and
+/// recovered cycle counts) worker-count independent.
+#[test]
+fn sharded_device_loss_recovers_bit_identically_across_worker_counts() {
+    use gpl_repro::core::shard::ShardPlan;
+    use gpl_repro::serve::ShardServeConfig;
+
+    let (pool, gammas) = shard_pool();
+    let sharding = || ShardServeConfig {
+        pool: pool.clone(),
+        gammas: gammas.clone(),
+        plan: ShardPlan::range(2),
+    };
+    let reqs = || -> Vec<QueryRequest> {
+        [QueryId::Q6, QueryId::Q14, QueryId::Q5, QueryId::Q9]
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let sql = gpl_repro::sql::sql_for(q).expect("query in corpus");
+                QueryRequest::new(i as u64, sql, ExecMode::Gpl)
+            })
+            .collect()
+    };
+    let clean = Server::start(
+        ServeConfig {
+            workers: 1,
+            sharding: Some(sharding()),
+            recovery: Some(RecoveryPolicy::default()),
+            ..ServeConfig::default()
+        },
+        amd_a10(),
+        db(),
+        gamma(),
+    )
+    .run_batch_report(reqs());
+    assert_eq!(clean.err_count(), 0, "fault-free sharded serving succeeds");
+
+    let mut spec = FaultSpec::none();
+    spec.pinned.push(PinnedFault {
+        kind: FaultKind::DeviceLost,
+        kernel: "k_reduce*".into(),
+        at_cycle: 0,
+    });
+    let mut fingerprints = Vec::new();
+    for workers in [1, 2, 8] {
+        let report = Server::start(
+            ServeConfig {
+                workers,
+                sharding: Some(sharding()),
+                faults: Some(FaultConfig {
+                    seed: 9,
+                    spec: spec.clone(),
+                }),
+                recovery: Some(RecoveryPolicy::default()),
+                ..ServeConfig::default()
+            },
+            amd_a10(),
+            db(),
+            gamma(),
+        )
+        .run_batch_report(reqs());
+        assert_eq!(
+            report.err_count(),
+            0,
+            "recovery absorbs the device loss at {workers} workers"
+        );
+        assert_eq!(
+            report.rows_fingerprint(),
+            clean.rows_fingerprint(),
+            "rows must match the fault-free sharded server at {workers} workers"
+        );
+        let (faults, _, _, _) = report.recovery_totals();
+        assert!(
+            faults > 0,
+            "the pinned device loss must actually fire at {workers} workers"
+        );
+        fingerprints.push(report.fingerprint());
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "sharded recovery must be worker-count independent: {fingerprints:x?}"
+    );
+}

@@ -2,8 +2,10 @@
 //! operator invariants, per DESIGN.md's testing strategy.
 
 use gpl_check::prelude::*;
-use gpl_repro::core::ht::{GroupStore, SimHashTable};
+use gpl_prng::{Rng, SeedableRng, StdRng};
+use gpl_repro::core::ht::{AggKind, GroupStore, SimHashTable};
 use gpl_repro::core::ops::{apply_compute, apply_filter, apply_probe, sort_rows, Chunk};
+use gpl_repro::core::shard::Sharder;
 use gpl_repro::core::{CmpOp, Expr, Pred};
 use gpl_repro::sim::{CacheSim, MemRange, MemoryMap};
 use gpl_repro::storage::{dec_mul, Date, Tiling};
@@ -148,5 +150,84 @@ prop! {
         prop_assert_eq!(c.cum.total(), lines);
         prop_assert!(c.resident_lines() <= c.capacity_lines());
         prop_assert!(c.hit_ratio() >= 0.0 && c.hit_ratio() <= 1.0);
+    }
+}
+
+prop! {
+    /// Both sharders partition the row space for arbitrary row counts,
+    /// shard counts and block sizes: every row lands in exactly one
+    /// shard's ranges (total + disjoint), and each shard's ranges are
+    /// non-empty, in order and non-overlapping.
+    #[test]
+    fn sharder_partition_is_total_and_disjoint(
+        rows in 0usize..50_000,
+        shards in 1usize..12,
+        block_rows in 1usize..3_000,
+    ) {
+        for sharder in [Sharder::Range, Sharder::Hash { block_rows }] {
+            let parts = sharder.partition(rows, shards);
+            prop_assert_eq!(parts.len(), shards, "one entry per shard: {:?}", sharder);
+            let mut covered = 0usize;
+            let mut seen = vec![false; rows];
+            for ranges in &parts {
+                let mut last_end = 0usize;
+                for r in ranges {
+                    prop_assert!(r.start < r.end, "empty range in {:?}", sharder);
+                    prop_assert!(r.start >= last_end, "unordered ranges in {:?}", sharder);
+                    last_end = r.end;
+                    for i in r.clone() {
+                        prop_assert!(!seen[i], "row {} dealt twice under {:?}", i, sharder);
+                        seen[i] = true;
+                        covered += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(covered, rows, "rows dropped under {:?}", sharder);
+        }
+    }
+
+    /// Merging shard-local aggregate state is independent of the order
+    /// shards complete in: absorbing the partial stores in a seeded
+    /// random permutation yields the same rows as natural order, for
+    /// every aggregate kind at once.
+    #[test]
+    fn absorbed_aggregate_state_is_completion_order_independent(
+        vals in prop::collection::vec((0i64..8, -100i64..100), 0..400),
+        shards in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let kinds = vec![AggKind::Sum, AggKind::Count, AggKind::Min, AggKind::Max];
+        let build_parts = || -> Vec<GroupStore> {
+            let mut mem = MemoryMap::new();
+            let mut acc = Vec::new();
+            let mut parts: Vec<GroupStore> = (0..shards)
+                .map(|s| GroupStore::with_kinds(&mut mem, 16, 1, kinds.clone(), format!("p{s}")))
+                .collect();
+            for (i, &(k, v)) in vals.iter().enumerate() {
+                parts[i % shards].update(&[k], &[v, v, v, v], &mut acc);
+            }
+            parts
+        };
+
+        let natural = {
+            let mut mem = MemoryMap::new();
+            let mut total = GroupStore::with_kinds(&mut mem, 16, 1, kinds.clone(), "nat");
+            for p in build_parts() {
+                total.absorb(p);
+            }
+            total.into_rows()
+        };
+        let mut order: Vec<usize> = (0..shards).collect();
+        StdRng::seed_from_u64(seed).shuffle(&mut order);
+        let shuffled = {
+            let mut parts: Vec<Option<GroupStore>> = build_parts().into_iter().map(Some).collect();
+            let mut mem = MemoryMap::new();
+            let mut total = GroupStore::with_kinds(&mut mem, 16, 1, kinds.clone(), "shuf");
+            for &i in &order {
+                total.absorb(parts[i].take().expect("each shard absorbed once"));
+            }
+            total.into_rows()
+        };
+        prop_assert_eq!(natural, shuffled, "merge order {:?} changed the rows", order);
     }
 }

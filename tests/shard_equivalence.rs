@@ -1,0 +1,189 @@
+//! The cross-shard differential suite pinning the multi-device layer:
+//! sharding and placement are pure execution strategies, so rows and
+//! result fingerprints must be bit-identical across shard counts,
+//! device assignments and exec modes — with the classic single-device
+//! engine as the oracle. The bottom half fuzzes the same invariant over
+//! generated SQL (failing seeds persist to
+//! `tests/shard_equivalence.proptest-regressions`).
+
+use gpl_check::prelude::*;
+use gpl_prng::{SeedableRng, StdRng};
+use gpl_repro::core::shard::{
+    try_run_query_sharded, DevicePool, ShardAssignment, ShardPlan, Sharder,
+};
+use gpl_repro::core::{
+    plan_for, run_query, ExecContext, ExecLimits, ExecMode, QueryConfig, QueryPlan,
+};
+use gpl_repro::sim::amd_a10;
+use gpl_repro::tpch::{QueryId, TpchDb};
+use std::sync::{Arc, OnceLock};
+
+/// Shard counts exercised everywhere: the degenerate single shard, even
+/// splits, and a count coprime to both the pool size and the row counts
+/// (7) so remainders land unevenly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// The modes the sharded executor supports end to end.
+const MODES: [ExecMode; 3] = [ExecMode::Gpl, ExecMode::GplPipelined, ExecMode::Kbe];
+
+fn db() -> Arc<TpchDb> {
+    static DB: OnceLock<Arc<TpchDb>> = OnceLock::new();
+    DB.get_or_init(|| Arc::new(TpchDb::at_scale(0.002))).clone()
+}
+
+fn pool() -> &'static DevicePool {
+    static POOL: OnceLock<DevicePool> = OnceLock::new();
+    POOL.get_or_init(DevicePool::default_pool)
+}
+
+/// A fault-free sharded run; the assignment deals stages round-robin
+/// across the pool so every device class (including the CPU profile)
+/// participates without the placement model in the loop.
+fn run_sharded(
+    plan: &QueryPlan,
+    mode: ExecMode,
+    shards: usize,
+) -> gpl_repro::core::shard::ShardedRun {
+    let assignment = ShardAssignment::round_robin(pool(), plan);
+    try_run_query_sharded(
+        pool(),
+        &db(),
+        plan,
+        mode,
+        &ShardPlan::range(shards),
+        &assignment,
+        &ExecLimits::default(),
+        None,
+        None,
+        None,
+    )
+    .expect("fault-free sharded run")
+}
+
+/// Single-device oracle: the classic (unsharded) engine on the AMD
+/// profile with the default configuration.
+fn oracle(plan: &QueryPlan, mode: ExecMode) -> gpl_repro::core::QueryRun {
+    let spec = amd_a10();
+    let cfg = QueryConfig::default_for(&spec, plan);
+    let mut ctx = ExecContext::with_shared(spec, db());
+    run_query(&mut ctx, plan, mode, &cfg)
+}
+
+/// The tentpole pin: every TPC-H plan, under every supported mode, at
+/// every shard count, split across all three device classes — rows and
+/// fingerprints must match the single-device oracle exactly.
+#[test]
+fn all_tpch_plans_agree_across_shard_counts_and_modes() {
+    for q in QueryId::all() {
+        let plan = plan_for(&db(), q);
+        for mode in MODES {
+            let want = oracle(&plan, mode);
+            let mut fingerprints = Vec::new();
+            for shards in SHARD_COUNTS {
+                let run = run_sharded(&plan, mode, shards);
+                assert_eq!(
+                    run.output,
+                    want.output,
+                    "{} under {} with {shards} shard(s) diverged from the single-device oracle",
+                    q.name(),
+                    mode.name()
+                );
+                fingerprints.push(run.fingerprint());
+            }
+            assert!(
+                fingerprints.windows(2).all(|w| w[0] == w[1]),
+                "{} under {}: fingerprints differ across shard counts: {fingerprints:x?}",
+                q.name(),
+                mode.name()
+            );
+        }
+    }
+}
+
+/// The hash sharder deals fixed-size blocks by a key mix, so shard
+/// sizes skew — results still must not move.
+#[test]
+fn hash_sharding_with_skewed_blocks_matches_range_sharding() {
+    for q in [QueryId::Q5, QueryId::Q9, QueryId::Q14] {
+        let plan = plan_for(&db(), q);
+        let assignment = ShardAssignment::round_robin(pool(), &plan);
+        let want = oracle(&plan, ExecMode::Gpl);
+        for block_rows in [64usize, 1000, 4096] {
+            let shard = ShardPlan {
+                shards: 3,
+                sharder: Sharder::Hash { block_rows },
+            };
+            let run = try_run_query_sharded(
+                pool(),
+                &db(),
+                &plan,
+                ExecMode::Gpl,
+                &shard,
+                &assignment,
+                &ExecLimits::default(),
+                None,
+                None,
+                None,
+            )
+            .expect("fault-free sharded run");
+            assert_eq!(
+                run.output,
+                want.output,
+                "{} hash-sharded (block {block_rows}) diverged",
+                q.name()
+            );
+        }
+    }
+}
+
+/// The unsharded pin: one shard with every stage on device 0 is the
+/// classic engine wearing a pool coat — identical rows, and the classic
+/// path's outputs are untouched by the sharding layer's existence.
+#[test]
+fn single_shard_on_the_anchor_device_matches_the_classic_engine() {
+    for q in QueryId::evaluation_set() {
+        let plan = plan_for(&db(), q);
+        let want = oracle(&plan, ExecMode::Gpl);
+        let assignment = ShardAssignment::default_for(pool(), &plan);
+        let run = try_run_query_sharded(
+            pool(),
+            &db(),
+            &plan,
+            ExecMode::Gpl,
+            &ShardPlan::single(),
+            &assignment,
+            &ExecLimits::default(),
+            None,
+            None,
+            None,
+        )
+        .expect("fault-free sharded run");
+        assert_eq!(run.output, want.output, "{} unsharded pin moved", q.name());
+    }
+}
+
+prop! {
+    #![cases(100)]
+
+    /// Differential fuzzing: any query the SQL generator emits must get
+    /// the same rows from the sharded heterogeneous pool as from the
+    /// single-device engine, for a shard count and mode derived from
+    /// the seed. Each case is one generator seed, so a persisted
+    /// regression replays the exact query text.
+    #[test]
+    fn random_queries_agree_across_shard_counts(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sql = gpl_repro::sql::random_query(&mut rng);
+        let plan = gpl_repro::sql::compile(&db(), &sql)
+            .unwrap_or_else(|e| panic!("generated query must compile: {sql:?}: {e}"));
+        let shards = SHARD_COUNTS[(seed % 4) as usize];
+        let mode = MODES[((seed >> 2) % 3) as usize];
+        let want = oracle(&plan, mode);
+        let run = run_sharded(&plan, mode, shards);
+        prop_assert_eq!(
+            &run.output, &want.output,
+            "{} with {} shard(s) disagrees with the single-device engine on {:?}",
+            mode.name(), shards, sql
+        );
+    }
+}
