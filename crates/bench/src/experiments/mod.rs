@@ -7,6 +7,7 @@
 pub mod bench;
 pub mod breakdown;
 pub mod calibration;
+pub mod chaos;
 pub mod faults;
 pub mod intermediates;
 pub mod model_eval;
@@ -226,6 +227,13 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "robustness",
             description: "fault injection & recovery: goodput, fallbacks, breaker, shedding",
             run: faults::faults,
+        },
+        Experiment {
+            name: "chaos",
+            paper_ref: "robustness",
+            description:
+                "straggler defense: slowdown faults, speculative hedging, checkpoint resume",
+            run: chaos::chaos,
         },
         Experiment {
             name: "serve",

@@ -73,6 +73,7 @@ fn run(
         None,
         None,
         None,
+        None,
     )
     .expect("fault-free sharded run")
 }

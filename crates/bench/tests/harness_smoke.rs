@@ -9,8 +9,11 @@ use gpl_sim::amd_a10;
 fn cheap_experiments_run_at_tiny_scale() {
     // fig2/fig23 run full calibration sweeps and fig21/fig22 fixed SF
     // sweeps; they are covered by `repro all`. profile needs a query
-    // argument and has its own smoke test below.
-    let skip = ["fig2", "fig21", "fig22", "fig23", "profile"];
+    // argument and has its own smoke test below. chaos gates its tail
+    // improvements at the pinned default scale (its hazard window is
+    // sized for SF 0.3 launches, so a tiny-SF sweep never confirms a
+    // fault) — verify.sh runs it twice at the defaults instead.
+    let skip = ["fig2", "fig21", "fig22", "fig23", "profile", "chaos"];
     let opts = Opts {
         sf: Some(0.004),
         device: amd_a10(),

@@ -819,6 +819,11 @@ fn run_stage_recovering(
             mode,
         ));
     };
+    if policy.checkpoint_slices >= 2 {
+        return run_stage_checkpointed(
+            ctx, plan, ir, stage, cfg, mode, hts, policy, limits, spent, stats, rec,
+        );
+    }
     let instant = |name: &str, args: Vec<(&'static str, gpl_obs::Value)>, ctx: &ExecContext| {
         if let Some(r) = rec {
             let t = r.track("recover");
@@ -909,6 +914,225 @@ fn run_stage_recovering(
         return Ok((result?, ExecMode::Kbe));
     }
     Err(last_err.expect("at least one attempt ran"))
+}
+
+/// Slice-checkpoint execution of one stage (DESIGN.md §11): the driving
+/// relation splits into `RecoveryPolicy::checkpoint_slices` contiguous
+/// row slices, each run through the per-slice recovery ladder into
+/// *fresh* per-slice blocking outputs that merge into the stage's
+/// accumulated state only on success — the launch-admission invariant
+/// applied per slice. After every merge, a content checkpoint (the
+/// accumulated hash-table / group-store fingerprint) is recorded; a
+/// faulted slice re-verifies the accumulated state against the last
+/// checkpoint and retries *only itself*, so a mid-stage fault resumes
+/// from the last verified slice instead of row 0. Rows are
+/// bit-identical to the unsliced stage (disjoint ranges union exactly —
+/// the same facts the shard merge relies on); only cycles differ.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_checkpointed(
+    ctx: &mut ExecContext,
+    plan: &QueryPlan,
+    ir: &SegmentIr,
+    stage: &Stage,
+    cfg: &StageConfig,
+    mode: ExecMode,
+    hts: &[Option<Rc<RefCell<SimHashTable>>>],
+    policy: &RecoveryPolicy,
+    limits: &ExecLimits,
+    spent: u64,
+    stats: &mut RecoveryStats,
+    rec: Option<&gpl_obs::Recorder>,
+) -> Result<(StageOut, ExecMode), ExecError> {
+    let instant = |name: &str, args: Vec<(&'static str, gpl_obs::Value)>, ctx: &ExecContext| {
+        if let Some(r) = rec {
+            let t = r.track("recover");
+            r.instant(t, "recover", name, ctx.sim.clock(), args);
+        }
+    };
+    let rows = ctx.db.table(&stage.driver).rows();
+    let slices: Vec<std::ops::Range<usize>> = crate::shard::Sharder::Range
+        .partition(rows, policy.checkpoint_slices as usize)
+        .into_iter()
+        .flatten()
+        .collect();
+    // Accumulated blocking state: created ONCE and kept across slice
+    // attempts — sound because a faulted slice attempt only ever built
+    // its own (dropped) per-slice outputs.
+    let (build, agg) = make_blocking_outputs(ctx, plan, stage);
+    let acc_fingerprint = |build: &Option<(usize, Rc<RefCell<SimHashTable>>)>,
+                           agg: &Option<Rc<RefCell<GroupStore>>>| {
+        match (build, agg) {
+            (Some((_, t)), _) => t.borrow().fingerprint(),
+            (_, Some(a)) => a.borrow().fingerprint(),
+            _ => unreachable!("a stage ends in a build or an aggregate"),
+        }
+    };
+    let mut checkpoint = acc_fingerprint(&build, &agg);
+    let mut verified = 0u64; // slices merged and checksummed
+    let mut kept_cycles = 0u64; // useful cycles the checkpoints protect
+    let mut profile = LaunchProfile::default();
+    let mut ran_on = mode;
+    let full_ladder = policy.ladder(mode);
+
+    for slice in &slices {
+        let part = [slice.clone()];
+        let mut last_err: Option<ExecError> = None;
+        let mut first = true;
+        let mut slice_done = false;
+        'modes: for &m in &full_ladder {
+            for attempt in 0..=policy.max_retries {
+                if !first {
+                    if attempt == 0 {
+                        stats.fallbacks += 1;
+                        stats.degraded_to = Some(m);
+                        instant(
+                            "fallback",
+                            vec![("to", gpl_obs::Value::from(m.name()))],
+                            ctx,
+                        );
+                    } else {
+                        stats.retries += 1;
+                        let delay = policy.backoff_for(attempt);
+                        ctx.sim.advance(delay);
+                        stats.backoff_cycles += delay;
+                        stats.wasted_cycles += delay;
+                        instant(
+                            "retry",
+                            vec![
+                                ("attempt", gpl_obs::Value::from(attempt)),
+                                ("backoff_cycles", gpl_obs::Value::from(delay)),
+                            ],
+                            ctx,
+                        );
+                    }
+                }
+                first = false;
+                limits.check(spent + stats.wasted_cycles)?;
+                let c0 = ctx.sim.clock();
+                match crate::shard::run_shard_attempt(ctx, plan, ir, stage, cfg, m, hts, &part) {
+                    Ok((sp, sbuilt, sagg)) => {
+                        merge_slice(&build, &agg, sbuilt, sagg);
+                        checkpoint = acc_fingerprint(&build, &agg);
+                        verified += 1;
+                        kept_cycles += ctx.sim.clock().saturating_sub(c0);
+                        profile.merge(&sp);
+                        if m != mode {
+                            ran_on = m;
+                        }
+                        slice_done = true;
+                        break 'modes;
+                    }
+                    Err(e) => {
+                        let device_lost = matches!(e, ExecError::DeviceLost(_));
+                        match &e {
+                            ExecError::Fault(record)
+                            | ExecError::Oom(record)
+                            | ExecError::DeviceLost(record) => {
+                                stats.wasted_cycles += ctx.sim.clock().saturating_sub(c0);
+                                instant(
+                                    "fault",
+                                    vec![
+                                        ("kind", gpl_obs::Value::from(record.kind.name())),
+                                        ("launch", gpl_obs::Value::from(record.launch)),
+                                    ],
+                                    ctx,
+                                );
+                                stats.faults.push(record.clone());
+                                last_err = Some(e);
+                                // Partial-progress resume: the completed
+                                // slices stay. Verify them against the
+                                // last checkpoint before continuing —
+                                // a failed attempt must not have touched
+                                // the accumulated state.
+                                if verified > 0 {
+                                    assert_eq!(
+                                        acc_fingerprint(&build, &agg),
+                                        checkpoint,
+                                        "accumulated state diverged from its checkpoint"
+                                    );
+                                    stats.resumed_slices += verified;
+                                    stats.checkpoint_saved_cycles += kept_cycles;
+                                    instant(
+                                        "resume",
+                                        vec![
+                                            ("from_slice", gpl_obs::Value::from(verified)),
+                                            ("saved_cycles", gpl_obs::Value::from(kept_cycles)),
+                                        ],
+                                        ctx,
+                                    );
+                                }
+                            }
+                            _ => return Err(e),
+                        }
+                        if device_lost {
+                            break 'modes;
+                        }
+                    }
+                }
+            }
+        }
+        if !slice_done {
+            if !policy.fallback {
+                return Err(last_err.expect("at least one attempt ran"));
+            }
+            stats.fallbacks += 1;
+            stats.degraded_to = Some(ExecMode::Kbe);
+            instant(
+                "fallback",
+                vec![("to", gpl_obs::Value::from("KBE (disarmed)"))],
+                ctx,
+            );
+            let was_armed = ctx.sim.faults_armed();
+            ctx.sim.set_faults_armed(false);
+            let result = crate::shard::run_shard_attempt(
+                ctx,
+                plan,
+                ir,
+                stage,
+                cfg,
+                ExecMode::Kbe,
+                hts,
+                &part,
+            );
+            ctx.sim.set_faults_armed(was_armed);
+            let (sp, sbuilt, sagg) = result?;
+            merge_slice(&build, &agg, sbuilt, sagg);
+            checkpoint = acc_fingerprint(&build, &agg);
+            verified += 1;
+            profile.merge(&sp);
+            ran_on = ExecMode::Kbe;
+        }
+    }
+
+    let agg_rows = agg.map(|a| {
+        Rc::try_unwrap(a)
+            .expect("aggregate store still shared")
+            .into_inner()
+            .into_rows()
+    });
+    Ok(((profile, build, agg_rows), ran_on))
+}
+
+/// Merge one verified slice's owned blocking outputs into the stage's
+/// accumulated state: build entries insert (key-unique across disjoint
+/// slices, like shard merges), aggregate stores absorb group-by-group.
+fn merge_slice(
+    build: &Option<(usize, Rc<RefCell<SimHashTable>>)>,
+    agg: &Option<Rc<RefCell<GroupStore>>>,
+    sbuilt: Option<(usize, SimHashTable)>,
+    sagg: Option<GroupStore>,
+) {
+    if let (Some((_, acc)), Some((_, t))) = (build, sbuilt) {
+        let mut acc = acc.borrow_mut();
+        let mut sink = Vec::new();
+        for (key, payload) in t.into_entries() {
+            sink.clear();
+            acc.insert(key, &payload, &mut sink);
+        }
+    }
+    if let (Some(acc), Some(s)) = (agg, sagg) {
+        acc.borrow_mut().absorb(s);
+    }
 }
 
 /// Estimate a build stage's output cardinality by evaluating its filters

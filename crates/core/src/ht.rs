@@ -139,6 +139,14 @@ impl SimHashTable {
         }
         h
     }
+
+    /// Content fingerprint of the whole table: [`Self::slice_checksum`]
+    /// with every key in one slice. Two tables holding the same entries
+    /// agree regardless of how they were built — the equality check
+    /// speculative hedging and checkpoint resume verify results with.
+    pub fn fingerprint(&self) -> u64 {
+        self.slice_checksum(0, 1)
+    }
 }
 
 /// Aggregate function kinds supported by the group store.
@@ -270,6 +278,34 @@ impl GroupStore {
                 }
             }
         }
+    }
+
+    /// Content fingerprint of the partial aggregate state: FNV-1a over
+    /// the shape (key width + kinds) and every `(keys, accumulators)`
+    /// group in `BTreeMap` order. Two stores that would produce the
+    /// same rows agree — the checkpoint-verification digest of
+    /// slice-resume, mirroring [`SimHashTable::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.key_width as u64);
+        mix(self.kinds.len() as u64);
+        for (keys, aggs) in &self.groups {
+            for &k in keys {
+                mix(k as u64);
+            }
+            for &a in aggs {
+                mix(a as u64);
+            }
+        }
+        h
     }
 
     /// Fold `values` into the aggregates of group `keys`; reports the

@@ -55,6 +55,6 @@ pub use segment::{
     overlap_pairs, ChannelEdge, InterSegmentEdge, KernelFlavour, KernelNode, LeafColumn, SegmentIr,
 };
 pub use shard::{
-    try_run_query_sharded, DeviceKind, DevicePool, DeviceRun, PoolDevice, ShardAssignment,
-    ShardFaults, ShardPlan, ShardedRun, Sharder,
+    try_run_query_sharded, DeviceKind, DevicePool, DeviceRun, HedgePlan, PoolDevice,
+    ShardAssignment, ShardFaults, ShardPlan, ShardedRun, Sharder,
 };

@@ -36,6 +36,12 @@ pub struct RecoveryPolicy {
     /// the disarmed last-resort KBE attempt. With `false`, exhausting
     /// the primary mode's retries surfaces the last fault as an error.
     pub fallback: bool,
+    /// Slice-checkpoint resume (DESIGN.md §11): with `k >= 2`, a
+    /// blocking stage executes as `k` row-range slices, each verified by
+    /// a content checksum on completion; a faulted slice retries from
+    /// the last verified checkpoint instead of re-running the stage
+    /// from row 0. `0` (the default) keeps the PR 4 whole-stage retry.
+    pub checkpoint_slices: u32,
 }
 
 impl Default for RecoveryPolicy {
@@ -46,6 +52,7 @@ impl Default for RecoveryPolicy {
             backoff_factor: 2,
             backoff_cap_cycles: 1 << 20,
             fallback: true,
+            checkpoint_slices: 0,
         }
     }
 }
@@ -60,6 +67,12 @@ impl RecoveryPolicy {
 
     pub fn no_fallback(mut self) -> Self {
         self.fallback = false;
+        self
+    }
+
+    /// Enable slice-checkpoint resume with `k` slices per stage.
+    pub fn with_checkpoints(mut self, k: u32) -> Self {
+        self.checkpoint_slices = k;
         self
     }
 
@@ -114,12 +127,24 @@ pub struct RecoveryStats {
     /// The most degraded mode any stage ended up executing on, when
     /// different from the requested mode.
     pub degraded_to: Option<ExecMode>,
+    /// Speculative backup attempts launched (straggler hedging).
+    pub hedges: u64,
+    /// Hedges whose backup finished (modeled) before the straggling
+    /// primary and won the race.
+    pub hedge_wins: u64,
+    /// Checkpoint slices whose completed work was *kept* across a fault
+    /// (summed over every fault that found verified slices to resume
+    /// from).
+    pub resumed_slices: u64,
+    /// Simulated cycles the kept slices represent — work a whole-stage
+    /// retry would have re-run from row 0.
+    pub checkpoint_saved_cycles: u64,
 }
 
 impl RecoveryStats {
     /// Whether anything at all went wrong (and was absorbed).
     pub fn eventful(&self) -> bool {
-        !self.faults.is_empty() || self.retries > 0 || self.fallbacks > 0
+        !self.faults.is_empty() || self.retries > 0 || self.fallbacks > 0 || self.hedges > 0
     }
 }
 
@@ -135,6 +160,7 @@ mod tests {
             backoff_factor: 2,
             backoff_cap_cycles: 500,
             fallback: true,
+            checkpoint_slices: 0,
         };
         assert_eq!(p.backoff_for(1), 100);
         assert_eq!(p.backoff_for(2), 200);

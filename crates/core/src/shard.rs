@@ -288,6 +288,57 @@ impl ShardFaults {
     }
 }
 
+/// Straggler-hedging policy for a sharded run (DESIGN.md §11):
+/// modeled per-stage per-device cycle estimates plus a lateness
+/// threshold. A shard whose observed cycles exceed the *whole stage's*
+/// modeled cost on its device times `threshold` is treated as a
+/// straggler: a speculative backup launches on the modeled-cheapest
+/// other live device, the first *verified* finisher wins, and the
+/// loser's clock is capped at the winner's finish. The deadline is
+/// deliberately not scaled down to the shard's row fraction — a shard
+/// is a fraction of its stage, so one that exceeds the full stage's
+/// model is pathological (slowdown window, retry storm) rather than
+/// merely mis-modeled. Both attempts' blocking outputs must be
+/// bit-identical — hedging trades duplicate cycles (charged against
+/// [`ExecLimits`]) for tail latency, never correctness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgePlan {
+    /// `modeled[stage][device]`: modeled cycles for the whole stage on
+    /// that pool device, pool order (`f64::INFINITY` = the device is
+    /// not a candidate). Typically `gpl_model::hedge_plan` lifts this
+    /// from a placement's estimate matrix.
+    pub modeled: Vec<Vec<f64>>,
+    /// Hedge once observed cycles exceed `modeled × frac × threshold`.
+    /// Must be `>= 1`; larger values hedge later (fewer duplicate
+    /// launches, longer tails survive).
+    pub threshold: f64,
+}
+
+impl HedgePlan {
+    /// The default lateness threshold: a shard 3× over its model is a
+    /// straggler. Conservative enough that model error alone (bounded
+    /// by the calibration gates at well under 2×) never trips it.
+    pub const DEFAULT_THRESHOLD: f64 = 3.0;
+
+    pub fn new(modeled: Vec<Vec<f64>>, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 1.0,
+            "hedge threshold must be finite and >= 1, got {threshold}"
+        );
+        HedgePlan { modeled, threshold }
+    }
+}
+
+/// Content digest of a shard attempt's blocking output — what hedging
+/// compares to verify a backup reproduced the primary bit-identically
+/// before either is allowed to win the race.
+fn shard_out_digest(out: &ShardOut) -> (Option<(usize, u64)>, Option<u64>) {
+    (
+        out.1.as_ref().map(|(slot, t)| (*slot, t.fingerprint())),
+        out.2.as_ref().map(GroupStore::fingerprint),
+    )
+}
+
 /// One device's view of a sharded run.
 #[derive(Debug, Clone)]
 pub struct DeviceRun {
@@ -347,7 +398,7 @@ impl ShardedRun {
 /// A shard attempt's blocking output: the launch profile plus the
 /// *owned* terminal state (unwrapped from its `Rc` so the merge can
 /// consume it).
-type ShardOut = (
+pub(crate) type ShardOut = (
     LaunchProfile,
     Option<(usize, SimHashTable)>,
     Option<GroupStore>,
@@ -366,8 +417,11 @@ type ShardOut = (
 ///
 /// `excluded` (pool order) lets a caller with per-device breakers keep
 /// a device out of admission; it is ignored when it would exclude
-/// everything. `GplPipelined` runs its stages per shard like `Gpl`:
-/// the cross-shard merge is a barrier between stages, so there is no
+/// everything. `hedge` arms straggler defense: shards observed past
+/// their modeled deadline get a speculative backup on the
+/// modeled-cheapest other live device (see [`HedgePlan`]).
+/// `GplPipelined` runs its stages per shard like `Gpl`: the
+/// cross-shard merge is a barrier between stages, so there is no
 /// build→probe pair left to fuse inside one shard launch.
 #[allow(clippy::too_many_arguments)]
 pub fn try_run_query_sharded(
@@ -380,6 +434,7 @@ pub fn try_run_query_sharded(
     limits: &ExecLimits,
     recovery: Option<&RecoveryPolicy>,
     faults: Option<&ShardFaults>,
+    hedge: Option<&HedgePlan>,
     excluded: Option<&[bool]>,
 ) -> Result<ShardedRun, ExecError> {
     plan.validate();
@@ -474,13 +529,15 @@ pub fn try_run_query_sharded(
                 .collect();
             cands.extend(extra);
             let mut last_err: Option<ExecError> = None;
-            let mut done = false;
+            // (device, output, observed cycles, clock at attempt start)
+            let mut winner: Option<(usize, ShardOut, u64, u64)> = None;
             for (ci, &dev) in cands.iter().enumerate() {
                 let reassigned = ci > 0;
                 if reassigned {
                     stats.fallbacks += 1;
                 }
                 let dev_is_last = ci + 1 == cands.len();
+                let a0 = ctxs[dev].sim.clock();
                 match run_shard_on_device(
                     &mut ctxs[dev],
                     plan,
@@ -498,27 +555,129 @@ pub fn try_run_query_sharded(
                     // candidate only; earlier losses reassign instead.
                     dev_is_last || exhausted,
                 ) {
-                    Ok((profile, built, agg)) => {
-                        stage_profiles[dev].merge(&profile);
-                        if let Some((slot, t)) = built {
-                            ht_slot = Some(slot);
-                            shard_builds.push(t);
-                        }
-                        if let Some(a) = agg {
-                            shard_aggs.push(a);
-                        }
-                        done = true;
+                    Ok(out) => {
+                        let observed = ctxs[dev].sim.clock().saturating_sub(a0);
+                        winner = Some((dev, out, observed, a0));
                         break;
                     }
-                    Err(e) if matches!(e, ExecError::DeviceLost(_)) => {
+                    Err(e @ ExecError::DeviceLost(_)) => {
                         alive[dev] = false;
                         last_err = Some(e);
                     }
                     Err(e) => return Err(e),
                 }
             }
-            if !done {
+            let Some((mut wdev, mut out, observed, p0)) = winner else {
                 return Err(last_err.expect("at least one candidate attempted"));
+            };
+
+            // Straggler hedging: the shard finished, but did it finish
+            // *late*? The deadline is the *whole stage's* modeled cost
+            // on this device times the lateness threshold — deliberately
+            // unscaled by the shard's row fraction, so neither ordinary
+            // model error nor the fixed per-launch overhead (which does
+            // not shrink with shard size) can trip it; only a genuinely
+            // pathological shard (slowdown window, retry storm) can. A
+            // straggler gets a speculative re-execution on the
+            // modeled-cheapest other live device; the race resolves in
+            // modeled-parallel time — the backup launches the moment the
+            // primary crossed its deadline, so it finishes at `deadline
+            // + d_backup` — and the loser's clock is capped at the
+            // winner's finish (cancellation). Duplicate cycles land in
+            // `wasted_cycles`, charged against `limits` like retry
+            // waste.
+            if let Some(h) = hedge {
+                let part_rows: usize = part.iter().map(|r| r.len()).sum();
+                let modeled_row = h.modeled.get(sidx);
+                let modeled_p = modeled_row
+                    .and_then(|row| row.get(wdev))
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                let deadline = modeled_p * h.threshold;
+                if part_rows > 0 && modeled_p.is_finite() && (observed as f64) > deadline {
+                    let backup = (0..n)
+                        .filter(|&d| d != wdev && alive[d])
+                        .filter(|&d| modeled_row.is_some_and(|row| row[d].is_finite()))
+                        .min_by(|&a, &b| {
+                            let row = modeled_row.expect("filtered on modeled_row");
+                            row[a].total_cmp(&row[b])
+                        });
+                    let affordable = backup.is_some_and(|b| {
+                        let modeled_b = (modeled_row.expect("backup implies row")[b]).ceil() as u64;
+                        limits
+                            .max_cycles
+                            .is_none_or(|budget| total + stats.wasted_cycles + modeled_b <= budget)
+                    });
+                    if let (Some(b), true) = (backup, affordable) {
+                        stats.hedges += 1;
+                        let b0 = ctxs[b].sim.clock();
+                        match run_shard_on_device(
+                            &mut ctxs[b],
+                            plan,
+                            &irs[b],
+                            stage,
+                            &assignment.configs[b].stages[sidx],
+                            mode,
+                            &hts[b],
+                            part,
+                            recovery,
+                            limits,
+                            total,
+                            &mut stats,
+                            false,
+                        ) {
+                            Ok(bout) => {
+                                let d_backup = ctxs[b].sim.clock().saturating_sub(b0);
+                                let launch = deadline.ceil() as u64;
+                                assert_eq!(
+                                    shard_out_digest(&out),
+                                    shard_out_digest(&bout),
+                                    "hedged backup diverged from primary"
+                                );
+                                if launch + d_backup < observed {
+                                    // Backup wins: cancel the straggling
+                                    // primary at the backup's finish.
+                                    stats.hedge_wins += 1;
+                                    ctxs[wdev].sim.cap_clock(p0 + launch + d_backup);
+                                    stats.wasted_cycles +=
+                                        ctxs[wdev].sim.clock().saturating_sub(p0);
+                                    wdev = b;
+                                    out = bout;
+                                } else {
+                                    // Primary wins: cancel the backup at
+                                    // the primary's finish.
+                                    let spent_b = d_backup.min(observed.saturating_sub(launch));
+                                    ctxs[b].sim.cap_clock(b0 + spent_b);
+                                    stats.wasted_cycles += spent_b;
+                                }
+                            }
+                            Err(ExecError::DeviceLost(_)) => {
+                                // The backup's device died mid-
+                                // speculation; the primary stands.
+                                alive[b] = false;
+                                stats.wasted_cycles += ctxs[b].sim.clock().saturating_sub(b0);
+                            }
+                            Err(e @ (ExecError::Timeout { .. } | ExecError::Cancelled)) => {
+                                return Err(e)
+                            }
+                            Err(_) => {
+                                // Any other backup failure leaves the
+                                // verified primary result standing.
+                                stats.wasted_cycles += ctxs[b].sim.clock().saturating_sub(b0);
+                            }
+                        }
+                    }
+                }
+            }
+
+            let (profile, built, agg) = out;
+            stage_profiles[wdev].merge(&profile);
+            if let Some((slot, t)) = built {
+                ht_slot = Some(slot);
+                shard_builds.push(t);
+            }
+            if let Some(a) = agg {
+                shard_aggs.push(a);
             }
         }
 
@@ -724,9 +883,11 @@ fn run_shard_on_device(
 /// shard's partition accumulated into them, terminal state handed back
 /// *owned* for the merge. Mirrors `exec::run_stage_attempt` with the
 /// leaf scan restricted to the shard's ranges. `GplPipelined` executes
-/// like `Gpl` (see [`try_run_query_sharded`]).
+/// like `Gpl` (see [`try_run_query_sharded`]). Also the slice-attempt
+/// primitive of checkpoint resume (`exec::run_stage_checkpointed`),
+/// with `part` a single checkpoint slice.
 #[allow(clippy::too_many_arguments)]
-fn run_shard_attempt(
+pub(crate) fn run_shard_attempt(
     ctx: &mut ExecContext,
     plan: &QueryPlan,
     ir: &SegmentIr,
@@ -858,6 +1019,7 @@ mod tests {
                 &ShardPlan::range(shards),
                 &assignment,
                 &ExecLimits::none(),
+                None,
                 None,
                 None,
                 None,

@@ -41,7 +41,7 @@ pub use error::{evaluate, relative_error, ModelEval};
 pub use gamma::GammaTable;
 pub use joinopt::optimize_join_order;
 pub use overlap::{attach_overlap, OverlapDecision};
-pub use place::{place_query, PlacedStage, Placement};
+pub use place::{hedge_plan, place_query, PlacedStage, Placement};
 pub use search::{
     optimize, optimize_models, optimize_models_cached, optimize_models_traced, SearchCache,
     SearchOutcome,

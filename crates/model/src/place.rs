@@ -24,7 +24,7 @@ use crate::gamma::GammaTable;
 use crate::search::optimize_models;
 use crate::stats::estimate as estimate_stats;
 use gpl_core::plan::QueryPlan;
-use gpl_core::shard::{DeviceKind, DevicePool, ShardAssignment};
+use gpl_core::shard::{DeviceKind, DevicePool, HedgePlan, ShardAssignment};
 use gpl_tpch::TpchDb;
 
 /// One stage's placement decision.
@@ -133,6 +133,24 @@ pub fn place_query(
         modeled_total,
         device_totals,
     }
+}
+
+/// Lift a placement's per-stage estimate matrix into the shard runner's
+/// straggler-hedging plan (DESIGN.md §11): `modeled[stage][device]` is
+/// exactly the Eq. 8/9 cycle estimate `place_query` scored that device
+/// with (`INFINITY` where the device was disallowed), and `threshold`
+/// is the lateness multiple past which a shard gets a speculative
+/// backup — [`HedgePlan::DEFAULT_THRESHOLD`] unless the caller tunes
+/// it.
+pub fn hedge_plan(placement: &Placement, threshold: f64) -> HedgePlan {
+    HedgePlan::new(
+        placement
+            .per_stage
+            .iter()
+            .map(|ps| ps.estimates.clone())
+            .collect(),
+        threshold,
+    )
 }
 
 #[cfg(test)]

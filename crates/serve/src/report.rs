@@ -160,6 +160,21 @@ impl BatchReport {
         })
     }
 
+    /// Sum of straggler-defense activity over the batch: `(hedges
+    /// launched, hedge wins, checkpoint slices resumed, checkpoint
+    /// cycles saved)`. All zeros unless the server shards with a hedge
+    /// threshold or runs a checkpointing recovery policy.
+    pub fn hedge_totals(&self) -> (u64, u64, u64, u64) {
+        self.responses.iter().fold((0, 0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.recovery.hedges,
+                acc.1 + r.recovery.hedge_wins,
+                acc.2 + r.recovery.resumed_slices,
+                acc.3 + r.recovery.checkpoint_saved_cycles,
+            )
+        })
+    }
+
     /// Like [`BatchReport::fingerprint`] but over *results only*: id,
     /// mode, columns and rows — no cycle counts, no error text. A
     /// fault-injected run with full recovery matches the fault-free run
@@ -245,6 +260,11 @@ impl BatchReport {
         m.counter_add("serve.faults.retries", &[], retries);
         m.counter_add("serve.faults.fallbacks", &[], fallbacks);
         m.counter_add("serve.faults.wasted_cycles", &[], wasted);
+        let (hedges, hedge_wins, resumed, saved) = self.hedge_totals();
+        m.counter_add("serve.hedges", &[], hedges);
+        m.counter_add("serve.hedge_wins", &[], hedge_wins);
+        m.counter_add("serve.checkpoint.resumed_slices", &[], resumed);
+        m.counter_add("serve.checkpoint.saved_cycles", &[], saved);
         m.counter_add("serve.shed", &[], self.sheds);
         m.counter_add("serve.breaker.rejections", &[], self.breaker.0);
         m.counter_add("serve.breaker.opens", &[], self.breaker.1);
@@ -287,6 +307,13 @@ impl BatchReport {
                 "recovery: {faults} faults survived, {retries} retries, {fallbacks} fallbacks, \
                  {wasted} wasted cycles; {} shed, {} breaker rejections ({} opens)\n",
                 self.sheds, self.breaker.0, self.breaker.1
+            ));
+        }
+        let (hedges, hedge_wins, resumed, saved) = self.hedge_totals();
+        if hedges + resumed > 0 {
+            out.push_str(&format!(
+                "straggler defense: {hedges} hedges ({hedge_wins} backup wins), \
+                 {resumed} checkpoint slices resumed ({saved} cycles saved)\n"
             ));
         }
         out.push_str(&format!("fingerprint: {:#018x}\n", self.fingerprint()));

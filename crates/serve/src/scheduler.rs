@@ -55,6 +55,12 @@ pub struct ShardServeConfig {
     pub gammas: Vec<GammaTable>,
     /// Shard count + sharder, applied to every query.
     pub plan: ShardPlan,
+    /// Straggler hedging: shards observed past `modeled × threshold`
+    /// cycles get a speculative backup on the modeled-cheapest other
+    /// live device (the modeled costs come from the cached placement).
+    /// Per-query cycle budgets ([`QueryRequest::max_cycles`]) gate the
+    /// duplicate launch. `None` disables hedging.
+    pub hedge_threshold: Option<f64>,
 }
 
 /// Server construction knobs.
@@ -770,6 +776,12 @@ fn process_sharded(
         max_cycles: req.max_cycles,
         cancel: req.cancel.clone(),
     };
+    // Straggler defense: the cached placement already scored every
+    // stage on every device, so the hedge plan is a free projection of
+    // it. The query's own cycle budget rides in via `limits`.
+    let hedge = sc
+        .hedge_threshold
+        .map(|t| gpl_model::hedge_plan(&entry.placement, t));
     let mut recovery = Default::default();
     let result = try_run_query_sharded(
         &sc.pool,
@@ -781,6 +793,7 @@ fn process_sharded(
         &limits,
         shared.recovery.as_ref(),
         faults.as_ref(),
+        hedge.as_ref(),
         excluded,
     )
     .map(|run| {

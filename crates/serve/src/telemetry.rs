@@ -68,7 +68,7 @@ pub struct TelemetrySample {
     /// (0.0 before the first start).
     pub plan_cache_hit_rate: f64,
     /// Cumulative recovery events (faults survived + retries +
-    /// fallbacks) over the queries completed so far.
+    /// fallbacks + straggler hedges) over the queries completed so far.
     pub recovery_events: u64,
 }
 
@@ -108,7 +108,10 @@ impl Telemetry {
             hit_by_id.push((id, r.plan_cache_hit));
             recovery_by_id.push((
                 id,
-                r.recovery.faults.len() as u64 + r.recovery.retries + r.recovery.fallbacks,
+                r.recovery.faults.len() as u64
+                    + r.recovery.retries
+                    + r.recovery.fallbacks
+                    + r.recovery.hedges,
             ));
         }
         events.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));

@@ -90,6 +90,12 @@ pub struct Simulator {
     /// every launch returns a stub profile immediately (the segment is
     /// aborting; nothing functional runs).
     pending_fault: Option<FaultRecord>,
+    /// End of the current slowdown window (gray throughput fault): any
+    /// launch starting before this clock pays a surcharge of
+    /// `overlap * (slow_factor - 1)` extra elapsed cycles. Zero = healthy.
+    slow_until: u64,
+    /// Elapsed-cycle multiplier of the current slowdown window.
+    slow_factor: f64,
 }
 
 struct ChannelsView<'a>(&'a [Channel]);
@@ -174,6 +180,8 @@ impl Simulator {
             chan_counters: Vec::new(),
             faults: None,
             pending_fault: None,
+            slow_until: 0,
+            slow_factor: 1.0,
         }
     }
 
@@ -218,6 +226,22 @@ impl Simulator {
     /// deterministic backoff delay of the retry stack.
     pub fn advance(&mut self, cycles: u64) {
         self.clock += cycles;
+    }
+
+    /// Cap the clock back to `cycle` — the cancellation primitive of
+    /// speculative hedging: a losing attempt that already ran to
+    /// completion host-side is charged only up to the moment the winner
+    /// finished. No-op when `cycle` is not in the past; panics are
+    /// deliberately avoided so callers can pass the winner's finish
+    /// time unconditionally.
+    pub fn cap_clock(&mut self, cycle: u64) {
+        self.clock = self.clock.min(cycle);
+    }
+
+    /// End of the current slowdown window (0 = healthy). Launches
+    /// starting before this clock pay the gray-failure surcharge.
+    pub fn slowed_until(&self) -> u64 {
+        self.slow_until
     }
 
     /// Attach a structured-event recorder: every launch then records a
@@ -378,6 +402,11 @@ impl Simulator {
                 ..Default::default()
             });
         }
+        // A fault admitted under `fail_progress > 0` surfaces mid-launch
+        // instead of at admission: the launch simulates normally below,
+        // then the deferred record fails it after charging the executed
+        // fraction (record, fraction, detection cost).
+        let mut deferred_fail: Option<(FaultRecord, f64, u64)> = None;
         if let Some(plan) = self.faults.as_mut() {
             let clock = self.clock;
             let allocated = self.mem.allocated();
@@ -385,6 +414,7 @@ impl Simulator {
             let uses_channels = kernels
                 .iter()
                 .any(|k| !k.inputs.is_empty() || !k.outputs.is_empty());
+            let progress = plan.spec().fail_progress;
             let admission = plan.admit(clock, &names, uses_channels, allocated);
             match admission {
                 Admission::Clear => {}
@@ -402,6 +432,36 @@ impl Simulator {
                             vec![("launch", gpl_obs::Value::from(record.launch))],
                         );
                     }
+                }
+                Admission::Slow {
+                    record,
+                    until_cycle,
+                    factor,
+                } => {
+                    // Gray failure: the launch proceeds, but the device
+                    // is in a degraded-throughput window until
+                    // `until_cycle` — the surcharge lands at launch end
+                    // so the internal event schedule (and therefore
+                    // every row) stays exactly the healthy one.
+                    self.slow_until = self.slow_until.max(until_cycle);
+                    self.slow_factor = factor;
+                    if let Some(rec) = self.recorder.as_ref() {
+                        let t = rec.track("sim.faults");
+                        rec.instant(
+                            t,
+                            "fault",
+                            record.kind.name(),
+                            record.cycle,
+                            vec![("launch", gpl_obs::Value::from(record.launch))],
+                        );
+                    }
+                }
+                Admission::Fail { record } if progress > 0.0 => {
+                    // The fault exists as of admission (same record
+                    // stream as the instant-fail model), but detection
+                    // waits until `progress` of the launch has run.
+                    let detect = record.cycle.saturating_sub(self.clock);
+                    deferred_fail = Some((record, progress, detect));
                 }
                 Admission::Fail { record } => {
                     let start = self.clock;
@@ -797,6 +857,48 @@ impl Simulator {
         }
 
         profile.elapsed_cycles = self.clock - start;
+        // Gray-failure surcharge: the part of the launch overlapping a
+        // slowdown window ran at degraded throughput. Charged after the
+        // event simulation so the work itself is bit-identical to a
+        // healthy run — a slowdown injures cycles, never rows.
+        if self.slow_until > start {
+            let overlap = self.clock.min(self.slow_until) - start;
+            let surcharge = (overlap as f64 * (self.slow_factor - 1.0)).round() as u64;
+            if surcharge > 0 {
+                self.clock += surcharge;
+                profile.elapsed_cycles += surcharge;
+            }
+        }
+        // Deferred mid-launch fault: the launch simulated in full (that
+        // is how its length is learned), but only the fraction executed
+        // before detection is charged — the clock rewinds to the
+        // detection point and the caller sees a pending fault. The
+        // launch's outputs were produced, so they are poisoned; the
+        // recovery layer discards a failed attempt's outputs wholesale.
+        let confirmed_fail = deferred_fail.take().filter(|(record, _, _)| {
+            self.faults
+                .as_mut()
+                .expect("deferred fault implies an attached plan")
+                .confirm_mid_launch(record, profile.elapsed_cycles)
+        });
+        if let Some((mut record, progress, detect)) = confirmed_fail {
+            let ran = (profile.elapsed_cycles as f64 * progress).ceil() as u64;
+            let charged = ran.min(profile.elapsed_cycles) + detect;
+            self.clock = start + charged;
+            profile.elapsed_cycles = charged;
+            record.cycle = self.clock;
+            if let Some(rec) = self.recorder.as_ref() {
+                let t = rec.track("sim.faults");
+                rec.instant(
+                    t,
+                    "fault",
+                    record.kind.name(),
+                    record.cycle,
+                    vec![("launch", gpl_obs::Value::from(record.launch))],
+                );
+            }
+            self.pending_fault = Some(record);
+        }
         profile.kernels = st.into_iter().map(|s| s.prof).collect();
         if let Some(rec) = self.recorder.as_ref() {
             use gpl_obs::Value;
@@ -888,6 +990,90 @@ mod tests {
             sim.run(vec![k]).elapsed_cycles
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fail_progress_charges_the_executed_fraction_of_a_failing_launch() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let healthy = {
+            let mut sim = Simulator::new(amd_a10());
+            let k = scan_kernel(&mut sim, 1 << 20, 64);
+            sim.run(vec![k]).elapsed_cycles
+        };
+        let run_at = |progress: f64| {
+            let mut sim = Simulator::new(amd_a10());
+            let spec = FaultSpec {
+                kernel_fault: 1.0,
+                ..FaultSpec::none()
+            }
+            .with_fail_progress(progress);
+            sim.attach_faults(FaultPlan::new(spec, 7));
+            let k = scan_kernel(&mut sim, 1 << 20, 64);
+            let p = sim.run(vec![k]);
+            assert!(sim.fault_pending(), "every armed launch faults");
+            let rec = sim.take_fault().expect("pending record");
+            assert_eq!(rec.cycle, sim.clock(), "record stamped at detection");
+            p.elapsed_cycles
+        };
+        let detect = FaultSpec::none().detect_cycles;
+        // Admission-time model: only the detection cost, no work lost.
+        assert_eq!(run_at(0.0), detect);
+        // End-of-launch verification: the whole launch plus detection.
+        assert_eq!(run_at(1.0), healthy + detect);
+        // Half-way detection loses half the launch (ceil-rounded).
+        assert_eq!(run_at(0.5), (healthy as f64 * 0.5).ceil() as u64 + detect);
+    }
+
+    #[test]
+    fn slowdown_window_inflates_elapsed_but_never_fails() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let healthy = {
+            let mut sim = Simulator::new(amd_a10());
+            let k = scan_kernel(&mut sim, 1 << 20, 64);
+            sim.run(vec![k]).elapsed_cycles
+        };
+        // A window long enough to cover the whole launch at 4x: the
+        // surcharge triples the elapsed cycles exactly.
+        let mut sim = Simulator::new(amd_a10());
+        sim.attach_faults(FaultPlan::new(
+            FaultSpec::none().with_slowdown(1.0, 4.0, u64::MAX / 2),
+            7,
+        ));
+        let k = scan_kernel(&mut sim, 1 << 20, 64);
+        let p = sim.run(vec![k]);
+        assert!(!sim.fault_pending(), "slowdowns never fail a launch");
+        assert_eq!(p.elapsed_cycles, healthy * 4);
+        assert_eq!(sim.clock(), healthy * 4);
+        assert!(sim.slowed_until() > 0);
+        assert_eq!(
+            sim.fault_stats()
+                .unwrap()
+                .injected(crate::FaultKind::Slowdown),
+            1
+        );
+        // A launch starting after the window pays nothing.
+        let mut sim2 = Simulator::new(amd_a10());
+        sim2.attach_faults(FaultPlan::new(
+            FaultSpec::none().with_slowdown(1.0, 4.0, 1),
+            7,
+        ));
+        sim2.set_faults_armed(false);
+        sim2.advance(10);
+        sim2.set_faults_armed(true);
+        // Window from a first launch expires almost immediately...
+        let k = scan_kernel(&mut sim2, 1 << 10, 4);
+        let first = sim2.run(vec![k]).elapsed_cycles;
+        assert!(first > 0);
+    }
+
+    #[test]
+    fn cap_clock_rewinds_only_into_the_past() {
+        let mut sim = Simulator::new(amd_a10());
+        sim.advance(1_000);
+        sim.cap_clock(2_000);
+        assert_eq!(sim.clock(), 1_000, "future caps are no-ops");
+        sim.cap_clock(400);
+        assert_eq!(sim.clock(), 400, "cancellation rewinds the charge");
     }
 
     #[test]

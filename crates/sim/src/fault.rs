@@ -19,8 +19,13 @@
 //! aggregate update — only a detection-latency charge on the clock.
 //! That invariant is what makes segment-granularity retry in `gpl-core`
 //! sound: re-running a faulted segment can never double-apply work.
-//! Channel *stalls* are the one non-failing kind: the launch proceeds
-//! after losing `stall_cycles` on the clock.
+//! Channel *stalls* and *slowdowns* are the non-failing kinds: a stalled
+//! launch proceeds after losing `stall_cycles` on the clock, and a
+//! slowdown opens a duration-bounded window during which every launch's
+//! elapsed cycles are multiplied — a *gray* failure the retry ladder
+//! never sees (no launch fails), detectable only by comparing observed
+//! against modeled progress, which is exactly what the speculative
+//! hedging in `gpl_core::shard` does.
 
 use gpl_prng::{Pcg32, RngCore};
 use std::fmt;
@@ -48,9 +53,19 @@ pub enum FaultKind {
     /// Whole-device loss: every subsequent armed launch fails until the
     /// plan is disarmed. Not retryable on the same device.
     DeviceLost,
+    /// A gray failure: the device keeps working but loses throughput for
+    /// [`FaultSpec::slowdown_cycles`], every overlapping launch's elapsed
+    /// time multiplied by [`FaultSpec::slowdown_factor`]. Never fails a
+    /// launch and never reaches [`crate::Simulator::take_fault`] — it
+    /// injures cycles, not rows.
+    Slowdown,
 }
 
 impl FaultKind {
+    /// Number of kinds — sizes the per-kind counter arrays so a new
+    /// variant cannot silently fall outside them.
+    pub const COUNT: usize = Self::ALL.len();
+
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::KernelFault => "kernel_fault",
@@ -58,6 +73,7 @@ impl FaultKind {
             FaultKind::ChannelCorrupt => "channel_corrupt",
             FaultKind::Oom => "oom",
             FaultKind::DeviceLost => "device_lost",
+            FaultKind::Slowdown => "slowdown",
         }
     }
 
@@ -75,15 +91,17 @@ impl FaultKind {
             FaultKind::ChannelCorrupt => 2,
             FaultKind::Oom => 3,
             FaultKind::DeviceLost => 4,
+            FaultKind::Slowdown => 5,
         }
     }
 
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::KernelFault,
         FaultKind::ChannelStall,
         FaultKind::ChannelCorrupt,
         FaultKind::Oom,
         FaultKind::DeviceLost,
+        FaultKind::Slowdown,
     ];
 }
 
@@ -140,6 +158,9 @@ pub struct FaultSpec {
     pub oom: f64,
     /// Per-launch probability of losing the whole device.
     pub device_lost: f64,
+    /// Per-launch probability of opening a [`FaultKind::Slowdown`]
+    /// window (gray failure: launches keep succeeding, slower).
+    pub slowdown: f64,
     /// OOM watermark: injected OOMs require `MemoryMap::allocated()` to
     /// exceed this. `None` disables pressure gating (OOM can always fire).
     pub mem_pressure_bytes: Option<u64>,
@@ -148,6 +169,34 @@ pub struct FaultSpec {
     pub detect_cycles: u64,
     /// Cycles a [`FaultKind::ChannelStall`] costs before the launch runs.
     pub stall_cycles: u64,
+    /// Elapsed-cycle multiplier inside a slowdown window (≥ 1.0; 1.0
+    /// makes the window a no-op).
+    pub slowdown_factor: f64,
+    /// Duration of one slowdown window in device cycles, from the
+    /// admission clock of the launch that drew it.
+    pub slowdown_cycles: u64,
+    /// Fraction of a failing launch that executes before the fault
+    /// surfaces, in `[0, 1]`. At the default `0.0` a fault is decided at
+    /// launch admission and costs only [`FaultSpec::detect_cycles`] —
+    /// the PR-4 model where failed launches have zero side effects. At
+    /// `1.0` the fault is caught by end-of-launch verification: the
+    /// launch runs to completion, its full simulated cycles are charged
+    /// (plus detection), and its outputs are poisoned. Intermediate
+    /// values charge that fraction of the launch. With a non-zero value
+    /// the work functions of a failing launch *do* execute, so callers
+    /// must discard its outputs — the recovery layer's
+    /// install-on-success discipline already guarantees this.
+    pub fail_progress: f64,
+    /// Constant-hazard scaling window, in cycles. When set (requires
+    /// `fail_progress > 0`), a fault drawn at admission is *confirmed*
+    /// only with probability `min(1, elapsed / window)` once the
+    /// launch's length is known — short launches become proportionally
+    /// less likely to fail, making the failure rate per executed cycle
+    /// constant instead of per launch. A rescinded fault leaves the
+    /// launch to succeed exactly as simulated. [`FaultKind::DeviceLost`]
+    /// is exempt (losing a device is not length-proportional). `None`
+    /// keeps the classic per-launch model.
+    pub fail_hazard_cycles: Option<u64>,
     /// "Fire at cycle N on kernel K" schedules, for tests.
     pub pinned: Vec<PinnedFault>,
 }
@@ -161,16 +210,22 @@ impl FaultSpec {
             channel_corrupt: 0.0,
             oom: 0.0,
             device_lost: 0.0,
+            slowdown: 0.0,
             mem_pressure_bytes: None,
             detect_cycles: 2_000,
             stall_cycles: 20_000,
+            slowdown_factor: 4.0,
+            slowdown_cycles: 200_000,
+            fail_progress: 0.0,
+            fail_hazard_cycles: None,
             pinned: Vec::new(),
         }
     }
 
     /// Transient faults only, all at probability `p` per launch: kernel
     /// faults, channel stalls and channel corruption (no OOM, no device
-    /// loss) — the workhorse recipe of the fuzz suites.
+    /// loss, no slowdown windows) — the workhorse recipe of the fuzz
+    /// suites, kept slowdown-free so its fault streams stay stable.
     pub fn uniform(p: f64) -> Self {
         FaultSpec {
             kernel_fault: p,
@@ -180,12 +235,123 @@ impl FaultSpec {
         }
     }
 
-    /// Sum of failure probabilities (sanity bound; stalls excluded
-    /// because they do not fail the launch).
+    /// Add slowdown windows to the recipe: probability `p` per launch of
+    /// entering a window of `cycles` during which elapsed time is
+    /// multiplied by `factor`.
+    pub fn with_slowdown(mut self, p: f64, factor: f64, cycles: u64) -> Self {
+        self.slowdown = p;
+        self.slowdown_factor = factor;
+        self.slowdown_cycles = cycles;
+        self
+    }
+
+    /// Make failing launches lose in-flight work: a fault now surfaces
+    /// only after `frac` of its launch has executed (see
+    /// [`FaultSpec::fail_progress`]).
+    pub fn with_fail_progress(mut self, frac: f64) -> Self {
+        self.fail_progress = frac;
+        self
+    }
+
+    /// Enable constant-hazard scaling over `window` cycles (see
+    /// [`FaultSpec::fail_hazard_cycles`]).
+    pub fn with_fail_hazard(mut self, window: u64) -> Self {
+        self.fail_hazard_cycles = Some(window);
+        self
+    }
+
+    /// Sum of failure probabilities (sanity bound; stalls and slowdowns
+    /// excluded because they do not fail the launch).
     fn fail_mass(&self) -> f64 {
         self.kernel_fault + self.channel_corrupt + self.oom + self.device_lost
     }
+
+    /// Structural validation: every probability must be a finite value
+    /// in `[0, 1]`, the per-launch draw masses must fit in one uniform
+    /// draw, and the slowdown factor must be a finite multiplier ≥ 1.
+    /// [`FaultPlan::try_new`] runs this; a spec that fails it would
+    /// silently misbehave (negative mass shifts every threshold, NaN
+    /// poisons every comparison), so it is rejected up front.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        let probs = [
+            ("kernel_fault", self.kernel_fault),
+            ("channel_stall", self.channel_stall),
+            ("channel_corrupt", self.channel_corrupt),
+            ("oom", self.oom),
+            ("device_lost", self.device_lost),
+            ("slowdown", self.slowdown),
+        ];
+        for (field, p) in probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultSpecError {
+                    field,
+                    value: p,
+                    reason: "probability must be a finite value in [0, 1]",
+                });
+            }
+        }
+        let mass = self.fail_mass() + self.channel_stall + self.slowdown;
+        if mass > 1.0 + 1e-9 {
+            return Err(FaultSpecError {
+                field: "total",
+                value: mass,
+                reason: "per-launch probabilities must sum to at most 1",
+            });
+        }
+        if !self.fail_progress.is_finite() || !(0.0..=1.0).contains(&self.fail_progress) {
+            return Err(FaultSpecError {
+                field: "fail_progress",
+                value: self.fail_progress,
+                reason: "fail progress must be a finite fraction in [0, 1]",
+            });
+        }
+        if let Some(window) = self.fail_hazard_cycles {
+            if window == 0 {
+                return Err(FaultSpecError {
+                    field: "fail_hazard_cycles",
+                    value: 0.0,
+                    reason: "hazard window must be at least one cycle",
+                });
+            }
+            if self.fail_progress <= 0.0 {
+                return Err(FaultSpecError {
+                    field: "fail_hazard_cycles",
+                    value: window as f64,
+                    reason: "hazard scaling needs mid-launch detection (fail_progress > 0)",
+                });
+            }
+        }
+        if !self.slowdown_factor.is_finite() || self.slowdown_factor < 1.0 {
+            return Err(FaultSpecError {
+                field: "slowdown_factor",
+                value: self.slowdown_factor,
+                reason: "slowdown factor must be a finite multiplier >= 1",
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`FaultSpec`] was rejected: the offending field, the value it
+/// held, and the constraint it broke.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpecError {
+    pub field: &'static str,
+    pub value: f64,
+    pub reason: &'static str,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid FaultSpec: {} = {} ({})",
+            self.field, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 impl Default for FaultSpec {
     fn default() -> Self {
@@ -193,10 +359,11 @@ impl Default for FaultSpec {
     }
 }
 
-/// Per-kind injection counters (includes non-failing stalls).
+/// Per-kind injection counters (includes non-failing stalls and
+/// slowdown windows).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultStats {
-    injected: [u64; 5],
+    injected: [u64; FaultKind::COUNT],
     /// Armed launches examined (denominator for observed rates).
     pub launches: u64,
 }
@@ -206,14 +373,15 @@ impl FaultStats {
         self.injected[kind.idx()]
     }
 
-    /// All injected events, stalls included.
+    /// All injected events, stalls and slowdowns included.
     pub fn total(&self) -> u64 {
         self.injected.iter().sum()
     }
 
-    /// Injected events that failed their launch (everything but stalls).
+    /// Injected events that failed their launch (everything but the
+    /// non-failing stalls and slowdowns).
     pub fn total_failures(&self) -> u64 {
-        self.total() - self.injected(FaultKind::ChannelStall)
+        self.total() - self.injected(FaultKind::ChannelStall) - self.injected(FaultKind::Slowdown)
     }
 }
 
@@ -226,6 +394,14 @@ pub(crate) enum Admission {
     Stall { record: FaultRecord },
     /// Fail the launch; `record.cycle` is the detection clock.
     Fail { record: FaultRecord },
+    /// Run normally, but the device enters a slowdown window: every
+    /// launch overlapping `record.cycle..until_cycle` has its elapsed
+    /// cycles multiplied by `factor`.
+    Slow {
+        record: FaultRecord,
+        until_cycle: u64,
+        factor: f64,
+    },
 }
 
 /// A seeded fault injector bound to one simulator. Consumes exactly one
@@ -245,13 +421,12 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    pub fn new(spec: FaultSpec, seed: u64) -> Self {
-        assert!(
-            spec.fail_mass() + spec.channel_stall <= 1.0 + 1e-9,
-            "fault probabilities sum over 1"
-        );
+    /// Validate `spec` (see [`FaultSpec::validate`]) and build the
+    /// seeded plan.
+    pub fn try_new(spec: FaultSpec, seed: u64) -> Result<Self, FaultSpecError> {
+        spec.validate()?;
         let fired = vec![false; spec.pinned.len()];
-        FaultPlan {
+        Ok(FaultPlan {
             spec,
             rng: Pcg32::new(seed, FAULT_STREAM),
             fired,
@@ -259,7 +434,12 @@ impl FaultPlan {
             armed: true,
             lost: false,
             stats: FaultStats::default(),
-        }
+        })
+    }
+
+    /// [`FaultPlan::try_new`], panicking on an invalid spec.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        FaultPlan::try_new(spec, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience: [`FaultSpec::uniform`] with a seed.
@@ -290,6 +470,32 @@ impl FaultPlan {
 
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Second-stage decision for a deferred (mid-launch) fault: under
+    /// [`FaultSpec::fail_hazard_cycles`] a launch that ran `elapsed`
+    /// cycles keeps its admission-drawn fault with probability
+    /// `min(1, elapsed / window)` — constant hazard per executed cycle.
+    /// Returns `false` when the fault is rescinded, in which case the
+    /// launch stands exactly as simulated (the injection is un-counted,
+    /// and a rescinded device loss restores the device). Consumes one
+    /// uniform draw only when hazard scaling is on, so classic fault
+    /// streams are untouched.
+    pub(crate) fn confirm_mid_launch(&mut self, record: &FaultRecord, elapsed: u64) -> bool {
+        let Some(window) = self.spec.fail_hazard_cycles else {
+            return true;
+        };
+        if record.kind == FaultKind::DeviceLost {
+            return true;
+        }
+        let keep = (elapsed as f64 / window as f64).min(1.0);
+        let r = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if r < keep {
+            return true;
+        }
+        let n = &mut self.stats.injected[record.kind.idx()];
+        *n = n.saturating_sub(1);
+        false
     }
 
     /// Decide the fate of one launch. `kernels` are the launch's kernel
@@ -421,15 +627,34 @@ impl FaultPlan {
             return Admission::Clear;
         }
         cum += self.spec.channel_stall;
-        if r < cum && uses_channels {
-            self.stats.injected[FaultKind::ChannelStall.idx()] += 1;
-            return Admission::Stall {
+        if r < cum {
+            if uses_channels {
+                self.stats.injected[FaultKind::ChannelStall.idx()] += 1;
+                return Admission::Stall {
+                    record: FaultRecord {
+                        kind: FaultKind::ChannelStall,
+                        kernel: None,
+                        cycle: clock + self.spec.stall_cycles,
+                        launch,
+                    },
+                };
+            }
+            return Admission::Clear;
+        }
+        // Slowdown sits last in the walk so specs without it keep the
+        // exact fault streams they had before the kind existed.
+        cum += self.spec.slowdown;
+        if r < cum {
+            self.stats.injected[FaultKind::Slowdown.idx()] += 1;
+            return Admission::Slow {
                 record: FaultRecord {
-                    kind: FaultKind::ChannelStall,
+                    kind: FaultKind::Slowdown,
                     kernel: None,
-                    cycle: clock + self.spec.stall_cycles,
+                    cycle: clock,
                     launch,
                 },
+                until_cycle: clock + self.spec.slowdown_cycles,
+                factor: self.spec.slowdown_factor,
             };
         }
         Admission::Clear
@@ -577,6 +802,192 @@ mod tests {
             p.admit(9_000, &["k_b"], false, 0),
             Admission::Clear
         ));
+    }
+
+    #[test]
+    fn hazard_scaling_confirms_proportionally_to_launch_length() {
+        let spec = FaultSpec {
+            kernel_fault: 1.0,
+            ..FaultSpec::none()
+        }
+        .with_fail_progress(1.0)
+        .with_fail_hazard(1_000);
+        let mut plan = FaultPlan::new(spec, 9);
+        let rec = |kind| FaultRecord {
+            kind,
+            kernel: None,
+            cycle: 0,
+            launch: 0,
+        };
+        // A launch spanning the whole window always keeps its fault; a
+        // zero-length launch never does; device loss is exempt.
+        assert!(plan.confirm_mid_launch(&rec(FaultKind::KernelFault), 1_000));
+        assert!(!plan.confirm_mid_launch(&rec(FaultKind::KernelFault), 0));
+        assert!(plan.confirm_mid_launch(&rec(FaultKind::DeviceLost), 0));
+        // Half-length launches keep theirs about half the time.
+        let kept = (0..1_000)
+            .filter(|_| plan.confirm_mid_launch(&rec(FaultKind::KernelFault), 500))
+            .count();
+        assert!((400..=600).contains(&kept), "kept {kept}/1000 at p=0.5");
+        // Without hazard scaling no randomness is consumed and every
+        // fault is confirmed.
+        let mut classic = FaultPlan::new(FaultSpec::uniform(0.3), 9);
+        assert!(classic.confirm_mid_launch(&rec(FaultKind::KernelFault), 0));
+    }
+
+    #[test]
+    fn kind_roundtrip_is_dense_and_unique() {
+        // Exhaustive over FaultKind::ALL: indexes dense 0..COUNT, names
+        // unique and non-empty, retryability consistent — a new kind
+        // that collides on any axis fails here instead of silently
+        // sharing a counter slot.
+        assert_eq!(FaultKind::ALL.len(), FaultKind::COUNT);
+        let mut seen_idx = [false; FaultKind::COUNT];
+        let mut names: Vec<&str> = Vec::new();
+        for kind in FaultKind::ALL {
+            let i = kind.idx();
+            assert!(i < FaultKind::COUNT, "{:?} index out of range", kind);
+            assert!(!seen_idx[i], "{:?} shares index {i}", kind);
+            seen_idx[i] = true;
+            assert!(!kind.name().is_empty());
+            assert!(!names.contains(&kind.name()), "{:?} shares a name", kind);
+            names.push(kind.name());
+            assert_eq!(
+                kind.retryable(),
+                kind != FaultKind::DeviceLost,
+                "only device loss is non-retryable"
+            );
+        }
+        assert!(seen_idx.iter().all(|&s| s), "indexes are dense");
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_probabilities() {
+        assert!(FaultSpec::none().validate().is_ok());
+        assert!(FaultSpec::uniform(0.3).validate().is_ok());
+
+        assert_eq!(
+            FaultSpec::none()
+                .with_fail_progress(1.0)
+                .with_fail_hazard(0)
+                .validate()
+                .unwrap_err()
+                .field,
+            "fail_hazard_cycles"
+        );
+        assert_eq!(
+            FaultSpec::none()
+                .with_fail_hazard(1_000)
+                .validate()
+                .unwrap_err()
+                .field,
+            "fail_hazard_cycles",
+            "hazard scaling without mid-launch detection is rejected"
+        );
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let spec = FaultSpec::none().with_fail_progress(bad);
+            assert_eq!(spec.validate().unwrap_err().field, "fail_progress");
+        }
+        assert!(FaultSpec::none().with_fail_progress(1.0).validate().is_ok());
+        let neg = FaultSpec {
+            kernel_fault: -0.1,
+            ..FaultSpec::none()
+        };
+        let err = neg.validate().unwrap_err();
+        assert_eq!(err.field, "kernel_fault");
+        assert!(err.to_string().contains("kernel_fault = -0.1"));
+
+        let over = FaultSpec {
+            oom: 1.5,
+            ..FaultSpec::none()
+        };
+        assert_eq!(over.validate().unwrap_err().field, "oom");
+
+        let nan = FaultSpec {
+            slowdown: f64::NAN,
+            ..FaultSpec::none()
+        };
+        assert_eq!(nan.validate().unwrap_err().field, "slowdown");
+
+        // Individually legal probabilities whose sum exceeds one draw.
+        let sum = FaultSpec {
+            kernel_fault: 0.5,
+            channel_corrupt: 0.4,
+            slowdown: 0.3,
+            ..FaultSpec::none()
+        };
+        assert_eq!(sum.validate().unwrap_err().field, "total");
+
+        let factor = FaultSpec::none().with_slowdown(0.1, 0.5, 1_000);
+        assert_eq!(factor.validate().unwrap_err().field, "slowdown_factor");
+
+        assert!(FaultPlan::try_new(neg, 1).is_err());
+        assert!(FaultPlan::try_new(FaultSpec::uniform(0.1), 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultSpec")]
+    fn plan_new_panics_on_invalid_spec() {
+        FaultPlan::new(
+            FaultSpec {
+                device_lost: 2.0,
+                ..FaultSpec::none()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn slowdown_draw_opens_a_window_and_never_fails() {
+        let spec = FaultSpec::none().with_slowdown(1.0, 8.0, 10_000);
+        let mut p = FaultPlan::new(spec, 3);
+        match p.admit(500, &["k"], false, 0) {
+            Admission::Slow {
+                record,
+                until_cycle,
+                factor,
+            } => {
+                assert_eq!(record.kind, FaultKind::Slowdown);
+                assert_eq!(record.cycle, 500, "window opens at admission");
+                assert_eq!(until_cycle, 10_500);
+                assert_eq!(factor, 8.0);
+            }
+            a => panic!("expected a slowdown window, got {a:?}"),
+        }
+        assert_eq!(p.stats().injected(FaultKind::Slowdown), 1);
+        assert_eq!(p.stats().total_failures(), 0, "slowdowns never fail");
+    }
+
+    #[test]
+    fn slowdown_band_leaves_existing_streams_untouched() {
+        // A spec without slowdown draws the same admissions it always
+        // did: the new band sits after every existing threshold.
+        let base = || {
+            let mut p = FaultPlan::seeded(42, 0.05);
+            admit_n(&mut p, 300)
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(base(), base());
+        // The stall band no longer leaks into the slowdown band on
+        // channel-less launches.
+        let spec = FaultSpec {
+            channel_stall: 0.5,
+            ..FaultSpec::none()
+        }
+        .with_slowdown(0.5, 4.0, 1_000);
+        let mut p = FaultPlan::new(spec, 11);
+        let mut slows = 0;
+        for _ in 0..200 {
+            match p.admit(0, &["k"], false, 0) {
+                Admission::Clear => {}
+                Admission::Slow { .. } => slows += 1,
+                a => panic!("channel-less launch cannot stall: {a:?}"),
+            }
+        }
+        assert!(slows > 0, "slowdown band still reachable");
+        assert_eq!(p.stats().injected(FaultKind::ChannelStall), 0);
     }
 
     #[test]

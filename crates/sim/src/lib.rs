@@ -85,7 +85,9 @@ pub use channel::{ChannelId, ChannelStats};
 pub use counters::{KernelProfile, LaunchProfile};
 pub use device::{amd_a10, cpu_host, nvidia_k40, ChannelSpec, DeviceSpec, Vendor};
 pub use engine::{DeadlockError, Simulator};
-pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultSpec, FaultStats, PinnedFault};
+pub use fault::{
+    FaultKind, FaultPlan, FaultRecord, FaultSpec, FaultSpecError, FaultStats, PinnedFault,
+};
 pub use kernel::{ChannelIo, ChannelView, KernelDesc, ResourceUsage, Work, WorkSource, WorkUnit};
 pub use mem::{MemRange, MemoryMap, Region, RegionClass, RegionId};
 pub use observe::record_spans;

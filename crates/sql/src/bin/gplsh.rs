@@ -9,8 +9,11 @@
 //! (traced per-kernel Gantt chart), `\trace` (toggle per-query
 //! predicted-vs-observed drift), `\shard <n>` (run subsequent queries
 //! sharded over the heterogeneous device pool; `\shard off` returns to
-//! the single CLI device), `\stats` (session metrics registry, plus
-//! the last drift table when tracing is on), `\tables`, `\q`.
+//! the single CLI device), `\chaos [threshold]` (toggle straggler
+//! hedging for sharded queries: shards observed past `threshold`× their
+//! modeled cycles get a speculative backup on the modeled-cheapest
+//! other device), `\stats` (session metrics registry, plus the last
+//! drift table when tracing is on), `\tables`, `\q`.
 
 use gpl_core::shard::{try_run_query_sharded, DevicePool, ShardPlan};
 use gpl_core::{DisplayHint, ExecContext, ExecLimits, ExecMode, QueryConfig};
@@ -70,6 +73,10 @@ fn main() {
     // its per-device Γ tables calibrate lazily on first sharded query.
     let mut shards: usize = 0;
     let mut pool_state: Option<(DevicePool, Vec<GammaTable>)> = None;
+    // `\chaos [threshold]` arms straggler hedging on sharded queries
+    // (speculative backups for shards observed past modeled × threshold
+    // cycles); `\chaos off` (or a bare repeat) disarms it.
+    let mut hedge_threshold: Option<f64> = None;
 
     let stdin = std::io::stdin();
     loop {
@@ -144,6 +151,29 @@ fn main() {
             }
             continue;
         }
+        if let Some(t) = line.strip_prefix("\\chaos") {
+            hedge_threshold = match t.trim() {
+                "off" => None,
+                "" => match hedge_threshold {
+                    Some(_) => None,
+                    None => Some(gpl_core::shard::HedgePlan::DEFAULT_THRESHOLD),
+                },
+                v => match v.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 1.0 => Some(t),
+                    _ => {
+                        eprintln!("usage: \\chaos [threshold>=1|off]");
+                        continue;
+                    }
+                },
+            };
+            match hedge_threshold {
+                Some(t) => eprintln!(
+                    "straggler hedging: on (backup past {t}x modeled; applies under \\shard)"
+                ),
+                None => eprintln!("straggler hedging: off"),
+            }
+            continue;
+        }
         if let Some(sql) = line.strip_prefix("\\explain") {
             match compile_optimized(&ctx.db, sql.trim()) {
                 Ok(plan) => eprintln!("{}", plan.explain()),
@@ -197,6 +227,7 @@ fn main() {
                 (pool, gammas)
             });
             let placement = gpl_model::place_query(pool, gammas, &ctx.db, &plan, None);
+            let hedge = hedge_threshold.map(|t| gpl_model::hedge_plan(&placement, t));
             match try_run_query_sharded(
                 pool,
                 &ctx.db,
@@ -207,6 +238,7 @@ fn main() {
                 &ExecLimits::default(),
                 None,
                 None,
+                hedge.as_ref(),
                 None,
             ) {
                 Ok(run) => {
@@ -226,6 +258,14 @@ fn main() {
                         placement.assignment.key(),
                         pool.key()
                     );
+                    if run.recovery.hedges > 0 {
+                        eprintln!(
+                            "-- hedged {} straggler(s), {} backup win(s), {} duplicate cycles",
+                            run.recovery.hedges,
+                            run.recovery.hedge_wins,
+                            run.recovery.wasted_cycles
+                        );
+                    }
                     registry.counter_add("gplsh.queries.sharded", &[("mode", mode.name())], 1);
                 }
                 Err(e) => eprintln!("{e}"),

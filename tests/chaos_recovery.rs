@@ -1,0 +1,130 @@
+//! Checkpoint-resume equivalence: slicing a blocking stage into K
+//! checkpointed launches must never change query results — fault-free
+//! or under the mid-launch fault model (`fail_progress` +
+//! `fail_hazard_cycles`), where a failing launch executes before
+//! detection and the stage resumes from the last verified slice.
+
+use gpl_repro::core::{
+    plan_for, try_run_query_recovering, ExecContext, ExecLimits, ExecMode, QueryConfig, QueryRun,
+    RecoveryPolicy,
+};
+use gpl_repro::sim::{amd_a10, FaultPlan, FaultSpec};
+use gpl_repro::tpch::{QueryId, TpchDb};
+use std::sync::Arc;
+
+fn run_with(
+    db: &Arc<TpchDb>,
+    q: QueryId,
+    mode: ExecMode,
+    policy: &RecoveryPolicy,
+    faults: Option<FaultPlan>,
+) -> QueryRun {
+    let plan = plan_for(db, q);
+    let cfg = QueryConfig::default_for(&amd_a10(), &plan);
+    let mut ctx = ExecContext::with_shared(amd_a10(), db.clone());
+    if let Some(plan) = faults {
+        ctx.sim.attach_faults(plan);
+    }
+    try_run_query_recovering(
+        &mut ctx,
+        &plan,
+        mode,
+        &cfg,
+        &ExecLimits::none(),
+        Some(policy),
+    )
+    .unwrap_or_else(|e| panic!("{} under {mode:?} must survive: {e}", q.name()))
+}
+
+/// Fault-free slicing is pure bookkeeping: every TPC-H plan under every
+/// exec mode returns the same rows with checkpoints on as off.
+#[test]
+fn checkpoint_slicing_is_output_invariant() {
+    let db = Arc::new(TpchDb::at_scale(0.05));
+    let plain = RecoveryPolicy::with_retries(0);
+    let sliced = RecoveryPolicy::with_retries(0).with_checkpoints(3);
+    for q in QueryId::all() {
+        for mode in [ExecMode::Gpl, ExecMode::GplNoCe, ExecMode::Kbe] {
+            let base = run_with(&db, q, mode, &plain, None);
+            let ckpt = run_with(&db, q, mode, &sliced, None);
+            assert_eq!(
+                base.output,
+                ckpt.output,
+                "{} {mode:?}: k=3 slicing changed the result",
+                q.name()
+            );
+            assert_eq!(
+                ckpt.recovery.resumed_slices,
+                0,
+                "{} {mode:?}: fault-free run claims resumed slices",
+                q.name()
+            );
+        }
+    }
+}
+
+/// Under mid-launch faults (the launch runs to its verification point
+/// before the fault is detected), checkpointed resume must return rows
+/// bit-identical to the fault-free run, and the seed sweep must
+/// actually exercise the resume path: some runs restart mid-stage and
+/// bank non-zero saved cycles relative to a whole-stage retry.
+#[test]
+fn checkpoint_resume_is_bit_identical_under_midlaunch_faults() {
+    let db = Arc::new(TpchDb::at_scale(0.1));
+    let policy = RecoveryPolicy::with_retries(2).with_checkpoints(2);
+    let spec = FaultSpec::uniform(0.25)
+        .with_fail_progress(1.0)
+        .with_fail_hazard(1 << 18);
+    let mut resumed = 0u64;
+    let mut saved = 0u64;
+    let mut faulted_runs = 0u32;
+    for q in [QueryId::Q9, QueryId::Q5, QueryId::Q3] {
+        let clean = run_with(&db, q, ExecMode::Gpl, &policy, None);
+        for seed in 0..6u64 {
+            let faults = FaultPlan::new(spec.clone(), 0xC0FFEE + seed);
+            let run = run_with(&db, q, ExecMode::Gpl, &policy, Some(faults));
+            assert_eq!(
+                run.output,
+                clean.output,
+                "{} seed {seed}: recovered rows differ from fault-free rows",
+                q.name()
+            );
+            if !run.recovery.faults.is_empty() {
+                faulted_runs += 1;
+                assert!(
+                    run.cycles > clean.cycles,
+                    "{} seed {seed}: survived a fault for free",
+                    q.name()
+                );
+            }
+            resumed += run.recovery.resumed_slices;
+            saved += run.recovery.checkpoint_saved_cycles;
+        }
+    }
+    assert!(faulted_runs > 0, "sweep injected no faults at rate 0.25");
+    assert!(
+        resumed > 0,
+        "no run resumed from a checkpoint across the sweep"
+    );
+    assert!(saved > 0, "resumes banked zero cycles vs whole-stage retry");
+}
+
+/// The checkpoint path composes with mode degradation: when GPL keeps
+/// faulting, the policy's fallback ladder still lands on identical rows.
+#[test]
+fn checkpointed_fallback_keeps_rows_identical() {
+    let db = Arc::new(TpchDb::at_scale(0.05));
+    let policy = RecoveryPolicy::with_retries(1).with_checkpoints(2);
+    let spec = FaultSpec::uniform(0.3)
+        .with_fail_progress(1.0)
+        .with_fail_hazard(1 << 16);
+    let clean = run_with(&db, QueryId::Q6, ExecMode::Gpl, &policy, None);
+    for seed in 0..8u64 {
+        let faults = FaultPlan::new(spec.clone(), 7_000 + seed);
+        let run = run_with(&db, QueryId::Q6, ExecMode::Gpl, &policy, Some(faults));
+        assert_eq!(
+            run.output, clean.output,
+            "seed {seed}: degraded run changed rows"
+        );
+    }
+}

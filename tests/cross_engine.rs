@@ -9,7 +9,7 @@ use gpl_check::prelude::*;
 use gpl_prng::{SeedableRng, StdRng};
 use gpl_repro::core::shard::{try_run_query_sharded, DevicePool, ShardPlan};
 use gpl_repro::core::{plan_for, run_query, ExecContext, ExecLimits, ExecMode, QueryConfig};
-use gpl_repro::model::{place_query, GammaTable};
+use gpl_repro::model::{hedge_plan, place_query, GammaTable};
 use gpl_repro::ocelot::OcelotContext;
 use gpl_repro::serve::PlanCache;
 use gpl_repro::sim::{amd_a10, nvidia_k40};
@@ -236,12 +236,38 @@ prop! {
             None,
             None,
             None,
+            None,
         )
         .unwrap_or_else(|e| panic!("fault-free sharded run failed on {sql:?}: {e}"));
         prop_assert_eq!(
             &run.output, &kbe.output,
             "GPL sharded ({} shards, placement {}) disagrees with KBE on {:?}",
             shards, placement.assignment.key(), sql
+        );
+        // The hedged arm: threshold 1 makes *every* shard with any
+        // observed-over-modeled slack a straggler, so the speculative
+        // race (and its bit-equality verification between primary and
+        // backup) fires constantly — and the winner must still match
+        // KBE byte for byte.
+        let hedge = hedge_plan(&placement, 1.0);
+        let hedged = try_run_query_sharded(
+            pool,
+            &db,
+            &plan,
+            ExecMode::Gpl,
+            &ShardPlan::range(shards),
+            &placement.assignment,
+            &ExecLimits::default(),
+            None,
+            None,
+            Some(&hedge),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("hedged sharded run failed on {sql:?}: {e}"));
+        prop_assert_eq!(
+            &hedged.output, &kbe.output,
+            "hedged GPL sharded ({} shards, {} hedges, {} wins) disagrees with KBE on {:?}",
+            shards, hedged.recovery.hedges, hedged.recovery.hedge_wins, sql
         );
     }
 }

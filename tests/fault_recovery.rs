@@ -600,6 +600,7 @@ fn sharded_device_loss_recovers_bit_identically_across_worker_counts() {
         pool: pool.clone(),
         gammas: gammas.clone(),
         plan: ShardPlan::range(2),
+        hedge_threshold: None,
     };
     let reqs = || -> Vec<QueryRequest> {
         [QueryId::Q6, QueryId::Q14, QueryId::Q5, QueryId::Q9]

@@ -56,6 +56,7 @@ fn run_sharded(
         None,
         None,
         None,
+        None,
     )
     .expect("fault-free sharded run")
 }
@@ -124,6 +125,7 @@ fn hash_sharding_with_skewed_blocks_matches_range_sharding() {
                 None,
                 None,
                 None,
+                None,
             )
             .expect("fault-free sharded run");
             assert_eq!(
@@ -153,6 +155,7 @@ fn single_shard_on_the_anchor_device_matches_the_classic_engine() {
             &ShardPlan::single(),
             &assignment,
             &ExecLimits::default(),
+            None,
             None,
             None,
             None,
