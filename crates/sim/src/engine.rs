@@ -554,6 +554,11 @@ impl Simulator {
         let c_lanes = self.spec.concurrency as usize;
         let mut holders: Vec<usize> = (0..total.min(c_lanes)).collect();
         let mut lane_queue: VecDeque<usize> = (total.min(c_lanes)..total).collect();
+        // Scratch for the dispatch pass's sorted view of the lane holders,
+        // reused across iterations: the arbitration loop runs once per
+        // event pop, so rebuilding this vector used to be a heap
+        // allocation per simulated event.
+        let mut hs: Vec<usize> = Vec::with_capacity(total.min(c_lanes));
 
         let mut profile = LaunchProfile {
             start_cycle: start,
@@ -598,9 +603,10 @@ impl Simulator {
                 loop {
                     let mut progress = false;
                     // Dispatch pass over lane holders, in index order.
-                    let mut hs: Vec<usize> = holders.clone();
+                    hs.clear();
+                    hs.extend_from_slice(&holders);
                     hs.sort_unstable();
-                    for k in hs {
+                    for &k in &hs {
                         loop {
                             let s = &st[k];
                             if s.finished || s.done || s.blocked {
@@ -1130,6 +1136,62 @@ mod tests {
         assert_eq!(cs.packets_pushed, total);
         assert_eq!(cs.packets_popped, total);
         assert!(p.kernels[1].dc_cycles > 0, "consumer must pay channel cost");
+    }
+
+    /// Regression pin for the lane-arbitration dispatch pass: the exact
+    /// number of completion events (work units) and the final clock of a
+    /// fixed producer/consumer workload. The dispatch pass is the loop the
+    /// `holders` scratch-reuse fix touched; any accidental reordering of
+    /// the holder scan would change the unit schedule and trip this.
+    #[test]
+    fn lane_arbitration_event_counts_are_pinned() {
+        let mut sim = Simulator::new(amd_a10());
+        let ch = sim.create_channel(4, 16);
+        let total = 10_000u64;
+        let mut produced = 0u64;
+        let prod = move |view: &dyn ChannelView| {
+            if produced == total {
+                return Work::Done;
+            }
+            let k = view.space(ch).min(64).min(total - produced);
+            if k == 0 {
+                return Work::Wait;
+            }
+            produced += k;
+            Work::Unit(
+                WorkUnit {
+                    compute_insts: 4 * k,
+                    ..Default::default()
+                }
+                .push(ch, k),
+            )
+        };
+        let cons = move |view: &dyn ChannelView| {
+            let avail = view.available(ch);
+            if avail == 0 {
+                if view.eof(ch) {
+                    return Work::Done;
+                }
+                return Work::Wait;
+            }
+            let k = avail.min(64);
+            Work::Unit(
+                WorkUnit {
+                    compute_insts: 2 * k,
+                    ..Default::default()
+                }
+                .pop(ch, k),
+            )
+        };
+        let p = sim.run(vec![
+            KernelDesc::new("producer", res(), 16, Box::new(prod)).writes_channel(ch),
+            KernelDesc::new("consumer", res(), 16, Box::new(cons)).reads_channel(ch),
+        ]);
+        let units: Vec<u64> = p.kernels.iter().map(|k| k.units).collect();
+        // One completion event per dispatched unit: these are the event
+        // counts of the launch, pinned.
+        assert_eq!(units, vec![157, 157]);
+        assert_eq!(p.elapsed_cycles, 45_744, "final clock is pinned");
     }
 
     #[test]
