@@ -16,6 +16,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod serve;
 pub mod shard;
+pub mod simperf;
 pub mod utilization;
 
 use crate::artifact::ArtifactSink;
@@ -258,6 +259,12 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "multi-device",
             description: "heterogeneous CPU/GPU sharding: placement, modeled vs observed, scaling",
             run: shard::shard,
+        },
+        Experiment {
+            name: "simperf",
+            paper_ref: "engine perf",
+            description: "simulator wall-clock throughput: events/sec vs recorded reference",
+            run: simperf::simperf,
         },
     ]
 }

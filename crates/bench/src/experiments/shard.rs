@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 /// One calibrated Γ table per pool device, cached on disk under
 /// `target/` like [`Opts::gamma`] does for the CLI device.
-fn pool_gammas(pool: &DevicePool) -> Vec<GammaTable> {
+pub(crate) fn pool_gammas(pool: &DevicePool) -> Vec<GammaTable> {
     pool.devices()
         .iter()
         .map(|d| {

@@ -1,0 +1,259 @@
+//! `repro simperf` — wall-clock throughput of the simulator engine.
+//!
+//! Every other experiment reports *simulated* quantities, which are
+//! deterministic and therefore pinnable. This one measures how fast the
+//! simulator itself runs on the host: it replays the SF 0.3 serve
+//! corpus, the same corpus under injected slowdown faults (the chaos
+//! arm), and the multi-device shard sweep, and reports events/sec
+//! (one event per simulated work unit), launches/sec and queries/sec
+//! in *wall-clock* terms.
+//!
+//! Two output planes, kept strictly apart (see OBSERVABILITY.md):
+//!
+//! * the `BENCH_simperf.json` artifact carries only deterministic
+//!   facts (queries, launches, events, simulated cycles, fingerprints)
+//!   and must be byte-identical across runs;
+//! * wall-clock numbers go to `target/obs/simperf-wall.txt`, a
+//!   non-pinned report that also prints the speedup against the
+//!   recorded pre-refactor reference in `scripts/simperf_reference.json`
+//!   when the run parameters match the reference's.
+
+use super::Opts;
+use crate::artifact::{row_fingerprint, RunEntry};
+use gpl_core::{
+    plan_for, try_run_query_sharded, DeviceKind, ExecContext, ExecLimits, ExecMode, ShardPlan,
+};
+use gpl_model::place_query;
+use gpl_obs::Json;
+use gpl_sim::{FaultPlan, FaultSpec};
+use gpl_sql::sql_for;
+use gpl_tpch::{QueryId, TpchDb};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything one arm of the benchmark did. The first four fields are
+/// deterministic; `wall` is host-dependent and never pinned.
+struct ArmResult {
+    name: &'static str,
+    queries: u64,
+    launches: u64,
+    events: u64,
+    cycles: u64,
+    fingerprint: u64,
+    wall: Duration,
+}
+
+impl ArmResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+    fn launches_per_sec(&self) -> f64 {
+        self.launches as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Fold one run's fingerprint into an arm-level FNV-style digest.
+fn mix(acc: u64, fp: u64) -> u64 {
+    (acc ^ fp).wrapping_mul(0x100_0000_01b3)
+}
+
+/// The serve corpus: the compilable TPC-H corpus queries cycled to `n`
+/// requests, each on a fresh context over the shared database — the
+/// exact per-query isolation the serve workers use.
+fn corpus_arm(
+    name: &'static str,
+    opts: &Opts,
+    db: &Arc<TpchDb>,
+    n: usize,
+    faults: Option<(&FaultSpec, u64)>,
+) -> ArmResult {
+    let sqls: Vec<&'static str> = QueryId::all().into_iter().filter_map(sql_for).collect();
+    let mut r = ArmResult {
+        name,
+        queries: 0,
+        launches: 0,
+        events: 0,
+        cycles: 0,
+        fingerprint: 0xcbf2_9ce4_8422_2325,
+        wall: Duration::ZERO,
+    };
+    let t0 = Instant::now();
+    for i in 0..n {
+        let mut ctx = ExecContext::with_shared(opts.device.clone(), db.clone());
+        if let Some((spec, seed)) = faults {
+            // Same per-query seed mixing as the serve scheduler.
+            let qseed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ctx.sim.attach_faults(FaultPlan::new(spec.clone(), qseed));
+        }
+        let run = gpl_sql::run_sql(&mut ctx, sqls[i % sqls.len()], ExecMode::Gpl)
+            .expect("corpus query compiles");
+        r.queries += 1;
+        r.cycles += run.cycles;
+        r.launches += run.per_stage.len() as u64;
+        r.events += run
+            .per_stage
+            .iter()
+            .flat_map(|p| p.kernels.iter())
+            .map(|k| k.units)
+            .sum::<u64>();
+        r.fingerprint = mix(r.fingerprint, row_fingerprint(&run));
+    }
+    r.wall = t0.elapsed();
+    r
+}
+
+/// The shard sweep: the chaos experiment's shard-arm queries, run range-
+/// sharded across the default heterogeneous pool under the placement
+/// pass.
+fn shard_arm(sf: f64) -> ArmResult {
+    let db = Arc::new(TpchDb::at_scale(sf));
+    let pool = gpl_core::DevicePool::default_pool();
+    let gammas = super::shard::pool_gammas(&pool);
+    let queries = [QueryId::Q6, QueryId::Q14, QueryId::Q5, QueryId::Q9];
+    let plan2 = ShardPlan::range(2);
+    let mut r = ArmResult {
+        name: "shard",
+        queries: 0,
+        launches: 0,
+        events: 0,
+        cycles: 0,
+        fingerprint: 0xcbf2_9ce4_8422_2325,
+        wall: Duration::ZERO,
+    };
+    let t0 = Instant::now();
+    for q in queries {
+        let plan = plan_for(&db, q);
+        let placement = place_query(&pool, &gammas, &db, &plan, Some(DeviceKind::Gpu));
+        let run = try_run_query_sharded(
+            &pool,
+            &db,
+            &plan,
+            ExecMode::Gpl,
+            &plan2,
+            &placement.assignment,
+            &ExecLimits::default(),
+            None,
+            None,
+            None,
+            None,
+        )
+        .expect("fault-free sharded run");
+        r.queries += 1;
+        r.cycles += run.cycles;
+        for d in &run.per_device {
+            r.launches += d.per_stage.len() as u64;
+            r.events += d
+                .per_stage
+                .iter()
+                .flat_map(|p| p.kernels.iter())
+                .map(|k| k.units)
+                .sum::<u64>();
+        }
+        let mut out_fp = 0xcbf2_9ce4_8422_2325u64;
+        for row in &run.output.rows {
+            for v in row {
+                for b in v.to_le_bytes() {
+                    out_fp = (out_fp ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        r.fingerprint = mix(r.fingerprint, out_fp);
+    }
+    r.wall = t0.elapsed();
+    r
+}
+
+/// Load the recorded pre-refactor reference, if present and comparable
+/// with this run's parameters.
+fn load_reference(device: &str, sf: f64, queries: usize) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string("scripts/simperf_reference.json").ok()?;
+    let j = gpl_obs::parse(&text).ok()?;
+    if j.get("device")?.as_str()? != device {
+        return None;
+    }
+    if j.get("sf")?.as_f64()? != sf || j.get("queries")?.as_f64()? != queries as f64 {
+        return None;
+    }
+    let arms = j.get("arms")?.as_arr()?;
+    Some(
+        arms.iter()
+            .filter_map(|a| {
+                Some((
+                    a.get("arm")?.as_str()?.to_string(),
+                    a.get("events_per_sec")?.as_f64()?,
+                ))
+            })
+            .collect(),
+    )
+}
+
+pub fn simperf(opts: &Opts) {
+    let sf = opts.sf_or(0.3);
+    let n = opts.queries.unwrap_or(24);
+    let shard_sf = sf.min(0.05);
+    println!("simulator wall-clock throughput (SF {sf}, {n} corpus requests)");
+    println!("(wall numbers are host-dependent: reported, never pinned)\n");
+    opts.artifact.sf(sf);
+
+    let db = Arc::new(TpchDb::at_scale(sf));
+    let slowdown = FaultSpec::none().with_slowdown(0.3, 4.0, 1 << 18);
+    let arms = [
+        corpus_arm("serve", opts, &db, n, None),
+        corpus_arm("chaos", opts, &db, n.div_ceil(3), Some((&slowdown, 1337))),
+        shard_arm(shard_sf),
+    ];
+
+    let reference = load_reference(&opts.device.name, sf, n);
+    if reference.is_none() {
+        println!("(no comparable pre-refactor reference; speedup omitted)\n");
+    }
+
+    println!(
+        "{:>6}  {:>8} {:>9} {:>10} {:>9} {:>11} {:>11} {:>8}",
+        "arm", "queries", "launches", "events", "wall ms", "events/s", "launches/s", "speedup"
+    );
+    let mut report = String::from(
+        "# simperf wall-clock plane — host-dependent, NON-DETERMINISTIC, never pinned\n\
+         # deterministic twin of this run: target/obs/BENCH_simperf.json\n",
+    );
+    for a in &arms {
+        let speedup = reference.as_ref().and_then(|r| {
+            r.iter()
+                .find(|(name, _)| name == a.name)
+                .map(|(_, ref_eps)| a.events_per_sec() / ref_eps.max(1e-12))
+        });
+        let speedup_s = speedup.map_or("-".to_string(), |s| format!("{s:.2}x"));
+        println!(
+            "{:>6}  {:>8} {:>9} {:>10} {:>9.1} {:>11.0} {:>11.1} {:>8}",
+            a.name,
+            a.queries,
+            a.launches,
+            a.events,
+            a.wall.as_secs_f64() * 1e3,
+            a.events_per_sec(),
+            a.launches_per_sec(),
+            speedup_s,
+        );
+        report.push_str(&format!(
+            "{} wall_ms={:.3} events_per_sec={:.1} launches_per_sec={:.2} speedup={}\n",
+            a.name,
+            a.wall.as_secs_f64() * 1e3,
+            a.events_per_sec(),
+            a.launches_per_sec(),
+            speedup_s,
+        ));
+        // Only the deterministic facts reach the artifact plane.
+        opts.artifact.run(
+            RunEntry::new(a.name, "gpl")
+                .cycles(a.cycles)
+                .rows(a.queries)
+                .fingerprint(a.fingerprint)
+                .extra("launches", Json::Int(a.launches as i64))
+                .extra("events", Json::Int(a.events as i64)),
+        );
+    }
+    std::fs::create_dir_all("target/obs").ok();
+    let wall_path = "target/obs/simperf-wall.txt";
+    std::fs::write(wall_path, &report).expect("write wall report");
+    println!("\nwall report: {wall_path} (non-pinned plane)");
+}
