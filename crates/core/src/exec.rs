@@ -355,7 +355,7 @@ pub fn try_run_query_recovering(
             let s = r.begin(
                 t,
                 "stage",
-                &format!("stage{idx}:{}", ir.driver),
+                format!("stage{idx}:{}", ir.driver),
                 ctx.sim.clock(),
             );
             r.arg(s, "tile_bytes", cfg.tile_bytes);
@@ -652,7 +652,7 @@ fn run_pair_recovering(
         let s = r.begin(
             t,
             "stage",
-            &format!("stage{bi}+{pi}:{}+{}", ir_b.driver, ir_p.driver),
+            format!("stage{bi}+{pi}:{}+{}", ir_b.driver, ir_p.driver),
             ctx.sim.clock(),
         );
         r.arg(s, "overlap_slices", edge.slices);
@@ -707,7 +707,7 @@ fn run_pair_recovering(
                             r.span(
                                 t,
                                 "overlap",
-                                &format!("overlap:slices={}", edge.slices),
+                                format!("overlap:slices={}", edge.slices),
                                 lo,
                                 hi,
                                 vec![("cycles", gpl_obs::Value::from(hi - lo))],
@@ -1161,7 +1161,7 @@ fn estimate_build_rows(ctx: &ExecContext, stage: &Stage) -> usize {
     let mut chunk = crate::ops::Chunk::new(stage.num_slots());
     for (s, name) in stage.loads.iter().enumerate() {
         let col = t.col(name);
-        chunk.fill(s, rows.iter().map(|&r| col.get_i64(r)).collect());
+        chunk.fill(s, col.gather_i64(&rows));
     }
     for op in &stage.ops {
         match op {

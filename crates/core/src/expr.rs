@@ -66,6 +66,32 @@ pub enum Pred {
     InList(Expr, Vec<i64>),
 }
 
+/// One compiled conjunct of a flattened predicate: a slot tested
+/// against constants. See [`Pred::as_atoms`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomPred {
+    Cmp(CmpOp, Slot, i64),
+    InList(Slot, Vec<i64>),
+}
+
+impl AtomPred {
+    /// The slot this atom reads.
+    pub fn slot(&self) -> Slot {
+        match self {
+            AtomPred::Cmp(_, s, _) | AtomPred::InList(s, _) => *s,
+        }
+    }
+
+    /// Test one value from the atom's slot.
+    #[inline]
+    pub fn test(&self, v: i64) -> bool {
+        match self {
+            AtomPred::Cmp(op, _, c) => op.apply(v, *c),
+            AtomPred::InList(_, list) => list.contains(&v),
+        }
+    }
+}
+
 // The builder methods deliberately shadow the `std::ops` names: they
 // build AST nodes rather than evaluate, and implementing the operator
 // traits would hide the Box allocations these construct.
@@ -109,6 +135,71 @@ impl Expr {
                 } else {
                     b.eval(cols, row)
                 }
+            }
+        }
+    }
+
+    /// Evaluate rows `0..rows` column-at-a-time: the enum match runs
+    /// once per node per *chunk* instead of once per node per row, and
+    /// the inner loops are flat i64 arithmetic. Exactly [`Expr::eval`]
+    /// applied to every row; `Case` evaluates both branches and selects
+    /// per element — identical results since branches are pure (and the
+    /// cost model already charges both sides, matching SIMD execution).
+    pub fn eval_vec(&self, cols: &[Vec<i64>], rows: usize) -> Vec<i64> {
+        fn bin(
+            a: &Expr,
+            b: &Expr,
+            cols: &[Vec<i64>],
+            rows: usize,
+            f: impl Fn(i64, i64) -> i64,
+        ) -> Vec<i64> {
+            // A constant operand folds into the other side's buffer —
+            // no splat vector.
+            if let Expr::Const(v) = b {
+                let mut x = a.eval_vec(cols, rows);
+                for xi in &mut x {
+                    *xi = f(*xi, *v);
+                }
+                return x;
+            }
+            if let Expr::Const(v) = a {
+                let mut x = b.eval_vec(cols, rows);
+                for xi in &mut x {
+                    *xi = f(*v, *xi);
+                }
+                return x;
+            }
+            let mut x = a.eval_vec(cols, rows);
+            let y = b.eval_vec(cols, rows);
+            for (xi, yi) in x.iter_mut().zip(&y) {
+                *xi = f(*xi, *yi);
+            }
+            x
+        }
+        match self {
+            Expr::Slot(s) => cols[*s][..rows].to_vec(),
+            Expr::Const(v) => vec![*v; rows],
+            Expr::Add(a, b) => bin(a, b, cols, rows, i64::wrapping_add),
+            Expr::Sub(a, b) => bin(a, b, cols, rows, i64::wrapping_sub),
+            Expr::Mul(a, b) => bin(a, b, cols, rows, i64::wrapping_mul),
+            Expr::DecMul(a, b) => bin(a, b, cols, rows, dec_mul),
+            Expr::Year(d) => {
+                let mut x = d.eval_vec(cols, rows);
+                for xi in &mut x {
+                    *xi = Date::year_of_days(*xi as i32) as i64;
+                }
+                x
+            }
+            Expr::Case(p, a, b) => {
+                let mask = p.eval_mask(cols, rows);
+                let mut x = a.eval_vec(cols, rows);
+                let y = b.eval_vec(cols, rows);
+                for i in 0..rows {
+                    if !mask[i] {
+                        x[i] = y[i];
+                    }
+                }
+                x
             }
         }
     }
@@ -172,6 +263,70 @@ impl Pred {
             Pred::And(ps) => ps.iter().all(|p| p.eval(cols, row)),
             Pred::Or(a, b) => a.eval(cols, row) || b.eval(cols, row),
             Pred::InList(e, list) => list.contains(&e.eval(cols, row)),
+        }
+    }
+
+    /// Flatten into a conjunction of *atomic* slot-vs-constant tests, if
+    /// the whole predicate has that shape. Filters in the workload are
+    /// overwhelmingly `slot CMP literal` chains (`l_shipdate >= d AND
+    /// l_shipdate < d'`), and the per-row tree walk — a recursive enum
+    /// match chasing `Box`es — is pure overhead for them. `apply_filter`
+    /// compiles the predicate once per chunk and evaluates the atoms in
+    /// a flat loop; anything that doesn't fit (ORs, cases, computed
+    /// operands) returns `None` and takes the general interpreter.
+    /// Semantics are identical: `&&` is commutative-free short-circuit
+    /// over pure tests.
+    pub fn as_atoms(&self) -> Option<Vec<AtomPred>> {
+        fn push(p: &Pred, out: &mut Vec<AtomPred>) -> bool {
+            match p {
+                Pred::True => true,
+                Pred::Cmp(op, Expr::Slot(s), Expr::Const(v)) => {
+                    out.push(AtomPred::Cmp(*op, *s, *v));
+                    true
+                }
+                Pred::Cmp(op, Expr::Const(v), Expr::Slot(s)) => {
+                    // `lit CMP slot` mirrors to `slot CMP' lit`.
+                    let flip = match op {
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Ge => CmpOp::Le,
+                        CmpOp::Eq => CmpOp::Eq,
+                        CmpOp::Ne => CmpOp::Ne,
+                    };
+                    out.push(AtomPred::Cmp(flip, *s, *v));
+                    true
+                }
+                Pred::And(ps) => ps.iter().all(|p| push(p, out)),
+                Pred::InList(Expr::Slot(s), list) => {
+                    out.push(AtomPred::InList(*s, list.clone()));
+                    true
+                }
+                _ => false,
+            }
+        }
+        let mut out = Vec::new();
+        push(self, &mut out).then_some(out)
+    }
+
+    /// Evaluate rows `0..rows` into a boolean mask — the vectorized
+    /// counterpart of [`Expr::eval_vec`]. Atom-shaped predicates run as
+    /// flat per-atom column sweeps; the rest fall back to the per-row
+    /// interpreter. `&&` over pure tests is order-insensitive, so the
+    /// sweep keeps exactly the rows the interpreter would.
+    pub fn eval_mask(&self, cols: &[Vec<i64>], rows: usize) -> Vec<bool> {
+        match self.as_atoms() {
+            Some(atoms) => {
+                let mut mask = vec![true; rows];
+                for a in &atoms {
+                    let col = &cols[a.slot()];
+                    for (m, &v) in mask.iter_mut().zip(&col[..rows]) {
+                        *m = *m && a.test(v);
+                    }
+                }
+                mask
+            }
+            None => (0..rows).map(|r| self.eval(cols, r)).collect(),
         }
     }
 

@@ -47,31 +47,59 @@ const FUSED_UNIT_ROWS: usize = SCAN_BATCH_ROWS;
 
 /// Functional data queue riding alongside a channel: chunks plus their
 /// packet counts and a producer-stamped checksum (the timing side lives
-/// in the simulator's channel). Consumers re-hash on pop — the per-tile
-/// integrity check the fault plane's `ChannelCorrupt` injections model
-/// tripping.
+/// in the simulator's channel). Debug builds re-hash on pop — the
+/// per-tile integrity check the fault plane's `ChannelCorrupt`
+/// injections model tripping. Release builds skip the stamp-and-verify
+/// sweep: the queue is a plain in-process value store, so a mismatch
+/// would mean the engine mutated a queued chunk — an invariant breach
+/// (injected corruption is surfaced at launch admission, never here),
+/// and the sweep is the leaf/probe data plane's largest pure overhead.
 type DataQ = Rc<RefCell<VecDeque<(Chunk, u64, u64)>>>;
+
+/// Producer-side transit stamp for a queued chunk: the checksum in
+/// debug builds, `0` (never verified) in release builds.
+#[inline]
+fn transit_stamp(c: &Chunk) -> u64 {
+    if cfg!(debug_assertions) {
+        chunk_checksum(c)
+    } else {
+        0
+    }
+}
+
+/// Consumer-side transit verify, paired with [`transit_stamp`]:
+/// re-hash and compare in debug builds, no-op in release builds.
+#[inline]
+fn verify_transit(c: &Chunk, sum: u64, ch: ChannelId) {
+    if cfg!(debug_assertions) {
+        assert_eq!(
+            chunk_checksum(c),
+            sum,
+            "channel chunk corrupted in transit on channel {ch:?}"
+        );
+    }
+}
 
 /// FNV-1a over a chunk's shape and every filled slot's values: the
 /// per-tile checksum producers stamp on each queued chunk.
 pub(crate) fn chunk_checksum(c: &Chunk) -> u64 {
+    // FNV-style chain over whole 64-bit words, not bytes: the checksum
+    // is only ever compared against a checksum of the same chunk (push
+    // vs pop), so what matters is purity and mutation sensitivity —
+    // each step xors the full value then multiplies by an odd prime (a
+    // bijection), so any changed value, slot index or row count changes
+    // the digest. One multiply per value makes the per-hop integrity
+    // sweep ~8x cheaper than the byte-at-a-time variant.
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    mix(c.rows as u64);
+    let mut h = (OFFSET ^ c.rows as u64).wrapping_mul(PRIME);
     for (s, col) in c.cols.iter().enumerate() {
         if !c.filled[s] {
             continue;
         }
-        mix(s as u64);
+        h = (h ^ s as u64).wrapping_mul(PRIME);
         for &v in col {
-            mix(v as u64);
+            h = (h ^ v as u64).wrapping_mul(PRIME);
         }
     }
     h
@@ -228,9 +256,7 @@ impl gpl_sim::WorkSource for LeafSource {
             let col = t.col_at(ci);
             chunk.fill(
                 slot,
-                (self.cursor..end)
-                    .map(|r| col.get_i64(self.base + r))
-                    .collect(),
+                col.range_i64(self.base + self.cursor, self.base + end),
             );
             accesses.push(MemRange::read(
                 base + (self.base + self.cursor) as u64 * width,
@@ -286,7 +312,7 @@ impl gpl_sim::WorkSource for LeafSource {
         if out.rows > 0 {
             project_to(&mut out, &self.ship);
             let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
-            let sum = chunk_checksum(&out);
+            let sum = transit_stamp(&out);
             self.out_q.borrow_mut().push_back((out, packets, sum));
             unit = unit.push(self.out, packets);
         }
@@ -437,15 +463,12 @@ fn take_chunks(
         popped += *packets;
         rows += chunk.rows;
         let (chunk, _, sum) = q.pop_front().expect("front exists");
-        // Channel-transit integrity: a mismatch means a chunk was mutated
-        // while queued — an engine invariant breach, never expected in
-        // the simulator (injected `ChannelCorrupt` faults model this
-        // check firing and are surfaced at launch admission instead).
-        assert_eq!(
-            chunk_checksum(&chunk),
-            sum,
-            "channel chunk corrupted in transit on channel {input:?}"
-        );
+        // Channel-transit integrity (debug builds): a mismatch means a
+        // chunk was mutated while queued — an engine invariant breach,
+        // never expected in the simulator (injected `ChannelCorrupt`
+        // faults model this check firing and are surfaced at launch
+        // admission instead).
+        verify_transit(&chunk, sum, input);
         chunks.push(chunk);
     }
     if chunks.is_empty() {
@@ -458,13 +481,13 @@ fn take_chunks(
 /// Concatenate chunks slot-wise.
 fn concat(mut chunks: Vec<Chunk>) -> Chunk {
     let mut merged = chunks.swap_remove(0);
-    for c in chunks {
+    for mut c in chunks {
         for s in 0..merged.cols.len() {
             if c.filled[s] {
                 if merged.filled[s] {
                     merged.cols[s].extend_from_slice(&c.cols[s]);
                 } else {
-                    merged.cols[s] = c.cols[s].clone();
+                    merged.cols[s] = std::mem::take(&mut c.cols[s]);
                     merged.filled[s] = true;
                 }
             }
@@ -492,12 +515,7 @@ impl ProbeSource {
                 let Some((rec, packets, sum)) = q.pop_front() else {
                     break;
                 };
-                assert_eq!(
-                    chunk_checksum(&rec),
-                    sum,
-                    "channel chunk corrupted in transit on channel {:?}",
-                    gate.pub_in
-                );
+                verify_transit(&rec, sum, gate.pub_in);
                 pub_popped += packets;
                 let slice = rec.cols[0][0] as u32;
                 assert_eq!(
@@ -549,12 +567,7 @@ impl ProbeSource {
                 avail_in -= *packets;
                 data_popped += *packets;
                 let (chunk, _, sum) = q.pop_front().expect("front exists");
-                assert_eq!(
-                    chunk_checksum(&chunk),
-                    sum,
-                    "channel chunk corrupted in transit on channel {:?}",
-                    self.input
-                );
+                verify_transit(&chunk, sum, self.input);
                 budget_rows += chunk.rows;
                 routed_rows += chunk.rows as u64;
                 fresh += 1;
@@ -604,7 +617,7 @@ impl ProbeSource {
         if out.rows > 0 {
             project_to(&mut out, &self.ship);
             let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
-            let sum = chunk_checksum(&out);
+            let sum = transit_stamp(&out);
             self.out_q.borrow_mut().push_back((out, packets, sum));
             unit = unit.push(self.out, packets);
         }
@@ -644,7 +657,7 @@ impl gpl_sim::WorkSource for ProbeSource {
                 if out.rows > 0 {
                     project_to(&mut out, &self.ship);
                     let packets = packets_for(out.rows, self.out_row_bytes, self.packet_bytes);
-                    let sum = chunk_checksum(&out);
+                    let sum = transit_stamp(&out);
                     self.out_q.borrow_mut().push_back((out, packets, sum));
                     unit = unit.push(self.out, packets);
                 }
@@ -697,6 +710,8 @@ impl gpl_sim::WorkSource for TermSource {
                 let mut rows = 0usize;
                 for c in &chunks {
                     rows += c.rows;
+                    // Every row lands at least one table access in `acc`.
+                    acc.reserve(c.rows);
                     match &self.exec {
                         TermExec::Build {
                             table,
@@ -704,9 +719,12 @@ impl gpl_sim::WorkSource for TermSource {
                             payloads,
                         } => {
                             let mut t = table.borrow_mut();
+                            // One payload buffer for the whole chunk;
+                            // `insert` copies out of it.
+                            let mut pay = Vec::with_capacity(payloads.len());
                             for r in 0..c.rows {
-                                let pay: Vec<i64> =
-                                    payloads.iter().map(|&p| c.cols[p][r]).collect();
+                                pay.clear();
+                                pay.extend(payloads.iter().map(|&p| c.cols[p][r]));
                                 t.insert(c.cols[*key][r], &pay, &mut acc);
                             }
                         }
@@ -716,10 +734,21 @@ impl gpl_sim::WorkSource for TermSource {
                             aggs,
                         } => {
                             let mut s = store.borrow_mut();
+                            // Agg inputs evaluated column-at-a-time once
+                            // per chunk; the row loop only gathers group
+                            // keys and folds.
+                            let vals: Vec<Vec<i64>> = aggs
+                                .iter()
+                                .map(|a| a.expr.eval_vec(&c.cols, c.rows))
+                                .collect();
+                            let mut keys = Vec::with_capacity(groups.len());
+                            let mut values = vec![0i64; aggs.len()];
                             for r in 0..c.rows {
-                                let keys: Vec<i64> = groups.iter().map(|&g| c.cols[g][r]).collect();
-                                let values: Vec<i64> =
-                                    aggs.iter().map(|a| a.expr.eval(&c.cols, r)).collect();
+                                keys.clear();
+                                keys.extend(groups.iter().map(|&g| c.cols[g][r]));
+                                for (slot, v) in values.iter_mut().zip(&vals) {
+                                    *slot = v[r];
+                                }
                                 s.update(&keys, &values, &mut acc);
                             }
                         }
@@ -858,7 +887,7 @@ impl gpl_sim::WorkSource for BuildPublishSource {
         rec.fill(0, vec![s as i64]);
         rec.fill(1, vec![nrows as i64]);
         rec.fill(2, vec![sum as i64]);
-        let rsum = chunk_checksum(&rec);
+        let rsum = transit_stamp(&rec);
         self.out_q.borrow_mut().push_back((rec, 1, rsum));
         self.installed += nrows;
         self.next_slice += 1;

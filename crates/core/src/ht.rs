@@ -8,6 +8,7 @@
 
 use gpl_sim::mem::{MemRange, MemoryMap, RegionClass, RegionId};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Mixer from splitmix64 — deterministic, well-spread bucket indexes.
 #[inline]
@@ -18,10 +19,47 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic single-`mix64` hasher for the i64-keyed simulated
+/// tables. SipHash's DoS resistance buys nothing against synthetic
+/// TPC-H keys and costs several times more per probe — and the probe
+/// path runs once per input row of every join in the workload.
+#[derive(Debug, Default)]
+pub struct Mix64Hasher(u64);
+
+impl Hasher for Mix64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = mix64(self.0 ^ u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.0 = mix64(self.0 ^ v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix64(self.0 ^ v);
+    }
+}
+
+/// `HashMap` build-hasher wrapper for [`Mix64Hasher`] — shared with the
+/// model plane's estimator tables, which face the same synthetic keys.
+pub type BuildMix64 = BuildHasherDefault<Mix64Hasher>;
+
 /// A unique-key hash table (all TPC-H joins here are key–FK joins).
+///
+/// Payloads live in one flat arena (`payload_width` values per entry,
+/// indexed by insertion order) rather than one heap `Vec` per entry:
+/// probes — once per input row of every join — read a contiguous
+/// slice, and the cross-shard merge's per-device rebuild does one
+/// arena append per entry instead of an allocation.
 #[derive(Debug)]
 pub struct SimHashTable {
-    map: HashMap<i64, Vec<i64>>,
+    map: HashMap<i64, u32, BuildMix64>,
+    pay: Vec<i64>,
     payload_width: usize,
     base: u64,
     buckets: u64,
@@ -42,7 +80,8 @@ impl SimHashTable {
         let entry_bytes = 8 * (1 + payload_width as u64);
         let region = mem.alloc(buckets * entry_bytes, RegionClass::HashTable, label);
         SimHashTable {
-            map: HashMap::with_capacity(expected),
+            map: HashMap::with_capacity_and_hasher(expected, BuildMix64::default()),
+            pay: Vec::with_capacity(expected * payload_width),
             payload_width,
             base: mem.base(region),
             buckets,
@@ -80,14 +119,19 @@ impl SimHashTable {
         let mut a = self.bucket_access(key);
         a.write = true;
         acc.push(a);
-        let prev = self.map.insert(key, payload.to_vec());
+        let idx = u32::try_from(self.map.len()).expect("build side exceeds u32 entries");
+        let prev = self.map.insert(key, idx);
         assert!(prev.is_none(), "duplicate build key {key}");
+        self.pay.extend_from_slice(payload);
     }
 
     /// Probe a key; reports the bucket read into `acc`.
     pub fn probe(&self, key: i64, acc: &mut Vec<MemRange>) -> Option<&[i64]> {
         acc.push(self.bucket_access(key));
-        self.map.get(&key).map(|v| v.as_slice())
+        let w = self.payload_width;
+        self.map
+            .get(&key)
+            .map(|&i| &self.pay[i as usize * w..i as usize * w + w])
     }
 
     /// Which of `slices` deterministic installation slices `key` belongs
@@ -104,7 +148,13 @@ impl SimHashTable {
     /// merged table. Keys are unique per table (insert panics on
     /// duplicates), so the union of disjoint shard builds is exact.
     pub fn into_entries(self) -> Vec<(i64, Vec<i64>)> {
-        let mut entries: Vec<(i64, Vec<i64>)> = self.map.into_iter().collect();
+        let w = self.payload_width;
+        let pay = self.pay;
+        let mut entries: Vec<(i64, Vec<i64>)> = self
+            .map
+            .into_iter()
+            .map(|(k, i)| (k, pay[i as usize * w..i as usize * w + w].to_vec()))
+            .collect();
         entries.sort_unstable_by_key(|(k, _)| *k);
         entries
     }
@@ -131,9 +181,11 @@ impl SimHashTable {
                 h = h.wrapping_mul(PRIME);
             }
         };
+        let w = self.payload_width;
         for k in keys {
             mix(k as u64);
-            for &p in &self.map[&k] {
+            let i = self.map[&k] as usize;
+            for &p in &self.pay[i * w..i * w + w] {
                 mix(p as u64);
             }
         }
@@ -320,13 +372,22 @@ impl GroupStore {
         let addr = self.base + b * self.entry_bytes;
         acc.push(MemRange::read(addr, self.entry_bytes));
         acc.push(MemRange::write(addr, self.entry_bytes));
-        let kinds = &self.kinds;
-        let aggs = self
-            .groups
-            .entry(keys.to_vec())
-            .or_insert_with(|| kinds.iter().map(|k| k.init()).collect());
-        for ((a, v), k) in aggs.iter_mut().zip(values).zip(kinds) {
-            *a = k.fold(*a, *v);
+        // Per-row fast path: look the group up by slice so the common
+        // case (group already exists) allocates nothing. `Vec<i64>`
+        // borrows as `[i64]`, so no owned key is built until a group is
+        // first seen.
+        if let Some(aggs) = self.groups.get_mut(keys) {
+            for ((a, v), k) in aggs.iter_mut().zip(values).zip(&self.kinds) {
+                *a = k.fold(*a, *v);
+            }
+        } else {
+            let aggs: Vec<i64> = self
+                .kinds
+                .iter()
+                .zip(values)
+                .map(|(k, &v)| k.fold(k.init(), v))
+                .collect();
+            self.groups.insert(keys.to_vec(), aggs);
         }
     }
 

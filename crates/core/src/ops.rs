@@ -53,7 +53,20 @@ impl Chunk {
 
 /// Filter: retain rows satisfying `pred` across all filled slots.
 pub fn apply_filter(c: &Chunk, pred: &Pred) -> Chunk {
-    let keep: Vec<usize> = (0..c.rows).filter(|&r| pred.eval(&c.cols, r)).collect();
+    // Conjunctions of slot-vs-constant atoms (the common shape) are
+    // evaluated in a flat loop over hoisted column slices; everything
+    // else goes through the per-row tree interpreter. Same rows kept
+    // either way — `Pred::as_atoms` only flattens pure short-circuit
+    // ANDs.
+    let keep: Vec<usize> = match pred.as_atoms() {
+        Some(atoms) => {
+            let cols: Vec<&[i64]> = atoms.iter().map(|a| c.cols[a.slot()].as_slice()).collect();
+            (0..c.rows)
+                .filter(|&r| atoms.iter().zip(&cols).all(|(a, col)| a.test(col[r])))
+                .collect()
+        }
+        None => (0..c.rows).filter(|&r| pred.eval(&c.cols, r)).collect(),
+    };
     let mut out = Chunk::new(c.cols.len());
     out.rows = keep.len();
     for s in 0..c.cols.len() {
@@ -77,6 +90,8 @@ pub fn apply_probe(
     let mut out = Chunk::new(c.cols.len());
     let mut keep: Vec<usize> = Vec::new();
     let mut pay: Vec<Vec<i64>> = vec![Vec::new(); payloads.len()];
+    // One bucket access lands in `acc` per input row.
+    acc.reserve(c.rows);
     for r in 0..c.rows {
         if let Some(p) = ht.probe(c.cols[key][r], acc) {
             keep.push(r);
@@ -101,7 +116,7 @@ pub fn apply_probe(
 
 /// Compute: evaluate `expr` into slot `out` (in place).
 pub fn apply_compute(c: &mut Chunk, expr: &Expr, out: Slot) {
-    let vals: Vec<i64> = (0..c.rows).map(|r| expr.eval(&c.cols, r)).collect();
+    let vals = expr.eval_vec(&c.cols, c.rows);
     c.fill(out, vals);
 }
 

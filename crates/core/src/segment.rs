@@ -82,8 +82,9 @@ impl KernelFlavour {
 /// One kernel of the segment's GPL pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelNode {
-    /// Display name ([`Stage::gpl_kernel_names`] reads these).
-    pub name: String,
+    /// Display name ([`Stage::gpl_kernel_names`] reads these). Interned
+    /// once at lowering; launches and profiles share the allocation.
+    pub name: std::sync::Arc<str>,
     pub flavour: KernelFlavour,
     /// Indices into `stage.ops` fused into this kernel, in execution
     /// order (empty for the terminal node).
@@ -193,7 +194,12 @@ impl SegmentIr {
         );
         let live = live_slots(stage);
         let groups = fusion_groups(stage);
-        let names = gpl_kernel_names(stage);
+        // Intern the kernel names once at lowering: every launch built
+        // from this IR (and every profile/span downstream) clones Arcs.
+        let names: Vec<std::sync::Arc<str>> = gpl_kernel_names(stage)
+            .into_iter()
+            .map(std::sync::Arc::from)
+            .collect();
 
         // Edge e sits after kernel group e; it carries the slots live
         // into the first op of group e+1 (or into the terminal for the
@@ -330,7 +336,7 @@ impl SegmentIr {
     /// Kernel names in launch order (equals [`Stage::gpl_kernel_names`]
     /// by construction).
     pub fn kernel_names(&self) -> Vec<&str> {
-        self.nodes.iter().map(|n| n.name.as_str()).collect()
+        self.nodes.iter().map(|n| &*n.name).collect()
     }
 
     /// Check that `cfg` supplies one work-group count per kernel node —
@@ -648,7 +654,7 @@ mod tests {
         let r = ir.render();
         assert_eq!(r, ir.render(), "render must be deterministic");
         for n in &ir.nodes {
-            assert!(r.contains(&n.name), "missing node {}: {r}", n.name);
+            assert!(r.contains(&*n.name), "missing node {}: {r}", n.name);
         }
         for (i, _) in ir.edges.iter().enumerate() {
             assert!(r.contains(&format!("e{i}:")), "missing edge {i}: {r}");

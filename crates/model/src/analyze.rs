@@ -163,7 +163,7 @@ fn build_stage_model(
             }
         }
         kernels.push(KernelModel {
-            name: node.name.clone(),
+            name: node.name.to_string(),
             resources: node.resources,
             per_row_compute,
             per_row_mem,
@@ -195,7 +195,7 @@ fn build_stage_model(
     };
     let term = ir.nodes.last().expect("terminal node");
     kernels.push(KernelModel {
-        name: term.name.clone(),
+        name: term.name.to_string(),
         resources: term.resources,
         per_row_compute: term.per_row_compute,
         per_row_mem: term.per_row_mem,

@@ -230,7 +230,7 @@ pub fn optimize_models_traced(
         .map(|(idx, sm)| {
             let span = rec.map(|r| {
                 let t = r.track("model.search");
-                r.begin(t, "search", &format!("stage{idx}"), r.tick())
+                r.begin(t, "search", format!("stage{idx}"), r.tick())
             });
             let before = evaluated;
             let cfg = optimize_stage(spec, gamma, sm, &mut evaluated, rec, idx);

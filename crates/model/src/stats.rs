@@ -7,6 +7,7 @@
 //! output/input ratios that capture even correlated predicates (e.g.
 //! Q5's `c_nationkey = s_nationkey` after two probes).
 
+use gpl_core::ht::BuildMix64;
 use gpl_core::ops::{apply_compute, apply_filter, Chunk};
 use gpl_core::plan::{PipeOp, QueryPlan, Stage, Terminal};
 
@@ -29,7 +30,7 @@ pub struct PlanStats {
 pub const SAMPLE_ROWS: usize = 4096;
 
 struct MiniHt {
-    map: HashMap<i64, Vec<i64>>,
+    map: HashMap<i64, Vec<i64>, BuildMix64>,
 }
 
 fn eval_group(ops: &[&PipeOp], mut chunk: Chunk, hts: &[Option<MiniHt>]) -> (Chunk, f64) {
@@ -77,7 +78,7 @@ fn load_chunk(db: &TpchDb, stage: &Stage, rows: &[usize]) -> Chunk {
     let mut chunk = Chunk::new(stage.num_slots());
     for (s, name) in stage.loads.iter().enumerate() {
         let col = t.col(name);
-        chunk.fill(s, rows.iter().map(|&r| col.get_i64(r)).collect());
+        chunk.fill(s, col.gather_i64(rows));
     }
     chunk
 }
@@ -138,7 +139,7 @@ fn estimate_grouped(
         stage_selectivity.push(sel);
 
         if let Terminal::HashBuild { ht, key, payloads } = &stage.terminal {
-            let mut map = HashMap::with_capacity(chunk.rows);
+            let mut map = HashMap::with_capacity_and_hasher(chunk.rows, BuildMix64::default());
             for r in 0..chunk.rows {
                 let pay: Vec<i64> = payloads.iter().map(|&p| chunk.cols[p][r]).collect();
                 map.insert(chunk.cols[*key][r], pay);

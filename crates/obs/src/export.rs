@@ -47,7 +47,7 @@ pub fn chrome_trace(rec: &Recorder) -> Json {
         let end = s.end.unwrap_or(s.start);
         events.push(Json::obj(vec![
             ("ph", Json::Str("X".into())),
-            ("name", Json::Str(s.name.clone())),
+            ("name", Json::Str(s.name.to_string())),
             ("cat", Json::Str(s.cat.into())),
             ("ts", Json::Int(s.start as i64)),
             ("dur", Json::Int((end - s.start) as i64)),
@@ -60,7 +60,7 @@ pub fn chrome_trace(rec: &Recorder) -> Json {
     for e in rec.events() {
         events.push(Json::obj(vec![
             ("ph", Json::Str("i".into())),
-            ("name", Json::Str(e.name.clone())),
+            ("name", Json::Str(e.name.to_string())),
             ("cat", Json::Str(e.cat.into())),
             ("ts", Json::Int(e.ts as i64)),
             ("pid", Json::Int(0)),

@@ -10,6 +10,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A recorded field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +79,9 @@ pub struct CounterId(pub(crate) u32);
 pub struct Span {
     pub track: TrackId,
     pub cat: &'static str,
-    pub name: String,
+    /// Interned: callers that already hold an `Arc<str>` (the simulator's
+    /// per-launch kernel names) record spans without allocating.
+    pub name: Arc<str>,
     pub start: u64,
     /// `None` while the span is open; exporters treat it as zero-length.
     pub end: Option<u64>,
@@ -90,7 +93,7 @@ pub struct Span {
 pub struct Event {
     pub track: TrackId,
     pub cat: &'static str,
-    pub name: String,
+    pub name: Arc<str>,
     pub ts: u64,
     pub args: Vec<(&'static str, Value)>,
 }
@@ -134,12 +137,18 @@ impl Recorder {
     }
 
     /// Open a span at `ts`.
-    pub fn begin(&self, track: TrackId, cat: &'static str, name: &str, ts: u64) -> SpanId {
+    pub fn begin(
+        &self,
+        track: TrackId,
+        cat: &'static str,
+        name: impl Into<Arc<str>>,
+        ts: u64,
+    ) -> SpanId {
         let mut inner = self.inner.borrow_mut();
         inner.spans.push(Span {
             track,
             cat,
-            name: name.to_string(),
+            name: name.into(),
             start: ts,
             end: None,
             args: Vec::new(),
@@ -166,7 +175,7 @@ impl Recorder {
         &self,
         track: TrackId,
         cat: &'static str,
-        name: &str,
+        name: impl Into<Arc<str>>,
         start: u64,
         end: u64,
         args: Vec<(&'static str, Value)>,
@@ -174,7 +183,7 @@ impl Recorder {
         self.inner.borrow_mut().spans.push(Span {
             track,
             cat,
-            name: name.to_string(),
+            name: name.into(),
             start,
             end: Some(end.max(start)),
             args,
@@ -186,14 +195,14 @@ impl Recorder {
         &self,
         track: TrackId,
         cat: &'static str,
-        name: &str,
+        name: impl Into<Arc<str>>,
         ts: u64,
         args: Vec<(&'static str, Value)>,
     ) {
         self.inner.borrow_mut().events.push(Event {
             track,
             cat,
-            name: name.to_string(),
+            name: name.into(),
             ts,
             args,
         });

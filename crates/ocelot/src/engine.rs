@@ -454,12 +454,7 @@ mod tests {
         let mut oc = OcelotContext::new();
         let plan = plan_for(&ctx.db, QueryId::Q14);
         let run = run_query(&mut ctx, &mut oc, &plan);
-        let names: Vec<&str> = run
-            .profile
-            .kernels
-            .iter()
-            .map(|k| k.name.as_str())
-            .collect();
+        let names: Vec<&str> = run.profile.kernels.iter().map(|k| &*k.name).collect();
         assert!(!names.contains(&"k_prefix_sum"), "{names:?}");
         assert!(!names.contains(&"k_scatter"), "{names:?}");
     }

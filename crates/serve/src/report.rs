@@ -27,6 +27,10 @@ pub struct BatchReport {
     /// Breaker state changes (cumulative per server), sorted by
     /// (device cycle, worker).
     pub breaker_transitions: Vec<BreakerTransition>,
+    /// Cumulative wall-clock time workers spent processing jobs (summed
+    /// over workers, so it may exceed `wall`). Wall-clock plane:
+    /// host-dependent, excluded from every fingerprint.
+    pub busy_wall: Duration,
 }
 
 /// Nearest-rank percentile over the log2 [`Histogram`] buckets — the one
@@ -62,6 +66,14 @@ impl BatchReport {
     /// Completed queries per wall-clock second.
     pub fn queries_per_sec(&self) -> f64 {
         self.responses.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of worker·wall time spent processing jobs:
+    /// `busy_wall / (wall * workers)`, clamped to 1.0 (timer skew).
+    /// Wall-clock plane — diagnostic only, never fingerprinted.
+    pub fn worker_utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.workers.max(1) as f64;
+        (self.busy_wall.as_secs_f64() / denom.max(1e-9)).min(1.0)
     }
 
     /// The `pct`-th percentile (0–100) of wall-clock queue latency, read
@@ -268,6 +280,14 @@ impl BatchReport {
         m.counter_add("serve.shed", &[], self.sheds);
         m.counter_add("serve.breaker.rejections", &[], self.breaker.0);
         m.counter_add("serve.breaker.opens", &[], self.breaker.1);
+        // Wall-clock plane: host-dependent gauges, useful live but never
+        // compared across runs or machines.
+        m.counter_add(
+            "serve.worker_busy_us",
+            &[],
+            self.busy_wall.as_micros() as u64,
+        );
+        m.gauge_set("serve.worker_utilization", &[], self.worker_utilization());
         for r in &self.responses {
             m.histogram_observe(
                 "serve.queue_latency_us",

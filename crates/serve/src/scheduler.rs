@@ -142,6 +142,10 @@ struct Shared {
     sheds: AtomicU64,
     breaker_rejections: AtomicU64,
     breaker_opens: AtomicU64,
+    /// Cumulative wall-clock nanoseconds workers spent processing jobs
+    /// (the wall-clock plane: non-deterministic, never fingerprinted —
+    /// the denominator for worker-utilization telemetry).
+    busy_wall_ns: AtomicU64,
     /// Breaker state changes across all workers, each stamped with the
     /// owning worker's device clock (telemetry; fully deterministic with
     /// one worker).
@@ -214,6 +218,7 @@ impl Server {
             sheds: AtomicU64::new(0),
             breaker_rejections: AtomicU64::new(0),
             breaker_opens: AtomicU64::new(0),
+            busy_wall_ns: AtomicU64::new(0),
             breaker_transitions: Mutex::new(Vec::new()),
         });
         let (tx, rx) = channel();
@@ -337,7 +342,15 @@ impl Server {
             sheds: self.shed_count(),
             breaker: self.breaker_counts(),
             breaker_transitions: self.breaker_transitions(),
+            busy_wall: self.busy_wall(),
         }
+    }
+
+    /// Cumulative wall-clock time workers have spent processing jobs
+    /// (across all workers, so it can exceed elapsed wall time).
+    /// Wall-clock plane: host-dependent, never part of a fingerprint.
+    pub fn busy_wall(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.shared.busy_wall_ns.load(Ordering::Relaxed))
     }
 
     /// Requests rejected so far by load shedding.
@@ -458,6 +471,7 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         shared.running.fetch_add(1, Ordering::Relaxed);
+        let busy_t0 = Instant::now();
         let resp = if let Some(sc) = &shared.sharding {
             run_sharded_job(
                 idx,
@@ -503,6 +517,9 @@ fn worker_loop(idx: usize, shared: &Shared, tx: &Sender<QueryResponse>) {
                 resp
             }
         };
+        shared
+            .busy_wall_ns
+            .fetch_add(busy_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.running.fetch_sub(1, Ordering::Relaxed);
         shared.done.fetch_add(1, Ordering::Relaxed);
         if tx.send(resp).is_err() {
@@ -692,7 +709,7 @@ fn process(idx: usize, shared: &Shared, job: Job) -> (QueryResponse, u64) {
             .iter()
             .flat_map(|s| s.kernels.iter())
             .map(|k| KernelRows {
-                name: k.name.clone(),
+                name: k.name.to_string(),
                 rows_in: k.rows_in,
                 rows_out: k.rows_out,
             })

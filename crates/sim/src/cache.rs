@@ -9,6 +9,14 @@
 
 use crate::mem::MemRange;
 
+/// Tag stored in invalid ways, unreachable as a real tag — so the hit
+/// scan needs no separate valid check. Tags are kept in 32 bits to
+/// halve the hot arrays' footprint (the way scans are memory bound);
+/// a line's tag is `addr / line_bytes / sets`, and every access
+/// asserts its tags fit (with ≥64-byte lines and ≥512 sets that allows
+/// a 2^46-byte simulated address space — far above any workload here).
+const INVALID_TAG: u32 = u32::MAX;
+
 /// Outcome of a range access, in lines.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
@@ -29,21 +37,49 @@ impl AccessStats {
     }
 }
 
-#[derive(Clone, Copy)]
-struct Way {
-    tag: u64,
-    stamp: u64,
-    valid: bool,
-    dirty: bool,
+/// Aggregate outcome of [`CacheSim::access_batch`]: line stats plus the
+/// byte attribution the engine charges to the memory hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchAccess {
+    pub stats: AccessStats,
+    /// Requested bytes served from cache (hit-line-proportional share of
+    /// each range).
+    pub hit_bytes: u64,
+    /// Whole-line DRAM traffic: fills plus write-backs.
+    pub miss_bytes: u64,
+    /// At least one non-empty range was accessed.
+    pub any: bool,
+    /// At least one line missed.
+    pub any_miss: bool,
 }
 
 /// The simulated last-level data cache shared by all CUs.
+///
+/// Ways are stored struct-of-arrays (tags / LRU stamps / dirty bits)
+/// so the per-set hit scan and victim scan walk small contiguous
+/// slices; both arrays are 32-bit, since the scans are bound by bytes
+/// touched. A stamp of `0` means *invalid*: the LRU clock is
+/// pre-incremented before stamping, so every resident line has a
+/// stamp ≥ 1 and resident stamps are unique — which also makes the
+/// victim choice ("an invalid way, else the minimum stamp") a plain
+/// argmin over the stamp slice. When the 32-bit clock is about to
+/// wrap, resident stamps are renumbered to their rank order (exact:
+/// LRU only ever compares stamps, so rank order decides identically).
 pub struct CacheSim {
     line_bytes: u64,
     sets: u64,
     assoc: usize,
-    ways: Vec<Way>,
-    clock: u64,
+    /// `log2(line_bytes)` when it is a power of two (it practically
+    /// always is); lets [`CacheSim::access`] shift instead of divide.
+    line_po2: Option<u32>,
+    /// `(log2(sets), sets - 1)` when the set count is a power of two
+    /// (the NVIDIA profile's 1.5 MiB L2 is the exception).
+    sets_po2: Option<(u32, u64)>,
+    tags: Vec<u32>,
+    /// LRU stamp per way; 0 = invalid.
+    stamps: Vec<u32>,
+    dirty: Vec<bool>,
+    clock: u32,
     pub cum: AccessStats,
 }
 
@@ -58,61 +94,249 @@ impl CacheSim {
             sets >= 1,
             "cache too small for {assoc} ways of {line_bytes}B lines"
         );
+        let ways = sets as usize * assoc;
         CacheSim {
             line_bytes,
             sets,
             assoc,
-            ways: vec![
-                Way {
-                    tag: 0,
-                    stamp: 0,
-                    valid: false,
-                    dirty: false
-                };
-                sets as usize * assoc
-            ],
+            line_po2: line_bytes
+                .is_power_of_two()
+                .then(|| line_bytes.trailing_zeros()),
+            sets_po2: sets
+                .is_power_of_two()
+                .then(|| (sets.trailing_zeros(), sets - 1)),
+            tags: vec![INVALID_TAG; ways],
+            stamps: vec![0; ways],
+            dirty: vec![false; ways],
             clock: 0,
             cum: AccessStats::default(),
         }
     }
 
-    /// Touch one line (by line *number*); returns `true` on hit. `write`
-    /// marks the line dirty.
-    fn touch_line(&mut self, line: u64, write: bool, stats: &mut AccessStats) -> bool {
-        self.clock += 1;
-        let set = (line % self.sets) as usize;
-        let tag = line / self.sets;
-        let base = set * self.assoc;
-        let ways = &mut self.ways[base..base + self.assoc];
-
-        // Hit?
-        for w in ways.iter_mut() {
-            if w.valid && w.tag == tag {
-                w.stamp = self.clock;
-                w.dirty |= write;
-                stats.hit_lines += 1;
-                return true;
+    /// Touch one line already resolved to its set slot (`base` is the
+    /// first way index of the set, `tag` the line's tag); returns `true`
+    /// on hit. `write` marks the line dirty. Dispatches to a
+    /// const-width body for the common associativities so the way scans
+    /// compile to fixed-length (vectorizable) loops.
+    #[inline]
+    fn touch_slot(&mut self, base: usize, tag: u32, write: bool, stats: &mut AccessStats) -> bool {
+        match self.assoc {
+            16 => self.touch_slot_w::<16>(base, tag, write, stats),
+            8 => self.touch_slot_w::<8>(base, tag, write, stats),
+            4 => self.touch_slot_w::<4>(base, tag, write, stats),
+            w => {
+                debug_assert_eq!(w, self.assoc);
+                self.touch_slot_dyn(base, tag, write, stats)
             }
         }
-        // Miss: fill, evicting LRU (preferring an invalid way).
-        let victim = ways
+    }
+
+    /// Const-associativity body of [`CacheSim::touch_slot`]: the match
+    /// scan is a branch-free fixed-length loop (no early exit, so it
+    /// vectorizes). Tags are unique within a set — a fill only installs
+    /// a tag after a full scan missed, and [`INVALID_TAG`] is
+    /// unreachable — so "last match" equals "the match".
+    #[inline]
+    fn touch_slot_w<const W: usize>(
+        &mut self,
+        base: usize,
+        tag: u32,
+        write: bool,
+        stats: &mut AccessStats,
+    ) -> bool {
+        self.tick();
+        let tags: &[u32; W] = self.tags[base..base + W].try_into().unwrap();
+        let mut hit = usize::MAX;
+        for (i, &t) in tags.iter().enumerate() {
+            if t == tag {
+                hit = i;
+            }
+        }
+        if hit != usize::MAX {
+            self.stamps[base + hit] = self.clock;
+            // Read hits leave the dirty array untouched (`|= false` is a
+            // no-op) — it lives on its own host cache line, and the way
+            // scans are bound by lines touched.
+            if write {
+                self.dirty[base + hit] = true;
+            }
+            stats.hit_lines += 1;
+            return true;
+        }
+        // Miss: fill, evicting LRU (an invalid way has stamp 0 and is
+        // therefore always preferred; resident stamps are unique, so the
+        // argmin is the unambiguous LRU line).
+        let stamps: &[u32; W] = self.stamps[base..base + W].try_into().unwrap();
+        let mut victim = 0;
+        let mut best = stamps[0];
+        for (i, &s) in stamps.iter().enumerate().skip(1) {
+            if s < best {
+                best = s;
+                victim = i;
+            }
+        }
+        self.fill_way(base + victim, tag, write, best != 0, stats);
+        false
+    }
+
+    /// Fallback for unusual associativities — same algorithm, dynamic
+    /// width.
+    fn touch_slot_dyn(
+        &mut self,
+        base: usize,
+        tag: u32,
+        write: bool,
+        stats: &mut AccessStats,
+    ) -> bool {
+        self.tick();
+        let tags = &self.tags[base..base + self.assoc];
+        if let Some(i) = tags.iter().position(|&t| t == tag) {
+            self.stamps[base + i] = self.clock;
+            if write {
+                self.dirty[base + i] = true;
+            }
+            stats.hit_lines += 1;
+            return true;
+        }
+        let stamps = &self.stamps[base..base + self.assoc];
+        let mut victim = 0;
+        let mut best = stamps[0];
+        for (i, &s) in stamps.iter().enumerate().skip(1) {
+            if s < best {
+                best = s;
+                victim = i;
+            }
+        }
+        self.fill_way(base + victim, tag, write, best != 0, stats);
+        false
+    }
+
+    /// Advance the LRU clock, renumbering stamps first if it is about
+    /// to wrap.
+    #[inline]
+    fn tick(&mut self) {
+        if self.clock == u32::MAX {
+            self.renumber_stamps();
+        }
+        self.clock += 1;
+    }
+
+    /// Exact LRU-preserving stamp compaction, run when the 32-bit clock
+    /// is about to wrap (once per ~4 billion line touches). Victim
+    /// choice only ever *compares* stamps — argmin, with 0 = invalid
+    /// always preferred — so rewriting resident stamps to their rank
+    /// order `1..=n` and restarting the clock at `n` changes no future
+    /// decision.
+    #[cold]
+    fn renumber_stamps(&mut self) {
+        let mut order: Vec<(u32, u32)> = self
+            .stamps
             .iter()
             .enumerate()
-            .min_by_key(|(_, w)| if w.valid { w.stamp + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("associativity > 0");
-        let w = &mut ways[victim];
-        if w.valid && w.dirty {
+            .filter(|&(_, &st)| st != 0)
+            .map(|(i, &st)| (st, i as u32))
+            .collect();
+        order.sort_unstable();
+        for (rank, &(_, i)) in order.iter().enumerate() {
+            self.stamps[i as usize] = rank as u32 + 1;
+        }
+        self.clock = order.len() as u32;
+    }
+
+    /// Install `tag` into way `w` after a miss; `resident` says the
+    /// victim held a valid line (write-back applies).
+    #[inline]
+    fn fill_way(
+        &mut self,
+        w: usize,
+        tag: u32,
+        write: bool,
+        resident: bool,
+        stats: &mut AccessStats,
+    ) {
+        self.stamps[w] = self.clock;
+        if resident && self.dirty[w] {
             stats.writebacks += 1;
         }
-        *w = Way {
-            tag,
-            stamp: self.clock,
-            valid: true,
-            dirty: write,
-        };
+        self.tags[w] = tag;
+        self.dirty[w] = write;
         stats.miss_lines += 1;
-        false
+    }
+
+    /// Per-range core shared by [`CacheSim::access`] and
+    /// [`CacheSim::access_batch`]: expand to line granularity and touch
+    /// each line, accumulating into `stats` (no `cum` merge here).
+    ///
+    /// The division/modulo resolving a line to its (set, tag) runs once
+    /// per *range*; consecutive lines step the set incrementally (with a
+    /// tag carry at set wrap-around), which is what makes work-unit-sized
+    /// batches cheap — the per-line cost is the set scan alone.
+    #[inline]
+    fn access_one(&mut self, r: MemRange, stats: &mut AccessStats) {
+        let (first, last) = match self.line_po2 {
+            Some(sh) => (r.addr >> sh, (r.addr + r.bytes - 1) >> sh),
+            None => (
+                r.addr / self.line_bytes,
+                (r.addr + r.bytes - 1) / self.line_bytes,
+            ),
+        };
+        let (set0, tag0, last_tag) = match self.sets_po2 {
+            Some((sh, mask)) => ((first & mask) as usize, first >> sh, last >> sh),
+            None => (
+                (first % self.sets) as usize,
+                first / self.sets,
+                last / self.sets,
+            ),
+        };
+        assert!(
+            last_tag < INVALID_TAG as u64,
+            "simulated address {:#x}+{} overflows the 32-bit tag space",
+            r.addr,
+            r.bytes
+        );
+        let (mut set, mut tag) = (set0, tag0 as u32);
+        for _ in first..=last {
+            self.touch_slot(set * self.assoc, tag, r.write, stats);
+            set += 1;
+            if set as u64 == self.sets {
+                set = 0;
+                tag += 1;
+            }
+        }
+    }
+
+    /// How many ranges ahead [`CacheSim::access_batch`] prefetches set
+    /// metadata. Probe-heavy units are one single-line range per row at
+    /// an effectively random set, so each touch is a dependent host
+    /// cache miss into the tag/stamp arrays; prefetching a few
+    /// iterations ahead overlaps those misses. Purely a host-side hint —
+    /// simulated behavior is unchanged.
+    const PREFETCH_AHEAD: usize = 8;
+
+    /// Prefetch the set metadata the first line of `r` will touch.
+    #[inline]
+    fn prefetch_range(&self, r: MemRange) {
+        #[cfg(target_arch = "x86_64")]
+        if r.bytes != 0 {
+            let first = match self.line_po2 {
+                Some(sh) => r.addr >> sh,
+                None => r.addr / self.line_bytes,
+            };
+            let set = match self.sets_po2 {
+                Some((_, mask)) => (first & mask) as usize,
+                None => (first % self.sets) as usize,
+            };
+            let base = set * self.assoc;
+            // SAFETY: `base` indexes a real way slot; prefetch has no
+            // architectural effect regardless.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(self.tags.as_ptr().add(base) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(self.stamps.as_ptr().add(base) as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = r;
     }
 
     /// Simulate a range access (expanded to line granularity). Returns the
@@ -122,13 +346,49 @@ impl CacheSim {
         if r.bytes == 0 {
             return stats;
         }
-        let first = r.addr / self.line_bytes;
-        let last = (r.addr + r.bytes - 1) / self.line_bytes;
-        for line in first..=last {
-            self.touch_line(line, r.write, &mut stats);
-        }
+        self.access_one(r, &mut stats);
         self.cum.merge(stats);
         stats
+    }
+
+    /// Run a whole work unit's traffic through the cache in one call —
+    /// identical to calling [`CacheSim::access`] per range in order, but
+    /// the byte attribution the engine needs (hit-proportional request
+    /// bytes, line-granularity miss/write-back bytes) is folded into the
+    /// same pass and `cum` is merged once per batch. Probe-heavy units
+    /// carry one single-line range per input row, so per-range overhead
+    /// is the dominant term this removes.
+    pub fn access_batch(&mut self, ranges: &[MemRange]) -> BatchAccess {
+        let mut out = BatchAccess::default();
+        for (i, &r) in ranges.iter().enumerate() {
+            if let Some(&n) = ranges.get(i + Self::PREFETCH_AHEAD) {
+                self.prefetch_range(n);
+            }
+            if r.bytes == 0 {
+                continue;
+            }
+            out.any = true;
+            // Per-range stats fall out of the running totals as deltas.
+            let h0 = out.stats.hit_lines;
+            let m0 = out.stats.miss_lines;
+            let w0 = out.stats.writebacks;
+            self.access_one(r, &mut out.stats);
+            let hl = out.stats.hit_lines - h0;
+            let ml = out.stats.miss_lines - m0;
+            // All-hit / all-miss ranges skip the proportional-split
+            // divide.
+            out.hit_bytes += if ml == 0 {
+                r.bytes
+            } else if hl == 0 {
+                0
+            } else {
+                r.bytes * hl / (hl + ml)
+            };
+            out.miss_bytes += (ml + (out.stats.writebacks - w0)) * self.line_bytes;
+            out.any_miss |= ml > 0;
+        }
+        self.cum.merge(out.stats);
+        out
     }
 
     /// Hit ratio over the whole simulation so far (`cr` in Table 2).
@@ -143,7 +403,7 @@ impl CacheSim {
 
     /// Number of currently valid lines (for capacity invariants in tests).
     pub fn resident_lines(&self) -> u64 {
-        self.ways.iter().filter(|w| w.valid).count() as u64
+        self.stamps.iter().filter(|&&s| s != 0).count() as u64
     }
 
     pub fn capacity_lines(&self) -> u64 {
@@ -156,10 +416,9 @@ impl CacheSim {
 
     /// Drop all contents (used between independent experiment runs).
     pub fn clear(&mut self) {
-        for w in &mut self.ways {
-            w.valid = false;
-            w.dirty = false;
-        }
+        self.stamps.fill(0);
+        self.tags.fill(INVALID_TAG);
+        self.dirty.fill(false);
         self.cum = AccessStats::default();
         self.clock = 0;
     }
@@ -207,6 +466,22 @@ mod tests {
         assert_eq!(s0.hit_lines, 1, "refreshed line must survive");
         let s1 = c.access(MemRange::read(1024, 1));
         assert_eq!(s1.miss_lines, 1, "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn clock_wrap_renumber_preserves_lru() {
+        let mut c = small();
+        // Fill set 0's four ways, then refresh line 0 so line 1*1024 is LRU.
+        for i in 0..4u64 {
+            c.access(MemRange::read(i * 1024, 1));
+        }
+        c.access(MemRange::read(0, 1));
+        // Force the next touch to renumber stamps before ticking.
+        c.clock = u32::MAX;
+        // A fifth distinct line must still evict the pre-wrap LRU.
+        c.access(MemRange::read(4 * 1024, 1));
+        assert_eq!(c.access(MemRange::read(0, 1)).hit_lines, 1);
+        assert_eq!(c.access(MemRange::read(1024, 1)).miss_lines, 1);
     }
 
     #[test]

@@ -61,12 +61,28 @@ pub struct Channel {
     rr_write: u32,
     /// Per-port monotone write sequence numbers for ring addressing.
     write_seq: Vec<u64>,
-    /// Addresses of reserved-but-uncommitted packets, in reservation order.
-    staged: VecDeque<(u32, u64)>, // (port, seq)
-    /// Committed packets: (commit timestamp, port, seq), FIFO.
-    avail: VecDeque<(u64, u32, u64)>,
+    /// Reserved-but-uncommitted packets, in reservation order, as runs
+    /// of consecutive per-port sequence numbers (a producer batch is one
+    /// run, so the queues hold one entry per outstanding batch, not one
+    /// per packet).
+    staged: VecDeque<PacketRun>,
+    staged_packets: u64,
+    /// Committed packets in commit (FIFO) order, same run encoding.
+    avail: VecDeque<PacketRun>,
+    avail_packets: u64,
     eof: bool,
     pub stats: ChannelStats,
+}
+
+/// `len` packets written to `port` starting at per-port sequence `seq`.
+/// Adjacent same-port runs in a queue always have contiguous sequences
+/// (per-port sequences are monotone and nothing is ever dropped), so
+/// runs merge freely at the queue tails.
+#[derive(Debug, Clone, Copy)]
+struct PacketRun {
+    port: u32,
+    seq: u64,
+    len: u64,
 }
 
 impl Channel {
@@ -99,7 +115,9 @@ impl Channel {
             rr_write: 0,
             write_seq: vec![0; n as usize],
             staged: VecDeque::new(),
+            staged_packets: 0,
             avail: VecDeque::new(),
+            avail_packets: 0,
             eof: false,
             stats: ChannelStats::default(),
         }
@@ -122,12 +140,12 @@ impl Channel {
 
     /// Packets the consumer could pop right now.
     pub fn available(&self) -> u64 {
-        self.avail.len() as u64
+        self.avail_packets
     }
 
     /// Free packet slots a producer could reserve right now.
     pub fn space(&self) -> u64 {
-        self.capacity() - self.staged.len() as u64 - self.avail.len() as u64
+        self.capacity() - self.staged_packets - self.avail_packets
     }
 
     pub fn eof(&self) -> bool {
@@ -136,7 +154,7 @@ impl Channel {
 
     /// The channel is fully drained: producer done and nothing left to pop.
     pub fn drained(&self) -> bool {
-        self.eof && self.avail.is_empty() && self.staged.is_empty()
+        self.eof && self.avail_packets == 0 && self.staged_packets == 0
     }
 
     pub fn set_eof(&mut self) {
@@ -150,6 +168,35 @@ impl Channel {
 
     fn transfer_cycles(&self) -> u64 {
         (self.packet_bytes as u64).div_ceil(self.port_bytes_per_cycle)
+    }
+
+    /// Emit the cache traffic for `len` consecutive packets on `port`
+    /// starting at sequence `seq`: consecutive sequences occupy
+    /// consecutive ring slots, so the run coalesces into contiguous
+    /// ranges split only at ring wrap-around.
+    fn emit_slot_ranges(
+        &self,
+        port: u32,
+        seq: u64,
+        len: u64,
+        write: bool,
+        accesses: &mut Vec<MemRange>,
+    ) {
+        let cap = self.capacity_per_port as u64;
+        let mut slot = seq % cap;
+        let mut left = len;
+        while left > 0 {
+            let chunk = left.min(cap - slot);
+            let addr = self.slot_addr(port, slot);
+            let bytes = chunk * self.packet_bytes as u64;
+            accesses.push(if write {
+                MemRange::write(addr, bytes)
+            } else {
+                MemRange::read(addr, bytes)
+            });
+            slot = 0;
+            left -= chunk;
+        }
     }
 
     /// Producer dispatch: reserve `k` packet slots on one port and compute
@@ -169,35 +216,22 @@ impl Channel {
         let start = now.max(self.port_free[port]);
         let end = start + self.reserve_cycles + k * self.transfer_cycles();
         self.port_free[port] = end;
-        // Consecutive packets on a port occupy consecutive ring slots, so
-        // the batch coalesces into contiguous writes (split at ring wrap).
-        let mut run_start: Option<u64> = None;
-        let mut run_len = 0u64;
-        for _ in 0..k {
-            let seq = self.write_seq[port];
-            self.write_seq[port] += 1;
-            self.staged.push_back((port as u32, seq));
-            let slot = seq % self.capacity_per_port as u64;
-            match run_start {
-                Some(s) if slot == s + run_len => run_len += 1,
-                _ => {
-                    if let Some(s) = run_start {
-                        accesses.push(MemRange::write(
-                            self.slot_addr(port as u32, s),
-                            run_len * self.packet_bytes as u64,
-                        ));
-                    }
-                    run_start = Some(slot);
-                    run_len = 1;
-                }
-            }
+        let seq = self.write_seq[port];
+        self.write_seq[port] += k;
+        self.emit_slot_ranges(port as u32, seq, k, true, accesses);
+        match self.staged.back_mut() {
+            Some(r) if r.port == port as u32 && r.seq + r.len == seq => r.len += k,
+            _ => self.staged.push_back(PacketRun {
+                port: port as u32,
+                seq,
+                len: k,
+            }),
         }
-        if let Some(s) = run_start {
-            accesses.push(MemRange::write(
-                self.slot_addr(port as u32, s),
-                run_len * self.packet_bytes as u64,
-            ));
-        }
+        self.staged_packets += k;
+        // Pre-size `avail` so a later commit of everything staged cannot
+        // grow it: commits run in the event-drain phase, which must stay
+        // allocation-free (see the engine's alloc_guard).
+        self.avail.reserve(self.staged.len());
         let cycles = end - now + self.sync_cycles;
         self.stats.packets_pushed += k;
         self.stats.bytes_pushed += k * self.packet_bytes as u64;
@@ -209,17 +243,38 @@ impl Channel {
     /// commit time `ts` (the work-group-scope synchronization point).
     ///
     /// When producer work-groups complete out of dispatch order the oldest
-    /// staged packets are published first; the timestamp↔address pairing is
-    /// then approximate, which only perturbs timing, never data.
-    pub fn commit_push(&mut self, ts: u64, k: u64) {
-        assert!(
-            k as usize <= self.staged.len(),
-            "committing more than reserved"
-        );
-        for _ in 0..k {
-            let (port, seq) = self.staged.pop_front().expect("checked above");
-            self.avail.push_back((ts, port, seq));
+    /// staged packets are published first, regardless of which work-group
+    /// reserved them — this only perturbs timing, never data.
+    pub fn commit_push(&mut self, _ts: u64, k: u64) {
+        assert!(k <= self.staged_packets, "committing more than reserved");
+        let mut left = k;
+        while left > 0 {
+            let front = self.staged.front_mut().expect("staged packets remain");
+            let take = front.len.min(left);
+            let (port, seq) = (front.port, front.seq);
+            front.seq += take;
+            front.len -= take;
+            if front.len == 0 {
+                self.staged.pop_front();
+            }
+            match self.avail.back_mut() {
+                Some(r) if r.port == port && r.seq + r.len == seq => r.len += take,
+                _ => {
+                    #[cfg(debug_assertions)]
+                    if self.avail.len() == self.avail.capacity() {
+                        crate::engine::alloc_guard::tick();
+                    }
+                    self.avail.push_back(PacketRun {
+                        port,
+                        seq,
+                        len: take,
+                    });
+                }
+            }
+            left -= take;
         }
+        self.staged_packets -= k;
+        self.avail_packets += k;
     }
 
     /// Consumer dispatch: pop `k` available packets; returns the serial
@@ -227,46 +282,39 @@ impl Channel {
     /// `accesses`. Caller must have checked [`Channel::available`].
     pub fn pop(&mut self, now: u64, k: u64, accesses: &mut Vec<MemRange>) -> u64 {
         assert!(
-            k as usize <= self.avail.len(),
+            k <= self.avail_packets,
             "consumer popped unavailable packets"
         );
         if k == 0 {
             return 0;
         }
+        let tc = self.transfer_cycles();
         let mut t = now + self.sync_cycles;
         // Reads replay the committed ring addresses in FIFO order; port
-        // occupancy is charged on the port each packet was written to.
-        // Consecutive same-port packets coalesce into contiguous reads.
-        let mut run: Option<(u32, u64, u64)> = None; // (port, start slot, len)
-        for _ in 0..k {
-            let (_ts, port, seq) = self.avail.pop_front().expect("checked above");
-            let p = port as usize;
+        // occupancy is charged on the port each packet was written to. A
+        // run of packets on one port streams serially, so the per-packet
+        // `start = t.max(port_free); t = start + transfer` recurrence
+        // telescopes to one max plus `len * transfer` per run.
+        let mut left = k;
+        while left > 0 {
+            let run = *self.avail.front().expect("available packets remain");
+            let take = run.len.min(left);
+            let p = run.port as usize;
             let start = t.max(self.port_free[p]);
-            let end = start + self.transfer_cycles();
+            let end = start + take * tc;
             self.port_free[p] = end;
             t = end;
-            let slot = seq % self.capacity_per_port as u64;
-            match run {
-                Some((rp, s, len)) if rp == port && slot == s + len => {
-                    run = Some((rp, s, len + 1));
-                }
-                _ => {
-                    if let Some((rp, s, len)) = run {
-                        accesses.push(MemRange::read(
-                            self.slot_addr(rp, s),
-                            len * self.packet_bytes as u64,
-                        ));
-                    }
-                    run = Some((port, slot, 1));
-                }
+            self.emit_slot_ranges(run.port, run.seq, take, false, accesses);
+            if take == run.len {
+                self.avail.pop_front();
+            } else {
+                let front = self.avail.front_mut().expect("just peeked");
+                front.seq += take;
+                front.len -= take;
             }
+            left -= take;
         }
-        if let Some((rp, s, len)) = run {
-            accesses.push(MemRange::read(
-                self.slot_addr(rp, s),
-                len * self.packet_bytes as u64,
-            ));
-        }
+        self.avail_packets -= k;
         let cycles = t - now;
         self.stats.packets_popped += k;
         self.stats.pop_cycles += cycles;

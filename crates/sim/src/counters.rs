@@ -11,11 +11,14 @@ use crate::cache::AccessStats;
 use crate::mem::RegionClass;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Per-kernel profile, the "profiling input" of Table 2.
 #[derive(Debug, Clone, Default)]
 pub struct KernelProfile {
-    pub name: String,
+    /// Kernel display name, shared with the launch's [`crate::KernelDesc`]
+    /// (an interned `Arc<str>` — cloning a profile never copies the name).
+    pub name: Arc<str>,
     /// Work units (work-group quanta) executed.
     pub units: u64,
     /// Compute instructions issued (`c_inst`).

@@ -34,8 +34,30 @@ use crate::device::DeviceSpec;
 use crate::fault::{Admission, FaultPlan, FaultRecord};
 use crate::kernel::{ChannelIo, ChannelView, KernelDesc, Work};
 use crate::mem::{MemRange, MemoryMap, RegionClass};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+
+/// Debug-build allocation sentinel for the engine's pooled structures.
+///
+/// Every pool the steady-state event loop touches (the calendar queue's
+/// buckets, a channel's committed-run deque) bumps this thread-local
+/// counter when it is about to grow its backing storage. The event-drain
+/// phase of [`Simulator::try_run`] asserts the counter does not move
+/// between popping a completion event and finishing its processing —
+/// i.e. the hot loop performs zero engine-pool heap allocations per
+/// event. Release builds compile all of this out.
+#[cfg(debug_assertions)]
+pub(crate) mod alloc_guard {
+    use std::cell::Cell;
+    thread_local! {
+        static TICKS: Cell<u64> = const { Cell::new(0) };
+    }
+    pub fn tick() {
+        TICKS.with(|t| t.set(t.get() + 1));
+    }
+    pub fn count() -> u64 {
+        TICKS.with(|t| t.get())
+    }
+}
 
 /// A pipeline that can no longer make progress: every kernel is blocked
 /// (or drained) and no completion event is pending. Carried as a value so
@@ -96,6 +118,8 @@ pub struct Simulator {
     slow_until: u64,
     /// Elapsed-cycle multiplier of the current slowdown window.
     slow_factor: f64,
+    /// Pooled per-launch working memory (see [`SimScratch`]).
+    scratch: SimScratch,
 }
 
 struct ChannelsView<'a>(&'a [Channel]);
@@ -114,7 +138,7 @@ impl ChannelView for ChannelsView<'_> {
 
 /// Per-kernel run state.
 struct KState {
-    name: String,
+    name: std::sync::Arc<str>,
     wg_count: u32,
     outputs: Vec<ChannelId>,
     source: Box<dyn crate::kernel::WorkSource>,
@@ -125,7 +149,6 @@ struct KState {
     /// Last poll returned `Wait`; cleared by channel events.
     blocked: bool,
     inflight: u32,
-    inflight_per_cu: Vec<u32>,
     /// Eq. 2 residency: max co-resident work-groups per CU.
     residency: u32,
     ready_at: u64,
@@ -139,7 +162,7 @@ struct Cu {
     mem_free: u64,
 }
 
-/// A scheduled work-group completion.
+/// A scheduled work-group completion, ordered by `(time, seq)`.
 struct Ev {
     time: u64,
     seq: u64,
@@ -148,21 +171,138 @@ struct Ev {
     pushes: Vec<ChannelIo>,
 }
 
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.seq) == (other.time, other.seq)
+/// log2 of the calendar-queue bucket width in cycles.
+const BUCKET_SHIFT: u32 = 6;
+/// Ring size of the calendar queue (must be a power of two).
+const NUM_BUCKETS: usize = 1024;
+
+/// Flat bucketed calendar queue over completion events.
+///
+/// Events land in a ring of `NUM_BUCKETS` buckets of `1 << BUCKET_SHIFT`
+/// cycles each; the pop scans the current bucket for the `(time, seq)`
+/// minimum (buckets are narrow, so they stay small) and advances through
+/// empty buckets. Events beyond the ring's horizon wait in an unsorted
+/// overflow list and are admitted when the scan position reaches their
+/// bucket, so pop order is *exactly* the strict `(time, seq)` order the
+/// old binary heap produced — the refactor must be behaviour-identical.
+///
+/// Completion times are never below the device clock (the last popped
+/// time), so the scan position `cur` only moves forward; pushed events
+/// always belong to `cur` or later.
+#[derive(Default)]
+struct EventQueue {
+    buckets: Vec<Vec<Ev>>,
+    /// Bucket ordinal (`time >> BUCKET_SHIFT`, unmasked) of the scan
+    /// position. Bucketed events all have ordinals in
+    /// `[cur, cur + NUM_BUCKETS)`, so each ring slot holds one ordinal.
+    cur: u64,
+    bucketed: usize,
+    overflow: Vec<Ev>,
+    /// Minimum bucket ordinal present in `overflow` (`u64::MAX` = none).
+    ovf_min: u64,
+}
+
+impl EventQueue {
+    /// Prepare for a launch starting at device clock `now` (the queue is
+    /// drained between launches). `cur` tracks the clock's bucket from
+    /// here on: it only advances when a pop moves the clock forward, so
+    /// pushed events (whose times always exceed the clock) can never
+    /// land behind the scan position — even when the queue temporarily
+    /// drains and the dispatch pass pushes a batch out of time order.
+    fn reset(&mut self, now: u64) {
+        if self.buckets.len() != NUM_BUCKETS {
+            self.buckets = (0..NUM_BUCKETS).map(|_| Vec::new()).collect();
+        }
+        debug_assert!(self.bucketed == 0 && self.overflow.is_empty());
+        self.cur = now >> BUCKET_SHIFT;
+        self.ovf_min = u64::MAX;
+    }
+
+    fn push(&mut self, ev: Ev) {
+        let b = ev.time >> BUCKET_SHIFT;
+        debug_assert!(b >= self.cur, "completion events are never in the past");
+        if b < self.cur + NUM_BUCKETS as u64 {
+            self.buckets[b as usize & (NUM_BUCKETS - 1)].push(ev);
+            self.bucketed += 1;
+        } else {
+            self.overflow.push(ev);
+            self.ovf_min = self.ovf_min.min(b);
+        }
+    }
+
+    /// Move every overflow event whose bucket is now inside the ring's
+    /// horizon into its bucket.
+    fn admit_overflow(&mut self) {
+        let horizon = self.cur + NUM_BUCKETS as u64;
+        let mut new_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let b = self.overflow[i].time >> BUCKET_SHIFT;
+            if b < horizon {
+                let ev = self.overflow.swap_remove(i);
+                self.buckets[b as usize & (NUM_BUCKETS - 1)].push(ev);
+                self.bucketed += 1;
+            } else {
+                new_min = new_min.min(b);
+                i += 1;
+            }
+        }
+        self.ovf_min = new_min;
+    }
+
+    fn pop_min(&mut self) -> Option<Ev> {
+        if self.bucketed == 0 && self.overflow.is_empty() {
+            return None;
+        }
+        loop {
+            if self.bucketed == 0 {
+                // Nothing inside the horizon: jump to the overflow's
+                // first bucket instead of walking empty slots.
+                self.cur = self.ovf_min;
+            }
+            if self.ovf_min <= self.cur {
+                self.admit_overflow();
+            }
+            let slot = &mut self.buckets[self.cur as usize & (NUM_BUCKETS - 1)];
+            if !slot.is_empty() {
+                let mut mi = 0;
+                for i in 1..slot.len() {
+                    if (slot[i].time, slot[i].seq) < (slot[mi].time, slot[mi].seq) {
+                        mi = i;
+                    }
+                }
+                self.bucketed -= 1;
+                return Some(slot.swap_remove(mi));
+            }
+            self.cur += 1;
+        }
     }
 }
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+
+/// Reusable per-launch working memory, owned by the [`Simulator`] and
+/// taken (`std::mem::take`) for the duration of one [`Simulator::try_run`]
+/// so the borrow checker sees it as independent of `self`. Pooling these
+/// across launches removes every per-launch `Vec` rebuild from the hot
+/// path; together with the calendar queue it makes the steady-state event
+/// loop allocation-free (asserted in debug builds via [`alloc_guard`]).
+#[derive(Default)]
+struct SimScratch {
+    events: EventQueue,
+    /// Residency allocator scratch (Eq. 2): per-kernel want/granted.
+    want: Vec<u32>,
+    res: Vec<u32>,
+    /// Channel wiring, indexed by channel id; `u32::MAX` = unbound.
+    producer: Vec<u32>,
+    consumer: Vec<u32>,
+    cus: Vec<Cu>,
+    /// In-flight work-groups, flattened `[kernel * num_cus + cu]`.
+    inflight_per_cu: Vec<u32>,
+    holders: Vec<usize>,
+    /// The dispatch pass's sorted view of `holders`.
+    hs: Vec<usize>,
+    lane_queue: VecDeque<usize>,
+    /// Per-work-unit access staging (channel traffic + unit accesses).
+    acc: Vec<MemRange>,
 }
 
 impl Simulator {
@@ -182,6 +322,7 @@ impl Simulator {
             pending_fault: None,
             slow_until: 0,
             slow_factor: 1.0,
+            scratch: SimScratch::default(),
         }
     }
 
@@ -339,15 +480,33 @@ impl Simulator {
     /// one resident work-group so pipelines always make progress; beyond
     /// that, slots are handed out round-robin while they fit, capped by
     /// each kernel's own `wg_count` spread over the CUs.
+    #[cfg(test)]
     fn allocate_residency(&self, kernels: &[KernelDesc]) -> Vec<u32> {
+        let mut want = Vec::new();
+        let mut res = Vec::new();
+        self.allocate_residency_into(kernels, &mut want, &mut res);
+        res
+    }
+
+    /// [`Simulator::allocate_residency`] writing into pooled scratch
+    /// vectors (the launch path reuses them across launches).
+    fn allocate_residency_into(
+        &self,
+        kernels: &[KernelDesc],
+        want: &mut Vec<u32>,
+        res: &mut Vec<u32>,
+    ) {
         let pm_max = self.spec.private_mem_per_cu;
         let lm_max = self.spec.local_mem_per_cu;
         let wg_max = self.spec.max_wg_per_cu;
-        let want: Vec<u32> = kernels
-            .iter()
-            .map(|k| k.wg_count.div_ceil(self.spec.num_cus).max(1))
-            .collect();
-        let mut res: Vec<u32> = vec![1; kernels.len()];
+        want.clear();
+        want.extend(
+            kernels
+                .iter()
+                .map(|k| k.wg_count.div_ceil(self.spec.num_cus).max(1)),
+        );
+        res.clear();
+        res.resize(kernels.len(), 1);
         let fits = |res: &[u32], extra: usize| -> bool {
             let mut pm = 0u64;
             let mut lm = 0u64;
@@ -363,7 +522,7 @@ impl Simulator {
         loop {
             let mut grew = false;
             for i in 0..kernels.len() {
-                if res[i] < want[i] && fits(&res, i) {
+                if res[i] < want[i] && fits(res, i) {
                     res[i] += 1;
                     grew = true;
                 }
@@ -372,7 +531,6 @@ impl Simulator {
                 break;
             }
         }
-        res
     }
 
     /// Launch `kernels` concurrently and run to completion. Returns the
@@ -410,7 +568,7 @@ impl Simulator {
         if let Some(plan) = self.faults.as_mut() {
             let clock = self.clock;
             let allocated = self.mem.allocated();
-            let names: Vec<&str> = kernels.iter().map(|k| k.name.as_str()).collect();
+            let names: Vec<&str> = kernels.iter().map(|k| &*k.name).collect();
             let uses_channels = kernels
                 .iter()
                 .any(|k| !k.inputs.is_empty() || !k.outputs.is_empty());
@@ -489,22 +647,29 @@ impl Simulator {
             }
         }
         let start = self.clock;
-        let residency = self.allocate_residency(&kernels);
         let num_cus = self.spec.num_cus as usize;
+        // Take the pooled working memory for the duration of the launch
+        // (restored at every exit below), so borrows of its pools are
+        // independent of `self`.
+        let mut scr = std::mem::take(&mut self.scratch);
+        self.allocate_residency_into(&kernels, &mut scr.want, &mut scr.res);
 
-        // Channel wiring sanity: unique producer and consumer per channel.
-        let mut producer: Vec<Option<usize>> = vec![None; self.channels.len()];
-        let mut consumer: Vec<Option<usize>> = vec![None; self.channels.len()];
+        // Channel wiring sanity: unique producer and consumer per channel
+        // (`u32::MAX` = unbound).
+        scr.producer.clear();
+        scr.producer.resize(self.channels.len(), u32::MAX);
+        scr.consumer.clear();
+        scr.consumer.resize(self.channels.len(), u32::MAX);
         for (i, k) in kernels.iter().enumerate() {
             for ch in &k.outputs {
                 assert!(
-                    producer[ch.0 as usize].replace(i).is_none(),
+                    std::mem::replace(&mut scr.producer[ch.0 as usize], i as u32) == u32::MAX,
                     "channel {ch:?} has two producers"
                 );
             }
             for ch in &k.inputs {
                 assert!(
-                    consumer[ch.0 as usize].replace(i).is_none(),
+                    std::mem::replace(&mut scr.consumer[ch.0 as usize], i as u32) == u32::MAX,
                     "channel {ch:?} has two consumers"
                 );
             }
@@ -527,38 +692,37 @@ impl Simulator {
                 finished: false,
                 blocked: false,
                 inflight: 0,
-                inflight_per_cu: vec![0; num_cus],
-                residency: residency[i],
+                residency: scr.res[i],
                 ready_at: start + self.spec.launch_cycles,
                 idle_since: Some(start),
             })
             .collect();
-        // Interned kernel names for trace spans (cheap Arc clones).
-        let trace_names: Option<Vec<std::sync::Arc<str>>> = self.trace.is_some().then(|| {
-            st.iter()
-                .map(|k| std::sync::Arc::from(k.name.as_str()))
-                .collect()
-        });
+        // Kernel names for trace spans — already interned on the
+        // descriptor, so this is a Vec of cheap Arc clones.
+        let trace_names: Option<Vec<std::sync::Arc<str>>> = self
+            .trace
+            .is_some()
+            .then(|| st.iter().map(|k| k.name.clone()).collect());
 
-        let mut cus = vec![
+        scr.cus.clear();
+        scr.cus.resize(
+            num_cus,
             Cu {
                 valu_free: start,
-                mem_free: start
-            };
-            num_cus
-        ];
-        let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+                mem_free: start,
+            },
+        );
+        scr.events.reset(start);
         let mut seq = 0u64;
         let mut finished = 0usize;
         let total = st.len();
+        scr.inflight_per_cu.clear();
+        scr.inflight_per_cu.resize(total * num_cus, 0);
         let c_lanes = self.spec.concurrency as usize;
-        let mut holders: Vec<usize> = (0..total.min(c_lanes)).collect();
-        let mut lane_queue: VecDeque<usize> = (total.min(c_lanes)..total).collect();
-        // Scratch for the dispatch pass's sorted view of the lane holders,
-        // reused across iterations: the arbitration loop runs once per
-        // event pop, so rebuilding this vector used to be a heap
-        // allocation per simulated event.
-        let mut hs: Vec<usize> = Vec::with_capacity(total.min(c_lanes));
+        scr.holders.clear();
+        scr.holders.extend(0..total.min(c_lanes));
+        scr.lane_queue.clear();
+        scr.lane_queue.extend(total.min(c_lanes)..total);
 
         let mut profile = LaunchProfile {
             start_cycle: start,
@@ -568,6 +732,15 @@ impl Simulator {
         };
         let mut inflight_total = 0u64;
         let mut last_occ_update = start;
+        // Per-class byte counters as flat arrays (indexed by
+        // `RegionClass::index`), flushed into the profile's maps once at
+        // launch end instead of a BTreeMap probe per range.
+        let mut class_read = [0u64; RegionClass::COUNT];
+        let mut class_written = [0u64; RegionClass::COUNT];
+        let mut class_footprint = [0u64; RegionClass::COUNT];
+        // Last-region memo for address classification: work units touch
+        // runs of ranges in the same region.
+        let mut region_hint = 0u32;
 
         macro_rules! occ_tick {
             ($now:expr) => {
@@ -603,10 +776,10 @@ impl Simulator {
                 loop {
                     let mut progress = false;
                     // Dispatch pass over lane holders, in index order.
-                    hs.clear();
-                    hs.extend_from_slice(&holders);
-                    hs.sort_unstable();
-                    for &k in &hs {
+                    scr.hs.clear();
+                    scr.hs.extend_from_slice(&scr.holders);
+                    scr.hs.sort_unstable();
+                    for &k in &scr.hs {
                         loop {
                             let s = &st[k];
                             if s.finished || s.done || s.blocked {
@@ -616,9 +789,12 @@ impl Simulator {
                                 break;
                             }
                             // Pick the least-loaded CU with a free slot.
+                            let inflight_k = &scr.inflight_per_cu[k * num_cus..(k + 1) * num_cus];
                             let cu = (0..num_cus)
-                                .filter(|&c| s.inflight_per_cu[c] < s.residency)
-                                .min_by_key(|&c| (cus[c].valu_free.max(cus[c].mem_free), c));
+                                .filter(|&c| inflight_k[c] < s.residency)
+                                .min_by_key(|&c| {
+                                    (scr.cus[c].valu_free.max(scr.cus[c].mem_free), c)
+                                });
                             let Some(cu) = cu else { break };
                             let work = st[k].source.next(&ChannelsView(&self.channels));
                             match work {
@@ -632,23 +808,28 @@ impl Simulator {
                                 }
                                 Work::Unit(u) => {
                                     let t0 = self.clock.max(st[k].ready_at);
-                                    let mut acc: Vec<MemRange> =
-                                        Vec::with_capacity(u.accesses.len() + 4);
+                                    scr.acc.clear();
                                     let mut dc = 0u64;
                                     for io in &u.pops {
-                                        dc += self.channels[io.channel.0 as usize]
-                                            .pop(t0, io.packets, &mut acc);
+                                        dc += self.channels[io.channel.0 as usize].pop(
+                                            t0,
+                                            io.packets,
+                                            &mut scr.acc,
+                                        );
                                         chan_sample!(io.channel, t0);
                                         // Space freed: wake the producer.
-                                        if let Some(p) = producer[io.channel.0 as usize] {
-                                            st[p].blocked = false;
+                                        let p = scr.producer[io.channel.0 as usize];
+                                        if p != u32::MAX {
+                                            st[p as usize].blocked = false;
                                         }
                                     }
                                     for io in &u.pushes {
-                                        dc += self.channels[io.channel.0 as usize]
-                                            .begin_push(t0, io.packets, &mut acc);
+                                        dc += self.channels[io.channel.0 as usize].begin_push(
+                                            t0,
+                                            io.packets,
+                                            &mut scr.acc,
+                                        );
                                     }
-                                    acc.extend_from_slice(&u.accesses);
                                     // Run the traffic through the cache.
                                     // Cache hits move the *requested*
                                     // bytes (sub-line packet reads of a
@@ -656,37 +837,50 @@ impl Simulator {
                                     // write-backs transfer whole lines
                                     // from DRAM, so sparse gathers pay
                                     // line-granularity bandwidth.
-                                    let mut hit_bytes = 0u64;
-                                    let mut miss_bytes = 0u64;
-                                    let line = self.cache.line_bytes();
-                                    let mut any = false;
-                                    let mut any_miss = false;
-                                    for r in &acc {
+                                    // Two batched passes through the cache
+                                    // model — channel traffic first, then
+                                    // the unit's own access vector, the
+                                    // same order a single merged vector
+                                    // would see. The unit vector is *not*
+                                    // copied into the scratch arena:
+                                    // probe-heavy units carry one
+                                    // single-line range per input row, and
+                                    // that copy was the dominant per-range
+                                    // overhead.
+                                    let mut batch = self.cache.access_batch(&scr.acc);
+                                    let ub = self.cache.access_batch(&u.accesses);
+                                    batch.stats.merge(ub.stats);
+                                    batch.hit_bytes += ub.hit_bytes;
+                                    batch.miss_bytes += ub.miss_bytes;
+                                    batch.any |= ub.any;
+                                    batch.any_miss |= ub.any_miss;
+                                    let (hit_bytes, miss_bytes) =
+                                        (batch.hit_bytes, batch.miss_bytes);
+                                    let (any, any_miss) = (batch.any, batch.any_miss);
+                                    st[k].prof.cache.merge(batch.stats);
+                                    profile.cache.merge(batch.stats);
+                                    for r in scr.acc.iter().chain(&u.accesses) {
                                         if r.bytes == 0 {
                                             continue;
                                         }
-                                        any = true;
-                                        let stats = self.cache.access(*r);
-                                        st[k].prof.cache.merge(stats);
-                                        profile.cache.merge(stats);
-                                        let total = stats.total().max(1);
-                                        hit_bytes += r.bytes * stats.hit_lines / total;
-                                        miss_bytes += (stats.miss_lines + stats.writebacks) * line;
-                                        any_miss |= stats.miss_lines > 0;
-                                        let (rid, class) = self.mem.classify_id(r.addr).unwrap_or(
-                                            (crate::mem::RegionId(u32::MAX), RegionClass::Scratch),
-                                        );
+                                        let (rid, class) = self
+                                            .mem
+                                            .classify_id_hinted(r.addr, &mut region_hint)
+                                            .unwrap_or((
+                                                crate::mem::RegionId(u32::MAX),
+                                                RegionClass::Scratch,
+                                            ));
                                         let slot = if r.write {
-                                            &mut profile.bytes_written
+                                            &mut class_written
                                         } else {
-                                            &mut profile.bytes_read
+                                            &mut class_read
                                         };
-                                        *slot.entry(class).or_default() += r.bytes;
+                                        slot[class.index()] += r.bytes;
                                         if r.write
                                             && rid.0 != u32::MAX
                                             && self.footprint_seen.insert(rid.0)
                                         {
-                                            *profile.footprint_written.entry(class).or_default() +=
+                                            class_footprint[class.index()] +=
                                                 self.mem.region(rid).bytes;
                                         }
                                     }
@@ -701,7 +895,7 @@ impl Simulator {
                                     let compute =
                                         (u.compute_insts + u.mem_insts) * self.spec.issue_cycles;
                                     // Two-stage CU pipeline.
-                                    let c = &mut cus[cu];
+                                    let c = &mut scr.cus[cu];
                                     let vs = t0.max(c.valu_free);
                                     let ve = vs + compute;
                                     c.valu_free = ve;
@@ -727,7 +921,7 @@ impl Simulator {
                                     s.prof.mem_cycles += mem_cycles;
                                     s.prof.dc_cycles += dc;
                                     s.inflight += 1;
-                                    s.inflight_per_cu[cu] += 1;
+                                    scr.inflight_per_cu[k * num_cus + cu] += 1;
                                     s.prof.peak_inflight = s.prof.peak_inflight.max(s.inflight);
                                     occ_tick!(self.clock);
                                     inflight_total += 1;
@@ -740,13 +934,13 @@ impl Simulator {
                                         });
                                     }
                                     seq += 1;
-                                    events.push(Reverse(Ev {
+                                    scr.events.push(Ev {
                                         time: me,
                                         seq,
                                         kernel: k,
                                         cu,
                                         pushes: u.pushes,
-                                    }));
+                                    });
                                     progress = true;
                                 }
                             }
@@ -759,24 +953,25 @@ impl Simulator {
                             finished += 1;
                             for ch in st[k].outputs.clone() {
                                 self.channels[ch.0 as usize].set_eof();
-                                if let Some(c) = consumer[ch.0 as usize] {
-                                    st[c].blocked = false;
+                                let c = scr.consumer[ch.0 as usize];
+                                if c != u32::MAX {
+                                    st[c as usize].blocked = false;
                                 }
                             }
-                            holders.retain(|&h| h != k);
+                            scr.holders.retain(|&h| h != k);
                             progress = true;
                         }
                     }
                     // Lane reclaim: idle holders yield to waiting kernels.
-                    if !lane_queue.is_empty() {
+                    if !scr.lane_queue.is_empty() {
                         let mut i = 0;
-                        while i < holders.len() {
-                            let k = holders[i];
+                        while i < scr.holders.len() {
+                            let k = scr.holders[i];
                             let s = &st[k];
                             if s.inflight == 0 && (s.blocked || s.done) {
-                                holders.swap_remove(i);
+                                scr.holders.swap_remove(i);
                                 if !s.finished {
-                                    lane_queue.push_back(k);
+                                    scr.lane_queue.push_back(k);
                                 }
                                 progress = true;
                             } else {
@@ -787,10 +982,10 @@ impl Simulator {
                     // Lane grant, FIFO over waiting kernels that can make
                     // progress; blocked waiters are requeued (they get a
                     // lane once a channel event unblocks them).
-                    let mut scan = lane_queue.len();
-                    while holders.len() < c_lanes && scan > 0 {
+                    let mut scan = scr.lane_queue.len();
+                    while scr.holders.len() < c_lanes && scan > 0 {
                         scan -= 1;
-                        let Some(k) = lane_queue.pop_front() else {
+                        let Some(k) = scr.lane_queue.pop_front() else {
                             break;
                         };
                         if st[k].finished {
@@ -798,13 +993,13 @@ impl Simulator {
                             continue;
                         }
                         if st[k].blocked {
-                            lane_queue.push_back(k);
+                            scr.lane_queue.push_back(k);
                             continue;
                         }
                         st[k].ready_at = st[k]
                             .ready_at
                             .max(self.clock + self.spec.lane_switch_cycles);
-                        holders.push(k);
+                        scr.holders.push(k);
                         progress = true;
                     }
                     if !progress {
@@ -819,7 +1014,7 @@ impl Simulator {
             if finished == total {
                 break;
             }
-            let Some(Reverse(ev)) = events.pop() else {
+            let Some(ev) = scr.events.pop_min() else {
                 let mut diag = String::new();
                 for s in &st {
                     diag.push_str(&format!(
@@ -835,24 +1030,31 @@ impl Simulator {
                         c.eof()
                     ));
                 }
+                self.scratch = scr;
                 return Err(DeadlockError {
                     cycle: self.clock,
                     diagnostic: diag,
                 });
             };
+            // Drain phase: from here to the end of the iteration the
+            // engine's pools must not grow (the channels pre-reserved
+            // their committed-run capacity at dispatch).
+            #[cfg(debug_assertions)]
+            let guard0 = alloc_guard::count();
             debug_assert!(ev.time >= self.clock, "time must be monotone");
             occ_tick!(ev.time);
             self.clock = ev.time;
             let k = ev.kernel;
             inflight_total -= 1;
             st[k].inflight -= 1;
-            st[k].inflight_per_cu[ev.cu] -= 1;
+            scr.inflight_per_cu[k * num_cus + ev.cu] -= 1;
             st[k].prof.last_complete = self.clock;
             for io in &ev.pushes {
                 self.channels[io.channel.0 as usize].commit_push(self.clock, io.packets);
                 chan_sample!(io.channel, self.clock);
-                if let Some(c) = consumer[io.channel.0 as usize] {
-                    st[c].blocked = false;
+                let c = scr.consumer[io.channel.0 as usize];
+                if c != u32::MAX {
+                    st[c as usize].blocked = false;
                 }
             }
             if st[k].inflight == 0 && !st[k].done {
@@ -860,6 +1062,12 @@ impl Simulator {
             }
             // A completed unit may unblock its own kernel (slot freed).
             st[k].blocked = false;
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                alloc_guard::count(),
+                guard0,
+                "steady-state event processing must not allocate in engine pools"
+            );
         }
 
         profile.elapsed_cycles = self.clock - start;
@@ -905,7 +1113,24 @@ impl Simulator {
             }
             self.pending_fault = Some(record);
         }
+        // Flush the flat per-class byte counters into the profile's maps
+        // (only touched classes get a key, exactly as the per-range
+        // `entry` calls used to behave — allocations have bytes ≥ 1, so
+        // "touched" ⇔ non-zero).
+        for class in RegionClass::ALL {
+            let i = class.index();
+            if class_read[i] > 0 {
+                profile.bytes_read.insert(class, class_read[i]);
+            }
+            if class_written[i] > 0 {
+                profile.bytes_written.insert(class, class_written[i]);
+            }
+            if class_footprint[i] > 0 {
+                profile.footprint_written.insert(class, class_footprint[i]);
+            }
+        }
         profile.kernels = st.into_iter().map(|s| s.prof).collect();
+        self.scratch = scr;
         if let Some(rec) = self.recorder.as_ref() {
             use gpl_obs::Value;
             let lt = rec.track("sim.launches");
@@ -925,7 +1150,7 @@ impl Simulator {
                 rec.span(
                     kt,
                     "kernel",
-                    &k.name,
+                    k.name.clone(),
                     k.first_dispatch,
                     k.last_complete,
                     vec![
@@ -1371,10 +1596,10 @@ mod tests {
         let spans = rec.spans();
         // One launch span + one span per kernel.
         assert_eq!(spans.len(), 3);
-        assert_eq!(spans[0].name, "launch");
+        assert_eq!(&*spans[0].name, "launch");
         assert_eq!((spans[0].start, spans[0].end), (0, Some(p.elapsed_cycles)));
-        assert_eq!(spans[1].name, "producer");
-        assert_eq!(spans[2].name, "consumer");
+        assert_eq!(&*spans[1].name, "producer");
+        assert_eq!(&*spans[2].name, "consumer");
         // Channel occupancy sampled at pushes and pops.
         let counters = rec.counters();
         assert_eq!(counters.len(), 1);

@@ -12,6 +12,7 @@
 
 use crate::channel::ChannelId;
 use crate::mem::MemRange;
+use std::sync::Arc;
 
 /// Per-work-item / per-work-group resource demands (program analysis
 /// inputs of Table 2).
@@ -147,7 +148,11 @@ where
 /// A kernel ready to launch: resources, work-group budget, channel wiring
 /// and the work source.
 pub struct KernelDesc {
-    pub name: String,
+    /// Interned display name. An `Arc<str>` so every downstream consumer
+    /// (per-kernel profiles, trace spans, the observability recorder)
+    /// shares one allocation made when the kernel was lowered, instead of
+    /// re-allocating a `String` per launch on the hot path.
+    pub name: Arc<str>,
     pub resources: ResourceUsage,
     /// `wg_Ki`: the number of work-groups the kernel is launched with —
     /// the maximum ever concurrently in flight. The cost model tunes this
@@ -169,7 +174,7 @@ pub struct KernelDesc {
 
 impl KernelDesc {
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         resources: ResourceUsage,
         wg_count: u32,
         source: Box<dyn WorkSource>,

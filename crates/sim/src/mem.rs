@@ -34,6 +34,24 @@ pub enum RegionClass {
 }
 
 impl RegionClass {
+    /// Number of variants (for array-indexed per-class counters).
+    pub const COUNT: usize = 6;
+
+    /// All variants in declaration order, matching [`RegionClass::index`].
+    pub const ALL: [RegionClass; Self::COUNT] = [
+        RegionClass::TableData,
+        RegionClass::Intermediate,
+        RegionClass::HashTable,
+        RegionClass::ChannelBuf,
+        RegionClass::Output,
+        RegionClass::Scratch,
+    ];
+
+    /// Dense index into [`RegionClass::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether writes to this class count as "intermediate results
     /// materialized in the global memory" for Figures 3/17/18.
     pub fn is_materialized_intermediate(self) -> bool {
@@ -142,6 +160,23 @@ impl MemoryMap {
         }
         let r = &self.regions[idx - 1];
         (addr < r.base + r.bytes).then_some((RegionId(idx as u32 - 1), r.class))
+    }
+
+    /// [`MemoryMap::classify_id`] with a caller-held last-region memo:
+    /// work units touch runs of ranges inside one region, so checking
+    /// the memo first skips the binary search on the hot path. `hint`
+    /// is an opaque region index (any starting value self-corrects).
+    pub fn classify_id_hinted(&self, addr: u64, hint: &mut u32) -> Option<(RegionId, RegionClass)> {
+        if let Some(r) = self.regions.get(*hint as usize) {
+            if addr >= r.base && addr < r.base + r.bytes {
+                return Some((RegionId(*hint), r.class));
+            }
+        }
+        let hit = self.classify_id(addr);
+        if let Some((id, _)) = hit {
+            *hint = id.0;
+        }
+        hit
     }
 
     /// Total bytes allocated so far.

@@ -26,7 +26,7 @@ pub fn record_spans(rec: &Recorder, spans: &[TraceSpan]) {
         rec.span(
             tracks[s.cu as usize],
             "cu",
-            &s.kernel,
+            s.kernel.clone(),
             s.start,
             s.end,
             Vec::new(),
@@ -61,7 +61,7 @@ mod tests {
         assert_eq!(names, vec!["cu00", "cu01", "cu02", "cu03"]);
         let recorded = rec.spans();
         assert_eq!(recorded.len(), 2);
-        assert_eq!(recorded[0].name, "k_probe*");
+        assert_eq!(&*recorded[0].name, "k_probe*");
         assert_eq!(recorded[0].track, rec.track("cu03"));
         assert_eq!((recorded[1].start, recorded[1].end), (0, Some(5)));
     }

@@ -13,7 +13,9 @@
 //! hedging for sharded queries: shards observed past `threshold`× their
 //! modeled cycles get a speculative backup on the modeled-cheapest
 //! other device), `\stats` (session metrics registry, plus the last
-//! drift table when tracing is on), `\tables`, `\q`.
+//! drift table when tracing is on), `\timing` (toggle per-query host
+//! wall-clock milliseconds next to the simulated cycles — wall numbers
+//! are non-deterministic and machine-dependent), `\tables`, `\q`.
 
 use gpl_core::shard::{try_run_query_sharded, DevicePool, ShardPlan};
 use gpl_core::{DisplayHint, ExecContext, ExecLimits, ExecMode, QueryConfig};
@@ -77,6 +79,11 @@ fn main() {
     // (speculative backups for shards observed past modeled × threshold
     // cycles); `\chaos off` (or a bare repeat) disarms it.
     let mut hedge_threshold: Option<f64> = None;
+    // `\timing` additionally reports host wall-clock per query. The two
+    // time planes stay clearly separated: simulated cycles are
+    // deterministic and pinned by tests; wall milliseconds depend on the
+    // machine and are labeled as such.
+    let mut timing = false;
 
     let stdin = std::io::stdin();
     loop {
@@ -102,6 +109,15 @@ fn main() {
             for t in ctx.db.tables() {
                 eprintln!("  {:<10} {:>9} rows", t.name(), t.rows());
             }
+            continue;
+        }
+        if line == "\\timing" {
+            timing = !timing;
+            eprintln!(
+                "timing: {} (host wall clock; non-deterministic, varies by machine — \
+                 simulated cycles remain the reproducible number)",
+                if timing { "on" } else { "off" }
+            );
             continue;
         }
         if line == "\\trace" {
@@ -228,6 +244,7 @@ fn main() {
             });
             let placement = gpl_model::place_query(pool, gammas, &ctx.db, &plan, None);
             let hedge = hedge_threshold.map(|t| gpl_model::hedge_plan(&placement, t));
+            let wall_t0 = std::time::Instant::now();
             match try_run_query_sharded(
                 pool,
                 &ctx.db,
@@ -258,6 +275,12 @@ fn main() {
                         placement.assignment.key(),
                         pool.key()
                     );
+                    if timing {
+                        eprintln!(
+                            "-- wall: {:.1} ms on this host (non-deterministic)",
+                            wall_t0.elapsed().as_secs_f64() * 1e3
+                        );
+                    }
                     if run.recovery.hedges > 0 {
                         eprintln!(
                             "-- hedged {} straggler(s), {} backup win(s), {} duplicate cycles",
@@ -272,8 +295,10 @@ fn main() {
             }
             continue;
         }
+        let wall_t0 = std::time::Instant::now();
         match run_sql(&mut ctx, line, mode) {
             Ok(run) => {
+                let wall = wall_t0.elapsed();
                 println!("{}", run.output.columns.join(" | "));
                 for row in &run.output.rows {
                     let cells: Vec<String> = row
@@ -290,6 +315,13 @@ fn main() {
                     run.ms(&spec),
                     spec.name
                 );
+                if timing {
+                    eprintln!(
+                        "-- wall: {:.1} ms on this host (non-deterministic) vs {} simulated cycles",
+                        wall.as_secs_f64() * 1e3,
+                        run.cycles
+                    );
+                }
                 registry.counter_add("gplsh.queries", &[("mode", mode.name())], 1);
                 run.profile
                     .export_metrics(&mut registry, &[("mode", mode.name())]);

@@ -123,6 +123,28 @@ impl Column {
         }
     }
 
+    /// Widen rows `lo..hi` to `i64` in one pass — hoists
+    /// [`Column::get_i64`]'s enum match out of the element loop, which
+    /// matters for the scan kernels' chunk fills.
+    pub fn range_i64(&self, lo: usize, hi: usize) -> Vec<i64> {
+        match self {
+            Column::I32(v) => v[lo..hi].iter().map(|&x| x as i64).collect(),
+            Column::I64(v) | Column::Decimal(v) => v[lo..hi].to_vec(),
+            Column::Date(v) => v[lo..hi].iter().map(|&x| x as i64).collect(),
+            Column::Dict(v, _) => v[lo..hi].iter().map(|&x| x as i64).collect(),
+        }
+    }
+
+    /// Widen arbitrary rows to `i64`, with the same match hoisting.
+    pub fn gather_i64(&self, rows: &[usize]) -> Vec<i64> {
+        match self {
+            Column::I32(v) => rows.iter().map(|&r| v[r] as i64).collect(),
+            Column::I64(v) | Column::Decimal(v) => rows.iter().map(|&r| v[r]).collect(),
+            Column::Date(v) => rows.iter().map(|&r| v[r] as i64).collect(),
+            Column::Dict(v, _) => rows.iter().map(|&r| v[r] as i64).collect(),
+        }
+    }
+
     /// Gather the rows at `idx` into a new column of the same type.
     pub fn gather(&self, idx: &[u32]) -> Column {
         match self {

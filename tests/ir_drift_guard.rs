@@ -47,7 +47,7 @@ fn assert_model_matches_ir(db: &TpchDb, plan: &QueryPlan, tag: &str) {
         // Kernel identity and resources.
         assert_eq!(sm.kernels.len(), ir.nodes.len(), "{at}: kernel count");
         for (k, node) in sm.kernels.iter().zip(&ir.nodes) {
-            assert_eq!(k.name, node.name, "{at}: kernel name");
+            assert_eq!(&*k.name, &*node.name, "{at}: kernel name");
             assert_eq!(k.resources, node.resources, "{at}: kernel resources");
         }
 
@@ -124,11 +124,7 @@ fn assert_executor_launches_ir_kernels(db: &Arc<TpchDb>, plan: &QueryPlan, tag: 
     let run = run_query(&mut ctx, plan, ExecMode::Gpl, &cfg);
     for (si, stage) in plan.stages.iter().enumerate() {
         let ir = SegmentIr::lower(stage, db.table(&stage.driver), spec.wavefront_size);
-        let launched: Vec<&str> = run.per_stage[si]
-            .kernels
-            .iter()
-            .map(|k| k.name.as_str())
-            .collect();
+        let launched: Vec<&str> = run.per_stage[si].kernels.iter().map(|k| &*k.name).collect();
         assert_eq!(
             launched,
             ir.kernel_names(),
